@@ -1,0 +1,293 @@
+// Benchmarks regenerating the paper's evaluation (§7). One benchmark per
+// table/half-table, plus the design-choice ablations DESIGN.md calls out.
+// The measured quantity is simulated elapsed time (see DESIGN.md §1); the
+// testing.B wall-clock numbers measure the harness itself. Run
+//
+//	go test -bench=. -benchmem
+//
+// and read the ReportMetric columns: base_ms, prov_ms, overhead_pct and
+// paper_pct per workload.
+package passv2_test
+
+import (
+	"fmt"
+	"testing"
+
+	"passv2/internal/analyzer"
+	"passv2/internal/bench"
+	"passv2/internal/lasagna"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// benchScale keeps `go test -bench=.` fast; cmd/passbench defaults to 0.4
+// and accepts -scale 1.0 for paper-sized runs.
+const benchScale = 0.1
+
+// BenchmarkTable2PASSv2 regenerates the local half of Table 2: elapsed
+// time, PASSv2 vs ext3, per workload.
+func BenchmarkTable2PASSv2(b *testing.B) {
+	for _, w := range bench.Workloads {
+		w := w
+		b.Run(sanitize(w.Name), func(b *testing.B) {
+			var base, with float64
+			for i := 0; i < b.N; i++ {
+				bt, _, err := bench.RunLocal(w, benchScale, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wt, _, err := bench.RunLocal(w, benchScale, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				base, with = float64(bt.Milliseconds()), float64(wt.Milliseconds())
+			}
+			b.ReportMetric(base, "base_ms")
+			b.ReportMetric(with, "prov_ms")
+			b.ReportMetric(pct(base, with), "overhead_pct")
+			b.ReportMetric(w.PaperLocal, "paper_pct")
+		})
+	}
+}
+
+// BenchmarkTable2PANFS regenerates the network half of Table 2: PA-NFS vs
+// NFS over a loopback mount.
+func BenchmarkTable2PANFS(b *testing.B) {
+	for _, w := range bench.Workloads {
+		w := w
+		b.Run(sanitize(w.Name), func(b *testing.B) {
+			var base, with float64
+			for i := 0; i < b.N; i++ {
+				bt, m, srv, err := bench.RunNFS(w, benchScale, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Close()
+				srv.Close()
+				wt, m2, srv2, err := bench.RunNFS(w, benchScale, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m2.Close()
+				srv2.Close()
+				base, with = float64(bt.Milliseconds()), float64(wt.Milliseconds())
+			}
+			b.ReportMetric(base, "base_ms")
+			b.ReportMetric(with, "prov_ms")
+			b.ReportMetric(pct(base, with), "overhead_pct")
+			b.ReportMetric(w.PaperNFS, "paper_pct")
+		})
+	}
+}
+
+// BenchmarkTable3Space regenerates the space-overhead table: provenance
+// database bytes and database+index bytes as percentages of the data.
+func BenchmarkTable3Space(b *testing.B) {
+	for _, w := range bench.Workloads {
+		w := w
+		b.Run(sanitize(w.Name), func(b *testing.B) {
+			var provPct, totalPct float64
+			for i := 0; i < b.N; i++ {
+				_, base, err := bench.RunLocal(w, benchScale, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				data, _, _, err := base.SpaceStats()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, m, err := bench.RunLocal(w, benchScale, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, prov, total, err := m.SpaceStats()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if data > 0 {
+					provPct = 100 * float64(prov) / float64(data)
+					totalPct = 100 * float64(total) / float64(data)
+				}
+			}
+			b.ReportMetric(provPct, "prov_pct")
+			b.ReportMetric(totalPct, "total_pct")
+			b.ReportMetric(w.PaperProvPct, "paper_prov_pct")
+			b.ReportMetric(w.PaperTotalPct, "paper_total_pct")
+		})
+	}
+}
+
+// BenchmarkTable1RecordTypes regenerates the record-type inventory and
+// reports how many distinct types each PA application produced.
+func BenchmarkTable1RecordTypes(b *testing.B) {
+	var t1 map[string][]string
+	for i := 0; i < b.N; i++ {
+		var err error
+		t1, err = bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for app, types := range t1 {
+		b.ReportMetric(float64(len(types)), sanitize(app)+"_types")
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationCycleAlgorithms compares PASSv2's cycle avoidance
+// against the PASSv1 global-detection-and-merge algorithm on the same
+// dependency stream: versions created vs DFS work done.
+func BenchmarkAblationCycleAlgorithms(b *testing.B) {
+	mkStream := func() []record.Record {
+		// A write/read-heavy interleaving over 40 objects.
+		var recs []record.Record
+		for i := 0; i < 4000; i++ {
+			subj := pnode.Ref{PNode: pnode.PNode(i%40 + 1), Version: 1}
+			dep := pnode.Ref{PNode: pnode.PNode((i*7)%40 + 1), Version: 1}
+			recs = append(recs, record.Input(subj, dep))
+		}
+		return recs
+	}
+	b.Run("v2-cycle-avoidance", func(b *testing.B) {
+		var freezes uint64
+		for i := 0; i < b.N; i++ {
+			an := analyzer.New()
+			nodes := map[pnode.PNode]*benchNode{}
+			for _, r := range mkStream() {
+				n, ok := nodes[r.Subject.PNode]
+				if !ok {
+					n = &benchNode{ref: pnode.Ref{PNode: r.Subject.PNode, Version: 1}}
+					nodes[r.Subject.PNode] = n
+				}
+				r.Subject.Version = n.ref.Version
+				if _, err := an.Process(n, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			freezes = an.Stats().Freezes
+		}
+		b.ReportMetric(float64(freezes), "versions_created")
+	})
+	b.Run("v1-global-merge", func(b *testing.B) {
+		var visits, merges uint64
+		for i := 0; i < b.N; i++ {
+			v1 := analyzer.NewV1()
+			for _, r := range mkStream() {
+				v1.FeedRecord(r)
+			}
+			st := v1.Stats()
+			visits, merges = st.DFSVisits, st.Merges
+		}
+		b.ReportMetric(float64(visits), "dfs_visits")
+		b.ReportMetric(float64(merges), "merges")
+	})
+}
+
+type benchNode struct{ ref pnode.Ref }
+
+func (n *benchNode) Ref() pnode.Ref { return n.ref }
+func (n *benchNode) Freeze() (pnode.Version, error) {
+	n.ref.Version++
+	return n.ref.Version, nil
+}
+
+// BenchmarkAblationDedup measures the analyzer's duplicate elimination:
+// log records emitted with and without it for a 4KB-block write pattern.
+func BenchmarkAblationDedup(b *testing.B) {
+	b.Run("with-dedup", func(b *testing.B) {
+		var kept uint64
+		for i := 0; i < b.N; i++ {
+			an := analyzer.New()
+			n := &benchNode{ref: pnode.Ref{PNode: 1, Version: 1}}
+			dep := pnode.Ref{PNode: 2, Version: 1}
+			for w := 0; w < 1024; w++ { // a 4MB file in 4KB writes
+				an.Process(n, record.Input(n.ref, dep))
+			}
+			kept = an.Stats().Records
+		}
+		b.ReportMetric(float64(kept), "records_kept")
+		b.ReportMetric(1024, "records_offered")
+	})
+}
+
+// BenchmarkAblationWAP measures recovery precision: with WAP a crash
+// yields exactly the torn region; the bench reports detection counts.
+func BenchmarkAblationWAP(b *testing.B) {
+	var flagged int
+	for i := 0; i < b.N; i++ {
+		lower := vfs.NewMemFS("lower", nil)
+		vol, err := lasagna.New("v", lasagna.Config{Lower: lower, VolumeID: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, _ := vol.Open("/f", vfs.OCreate|vfs.ORdWr)
+		pf := f.(vfs.PassFile)
+		pf.PassWrite([]byte("intact"), 0, nil)
+		vol.InjectCrash(lasagna.CrashAfterProvenance)
+		pf.PassWrite([]byte("torn"), 100, nil)
+		bad, err := vol.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		flagged = len(bad)
+	}
+	b.ReportMetric(float64(flagged), "regions_flagged")
+}
+
+// BenchmarkAblationLogRotation measures Waldo ingestion across rotation
+// thresholds: log file count vs drain passes.
+func BenchmarkAblationLogRotation(b *testing.B) {
+	for _, maxLog := range []int64{4 << 10, 64 << 10, 1 << 20} {
+		maxLog := maxLog
+		b.Run(fmt.Sprintf("max=%dKiB", maxLog>>10), func(b *testing.B) {
+			var files float64
+			for i := 0; i < b.N; i++ {
+				lower := vfs.NewMemFS("lower", nil)
+				vol, err := lasagna.New("v", lasagna.Config{Lower: lower, VolumeID: 1, MaxLogSize: maxLog, LogBuffer: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := waldo.New()
+				w.Attach(vol)
+				for r := 0; r < 3000; r++ {
+					vol.AppendProvenance([]record.Record{record.Input(
+						pnode.Ref{PNode: pnode.PNode(r + 1), Version: 1},
+						pnode.Ref{PNode: 9999, Version: 1},
+					)})
+				}
+				if err := w.Drain(); err != nil {
+					b.Fatal(err)
+				}
+				recs, _, _ := w.DB.Stats()
+				if recs != 3000 {
+					b.Fatalf("lost records across rotation: %d", recs)
+				}
+				ents, _ := lower.ReadDir("/.prov")
+				files = float64(len(ents))
+			}
+			b.ReportMetric(files, "log_files")
+		})
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// pct computes the percentage overhead of with over base.
+func pct(base, with float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (with - base) / base
+}

@@ -1,0 +1,79 @@
+// Command passbench regenerates the paper's evaluation (§7): Table 1 (the
+// record types each provenance-aware application collects), Table 2
+// (elapsed-time overheads, PASSv2 vs ext3 and PA-NFS vs NFS, across the
+// five workloads) and Table 3 (space overheads), printing measured rows
+// next to the published numbers.
+//
+// Usage:
+//
+//	passbench -table 2            # local + NFS elapsed-time overheads
+//	passbench -table 2 -local     # local only
+//	passbench -table 2 -nfs       # NFS only
+//	passbench -table 3            # space overheads
+//	passbench -table 1            # record-type inventory
+//	passbench -all                # everything
+//	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"passv2/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "which table to regenerate (1, 2 or 3)")
+	all := flag.Bool("all", false, "regenerate every table")
+	scale := flag.Float64("scale", 0.4, "workload scale in (0,1]; 1.0 is paper-sized")
+	localOnly := flag.Bool("local", false, "table 2: only the PASSv2-vs-ext3 half")
+	nfsOnly := flag.Bool("nfs", false, "table 2: only the PA-NFS-vs-NFS half")
+	flag.Parse()
+
+	if *all {
+		runTable(1, *scale, false, false)
+		runTable(2, *scale, false, false)
+		runTable(3, *scale, false, false)
+		return
+	}
+	if *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	runTable(*table, *scale, *localOnly, *nfsOnly)
+}
+
+func runTable(table int, scale float64, localOnly, nfsOnly bool) {
+	switch table {
+	case 1:
+		t1, err := bench.Table1()
+		die(err)
+		bench.PrintTable1(os.Stdout, t1)
+	case 2:
+		if !nfsOnly {
+			rows, err := bench.Table2Local(scale)
+			die(err)
+			bench.PrintTable2(os.Stdout, fmt.Sprintf("Table 2 (local): PASSv2 vs ext3, scale %.2f", scale), rows)
+		}
+		if !localOnly {
+			rows, err := bench.Table2NFS(scale)
+			die(err)
+			bench.PrintTable2(os.Stdout, fmt.Sprintf("Table 2 (network): PA-NFS vs NFS, scale %.2f", scale), rows)
+		}
+	case 3:
+		rows, err := bench.Table3(scale)
+		die(err)
+		bench.PrintTable3(os.Stdout, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d\n", table)
+		os.Exit(2)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "passbench:", err)
+		os.Exit(1)
+	}
+}

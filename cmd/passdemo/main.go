@@ -1,0 +1,349 @@
+// Command passdemo runs the paper's §3 use cases end to end and verifies
+// the layered-provenance claims hold, printing PASS/FAIL per case. The
+// runnable walk-throughs with narration live in examples/; this command is
+// the one-shot checker.
+//
+// Usage:
+//
+//	passdemo            # run every use case
+//	passdemo anomaly    # run one: anomaly|attribution|malware|dataorigin|validation
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"passv2/internal/kepler"
+	"passv2/internal/links"
+	"passv2/internal/pnode"
+	"passv2/internal/pyprov"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/web"
+	"passv2/pass"
+)
+
+type useCase struct {
+	name string
+	desc string
+	run  func() error
+}
+
+func main() {
+	cases := []useCase{
+		{"anomaly", "§3.1 finding the source of anomalies (3 layers, 3 machines)", anomaly},
+		{"attribution", "§3.2 attribution after rename with sources offline", attribution},
+		{"malware", "§3.2 malware source and spread", malware},
+		{"dataorigin", "§3.3 exact data origin through PA-Python", dataOrigin},
+		{"validation", "§3.3 process validation after a library upgrade", validation},
+	}
+	want := ""
+	if len(os.Args) > 1 {
+		want = os.Args[1]
+	}
+	failed := 0
+	ran := 0
+	for _, c := range cases {
+		if want != "" && c.name != want {
+			continue
+		}
+		ran++
+		if err := c.run(); err != nil {
+			failed++
+			fmt.Printf("FAIL  %-12s %s\n      %v\n", c.name, c.desc, err)
+			continue
+		}
+		fmt.Printf("PASS  %-12s %s\n", c.name, c.desc)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "passdemo: unknown use case %q\n", want)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// anomaly reproduces Figure 1: workflow on a workstation, inputs and
+// outputs on two NFS servers, one input silently modified between runs.
+func anomaly() error {
+	ws := pass.NewMachine(pass.Config{Provenance: true})
+	if _, err := ws.AddVolume("/scratch", 1); err != nil {
+		return err
+	}
+	srvIn, err := pass.NewFileServer(11, ws.Clock, vfs.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	defer srvIn.Close()
+	srvOut, err := pass.NewFileServer(12, ws.Clock, vfs.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	defer srvOut.Close()
+	if err := ws.MountNFS("/in", srvIn.Addr()); err != nil {
+		return err
+	}
+	if err := ws.MountNFS("/out", srvOut.Addr()); err != nil {
+		return err
+	}
+	seed := ws.Spawn("seed", nil, nil)
+	seed.MkdirAll("/in/fmri")
+	for _, name := range kepler.ChallengeInputs() {
+		fd, err := seed.Open("/in/fmri/"+name, vfs.OCreate|vfs.ORdWr)
+		if err != nil {
+			return err
+		}
+		seed.Write(fd, []byte("scan:"+name))
+		seed.Close(fd)
+	}
+	run := func() error {
+		eng := ws.Spawn("kepler", nil, nil)
+		defer eng.Exit()
+		eng.MkdirAll("/out/results")
+		e := kepler.NewEngine(eng)
+		e.AddRecorder(kepler.NewPASSRecorder(eng, "/scratch"))
+		return e.Run(kepler.BuildChallenge(kepler.ChallengeConfig{
+			Input: "/in/fmri", Work: "/scratch", Out: "/out/results",
+		}))
+	}
+	if err := run(); err != nil {
+		return err
+	}
+	mod := ws.Spawn("colleague", nil, nil)
+	fd, err := mod.Open("/in/fmri/anatomy2.img", vfs.OCreate|vfs.OTrunc|vfs.ORdWr)
+	if err != nil {
+		return err
+	}
+	mod.Write(fd, []byte("MODIFIED"))
+	mod.Close(fd)
+	if err := run(); err != nil {
+		return err
+	}
+	inDB, err := srvIn.DB()
+	if err != nil {
+		return err
+	}
+	outDB, err := srvOut.DB()
+	if err != nil {
+		return err
+	}
+	res, err := ws.QueryWith(`
+		select Ancestor from Provenance.file as Atlas
+		Atlas.input* as Ancestor
+		where Atlas.name = "/out/results/atlas-x.gif"`, inDB, outDB)
+	if err != nil {
+		return err
+	}
+	got := res.Format()
+	for _, want := range []string{"anatomy2.img", "softmean", "@v2"} {
+		if !strings.Contains(got, want) {
+			return fmt.Errorf("integrated ancestry missing %q", want)
+		}
+	}
+	// The modified input must show multiple versions on the input server.
+	for _, pn := range inDB.AllPNodes() {
+		if name, ok := inDB.NameOf(pn); ok && strings.HasSuffix(name, "anatomy2.img") {
+			if len(inDB.Versions(pn)) < 2 {
+				return fmt.Errorf("modified input has no version history")
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("anatomy2.img not found on input server")
+}
+
+func attribution() error {
+	m := pass.NewMachine(pass.Config{Provenance: true})
+	if _, err := m.AddVolume("/home", 1); err != nil {
+		return err
+	}
+	www := web.New()
+	www.AddPage("http://s.example/charts", "charts")
+	www.AddDownload("http://s.example/charts/g.png", []byte("PNG"))
+	p := m.Spawn("links", nil, nil)
+	b := links.New(p, www)
+	if _, err := b.NewSession("/home"); err != nil {
+		return err
+	}
+	if _, err := b.Visit("http://s.example/charts"); err != nil {
+		return err
+	}
+	if _, err := b.Download("http://s.example/charts/g.png", "/home/g.png"); err != nil {
+		return err
+	}
+	p.MkdirAll("/home/talk")
+	if err := p.Rename("/home/g.png", "/home/talk/fig1.png"); err != nil {
+		return err
+	}
+	www.Remove("http://s.example/charts/g.png")
+	if err := m.Drain(); err != nil {
+		return err
+	}
+	db := m.Waldo.DB
+	pns := db.ByName("/home/talk/fig1.png")
+	if len(pns) == 0 {
+		return fmt.Errorf("renamed file not findable by new name")
+	}
+	for _, v := range db.Versions(pns[0]) {
+		for _, val := range db.AttrValues(pnode.Ref{PNode: pns[0], Version: v}, record.AttrFileURL) {
+			if s, _ := val.AsString(); s == "http://s.example/charts/g.png" {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("FILE_URL lost after rename")
+}
+
+func malware() error {
+	m := pass.NewMachine(pass.Config{Provenance: true})
+	if _, err := m.AddVolume("/home", 1); err != nil {
+		return err
+	}
+	www := web.New()
+	www.AddRedirect("http://trusted.example/codec", "http://evil.example/codec-page")
+	www.AddPage("http://evil.example/codec-page", "dl here")
+	www.AddDownload("http://evil.example/codec.bin", []byte("clean"))
+	www.Replace("http://evil.example/codec.bin", []byte("EVIL"))
+	p := m.Spawn("links", nil, nil)
+	b := links.New(p, www)
+	if _, err := b.NewSession("/home"); err != nil {
+		return err
+	}
+	if _, err := b.Visit("http://trusted.example/codec"); err != nil {
+		return err
+	}
+	codecRef, err := b.Download("http://evil.example/codec.bin", "/home/codec.bin")
+	if err != nil {
+		return err
+	}
+	inst := m.Spawn("sh", nil, nil)
+	if err := inst.Exec("/home/codec.bin", []string{"codec"}, nil); err != nil {
+		return err
+	}
+	fd, err := inst.Open("/home/.profile", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		return err
+	}
+	inst.Write(fd, []byte("infected"))
+	inst.Close(fd)
+	if err := m.Drain(); err != nil {
+		return err
+	}
+	db := m.Waldo.DB
+	// Origin: FILE_URL present; session trail includes the trusted URL.
+	urls := db.AttrValues(codecRef, record.AttrFileURL)
+	if len(urls) == 0 {
+		return fmt.Errorf("malware origin URL missing")
+	}
+	// Spread: .profile descends from codec.bin.
+	g := m.Graph()
+	v, _ := db.LatestVersion(codecRef.PNode)
+	for _, d := range g.Descendants(pnode.Ref{PNode: codecRef.PNode, Version: v}) {
+		if name, ok := db.NameOf(d.PNode); ok && name == "/home/.profile" {
+			return nil
+		}
+	}
+	// The download-time version may differ from latest; check all.
+	for _, ver := range db.Versions(codecRef.PNode) {
+		for _, d := range g.Descendants(pnode.Ref{PNode: codecRef.PNode, Version: ver}) {
+			if name, ok := db.NameOf(d.PNode); ok && name == "/home/.profile" {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("malware spread not traceable")
+}
+
+func dataOrigin() error {
+	m := pass.NewMachine(pass.Config{Provenance: true})
+	if _, err := m.AddVolume("/lab", 1); err != nil {
+		return err
+	}
+	py := m.Spawn("python", nil, nil)
+	rt := pyprov.New(py, "/lab")
+	if err := pyprov.GenerateLogs(rt, "/lab/xml", 40); err != nil {
+		return err
+	}
+	if _, err := pyprov.AnalyzeCrackHeating(rt, "/lab/xml", "/lab/plot.dat", "high", false); err != nil {
+		return err
+	}
+	if err := m.Drain(); err != nil {
+		return err
+	}
+	db := m.Waldo.DB
+	pn := db.ByName("/lab/plot.dat")
+	if len(pn) != 1 {
+		return fmt.Errorf("plot missing")
+	}
+	v, _ := db.LatestVersion(pn[0])
+	direct := 0
+	for _, in := range db.Inputs(pnode.Ref{PNode: pn[0], Version: v}) {
+		if name, ok := db.NameOf(in.PNode); ok && strings.HasPrefix(name, "/lab/xml/") {
+			direct++
+		}
+	}
+	if direct != 20 {
+		return fmt.Errorf("direct XML deps = %d, want the 20 used", direct)
+	}
+	return nil
+}
+
+func validation() error {
+	m := pass.NewMachine(pass.Config{Provenance: true})
+	if _, err := m.AddVolume("/lab", 1); err != nil {
+		return err
+	}
+	py := m.Spawn("python", nil, nil)
+	rt := pyprov.New(py, "/lab")
+	if err := pyprov.GenerateLogs(rt, "/lab/xml", 10); err != nil {
+		return err
+	}
+	if _, err := pyprov.AnalyzeCrackHeating(rt, "/lab/xml", "/lab/good.dat", "high", false); err != nil {
+		return err
+	}
+	if _, err := pyprov.AnalyzeCrackHeating(rt, "/lab/xml", "/lab/bad.dat", "high", true); err != nil {
+		return err
+	}
+	if err := m.Drain(); err != nil {
+		return err
+	}
+	db := m.Waldo.DB
+	var fns []pnode.PNode
+	for _, pn := range db.ByName("estimate_heating") {
+		if typ, ok := db.TypeOf(pn); ok && typ == record.TypeFunction {
+			fns = append(fns, pn)
+		}
+	}
+	if len(fns) != 2 {
+		return fmt.Errorf("function objects = %d", len(fns))
+	}
+	buggy := fns[1]
+	g := m.Graph()
+	tainted := func(path string) (bool, error) {
+		pns := db.ByName(path)
+		if len(pns) != 1 {
+			return false, fmt.Errorf("%s missing", path)
+		}
+		v, _ := db.LatestVersion(pns[0])
+		for _, a := range g.Ancestors(pnode.Ref{PNode: pns[0], Version: v}) {
+			if a.PNode == buggy {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	goodTainted, err := tainted("/lab/good.dat")
+	if err != nil {
+		return err
+	}
+	badTainted, err := tainted("/lab/bad.dat")
+	if err != nil {
+		return err
+	}
+	if goodTainted || !badTainted {
+		return fmt.Errorf("validation verdicts wrong: good=%v bad=%v", goodTainted, badTainted)
+	}
+	return nil
+}

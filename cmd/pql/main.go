@@ -1,0 +1,117 @@
+// Command pql is the PASSv2 query shell: it loads a provenance database
+// snapshot (written with Machine.SaveDB or waldo.DB.Save) and evaluates
+// PQL queries against it, either from the command line or interactively.
+//
+// Usage:
+//
+//	pql -db prov.db 'select Ancestor from Provenance.file as Atlas
+//	                 Atlas.input* as Ancestor
+//	                 where Atlas.name = "atlas-x.gif"'
+//	pql -db prov.db            # REPL on stdin
+//	pql -demo 'select ...'     # query a small built-in demo database
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"passv2/internal/graph"
+	"passv2/internal/pnode"
+	"passv2/internal/pql"
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "provenance database snapshot to load")
+	demo := flag.Bool("demo", false, "use a built-in demo database instead of -db")
+	flag.Parse()
+
+	var db *waldo.DB
+	switch {
+	case *demo:
+		db = demoDB()
+	case *dbPath != "":
+		f, err := os.Open(*dbPath)
+		die(err)
+		defer f.Close()
+		var lerr error
+		db, lerr = waldo.Load(f)
+		die(lerr)
+	default:
+		fmt.Fprintln(os.Stderr, "pql: need -db <snapshot> or -demo")
+		os.Exit(2)
+	}
+	g := graph.New(db)
+
+	if q := strings.TrimSpace(strings.Join(flag.Args(), " ")); q != "" {
+		run(g, q)
+		return
+	}
+	// REPL: one query per line (or until a line ending in ';').
+	fmt.Println("PQL shell — end a query with ';', Ctrl-D to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	for {
+		if pending.Len() == 0 {
+			fmt.Print("pql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		pending.WriteString(line)
+		pending.WriteByte(' ')
+		if strings.HasSuffix(strings.TrimSpace(line), ";") {
+			q := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+			pending.Reset()
+			if strings.TrimSpace(q) != "" {
+				run(g, q)
+			}
+		}
+	}
+}
+
+func run(g *graph.Graph, q string) {
+	res, err := pql.Run(g, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Print(res.Format())
+}
+
+// demoDB builds the paper's atlas-x.gif ancestry chain so the shell can be
+// tried without running a workload first.
+func demoDB() *waldo.DB {
+	db := waldo.NewDB()
+	ref := func(p uint64) pnode.Ref { return pnode.Ref{PNode: pnode.PNode(p), Version: 1} }
+	add := func(r pnode.Ref, name, typ string) {
+		db.Apply(record.New(r, record.AttrName, record.StringVal(name)))
+		db.Apply(record.New(r, record.AttrType, record.StringVal(typ)))
+	}
+	atlas, convert, slicer, softmean, anatomy := ref(1), ref(2), ref(3), ref(4), ref(5)
+	add(atlas, "atlas-x.gif", record.TypeFile)
+	add(convert, "convert", record.TypeProc)
+	add(slicer, "slicer", record.TypeProc)
+	add(softmean, "softmean", record.TypeOperator)
+	add(anatomy, "anatomy1.img", record.TypeFile)
+	db.Apply(record.Input(atlas, convert))
+	db.Apply(record.Input(convert, slicer))
+	db.Apply(record.Input(slicer, softmean))
+	db.Apply(record.Input(softmean, anatomy))
+	return db
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pql:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package passv2 is a from-scratch Go reproduction of "Layering in
+// Provenance Systems" (Muniswamy-Reddy et al., USENIX ATC 2009) — the
+// PASSv2 system: a provenance collection architecture in which every layer
+// of a software stack (NFS servers, the local file system, the operating
+// system, a workflow engine, a web browser, a Python-style runtime) both
+// generates provenance and transmits disclosed provenance downward through
+// one universal interface, the Disclosed Provenance API.
+//
+// The public API lives in package passv2/pass; the paper's components live
+// under internal/ (one package per subsystem — see DESIGN.md for the
+// inventory). The benchmarks in bench_test.go regenerate the paper's
+// Tables 1–3; EXPERIMENTS.md records paper-vs-measured.
+package passv2

@@ -1,0 +1,66 @@
+// Quickstart: assemble a PASSv2 machine, run a two-stage shell job on a
+// provenance-aware volume, and ask where the output came from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"passv2/internal/vfs"
+	"passv2/pass"
+)
+
+func main() {
+	// A machine with the full PASSv2 pipeline and one PASS volume.
+	m := pass.NewMachine(pass.Config{Provenance: true})
+	if _, err := m.AddVolume("/data", 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: a "sensor" process produces raw readings.
+	sensor := m.Spawn("sensor", []string{"sensor", "--take", "10"}, nil)
+	fd, err := sensor.Open("/data/readings.csv", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensor.Write(fd, []byte("t0,19.3\nt1,19.9\nt2,20.1\n"))
+	sensor.Close(fd)
+	sensor.Exit()
+
+	// Stage 2: an "analyze" process reads the readings and writes a
+	// report. PASSv2 watches the system calls; neither program was
+	// modified.
+	analyze := m.Spawn("analyze", []string{"analyze", "readings.csv"}, []string{"LANG=C"})
+	in, _ := analyze.Open("/data/readings.csv", vfs.ORdOnly)
+	buf := make([]byte, 256)
+	n, _ := analyze.Read(in, buf)
+	analyze.Close(in)
+	analyze.Compute(int64(n) * 100) // simulated number crunching
+	out, _ := analyze.Open("/data/report.txt", vfs.OCreate|vfs.ORdWr)
+	analyze.Write(out, []byte("mean=19.77\n"))
+	analyze.Close(out)
+	analyze.Exit()
+
+	// Ask PASSv2: what is the complete ancestry of the report?
+	res, err := m.Query(`
+		select Ancestor
+		from Provenance.file as Report
+		     Report.input* as Ancestor
+		where Report.name = "/data/report.txt"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Ancestry of /data/report.txt:")
+	fmt.Print(res.Format())
+
+	// And which process arguments produced it?
+	res, err = m.Query(`
+		select P.name as process, P.argv as argv
+		from Provenance.proc as P
+		where exists(P.input~)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Processes with descendants:")
+	fmt.Print(res.Format())
+}

@@ -1,0 +1,224 @@
+// Package analyzer implements the PASSv2 analyzer (§5.4): it processes the
+// stream of provenance records coming from the observer, eliminates
+// duplicates, and ensures that cyclic dependencies do not arise, using the
+// cycle avoidance algorithm of Muniswamy-Reddy & Holland (FAST '09) — a
+// conservative algorithm that consults only an object's local dependency
+// information, unlike the PASSv1 global cycle-detection-and-merge
+// algorithm (also implemented here, in v1.go, for the ablation benches).
+//
+// # The cycle avoidance invariant
+//
+// Every object version is in one of two phases: accumulating (it may gain
+// new dependencies) and observed (someone has read it — its dependency set
+// is final). The rule: before adding a dependency to an object whose
+// current version is observed, freeze the object (new version, which
+// depends on the old one). Reading an object marks its current version
+// observed.
+//
+// Acyclicity follows: an edge X→Y is added while X's version is still
+// accumulating and Y's version is (from that moment) observed. So along
+// any edge, the first-observed time strictly decreases; a cycle would need
+// it to decrease back to itself. Self-reads freeze for the same reason.
+// This is provable from local state alone, which is the paper's point; the
+// price is extra versions (the algorithm is conservative), measured by the
+// ablation benchmark against the PASSv1 algorithm.
+package analyzer
+
+import (
+	"fmt"
+	"sync"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// Node is an object the analyzer can version: anything with a current
+// identity and a freeze operation. Lasagna files, NFS client files,
+// processes, pipes and phantom objects all provide one.
+type Node interface {
+	// Ref returns the object's current (pnode, version).
+	Ref() pnode.Ref
+	// Freeze creates a new version and returns it (pass_freeze).
+	Freeze() (pnode.Version, error)
+}
+
+// objState is the analyzer's local knowledge of one object.
+type objState struct {
+	version  pnode.Version
+	deps     map[pnode.Ref]bool // dependency set of the current version
+	attrs    map[attrKey]bool   // non-INPUT records already seen (dup elim)
+	observed bool               // current version has been read
+}
+
+type attrKey struct {
+	attr record.Attr
+	val  string // rendered value; good enough for duplicate detection
+}
+
+// Stats counts the analyzer's work for the evaluation.
+type Stats struct {
+	Records    uint64 // records accepted
+	Duplicates uint64 // records dropped as duplicates
+	Freezes    uint64 // versions created to avoid cycles
+}
+
+// Analyzer eliminates duplicate records and avoids cycles. It is safe for
+// concurrent use; all state is local per object, per the algorithm.
+type Analyzer struct {
+	mu    sync.Mutex
+	objs  map[pnode.PNode]*objState
+	stats Stats
+}
+
+// New creates an analyzer.
+func New() *Analyzer {
+	return &Analyzer{objs: make(map[pnode.PNode]*objState)}
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Analyzer) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// state returns the object's state, syncing with the node's externally
+// visible version (another NFS client may have frozen the file).
+func (a *Analyzer) state(ref pnode.Ref) *objState {
+	st, ok := a.objs[ref.PNode]
+	if !ok {
+		st = &objState{version: ref.Version, deps: make(map[pnode.Ref]bool), attrs: make(map[attrKey]bool)}
+		a.objs[ref.PNode] = st
+		return st
+	}
+	if ref.Version > st.version {
+		// The object moved on without us (external freeze): reset.
+		st.version = ref.Version
+		st.deps = make(map[pnode.Ref]bool)
+		st.attrs = make(map[attrKey]bool)
+		st.observed = false
+	}
+	return st
+}
+
+// Observe marks the current version of ref as read. Callers (the
+// observer) invoke it when any layer reads the object — the moment its
+// dependency set must stop growing.
+func (a *Analyzer) Observe(ref pnode.Ref) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(ref)
+	if st.version == ref.Version {
+		st.observed = true
+	}
+}
+
+// Process runs records describing subject through duplicate elimination
+// and cycle avoidance. It returns the records to persist — possibly
+// rewritten to a fresh version of subject and possibly including the
+// version-chain record a freeze introduces — or an empty slice if all
+// records were duplicates.
+//
+// subject must be the node whose pnode equals every record's Subject
+// pnode; records for other subjects must be processed with their own node
+// (the observer guarantees this).
+func (a *Analyzer) Process(subject Node, recs ...record.Record) ([]record.Record, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	ref := subject.Ref()
+	st := a.state(ref)
+	var out []record.Record
+
+	for _, r := range recs {
+		if r.Subject.PNode != ref.PNode {
+			return out, fmt.Errorf("analyzer: record subject %v does not match node %v", r.Subject, ref)
+		}
+		if dep, ok := r.Value.AsRef(); ok && r.Attr == record.AttrInput {
+			// Reading dep pins its current version as observed.
+			dst := a.state(dep)
+			if dst.version == dep.Version {
+				dst.observed = true
+			}
+			if st.deps[dep] {
+				a.stats.Duplicates++
+				continue
+			}
+			if st.observed || dep.PNode == ref.PNode {
+				// Cycle avoidance: freeze before the dependency
+				// set of an observed version grows, and never
+				// allow a same-object self edge.
+				newRef, chain, err := a.freezeLocked(subject, st)
+				if err != nil {
+					return out, err
+				}
+				out = append(out, chain)
+				ref = newRef
+				st = a.state(ref)
+				if st.deps[dep] {
+					// The dependency collapsed into the version
+					// chain (self edge): nothing more to record.
+					a.stats.Duplicates++
+					continue
+				}
+			}
+			st.deps[dep] = true
+			a.stats.Records++
+			out = append(out, record.Record{Subject: ref, Attr: r.Attr, Value: r.Value})
+			continue
+		}
+		// Identity/descriptive record: duplicate-eliminate per version.
+		k := attrKey{attr: r.Attr, val: r.Value.String()}
+		if st.attrs[k] {
+			a.stats.Duplicates++
+			continue
+		}
+		st.attrs[k] = true
+		a.stats.Records++
+		out = append(out, record.Record{Subject: ref, Attr: r.Attr, Value: r.Value})
+	}
+	return out, nil
+}
+
+// Freeze forces a new version of subject (exported for layers that break
+// cycles themselves, e.g. the NFS client processing a pass_freeze from
+// above). It returns the new ref and the version-chain record.
+func (a *Analyzer) Freeze(subject Node) (pnode.Ref, record.Record, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(subject.Ref())
+	return a.freezeLocked(subject, st)
+}
+
+// freezeLocked bumps subject's version via its Freeze op, resets local
+// state, and returns the chain record newVersion INPUT oldVersion.
+func (a *Analyzer) freezeLocked(subject Node, st *objState) (pnode.Ref, record.Record, error) {
+	old := pnode.Ref{PNode: subject.Ref().PNode, Version: st.version}
+	v, err := subject.Freeze()
+	if err != nil {
+		return pnode.Ref{}, record.Record{}, fmt.Errorf("analyzer: freeze %v: %w", old, err)
+	}
+	a.stats.Freezes++
+	st.version = v
+	st.deps = make(map[pnode.Ref]bool)
+	st.attrs = make(map[attrKey]bool)
+	st.observed = false
+	newRef := pnode.Ref{PNode: old.PNode, Version: v}
+	st.deps[old] = true
+	return newRef, record.Input(newRef, old), nil
+}
+
+// CurrentVersion reports the analyzer's view of an object's version (used
+// by tests and the NFS client's local version cache).
+func (a *Analyzer) CurrentVersion(pn pnode.PNode) (pnode.Version, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.objs[pn]
+	if !ok {
+		return 0, false
+	}
+	return st.version, true
+}

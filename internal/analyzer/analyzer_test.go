@@ -1,0 +1,333 @@
+package analyzer
+
+import (
+	"math/rand"
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// fakeNode is a freezable object for tests.
+type fakeNode struct {
+	ref pnode.Ref
+}
+
+func newNode(pn uint64) *fakeNode {
+	return &fakeNode{ref: pnode.Ref{PNode: pnode.PNode(pn), Version: 1}}
+}
+
+func (n *fakeNode) Ref() pnode.Ref { return n.ref }
+
+func (n *fakeNode) Freeze() (pnode.Version, error) {
+	n.ref.Version++
+	return n.ref.Version, nil
+}
+
+func TestDuplicateElimination(t *testing.T) {
+	a := New()
+	f := newNode(1)
+	p := pnode.Ref{PNode: 2, Version: 1}
+	// A program writing a file in 4KB chunks emits the same dependency
+	// over and over; only the first survives.
+	for i := 0; i < 100; i++ {
+		out, err := a.Process(f, record.Input(f.Ref(), p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 && len(out) != 1 {
+			t.Fatalf("first record: got %d records", len(out))
+		}
+		if i > 0 && len(out) != 0 {
+			t.Fatalf("iteration %d: duplicate not dropped: %v", i, out)
+		}
+	}
+	st := a.Stats()
+	if st.Records != 1 || st.Duplicates != 99 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDescriptiveRecordDedup(t *testing.T) {
+	a := New()
+	f := newNode(1)
+	name := record.New(f.Ref(), record.AttrName, record.StringVal("/out"))
+	out, _ := a.Process(f, name)
+	if len(out) != 1 {
+		t.Fatal("first NAME must pass")
+	}
+	out, _ = a.Process(f, name)
+	if len(out) != 0 {
+		t.Fatal("repeated NAME must drop")
+	}
+	// A different value (rename) passes.
+	out, _ = a.Process(f, record.New(f.Ref(), record.AttrName, record.StringVal("/out2")))
+	if len(out) != 1 {
+		t.Fatal("new NAME value must pass")
+	}
+}
+
+func TestWriteAfterReadFreezes(t *testing.T) {
+	a := New()
+	file := newNode(10)
+	proc := pnode.Ref{PNode: 20, Version: 1}
+
+	// Process Q reads the file: its version becomes observed.
+	a.Observe(file.Ref())
+	// Process P writes the file: must freeze first.
+	out, err := a.Process(file, record.Input(file.Ref(), proc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Ref().Version != 2 {
+		t.Fatalf("file version = %v, want 2", file.Ref().Version)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want chain + dep records, got %v", out)
+	}
+	chain := out[0]
+	if chain.Attr != record.AttrInput {
+		t.Fatal("chain record must be INPUT")
+	}
+	if dep, _ := chain.Value.AsRef(); dep != (pnode.Ref{PNode: 10, Version: 1}) {
+		t.Fatalf("chain dep = %v", dep)
+	}
+	if chain.Subject != (pnode.Ref{PNode: 10, Version: 2}) {
+		t.Fatalf("chain subject = %v", chain.Subject)
+	}
+	if out[1].Subject.Version != 2 {
+		t.Fatal("dep record must be rewritten to the new version")
+	}
+}
+
+func TestUnobservedWriteDoesNotFreeze(t *testing.T) {
+	a := New()
+	file := newNode(10)
+	p1 := pnode.Ref{PNode: 20, Version: 1}
+	p2 := pnode.Ref{PNode: 21, Version: 1}
+	a.Process(file, record.Input(file.Ref(), p1))
+	a.Process(file, record.Input(file.Ref(), p2))
+	if file.Ref().Version != 1 {
+		t.Fatalf("version churn without reads: %v", file.Ref().Version)
+	}
+}
+
+func TestSelfDependencyFreezes(t *testing.T) {
+	a := New()
+	f := newNode(5)
+	out, err := a.Process(f, record.Input(f.Ref(), f.Ref()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Ref().Version != 2 {
+		t.Fatal("self dependency must freeze")
+	}
+	// Result: v2 INPUT v1 (chain) and v2 INPUT v1 (the dep itself) — the
+	// dep collapses into the chain edge, so dedup leaves one record.
+	if len(out) != 1 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestTwoProcessTwoFileCycleAvoided(t *testing.T) {
+	// The classic 4-cycle: P reads A, Q reads B, P writes B, Q writes A.
+	a := New()
+	fileA, fileB := newNode(1), newNode(2)
+	procP, procQ := newNode(3), newNode(4)
+	var all []record.Record
+
+	emit := func(subj Node, dep pnode.Ref) {
+		t.Helper()
+		out, err := a.Process(subj, record.Input(subj.Ref(), dep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, out...)
+	}
+	emit(procP, fileA.Ref()) // P reads A
+	emit(procQ, fileB.Ref()) // Q reads B
+	emit(fileB, procP.Ref()) // P writes B (B observed ⇒ freeze)
+	emit(fileA, procQ.Ref()) // Q writes A (A observed ⇒ freeze)
+
+	if cyclic(all) {
+		t.Fatalf("cycle in version graph:\n%v", record.NewBundle(all...))
+	}
+	if fileA.Ref().Version != 2 || fileB.Ref().Version != 2 {
+		t.Fatal("both files should have been frozen once")
+	}
+}
+
+func TestExternalFreezeResetsState(t *testing.T) {
+	a := New()
+	f := newNode(1)
+	p := pnode.Ref{PNode: 2, Version: 1}
+	a.Process(f, record.Input(f.Ref(), p))
+	// Another NFS client froze the file behind our back.
+	f.Freeze()
+	out, _ := a.Process(f, record.Input(f.Ref(), p))
+	if len(out) != 1 {
+		t.Fatal("dependency on the new version is not a duplicate")
+	}
+	if out[0].Subject.Version != 2 {
+		t.Fatalf("subject version = %v", out[0].Subject.Version)
+	}
+}
+
+func TestSubjectMismatchRejected(t *testing.T) {
+	a := New()
+	f := newNode(1)
+	bad := record.Input(pnode.Ref{PNode: 99, Version: 1}, pnode.Ref{PNode: 2, Version: 1})
+	if _, err := a.Process(f, bad); err == nil {
+		t.Fatal("mismatched subject must error")
+	}
+}
+
+func TestExplicitFreeze(t *testing.T) {
+	a := New()
+	f := newNode(1)
+	ref, chain, err := a.Freeze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Version != 2 || chain.Subject != ref {
+		t.Fatalf("freeze returned %v / %v", ref, chain)
+	}
+	if v, ok := a.CurrentVersion(f.Ref().PNode); !ok || v != 2 {
+		t.Fatalf("CurrentVersion = %v,%v", v, ok)
+	}
+}
+
+// cyclic builds the version-level graph from INPUT records and checks for
+// cycles.
+func cyclic(recs []record.Record) bool {
+	edges := map[pnode.Ref][]pnode.Ref{}
+	for _, r := range recs {
+		if dep, ok := r.Value.AsRef(); ok && r.Attr == record.AttrInput {
+			edges[r.Subject] = append(edges[r.Subject], dep)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[pnode.Ref]int{}
+	var visit func(n pnode.Ref) bool
+	visit = func(n pnode.Ref) bool {
+		color[n] = gray
+		for _, m := range edges[n] {
+			switch color[m] {
+			case gray:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for n := range edges {
+		if color[n] == white && visit(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropertyRandomWorkloadAcyclic drives the analyzer with thousands of
+// random read/write interleavings over a pool of processes and files and
+// asserts the resulting version graph never contains a cycle — the central
+// guarantee of the cycle avoidance algorithm.
+func TestPropertyRandomWorkloadAcyclic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := New()
+		nodes := make([]*fakeNode, 12)
+		for i := range nodes {
+			nodes[i] = newNode(uint64(i + 1))
+		}
+		var all []record.Record
+		for op := 0; op < 400; op++ {
+			i, j := rng.Intn(len(nodes)), rng.Intn(len(nodes))
+			subj, dep := nodes[i], nodes[j]
+			out, err := a.Process(subj, record.Input(subj.Ref(), dep.Ref()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, out...)
+		}
+		if cyclic(all) {
+			t.Fatalf("seed %d: cycle in version graph (%d records)", seed, len(all))
+		}
+	}
+}
+
+func TestV1CycleMerge(t *testing.T) {
+	v := NewV1()
+	// P reads A, writes B; Q reads B, writes A → cycle → merge.
+	P, Q, A, B := pnode.PNode(1), pnode.PNode(2), pnode.PNode(3), pnode.PNode(4)
+	v.AddDep(P, A)
+	v.AddDep(B, P)
+	v.AddDep(Q, B)
+	v.AddDep(A, Q) // closes the 4-cycle
+	if v.HasCycle() {
+		t.Fatal("v1 left a cycle after merge")
+	}
+	if v.Stats().Merges != 1 {
+		t.Fatalf("merges = %d", v.Stats().Merges)
+	}
+	// All four nodes must now be one entity.
+	c := v.Canonical(P)
+	for _, n := range []pnode.PNode{Q, A, B} {
+		if v.Canonical(n) != c {
+			t.Fatalf("node %v not merged", n)
+		}
+	}
+}
+
+func TestV1DuplicateEdges(t *testing.T) {
+	v := NewV1()
+	if !v.AddDep(1, 2) {
+		t.Fatal("first edge must be kept")
+	}
+	if v.AddDep(1, 2) {
+		t.Fatal("duplicate edge must be dropped")
+	}
+	if v.Stats().Duplicates != 1 {
+		t.Fatal("duplicate not counted")
+	}
+}
+
+func TestPropertyV1NeverCyclic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewV1()
+		for op := 0; op < 500; op++ {
+			v.AddDep(pnode.PNode(rng.Intn(15)+1), pnode.PNode(rng.Intn(15)+1))
+		}
+		if v.HasCycle() {
+			t.Fatalf("seed %d: v1 graph cyclic", seed)
+		}
+	}
+}
+
+func BenchmarkAnalyzerDedup(b *testing.B) {
+	a := New()
+	f := newNode(1)
+	p := pnode.Ref{PNode: 2, Version: 1}
+	rec := record.Input(f.Ref(), p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Process(f, rec)
+	}
+}
+
+func BenchmarkV1AddDep(b *testing.B) {
+	v := NewV1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.AddDep(pnode.PNode(i%1000+1), pnode.PNode((i+7)%1000+1))
+	}
+}

@@ -1,0 +1,229 @@
+package analyzer
+
+import (
+	"sync"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// V1 implements the PASSv1 cycle-handling algorithm for the ablation
+// benchmarks: maintain a global graph of object dependencies, explicitly
+// check for cycles on every new edge, and on detecting one merge all the
+// nodes in the cycle into a single entity (§5.4: "This proved challenging,
+// and there were cases where we were not able to do this correctly" — the
+// motivation for PASSv2's cycle avoidance).
+//
+// Nodes here are whole objects (pnodes), as in PASSv1, and merging is a
+// union-find over pnodes. The cost profile to compare against Analyzer:
+// no freezes (fewer versions) but a global DFS per edge insertion.
+type V1 struct {
+	mu     sync.Mutex
+	parent map[pnode.PNode]pnode.PNode          // union-find
+	edges  map[pnode.PNode]map[pnode.PNode]bool // canonical → canonical deps
+	stats  V1Stats
+}
+
+// V1Stats counts the v1 algorithm's work.
+type V1Stats struct {
+	Records    uint64
+	Duplicates uint64
+	Merges     uint64 // cycle merges performed
+	DFSVisits  uint64 // nodes visited by cycle checks (the CPU cost proxy)
+}
+
+// NewV1 creates a PASSv1-style analyzer.
+func NewV1() *V1 {
+	return &V1{
+		parent: make(map[pnode.PNode]pnode.PNode),
+		edges:  make(map[pnode.PNode]map[pnode.PNode]bool),
+	}
+}
+
+func (v *V1) find(p pnode.PNode) pnode.PNode {
+	root := p
+	for {
+		q, ok := v.parent[root]
+		if !ok || q == root {
+			break
+		}
+		root = q
+	}
+	// Path compression.
+	for p != root {
+		next := v.parent[p]
+		v.parent[p] = root
+		p = next
+	}
+	return root
+}
+
+// AddDep records "subject depends on dep". It returns true if the edge was
+// kept, false if it was a duplicate or became a self-loop after merging.
+func (v *V1) AddDep(subject, dep pnode.PNode) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s, d := v.find(subject), v.find(dep)
+	if s == d {
+		v.stats.Duplicates++
+		return false
+	}
+	if v.edges[s][d] {
+		v.stats.Duplicates++
+		return false
+	}
+	// Would s→d close a cycle? Only if d can already reach s.
+	if v.reaches(d, s) {
+		v.mergeCycle(s, d)
+		return false
+	}
+	if v.edges[s] == nil {
+		v.edges[s] = make(map[pnode.PNode]bool)
+	}
+	v.edges[s][d] = true
+	v.stats.Records++
+	return true
+}
+
+// reaches runs a DFS from src looking for dst over canonical nodes.
+func (v *V1) reaches(src, dst pnode.PNode) bool {
+	seen := map[pnode.PNode]bool{}
+	stack := []pnode.PNode{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == dst {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		v.stats.DFSVisits++
+		for m := range v.edges[n] {
+			stack = append(stack, v.find(m))
+		}
+	}
+	return false
+}
+
+// mergeCycle unions every node on a path from d back to s (the cycle the
+// new edge would close) into one entity and rewrites their edges.
+func (v *V1) mergeCycle(s, d pnode.PNode) {
+	// Collect nodes on the cycle: nodes reachable from d that reach s.
+	onPath := map[pnode.PNode]bool{s: true}
+	var walk func(n pnode.PNode) bool
+	seen := map[pnode.PNode]bool{}
+	walk = func(n pnode.PNode) bool {
+		if n == s {
+			return true
+		}
+		if seen[n] {
+			return onPath[n]
+		}
+		seen[n] = true
+		v.stats.DFSVisits++
+		hit := false
+		for m := range v.edges[n] {
+			if walk(v.find(m)) {
+				hit = true
+			}
+		}
+		if hit {
+			onPath[n] = true
+		}
+		return hit
+	}
+	walk(d)
+
+	// Union them all into s, folding their edges.
+	merged := v.edges[s]
+	if merged == nil {
+		merged = make(map[pnode.PNode]bool)
+	}
+	for n := range onPath {
+		if n == s {
+			continue
+		}
+		v.parent[n] = s
+		for m := range v.edges[n] {
+			merged[m] = true
+		}
+		delete(v.edges, n)
+	}
+	v.edges[s] = merged
+	// Drop self-edges created by the merge.
+	for m := range merged {
+		if v.find(m) == s {
+			delete(merged, m)
+		}
+	}
+	v.stats.Merges++
+}
+
+// Canonical returns the entity a pnode currently belongs to.
+func (v *V1) Canonical(p pnode.PNode) pnode.PNode {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.find(p)
+}
+
+// HasCycle reports whether the canonical graph contains a cycle (it never
+// should; exported for the property tests).
+func (v *V1) HasCycle() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[pnode.PNode]int{}
+	var visit func(n pnode.PNode) bool
+	visit = func(n pnode.PNode) bool {
+		color[n] = gray
+		for m := range v.edges[n] {
+			cm := v.find(m)
+			if cm == n {
+				return true
+			}
+			switch color[cm] {
+			case gray:
+				return true
+			case white:
+				if visit(cm) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for n := range v.edges {
+		if color[n] == white {
+			if visit(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the counters.
+func (v *V1) Stats() V1Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// FeedRecord lets the ablation bench drive V1 with the same record stream
+// the v2 analyzer sees: INPUT records become edges, others are counted.
+func (v *V1) FeedRecord(r record.Record) {
+	if dep, ok := r.Value.AsRef(); ok && r.Attr == record.AttrInput {
+		v.AddDep(r.Subject.PNode, dep.PNode)
+		return
+	}
+	v.mu.Lock()
+	v.stats.Records++
+	v.mu.Unlock()
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Overheads are scale-sensitive (record counts are workload-shaped, base
+// time grows with data), so the shape assertions run at a moderate scale
+// and use generous bands; cmd/passbench -scale 0.4 gives the calibrated
+// numbers.
+const testScale = 0.15
+
+func TestTable2LocalShape(t *testing.T) {
+	rows, err := Table2Local(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Base <= 0 || r.With <= 0 {
+			t.Fatalf("%s: zero elapsed time (base=%v with=%v)", r.Name, r.Base, r.With)
+		}
+		if r.OverheadPct < -1 {
+			t.Fatalf("%s: provenance made it faster?! %v", r.Name, r.OverheadPct)
+		}
+	}
+	// Shape assertions from the paper: I/O- and metadata-heavy loads pay
+	// double-digit overheads, CPU-bound loads pay almost nothing.
+	if byName["Blast"].OverheadPct > 5 {
+		t.Errorf("Blast overhead = %v, should be small (paper: 0.7%%)", byName["Blast"].OverheadPct)
+	}
+	if byName["PA-Kepler"].OverheadPct > 12 {
+		t.Errorf("PA-Kepler overhead = %v, should be small (paper: 1.4%%)", byName["PA-Kepler"].OverheadPct)
+	}
+	if byName["Mercurial Activity"].OverheadPct < byName["Blast"].OverheadPct {
+		t.Error("metadata-heavy Mercurial should pay more than CPU-bound Blast")
+	}
+	if byName["Linux Compile"].OverheadPct < byName["Blast"].OverheadPct {
+		t.Error("Compile should pay more than Blast")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.DataBytes <= 0 {
+			t.Fatalf("%s: no data bytes", r.Name)
+		}
+		if r.ProvBytes <= 0 {
+			t.Fatalf("%s: no provenance recorded", r.Name)
+		}
+		if r.ProvPlusIndex < r.ProvBytes {
+			t.Fatalf("%s: indexes negative", r.Name)
+		}
+	}
+	// Postmark moves megabytes per provenance record: tiny relative
+	// overhead. Compile produces many small objects: the largest.
+	if byName["Postmark"].TotalPct > byName["Linux Compile"].TotalPct {
+		t.Error("Postmark space overhead should be far below Compile's")
+	}
+}
+
+func TestTable1RecordTypes(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"PA-NFS":    {"BEGINTXN", "ENDTXN", "FREEZE"},
+		"PA-Kepler": {"INPUT", "NAME", "PARAMS", "TYPE"},
+		"PA-links":  {"CURRENT_URL", "FILE_URL", "INPUT", "TYPE", "VISITED_URL"},
+		"PA-Python": {"INPUT", "NAME", "TYPE"},
+	}
+	for app, wantTypes := range want {
+		got := tab[app]
+		for _, wt := range wantTypes {
+			found := false
+			for _, g := range got {
+				if g == wt {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: record type %s missing (got %v)", app, wt, got)
+			}
+		}
+	}
+}
+
+func TestTable2NFSShape(t *testing.T) {
+	rows, err := Table2NFS(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Base <= 0 || r.With <= 0 {
+			t.Fatalf("%s: zero elapsed", r.Name)
+		}
+	}
+	if byName["Blast"].OverheadPct > 6 {
+		t.Errorf("Blast PA-NFS overhead = %v, should be small", byName["Blast"].OverheadPct)
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var sb strings.Builder
+	PrintTable2(&sb, "local", []Table2Row{{Name: "X", OverheadPct: 1.5, PaperOverhead: 2}})
+	PrintTable3(&sb, []Table3Row{{Name: "X", DataBytes: 100, ProvBytes: 5, ProvPlusIndex: 9, ProvPct: 5, TotalPct: 9}})
+	PrintTable1(&sb, map[string][]string{"PA-NFS": {"FREEZE"}})
+	out := sb.String()
+	for _, want := range []string{"Benchmark", "1.5%", "FREEZE", "Ext3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed tables missing %q", want)
+		}
+	}
+}

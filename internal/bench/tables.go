@@ -1,0 +1,331 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"passv2/internal/kepler"
+	"passv2/internal/links"
+	"passv2/internal/pnode"
+	"passv2/internal/provlog"
+	"passv2/internal/pyprov"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/web"
+	"passv2/pass"
+)
+
+// Table2Row is one elapsed-time comparison.
+type Table2Row struct {
+	Name          string
+	Base, With    time.Duration
+	OverheadPct   float64
+	PaperOverhead float64
+}
+
+// Table2Local regenerates the PASSv2-vs-ext3 half of Table 2.
+func Table2Local(scale float64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range Workloads {
+		base, _, err := RunLocal(w, scale, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+		}
+		withProv, _, err := RunLocal(w, scale, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s PASSv2: %w", w.Name, err)
+		}
+		rows = append(rows, Table2Row{
+			Name: w.Name, Base: base, With: withProv,
+			OverheadPct: Overhead(base, withProv), PaperOverhead: w.PaperLocal,
+		})
+	}
+	return rows, nil
+}
+
+// Table2NFS regenerates the PA-NFS-vs-NFS half of Table 2.
+func Table2NFS(scale float64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range Workloads {
+		base, m, srv, err := RunNFS(w, scale, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s NFS baseline: %w", w.Name, err)
+		}
+		m.Close()
+		srv.Close()
+		withProv, m2, srv2, err := RunNFS(w, scale, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s PA-NFS: %w", w.Name, err)
+		}
+		m2.Close()
+		srv2.Close()
+		rows = append(rows, Table2Row{
+			Name: w.Name, Base: base, With: withProv,
+			OverheadPct: Overhead(base, withProv), PaperOverhead: w.PaperNFS,
+		})
+	}
+	return rows, nil
+}
+
+// Table3Row is one space-overhead comparison.
+type Table3Row struct {
+	Name          string
+	DataBytes     int64
+	ProvBytes     int64
+	ProvPlusIndex int64
+	ProvPct       float64
+	TotalPct      float64
+	PaperProvPct  float64
+	PaperTotalPct float64
+}
+
+// Table3 regenerates the space-overhead table: the data footprint comes
+// from the baseline (ext3) run, the provenance and index bytes from the
+// PASSv2 run's Waldo database.
+func Table3(scale float64) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, w := range Workloads {
+		_, base, err := RunLocal(w, scale, false)
+		if err != nil {
+			return nil, err
+		}
+		baseData, _, _, err := base.SpaceStats()
+		if err != nil {
+			return nil, err
+		}
+		_, m, err := RunLocal(w, scale, true)
+		if err != nil {
+			return nil, err
+		}
+		_, prov, total, err := m.SpaceStats()
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Name: w.Name, DataBytes: baseData, ProvBytes: prov, ProvPlusIndex: total,
+			PaperProvPct: w.PaperProvPct, PaperTotalPct: w.PaperTotalPct,
+		}
+		if baseData > 0 {
+			row.ProvPct = 100 * float64(prov) / float64(baseData)
+			row.TotalPct = 100 * float64(total) / float64(baseData)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1 regenerates the record-type inventory: it runs each
+// provenance-aware application once and reports the distinct provenance
+// record types it generated, as in the paper's Table 1.
+func Table1() (map[string][]string, error) {
+	out := make(map[string][]string)
+
+	// PA-NFS: protocol record types (BEGINTXN/ENDTXN/FREEZE).
+	{
+		m := pass.NewMachine(pass.Config{Provenance: true})
+		srv, err := pass.NewFileServer(7, m.Clock, vfs.DefaultCostModel())
+		if err != nil {
+			return nil, err
+		}
+		if err := m.MountNFS("/mnt", srv.Addr()); err != nil {
+			return nil, err
+		}
+		p := m.Spawn("writer", nil, nil)
+		fd, err := p.Open("/mnt/f", vfs.OCreate|vfs.ORdWr)
+		if err != nil {
+			return nil, err
+		}
+		p.Write(fd, []byte("x"))
+		if _, err := p.PassFreezeFd(fd); err != nil {
+			return nil, err
+		}
+		p.Write(fd, []byte("y"))
+		// Large disclosed bundle forces a transaction.
+		kfd, _ := p.FDGet(fd)
+		big := &record.Bundle{}
+		for i := 0; i < 3000; i++ {
+			big.Add(record.New(kfd.PassFile().Ref(), record.Attr("PARAM"),
+				record.StringVal(fmt.Sprintf("value-%06d-padding-padding-padding", i))))
+		}
+		if _, err := p.PassWriteFd(fd, []byte("z"), big); err != nil {
+			return nil, err
+		}
+		types := map[string]bool{}
+		provlog.ScanAll(srv.Volume.Lower(), "/.prov", func(e provlog.Entry) error {
+			switch e.Type {
+			case provlog.EntryBeginTxn:
+				types["BEGINTXN"] = true
+			case provlog.EntryEndTxn:
+				types["ENDTXN"] = true
+			case provlog.EntryRecord:
+				if e.Rec.Attr == record.AttrFreeze {
+					types["FREEZE"] = true
+				}
+			}
+			return nil
+		})
+		out["PA-NFS"] = sortedKeys(types)
+		m.Close()
+		srv.Close()
+	}
+
+	// PA-Kepler: attrs on OPERATOR objects.
+	{
+		m := pass.NewMachine(pass.Config{Provenance: true})
+		m.AddVolume("/data", 1)
+		p := m.Spawn("kepler", nil, nil)
+		p.MkdirAll("/data/in")
+		p.MkdirAll("/data/out")
+		fd, _ := p.Open("/data/in/t.csv", vfs.OCreate|vfs.ORdWr)
+		p.Write(fd, []byte("1,2\n"))
+		p.Close(fd)
+		eng := kepler.NewEngine(p)
+		eng.AddRecorder(kepler.NewPASSRecorder(p, "/data"))
+		wf := kepler.NewWorkflow("t")
+		wf.Add(kepler.FileSource("src", "/data/in/t.csv"))
+		wf.Add(kepler.Stage("parse", []string{"in"}, "", 1))
+		wf.Add(kepler.FileSink("sink", "/data/out/t.out"))
+		wf.Connect("src", "out", "parse", "in")
+		wf.Connect("parse", "out", "sink", "in")
+		if err := eng.Run(wf); err != nil {
+			return nil, err
+		}
+		attrs, err := attrsOfType(m, record.TypeOperator)
+		if err != nil {
+			return nil, err
+		}
+		out["PA-Kepler"] = attrs
+	}
+
+	// PA-links: attrs on the session and link attrs on the download.
+	{
+		m := pass.NewMachine(pass.Config{Provenance: true})
+		m.AddVolume("/home", 1)
+		www := web.New()
+		www.AddPage("http://site.example/", "home", "http://site.example/dl")
+		www.AddDownload("http://site.example/dl", []byte("blob"))
+		p := m.Spawn("links", nil, nil)
+		b := links.New(p, www)
+		b.NewSession("/home")
+		b.Visit("http://site.example/")
+		fileRef, err := b.Download("http://site.example/dl", "/home/dl.bin")
+		if err != nil {
+			return nil, err
+		}
+		sessAttrs, err := attrsOfType(m, record.TypeSession)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Drain(); err != nil {
+			return nil, err
+		}
+		types := map[string]bool{}
+		for _, a := range sessAttrs {
+			types[a] = true
+		}
+		for _, r := range m.Waldo.DB.Attrs(fileRef) {
+			switch r.Attr {
+			case record.AttrFileURL, record.AttrCurrentURL, record.AttrInput:
+				types[string(r.Attr)] = true
+			}
+		}
+		out["PA-links"] = sortedKeys(types)
+	}
+
+	// PA-Python: attrs on FUNCTION and INVOCATION objects.
+	{
+		m := pass.NewMachine(pass.Config{Provenance: true})
+		m.AddVolume("/lab", 1)
+		p := m.Spawn("python", nil, nil)
+		rt := pyprov.New(p, "/lab")
+		if err := pyprov.GenerateLogs(rt, "/lab/xml", 4); err != nil {
+			return nil, err
+		}
+		if _, err := pyprov.AnalyzeCrackHeating(rt, "/lab/xml", "/lab/plot.dat", "high", false); err != nil {
+			return nil, err
+		}
+		fnAttrs, err := attrsOfType(m, record.TypeFunction)
+		if err != nil {
+			return nil, err
+		}
+		invAttrs, err := attrsOfType(m, record.TypeInvoke)
+		if err != nil {
+			return nil, err
+		}
+		types := map[string]bool{}
+		for _, a := range append(fnAttrs, invAttrs...) {
+			types[a] = true
+		}
+		out["PA-Python"] = sortedKeys(types)
+	}
+	return out, nil
+}
+
+// attrsOfType drains m and lists the distinct record attributes present on
+// objects of the given TYPE.
+func attrsOfType(m *pass.Machine, typ string) ([]string, error) {
+	if err := m.Drain(); err != nil {
+		return nil, err
+	}
+	db := m.Waldo.DB
+	set := map[string]bool{}
+	for _, pn := range db.ByType(typ) {
+		for _, v := range db.Versions(pn) {
+			for _, r := range db.Attrs(pnode.Ref{PNode: pn, Version: v}) {
+				set[string(r.Attr)] = true
+			}
+		}
+	}
+	return sortedKeys(set), nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- printing ---
+
+// PrintTable2 writes Table 2 rows in the paper's layout.
+func PrintTable2(w io.Writer, title string, rows []Table2Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-20s %12s %12s %10s %10s\n", "Benchmark", "Base", "Prov", "Overhead", "Paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %12s %12s %10s %10s\n",
+			r.Name, r.Base.Round(time.Millisecond), r.With.Round(time.Millisecond),
+			Pct(r.OverheadPct), Pct(r.PaperOverhead))
+	}
+}
+
+// PrintTable3 writes Table 3 rows in the paper's layout.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: Space overheads")
+	fmt.Fprintf(w, "%-20s %12s %18s %24s %10s %10s\n",
+		"Benchmark", "Ext3 (B)", "Provenance (B/%)", "Prov+Indexes (B/%)", "Paper-P", "Paper-T")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %12d %11d (%4.1f%%) %16d (%4.1f%%) %10s %10s\n",
+			r.Name, r.DataBytes, r.ProvBytes, r.ProvPct, r.ProvPlusIndex, r.TotalPct,
+			Pct(r.PaperProvPct), Pct(r.PaperTotalPct))
+	}
+}
+
+// PrintTable1 writes the record-type inventory.
+func PrintTable1(w io.Writer, t map[string][]string) {
+	fmt.Fprintln(w, "Table 1: Provenance records collected by each provenance-aware application")
+	for _, app := range []string{"PA-NFS", "PA-Kepler", "PA-links", "PA-Python"} {
+		fmt.Fprintf(w, "%-12s", app)
+		for i, typ := range t[app] {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprint(w, typ)
+		}
+		fmt.Fprintln(w)
+	}
+}

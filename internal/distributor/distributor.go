@@ -1,0 +1,263 @@
+// Package distributor implements the PASSv2 distributor (§5.5): processes,
+// pipes, non-PASS files and application phantom objects are first-class
+// provenance objects, but they are not persistent objects on a
+// PASS-enabled volume, so their provenance has nowhere obvious to live.
+// The distributor caches it until one of the objects becomes part of the
+// ancestry of a persistent object — at which point the cached records are
+// materialized to that object's volume — or until pass_sync forces them
+// out to a hinted volume.
+package distributor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// Sink is a PASS volume that can accept materialized provenance (a Lasagna
+// volume locally; the PA-NFS client forwards to the server's volume).
+type Sink interface {
+	FSName() string
+	VolumeID() uint16
+	AppendProvenance(recs []record.Record) error
+}
+
+// ErrNoVolume reports a pass_sync for an object with no assigned or hinted
+// volume and no default volume configured.
+var ErrNoVolume = errors.New("distributor: no PASS volume to store provenance")
+
+type objCache struct {
+	recs    []record.Record
+	flushed int    // prefix of recs already materialized
+	sink    Sink   // assigned volume, nil until first materialization
+	hint    uint16 // preferred volume from pass_mkobj
+}
+
+// Distributor caches and routes provenance for transient objects.
+type Distributor struct {
+	transientPrefix uint16
+
+	mu       sync.Mutex
+	sinks    map[uint16]Sink
+	defSink  Sink
+	objs     map[pnode.PNode]*objCache
+	cachedN  int64
+	flushedN int64
+}
+
+// New creates a distributor. transientPrefix is the kernel's transient
+// pnode space; every other prefix is assumed persistent.
+func New(transientPrefix uint16) *Distributor {
+	return &Distributor{
+		transientPrefix: transientPrefix,
+		sinks:           make(map[uint16]Sink),
+		objs:            make(map[pnode.PNode]*objCache),
+	}
+}
+
+// RegisterSink makes a PASS volume available for materialization.
+func (d *Distributor) RegisterSink(s Sink) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sinks[s.VolumeID()] = s
+	if d.defSink == nil {
+		d.defSink = s
+	}
+}
+
+// SetDefaultSink chooses the volume used when pass_sync has no better
+// information.
+func (d *Distributor) SetDefaultSink(s Sink) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.defSink = s
+}
+
+// IsTransient reports whether a pnode lives in the transient space.
+func (d *Distributor) IsTransient(pn pnode.PNode) bool {
+	return pnode.VolumePrefix(pn) == d.transientPrefix
+}
+
+// SetHint records the preferred volume for a transient object (the volume
+// argument of pass_mkobj).
+func (d *Distributor) SetHint(pn pnode.PNode, volumeID uint16) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cacheFor(pn).hint = volumeID
+}
+
+func (d *Distributor) cacheFor(pn pnode.PNode) *objCache {
+	c, ok := d.objs[pn]
+	if !ok {
+		c = &objCache{}
+		d.objs[pn] = c
+	}
+	return c
+}
+
+// Cache stores records whose subjects are transient objects.
+func (d *Distributor) Cache(recs ...record.Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range recs {
+		c := d.cacheFor(r.Subject.PNode)
+		c.recs = append(c.recs, r)
+		d.cachedN++
+		// An already-materialized object keeps its provenance flowing to
+		// its assigned volume as it accumulates more.
+		if c.sink != nil {
+			// Materialize eagerly: the object is known to matter.
+			d.flushLocked(r.Subject.PNode, c.sink, nil)
+		}
+	}
+}
+
+// BundleFor prepares the full WAP bundle for a pass_write to sink: the
+// given records plus the materialized closure of every transient ancestor
+// they reference, ancestors first. The closure records are marked flushed
+// (assigned to sink) so they are never written twice.
+func (d *Distributor) BundleFor(sink Sink, recs []record.Record) *record.Bundle {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := &record.Bundle{}
+	seen := make(map[pnode.PNode]bool)
+	for _, r := range recs {
+		if dep, ok := r.Value.AsRef(); ok {
+			d.closureLocked(sink, dep.PNode, b, seen)
+		}
+		b.Add(r)
+	}
+	return b
+}
+
+// closureLocked appends the unflushed cached records of pn (and its
+// transient ancestors, depth-first) to b, assigning pn to sink. Objects
+// assigned to a different volume get their tail flushed there instead.
+func (d *Distributor) closureLocked(sink Sink, pn pnode.PNode, b *record.Bundle, seen map[pnode.PNode]bool) {
+	if !d.IsTransient(pn) || seen[pn] {
+		return
+	}
+	seen[pn] = true
+	c, ok := d.objs[pn]
+	if !ok {
+		return
+	}
+	if c.sink != nil && c.sink != sink {
+		// Assigned elsewhere: its provenance lives on that volume.
+		d.flushLocked(pn, c.sink, seen)
+		return
+	}
+	c.sink = sink
+	pendingStart := c.flushed
+	c.flushed = len(c.recs)
+	for _, r := range c.recs[pendingStart:] {
+		if dep, ok := r.Value.AsRef(); ok {
+			d.closureLocked(sink, dep.PNode, b, seen)
+		}
+		b.Add(r)
+		d.flushedN++
+	}
+}
+
+// flushLocked writes pn's unflushed records (with transitive closure) to
+// its assigned sink directly.
+func (d *Distributor) flushLocked(pn pnode.PNode, sink Sink, seen map[pnode.PNode]bool) error {
+	if seen == nil {
+		seen = make(map[pnode.PNode]bool)
+	}
+	b := &record.Bundle{}
+	c := d.objs[pn]
+	if c == nil {
+		return nil
+	}
+	// Temporarily un-mark to reuse closureLocked's logic.
+	if c.sink == nil {
+		c.sink = sink
+	}
+	pendingStart := c.flushed
+	c.flushed = len(c.recs)
+	for _, r := range c.recs[pendingStart:] {
+		if dep, ok := r.Value.AsRef(); ok {
+			d.closureLocked(sink, dep.PNode, b, seen)
+		}
+		b.Add(r)
+		d.flushedN++
+	}
+	if b.Empty() {
+		return nil
+	}
+	return sink.AppendProvenance(b.Records)
+}
+
+// Sync is pass_sync: force a transient object's provenance (and ancestor
+// closure) to persistent storage even though nothing persistent depends on
+// it yet.
+func (d *Distributor) Sync(pn pnode.PNode) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.cacheFor(pn)
+	sink := c.sink
+	if sink == nil {
+		if s, ok := d.sinks[c.hint]; ok {
+			sink = s
+		} else {
+			sink = d.defSink
+		}
+	}
+	if sink == nil {
+		return fmt.Errorf("%w: object %v", ErrNoVolume, pn)
+	}
+	return d.flushLocked(pn, sink, nil)
+}
+
+// Drop discards the cached, unflushed provenance of a transient object
+// (the drop_inode path: an unlinked non-PASS file that never entered any
+// persistent ancestry needs no provenance).
+func (d *Distributor) Drop(pn pnode.PNode) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.objs[pn]
+	if !ok {
+		return
+	}
+	if c.sink == nil {
+		delete(d.objs, pn)
+		return
+	}
+	// Already materialized somewhere: keep the cache bookkeeping, drop
+	// only the unflushed tail.
+	c.recs = c.recs[:c.flushed]
+}
+
+// Pending reports how many cached records remain unflushed for pn.
+func (d *Distributor) Pending(pn pnode.PNode) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.objs[pn]
+	if !ok {
+		return 0
+	}
+	return len(c.recs) - c.flushed
+}
+
+// Stats reports total records cached and materialized.
+func (d *Distributor) Stats() (cached, flushed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cachedN, d.flushedN
+}
+
+// AssignedVolume reports the volume an object's provenance lives on, if
+// materialized.
+func (d *Distributor) AssignedVolume(pn pnode.PNode) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.objs[pn]
+	if !ok || c.sink == nil {
+		return "", false
+	}
+	return c.sink.FSName(), true
+}

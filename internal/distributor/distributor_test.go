@@ -1,0 +1,245 @@
+package distributor
+
+import (
+	"errors"
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+const transientPrefix = 0xFFFF
+
+// fakeSink collects materialized provenance.
+type fakeSink struct {
+	name string
+	id   uint16
+	recs []record.Record
+}
+
+func (s *fakeSink) FSName() string   { return s.name }
+func (s *fakeSink) VolumeID() uint16 { return s.id }
+func (s *fakeSink) AppendProvenance(recs []record.Record) error {
+	s.recs = append(s.recs, recs...)
+	return nil
+}
+
+func transient(n uint64, v uint32) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(uint64(transientPrefix)<<48 | n), Version: pnode.Version(v)}
+}
+
+func persistent(vol uint16, n uint64, v uint32) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(uint64(vol)<<48 | n), Version: pnode.Version(v)}
+}
+
+func TestIsTransient(t *testing.T) {
+	d := New(transientPrefix)
+	if !d.IsTransient(transient(1, 1).PNode) {
+		t.Fatal("transient not recognized")
+	}
+	if d.IsTransient(persistent(1, 1, 1).PNode) {
+		t.Fatal("persistent misclassified")
+	}
+}
+
+func TestBundleForMaterializesAncestorClosure(t *testing.T) {
+	d := New(transientPrefix)
+	sink := &fakeSink{name: "vol1", id: 1}
+	d.RegisterSink(sink)
+
+	proc := transient(10, 1)
+	parent := transient(11, 1)
+	file := persistent(1, 100, 1)
+
+	// Cached: parent's identity, proc's identity + dependency on parent.
+	d.Cache(record.New(parent, record.AttrName, record.StringVal("sh")))
+	d.Cache(record.New(proc, record.AttrName, record.StringVal("cc")))
+	d.Cache(record.Input(proc, parent))
+
+	// Now the file (persistent) depends on proc: the write's bundle must
+	// carry proc's and parent's records, ancestors first.
+	wr := record.Input(file, proc)
+	b := d.BundleFor(sink, []record.Record{wr})
+
+	if b.Len() != 4 {
+		t.Fatalf("bundle = %v", b)
+	}
+	// parent's record must precede proc's dependency on it; the file
+	// record must be last.
+	idx := map[string]int{}
+	for i, r := range b.Records {
+		idx[r.String()] = i
+	}
+	if !(idx[record.New(parent, record.AttrName, record.StringVal("sh")).String()] <
+		idx[record.Input(proc, parent).String()]) {
+		t.Fatalf("ancestor ordering violated: %v", b)
+	}
+	if b.Records[b.Len()-1].String() != wr.String() {
+		t.Fatalf("referencing record not last: %v", b)
+	}
+	if vol, ok := d.AssignedVolume(proc.PNode); !ok || vol != "vol1" {
+		t.Fatalf("proc not assigned: %q %v", vol, ok)
+	}
+}
+
+func TestBundleForNeverFlushesTwice(t *testing.T) {
+	d := New(transientPrefix)
+	sink := &fakeSink{name: "vol1", id: 1}
+	d.RegisterSink(sink)
+	proc := transient(10, 1)
+	file := persistent(1, 100, 1)
+	d.Cache(record.New(proc, record.AttrArgv, record.StringVal("cc a.c")))
+
+	b1 := d.BundleFor(sink, []record.Record{record.Input(file, proc)})
+	if b1.Len() != 2 {
+		t.Fatalf("first bundle = %v", b1)
+	}
+	b2 := d.BundleFor(sink, []record.Record{record.Input(pnode.Ref{PNode: file.PNode, Version: 2}, proc)})
+	if b2.Len() != 1 {
+		t.Fatalf("second bundle re-flushed the closure: %v", b2)
+	}
+}
+
+func TestLateRecordsFlowToAssignedVolume(t *testing.T) {
+	d := New(transientPrefix)
+	sink := &fakeSink{name: "vol1", id: 1}
+	d.RegisterSink(sink)
+	proc := transient(10, 1)
+	file := persistent(1, 100, 1)
+	d.Cache(record.New(proc, record.AttrName, record.StringVal("cc")))
+	d.BundleFor(sink, []record.Record{record.Input(file, proc)})
+
+	// Once materialized, further provenance of the proc is forwarded
+	// eagerly to its assigned volume.
+	late := record.Input(proc, persistent(1, 101, 1))
+	d.Cache(late)
+	if len(sink.recs) == 0 || !sink.recs[len(sink.recs)-1].Equal(late) {
+		t.Fatalf("late record not forwarded: %v", sink.recs)
+	}
+	if d.Pending(proc.PNode) != 0 {
+		t.Fatal("late record left pending")
+	}
+}
+
+func TestCrossVolumeAncestorStaysOnItsVolume(t *testing.T) {
+	d := New(transientPrefix)
+	vol1 := &fakeSink{name: "vol1", id: 1}
+	vol2 := &fakeSink{name: "vol2", id: 2}
+	d.RegisterSink(vol1)
+	d.RegisterSink(vol2)
+
+	proc := transient(10, 1)
+	d.Cache(record.New(proc, record.AttrName, record.StringVal("cp")))
+
+	// First the proc's provenance lands on vol1...
+	d.BundleFor(vol1, []record.Record{record.Input(persistent(1, 100, 1), proc)})
+	// ...then the proc writes to vol2. Its new records go to vol1 (its
+	// assigned volume), not into vol2's bundle.
+	d.Cache(record.Input(proc, persistent(2, 200, 1)))
+	// Reset pending state by caching something unflushed first.
+	b := d.BundleFor(vol2, []record.Record{record.Input(persistent(2, 201, 1), proc)})
+	if b.Len() != 1 {
+		t.Fatalf("vol2 bundle should only carry its own record: %v", b)
+	}
+	if vol, _ := d.AssignedVolume(proc.PNode); vol != "vol1" {
+		t.Fatal("assignment moved")
+	}
+}
+
+func TestSyncUsesHintThenDefault(t *testing.T) {
+	d := New(transientPrefix)
+	vol1 := &fakeSink{name: "vol1", id: 1}
+	vol2 := &fakeSink{name: "vol2", id: 2}
+	d.RegisterSink(vol1) // becomes default
+	d.RegisterSink(vol2)
+
+	sess := transient(30, 1)
+	d.SetHint(sess.PNode, 2)
+	d.Cache(record.New(sess, record.AttrType, record.StringVal(record.TypeSession)))
+	if err := d.Sync(sess.PNode); err != nil {
+		t.Fatal(err)
+	}
+	if len(vol2.recs) != 1 || len(vol1.recs) != 0 {
+		t.Fatalf("hint ignored: vol1=%d vol2=%d", len(vol1.recs), len(vol2.recs))
+	}
+
+	other := transient(31, 1)
+	d.Cache(record.New(other, record.AttrType, record.StringVal(record.TypeDataset)))
+	if err := d.Sync(other.PNode); err != nil {
+		t.Fatal(err)
+	}
+	if len(vol1.recs) != 1 {
+		t.Fatal("default sink not used")
+	}
+}
+
+func TestSyncWithoutAnyVolumeFails(t *testing.T) {
+	d := New(transientPrefix)
+	obj := transient(1, 1)
+	d.Cache(record.New(obj, record.AttrType, record.StringVal("X")))
+	if err := d.Sync(obj.PNode); !errors.Is(err, ErrNoVolume) {
+		t.Fatalf("want ErrNoVolume, got %v", err)
+	}
+}
+
+func TestDropDiscardsUnflushedOnly(t *testing.T) {
+	d := New(transientPrefix)
+	sink := &fakeSink{name: "vol1", id: 1}
+	d.RegisterSink(sink)
+	tmp := transient(40, 1)
+	d.Cache(record.New(tmp, record.AttrName, record.StringVal("/tmp/x")))
+	d.Drop(tmp.PNode)
+	if d.Pending(tmp.PNode) != 0 {
+		t.Fatal("drop left records pending")
+	}
+	// Dropped object's provenance never materializes.
+	b := d.BundleFor(sink, []record.Record{record.Input(persistent(1, 1, 1), tmp)})
+	if b.Len() != 1 {
+		t.Fatalf("dropped provenance leaked: %v", b)
+	}
+	// Dropping an unknown object is a no-op.
+	d.Drop(transient(41, 1).PNode)
+}
+
+func TestDiamondClosureEmittedOnce(t *testing.T) {
+	d := New(transientPrefix)
+	sink := &fakeSink{name: "vol1", id: 1}
+	d.RegisterSink(sink)
+	// proc1 and proc2 both depend on parent; file depends on both.
+	parent := transient(50, 1)
+	p1, p2 := transient(51, 1), transient(52, 1)
+	d.Cache(record.New(parent, record.AttrName, record.StringVal("sh")))
+	d.Cache(record.Input(p1, parent))
+	d.Cache(record.Input(p2, parent))
+	file := persistent(1, 60, 1)
+	b := d.BundleFor(sink, []record.Record{
+		record.Input(file, p1),
+		record.Input(file, p2),
+	})
+	count := 0
+	want := record.New(parent, record.AttrName, record.StringVal("sh")).String()
+	for _, r := range b.Records {
+		if r.String() == want {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("parent record emitted %d times: %v", count, b)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("bundle = %v", b)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New(transientPrefix)
+	sink := &fakeSink{name: "v", id: 1}
+	d.RegisterSink(sink)
+	p := transient(1, 1)
+	d.Cache(record.New(p, record.AttrName, record.StringVal("x")))
+	d.BundleFor(sink, []record.Record{record.Input(persistent(1, 2, 1), p)})
+	cached, flushed := d.Stats()
+	if cached != 1 || flushed != 1 {
+		t.Fatalf("stats = %d,%d", cached, flushed)
+	}
+}

@@ -1,0 +1,283 @@
+package dpapi_test
+
+import (
+	"testing"
+
+	"passv2/internal/dpapi"
+	"passv2/internal/kernel"
+	"passv2/internal/lasagna"
+	"passv2/internal/nfs"
+	"passv2/internal/observer"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// The DPAPI is "the central API inside PASSv2" (§5.2): every layer that
+// exports it must behave the same way, or layers cannot stack freely.
+// This conformance suite runs one contract against every implementation
+// of the object/layer surface in the repository:
+//
+//   - Lasagna files and Lasagna phantom objects (local storage)
+//   - PA-NFS remote files and remote phantoms (the protocol)
+//   - observer phantom objects (the kernel's pass_mkobj)
+
+type objUnderTest struct {
+	name string
+	mk   func(t *testing.T) (obj passObj, cleanup func())
+	// phantoms have no backing data limit semantics; files do.
+	isPhantom bool
+}
+
+// passObj is the common surface of vfs.PassFile and dpapi.Object.
+type passObj interface {
+	Ref() pnode.Ref
+	PassRead(p []byte, off int64) (int, pnode.Ref, error)
+	PassWrite(p []byte, off int64, b *record.Bundle) (int, error)
+	PassFreeze() (pnode.Version, error)
+}
+
+func implementations() []objUnderTest {
+	return []objUnderTest{
+		{
+			name: "lasagna-file",
+			mk: func(t *testing.T) (passObj, func()) {
+				vol := newVolume(t)
+				f, err := vol.Open("/obj", vfs.OCreate|vfs.ORdWr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return f.(vfs.PassFile), func() { f.Close() }
+			},
+		},
+		{
+			name:      "lasagna-phantom",
+			isPhantom: true,
+			mk: func(t *testing.T) (passObj, func()) {
+				vol := newVolume(t)
+				ph, err := vol.PassMkobj()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ph, func() {}
+			},
+		},
+		{
+			name: "nfs-file",
+			mk: func(t *testing.T) (passObj, func()) {
+				vol := newVolume(t)
+				srv, err := nfs.NewServer(vol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := nfs.DialPass(srv.Addr(), nil, nfs.DefaultNetCost())
+				if err != nil {
+					srv.Close()
+					t.Fatal(err)
+				}
+				f, err := c.Open("/obj", vfs.OCreate|vfs.ORdWr)
+				if err != nil {
+					srv.Close()
+					t.Fatal(err)
+				}
+				return f.(vfs.PassFile), func() { f.Close(); c.Close(); srv.Close() }
+			},
+		},
+		{
+			name:      "nfs-phantom",
+			isPhantom: true,
+			mk: func(t *testing.T) (passObj, func()) {
+				vol := newVolume(t)
+				srv, err := nfs.NewServer(vol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := nfs.DialPass(srv.Addr(), nil, nfs.DefaultNetCost())
+				if err != nil {
+					srv.Close()
+					t.Fatal(err)
+				}
+				ph, err := c.PassMkobj()
+				if err != nil {
+					srv.Close()
+					t.Fatal(err)
+				}
+				return ph, func() { c.Close(); srv.Close() }
+			},
+		},
+		{
+			name:      "observer-phantom",
+			isPhantom: true,
+			mk: func(t *testing.T) (passObj, func()) {
+				k := kernel.New(nil)
+				k.Mount("/", vfs.NewMemFS("root", nil))
+				vol := newVolume(t)
+				k.Mount("/data", vol)
+				o := observer.New(k)
+				o.RegisterVolume(vol)
+				p := k.Spawn(nil, "app", nil, nil)
+				obj, err := p.PassMkobj("/data")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return obj.(dpapi.Object), func() { obj.Close() }
+			},
+		},
+	}
+}
+
+func newVolume(t *testing.T) *lasagna.FS {
+	t.Helper()
+	vol, err := lasagna.New("vol", lasagna.Config{Lower: vfs.NewMemFS("lower", nil), VolumeID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vol
+}
+
+func TestConformanceIdentityIsStable(t *testing.T) {
+	for _, impl := range implementations() {
+		t.Run(impl.name, func(t *testing.T) {
+			obj, cleanup := impl.mk(t)
+			defer cleanup()
+			r1 := obj.Ref()
+			if !r1.IsValid() {
+				t.Fatal("fresh object must have a valid ref")
+			}
+			if r1.Version != 1 {
+				t.Fatalf("fresh object version = %v, want 1", r1.Version)
+			}
+			if obj.Ref() != r1 {
+				t.Fatal("Ref must be stable without writes/freezes")
+			}
+		})
+	}
+}
+
+func TestConformanceWriteThenReadWithIdentity(t *testing.T) {
+	for _, impl := range implementations() {
+		t.Run(impl.name, func(t *testing.T) {
+			obj, cleanup := impl.mk(t)
+			defer cleanup()
+			payload := []byte("dpapi-payload")
+			n, err := obj.PassWrite(payload, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(payload) {
+				t.Fatalf("short write: %d", n)
+			}
+			buf := make([]byte, 64)
+			rn, ref, err := obj.PassRead(buf, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(buf[:rn]) != string(payload) {
+				t.Fatalf("read back %q", buf[:rn])
+			}
+			if ref.PNode != obj.Ref().PNode {
+				t.Fatalf("pass_read identity %v != object %v", ref, obj.Ref())
+			}
+		})
+	}
+}
+
+func TestConformanceFreezeMonotonic(t *testing.T) {
+	for _, impl := range implementations() {
+		t.Run(impl.name, func(t *testing.T) {
+			obj, cleanup := impl.mk(t)
+			defer cleanup()
+			prev := obj.Ref().Version
+			for i := 0; i < 5; i++ {
+				v, err := obj.PassFreeze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != prev+1 {
+					t.Fatalf("freeze %d: version %v, want %v", i, v, prev+1)
+				}
+				prev = v
+			}
+			if obj.Ref().Version != prev {
+				t.Fatalf("Ref version %v after freezes, want %v", obj.Ref().Version, prev)
+			}
+		})
+	}
+}
+
+func TestConformanceProvenanceOnlyWrite(t *testing.T) {
+	for _, impl := range implementations() {
+		t.Run(impl.name, func(t *testing.T) {
+			obj, cleanup := impl.mk(t)
+			defer cleanup()
+			dep := pnode.Ref{PNode: 0xFFFF000000000123, Version: 1}
+			n, err := obj.PassWrite(nil, 0, record.NewBundle(record.Input(obj.Ref(), dep)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 0 {
+				t.Fatalf("provenance-only write returned n=%d", n)
+			}
+			// The object's data is untouched.
+			buf := make([]byte, 8)
+			rn, _, err := obj.PassRead(buf, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rn != 0 {
+				t.Fatalf("provenance-only write produced data: %q", buf[:rn])
+			}
+		})
+	}
+}
+
+func TestConformanceOffsetWrites(t *testing.T) {
+	for _, impl := range implementations() {
+		t.Run(impl.name, func(t *testing.T) {
+			obj, cleanup := impl.mk(t)
+			defer cleanup()
+			if _, err := obj.PassWrite([]byte("AA"), 0, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := obj.PassWrite([]byte("BB"), 4, nil); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 6)
+			n, _, err := obj.PassRead(buf, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := "AA\x00\x00BB"
+			if string(buf[:n]) != want {
+				t.Fatalf("sparse content %q, want %q", buf[:n], want)
+			}
+		})
+	}
+}
+
+func TestDiscloseHelper(t *testing.T) {
+	vol := newVolume(t)
+	ph, err := vol.PassMkobj()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dpapi.Disclose(ph); err != nil {
+		t.Fatal("empty disclose must be a no-op")
+	}
+	if err := dpapi.Disclose(ph, record.New(ph.Ref(), record.AttrType, record.StringVal("X"))); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := vol.LogRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Subject.PNode == ph.Ref().PNode && r.Attr == record.AttrType {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("disclosed record missing")
+	}
+}

@@ -1,0 +1,97 @@
+// Package dpapi defines the Disclosed Provenance API (DPAPI), the central
+// API inside PASSv2 (§5.2). It allows transfer of provenance both among
+// the components of the system and between layers: applications use it to
+// disclose provenance to the kernel, the kernel uses it to send provenance
+// to the file system, and an NFS client analyzer uses it to stack on a
+// server analyzer.
+//
+// The DPAPI consists of six calls — pass_read, pass_write, pass_freeze,
+// pass_mkobj, pass_reviveobj and pass_sync — plus two concepts defined in
+// sibling packages: the pnode number (package pnode) and the provenance
+// record (package record).
+package dpapi
+
+import (
+	"errors"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// Errors shared by DPAPI implementations.
+var (
+	// ErrNotPassVolume reports a DPAPI call against an object on a
+	// volume that is not provenance-aware.
+	ErrNotPassVolume = errors.New("dpapi: not a PASS-enabled volume")
+	// ErrStale reports a pass_reviveobj with a pnode the volume does not
+	// know.
+	ErrStale = errors.New("dpapi: stale or unknown pnode")
+	// ErrWrongLayer reports an object handle passed to a layer that did
+	// not create it.
+	ErrWrongLayer = errors.New("dpapi: object belongs to a different layer")
+	// ErrClosed reports use of a closed object handle.
+	ErrClosed = errors.New("dpapi: object handle is closed")
+)
+
+// Object is a handle to a provenance-bearing object within some layer.
+// Files, processes, pipes and application-created phantom objects (browser
+// sessions, data sets, operators) are all Objects. Handles are referenced
+// "like files" (§5.2): they support provenance-coupled reads and writes.
+type Object interface {
+	// Ref returns the object's current identity: pnode number and
+	// current version.
+	Ref() pnode.Ref
+
+	// PassRead reads data and returns the exact identity (pnode and
+	// version as of the moment of the read) of what was read, so callers
+	// can construct records that accurately describe their inputs.
+	PassRead(p []byte, off int64) (n int, ref pnode.Ref, err error)
+
+	// PassWrite writes a data buffer together with a bundle of
+	// provenance records describing it, as one unit. Either may be
+	// empty: a data-less PassWrite discloses provenance only, a
+	// bundle-less PassWrite is an ordinary write.
+	PassWrite(p []byte, off int64, b *record.Bundle) (n int, err error)
+
+	// PassFreeze requests a new version of the object, breaking a
+	// would-be cycle. It returns the new current version.
+	PassFreeze() (pnode.Version, error)
+
+	// PassSync forces the provenance associated with this object to
+	// persistent storage even if the object is not (yet) in the ancestry
+	// of any persistent object.
+	PassSync() error
+
+	// Close releases the handle. Closing does not destroy the object's
+	// provenance.
+	Close() error
+}
+
+// Layer is anything that can accept DPAPI calls from the layer above:
+// PASS-enabled file systems (Lasagna), the PA-NFS client, the kernel
+// observer, a provenance-aware interpreter. Layers stack: a component that
+// both accepts and issues DPAPI calls is a middle layer (§5.2 allows an
+// arbitrary number of them).
+type Layer interface {
+	// PassMkobj creates a phantom object: one that exists at this layer
+	// (a browser session, a data set, a workflow operator) but has no
+	// manifestation below it. The object can then appear in dependency
+	// records linking names at one level to names at another.
+	PassMkobj() (Object, error)
+
+	// PassReviveObj returns a handle to an object previously created by
+	// PassMkobj, identified by pnode number and version. It was added to
+	// the DPAPI when provenance-aware applications (Firefox sessions,
+	// §6.5) needed to record further provenance against objects that
+	// outlive the handle that created them.
+	PassReviveObj(ref pnode.Ref) (Object, error)
+}
+
+// Disclose is a convenience helper: write a provenance-only bundle to obj.
+func Disclose(obj Object, recs ...record.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	_, err := obj.PassWrite(nil, 0, record.NewBundle(recs...))
+	return err
+}

@@ -1,0 +1,224 @@
+// Package graph provides the versioned provenance-graph view the query
+// engine runs over. A Graph merges one or more Waldo databases — that is
+// how a query spans layers and machines: the anomaly use case (§3.1) joins
+// Kepler provenance on the workstation's volume with file provenance from
+// two NFS servers' volumes.
+package graph
+
+import (
+	"sort"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// Source is one provenance database (waldo.DB implements it).
+type Source interface {
+	Attrs(ref pnode.Ref) []record.Record
+	AttrValues(ref pnode.Ref, attr record.Attr) []record.Value
+	Inputs(ref pnode.Ref) []pnode.Ref
+	Dependents(ref pnode.Ref) []pnode.Ref
+	Versions(pn pnode.PNode) []pnode.Version
+	LatestVersion(pn pnode.PNode) (pnode.Version, bool)
+	ByName(name string) []pnode.PNode
+	ByType(typ string) []pnode.PNode
+	NameOf(pn pnode.PNode) (string, bool)
+	TypeOf(pn pnode.PNode) (string, bool)
+	AllPNodes() []pnode.PNode
+	AllRefs() []pnode.Ref
+}
+
+// Graph is a union view over sources.
+type Graph struct {
+	srcs []Source
+}
+
+// New builds a graph over the given sources.
+func New(srcs ...Source) *Graph { return &Graph{srcs: srcs} }
+
+// AddSource attaches another database.
+func (g *Graph) AddSource(s Source) { g.srcs = append(g.srcs, s) }
+
+// Inputs returns the union of direct ancestors across sources.
+func (g *Graph) Inputs(ref pnode.Ref) []pnode.Ref {
+	return g.unionRefs(func(s Source) []pnode.Ref { return s.Inputs(ref) })
+}
+
+// Dependents returns the union of direct descendants across sources.
+func (g *Graph) Dependents(ref pnode.Ref) []pnode.Ref {
+	return g.unionRefs(func(s Source) []pnode.Ref { return s.Dependents(ref) })
+}
+
+func (g *Graph) unionRefs(f func(Source) []pnode.Ref) []pnode.Ref {
+	seen := make(map[pnode.Ref]bool)
+	var out []pnode.Ref
+	for _, s := range g.srcs {
+		for _, r := range f(s) {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AttrValues returns the values of attr on exactly this version, across
+// sources.
+func (g *Graph) AttrValues(ref pnode.Ref, attr record.Attr) []record.Value {
+	var out []record.Value
+	for _, s := range g.srcs {
+		out = append(out, s.AttrValues(ref, attr)...)
+	}
+	return out
+}
+
+// AttrValuesAnyVersion falls back across the object's versions when the
+// exact version carries no value (names are typically recorded at v1).
+func (g *Graph) AttrValuesAnyVersion(ref pnode.Ref, attr record.Attr) []record.Value {
+	if vals := g.AttrValues(ref, attr); len(vals) > 0 {
+		return vals
+	}
+	var out []record.Value
+	for _, v := range g.Versions(ref.PNode) {
+		if v == ref.Version {
+			continue
+		}
+		out = append(out, g.AttrValues(pnode.Ref{PNode: ref.PNode, Version: v}, attr)...)
+	}
+	return out
+}
+
+// Attrs returns all attribute records on this version across sources.
+func (g *Graph) Attrs(ref pnode.Ref) []record.Record {
+	var out []record.Record
+	for _, s := range g.srcs {
+		out = append(out, s.Attrs(ref)...)
+	}
+	return out
+}
+
+// Versions lists all versions of pn across sources, ascending.
+func (g *Graph) Versions(pn pnode.PNode) []pnode.Version {
+	seen := make(map[pnode.Version]bool)
+	var out []pnode.Version
+	for _, s := range g.srcs {
+		for _, v := range s.Versions(pn) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ByName returns pnodes bearing the exact name in any source.
+func (g *Graph) ByName(name string) []pnode.PNode {
+	return g.unionPNs(func(s Source) []pnode.PNode { return s.ByName(name) })
+}
+
+// ByType returns pnodes of the given TYPE in any source.
+func (g *Graph) ByType(typ string) []pnode.PNode {
+	return g.unionPNs(func(s Source) []pnode.PNode { return s.ByType(typ) })
+}
+
+// AllPNodes lists every pnode in every source.
+func (g *Graph) AllPNodes() []pnode.PNode {
+	return g.unionPNs(func(s Source) []pnode.PNode { return s.AllPNodes() })
+}
+
+func (g *Graph) unionPNs(f func(Source) []pnode.PNode) []pnode.PNode {
+	seen := make(map[pnode.PNode]bool)
+	var out []pnode.PNode
+	for _, s := range g.srcs {
+		for _, pn := range f(s) {
+			if !seen[pn] {
+				seen[pn] = true
+				out = append(out, pn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllRefs lists every (pnode, version) in every source.
+func (g *Graph) AllRefs() []pnode.Ref {
+	seen := make(map[pnode.Ref]bool)
+	var out []pnode.Ref
+	for _, s := range g.srcs {
+		for _, r := range s.AllRefs() {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// NameOf returns the best-known name for a pnode.
+func (g *Graph) NameOf(pn pnode.PNode) (string, bool) {
+	for _, s := range g.srcs {
+		if n, ok := s.NameOf(pn); ok {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// TypeOf returns the recorded TYPE of a pnode.
+func (g *Graph) TypeOf(pn pnode.PNode) (string, bool) {
+	for _, s := range g.srcs {
+		if t, ok := s.TypeOf(pn); ok {
+			return t, true
+		}
+	}
+	return "", false
+}
+
+// Ancestors returns the full ancestry closure of ref (not including ref).
+func (g *Graph) Ancestors(ref pnode.Ref) []pnode.Ref {
+	return g.closure(ref, g.Inputs)
+}
+
+// Descendants returns the full descendant closure of ref (not including
+// ref) — the malware-spread question from §3.2.
+func (g *Graph) Descendants(ref pnode.Ref) []pnode.Ref {
+	return g.closure(ref, g.Dependents)
+}
+
+func (g *Graph) closure(start pnode.Ref, step func(pnode.Ref) []pnode.Ref) []pnode.Ref {
+	seen := map[pnode.Ref]bool{start: true}
+	var out []pnode.Ref
+	queue := step(start)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		queue = append(queue, step(n)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// HasPath reports whether dst is in src's ancestry.
+func (g *Graph) HasPath(src, dst pnode.Ref) bool {
+	if src == dst {
+		return true
+	}
+	for _, a := range g.Ancestors(src) {
+		if a == dst {
+			return true
+		}
+	}
+	return false
+}

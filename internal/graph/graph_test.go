@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+func ref(p uint64, v uint32) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(p), Version: pnode.Version(v)}
+}
+
+func chainDB() *waldo.DB {
+	db := waldo.NewDB()
+	// c ← b ← a
+	db.Apply(record.Input(ref(3, 1), ref(2, 1)))
+	db.Apply(record.Input(ref(2, 1), ref(1, 1)))
+	db.Apply(record.New(ref(1, 1), record.AttrName, record.StringVal("a")))
+	db.Apply(record.New(ref(1, 1), record.AttrType, record.StringVal(record.TypeFile)))
+	return db
+}
+
+func TestAncestorsAndDescendants(t *testing.T) {
+	g := New(chainDB())
+	anc := g.Ancestors(ref(3, 1))
+	if len(anc) != 2 {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	desc := g.Descendants(ref(1, 1))
+	if len(desc) != 2 {
+		t.Fatalf("descendants = %v", desc)
+	}
+	if !g.HasPath(ref(3, 1), ref(1, 1)) {
+		t.Fatal("path c→a missing")
+	}
+	if g.HasPath(ref(1, 1), ref(3, 1)) {
+		t.Fatal("ancestry is directional")
+	}
+	if !g.HasPath(ref(3, 1), ref(3, 1)) {
+		t.Fatal("trivial path")
+	}
+}
+
+func TestMultiSourceUnionDedup(t *testing.T) {
+	db1, db2 := chainDB(), waldo.NewDB()
+	// db2 repeats one edge and adds another ancestor.
+	db2.Apply(record.Input(ref(3, 1), ref(2, 1)))
+	db2.Apply(record.Input(ref(3, 1), ref(9, 1)))
+	g := New(db1, db2)
+	in := g.Inputs(ref(3, 1))
+	if len(in) != 2 {
+		t.Fatalf("union inputs = %v", in)
+	}
+	if len(g.AllPNodes()) != 4 {
+		t.Fatalf("AllPNodes = %v", g.AllPNodes())
+	}
+}
+
+func TestAttrValuesAnyVersionFallback(t *testing.T) {
+	db := waldo.NewDB()
+	db.Apply(record.New(ref(5, 1), record.AttrName, record.StringVal("orig")))
+	db.Apply(record.Input(ref(5, 2), ref(5, 1)))
+	g := New(db)
+	// Version 2 has no NAME of its own; fallback finds v1's.
+	vals := g.AttrValuesAnyVersion(ref(5, 2), record.AttrName)
+	if len(vals) != 1 {
+		t.Fatalf("fallback vals = %v", vals)
+	}
+	if s, _ := vals[0].AsString(); s != "orig" {
+		t.Fatalf("fallback = %q", s)
+	}
+}
+
+func TestNameTypeAcrossSources(t *testing.T) {
+	db1, db2 := waldo.NewDB(), waldo.NewDB()
+	db2.Apply(record.New(ref(7, 1), record.AttrName, record.StringVal("remote")))
+	g := New(db1, db2)
+	if n, ok := g.NameOf(7); !ok || n != "remote" {
+		t.Fatalf("NameOf across sources = %q,%v", n, ok)
+	}
+	if _, ok := g.TypeOf(7); ok {
+		t.Fatal("TypeOf should miss")
+	}
+	if got := g.ByName("remote"); len(got) != 1 {
+		t.Fatalf("ByName = %v", got)
+	}
+}
+
+func TestAddSource(t *testing.T) {
+	g := New(chainDB())
+	extra := waldo.NewDB()
+	extra.Apply(record.Input(ref(1, 1), ref(99, 1)))
+	g.AddSource(extra)
+	anc := g.Ancestors(ref(3, 1))
+	if len(anc) != 3 {
+		t.Fatalf("ancestors after AddSource = %v", anc)
+	}
+}

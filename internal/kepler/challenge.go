@@ -1,0 +1,154 @@
+package kepler
+
+import (
+	"crypto/md5"
+	"fmt"
+
+	"passv2/internal/pnode"
+)
+
+// This file builds the First Provenance Challenge fMRI workflow [24], the
+// workload the paper runs in its §3.1 anomaly use case and whose final
+// output — atlas-x.gif — stars in the §5.7 sample query:
+//
+//	anatomy[1..4].img + reference.img
+//	    → align_warp ×4 → warp[i]
+//	    → reslice ×4    → resliced[i]
+//	    → softmean      → atlas.img
+//	    → slicer ×3     → atlas-{x,y,z}.img
+//	    → convert ×3    → atlas-{x,y,z}.gif
+//
+// The image processing itself is simulated: each stage derives output
+// bytes deterministically (MD5 chaining) from its input bytes, so a
+// changed input changes every downstream artifact, which is exactly the
+// property the anomaly use case needs. Each stage charges CPU
+// proportional to the data processed.
+
+// ChallengeConfig locates the workflow's storage. The paper's Figure 1
+// scenario puts Input on one NFS server, Work on the local disk, and Out
+// on a second NFS server.
+type ChallengeConfig struct {
+	Input string // directory holding anatomy1..4.img and reference.img
+	Work  string // directory for intermediate files
+	Out   string // directory for the atlas-{x,y,z}.gif outputs
+}
+
+// ChallengeInputs lists the input files the workflow expects.
+func ChallengeInputs() []string {
+	return []string{"anatomy1.img", "anatomy2.img", "anatomy3.img", "anatomy4.img", "reference.img"}
+}
+
+// ChallengeOutputs lists the final output file names.
+func ChallengeOutputs() []string {
+	return []string{"atlas-x.gif", "atlas-y.gif", "atlas-z.gif"}
+}
+
+// derive simulates an image-processing stage deterministically.
+func derive(stage string, inputs ...[]byte) []byte {
+	h := md5.New()
+	h.Write([]byte(stage))
+	for _, in := range inputs {
+		h.Write(in)
+	}
+	sum := h.Sum(nil)
+	// Produce a recognizable, stage-tagged body.
+	out := append([]byte(stage+":"), sum...)
+	return out
+}
+
+// FileSource builds an operator that reads path and emits it on port
+// "out".
+func FileSource(name, path string) *Operator {
+	return &Operator{
+		Name:   name,
+		Params: map[string]string{"fileName": path},
+		Out:    []string{"out"},
+		Fire: func(ctx *Ctx, in map[string]Token) (map[string]Token, error) {
+			data, ref, err := ctx.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			t := Token{Data: data}
+			if ref.IsValid() {
+				t.Refs = append(t.Refs, ref)
+			}
+			return map[string]Token{"out": t}, nil
+		},
+	}
+}
+
+// FileSink builds an operator that writes its "in" token to path.
+func FileSink(name, path string) *Operator {
+	return &Operator{
+		Name:   name,
+		Params: map[string]string{"fileName": path, "confirmOverwrite": "false"},
+		In:     []string{"in"},
+		Fire: func(ctx *Ctx, in map[string]Token) (map[string]Token, error) {
+			return nil, ctx.WriteFile(path, in["in"].Data)
+		},
+	}
+}
+
+// Stage builds a computation operator: it consumes the named input ports,
+// derives output bytes, optionally writes them to file, and emits them on
+// "out".
+func Stage(name string, inPorts []string, file string, cpuFactor int64) *Operator {
+	return &Operator{
+		Name:   name,
+		Params: map[string]string{"algorithm": name},
+		In:     inPorts,
+		Out:    []string{"out"},
+		Fire: func(ctx *Ctx, in map[string]Token) (map[string]Token, error) {
+			var bodies [][]byte
+			var refs []pnode.Ref
+			total := 0
+			for _, port := range inPorts {
+				tok := in[port]
+				bodies = append(bodies, tok.Data)
+				total += len(tok.Data)
+				refs = append(refs, tok.Refs...)
+			}
+			ctx.Compute(int64(total) * cpuFactor)
+			out := derive(name, bodies...)
+			if file != "" {
+				if err := ctx.WriteFile(file, out); err != nil {
+					return nil, err
+				}
+			}
+			return map[string]Token{"out": {Data: out, Refs: refs}}, nil
+		},
+	}
+}
+
+// BuildChallenge assembles the Provenance Challenge workflow over cfg.
+func BuildChallenge(cfg ChallengeConfig) *Workflow {
+	wf := NewWorkflow("provenance-challenge-1")
+	join := func(dir, name string) string { return dir + "/" + name }
+
+	wf.Add(FileSource("refsrc", join(cfg.Input, "reference.img")))
+	for i := 1; i <= 4; i++ {
+		wf.Add(FileSource(fmt.Sprintf("anatomy%dsrc", i), join(cfg.Input, fmt.Sprintf("anatomy%d.img", i))))
+		wf.Add(Stage(fmt.Sprintf("align_warp%d", i), []string{"img", "ref"},
+			join(cfg.Work, fmt.Sprintf("warp%d.warp", i)), 3))
+		wf.Add(Stage(fmt.Sprintf("reslice%d", i), []string{"in"},
+			join(cfg.Work, fmt.Sprintf("resliced%d.img", i)), 2))
+		wf.Connect(fmt.Sprintf("anatomy%dsrc", i), "out", fmt.Sprintf("align_warp%d", i), "img")
+		wf.Connect("refsrc", "out", fmt.Sprintf("align_warp%d", i), "ref")
+		wf.Connect(fmt.Sprintf("align_warp%d", i), "out", fmt.Sprintf("reslice%d", i), "in")
+	}
+	wf.Add(Stage("softmean", []string{"in1", "in2", "in3", "in4"}, join(cfg.Work, "atlas.img"), 4))
+	for i := 1; i <= 4; i++ {
+		wf.Connect(fmt.Sprintf("reslice%d", i), "out", "softmean", fmt.Sprintf("in%d", i))
+	}
+	for _, axis := range []string{"x", "y", "z"} {
+		slicer := "slicer_" + axis
+		convert := "convert_" + axis
+		wf.Add(Stage(slicer, []string{"in"}, join(cfg.Work, "atlas-"+axis+".img"), 1))
+		wf.Add(Stage(convert, []string{"in"}, "", 1))
+		wf.Add(FileSink("sink_"+axis, join(cfg.Out, "atlas-"+axis+".gif")))
+		wf.Connect("softmean", "out", slicer, "in")
+		wf.Connect(slicer, "out", convert, "in")
+		wf.Connect(convert, "out", "sink_"+axis, "in")
+	}
+	return wf
+}

@@ -1,0 +1,276 @@
+// Package kepler implements the workflow-engine substrate of §6.2: a
+// dataflow engine in the style of the Kepler scientific workflow system
+// (operators with typed ports connected by channels, fired by a director
+// in dependency order) together with its provenance recording interface.
+//
+// Kepler records provenance for all communication between workflow
+// operators; the recording interface supports three backends, as in the
+// paper: a text file, a relational-style table, and — the point of the
+// exercise — PASSv2 via the DPAPI, in which every operator becomes a
+// pass_mkobj phantom object carrying NAME/TYPE/PARAMS records, and every
+// message adds an ancestry relationship between sender and recipient. The
+// engine's data source/sink operators open real files through the
+// simulated kernel, so system-level provenance accrues underneath at the
+// same time.
+package kepler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"passv2/internal/kernel"
+	"passv2/internal/pnode"
+	"passv2/internal/vfs"
+)
+
+// Token is a unit of data flowing between operators. It carries the
+// provenance references picked up along the way (file identities from
+// pass_read, operator identities from firings).
+type Token struct {
+	Data []byte
+	Refs []pnode.Ref
+}
+
+// Port names an operator port.
+type Port struct {
+	Operator string
+	Port     string
+}
+
+// Operator is one workflow stage.
+type Operator struct {
+	Name   string
+	Params map[string]string
+	In     []string
+	Out    []string
+	// Fire consumes one token set and produces outputs. ctx provides
+	// file and compute access routed through the engine's process.
+	Fire func(ctx *Ctx, in map[string]Token) (map[string]Token, error)
+}
+
+// Workflow is a directed acyclic graph of operators.
+type Workflow struct {
+	Name  string
+	ops   map[string]*Operator
+	order []string
+	wires map[Port][]Port // out-port → in-ports
+}
+
+// NewWorkflow creates an empty workflow.
+func NewWorkflow(name string) *Workflow {
+	return &Workflow{
+		Name:  name,
+		ops:   make(map[string]*Operator),
+		wires: make(map[Port][]Port),
+	}
+}
+
+// Add registers an operator.
+func (wf *Workflow) Add(op *Operator) *Workflow {
+	if _, dup := wf.ops[op.Name]; dup {
+		panic("kepler: duplicate operator " + op.Name)
+	}
+	wf.ops[op.Name] = op
+	wf.order = append(wf.order, op.Name)
+	return wf
+}
+
+// Connect wires an output port to an input port.
+func (wf *Workflow) Connect(fromOp, fromPort, toOp, toPort string) *Workflow {
+	src := Port{fromOp, fromPort}
+	wf.wires[src] = append(wf.wires[src], Port{toOp, toPort})
+	return wf
+}
+
+// Operators returns the operators in insertion order.
+func (wf *Workflow) Operators() []*Operator {
+	out := make([]*Operator, 0, len(wf.order))
+	for _, name := range wf.order {
+		out = append(out, wf.ops[name])
+	}
+	return out
+}
+
+// topo orders operators so every producer fires before its consumers.
+func (wf *Workflow) topo() ([]string, error) {
+	indeg := make(map[string]int, len(wf.ops))
+	succ := make(map[string][]string)
+	for name := range wf.ops {
+		indeg[name] = 0
+	}
+	for src, dsts := range wf.wires {
+		for _, d := range dsts {
+			succ[src.Operator] = append(succ[src.Operator], d.Operator)
+			indeg[d.Operator]++
+		}
+	}
+	var queue []string
+	for _, name := range wf.order {
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		sort.Strings(queue) // deterministic
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		for _, s := range succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(wf.ops) {
+		return nil, errors.New("kepler: workflow has a cycle")
+	}
+	return out, nil
+}
+
+// Ctx gives a firing operator access to the machine: file I/O through the
+// engine's kernel process (so PASSv2 observes it) and CPU accounting.
+type Ctx struct {
+	eng *Engine
+	op  *Operator
+}
+
+// Proc returns the engine's kernel process.
+func (c *Ctx) Proc() *kernel.Process { return c.eng.proc }
+
+// Compute charges CPU work for this firing.
+func (c *Ctx) Compute(units int64) { c.eng.proc.Compute(units) }
+
+// ReadFile reads a whole file through the kernel, returning its bytes and
+// the exact identity read (pass_read), which the engine links into the
+// operator's provenance.
+func (c *Ctx) ReadFile(path string) ([]byte, pnode.Ref, error) {
+	p := c.eng.proc
+	fd, err := p.Open(path, vfs.ORdOnly)
+	if err != nil {
+		return nil, pnode.Ref{}, err
+	}
+	defer p.Close(fd)
+	st, err := p.Stat(path)
+	if err != nil {
+		return nil, pnode.Ref{}, err
+	}
+	buf := make([]byte, st.Size)
+	var ref pnode.Ref
+	total := 0
+	for total < len(buf) {
+		n, r, err := p.PassReadFd(fd, buf[total:])
+		if err != nil {
+			// Non-PASS volume: fall back to a plain read; the identity
+			// is unknown at this layer (PASS still sees the syscall).
+			n, err = p.Read(fd, buf[total:])
+			if err != nil {
+				return nil, pnode.Ref{}, err
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+			continue
+		}
+		ref = r
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	c.eng.record(func(r Recorder) { r.FileRead(c.op, path, ref) })
+	return buf[:total], ref, nil
+}
+
+// WriteFile writes a whole file through the kernel and tells the recorders
+// so PA-Kepler can link the file to this operator.
+func (c *Ctx) WriteFile(path string, data []byte) error {
+	p := c.eng.proc
+	fd, err := p.Open(path, vfs.OCreate|vfs.OTrunc|vfs.ORdWr)
+	if err != nil {
+		return err
+	}
+	defer p.Close(fd)
+	c.eng.record(func(r Recorder) { r.FileWriting(c.op, path, fd) })
+	if _, err := p.Write(fd, data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Recorder is Kepler's provenance recording interface (§6.2). The engine
+// notifies it of operator creation, firings (message exchanges), and the
+// file accesses of source/sink operators.
+type Recorder interface {
+	OperatorCreated(op *Operator)
+	// MessageSent fires per produced token delivered to a recipient.
+	MessageSent(from, to *Operator, tok Token)
+	// FileRead reports a source operator consuming a file; ref is the
+	// pass_read identity (zero if the file is not on a PASS volume).
+	FileRead(op *Operator, path string, ref pnode.Ref)
+	// FileWriting reports a sink operator about to write fd; PA-Kepler
+	// uses the open descriptor to disclose the operator→file link.
+	FileWriting(op *Operator, path string, fd int)
+	// RunFinished closes out one workflow execution.
+	RunFinished(wf *Workflow)
+}
+
+// Engine executes workflows on a kernel process.
+type Engine struct {
+	proc *kernel.Process
+	recs []Recorder
+}
+
+// NewEngine creates an engine running as proc.
+func NewEngine(proc *kernel.Process) *Engine {
+	return &Engine{proc: proc}
+}
+
+// AddRecorder attaches a provenance recording backend.
+func (e *Engine) AddRecorder(r Recorder) { e.recs = append(e.recs, r) }
+
+func (e *Engine) record(f func(Recorder)) {
+	for _, r := range e.recs {
+		f(r)
+	}
+}
+
+// Run fires every operator in dependency order, routing tokens along the
+// wires and notifying the recorders of every exchange.
+func (e *Engine) Run(wf *Workflow) error {
+	order, err := wf.topo()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		e.record(func(r Recorder) { r.OperatorCreated(wf.ops[name]) })
+	}
+	inbox := make(map[Port]Token)
+	for _, name := range order {
+		op := wf.ops[name]
+		in := make(map[string]Token, len(op.In))
+		for _, port := range op.In {
+			tok, ok := inbox[Port{name, port}]
+			if !ok {
+				return fmt.Errorf("kepler: operator %s: no token on port %s", name, port)
+			}
+			in[port] = tok
+		}
+		ctx := &Ctx{eng: e, op: op}
+		out, err := op.Fire(ctx, in)
+		if err != nil {
+			return fmt.Errorf("kepler: operator %s: %w", name, err)
+		}
+		for port, tok := range out {
+			for _, dst := range wf.wires[Port{name, port}] {
+				inbox[dst] = tok
+				e.record(func(r Recorder) { r.MessageSent(op, wf.ops[dst.Operator], tok) })
+			}
+		}
+	}
+	e.record(func(r Recorder) { r.RunFinished(wf) })
+	return nil
+}

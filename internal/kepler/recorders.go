@@ -1,0 +1,235 @@
+package kepler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"passv2/internal/dpapi"
+	"passv2/internal/kernel"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// TextRecorder is Kepler's first-generation backend: provenance events as
+// lines in a text file (written through the kernel so even the recording
+// itself has provenance).
+type TextRecorder struct {
+	proc *kernel.Process
+	path string
+
+	mu    sync.Mutex
+	lines []string
+}
+
+// NewTextRecorder logs events to path.
+func NewTextRecorder(proc *kernel.Process, path string) *TextRecorder {
+	return &TextRecorder{proc: proc, path: path}
+}
+
+func (t *TextRecorder) log(format string, args ...interface{}) {
+	t.mu.Lock()
+	t.lines = append(t.lines, fmt.Sprintf(format, args...))
+	t.mu.Unlock()
+}
+
+func (t *TextRecorder) OperatorCreated(op *Operator) {
+	t.log("operator %s params=%s", op.Name, formatParams(op.Params))
+}
+
+func (t *TextRecorder) MessageSent(from, to *Operator, tok Token) {
+	t.log("message %s -> %s (%d bytes)", from.Name, to.Name, len(tok.Data))
+}
+
+func (t *TextRecorder) FileRead(op *Operator, path string, ref pnode.Ref) {
+	t.log("read %s <- %s", op.Name, path)
+}
+
+func (t *TextRecorder) FileWriting(op *Operator, path string, fd int) {
+	t.log("write %s -> %s", op.Name, path)
+}
+
+func (t *TextRecorder) RunFinished(wf *Workflow) {
+	t.mu.Lock()
+	data := strings.Join(t.lines, "\n") + "\n"
+	t.mu.Unlock()
+	fd, err := t.proc.Open(t.path, vfs.OCreate|vfs.OTrunc|vfs.ORdWr)
+	if err != nil {
+		return
+	}
+	defer t.proc.Close(fd)
+	t.proc.Write(fd, []byte(data))
+}
+
+// Lines exposes the recorded events (tests).
+func (t *TextRecorder) Lines() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.lines...)
+}
+
+func formatParams(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// TableRecorder is the relational-style backend: rows in memory, the way
+// Kepler's RDBMS option stores events.
+type TableRecorder struct {
+	mu   sync.Mutex
+	Rows []TableRow
+}
+
+// TableRow is one provenance event row.
+type TableRow struct {
+	Kind string // "operator", "message", "read", "write"
+	From string
+	To   string
+	Info string
+}
+
+func (t *TableRecorder) add(r TableRow) {
+	t.mu.Lock()
+	t.Rows = append(t.Rows, r)
+	t.mu.Unlock()
+}
+
+func (t *TableRecorder) OperatorCreated(op *Operator) {
+	t.add(TableRow{Kind: "operator", From: op.Name, Info: formatParams(op.Params)})
+}
+
+func (t *TableRecorder) MessageSent(from, to *Operator, tok Token) {
+	t.add(TableRow{Kind: "message", From: from.Name, To: to.Name, Info: fmt.Sprint(len(tok.Data))})
+}
+
+func (t *TableRecorder) FileRead(op *Operator, path string, ref pnode.Ref) {
+	t.add(TableRow{Kind: "read", From: path, To: op.Name})
+}
+
+func (t *TableRecorder) FileWriting(op *Operator, path string, fd int) {
+	t.add(TableRow{Kind: "write", From: op.Name, To: path})
+}
+
+func (t *TableRecorder) RunFinished(wf *Workflow) {}
+
+// PASSRecorder is the third recording option the paper adds: transmit the
+// provenance into PASSv2 via the DPAPI. Every operator becomes a phantom
+// object (pass_mkobj) with NAME, TYPE and PARAMS records; every message
+// adds an ancestry relationship between sender and recipient; the data
+// source/sink hooks link Kepler's provenance to the files' provenance.
+type PASSRecorder struct {
+	proc *kernel.Process
+	hint string // PASS volume hint for operator objects
+
+	mu   sync.Mutex
+	objs map[string]dpapi.Object
+}
+
+// NewPASSRecorder records into PASSv2 through proc. hint names the volume
+// that should hold workflow provenance (e.g. "/data").
+func NewPASSRecorder(proc *kernel.Process, hint string) *PASSRecorder {
+	return &PASSRecorder{proc: proc, hint: hint, objs: make(map[string]dpapi.Object)}
+}
+
+// ObjectFor returns the PASS object of an operator (tests, queries).
+func (p *PASSRecorder) ObjectFor(name string) (dpapi.Object, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o, ok := p.objs[name]
+	return o, ok
+}
+
+func (p *PASSRecorder) OperatorCreated(op *Operator) {
+	p.mu.Lock()
+	if _, exists := p.objs[op.Name]; exists {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	obj, err := p.proc.PassMkobj(p.hint)
+	if err != nil {
+		return
+	}
+	ref := obj.Ref()
+	recs := []record.Record{
+		record.New(ref, record.AttrType, record.StringVal(record.TypeOperator)),
+		record.New(ref, record.AttrName, record.StringVal(op.Name)),
+	}
+	if len(op.Params) > 0 {
+		recs = append(recs, record.New(ref, record.AttrParams, record.StringVal(formatParams(op.Params))))
+	}
+	obj.PassWrite(nil, 0, record.NewBundle(recs...))
+	p.mu.Lock()
+	p.objs[op.Name] = obj
+	p.mu.Unlock()
+}
+
+// MessageSent adds the recipient←sender ancestry relationship — the only
+// Kepler recording operation that sends data relationships to PASSv2
+// (§6.2).
+func (p *PASSRecorder) MessageSent(from, to *Operator, tok Token) {
+	p.mu.Lock()
+	src, ok1 := p.objs[from.Name]
+	dst, ok2 := p.objs[to.Name]
+	p.mu.Unlock()
+	if !ok1 || !ok2 {
+		return
+	}
+	recs := []record.Record{record.Input(dst.Ref(), src.Ref())}
+	// The token may carry file identities picked up by pass_read.
+	for _, ref := range tok.Refs {
+		if ref.IsValid() {
+			recs = append(recs, record.Input(dst.Ref(), ref))
+		}
+	}
+	dst.PassWrite(nil, 0, record.NewBundle(recs...))
+}
+
+// FileRead links a source operator to the exact file version it consumed.
+func (p *PASSRecorder) FileRead(op *Operator, path string, ref pnode.Ref) {
+	if !ref.IsValid() {
+		return
+	}
+	p.mu.Lock()
+	obj, ok := p.objs[op.Name]
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	obj.PassWrite(nil, 0, record.NewBundle(record.Input(obj.Ref(), ref)))
+}
+
+// FileWriting links the file being written to the operator writing it, by
+// disclosing through the open descriptor (pass_write with no data).
+func (p *PASSRecorder) FileWriting(op *Operator, path string, fd int) {
+	p.mu.Lock()
+	obj, ok := p.objs[op.Name]
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	kfd, err := p.proc.FDGet(fd)
+	if err != nil || kfd.PassFile() == nil {
+		return
+	}
+	fileRef := kfd.PassFile().Ref()
+	p.proc.PassWriteFd(fd, nil, record.NewBundle(record.Input(fileRef, obj.Ref())))
+}
+
+func (p *PASSRecorder) RunFinished(wf *Workflow) {}
+
+var (
+	_ Recorder = (*TextRecorder)(nil)
+	_ Recorder = (*TableRecorder)(nil)
+	_ Recorder = (*PASSRecorder)(nil)
+)

@@ -1,0 +1,173 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"passv2/internal/vfs"
+)
+
+func TestExecMissingBinaryStillExecs(t *testing.T) {
+	// execve of a name not on any volume (e.g. a built-in) still replaces
+	// the image; there is simply no binary dependency.
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	before := p.Ref()
+	if err := p.Exec("/no/such/bin", []string{"ghost"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ref() == before || p.Name != "bin" {
+		t.Fatalf("exec identity/name wrong: %v %q", p.Ref(), p.Name)
+	}
+}
+
+func TestExecAfterExitFails(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	p.Exit()
+	if err := p.Exec("/bin/x", nil, nil); err == nil {
+		t.Fatal("exec after exit must fail")
+	}
+	if _, _, err := p.Pipe(); err == nil {
+		t.Fatal("pipe after exit must fail")
+	}
+}
+
+func TestGiveFDErrors(t *testing.T) {
+	k, _ := newTestKernel(t)
+	a := k.Spawn(nil, "a", nil, nil)
+	b := k.Spawn(nil, "b", nil, nil)
+	if _, err := a.GiveFD(99, b); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("GiveFD of bad fd: %v", err)
+	}
+	fd, _ := a.Open("/f", vfs.OCreate|vfs.ORdWr)
+	nfd, err := a.GiveFD(fd, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The giver no longer owns it; the receiver does.
+	if _, err := a.Write(fd, []byte("x")); !errors.Is(err, ErrBadFD) {
+		t.Fatal("giver kept the fd")
+	}
+	if _, err := b.Write(nfd, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateViaProcess(t *testing.T) {
+	k, fs := newTestKernel(t)
+	vfs.WriteFile(fs, "/f", []byte("0123456789"))
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/f", vfs.ORdWr)
+	if err := p.Truncate(fd, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vfs.ReadFile(fs, "/f")
+	if string(got) != "0123" {
+		t.Fatalf("truncate: %q", got)
+	}
+	pr, _, _ := p.Pipe()
+	if err := p.Truncate(pr, 0); !errors.Is(err, ErrNotFile) {
+		t.Fatalf("truncate pipe: %v", err)
+	}
+}
+
+func TestNamespaceSyscalls(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	if err := p.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mkdir("/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Stat("/a/b/c/d")
+	if err != nil || !st.IsDir {
+		t.Fatalf("stat: %+v %v", st, err)
+	}
+	ents, err := p.ReadDir("/a/b/c")
+	if err != nil || len(ents) != 1 || ents[0].Name != "d" {
+		t.Fatalf("readdir: %v %v", ents, err)
+	}
+	if err := p.Remove("/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Stat("/a/b/c/d"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("remove did not remove")
+	}
+}
+
+func TestWriteToReadEndOfPipe(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	pr, pw, _ := p.Pipe()
+	if _, err := p.Write(pr, []byte("x")); !errors.Is(err, ErrNotFile) {
+		t.Fatalf("write to read end: %v", err)
+	}
+	if _, err := p.Read(pw, make([]byte, 1)); !errors.Is(err, ErrNotFile) {
+		t.Fatalf("read from write end: %v", err)
+	}
+	if _, err := p.Seek(pr, 0, 0); !errors.Is(err, ErrNotFile) {
+		t.Fatalf("seek on pipe: %v", err)
+	}
+}
+
+func TestDoubleCloseAndBadFD(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/f", vfs.OCreate)
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(fd); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := p.Close(12345); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("close bad fd: %v", err)
+	}
+}
+
+func TestChdirRelative(t *testing.T) {
+	k, fs := newTestKernel(t)
+	fs.MkdirAll("/a/b")
+	p := k.Spawn(nil, "sh", nil, nil)
+	if err := p.Chdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Chdir("b"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cwd() != "/a/b" {
+		t.Fatalf("cwd = %q", p.Cwd())
+	}
+	if err := p.Chdir(".."); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cwd() != "/a" {
+		t.Fatalf("cwd after .. = %q", p.Cwd())
+	}
+	if err := p.Chdir("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("chdir missing: %v", err)
+	}
+}
+
+func TestOpenAppendSetsOffset(t *testing.T) {
+	k, fs := newTestKernel(t)
+	vfs.WriteFile(fs, "/log", []byte("abc"))
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/log", vfs.OAppend)
+	kfd, _ := p.FDGet(fd)
+	if kfd.Offset() != 3 {
+		t.Fatalf("append offset = %d", kfd.Offset())
+	}
+}
+
+func TestPwriteRespectsReadOnly(t *testing.T) {
+	k, fs := newTestKernel(t)
+	vfs.WriteFile(fs, "/ro", []byte("x"))
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/ro", vfs.ORdOnly)
+	if _, err := p.Pwrite(fd, []byte("y"), 0); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Fatalf("pwrite on ro: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package kernel
+
+import (
+	"errors"
+
+	"passv2/internal/vfs"
+)
+
+// Errors in the fd layer.
+var (
+	ErrBadFD    = errors.New("kernel: bad file descriptor")
+	ErrClosedFD = errors.New("kernel: file descriptor closed")
+	ErrNotFile  = errors.New("kernel: not a regular file")
+	ErrNotPipe  = errors.New("kernel: not a pipe")
+)
+
+// FDKind distinguishes what a descriptor refers to.
+type FDKind uint8
+
+const (
+	FDFile FDKind = iota
+	FDPipeRead
+	FDPipeWrite
+	FDPassObj
+)
+
+// FD is an open file descriptor within a process.
+type FD struct {
+	Num   int
+	Kind  FDKind
+	Path  string // absolute path for files; "" for pipes/objects
+	Flags vfs.Flags
+
+	file vfs.File     // FDFile
+	pass vfs.PassFile // non-nil when the file is on a PASS volume or is a phantom object
+	pipe *Pipe        // FDPipeRead / FDPipeWrite
+
+	offset int64
+	closed bool
+}
+
+// File returns the underlying vfs file, or nil for pipes.
+func (fd *FD) File() vfs.File { return fd.file }
+
+// PassFile returns the DPAPI-capable handle if the descriptor is on a
+// PASS-enabled volume (or is a phantom object), else nil.
+func (fd *FD) PassFile() vfs.PassFile { return fd.pass }
+
+// Pipe returns the pipe, or nil for files.
+func (fd *FD) Pipe() *Pipe { return fd.pipe }
+
+// Offset returns the descriptor's current file offset.
+func (fd *FD) Offset() int64 { return fd.offset }
+
+// IsPass reports whether the descriptor supports DPAPI inode operations.
+func (fd *FD) IsPass() bool { return fd.pass != nil }

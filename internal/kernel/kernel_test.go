@@ -1,0 +1,316 @@
+package kernel
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"passv2/internal/pnode"
+	"passv2/internal/vfs"
+)
+
+func newTestKernel(t *testing.T) (*Kernel, *vfs.MemFS) {
+	t.Helper()
+	k := New(&vfs.Clock{})
+	fs := vfs.NewMemFS("root", nil)
+	k.Mount("/", fs)
+	return k, fs
+}
+
+func TestSpawnAssignsIdentity(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p1 := k.Spawn(nil, "init", nil, nil)
+	p2 := k.Spawn(p1, "child", nil, nil)
+	if p1.Pid == p2.Pid {
+		t.Fatal("pids must differ")
+	}
+	if p1.Ref() == p2.Ref() {
+		t.Fatal("process identities must differ")
+	}
+	if !p1.Ref().IsValid() {
+		t.Fatal("process ref invalid")
+	}
+	if len(k.Processes()) != 2 {
+		t.Fatal("process table wrong")
+	}
+}
+
+func TestOpenReadWrite(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, err := p.Open("/f.txt", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Seek(fd, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := p.Read(fd, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello world" {
+		t.Fatalf("read %q", buf[:n])
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(fd, buf); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestWriteRespectsReadOnly(t *testing.T) {
+	k, fs := newTestKernel(t)
+	vfs.WriteFile(fs, "/ro", []byte("x"))
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, err := p.Open("/ro", vfs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("y")); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Fatalf("want ErrReadOnly, got %v", err)
+	}
+}
+
+func TestAppendMode(t *testing.T) {
+	k, fs := newTestKernel(t)
+	vfs.WriteFile(fs, "/log", []byte("abc"))
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, err := p.Open("/log", vfs.OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(fd, []byte("def"))
+	got, _ := vfs.ReadFile(fs, "/log")
+	if string(got) != "abcdef" {
+		t.Fatalf("append got %q", got)
+	}
+}
+
+func TestCwdAndRelativePaths(t *testing.T) {
+	k, fs := newTestKernel(t)
+	fs.MkdirAll("/home/user")
+	p := k.Spawn(nil, "sh", nil, nil)
+	if err := p.Chdir("/home/user"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.Open("notes.txt", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(fd, []byte("hi"))
+	p.Close(fd)
+	if _, err := fs.Stat("/home/user/notes.txt"); err != nil {
+		t.Fatal("relative create landed in the wrong place:", err)
+	}
+	if err := p.Chdir("/home/user/notes.txt"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("chdir to file: %v", err)
+	}
+	child := p.Fork()
+	if child.Cwd() != "/home/user" {
+		t.Fatal("fork must inherit cwd")
+	}
+}
+
+func TestExecChangesIdentity(t *testing.T) {
+	k, fs := newTestKernel(t)
+	vfs.WriteFile(fs, "/bin/cc", []byte("ELF"))
+	p := k.Spawn(nil, "sh", nil, nil)
+	before := p.Ref()
+	if err := p.Exec("/bin/cc", []string{"cc", "-O2"}, []string{"PATH=/bin"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ref() == before {
+		t.Fatal("exec must produce a fresh process identity")
+	}
+	if p.Name != "cc" {
+		t.Fatalf("name = %q", p.Name)
+	}
+}
+
+func TestPipeTransfer(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	r, w, err := p.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(w, []byte("through the pipe")); err != nil {
+		t.Fatal(err)
+	}
+	p.Close(w)
+	buf := make([]byte, 64)
+	n, err := p.Read(r, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "through the pipe" {
+		t.Fatalf("got %q", buf[:n])
+	}
+	if _, err := p.Read(r, buf); err != io.EOF {
+		t.Fatalf("want EOF after writer close, got %v", err)
+	}
+}
+
+func TestPipeAcrossProcesses(t *testing.T) {
+	k, _ := newTestKernel(t)
+	parent := k.Spawn(nil, "sh", nil, nil)
+	child := parent.Fork()
+	r, w, _ := parent.Pipe()
+	rChild, err := parent.GiveFD(r, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 16)
+		total := 0
+		for {
+			n, err := child.Read(rChild, buf)
+			total += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if total != 100 {
+			t.Errorf("child read %d bytes, want 100", total)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		parent.Write(w, make([]byte, 10))
+	}
+	parent.Close(w)
+	wg.Wait()
+}
+
+func TestBrokenPipe(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	r, w, _ := p.Pipe()
+	p.Close(r)
+	if _, err := p.Write(w, []byte("x")); !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("want broken pipe, got %v", err)
+	}
+}
+
+func TestExitClosesFDs(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/f", vfs.OCreate|vfs.ORdWr)
+	p.Exit()
+	if _, err := p.Write(fd, []byte("x")); err == nil {
+		t.Fatal("write after exit must fail")
+	}
+	if _, err := p.Open("/g", vfs.OCreate); !errors.Is(err, errExited) {
+		t.Fatalf("open after exit: %v", err)
+	}
+	if len(k.Processes()) != 0 {
+		t.Fatal("exited process still in table")
+	}
+	p.Exit() // double exit must be safe
+}
+
+func TestRenameCrossMountRejected(t *testing.T) {
+	k, _ := newTestKernel(t)
+	other := vfs.NewMemFS("other", nil)
+	k.Mount("/mnt", other)
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/f", vfs.OCreate)
+	p.Close(fd)
+	if err := p.Rename("/f", "/mnt/f"); !errors.Is(err, vfs.ErrCrossMount) {
+		t.Fatalf("want ErrCrossMount, got %v", err)
+	}
+}
+
+func TestComputeChargesClock(t *testing.T) {
+	k, _ := newTestKernel(t)
+	k.CPUCost = time.Microsecond
+	p := k.Spawn(nil, "cruncher", nil, nil)
+	p.Compute(1000)
+	if k.Clock.Now() != time.Millisecond {
+		t.Fatalf("clock = %v", k.Clock.Now())
+	}
+}
+
+func TestSeekWhence(t *testing.T) {
+	k, fs := newTestKernel(t)
+	vfs.WriteFile(fs, "/f", []byte("0123456789"))
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/f", vfs.ORdWr)
+	if off, _ := p.Seek(fd, 4, 0); off != 4 {
+		t.Fatalf("abs seek = %d", off)
+	}
+	if off, _ := p.Seek(fd, 2, 1); off != 6 {
+		t.Fatalf("rel seek = %d", off)
+	}
+	if off, _ := p.Seek(fd, -1, 2); off != 9 {
+		t.Fatalf("end seek = %d", off)
+	}
+	if _, err := p.Seek(fd, -100, 1); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatalf("negative seek: %v", err)
+	}
+}
+
+func TestDPAPIWithoutHooksFails(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "app", nil, nil)
+	if _, err := p.PassMkobj(""); err == nil {
+		t.Fatal("PassMkobj without PASS must fail")
+	}
+	if _, err := p.PassReviveObj(pnode.Ref{PNode: 1, Version: 1}); err == nil {
+		t.Fatal("PassReviveObj without PASS must fail")
+	}
+	fd, _ := p.Open("/f", vfs.OCreate|vfs.ORdWr)
+	if _, err := p.PassWriteFd(fd, nil, nil); err == nil {
+		t.Fatal("PassWriteFd without PASS must fail")
+	}
+	if _, _, err := p.PassReadFd(fd, nil); err == nil {
+		t.Fatal("PassReadFd on non-PASS volume must fail")
+	}
+}
+
+func TestTransientPnodeSpaceIsPrefixed(t *testing.T) {
+	k, _ := newTestKernel(t)
+	ref := k.AllocTransient()
+	if pnode.VolumePrefix(ref.PNode) != 0xFFFF {
+		t.Fatalf("transient prefix = %#x", pnode.VolumePrefix(ref.PNode))
+	}
+}
+
+func TestPreadPwriteDoNotMoveOffset(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := k.Spawn(nil, "sh", nil, nil)
+	fd, _ := p.Open("/f", vfs.OCreate|vfs.ORdWr)
+	if _, err := p.Pwrite(fd, []byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := p.Pread(fd, buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "def" {
+		t.Fatalf("pread got %q", buf)
+	}
+	// Offset still at 0: a normal Read starts from the beginning.
+	n, _ := p.Read(fd, buf)
+	if string(buf[:n]) != "abc" {
+		t.Fatalf("offset moved; read %q", buf[:n])
+	}
+}

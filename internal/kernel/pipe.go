@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"passv2/internal/pnode"
+)
+
+// ErrPipeClosed reports a write to a pipe whose read end is gone.
+var ErrPipeClosed = errors.New("kernel: broken pipe")
+
+// Pipe is an in-kernel unidirectional byte channel. Pipes are first-class
+// provenance objects (§5.5: the distributor caches provenance for pipes
+// until they need to be materialized); each pipe carries a pnode.
+type Pipe struct {
+	ref pnode.Ref
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte
+	wClosed bool
+	rClosed bool
+}
+
+func newPipe(ref pnode.Ref) *Pipe {
+	p := &Pipe{ref: ref}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Ref returns the pipe's provenance identity.
+func (p *Pipe) Ref() pnode.Ref { return p.ref }
+
+// write appends data; the buffer is unbounded so writers never block.
+func (p *Pipe) write(data []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rClosed {
+		return 0, ErrPipeClosed
+	}
+	if p.wClosed {
+		return 0, ErrClosedFD
+	}
+	p.buf = append(p.buf, data...)
+	p.cond.Broadcast()
+	return len(data), nil
+}
+
+// read takes up to len(buf) bytes, blocking while the pipe is empty and
+// the write end is still open. Returns io.EOF once drained and closed.
+func (p *Pipe) read(buf []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 && !p.wClosed {
+		p.cond.Wait()
+	}
+	if len(p.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(buf, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+func (p *Pipe) closeWrite() {
+	p.mu.Lock()
+	p.wClosed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *Pipe) closeRead() {
+	p.mu.Lock()
+	p.rClosed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

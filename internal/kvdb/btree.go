@@ -1,0 +1,379 @@
+// Package kvdb is an embedded ordered key-value store: the substrate for
+// the Waldo provenance database (the kernel prototype used Berkeley DB).
+// It provides ordered iteration (range and prefix scans), which Waldo's
+// secondary indexes are built from, plus snapshot persistence so a query
+// shell can work on a saved database.
+//
+// The implementation is an in-memory B-tree with copy-free reads; all
+// operations are safe for concurrent use through a single RWMutex, which
+// matches Waldo's workload (one ingesting writer, many query readers).
+package kvdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// degree is the minimum number of keys per non-root node. Nodes hold
+// between degree and 2*degree keys (except the root).
+const degree = 16
+
+type node struct {
+	keys     []string
+	vals     [][]byte
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// find returns the index of key in n.keys, or the child index to descend
+// into, and whether the key was found.
+func (n *node) find(key string) (int, bool) {
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return i, true
+	}
+	return i, false
+}
+
+// DB is the store. The zero value is not usable; call New.
+type DB struct {
+	mu       sync.RWMutex
+	root     *node
+	count    int
+	keyBytes int64
+	valBytes int64
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{root: &node{}}
+}
+
+// Len returns the number of keys.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.count
+}
+
+// Bytes reports the cumulative size of keys and values — the space
+// accounting Table 3 is built from.
+func (db *DB) Bytes() (keyBytes, valBytes int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.keyBytes, db.valBytes
+}
+
+// Get returns the value for key, and whether it exists. The returned slice
+// must not be modified.
+func (db *DB) Get(key string) ([]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := db.root
+	for {
+		i, ok := n.find(key)
+		if ok {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key string) bool {
+	_, ok := db.Get(key)
+	return ok
+}
+
+// Set stores value under key, returning true if the key already existed.
+func (db *DB) Set(key string, value []byte) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.root.keys) == 2*degree {
+		old := db.root
+		db.root = &node{children: []*node{old}}
+		db.root.splitChild(0)
+	}
+	replaced := db.insertNonFull(db.root, key, value)
+	if !replaced {
+		db.count++
+		db.keyBytes += int64(len(key))
+	}
+	db.valBytes += int64(len(value))
+	return replaced
+}
+
+func (db *DB) insertNonFull(n *node, key string, value []byte) bool {
+	for {
+		i, ok := n.find(key)
+		if ok {
+			db.valBytes -= int64(len(n.vals[i]))
+			n.vals[i] = value
+			return true
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, "")
+			n.vals = append(n.vals, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = key
+			n.vals[i] = value
+			return false
+		}
+		if len(n.children[i].keys) == 2*degree {
+			n.splitChild(i)
+			if key == n.keys[i] {
+				db.valBytes -= int64(len(n.vals[i]))
+				n.vals[i] = value
+				return true
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits n.children[i] (which must be full) around its median.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree
+	midKey, midVal := child.keys[mid], child.vals[mid]
+
+	right := &node{
+		keys: append([]string(nil), child.keys[mid+1:]...),
+		vals: append([][]byte(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	child.keys = child.keys[:mid:mid]
+	child.vals = child.vals[:mid:mid]
+
+	n.keys = append(n.keys, "")
+	n.vals = append(n.vals, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.vals[i+1:], n.vals[i:])
+	n.keys[i], n.vals[i] = midKey, midVal
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key, returning whether it existed.
+func (db *DB) Delete(key string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	removed, vlen := db.delete(db.root, key)
+	if removed {
+		db.count--
+		db.keyBytes -= int64(len(key))
+		db.valBytes -= int64(vlen)
+	}
+	if len(db.root.keys) == 0 && !db.root.leaf() {
+		db.root = db.root.children[0]
+	}
+	return removed
+}
+
+// delete removes key from the subtree rooted at n, which is guaranteed to
+// have > degree keys (or be the root). Returns whether removed and the
+// removed value's length.
+func (db *DB) delete(n *node, key string) (bool, int) {
+	i, found := n.find(key)
+	if n.leaf() {
+		if !found {
+			return false, 0
+		}
+		vlen := len(n.vals[i])
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true, vlen
+	}
+	if found {
+		vlen := len(n.vals[i])
+		// CLRS case 2: replace with the predecessor or successor from a
+		// child that can spare a key, then delete that key from it.
+		if len(n.children[i].keys) > degree {
+			pk, pv := maxKV(n.children[i])
+			n.keys[i], n.vals[i] = pk, pv
+			db.delete(n.children[i], pk)
+			return true, vlen
+		}
+		if len(n.children[i+1].keys) > degree {
+			sk, sv := minKV(n.children[i+1])
+			n.keys[i], n.vals[i] = sk, sv
+			db.delete(n.children[i+1], sk)
+			return true, vlen
+		}
+		// Both children minimal: merge around the key then recurse.
+		db.mergeChildren(n, i)
+		db.delete(n.children[i], key)
+		return true, vlen
+	}
+	i = db.ensureChild(n, i)
+	return db.delete(n.children[i], key)
+}
+
+// ensureChild guarantees n.children[i] has more than degree keys before
+// descending, borrowing from a sibling or merging. Returns the (possibly
+// shifted) child index.
+func (db *DB) ensureChild(n *node, i int) int {
+	c := n.children[i]
+	if len(c.keys) > degree {
+		return i
+	}
+	// Borrow from left sibling.
+	if i > 0 && len(n.children[i-1].keys) > degree {
+		left := n.children[i-1]
+		c.keys = append([]string{n.keys[i-1]}, c.keys...)
+		c.vals = append([][]byte{n.vals[i-1]}, c.vals...)
+		n.keys[i-1] = left.keys[len(left.keys)-1]
+		n.vals[i-1] = left.vals[len(left.vals)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		left.vals = left.vals[:len(left.vals)-1]
+		if !c.leaf() {
+			c.children = append([]*node{left.children[len(left.children)-1]}, c.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	// Borrow from right sibling.
+	if i < len(n.children)-1 && len(n.children[i+1].keys) > degree {
+		right := n.children[i+1]
+		c.keys = append(c.keys, n.keys[i])
+		c.vals = append(c.vals, n.vals[i])
+		n.keys[i] = right.keys[0]
+		n.vals[i] = right.vals[0]
+		right.keys = right.keys[1:]
+		right.vals = right.vals[1:]
+		if !c.leaf() {
+			c.children = append(c.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return i
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		db.mergeChildren(n, i-1)
+		return i - 1
+	}
+	db.mergeChildren(n, i)
+	return i
+}
+
+// mergeChildren merges children i and i+1 around key i.
+func (db *DB) mergeChildren(n *node, i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func maxKV(n *node) (string, []byte) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+func minKV(n *node) (string, []byte) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+// Ascend visits keys in [lo, hi) in order; fn returning false stops the
+// scan. An empty hi means "to the end".
+func (db *DB) Ascend(lo, hi string, fn func(key string, value []byte) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.ascend(db.root, lo, hi, fn)
+}
+
+func (db *DB) ascend(n *node, lo, hi string, fn func(string, []byte) bool) bool {
+	i := sort.SearchStrings(n.keys, lo)
+	for ; i <= len(n.keys); i++ {
+		if !n.leaf() {
+			if !db.ascend(n.children[i], lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.keys) {
+			break
+		}
+		k := n.keys[i]
+		if k < lo {
+			continue
+		}
+		if hi != "" && k >= hi {
+			return false
+		}
+		if !fn(k, n.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AscendPrefix visits all keys with the given prefix in order.
+func (db *DB) AscendPrefix(prefix string, fn func(key string, value []byte) bool) {
+	db.Ascend(prefix, prefixEnd(prefix), fn)
+}
+
+// prefixEnd returns the smallest string greater than every string with the
+// prefix, or "" if there is none.
+func prefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xFF {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// CountPrefix counts keys with the prefix.
+func (db *DB) CountPrefix(prefix string) int {
+	n := 0
+	db.AscendPrefix(prefix, func(string, []byte) bool { n++; return true })
+	return n
+}
+
+// HasPrefix reports whether any key starts with prefix.
+func (db *DB) HasPrefix(prefix string) bool {
+	found := false
+	db.AscendPrefix(prefix, func(string, []byte) bool { found = true; return false })
+	return found
+}
+
+// Keys returns all keys with the prefix (convenience for tests/tools).
+func (db *DB) Keys(prefix string) []string {
+	var out []string
+	db.AscendPrefix(prefix, func(k string, _ []byte) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// TrimPrefix is a helper for index scans: the remainder of key after
+// prefix.
+func TrimPrefix(key, prefix string) string { return strings.TrimPrefix(key, prefix) }

@@ -1,0 +1,249 @@
+package kvdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetBasic(t *testing.T) {
+	db := New()
+	if db.Set("k", []byte("v")) {
+		t.Fatal("fresh key reported as replaced")
+	}
+	if !db.Set("k", []byte("v2")) {
+		t.Fatal("overwrite not reported")
+	}
+	got, ok := db.Get("k")
+	if !ok || string(got) != "v2" {
+		t.Fatalf("Get = %q,%v", got, ok)
+	}
+	if _, ok := db.Get("missing"); ok {
+		t.Fatal("phantom key")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestManyKeysSortedIteration(t *testing.T) {
+	db := New()
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		db.Set(fmt.Sprintf("key%06d", i), []byte{byte(i)})
+	}
+	if db.Len() != n {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	var keys []string
+	db.Ascend("", "", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != n {
+		t.Fatalf("iterated %d", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("iteration out of order")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	db := New()
+	for i := 0; i < 100; i++ {
+		db.Set(fmt.Sprintf("%03d", i), nil)
+	}
+	var got []string
+	db.Ascend("010", "015", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"010", "011", "012", "013", "014"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range = %v", got)
+	}
+	// Early stop.
+	count := 0
+	db.Ascend("", "", func(string, []byte) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	db := New()
+	db.Set("a|1", nil)
+	db.Set("a|2", nil)
+	db.Set("b|1", nil)
+	db.Set("a", nil)
+	if got := db.Keys("a|"); len(got) != 2 {
+		t.Fatalf("prefix a| = %v", got)
+	}
+	if db.CountPrefix("b|") != 1 {
+		t.Fatal("CountPrefix wrong")
+	}
+	if !db.HasPrefix("a|") || db.HasPrefix("z|") {
+		t.Fatal("HasPrefix wrong")
+	}
+}
+
+func TestPrefixEndEdgeCases(t *testing.T) {
+	if prefixEnd("ab") != "ac" {
+		t.Fatal("simple prefixEnd")
+	}
+	if prefixEnd("a\xff") != "b" {
+		t.Fatalf("carry prefixEnd = %q", prefixEnd("a\xff"))
+	}
+	if prefixEnd("\xff\xff") != "" {
+		t.Fatal("all-0xff prefixEnd must be empty (scan to end)")
+	}
+	// A prefix of 0xff bytes must still scan correctly.
+	db := New()
+	db.Set("\xff\xffx", []byte("v"))
+	if got := db.Keys("\xff\xff"); len(got) != 1 {
+		t.Fatalf("0xff prefix scan = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		db.Set(fmt.Sprintf("%05d", i), []byte(fmt.Sprint(i)))
+	}
+	// Delete every third key.
+	for i := 0; i < n; i += 3 {
+		if !db.Delete(fmt.Sprintf("%05d", i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if db.Delete("99999") {
+		t.Fatal("deleting missing key reported success")
+	}
+	for i := 0; i < n; i++ {
+		_, ok := db.Get(fmt.Sprintf("%05d", i))
+		want := i%3 != 0
+		if ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+	var keys []string
+	db.Ascend("", "", func(k string, _ []byte) bool { keys = append(keys, k); return true })
+	if !sort.StringsAreSorted(keys) || len(keys) != db.Len() {
+		t.Fatal("tree inconsistent after deletes")
+	}
+}
+
+func TestPropertyAgainstMap(t *testing.T) {
+	// Randomized sequence of Set/Delete/Get mirrored against a Go map.
+	rng := rand.New(rand.NewSource(7))
+	db := New()
+	ref := map[string]string{}
+	keyOf := func() string { return fmt.Sprintf("k%03d", rng.Intn(500)) }
+	for op := 0; op < 50000; op++ {
+		k := keyOf()
+		switch rng.Intn(3) {
+		case 0:
+			v := fmt.Sprint(rng.Intn(1000))
+			db.Set(k, []byte(v))
+			ref[k] = v
+		case 1:
+			delete(ref, k)
+			db.Delete(k)
+		case 2:
+			got, ok := db.Get(k)
+			want, wok := ref[k]
+			if ok != wok || (ok && string(got) != want) {
+				t.Fatalf("op %d: Get(%q) = %q,%v want %q,%v", op, k, got, ok, want, wok)
+			}
+		}
+	}
+	if db.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", db.Len(), len(ref))
+	}
+	// Byte accounting matches the reference contents.
+	var wantK, wantV int64
+	for k, v := range ref {
+		wantK += int64(len(k))
+		wantV += int64(len(v))
+	}
+	gotK, gotV := db.Bytes()
+	if gotK != wantK || gotV != wantV {
+		t.Fatalf("Bytes = %d,%d want %d,%d", gotK, gotV, wantK, wantV)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := New()
+	for i := 0; i < 1000; i++ {
+		db.Set(fmt.Sprintf("key%04d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("loaded %d keys", db2.Len())
+	}
+	db.Ascend("", "", func(k string, v []byte) bool {
+		got, ok := db2.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("key %q lost in snapshot", k)
+		}
+		return true
+	})
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	New().Save(&buf)
+	trunc := buf.Bytes()[:len(buf.Bytes())-1]
+	if _, err := Load(bytes.NewReader(trunc[:5])); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestPropertySetGetQuick(t *testing.T) {
+	db := New()
+	f := func(k string, v []byte) bool {
+		db.Set(k, v)
+		got, ok := db.Get(k)
+		return ok && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	db := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Set(fmt.Sprintf("key%09d", i%100000), []byte("value"))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	db := New()
+	for i := 0; i < 100000; i++ {
+		db.Set(fmt.Sprintf("key%09d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Get(fmt.Sprintf("key%09d", i%100000))
+	}
+}

@@ -1,0 +1,91 @@
+package kvdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshot format: magic, count, then (keyLen, key, valLen, val)* in key
+// order. Loading bulk-inserts in order, which keeps the tree balanced.
+
+var snapshotMagic = []byte("PASSKVDB1\n")
+
+// ErrBadSnapshot reports an unreadable snapshot stream.
+var ErrBadSnapshot = errors.New("kvdb: bad snapshot")
+
+// Save writes a point-in-time snapshot of the database to w.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	count := db.count
+	db.mu.RUnlock()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(count))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var failed error
+	db.Ascend("", "", func(k string, v []byte) bool {
+		var lens [8]byte
+		binary.LittleEndian.PutUint32(lens[:4], uint32(len(k)))
+		binary.LittleEndian.PutUint32(lens[4:], uint32(len(v)))
+		if _, err := bw.Write(lens[:]); err != nil {
+			failed = err
+			return false
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			failed = err
+			return false
+		}
+		if _, err := bw.Write(v); err != nil {
+			failed = err
+			return false
+		}
+		return true
+	})
+	if failed != nil {
+		return failed
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save into a fresh database.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if string(magic) != string(snapshotMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	db := New()
+	var lens [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, lens[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at pair %d", ErrBadSnapshot, i)
+		}
+		klen := binary.LittleEndian.Uint32(lens[:4])
+		vlen := binary.LittleEndian.Uint32(lens[4:])
+		if klen > 1<<24 || vlen > 1<<28 {
+			return nil, fmt.Errorf("%w: implausible lengths", ErrBadSnapshot)
+		}
+		kv := make([]byte, int(klen)+int(vlen))
+		if _, err := io.ReadFull(br, kv); err != nil {
+			return nil, fmt.Errorf("%w: truncated at pair %d", ErrBadSnapshot, i)
+		}
+		db.Set(string(kv[:klen]), kv[klen:])
+	}
+	return db, nil
+}

@@ -1,0 +1,112 @@
+package lasagna
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passv2/internal/vfs"
+)
+
+// TestPropertyCrashRecovery drives random write workloads with crashes
+// injected at random points and asserts the §5.6 recovery guarantees:
+//
+//  1. Recovery never errors and always reopens the volume.
+//  2. Every flagged inconsistency is the crash-torn write (the last write
+//     attempted), never an earlier completed one.
+//  3. WAP holds: no file bytes exist that the log does not describe.
+//  4. Post-recovery, the volume accepts writes and identities persist.
+func TestPropertyCrashRecovery(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			lower := vfs.NewMemFS("lower", nil)
+			fs, err := New("vol", Config{Lower: lower, VolumeID: 1, MaxLogSize: 2048})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nFiles := rng.Intn(4) + 1
+			files := make([]vfs.PassFile, nFiles)
+			for i := range files {
+				f, err := fs.Open(fmt.Sprintf("/f%d", i), vfs.OCreate|vfs.ORdWr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files[i] = f.(vfs.PassFile)
+			}
+			nWrites := rng.Intn(30) + 5
+			crashAt := rng.Intn(nWrites)
+			mode := CrashAfterProvenance
+			if rng.Intn(2) == 0 {
+				mode = CrashBeforeProvenance
+			}
+			var tornFile vfs.PassFile
+			var tornOff int64
+			for w := 0; w < nWrites; w++ {
+				f := files[rng.Intn(nFiles)]
+				off := int64(rng.Intn(256))
+				data := make([]byte, rng.Intn(128)+1)
+				rng.Read(data)
+				if w == crashAt {
+					fs.InjectCrash(mode)
+					tornFile, tornOff = f, off
+				}
+				_, err := f.PassWrite(data, off, nil)
+				if w == crashAt {
+					if err != ErrCrashed {
+						t.Fatalf("crash not injected: %v", err)
+					}
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			bad, err := fs.Recover()
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			switch mode {
+			case CrashBeforeProvenance:
+				if len(bad) != 0 {
+					t.Fatalf("nothing was logged, yet %d regions flagged: %v", len(bad), bad)
+				}
+			case CrashAfterProvenance:
+				if len(bad) > 1 {
+					t.Fatalf("more than the torn write flagged: %v", bad)
+				}
+				if len(bad) == 1 {
+					if bad[0].Ref.PNode != tornFile.Ref().PNode || bad[0].Off != tornOff {
+						t.Fatalf("wrong region flagged: %+v (torn %v@%d)", bad[0], tornFile.Ref(), tornOff)
+					}
+				}
+				// len(bad)==0 is possible: an earlier completed write to
+				// the same region may carry the same content by chance,
+				// or the torn region was later legitimately overwritten —
+				// with non-overlapping random offsets it just means the
+				// final descriptor matched.
+			}
+			// WAP invariant: no unprovenanced bytes on the lower FS.
+			unprov, err := fs.UnprovenancedRegions()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(unprov) != 0 {
+				t.Fatalf("unprovenanced data after WAP crash: %v", unprov)
+			}
+			// The volume is usable again; identities survived.
+			f, err := fs.Open("/f0", vfs.ORdWr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.(vfs.PassFile).Ref().PNode != files[0].Ref().PNode {
+				t.Fatal("pnode binding lost across recovery")
+			}
+			if _, err := f.(vfs.PassFile).PassWrite([]byte("post-recovery"), 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,577 @@
+// Package lasagna implements Lasagna, the PASSv2 provenance-aware file
+// system (§5.6). Lasagna is stackable (the prototype was based on the
+// eCryptfs codebase): it layers over any lower vfs.FS, implements the
+// DPAPI in addition to the regular VFS calls — pass_read, pass_write and
+// pass_freeze as inode operations, pass_mkobj and pass_reviveobj as
+// superblock operations — and writes all provenance to a log through the
+// lower file system, enforcing write-ahead provenance (WAP): provenance
+// reaches disk before the data it describes, so unprovenanced data never
+// exists on disk.
+//
+// Being stackable has a measurable cost the paper calls out (Postmark's
+// overhead is mostly double buffering: stackable file systems cache both
+// their own pages and the lower file system's); this implementation
+// charges that page-copy cost to the simulated disk.
+package lasagna
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"passv2/internal/pnode"
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// AttrLowerPath is the housekeeping record linking a pnode to its current
+// path on the lower file system. Lasagna logs it at identity creation and
+// on rename; recovery uses it to locate data for MD5 verification. (The
+// kernel prototype kept the pnode in an inode xattr instead.)
+const AttrLowerPath record.Attr = "LPATH"
+
+// CrashMode arms crash injection for the recovery tests and the WAP
+// ablation bench.
+type CrashMode int
+
+const (
+	// CrashNone disables injection.
+	CrashNone CrashMode = iota
+	// CrashAfterProvenance crashes after the provenance (records + WAP
+	// data descriptor) reaches the log but before the data is written —
+	// the window WAP is designed to make detectable.
+	CrashAfterProvenance
+	// CrashBeforeProvenance crashes before anything reaches the log.
+	CrashBeforeProvenance
+)
+
+// ErrCrashed reports an operation on a crashed (unrecovered) volume.
+var ErrCrashed = errors.New("lasagna: volume crashed; run Recover")
+
+// Config configures a Lasagna volume.
+type Config struct {
+	// Lower is the file system Lasagna stacks on. Required.
+	Lower vfs.FS
+	// VolumeID tags the volume's pnode space. Required, nonzero.
+	VolumeID uint16
+	// LogDir is the provenance log directory on the lower FS; default
+	// "/.prov".
+	LogDir string
+	// MaxLogSize triggers log rotation; default 1 MiB.
+	MaxLogSize int64
+	// Disk, if set, is charged the stackable-FS page-copy overhead.
+	Disk *vfs.Disk
+	// RecordCost is the simulated cost of producing and logging one
+	// provenance record (interceptor crossing, observer, analyzer,
+	// encoding, log append). Zero selects the calibrated default.
+	RecordCost time.Duration
+	// DataDescCost is the (much smaller) cost of one WAP data
+	// descriptor. Zero selects the calibrated default.
+	DataDescCost time.Duration
+	// FlushCost models the WAP ordering flush: when a data write carries
+	// freshly disclosed records, the log must reach the platter before
+	// the data, costing a short seek into the log region. Zero selects
+	// the calibrated default.
+	FlushCost time.Duration
+	// LogBuffer is the write-behind buffer for the provenance log (the
+	// paper's log rides the page cache); zero selects 16 KiB.
+	LogBuffer int
+}
+
+// FS is a Lasagna volume. It implements vfs.PassFS.
+type FS struct {
+	name  string
+	lower vfs.FS
+	volID uint16
+	alloc *pnode.Allocator
+	log   *provlog.Writer
+	disk  *vfs.Disk
+
+	recordCost   time.Duration
+	dataDescCost time.Duration
+	flushCost    time.Duration
+
+	mu       sync.Mutex
+	byIno    map[uint64]pnode.PNode
+	versions map[pnode.PNode]pnode.Version
+	phantoms map[pnode.PNode]*phantom
+	crash    CrashMode
+	crashed  bool
+}
+
+// New creates a Lasagna volume named name over cfg.Lower.
+func New(name string, cfg Config) (*FS, error) {
+	if cfg.Lower == nil {
+		return nil, errors.New("lasagna: nil lower file system")
+	}
+	if cfg.VolumeID == 0 {
+		return nil, errors.New("lasagna: volume ID must be nonzero")
+	}
+	if cfg.LogDir == "" {
+		cfg.LogDir = "/.prov"
+	}
+	if cfg.MaxLogSize == 0 {
+		cfg.MaxLogSize = 1 << 20
+	}
+	if cfg.RecordCost == 0 {
+		cfg.RecordCost = 400 * time.Microsecond
+	}
+	if cfg.DataDescCost == 0 {
+		cfg.DataDescCost = 2 * time.Microsecond
+	}
+	if cfg.LogBuffer == 0 {
+		cfg.LogBuffer = 16 << 10
+	}
+	if cfg.FlushCost == 0 {
+		cfg.FlushCost = 1500 * time.Microsecond
+	}
+	log, err := provlog.NewWriter(cfg.Lower, cfg.LogDir, cfg.MaxLogSize)
+	if err != nil {
+		return nil, fmt.Errorf("lasagna: open log: %w", err)
+	}
+	log.SetBuffer(cfg.LogBuffer)
+	return &FS{
+		name:         name,
+		lower:        cfg.Lower,
+		volID:        cfg.VolumeID,
+		alloc:        pnode.NewPrefixed(cfg.VolumeID),
+		log:          log,
+		disk:         cfg.Disk,
+		recordCost:   cfg.RecordCost,
+		dataDescCost: cfg.DataDescCost,
+		flushCost:    cfg.FlushCost,
+		byIno:        make(map[uint64]pnode.PNode),
+		versions:     make(map[pnode.PNode]pnode.Version),
+		phantoms:     make(map[pnode.PNode]*phantom),
+	}, nil
+}
+
+// ChargeRecords accounts the simulated cost of n provenance records
+// arriving from above the volume (the PA-NFS server calls it for records
+// it logs on behalf of clients).
+func (fs *FS) ChargeRecords(n int) { fs.chargeRecords(n) }
+
+// ChargeWAPFlush accounts one WAP ordering flush (the PA-NFS server calls
+// it when an OP_PASSWRITE carries both records and data).
+func (fs *FS) ChargeWAPFlush() {
+	if fs.disk != nil {
+		fs.disk.Charge(fs.flushCost)
+	}
+}
+
+// chargeRecords accounts the simulated cost of n provenance records.
+func (fs *FS) chargeRecords(n int) {
+	if fs.disk != nil && n > 0 {
+		fs.disk.Charge(time.Duration(n) * fs.recordCost)
+	}
+}
+
+func (fs *FS) chargeDataDesc() {
+	if fs.disk != nil {
+		fs.disk.Charge(fs.dataDescCost)
+	}
+}
+
+// FSName returns the volume name.
+func (fs *FS) FSName() string { return fs.name }
+
+// VolumeID returns the volume's pnode prefix.
+func (fs *FS) VolumeID() uint16 { return fs.volID }
+
+// Log exposes the provenance log (Waldo tails it).
+func (fs *FS) Log() *provlog.Writer { return fs.log }
+
+// Lower returns the stacked-on file system.
+func (fs *FS) Lower() vfs.FS { return fs.lower }
+
+// InjectCrash arms crash injection for the next data-bearing PassWrite.
+func (fs *FS) InjectCrash(mode CrashMode) {
+	fs.mu.Lock()
+	fs.crash = mode
+	fs.mu.Unlock()
+}
+
+func (fs *FS) checkAlive() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// identityFor returns (creating if needed) the pnode for a lower inode.
+// A freshly created identity is logged with its lower path.
+func (fs *FS) identityFor(ino uint64, path string) (pnode.Ref, error) {
+	fs.mu.Lock()
+	pn, ok := fs.byIno[ino]
+	if !ok {
+		pn = fs.alloc.Next()
+		fs.byIno[ino] = pn
+		fs.versions[pn] = 1
+	}
+	ref := pnode.Ref{PNode: pn, Version: fs.versions[pn]}
+	fs.mu.Unlock()
+	if !ok {
+		if err := fs.log.AppendRecord(0, record.New(ref, AttrLowerPath, record.StringVal(path))); err != nil {
+			return pnode.Ref{}, err
+		}
+		fs.chargeRecords(1)
+	}
+	return ref, nil
+}
+
+func (fs *FS) currentRef(pn pnode.PNode) pnode.Ref {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return pnode.Ref{PNode: pn, Version: fs.versions[pn]}
+}
+
+// freeze bumps a pnode's version and logs the freeze record.
+func (fs *FS) freeze(pn pnode.PNode) (pnode.Version, error) {
+	fs.mu.Lock()
+	fs.versions[pn]++
+	v := fs.versions[pn]
+	fs.mu.Unlock()
+	ref := pnode.Ref{PNode: pn, Version: v}
+	if err := fs.log.AppendRecord(0, record.New(ref, record.AttrFreeze, record.Int(int64(v)))); err != nil {
+		return 0, err
+	}
+	fs.chargeRecords(1)
+	return v, nil
+}
+
+// --- vfs.FS ---
+
+// Open opens a file on the lower FS and wraps it with provenance identity.
+func (fs *FS) Open(path string, flags vfs.Flags) (vfs.File, error) {
+	if err := fs.checkAlive(); err != nil {
+		return nil, err
+	}
+	lf, err := fs.lower.Open(path, flags)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := fs.identityFor(lf.Ino(), vfs.Clean(path))
+	if err != nil {
+		lf.Close()
+		return nil, err
+	}
+	return &file{fs: fs, lower: lf, pn: ref.PNode, path: vfs.Clean(path)}, nil
+}
+
+func (fs *FS) Mkdir(path string) error    { return fs.lower.Mkdir(path) }
+func (fs *FS) MkdirAll(path string) error { return fs.lower.MkdirAll(path) }
+
+func (fs *FS) ReadDir(path string) ([]vfs.DirEnt, error) {
+	ents, err := fs.lower.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	// Hide the provenance log directory from the namespace.
+	if vfs.Clean(path) == "/" {
+		out := ents[:0]
+		for _, e := range ents {
+			if "/"+e.Name != fs.log.Dir() {
+				out = append(out, e)
+			}
+		}
+		ents = out
+	}
+	return ents, nil
+}
+
+func (fs *FS) Stat(path string) (vfs.Stat, error) { return fs.lower.Stat(path) }
+
+// Rename renames on the lower FS and re-logs the pnode's path so recovery
+// and queries stay connected to the file (the browser use case in §3.2
+// depends on provenance following renames).
+func (fs *FS) Rename(oldPath, newPath string) error {
+	if err := fs.checkAlive(); err != nil {
+		return err
+	}
+	st, serr := fs.lower.Stat(oldPath)
+	if err := fs.lower.Rename(oldPath, newPath); err != nil {
+		return err
+	}
+	if serr == nil && !st.IsDir {
+		fs.mu.Lock()
+		pn, ok := fs.byIno[st.Ino]
+		var ref pnode.Ref
+		if ok {
+			ref = pnode.Ref{PNode: pn, Version: fs.versions[pn]}
+		}
+		fs.mu.Unlock()
+		if ok {
+			fs.chargeRecords(1)
+			return fs.log.AppendRecord(0, record.New(ref, AttrLowerPath, record.StringVal(vfs.Clean(newPath))))
+		}
+	}
+	return nil
+}
+
+func (fs *FS) Remove(path string) error {
+	if err := fs.checkAlive(); err != nil {
+		return err
+	}
+	st, serr := fs.lower.Stat(path)
+	if err := fs.lower.Remove(path); err != nil {
+		return err
+	}
+	if serr == nil && !st.IsDir && st.Nlink <= 1 {
+		fs.mu.Lock()
+		delete(fs.byIno, st.Ino)
+		fs.mu.Unlock()
+	}
+	return nil
+}
+
+func (fs *FS) Sync() error { return fs.lower.Sync() }
+
+// --- DPAPI superblock operations ---
+
+// PassMkobj creates a phantom object: provenance identity without a lower
+// file. Browser sessions, data sets and workflow operators live here.
+func (fs *FS) PassMkobj() (vfs.PassFile, error) {
+	if err := fs.checkAlive(); err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	pn := fs.alloc.Next()
+	fs.versions[pn] = 1
+	ph := &phantom{fs: fs, pn: pn}
+	fs.phantoms[pn] = ph
+	fs.mu.Unlock()
+	return ph, nil
+}
+
+// PassReviveObj returns a handle to a phantom created earlier. The volume
+// only verifies the pnode is valid (§6.1.2's cheap-recovery design).
+func (fs *FS) PassReviveObj(ref pnode.Ref) (vfs.PassFile, error) {
+	if err := fs.checkAlive(); err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ph, ok := fs.phantoms[ref.PNode]
+	if !ok {
+		return nil, fmt.Errorf("lasagna: revive %v: %w", ref, errStale)
+	}
+	return ph, nil
+}
+
+var errStale = errors.New("stale or unknown pnode")
+
+// CurrentVersion reports the volume's current version for any pnode it
+// has allocated (files and phantoms).
+func (fs *FS) CurrentVersion(pn pnode.PNode) pnode.Version {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.versions[pn]
+}
+
+// FreezePnode is pass_freeze addressed by pnode rather than handle. The
+// PA-NFS server uses it when it processes a FREEZE record arriving inside
+// an OP_PASSWRITE bundle (§6.1.2: freeze is a record type, not an
+// operation, because it is order-sensitive with respect to pass_write).
+func (fs *FS) FreezePnode(pn pnode.PNode) (pnode.Version, error) {
+	if err := fs.checkAlive(); err != nil {
+		return 0, err
+	}
+	return fs.freeze(pn)
+}
+
+// AppendProvenance writes records straight to the volume's log — the
+// distributor's sink when it materializes cached provenance (§5.5).
+func (fs *FS) AppendProvenance(recs []record.Record) error {
+	if err := fs.checkAlive(); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := fs.log.AppendRecord(0, r); err != nil {
+			return err
+		}
+	}
+	fs.chargeRecords(len(recs))
+	return nil
+}
+
+// passWrite is the shared WAP write path: provenance first, then the data
+// descriptor, then the data itself.
+func (fs *FS) passWrite(f *file, data []byte, off int64, b *record.Bundle) (int, error) {
+	fs.mu.Lock()
+	mode := fs.crash
+	if fs.crashed {
+		fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if mode == CrashBeforeProvenance && len(data) > 0 {
+		fs.crashed = true
+		fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	fs.mu.Unlock()
+
+	ref := fs.currentRef(f.pn)
+	if err := fs.log.AppendBundle(0, b); err != nil {
+		return 0, err
+	}
+	fs.chargeRecords(b.Len())
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if b.Len() > 0 && fs.disk != nil {
+		// WAP: the new records must be durable before this data.
+		fs.disk.Charge(fs.flushCost)
+	}
+	if err := fs.log.AppendData(ref, off, data); err != nil {
+		return 0, err
+	}
+	fs.chargeDataDesc()
+	if mode == CrashAfterProvenance {
+		fs.mu.Lock()
+		fs.crashed = true
+		fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	n, err := f.lower.WriteAt(data, off)
+	if err != nil {
+		return n, err
+	}
+	// Stackable double buffering: the page exists in both Lasagna's and
+	// the lower FS's cache.
+	if fs.disk != nil {
+		fs.disk.ChargeCopy(n)
+	}
+	return n, nil
+}
+
+// --- file: vfs.PassFile over a lower file ---
+
+type file struct {
+	fs    *FS
+	lower vfs.File
+	pn    pnode.PNode
+	path  string
+}
+
+func (f *file) Ref() pnode.Ref { return f.fs.currentRef(f.pn) }
+
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.checkAlive(); err != nil {
+		return 0, err
+	}
+	n, err := f.lower.ReadAt(p, off)
+	if n > 0 && f.fs.disk != nil {
+		f.fs.disk.ChargeCopy(n)
+	}
+	return n, err
+}
+
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	// A plain write is a pass_write with no disclosed provenance; WAP
+	// still logs the data descriptor so recovery can vouch for the data.
+	return f.fs.passWrite(f, p, off, nil)
+}
+
+func (f *file) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+	n, err := f.ReadAt(p, off)
+	return n, f.Ref(), err
+}
+
+func (f *file) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
+	return f.fs.passWrite(f, p, off, b)
+}
+
+func (f *file) PassFreeze() (pnode.Version, error) {
+	if err := f.fs.checkAlive(); err != nil {
+		return 0, err
+	}
+	return f.fs.freeze(f.pn)
+}
+
+func (f *file) PassSync() error { return f.Sync() }
+
+func (f *file) Truncate(size int64) error { return f.lower.Truncate(size) }
+func (f *file) Size() int64               { return f.lower.Size() }
+func (f *file) Ino() uint64               { return f.lower.Ino() }
+func (f *file) Sync() error               { return f.lower.Sync() }
+func (f *file) Close() error              { return f.lower.Close() }
+
+// --- phantom: vfs.PassFile without a lower file ---
+
+type phantom struct {
+	fs *FS
+	pn pnode.PNode
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (ph *phantom) Ref() pnode.Ref { return ph.fs.currentRef(ph.pn) }
+
+func (ph *phantom) ReadAt(p []byte, off int64) (int, error) {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	if off >= int64(len(ph.buf)) {
+		return 0, nil
+	}
+	return copy(p, ph.buf[off:]), nil
+}
+
+func (ph *phantom) WriteAt(p []byte, off int64) (int, error) {
+	return ph.PassWrite(p, off, nil)
+}
+
+func (ph *phantom) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+	n, err := ph.ReadAt(p, off)
+	return n, ph.Ref(), err
+}
+
+// PassWrite on a phantom logs the provenance; any data lives only in
+// memory (phantoms have no lower file).
+func (ph *phantom) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
+	if err := ph.fs.checkAlive(); err != nil {
+		return 0, err
+	}
+	if err := ph.fs.log.AppendBundle(0, b); err != nil {
+		return 0, err
+	}
+	ph.fs.chargeRecords(b.Len())
+	if len(p) == 0 {
+		return 0, nil
+	}
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(ph.buf)) {
+		grown := make([]byte, end)
+		copy(grown, ph.buf)
+		ph.buf = grown
+	}
+	copy(ph.buf[off:], p)
+	return len(p), nil
+}
+
+func (ph *phantom) PassFreeze() (pnode.Version, error) { return ph.fs.freeze(ph.pn) }
+func (ph *phantom) PassSync() error                    { return nil }
+func (ph *phantom) Truncate(size int64) error          { return vfs.ErrInvalid }
+func (ph *phantom) Size() int64 {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	return int64(len(ph.buf))
+}
+func (ph *phantom) Ino() uint64  { return uint64(ph.pn) }
+func (ph *phantom) Sync() error  { return nil }
+func (ph *phantom) Close() error { return nil }
+
+var (
+	_ vfs.PassFS   = (*FS)(nil)
+	_ vfs.PassFile = (*file)(nil)
+	_ vfs.PassFile = (*phantom)(nil)
+)

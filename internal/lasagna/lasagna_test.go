@@ -1,0 +1,328 @@
+package lasagna
+
+import (
+	"errors"
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+func newVolume(t *testing.T) (*FS, *vfs.MemFS) {
+	t.Helper()
+	lower := vfs.NewMemFS("lower", nil)
+	fs, err := New("pass0", Config{Lower: lower, VolumeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, lower
+}
+
+func openPass(t *testing.T, fs *FS, path string, flags vfs.Flags) vfs.PassFile {
+	t.Helper()
+	f, err := fs.Open(path, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.(vfs.PassFile)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New("x", Config{}); err == nil {
+		t.Fatal("nil lower must be rejected")
+	}
+	if _, err := New("x", Config{Lower: vfs.NewMemFS("l", nil)}); err == nil {
+		t.Fatal("zero volume ID must be rejected")
+	}
+}
+
+func TestFileIdentityStableAcrossOpens(t *testing.T) {
+	fs, _ := newVolume(t)
+	f1 := openPass(t, fs, "/a.txt", vfs.OCreate|vfs.ORdWr)
+	ref1 := f1.Ref()
+	f1.Close()
+	f2 := openPass(t, fs, "/a.txt", vfs.ORdWr)
+	if f2.Ref() != ref1 {
+		t.Fatalf("identity changed across opens: %v vs %v", f2.Ref(), ref1)
+	}
+	if pnode.VolumePrefix(ref1.PNode) != 1 {
+		t.Fatalf("pnode not in volume space: %v", ref1)
+	}
+}
+
+func TestIdentitySurvivesRename(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/orig", vfs.OCreate|vfs.ORdWr)
+	ref := f.Ref()
+	f.Close()
+	if err := fs.Rename("/orig", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	f2 := openPass(t, fs, "/moved", vfs.ORdOnly)
+	if f2.Ref() != ref {
+		t.Fatal("provenance identity must follow the file across rename (§3.2)")
+	}
+	// And the log must know the new lower path.
+	recs, err := fs.LogRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, r := range recs {
+		if r.Attr == AttrLowerPath && r.Subject.PNode == ref.PNode {
+			s, _ := r.Value.AsString()
+			paths = append(paths, s)
+		}
+	}
+	if len(paths) != 2 || paths[1] != "/moved" {
+		t.Fatalf("LPATH history = %v", paths)
+	}
+}
+
+func TestPassWriteLogsProvenanceBeforeData(t *testing.T) {
+	fs, lower := newVolume(t)
+	f := openPass(t, fs, "/out", vfs.OCreate|vfs.ORdWr)
+	proc := pnode.Ref{PNode: 900, Version: 1}
+	b := record.NewBundle(record.Input(f.Ref(), proc))
+	if _, err := f.PassWrite([]byte("result"), 0, b); err != nil {
+		t.Fatal(err)
+	}
+	// Scan raw log: the INPUT record must precede the data descriptor.
+	var order []provlog.EntryType
+	provlog.ScanAll(lower, "/.prov", func(e provlog.Entry) error {
+		order = append(order, e.Type)
+		return nil
+	})
+	sawRecord := false
+	for _, typ := range order {
+		if typ == provlog.EntryRecord {
+			sawRecord = true
+		}
+		if typ == provlog.EntryData && !sawRecord {
+			t.Fatal("WAP violated: data descriptor before provenance record")
+		}
+	}
+	got, _ := vfs.ReadFile(lower, "/out")
+	if string(got) != "result" {
+		t.Fatalf("data = %q", got)
+	}
+}
+
+func TestPassReadReturnsIdentity(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/in", vfs.OCreate|vfs.ORdWr)
+	f.PassWrite([]byte("data"), 0, nil)
+	buf := make([]byte, 4)
+	n, ref, err := f.PassRead(buf, 0)
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if ref != f.Ref() {
+		t.Fatalf("pass_read ref %v != %v", ref, f.Ref())
+	}
+}
+
+func TestFreezeBumpsVersionAndLogs(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/v", vfs.OCreate|vfs.ORdWr)
+	if f.Ref().Version != 1 {
+		t.Fatal("fresh file must be version 1")
+	}
+	v, err := f.PassFreeze()
+	if err != nil || v != 2 {
+		t.Fatalf("freeze → %v, %v", v, err)
+	}
+	if f.Ref().Version != 2 {
+		t.Fatal("Ref must reflect freeze")
+	}
+	recs, _ := fs.LogRecords()
+	found := false
+	for _, r := range recs {
+		if r.Attr == record.AttrFreeze && r.Subject == f.Ref() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("freeze record not logged")
+	}
+}
+
+func TestPhantomObjects(t *testing.T) {
+	fs, _ := newVolume(t)
+	ph, err := fs.PassMkobj()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ph.Ref()
+	if !ref.IsValid() || ref.Version != 1 {
+		t.Fatalf("phantom ref = %v", ref)
+	}
+	// Phantom data is readable back but never hits the lower FS.
+	if _, err := ph.PassWrite([]byte("session-state"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, _, _ := ph.PassRead(buf, 0)
+	if string(buf[:n]) != "session-state" {
+		t.Fatalf("phantom read = %q", buf[:n])
+	}
+	// Revive by pnode.
+	again, err := fs.PassReviveObj(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Ref() != ref {
+		t.Fatal("revive returned a different object")
+	}
+	// Unknown pnode is rejected.
+	if _, err := fs.PassReviveObj(pnode.Ref{PNode: 424242, Version: 1}); err == nil {
+		t.Fatal("revive of unknown pnode must fail")
+	}
+}
+
+func TestProvenanceLogHiddenFromReadDir(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/visible", vfs.OCreate)
+	f.Close()
+	ents, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name == ".prov" {
+			t.Fatal("provenance log leaked into the namespace")
+		}
+	}
+	if len(ents) != 1 || ents[0].Name != "visible" {
+		t.Fatalf("ents = %v", ents)
+	}
+}
+
+func TestAppendProvenanceReachesLog(t *testing.T) {
+	fs, _ := newVolume(t)
+	r := record.Input(pnode.Ref{PNode: 5, Version: 1}, pnode.Ref{PNode: 6, Version: 1})
+	if err := fs.AppendProvenance([]record.Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := fs.LogRecords()
+	if len(recs) != 1 || !recs[0].Equal(r) {
+		t.Fatalf("log = %v", recs)
+	}
+}
+
+func TestCrashAfterProvenanceDetectedByRecovery(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/precious", vfs.OCreate|vfs.ORdWr)
+	if _, err := f.PassWrite([]byte("intact"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.InjectCrash(CrashAfterProvenance)
+	_, err := f.PassWrite([]byte("lostwr"), 6, nil)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Volume refuses work until recovered.
+	if _, err := fs.Open("/precious", vfs.ORdOnly); !errors.Is(err, ErrCrashed) {
+		t.Fatal("crashed volume must refuse opens")
+	}
+	bad, err := fs.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("inconsistencies = %v, want exactly the torn write", bad)
+	}
+	if bad[0].Path != "/precious" || bad[0].Off != 6 || bad[0].Len != 6 {
+		t.Fatalf("wrong region flagged: %+v", bad[0])
+	}
+	// After recovery the volume works again and identity is preserved.
+	f2 := openPass(t, fs, "/precious", vfs.ORdWr)
+	if f2.Ref().PNode != f.Ref().PNode {
+		t.Fatal("recovery lost the pnode binding")
+	}
+}
+
+func TestRecoveryCleanVolumeFindsNothing(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/a", vfs.OCreate|vfs.ORdWr)
+	f.PassWrite([]byte("one"), 0, nil)
+	f.PassWrite([]byte("two"), 0, nil) // overwrite same region: only final counts
+	bad, err := fs.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean volume flagged: %v", bad)
+	}
+}
+
+func TestCrashBeforeProvenanceLeavesNoTrace(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/x", vfs.OCreate|vfs.ORdWr)
+	fs.InjectCrash(CrashBeforeProvenance)
+	if _, err := f.PassWrite([]byte("gone"), 0, nil); !errors.Is(err, ErrCrashed) {
+		t.Fatal("crash not injected")
+	}
+	bad, err := fs.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing logged, nothing written: recovery is silent, and WAP means
+	// no unprovenanced data exists either.
+	if len(bad) != 0 {
+		t.Fatalf("flagged %v", bad)
+	}
+	unprov, _ := fs.UnprovenancedRegions()
+	if len(unprov) != 0 {
+		t.Fatalf("unprovenanced data after WAP crash: %v", unprov)
+	}
+}
+
+func TestUnprovenancedRegionsCatchesNonWAPWrite(t *testing.T) {
+	fs, lower := newVolume(t)
+	f := openPass(t, fs, "/sneaky", vfs.OCreate|vfs.ORdWr)
+	f.PassWrite([]byte("ok"), 0, nil)
+	// Simulate a non-WAP write: bytes land on the lower FS directly,
+	// bypassing the log (what a crash in a WAP-less design leaves).
+	lf, _ := lower.Open("/sneaky", vfs.ORdWr)
+	lf.WriteAt([]byte("XXXX"), 2)
+	lf.Close()
+	unprov, err := fs.UnprovenancedRegions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unprov) != 1 || unprov[0].Off != 2 || unprov[0].Len != 4 {
+		t.Fatalf("unprovenanced = %v", unprov)
+	}
+}
+
+func TestDoubleBufferingCharged(t *testing.T) {
+	var clk vfs.Clock
+	disk := vfs.NewDisk(vfs.CostModel{PageCopy: 1}, &clk)
+	lower := vfs.NewMemFS("lower", nil)
+	fs, err := New("pass0", Config{Lower: lower, VolumeID: 1, Disk: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Open("/f", vfs.OCreate|vfs.ORdWr)
+	f.WriteAt(make([]byte, 1000), 0)
+	if clk.Now() < 1000 {
+		t.Fatalf("stacking copy not charged: %v", clk.Now())
+	}
+}
+
+func TestRemoveDropsIdentity(t *testing.T) {
+	fs, _ := newVolume(t)
+	f := openPass(t, fs, "/tmp1", vfs.OCreate|vfs.ORdWr)
+	old := f.Ref()
+	f.Close()
+	if err := fs.Remove("/tmp1"); err != nil {
+		t.Fatal(err)
+	}
+	f2 := openPass(t, fs, "/tmp1", vfs.OCreate|vfs.ORdWr)
+	if f2.Ref().PNode == old.PNode {
+		t.Fatal("recreated file must get a fresh pnode")
+	}
+}

@@ -1,0 +1,160 @@
+// Package links implements the provenance-aware text browser of §6.3,
+// modeled on links 0.98 (chosen in the paper for its simple code base). A
+// PA-browser captures semantic information invisible to PASS: the URL of
+// every downloaded file, the page the user was viewing when she initiated
+// the download, the sequence of pages she visited before it, and the
+// grouping of all of that into sessions.
+//
+// Provenance is grouped by session: each session is a pass_mkobj phantom
+// object. Visits append VISITED_URL records to the session. A download
+// generates three records — INPUT (file ← session), FILE_URL, and
+// CURRENT_URL — and replaces the browser's write with a pass_write that
+// transmits the data and the records together, so the file and its
+// provenance stay connected even if the file is later renamed or copied
+// (the attribution use case, §3.2).
+package links
+
+import (
+	"errors"
+	"fmt"
+
+	"passv2/internal/dpapi"
+	"passv2/internal/kernel"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/web"
+)
+
+// ErrNoSession reports browsing before NewSession.
+var ErrNoSession = errors.New("links: no active session")
+
+// Browser is one links instance bound to a kernel process.
+type Browser struct {
+	proc *kernel.Process
+	web  *web.Web
+
+	sess    dpapi.Object
+	current string
+	history []string
+}
+
+// New starts a browser on proc over w.
+func New(proc *kernel.Process, w *web.Web) *Browser {
+	return &Browser{proc: proc, web: w}
+}
+
+// NewSession opens a browsing session: a phantom object whose provenance
+// the distributor will place on volumeHint (or wherever its first
+// persistent descendant lives).
+func (b *Browser) NewSession(volumeHint string) (pnode.Ref, error) {
+	sess, err := b.proc.PassMkobj(volumeHint)
+	if err != nil {
+		return pnode.Ref{}, fmt.Errorf("links: create session: %w", err)
+	}
+	b.sess = sess
+	b.current = ""
+	b.history = nil
+	ref := sess.Ref()
+	err = dpapi.Disclose(sess, record.New(ref, record.AttrType, record.StringVal(record.TypeSession)))
+	return ref, err
+}
+
+// ReviveSession reattaches to a stored session (the Firefox restart
+// scenario of §6.5 that motivated pass_reviveobj).
+func (b *Browser) ReviveSession(ref pnode.Ref) error {
+	sess, err := b.proc.PassReviveObj(ref)
+	if err != nil {
+		return err
+	}
+	b.sess = sess
+	return nil
+}
+
+// Session returns the active session's identity.
+func (b *Browser) Session() (pnode.Ref, error) {
+	if b.sess == nil {
+		return pnode.Ref{}, ErrNoSession
+	}
+	return b.sess.Ref(), nil
+}
+
+// Current returns the URL being viewed.
+func (b *Browser) Current() string { return b.current }
+
+// History returns the visited URLs, oldest first.
+func (b *Browser) History() []string { return append([]string(nil), b.history...) }
+
+// Visit fetches a page, records the VISITED_URL dependency between the
+// session and the URL, and makes it current. It returns the page.
+func (b *Browser) Visit(url string) (*web.Page, error) {
+	if b.sess == nil {
+		return nil, ErrNoSession
+	}
+	page, finalURL, err := b.web.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if page.Download {
+		return nil, fmt.Errorf("links: %s is a download; use Download", url)
+	}
+	sref := b.sess.Ref()
+	recs := []record.Record{record.New(sref, record.AttrVisitedURL, record.StringVal(finalURL))}
+	if finalURL != url {
+		// Record the redirect hop too: the malware use case wants "the
+		// user may have been redirected from a trusted site".
+		recs = append(recs, record.New(sref, record.AttrVisitedURL, record.StringVal(url)))
+	}
+	if err := dpapi.Disclose(b.sess, recs...); err != nil {
+		return nil, err
+	}
+	b.current = finalURL
+	b.history = append(b.history, finalURL)
+	return page, nil
+}
+
+// Download fetches a resource and writes it to destPath, replacing the
+// plain write with a pass_write carrying the three records of §6.3:
+// INPUT (file ← session), FILE_URL, and CURRENT_URL.
+func (b *Browser) Download(url, destPath string) (pnode.Ref, error) {
+	if b.sess == nil {
+		return pnode.Ref{}, ErrNoSession
+	}
+	page, finalURL, err := b.web.Get(url)
+	if err != nil {
+		return pnode.Ref{}, err
+	}
+	fd, err := b.proc.Open(destPath, vfs.OCreate|vfs.OTrunc|vfs.ORdWr)
+	if err != nil {
+		return pnode.Ref{}, err
+	}
+	defer b.proc.Close(fd)
+
+	kfd, err := b.proc.FDGet(fd)
+	if err != nil {
+		return pnode.Ref{}, err
+	}
+	sref := b.sess.Ref()
+	var fileRef pnode.Ref
+	if pf := kfd.PassFile(); pf != nil {
+		fileRef = pf.Ref()
+		bundle := record.NewBundle(
+			record.Input(fileRef, sref),
+			record.New(fileRef, record.AttrFileURL, record.StringVal(finalURL)),
+		)
+		if b.current != "" {
+			bundle.Add(record.New(fileRef, record.AttrCurrentURL, record.StringVal(b.current)))
+		}
+		if _, err := b.proc.PassWriteFd(fd, page.Content, bundle); err != nil {
+			return pnode.Ref{}, err
+		}
+		return fileRef, nil
+	}
+	// Non-PASS destination: the browser still discloses; the records
+	// describe the file's transient identity and persist only if the
+	// file later enters persistent ancestry.
+	if _, err := b.proc.Write(fd, page.Content); err != nil {
+		return pnode.Ref{}, err
+	}
+	return pnode.Ref{}, nil
+}

@@ -1,0 +1,213 @@
+package links
+
+import (
+	"errors"
+	"testing"
+
+	"passv2/internal/kernel"
+	"passv2/internal/lasagna"
+	"passv2/internal/observer"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+	"passv2/internal/web"
+)
+
+type rig struct {
+	k   *kernel.Kernel
+	w   *waldo.Waldo
+	web *web.Web
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := kernel.New(&vfs.Clock{})
+	k.Mount("/", vfs.NewMemFS("root", nil))
+	vol, err := lasagna.New("pass0", lasagna.Config{Lower: vfs.NewMemFS("lower", nil), VolumeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Mount("/home", vol)
+	o := observer.New(k)
+	o.RegisterVolume(vol)
+	w := waldo.New()
+	w.Attach(vol)
+	www := web.New()
+	www.AddPage("http://uni.example/", "course home", "http://uni.example/charts")
+	www.AddPage("http://uni.example/charts", "charts index", "http://uni.example/charts/growth.png")
+	www.AddDownload("http://uni.example/charts/growth.png", []byte("PNGDATA"))
+	return &rig{k: k, w: w, web: www}
+}
+
+func (r *rig) db(t *testing.T) *waldo.DB {
+	t.Helper()
+	if err := r.w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return r.w.DB
+}
+
+func TestBrowsingRequiresSession(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "links", nil, nil)
+	b := New(p, r.web)
+	if _, err := b.Visit("http://uni.example/"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("visit without session: %v", err)
+	}
+	if _, err := b.Download("http://uni.example/charts/growth.png", "/home/x"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("download without session: %v", err)
+	}
+}
+
+func TestDownloadCarriesThreeRecords(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "links", nil, nil)
+	b := New(p, r.web)
+	if _, err := b.NewSession("/home"); err != nil {
+		t.Fatal(err)
+	}
+	b.Visit("http://uni.example/")
+	b.Visit("http://uni.example/charts")
+	fileRef, err := b.Download("http://uni.example/charts/growth.png", "/home/growth.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := r.db(t)
+
+	// FILE_URL: the URL of the file itself.
+	vals := db.AttrValues(fileRef, record.AttrFileURL)
+	if len(vals) != 1 {
+		t.Fatal("FILE_URL missing")
+	}
+	if s, _ := vals[0].AsString(); s != "http://uni.example/charts/growth.png" {
+		t.Fatalf("FILE_URL = %q", s)
+	}
+	// CURRENT_URL: the page being viewed at download time.
+	vals = db.AttrValues(fileRef, record.AttrCurrentURL)
+	if s, _ := vals[0].AsString(); s != "http://uni.example/charts" {
+		t.Fatalf("CURRENT_URL = %q", s)
+	}
+	// INPUT: the file descends from the session, and the session's
+	// visit history materialized with it.
+	sess, _ := b.Session()
+	inputs := db.Inputs(fileRef)
+	found := false
+	for _, in := range inputs {
+		if in.PNode == sess.PNode {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("session missing from file inputs: %v", inputs)
+	}
+	visited := db.AttrValues(pnode.Ref{PNode: sess.PNode, Version: sess.Version}, record.AttrVisitedURL)
+	if len(visited) != 2 {
+		t.Fatalf("VISITED_URL history = %v", visited)
+	}
+	// The file content arrived too.
+	got, _ := vfs.ReadFile(r.k.Mounts.FSAt("/home"), "/growth.png")
+	if string(got) != "PNGDATA" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestProvenanceSurvivesRenameAndCopy(t *testing.T) {
+	// The attribution use case: browser loses the connection when the
+	// user moves the file; PASSv2 does not.
+	r := newRig(t)
+	p := r.k.Spawn(nil, "links", nil, nil)
+	b := New(p, r.web)
+	b.NewSession("/home")
+	b.Visit("http://uni.example/charts")
+	fileRef, err := b.Download("http://uni.example/charts/growth.png", "/home/downloads/../growth.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The professor moves the file into her presentation directory.
+	p.MkdirAll("/home/talk")
+	if err := p.Rename("/home/growth.png", "/home/talk/fig1.png"); err != nil {
+		t.Fatal(err)
+	}
+	// The site goes away entirely.
+	r.web.Remove("http://uni.example/charts/growth.png")
+
+	db := r.db(t)
+	// Query by the file's identity (which followed the rename): the
+	// URL is still recoverable.
+	vals := db.AttrValues(fileRef, record.AttrFileURL)
+	if len(vals) != 1 {
+		t.Fatal("attribution lost after rename")
+	}
+}
+
+func TestRedirectRecordsBothURLs(t *testing.T) {
+	r := newRig(t)
+	r.web.AddRedirect("http://trusted.example/dl", "http://evil.example/payload-page")
+	r.web.AddPage("http://evil.example/payload-page", "get it here")
+	p := r.k.Spawn(nil, "links", nil, nil)
+	b := New(p, r.web)
+	b.NewSession("/home")
+	if _, err := b.Visit("http://trusted.example/dl"); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := b.Session()
+	db := r.db(t)
+	// Force session provenance out even without a download.
+	_ = db
+	// Session history not yet persistent (no persistent descendant);
+	// download something to materialize it.
+	b.Download("http://uni.example/charts/growth.png", "/home/f.png")
+	db = r.db(t)
+	visited := db.AttrValues(pnode.Ref{PNode: sess.PNode, Version: sess.Version}, record.AttrVisitedURL)
+	var urls []string
+	for _, v := range visited {
+		s, _ := v.AsString()
+		urls = append(urls, s)
+	}
+	haveTrusted, haveEvil := false, false
+	for _, u := range urls {
+		if u == "http://trusted.example/dl" {
+			haveTrusted = true
+		}
+		if u == "http://evil.example/payload-page" {
+			haveEvil = true
+		}
+	}
+	if !haveTrusted || !haveEvil {
+		t.Fatalf("redirect hops not both recorded: %v", urls)
+	}
+}
+
+func TestReviveSession(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "links", nil, nil)
+	b := New(p, r.web)
+	ref, _ := b.NewSession("/home")
+	b.Visit("http://uni.example/")
+
+	// Browser restarts: a new Browser revives the stored session.
+	b2 := New(p, r.web)
+	if err := b2.ReviveSession(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Visit("http://uni.example/charts"); err != nil {
+		t.Fatal(err)
+	}
+	b2.Download("http://uni.example/charts/growth.png", "/home/g.png")
+	db := r.db(t)
+	visited := db.AttrValues(pnode.Ref{PNode: ref.PNode, Version: ref.Version}, record.AttrVisitedURL)
+	if len(visited) != 2 {
+		t.Fatalf("revived session history = %d URLs, want 2", len(visited))
+	}
+}
+
+func TestVisitOnDownloadRejected(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "links", nil, nil)
+	b := New(p, r.web)
+	b.NewSession("/home")
+	if _, err := b.Visit("http://uni.example/charts/growth.png"); err == nil {
+		t.Fatal("visiting a download must be rejected")
+	}
+}

@@ -1,0 +1,69 @@
+package nfs
+
+import (
+	"testing"
+
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// TestVersionBranchingUnderCloseToOpen documents §6.1.2's caveat: with
+// close-to-open consistency, two clients can open the same version of a
+// file and each freeze it locally, creating independent copies with the
+// same version number. The server reconciles freeze records in arrival
+// order; the result must stay monotonic and acyclic even though the
+// clients briefly disagreed.
+func TestVersionBranchingUnderCloseToOpen(t *testing.T) {
+	srv := newTestServer(t)
+	c1 := dialPass(t, srv)
+	c2 := dialPass(t, srv)
+
+	f1, _ := c1.Open("/branch", vfs.OCreate|vfs.ORdWr)
+	pf1 := f1.(vfs.PassFile)
+	f2, _ := c2.Open("/branch", vfs.ORdWr)
+	pf2 := f2.(vfs.PassFile)
+
+	// Both clients freeze locally without talking to the server: both
+	// now believe version 2 exists — the branch.
+	v1, _ := pf1.PassFreeze()
+	v2, _ := pf2.PassFreeze()
+	if v1 != 2 || v2 != 2 {
+		t.Fatalf("local freezes = %v, %v", v1, v2)
+	}
+	// Each writes; the server applies the freeze records in arrival
+	// order, so the server version advances twice.
+	if _, err := pf1.PassWrite([]byte("from-c1"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf2.PassWrite([]byte("from-c2"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	srvVer := srv.Volume().CurrentVersion(pf1.Ref().PNode)
+	if srvVer != 3 {
+		t.Fatalf("server version = %v, want 3 (two reconciled freezes)", srvVer)
+	}
+	// Client 2's next pass_read adopts the server's view.
+	buf := make([]byte, 16)
+	_, ref, err := pf2.PassRead(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Version != 3 {
+		t.Fatalf("client 2 did not converge: %v", ref)
+	}
+	// The provenance graph stays acyclic despite the branch.
+	w := waldo.New()
+	w.Attach(srv.Volume())
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	db := w.DB
+	pn := pf1.Ref().PNode
+	for _, v := range db.Versions(pn) {
+		for _, in := range db.Inputs(refv(pn, v)) {
+			if in.PNode == pn && in.Version >= v {
+				t.Fatalf("version edge not strictly decreasing: v%d ← v%d", v, in.Version)
+			}
+		}
+	}
+}

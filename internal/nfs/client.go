@@ -1,0 +1,238 @@
+package nfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"passv2/internal/pnode"
+	"passv2/internal/vfs"
+)
+
+// Client is the baseline NFS client: a vfs.FS over the wire with no
+// provenance operations (the "NFS" column of Table 2). PassClient layers
+// the DPAPI on top. Neither caches data, so close-to-open consistency
+// holds trivially.
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	clock *vfs.Clock
+	net   NetCost
+	volID uint16
+	name  string
+}
+
+// Dial connects to a PA-NFS server. clock may be nil (no cost charging).
+func Dial(addr string, clock *vfs.Clock, cost NetCost) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:  conn,
+		enc:   gob.NewEncoder(conn),
+		dec:   gob.NewDecoder(conn),
+		clock: clock,
+		net:   cost,
+	}
+	rep, err := c.call(&Request{Op: OpHandshake})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.volID = rep.Vol
+	c.name = "nfs:" + rep.Name
+	return c, nil
+}
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one synchronous RPC, charging the simulated network.
+func (c *Client) call(req *Request) (*Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("nfs: send: %w", err)
+	}
+	var rep Reply
+	if err := c.dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("nfs: recv: %w", err)
+	}
+	if c.clock != nil {
+		bytes := len(req.Data) + len(req.Prov) + len(rep.Data) + 128
+		c.clock.Advance(c.net.RTT + time.Duration(bytes)*c.net.PerByte)
+	}
+	if rep.Err != "" {
+		return &rep, wireErr(rep.Err)
+	}
+	return &rep, nil
+}
+
+func wireErr(name string) error {
+	switch name {
+	case errNotExist:
+		return vfs.ErrNotExist
+	case errExist:
+		return vfs.ErrExist
+	case errIsDir:
+		return vfs.ErrIsDir
+	case errNotDir:
+		return vfs.ErrNotDir
+	case errNotEmpty:
+		return vfs.ErrNotEmpty
+	case errReadOnly:
+		return vfs.ErrReadOnly
+	case errStaleFH:
+		return ErrStale
+	case errTooBig:
+		return ErrTooBig
+	case errCrashed:
+		return ErrServerCrashed
+	default:
+		return vfs.ErrInvalid
+	}
+}
+
+// Client-visible protocol errors.
+var (
+	ErrStale         = errors.New("nfs: stale file handle or pnode")
+	ErrTooBig        = errors.New("nfs: request exceeds 64KB chunk limit")
+	ErrServerCrashed = errors.New("nfs: server volume crashed")
+)
+
+// FSName names the mount.
+func (c *Client) FSName() string { return c.name }
+
+// Open opens a remote file.
+func (c *Client) Open(path string, flags vfs.Flags) (vfs.File, error) {
+	rep, err := c.call(&Request{Op: OpOpen, Path: path, Flags: uint32(flags)})
+	if err != nil {
+		return nil, err
+	}
+	return &plainFile{c: c, fh: rep.FH, ino: uint64(rep.Ref.PNode), size: int64(rep.N), baseRef: rep.Ref}, nil
+}
+
+func (c *Client) Mkdir(path string) error {
+	_, err := c.call(&Request{Op: OpMkdir, Path: path})
+	return err
+}
+
+func (c *Client) MkdirAll(path string) error {
+	_, err := c.call(&Request{Op: OpMkdirAll, Path: path})
+	return err
+}
+
+func (c *Client) ReadDir(path string) ([]vfs.DirEnt, error) {
+	rep, err := c.call(&Request{Op: OpReadDir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Ents, nil
+}
+
+func (c *Client) Stat(path string) (vfs.Stat, error) {
+	rep, err := c.call(&Request{Op: OpStat, Path: path})
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return rep.St, nil
+}
+
+func (c *Client) Rename(oldPath, newPath string) error {
+	_, err := c.call(&Request{Op: OpRename, Path: oldPath, Path2: newPath})
+	return err
+}
+
+func (c *Client) Remove(path string) error {
+	_, err := c.call(&Request{Op: OpRemove, Path: path})
+	return err
+}
+
+func (c *Client) Sync() error {
+	_, err := c.call(&Request{Op: OpSync})
+	return err
+}
+
+var _ vfs.FS = (*Client)(nil)
+
+// plainFile is a baseline remote file handle.
+type plainFile struct {
+	c       *Client
+	fh      uint64
+	ino     uint64
+	baseRef pnode.Ref
+
+	mu   sync.Mutex
+	size int64
+}
+
+func (f *plainFile) ReadAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		rep, err := f.c.call(&Request{Op: OpRead, FH: f.fh, Off: off + int64(total), N: int32(n)})
+		if err != nil {
+			return total, err
+		}
+		copy(p[total:], rep.Data)
+		total += int(rep.N)
+		if int(rep.N) < n {
+			break // short read: EOF
+		}
+	}
+	return total, nil
+}
+
+func (f *plainFile) WriteAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		rep, err := f.c.call(&Request{Op: OpWrite, FH: f.fh, Off: off + int64(total), Data: p[total : total+n]})
+		if err != nil {
+			return total, err
+		}
+		total += int(rep.N)
+	}
+	f.mu.Lock()
+	if off+int64(total) > f.size {
+		f.size = off + int64(total)
+	}
+	f.mu.Unlock()
+	return total, nil
+}
+
+func (f *plainFile) Truncate(size int64) error {
+	_, err := f.c.call(&Request{Op: OpTruncate, FH: f.fh, Off: size})
+	if err == nil {
+		f.mu.Lock()
+		f.size = size
+		f.mu.Unlock()
+	}
+	return err
+}
+
+func (f *plainFile) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+func (f *plainFile) Ino() uint64 { return f.ino }
+func (f *plainFile) Sync() error { return nil }
+
+func (f *plainFile) Close() error {
+	_, err := f.c.call(&Request{Op: OpClose, FH: f.fh})
+	return err
+}

@@ -1,0 +1,384 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"passv2/internal/lasagna"
+	"passv2/internal/pnode"
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// newServer starts a server over a fresh Lasagna volume.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	lower := vfs.NewMemFS("server-lower", nil)
+	vol, err := lasagna.New("export0", lasagna.Config{Lower: lower, VolumeID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dialPass(t *testing.T, srv *Server) *PassClient {
+	t.Helper()
+	c, err := DialPass(srv.Addr(), nil, DefaultNetCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPlainClientFSOps(t *testing.T) {
+	srv := newTestServer(t)
+	c, err := Dial(srv.Addr(), nil, DefaultNetCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c, "/a/b/f.txt", []byte("remote data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(c, "/a/b/f.txt")
+	if err != nil || string(got) != "remote data" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	st, err := c.Stat("/a/b/f.txt")
+	if err != nil || st.Size != 11 {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	ents, err := c.ReadDir("/a/b")
+	if err != nil || len(ents) != 1 || ents[0].Name != "f.txt" {
+		t.Fatalf("readdir = %v, %v", ents, err)
+	}
+	if err := c.Rename("/a/b/f.txt", "/a/f2.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("/a/f2.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("/a/f2.txt", vfs.ORdOnly); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("want ErrNotExist over the wire, got %v", err)
+	}
+}
+
+func TestErrorsMappedAcrossWire(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	if _, err := c.Open("/missing", vfs.ORdOnly); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("ENOENT mapping: %v", err)
+	}
+	if err := c.Mkdir("/no/parent"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("mkdir mapping: %v", err)
+	}
+	vfs.WriteFile(c, "/f", nil)
+	if _, err := c.Open("/f", vfs.OCreate|vfs.OExcl); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("EEXIST mapping: %v", err)
+	}
+}
+
+func TestPassWriteSmallBundleSingleOp(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, err := c.Open("/out", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := f.(vfs.PassFile)
+	proc := pnode.Ref{PNode: 0xFFFF000000000001, Version: 1}
+	if _, err := pf.PassWrite([]byte("hello"), 0, record.NewBundle(record.Input(pf.Ref(), proc))); err != nil {
+		t.Fatal(err)
+	}
+	// Server volume has the data and the record.
+	got, _ := vfs.ReadFile(srv.Volume(), "/out")
+	if string(got) != "hello" {
+		t.Fatalf("server data = %q", got)
+	}
+	recs, _ := srv.Volume().LogRecords()
+	found := false
+	for _, r := range recs {
+		if r.Attr == record.AttrInput {
+			if dep, _ := r.Value.AsRef(); dep == proc {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("provenance record did not reach the server log")
+	}
+}
+
+func TestPassReadReturnsServerIdentity(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, _ := c.Open("/in", vfs.OCreate|vfs.ORdWr)
+	pf := f.(vfs.PassFile)
+	pf.PassWrite([]byte("abc"), 0, nil)
+	buf := make([]byte, 8)
+	n, ref, err := pf.PassRead(buf, 0)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if pnode.VolumePrefix(ref.PNode) != 3 {
+		t.Fatalf("identity not from server volume: %v", ref)
+	}
+}
+
+func TestLargeBundleUsesTransaction(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, _ := c.Open("/big", vfs.OCreate|vfs.ORdWr)
+	pf := f.(vfs.PassFile)
+
+	// Build a bundle well over 64KB: many records with long values.
+	b := &record.Bundle{}
+	long := string(bytes.Repeat([]byte("x"), 1024))
+	for i := 0; i < 128; i++ {
+		b.Add(record.New(pf.Ref(), record.Attr("PARAM"), record.StringVal(fmt.Sprintf("%s-%d", long, i))))
+	}
+	if _, err := pf.PassWrite([]byte("data"), 0, b); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log must contain BEGINTXN ... records(txn) ... ENDTXN.
+	var sawBegin, sawEnd bool
+	var txnRecords int
+	provlog.ScanAll(srv.Volume().Lower(), "/.prov", func(e provlog.Entry) error {
+		switch e.Type {
+		case provlog.EntryBeginTxn:
+			sawBegin = true
+		case provlog.EntryEndTxn:
+			sawEnd = true
+		case provlog.EntryRecord:
+			if e.Txn != 0 {
+				txnRecords++
+			}
+		}
+		return nil
+	})
+	if !sawBegin || !sawEnd || txnRecords < 128 {
+		t.Fatalf("txn encapsulation missing: begin=%v end=%v recs=%d", sawBegin, sawEnd, txnRecords)
+	}
+	// Waldo applies the transaction only once ended.
+	w := waldo.New()
+	w.Attach(srv.Volume())
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.OrphanTxns()) != 0 {
+		t.Fatal("completed transaction reported as orphan")
+	}
+	if got, _ := vfs.ReadFile(srv.Volume(), "/big"); string(got) != "data" {
+		t.Fatalf("data = %q", got)
+	}
+}
+
+func TestOrphanedTransactionDiscarded(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, _ := c.Open("/victim", vfs.OCreate|vfs.ORdWr)
+	pf := f.(*passFile)
+
+	// Simulate the crash window: provenance sent under a txn, client
+	// dies before the OP_PASSWRITE that would end it.
+	rep, err := c.call(&Request{Op: OpBeginTxn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := record.EncodeBundle(record.NewBundle(
+		record.Input(pf.Ref(), pnode.Ref{PNode: 0xFFFF000000000009, Version: 1}),
+	))
+	if _, err := c.call(&Request{Op: OpPassProv, Txn: rep.Txn, Prov: chunk}); err != nil {
+		t.Fatal(err)
+	}
+	// No ENDTXN ever arrives. Waldo sees the orphan and discards it.
+	w := waldo.New()
+	w.Attach(srv.Volume())
+	w.Drain()
+	orphans := w.OrphanTxns()
+	if len(orphans) != 1 || orphans[0] != rep.Txn {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	if n := w.DiscardOrphans(); n != 1 {
+		t.Fatalf("discarded %d", n)
+	}
+	if len(w.DB.Inputs(pf.Ref())) != 0 {
+		t.Fatal("orphaned provenance leaked into database")
+	}
+}
+
+func TestFreezeIsARecordNotAnOp(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, _ := c.Open("/versioned", vfs.OCreate|vfs.ORdWr)
+	pf := f.(vfs.PassFile)
+
+	if pf.Ref().Version != 1 {
+		t.Fatalf("fresh version = %v", pf.Ref().Version)
+	}
+	v, err := pf.PassFreeze()
+	if err != nil || v != 2 {
+		t.Fatalf("freeze = %v, %v", v, err)
+	}
+	// No round trip yet: the server still thinks version 1.
+	if got := srv.Volume().CurrentVersion(pf.Ref().PNode); got != 1 {
+		t.Fatalf("server version before write = %v", got)
+	}
+	// The next pass_write carries the freeze record; the server
+	// re-applies it in order.
+	if _, err := pf.PassWrite([]byte("x"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Volume().CurrentVersion(pf.Ref().PNode); got != 2 {
+		t.Fatalf("server version after write = %v", got)
+	}
+	if pf.Ref().Version != 2 {
+		t.Fatalf("client version after write = %v", pf.Ref().Version)
+	}
+}
+
+func TestTwoClientsShareServerState(t *testing.T) {
+	srv := newTestServer(t)
+	c1 := dialPass(t, srv)
+	c2 := dialPass(t, srv)
+
+	f1, _ := c1.Open("/shared", vfs.OCreate|vfs.ORdWr)
+	pf1 := f1.(vfs.PassFile)
+	pf1.PassWrite([]byte("from-c1"), 0, nil)
+
+	f2, _ := c2.Open("/shared", vfs.ORdWr)
+	pf2 := f2.(vfs.PassFile)
+	buf := make([]byte, 16)
+	n, ref2, err := pf2.PassRead(buf, 0)
+	if err != nil || string(buf[:n]) != "from-c1" {
+		t.Fatalf("c2 read %q, %v", buf[:n], err)
+	}
+	if ref2.PNode != pf1.Ref().PNode {
+		t.Fatal("clients see different identities for one file")
+	}
+	// c1 freezes + writes; c2's next pass_read observes the new version.
+	pf1.PassFreeze()
+	pf1.PassWrite([]byte("v2!"), 0, nil)
+	_, ref2b, _ := pf2.PassRead(buf, 0)
+	if ref2b.Version < 2 {
+		t.Fatalf("c2 did not observe server version: %v", ref2b)
+	}
+}
+
+func TestPhantomObjectsOverWire(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	ph, err := c.PassMkobj()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pnode.VolumePrefix(ph.Ref().PNode) != 3 {
+		t.Fatalf("phantom pnode not from server: %v", ph.Ref())
+	}
+	// Records about the phantom reach the server log.
+	if _, err := ph.PassWrite(nil, 0, record.NewBundle(
+		record.New(ph.Ref(), record.AttrType, record.StringVal(record.TypeSession)),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := srv.Volume().LogRecords()
+	found := false
+	for _, r := range recs {
+		if r.Subject.PNode == ph.Ref().PNode && r.Attr == record.AttrType {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("phantom record missing from server log")
+	}
+	// Revive works; a bogus pnode does not.
+	if _, err := c.PassReviveObj(ph.Ref()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PassReviveObj(pnode.Ref{PNode: 0xBEEF, Version: 1}); !errors.Is(err, ErrStale) {
+		t.Fatalf("bogus revive: %v", err)
+	}
+}
+
+func TestLargeDataSplitsIntoChunks(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, _ := c.Open("/blob", vfs.OCreate|vfs.ORdWr)
+	pf := f.(vfs.PassFile)
+	data := bytes.Repeat([]byte{7}, 3*MaxChunk+100)
+	n, err := pf.PassWrite(data, 0, nil)
+	if err != nil || n != len(data) {
+		t.Fatalf("wrote %d, %v", n, err)
+	}
+	got, _ := vfs.ReadFile(srv.Volume(), "/blob")
+	if !bytes.Equal(got, data) {
+		t.Fatal("large data corrupted in transit")
+	}
+	// Plain client large read too.
+	buf := make([]byte, len(data))
+	rn, err := f.ReadAt(buf, 0)
+	if err != nil || rn != len(data) || !bytes.Equal(buf, data) {
+		t.Fatalf("large read %d, %v", rn, err)
+	}
+}
+
+func TestNetworkCostCharged(t *testing.T) {
+	srv := newTestServer(t)
+	var clk vfs.Clock
+	c, err := DialPass(srv.Addr(), &clk, DefaultNetCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	before := clk.Now()
+	vfs.WriteFile(c, "/f", make([]byte, 1000))
+	if clk.Now() <= before {
+		t.Fatal("RPCs must charge the simulated clock")
+	}
+}
+
+func TestServerSideAnalyzerDedups(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, _ := c.Open("/dup", vfs.OCreate|vfs.ORdWr)
+	pf := f.(vfs.PassFile)
+	proc := pnode.Ref{PNode: 0xFFFF000000000042, Version: 1}
+	// A client that skips its own analyzer sends the same dependency
+	// repeatedly; the server's analyzer collapses them.
+	for i := 0; i < 10; i++ {
+		if _, err := pf.PassWrite([]byte("x"), 0, record.NewBundle(record.Input(pf.Ref(), proc))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := waldo.New()
+	w.Attach(srv.Volume())
+	w.Drain()
+	if got := w.DB.Inputs(pf.Ref()); len(got) != 1 {
+		t.Fatalf("server analyzer kept %d duplicate deps", len(got))
+	}
+}
+
+func TestStaleFileHandle(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialPass(t, srv)
+	f, _ := c.Open("/f", vfs.OCreate|vfs.ORdWr)
+	f.Close()
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrStale) {
+		t.Fatalf("write on closed handle: %v", err)
+	}
+}

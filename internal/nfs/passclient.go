@@ -1,0 +1,342 @@
+package nfs
+
+import (
+	"sync"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// PassClient is the provenance-aware NFS client: the same mount as Client
+// plus the DPAPI, making it a vfs.PassFS and a distributor sink. Stacked
+// under a machine's observer/analyzer, it forwards analyzed provenance to
+// the server, where the server-side analyzer sees the merged stream from
+// all clients (§6.1.1).
+type PassClient struct {
+	*Client
+}
+
+// DialPass connects a provenance-aware client.
+func DialPass(addr string, clock *vfs.Clock, cost NetCost) (*PassClient, error) {
+	c, err := Dial(addr, clock, cost)
+	if err != nil {
+		return nil, err
+	}
+	return &PassClient{Client: c}, nil
+}
+
+// VolumeID reports the server volume's pnode space (distributor.Sink).
+func (c *PassClient) VolumeID() uint16 { return c.volID }
+
+// Open opens a remote file with DPAPI support.
+func (c *PassClient) Open(path string, flags vfs.Flags) (vfs.File, error) {
+	f, err := c.Client.Open(path, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &passFile{plainFile: f.(*plainFile), c: c}, nil
+}
+
+// AppendProvenance ships analyzed records to the server's log in ≤64KB
+// OP_PASSPROV chunks (this is also how pass_sync reaches the server).
+func (c *PassClient) AppendProvenance(recs []record.Record) error {
+	for _, chunk := range chunkRecords(recs) {
+		if _, err := c.call(&Request{Op: OpPassProv, Prov: chunk}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkRecords encodes records into bundle chunks each below MaxChunk.
+func chunkRecords(recs []record.Record) [][]byte {
+	var chunks [][]byte
+	var cur *record.Bundle
+	curLen := 0
+	flush := func() {
+		if cur != nil && cur.Len() > 0 {
+			chunks = append(chunks, record.EncodeBundle(cur))
+			cur, curLen = nil, 0
+		}
+	}
+	for _, r := range recs {
+		rLen := len(record.AppendRecord(nil, r))
+		if cur != nil && curLen+rLen > MaxChunk-64 {
+			flush()
+		}
+		if cur == nil {
+			cur = &record.Bundle{}
+		}
+		cur.Add(r)
+		curLen += rLen
+	}
+	flush()
+	return chunks
+}
+
+// PassMkobj allocates a phantom object at the server (§6.1.2: the server
+// only hands out a pnode, so neither a server nor a client crash leaves
+// state to clean up).
+func (c *PassClient) PassMkobj() (vfs.PassFile, error) {
+	rep, err := c.call(&Request{Op: OpPassMkobj})
+	if err != nil {
+		return nil, err
+	}
+	return &clientPhantom{c: c, ref: rep.Ref}, nil
+}
+
+// PassReviveObj validates the pnode with the server and returns a handle.
+func (c *PassClient) PassReviveObj(ref pnode.Ref) (vfs.PassFile, error) {
+	rep, err := c.call(&Request{Op: OpPassReviveObj, Ref: ref})
+	if err != nil {
+		return nil, err
+	}
+	return &clientPhantom{c: c, ref: rep.Ref}, nil
+}
+
+var _ vfs.PassFS = (*PassClient)(nil)
+
+// passFile adds the DPAPI inode operations to a remote file, with the
+// client-side versioning protocol of §6.1.2: pass_freeze increments the
+// version locally and attaches a FREEZE record to the file; the server
+// re-applies freezes in record order when the provenance arrives with
+// OP_PASSWRITE. No round trip is paid for a freeze.
+type passFile struct {
+	*plainFile
+	c *PassClient
+
+	fmu     sync.Mutex
+	bumps   pnode.Version   // local version increments not yet at server
+	pending []record.Record // queued FREEZE records
+}
+
+// Ref returns the client's view of the file's identity: the server version
+// plus local unsent freezes.
+func (f *passFile) Ref() pnode.Ref {
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	return pnode.Ref{PNode: f.baseRef.PNode, Version: f.baseRef.Version + f.bumps}
+}
+
+// PassFreeze versions the file locally (no server round trip).
+func (f *passFile) PassFreeze() (pnode.Version, error) {
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	f.bumps++
+	v := f.baseRef.Version + f.bumps
+	f.pending = append(f.pending, record.New(
+		pnode.Ref{PNode: f.baseRef.PNode, Version: v},
+		record.AttrFreeze, record.Int(int64(v)),
+	))
+	return v, nil
+}
+
+// PassRead returns data plus the identity read, adopting the server's
+// version if another client moved it forward.
+func (f *passFile) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+	rep, err := f.c.call(&Request{Op: OpPassRead, FH: f.fh, Off: off, N: int32(min(len(p), MaxChunk))})
+	if err != nil {
+		return 0, pnode.Ref{}, err
+	}
+	n := copy(p, rep.Data)
+	f.fmu.Lock()
+	if rep.Ref.Version > f.baseRef.Version+f.bumps {
+		f.baseRef = rep.Ref
+		f.bumps = 0
+	}
+	ref := pnode.Ref{PNode: f.baseRef.PNode, Version: f.baseRef.Version + f.bumps}
+	f.fmu.Unlock()
+	return n, ref, nil
+}
+
+// PassWrite transmits data and provenance together. Small requests go in
+// one OP_PASSWRITE; large bundles are encapsulated in a transaction
+// (OP_BEGINTXN + OP_PASSPROV chunks + OP_PASSWRITE carrying the ENDTXN);
+// large data is split into 64KB pieces after the provenance is safely
+// transactional.
+func (f *passFile) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
+	f.fmu.Lock()
+	recs := append(f.pending, bundleRecords(b)...)
+	f.pending = nil
+	f.fmu.Unlock()
+
+	// Reserve framing slack below the 64KB limit; continuation writes
+	// carry an empty bundle (1 byte) plus gob overhead.
+	const slack = 64
+	enc := record.EncodeBundle(record.NewBundle(recs...))
+
+	var txn uint64
+	if len(enc) > MaxChunk/2 {
+		// Transaction path: the bundle is too big to ride along with
+		// data, so it travels first in OP_PASSPROV chunks under a
+		// transaction the final OP_PASSWRITE ends.
+		rep, err := f.c.call(&Request{Op: OpBeginTxn})
+		if err != nil {
+			return 0, err
+		}
+		txn = rep.Txn
+		for _, chunk := range chunkRecords(recs) {
+			if _, err := f.c.call(&Request{Op: OpPassProv, Txn: txn, Prov: chunk}); err != nil {
+				return 0, err
+			}
+		}
+		enc = record.EncodeBundle(nil)
+	}
+	budget := MaxChunk - len(enc) - slack
+	firstData := p
+	if len(firstData) > budget {
+		firstData = p[:budget]
+	}
+
+	// First OP_PASSWRITE: carries the (small) bundle or the ENDTXN.
+	rep, err := f.c.call(&Request{Op: OpPassWrite, FH: f.fh, Off: off, Data: firstData, Prov: enc, Txn: txn})
+	if err != nil {
+		return 0, err
+	}
+	f.adoptServerRef(rep.Ref)
+	total := int(rep.N)
+
+	// Remaining data pieces, plain provenance-less pass_writes.
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxChunk-slack {
+			n = MaxChunk - slack
+		}
+		rep, err := f.c.call(&Request{Op: OpPassWrite, FH: f.fh, Off: off + int64(total),
+			Data: p[total : total+n], Prov: record.EncodeBundle(nil)})
+		if err != nil {
+			return total, err
+		}
+		total += int(rep.N)
+	}
+	f.mu.Lock()
+	if off+int64(total) > f.size {
+		f.size = off + int64(total)
+	}
+	f.mu.Unlock()
+	return total, nil
+}
+
+func (f *passFile) adoptServerRef(ref pnode.Ref) {
+	if !ref.IsValid() {
+		return
+	}
+	f.fmu.Lock()
+	if ref.Version >= f.baseRef.Version+f.bumps {
+		f.baseRef = ref
+		f.bumps = 0
+	}
+	f.fmu.Unlock()
+}
+
+// WriteAt on a PA mount is a provenance-less pass_write: the server still
+// logs the WAP data descriptor.
+func (f *passFile) WriteAt(p []byte, off int64) (int, error) {
+	return f.PassWrite(p, off, nil)
+}
+
+// PassSync flushes queued freeze records.
+func (f *passFile) PassSync() error {
+	f.fmu.Lock()
+	recs := f.pending
+	f.pending = nil
+	f.fmu.Unlock()
+	if len(recs) == 0 {
+		return nil
+	}
+	_, err := f.c.call(&Request{Op: OpPassWrite, FH: f.fh, Off: 0, Prov: record.EncodeBundle(record.NewBundle(recs...))})
+	return err
+}
+
+func bundleRecords(b *record.Bundle) []record.Record {
+	if b == nil {
+		return nil
+	}
+	return b.Records
+}
+
+var _ vfs.PassFile = (*passFile)(nil)
+
+// clientPhantom is the client handle of a server-allocated phantom object.
+// Provenance written to it goes straight to the server; data stays in
+// client memory (phantoms have no file body).
+type clientPhantom struct {
+	c   *PassClient
+	ref pnode.Ref
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (ph *clientPhantom) Ref() pnode.Ref { return ph.ref }
+
+func (ph *clientPhantom) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
+	if b != nil && b.Len() > 0 {
+		if err := ph.c.AppendProvenance(b.Records); err != nil {
+			return 0, err
+		}
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(ph.buf)) {
+		grown := make([]byte, end)
+		copy(grown, ph.buf)
+		ph.buf = grown
+	}
+	copy(ph.buf[off:], p)
+	return len(p), nil
+}
+
+func (ph *clientPhantom) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if off < 0 || off >= int64(len(ph.buf)) {
+		return 0, ph.ref, nil
+	}
+	return copy(p, ph.buf[off:]), ph.ref, nil
+}
+
+func (ph *clientPhantom) PassFreeze() (pnode.Version, error) {
+	ph.ref.Version++
+	err := ph.c.AppendProvenance([]record.Record{
+		record.New(ph.ref, record.AttrFreeze, record.Int(int64(ph.ref.Version))),
+	})
+	return ph.ref.Version, err
+}
+
+func (ph *clientPhantom) PassSync() error { return nil }
+
+func (ph *clientPhantom) ReadAt(p []byte, off int64) (int, error) {
+	n, _, err := ph.PassRead(p, off)
+	return n, err
+}
+
+func (ph *clientPhantom) WriteAt(p []byte, off int64) (int, error) {
+	return ph.PassWrite(p, off, nil)
+}
+
+func (ph *clientPhantom) Truncate(int64) error { return vfs.ErrInvalid }
+
+func (ph *clientPhantom) Size() int64 {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	return int64(len(ph.buf))
+}
+
+func (ph *clientPhantom) Ino() uint64  { return uint64(ph.ref.PNode) }
+func (ph *clientPhantom) Sync() error  { return nil }
+func (ph *clientPhantom) Close() error { return nil }
+
+var _ vfs.PassFile = (*clientPhantom)(nil)
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

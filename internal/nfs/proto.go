@@ -1,0 +1,128 @@
+// Package nfs implements provenance-aware NFS (PA-NFS, §6.1): a network
+// file system whose protocol is extended with the six DPAPI operations, so
+// that a client machine's analyzer can stack on a server's analyzer
+// through the same interface every other PASSv2 layer uses.
+//
+// Protocol summary (the paper's extensions over NFSv4):
+//
+//   - OP_PASSREAD returns data plus the exact pnode/version read.
+//   - OP_PASSWRITE transmits data and provenance together, preserving
+//     provenance/data consistency, as long as they fit in one 64 KB
+//     request.
+//   - OP_BEGINTXN / OP_PASSPROV encapsulate larger bundles in a server
+//     transaction; the final OP_PASSWRITE carries the ENDTXN record. A
+//     client crash leaves a begun-but-unended transaction whose records
+//     the server's Waldo identifies as orphans and discards.
+//   - pass_freeze is a record type, not an operation: operations can be
+//     reordered in flight, and freeze is order-sensitive with respect to
+//     pass_write. The client versions files locally and the server
+//     re-applies freeze records in arrival order.
+//   - OP_PASSMKOBJ allocates a pnode at the server and nothing else, so
+//     neither side needs crash-recovery state (§6.1.2); OP_PASSREVIVEOBJ
+//     merely validates one.
+//
+// Transport: length-framed gob messages over TCP, one synchronous request
+// per connection at a time (the client serializes). Real NFSv4 compounds
+// are richer; the simulation preserves the decisions that matter to the
+// paper (what travels together, what is a record vs an op, where
+// transactions begin and end).
+package nfs
+
+import (
+	"time"
+
+	"passv2/internal/pnode"
+	"passv2/internal/vfs"
+)
+
+// MaxChunk is the NFSv4 client block size the paper assumes (64 KB): the
+// bound on data+provenance per OP_PASSWRITE and per OP_PASSPROV chunk.
+const MaxChunk = 64 << 10
+
+// Op identifies a protocol operation.
+type Op uint8
+
+const (
+	OpHandshake Op = iota + 1
+	OpOpen
+	OpClose
+	OpRead
+	OpWrite
+	OpTruncate
+	OpMkdir
+	OpMkdirAll
+	OpReadDir
+	OpStat
+	OpRename
+	OpRemove
+	OpSync
+	// DPAPI extensions.
+	OpPassRead
+	OpPassWrite
+	OpBeginTxn
+	OpPassProv
+	OpPassMkobj
+	OpPassReviveObj
+)
+
+// Request is the wire request. One struct keeps gob simple; unused fields
+// are zero.
+type Request struct {
+	Op    Op
+	Path  string
+	Path2 string
+	Flags uint32
+	FH    uint64
+	Off   int64
+	N     int32
+	Data  []byte
+	Prov  []byte // record-encoded bundle
+	Txn   uint64
+	Ref   pnode.Ref
+}
+
+// Reply is the wire reply.
+type Reply struct {
+	Err  string // error name; "" means success
+	FH   uint64
+	N    int32
+	Data []byte
+	Ref  pnode.Ref
+	St   vfs.Stat
+	Ents []vfs.DirEnt
+	Txn  uint64
+	Vol  uint16
+	Name string
+}
+
+// Error names carried on the wire, mapped back to vfs errors client-side.
+const (
+	errNotExist   = "ENOENT"
+	errExist      = "EEXIST"
+	errIsDir      = "EISDIR"
+	errNotDir     = "ENOTDIR"
+	errNotEmpty   = "ENOTEMPTY"
+	errInvalid    = "EINVAL"
+	errReadOnly   = "EROFS"
+	errStaleFH    = "ESTALE"
+	errNotPass    = "ENOPASS"
+	errCrashed    = "ECRASHED"
+	errTooBig     = "EFBIG"
+	errCrossMount = "EXDEV"
+)
+
+// NetCost models the network for the simulated clock: the paper's testbed
+// pays a round trip per NFS operation, which is why CPU-bound workloads
+// see overheads shrink and chatty ones see them grow.
+type NetCost struct {
+	RTT     time.Duration
+	PerByte time.Duration
+}
+
+// DefaultNetCost approximates the paper's gigabit LAN.
+func DefaultNetCost() NetCost {
+	return NetCost{
+		RTT:     time.Millisecond,          // switch + kernel RPC stack, each way
+		PerByte: time.Second / (100 << 20), // ~100 MB/s effective
+	}
+}

@@ -1,0 +1,435 @@
+package nfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"passv2/internal/analyzer"
+	"passv2/internal/lasagna"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// Server exports one Lasagna volume over the PA-NFS protocol. Per §6.1.1
+// the server runs its own analyzer instance: with multiple clients, only
+// the server sees all records for its files, so only it can avoid cycles
+// among them — and because client and server speak the same DPAPI record
+// format, the client's analyzer stacks directly on the server's.
+type Server struct {
+	vol   *lasagna.FS // nil for a plain (non-provenance) export
+	plain vfs.FS      // set when vol is nil
+	disk  *vfs.Disk   // server spindle for metadata-commit charging
+	an    *analyzer.Analyzer
+
+	ln      net.Listener
+	mu      sync.Mutex
+	files   map[uint64]vfs.File // open-file table
+	nextFH  uint64
+	nextTxn atomic.Uint64
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// fs returns the exported file system.
+func (s *Server) fs() vfs.FS {
+	if s.vol != nil {
+		return s.vol
+	}
+	return s.plain
+}
+
+// chargeMetaCommit models NFS's synchronous metadata semantics: creates,
+// renames and removes are stable on the server's disk before the reply
+// (one seek).
+func (s *Server) chargeMetaCommit() {
+	if s.disk != nil {
+		s.disk.Charge(s.disk.Model().Seek)
+	}
+}
+
+// NewServer creates a server for vol and starts listening on a loopback
+// port. Use Addr to reach it and Close to stop it.
+func NewServer(vol *lasagna.FS) (*Server, error) {
+	return newServer(vol, nil, nil)
+}
+
+// NewPlainServer exports a non-provenance file system: the baseline "NFS"
+// column of the evaluation. DPAPI operations are rejected.
+func NewPlainServer(fs vfs.FS, disk *vfs.Disk) (*Server, error) {
+	return newServer(nil, fs, disk)
+}
+
+func newServer(vol *lasagna.FS, plain vfs.FS, disk *vfs.Disk) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("nfs: listen: %w", err)
+	}
+	if vol != nil && disk == nil {
+		// reuse the volume's disk for metadata commits when available
+	}
+	s := &Server{
+		vol:   vol,
+		plain: plain,
+		disk:  disk,
+		an:    analyzer.New(),
+		ln:    ln,
+		files: make(map[uint64]vfs.File),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetDisk attaches the server spindle used for synchronous metadata
+// commits.
+func (s *Server) SetDisk(d *vfs.Disk) { s.disk = d }
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Volume returns the exported volume (benchmarks attach Waldo to it).
+func (s *Server) Volume() *lasagna.FS { return s.vol }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		rep := s.handle(&req)
+		if err := enc.Encode(rep); err != nil {
+			return
+		}
+	}
+}
+
+func errName(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, vfs.ErrNotExist):
+		return errNotExist
+	case errors.Is(err, vfs.ErrExist):
+		return errExist
+	case errors.Is(err, vfs.ErrIsDir):
+		return errIsDir
+	case errors.Is(err, vfs.ErrNotDir):
+		return errNotDir
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return errNotEmpty
+	case errors.Is(err, vfs.ErrReadOnly):
+		return errReadOnly
+	case errors.Is(err, lasagna.ErrCrashed):
+		return errCrashed
+	default:
+		return errInvalid
+	}
+}
+
+func (s *Server) lookupFH(fh uint64) (vfs.File, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[fh]
+	return f, ok
+}
+
+// lookupPassFH resolves a DPAPI-capable handle.
+func (s *Server) lookupPassFH(fh uint64) (vfs.PassFile, bool) {
+	f, ok := s.lookupFH(fh)
+	if !ok {
+		return nil, false
+	}
+	pf, ok := f.(vfs.PassFile)
+	return pf, ok
+}
+
+func (s *Server) handle(req *Request) *Reply {
+	switch req.Op {
+	case OpHandshake:
+		if s.vol != nil {
+			return &Reply{Vol: s.vol.VolumeID(), Name: s.vol.FSName()}
+		}
+		return &Reply{Name: s.plain.FSName()}
+
+	case OpOpen:
+		if req.Flags&uint32(vfs.OCreate) != 0 {
+			s.chargeMetaCommit()
+		}
+		f, err := s.fs().Open(req.Path, vfs.Flags(req.Flags))
+		if err != nil {
+			return &Reply{Err: errName(err)}
+		}
+		s.mu.Lock()
+		s.nextFH++
+		fh := s.nextFH
+		s.files[fh] = f
+		s.mu.Unlock()
+		rep := &Reply{FH: fh, N: int32(f.Size())}
+		if pf, ok := f.(vfs.PassFile); ok {
+			rep.Ref = pf.Ref()
+		} else {
+			rep.Ref = pnode.Ref{PNode: pnode.PNode(f.Ino()), Version: 1}
+		}
+		return rep
+
+	case OpClose:
+		s.mu.Lock()
+		f, ok := s.files[req.FH]
+		delete(s.files, req.FH)
+		s.mu.Unlock()
+		if !ok {
+			return &Reply{Err: errStaleFH}
+		}
+		return &Reply{Err: errName(f.Close())}
+
+	case OpRead:
+		f, ok := s.lookupFH(req.FH)
+		if !ok {
+			return &Reply{Err: errStaleFH}
+		}
+		buf := make([]byte, req.N)
+		n, err := f.ReadAt(buf, req.Off)
+		if err != nil {
+			return &Reply{Err: errName(err)}
+		}
+		return &Reply{Data: buf[:n], N: int32(n)}
+
+	case OpWrite:
+		f, ok := s.lookupFH(req.FH)
+		if !ok {
+			return &Reply{Err: errStaleFH}
+		}
+		n, err := f.WriteAt(req.Data, req.Off)
+		return &Reply{N: int32(n), Err: errName(err)}
+
+	case OpTruncate:
+		f, ok := s.lookupFH(req.FH)
+		if !ok {
+			return &Reply{Err: errStaleFH}
+		}
+		return &Reply{Err: errName(f.Truncate(req.Off))}
+
+	case OpMkdir:
+		s.chargeMetaCommit()
+		return &Reply{Err: errName(s.fs().Mkdir(req.Path))}
+	case OpMkdirAll:
+		s.chargeMetaCommit()
+		return &Reply{Err: errName(s.fs().MkdirAll(req.Path))}
+	case OpReadDir:
+		ents, err := s.fs().ReadDir(req.Path)
+		return &Reply{Ents: ents, Err: errName(err)}
+	case OpStat:
+		st, err := s.fs().Stat(req.Path)
+		return &Reply{St: st, Err: errName(err)}
+	case OpRename:
+		s.chargeMetaCommit()
+		return &Reply{Err: errName(s.fs().Rename(req.Path, req.Path2))}
+	case OpRemove:
+		s.chargeMetaCommit()
+		return &Reply{Err: errName(s.fs().Remove(req.Path))}
+	case OpSync:
+		return &Reply{Err: errName(s.fs().Sync())}
+
+	case OpPassRead:
+		f, ok := s.lookupPassFH(req.FH)
+		if !ok {
+			return &Reply{Err: errStaleFH}
+		}
+		buf := make([]byte, req.N)
+		n, ref, err := f.PassRead(buf, req.Off)
+		if err != nil {
+			return &Reply{Err: errName(err)}
+		}
+		// The read pins the version as observed at the server's
+		// analyzer too.
+		s.an.Observe(ref)
+		return &Reply{Data: buf[:n], N: int32(n), Ref: ref}
+
+	case OpPassWrite:
+		return s.handlePassWrite(req)
+
+	case OpBeginTxn:
+		if s.vol == nil {
+			return &Reply{Err: errNotPass}
+		}
+		txn := s.nextTxn.Add(1)
+		if err := s.vol.Log().AppendBeginTxn(txn); err != nil {
+			return &Reply{Err: errName(err)}
+		}
+		return &Reply{Txn: txn}
+
+	case OpPassProv:
+		if s.vol == nil {
+			return &Reply{Err: errNotPass}
+		}
+		b, _, err := record.DecodeBundle(req.Prov)
+		if err != nil {
+			return &Reply{Err: errInvalid}
+		}
+		if err := s.applyBundle(req.Txn, b, nil); err != nil {
+			return &Reply{Err: errName(err)}
+		}
+		return &Reply{}
+
+	case OpPassMkobj:
+		if s.vol == nil {
+			return &Reply{Err: errNotPass}
+		}
+		ph, err := s.vol.PassMkobj()
+		if err != nil {
+			return &Reply{Err: errName(err)}
+		}
+		return &Reply{Ref: ph.Ref()}
+
+	case OpPassReviveObj:
+		if s.vol == nil {
+			return &Reply{Err: errNotPass}
+		}
+		ph, err := s.vol.PassReviveObj(req.Ref)
+		if err != nil {
+			return &Reply{Err: errStaleFH}
+		}
+		return &Reply{Ref: ph.Ref()}
+
+	default:
+		return &Reply{Err: errInvalid}
+	}
+}
+
+// handlePassWrite applies an OP_PASSWRITE: provenance (with freeze records
+// re-applied in order) first, then data, under WAP. If the request is part
+// of a transaction, the ENDTXN record closes it ahead of the data.
+func (s *Server) handlePassWrite(req *Request) *Reply {
+	if s.vol == nil {
+		return &Reply{Err: errNotPass}
+	}
+	if len(req.Data)+len(req.Prov) > MaxChunk {
+		return &Reply{Err: errTooBig}
+	}
+	f, ok := s.lookupPassFH(req.FH)
+	if !ok {
+		return &Reply{Err: errStaleFH}
+	}
+	b, _, err := record.DecodeBundle(req.Prov)
+	if err != nil {
+		return &Reply{Err: errInvalid}
+	}
+	if err := s.applyBundle(req.Txn, b, f); err != nil {
+		return &Reply{Err: errName(err)}
+	}
+	if req.Txn != 0 {
+		if err := s.vol.Log().AppendEndTxn(req.Txn); err != nil {
+			return &Reply{Err: errName(err)}
+		}
+	}
+	if len(req.Data) == 0 {
+		return &Reply{Ref: f.Ref()}
+	}
+	if b.Len() > 0 || req.Txn != 0 {
+		// WAP: the records this request carried must be durable before
+		// its data.
+		s.vol.ChargeWAPFlush()
+	}
+	n, err := f.PassWrite(req.Data, req.Off, nil)
+	if err != nil {
+		return &Reply{Err: errName(err)}
+	}
+	return &Reply{N: int32(n), Ref: f.Ref()}
+}
+
+// applyBundle walks a bundle in order, re-applying freeze records as
+// version increments and running file-subject dependency records through
+// the server-side analyzer before they reach the log.
+func (s *Server) applyBundle(txn uint64, b *record.Bundle, file vfs.PassFile) error {
+	if b == nil {
+		return nil
+	}
+	log := s.vol.Log()
+	for _, r := range b.Records {
+		if r.Attr == record.AttrFreeze {
+			if _, err := s.vol.FreezePnode(r.Subject.PNode); err != nil {
+				return err
+			}
+			continue
+		}
+		out := []record.Record{r}
+		if s.ownsSubject(r.Subject.PNode) {
+			node := &serverNode{vol: s.vol, pn: r.Subject.PNode}
+			var err error
+			out, err = s.an.Process(node, rewriteToCurrent(r, s.vol))
+			if err != nil {
+				return err
+			}
+		}
+		for _, rr := range out {
+			if err := log.AppendRecord(txn, rr); err != nil {
+				return err
+			}
+		}
+		s.vol.ChargeRecords(len(out))
+	}
+	return nil
+}
+
+// ownsSubject reports whether the pnode belongs to this volume's space.
+func (s *Server) ownsSubject(pn pnode.PNode) bool {
+	return pnode.VolumePrefix(pn) == s.vol.VolumeID() && s.vol.CurrentVersion(pn) != 0
+}
+
+// rewriteToCurrent pins a record's subject to the server's current version
+// of the object — a client using close-to-open consistency may lag behind
+// another client's freezes (§6.1.2's version branching caveat).
+func rewriteToCurrent(r record.Record, vol *lasagna.FS) record.Record {
+	cur := vol.CurrentVersion(r.Subject.PNode)
+	if cur > r.Subject.Version {
+		r.Subject.Version = cur
+	}
+	return r
+}
+
+// serverNode adapts a volume object to the server analyzer.
+type serverNode struct {
+	vol *lasagna.FS
+	pn  pnode.PNode
+}
+
+func (n *serverNode) Ref() pnode.Ref {
+	return pnode.Ref{PNode: n.pn, Version: n.vol.CurrentVersion(n.pn)}
+}
+
+func (n *serverNode) Freeze() (pnode.Version, error) { return n.vol.FreezePnode(n.pn) }

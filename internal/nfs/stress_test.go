@@ -1,0 +1,130 @@
+package nfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// TestConcurrentClientsStress runs several PA-NFS clients against one
+// server concurrently: distinct files per client plus one shared file
+// everyone appends dependencies to. The server-side analyzer must keep the
+// merged stream consistent (§6.1.1's reason for having one there).
+func TestConcurrentClientsStress(t *testing.T) {
+	srv := newTestServer(t)
+	const clients = 6
+	const writes = 40
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := DialPass(srv.Addr(), nil, DefaultNetCost())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			own, err := cli.Open(fmt.Sprintf("/own%d", c), vfs.OCreate|vfs.ORdWr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			pf := own.(vfs.PassFile)
+			// At this layer there is no observer above us, so the
+			// "application" (this test) discloses the names itself.
+			if _, err := pf.PassWrite(nil, 0, record.NewBundle(
+				record.New(pf.Ref(), record.AttrName, record.StringVal(fmt.Sprintf("/own%d", c))),
+			)); err != nil {
+				errs <- err
+				return
+			}
+			shared, err := cli.Open("/shared", vfs.OCreate|vfs.ORdWr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			spf := shared.(vfs.PassFile)
+			if _, err := spf.PassWrite(nil, 0, record.NewBundle(
+				record.New(spf.Ref(), record.AttrName, record.StringVal("/shared")),
+			)); err != nil {
+				errs <- err
+				return
+			}
+			proc := transientRef(uint64(c + 1))
+			for i := 0; i < writes; i++ {
+				if _, err := pf.PassWrite([]byte("x"), int64(i), record.NewBundle(record.Input(pf.Ref(), proc))); err != nil {
+					errs <- fmt.Errorf("client %d own write %d: %w", c, i, err)
+					return
+				}
+				if i%8 == 0 {
+					if _, err := spf.PassWrite([]byte("s"), int64(c), record.NewBundle(record.Input(spf.Ref(), proc))); err != nil {
+						errs <- fmt.Errorf("client %d shared write: %w", c, err)
+						return
+					}
+					if i%16 == 0 {
+						if _, err := spf.PassFreeze(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w := waldo.New()
+	w.Attach(srv.Volume())
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	db := w.DB
+	// Every client's file exists with exactly one dependency on its proc
+	// per version set (dedup at both analyzers).
+	for c := 0; c < clients; c++ {
+		pns := db.ByName(fmt.Sprintf("/own%d", c))
+		if len(pns) != 1 {
+			t.Fatalf("client %d file identity count = %d", c, len(pns))
+		}
+	}
+	// The shared file has a consistent, acyclic version history.
+	shared := db.ByName("/shared")
+	if len(shared) != 1 {
+		t.Fatalf("shared identities = %d", len(shared))
+	}
+	versions := db.Versions(shared[0])
+	if len(versions) == 0 {
+		t.Fatal("shared file lost its versions")
+	}
+	for _, v := range versions {
+		for _, ref := range db.Inputs(refv(shared[0], v)) {
+			if ref.PNode == shared[0] && ref.Version >= v {
+				t.Fatalf("version chain goes forward: v%d ← v%d", v, ref.Version)
+			}
+		}
+	}
+}
+
+func transientRef(n uint64) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(0xFFFF<<48 | n), Version: 1}
+}
+
+func refv(pn pnode.PNode, v pnode.Version) pnode.Ref {
+	return pnode.Ref{PNode: pn, Version: v}
+}

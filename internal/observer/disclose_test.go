@@ -1,0 +1,170 @@
+package observer
+
+import (
+	"testing"
+
+	"passv2/internal/lasagna"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// TestDiscloseForeignPersistentSubject covers the staticNode path: an
+// application discloses a record about a persistent object it holds no
+// handle to (another file on the same volume). The record must land on
+// that object's volume.
+func TestDiscloseForeignPersistentSubject(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "annotator", nil, nil)
+	// Create the foreign file first.
+	ffd, _ := p.Open("/data/foreign", vfs.OCreate|vfs.ORdWr)
+	kffd, _ := p.FDGet(ffd)
+	foreignRef := kffd.PassFile().Ref()
+	p.Close(ffd)
+
+	// Disclose about it through a different descriptor.
+	fd, _ := p.Open("/data/mine", vfs.OCreate|vfs.ORdWr)
+	if _, err := p.PassWriteFd(fd, []byte("data"), record.NewBundle(
+		record.New(foreignRef, record.Attr("ANNOTATION"), record.StringVal("reviewed")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	db := r.drain(t)
+	vals := db.AttrValues(foreignRef, record.Attr("ANNOTATION"))
+	if len(vals) != 1 {
+		t.Fatalf("foreign annotation missing: %v", vals)
+	}
+}
+
+// TestDiscloseOnNonPassDescriptor: records about persistent subjects are
+// routed to their owning volume even when the write target is a plain
+// file; transient-subject records are cached.
+func TestDiscloseOnNonPassDescriptor(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "app", nil, nil)
+	// A PASS file to be the subject.
+	pfd, _ := p.Open("/data/target", vfs.OCreate|vfs.ORdWr)
+	kpfd, _ := p.FDGet(pfd)
+	targetRef := kpfd.PassFile().Ref()
+	p.Close(pfd)
+
+	// Disclose through a ROOT (non-PASS) descriptor.
+	fd, _ := p.Open("/plain", vfs.OCreate|vfs.ORdWr)
+	if _, err := p.PassWriteFd(fd, []byte("plain-data"), record.NewBundle(
+		record.New(targetRef, record.Attr("TAG"), record.StringVal("v1.0")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	db := r.drain(t)
+	if vals := db.AttrValues(targetRef, record.Attr("TAG")); len(vals) != 1 {
+		t.Fatalf("TAG record not routed to owning volume: %v", vals)
+	}
+	// The plain file got its data.
+	root := r.k.Mounts.FSAt("/")
+	got, _ := vfs.ReadFile(root, "/plain")
+	if string(got) != "plain-data" {
+		t.Fatalf("plain data = %q", got)
+	}
+}
+
+// TestRenameOnNonPassVolume keeps the transient identity's NAME fresh.
+func TestRenameOnNonPassVolume(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "mv", nil, nil)
+	fd, _ := p.Open("/old-name", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, []byte("x"))
+	p.Close(fd)
+	if err := p.Rename("/old-name", "/new-name"); err != nil {
+		t.Fatal(err)
+	}
+	// Copy it into the PASS volume so the transient identity (with both
+	// names) materializes.
+	src, _ := p.Open("/new-name", vfs.ORdOnly)
+	buf := make([]byte, 8)
+	n, _ := p.Read(src, buf)
+	p.Close(src)
+	dst, _ := p.Open("/data/copy", vfs.OCreate|vfs.ORdWr)
+	p.Write(dst, buf[:n])
+	p.Close(dst)
+
+	db := r.drain(t)
+	if len(db.ByName("/new-name")) != 1 {
+		t.Fatal("renamed transient file not findable by new name")
+	}
+}
+
+// TestTwoVolumesCrossReference: a process reads from volume A and writes
+// to volume B; B's ancestry reaches A's file through the merged databases.
+func TestTwoVolumesCrossReference(t *testing.T) {
+	clk := &vfs.Clock{}
+	kern := newRig(t)
+	volB, err := lasagna.New("pass2", lasagna.Config{Lower: vfs.NewMemFS("lower2", nil), VolumeID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern.k.Mount("/data2", volB)
+	kern.o.RegisterVolume(volB)
+	wB := waldo.New()
+	wB.Attach(volB)
+	_ = clk
+
+	p := kern.k.Spawn(nil, "mover", nil, nil)
+	in, _ := p.Open("/data/source", vfs.OCreate|vfs.ORdWr)
+	p.Write(in, []byte("payload"))
+	p.Seek(in, 0, 0)
+	buf := make([]byte, 16)
+	n, _ := p.Read(in, buf)
+	p.Close(in)
+	out, _ := p.Open("/data2/dest", vfs.OCreate|vfs.ORdWr)
+	p.Write(out, buf[:n])
+	p.Close(out)
+
+	dbA := kern.drain(t)
+	if err := wB.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	dbB := wB.DB
+
+	dests := dbB.ByName("/data2/dest")
+	if len(dests) != 1 {
+		t.Fatal("dest missing on volume B")
+	}
+	v, _ := dbB.LatestVersion(dests[0])
+	// Walk B's edges, falling back to A's for cross-volume nodes.
+	seen := map[pnode.Ref]bool{}
+	stack := []pnode.Ref{{PNode: dests[0], Version: v}}
+	foundSource := false
+	for len(stack) > 0 {
+		nref := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[nref] {
+			continue
+		}
+		seen[nref] = true
+		if name, ok := dbA.NameOf(nref.PNode); ok && name == "/data/source" {
+			foundSource = true
+		}
+		stack = append(stack, dbB.Inputs(nref)...)
+		stack = append(stack, dbA.Inputs(nref)...)
+	}
+	if !foundSource {
+		t.Fatal("cross-volume ancestry broken: /data/source unreachable from /data2/dest")
+	}
+}
+
+// TestObserverStatsExposed sanity-checks the exported stats surfaces.
+func TestObserverStatsExposed(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "w", nil, nil)
+	fd, _ := p.Open("/data/f", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, []byte("x"))
+	p.Close(fd)
+	if st := r.o.Analyzer().Stats(); st.Records == 0 {
+		t.Fatal("analyzer saw nothing")
+	}
+	cached, flushed := r.o.Distributor().Stats()
+	if cached == 0 || flushed == 0 {
+		t.Fatalf("distributor stats = %d/%d", cached, flushed)
+	}
+}

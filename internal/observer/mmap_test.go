@@ -1,0 +1,110 @@
+package observer
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"passv2/internal/pnode"
+	"passv2/internal/vfs"
+)
+
+func TestMmapReadableCreatesDependency(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "mapper", nil, nil)
+	fd, _ := p.Open("/data/lib.so", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, []byte("code"))
+	if err := p.Mmap(fd, false); err != nil {
+		t.Fatal(err)
+	}
+	// The process now depends on the file; write an output to
+	// materialize the proc's provenance.
+	out, _ := p.Open("/data/out", vfs.OCreate|vfs.ORdWr)
+	p.Write(out, []byte("x"))
+	db := r.drain(t)
+	oPN := db.ByName("/data/out")[0]
+	ov, _ := db.LatestVersion(oPN)
+	anc := collectAncestors(db, pnode.Ref{PNode: oPN, Version: ov})
+	found := false
+	for ref := range anc {
+		if name, ok := db.NameOf(ref.PNode); ok && name == "/data/lib.so" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mmapped file missing from ancestry")
+	}
+}
+
+func TestMmapWritableCreatesBothDependencies(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "mapper", nil, nil)
+	fd, _ := p.Open("/data/shared.dat", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, []byte("init"))
+	if err := p.Mmap(fd, true); err != nil {
+		t.Fatal(err)
+	}
+	db := r.drain(t)
+	fPN := db.ByName("/data/shared.dat")[0]
+	fv, _ := db.LatestVersion(fPN)
+	// The file must depend on the process (writable mapping).
+	inputs := db.Inputs(pnode.Ref{PNode: fPN, Version: fv})
+	procDep := false
+	for _, in := range inputs {
+		if typ, ok := db.TypeOf(in.PNode); ok && typ == "PROC" {
+			procDep = true
+		}
+	}
+	if !procDep {
+		t.Fatalf("writable mmap did not create file←proc dependency: %v", inputs)
+	}
+}
+
+func TestMmapOnPipeRejected(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "mapper", nil, nil)
+	pr, _, _ := p.Pipe()
+	if err := p.Mmap(pr, false); err == nil {
+		t.Fatal("mmap of a pipe must fail")
+	}
+}
+
+// TestConcurrentProcessesSafe hammers the observer from several goroutines
+// to shake out data races (run with -race).
+func TestConcurrentProcessesSafe(t *testing.T) {
+	r := newRig(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := r.k.Spawn(nil, "worker", nil, nil)
+			defer p.Exit()
+			path := "/data/w" + string(rune('a'+i))
+			for n := 0; n < 50; n++ {
+				fd, err := p.Open(path, vfs.OCreate|vfs.ORdWr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Write(fd, []byte("chunk"))
+				buf := make([]byte, 8)
+				p.Seek(fd, 0, 0)
+				p.Read(fd, buf)
+				p.Close(fd)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent workload deadlocked")
+	}
+	db := r.drain(t)
+	if len(db.ByType("FILE")) < 8 {
+		t.Fatal("missing files after concurrent run")
+	}
+}

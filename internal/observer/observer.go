@@ -1,0 +1,576 @@
+// Package observer implements the PASSv2 observer (§5.3): it translates
+// system-call events delivered by the kernel interceptor into provenance
+// records — a process that reads a file gains a dependency on it, a file
+// that is written gains a dependency on the writer — and it is the entry
+// point for provenance-aware applications that disclose provenance
+// explicitly through the DPAPI. Records flow observer → analyzer
+// (duplicate elimination, cycle avoidance) → distributor (transient
+// caching) → Lasagna (WAP log).
+package observer
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"passv2/internal/analyzer"
+	"passv2/internal/distributor"
+	"passv2/internal/dpapi"
+	"passv2/internal/kernel"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// Observer wires the interceptor to the provenance pipeline. Install it
+// with kernel.SetHooks.
+type Observer struct {
+	k    *kernel.Kernel
+	an   *analyzer.Analyzer
+	dist *distributor.Distributor
+
+	mu       sync.Mutex
+	nodes    map[pnode.PNode]*transNode // all transient objects
+	fileIDs  map[fileKey]pnode.Ref      // non-PASS file identities
+	phantoms map[pnode.PNode]*phantomObj
+}
+
+type fileKey struct {
+	fs  vfs.FS
+	ino uint64
+}
+
+// New creates an observer for k and installs it as the kernel's hooks.
+func New(k *kernel.Kernel) *Observer {
+	o := &Observer{
+		k:        k,
+		an:       analyzer.New(),
+		dist:     distributor.New(0xFFFF),
+		nodes:    make(map[pnode.PNode]*transNode),
+		fileIDs:  make(map[fileKey]pnode.Ref),
+		phantoms: make(map[pnode.PNode]*phantomObj),
+	}
+	k.SetHooks(o)
+	return o
+}
+
+// Analyzer exposes the analyzer (stats, tests).
+func (o *Observer) Analyzer() *analyzer.Analyzer { return o.an }
+
+// Distributor exposes the distributor (stats, tests).
+func (o *Observer) Distributor() *distributor.Distributor { return o.dist }
+
+// RegisterVolume announces a PASS volume so the distributor can
+// materialize provenance onto it.
+func (o *Observer) RegisterVolume(s distributor.Sink) { o.dist.RegisterSink(s) }
+
+// --- node plumbing ---
+
+// transNode is the analyzer's view of a transient object (process, pipe,
+// non-PASS file, phantom). Freezing is local version arithmetic.
+type transNode struct {
+	mu  sync.Mutex
+	ref pnode.Ref
+}
+
+func (n *transNode) Ref() pnode.Ref {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ref
+}
+
+func (n *transNode) Freeze() (pnode.Version, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ref.Version++
+	return n.ref.Version, nil
+}
+
+// passNode adapts a vfs.PassFile to the analyzer.
+type passNode struct{ pf vfs.PassFile }
+
+func (n passNode) Ref() pnode.Ref                 { return n.pf.Ref() }
+func (n passNode) Freeze() (pnode.Version, error) { return n.pf.PassFreeze() }
+
+// staticNode stands in for a persistent object we hold no handle to (a
+// foreign subject in a disclosed bundle). It cannot be frozen.
+type staticNode struct{ ref pnode.Ref }
+
+func (n staticNode) Ref() pnode.Ref { return n.ref }
+func (n staticNode) Freeze() (pnode.Version, error) {
+	return 0, fmt.Errorf("observer: cannot freeze foreign object %v", n.ref)
+}
+
+// transNodeFor returns the singleton node for a transient ref.
+func (o *Observer) transNodeFor(ref pnode.Ref) *transNode {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n, ok := o.nodes[ref.PNode]
+	if !ok {
+		n = &transNode{ref: ref}
+		o.nodes[ref.PNode] = n
+	}
+	return n
+}
+
+// fileNodeFor returns the transient identity node of a non-PASS file.
+func (o *Observer) fileNodeFor(fs vfs.FS, ino uint64) *transNode {
+	o.mu.Lock()
+	key := fileKey{fs: fs, ino: ino}
+	ref, ok := o.fileIDs[key]
+	o.mu.Unlock()
+	if !ok {
+		ref = o.k.AllocTransient()
+		o.mu.Lock()
+		if prev, raced := o.fileIDs[key]; raced {
+			ref = prev
+		} else {
+			o.fileIDs[key] = ref
+		}
+		o.mu.Unlock()
+	}
+	return o.transNodeFor(ref)
+}
+
+// sinkFor resolves the PASS volume behind a descriptor.
+func (o *Observer) sinkFor(fd *kernel.FD) distributor.Sink {
+	fs, _, err := o.k.Resolve(fd.Path)
+	if err != nil {
+		return nil
+	}
+	s, _ := fs.(distributor.Sink)
+	return s
+}
+
+// cacheTransient runs records about a transient subject through the
+// analyzer and caches the survivors.
+func (o *Observer) cacheTransient(subject analyzer.Node, recs ...record.Record) {
+	out, err := o.an.Process(subject, recs...)
+	if err != nil || len(out) == 0 {
+		return
+	}
+	o.dist.Cache(out...)
+}
+
+// --- kernel.Hooks ---
+
+// Spawn records a new process: identity records plus descent from the
+// parent.
+func (o *Observer) Spawn(p, parent *kernel.Process) {
+	node := o.transNodeFor(p.Ref())
+	ref := node.Ref()
+	recs := processIdentity(ref, p)
+	if parent != nil {
+		recs = append(recs, record.Input(ref, o.transNodeFor(parent.Ref()).Ref()))
+	}
+	o.cacheTransient(node, recs...)
+}
+
+func processIdentity(ref pnode.Ref, p *kernel.Process) []record.Record {
+	recs := []record.Record{
+		record.New(ref, record.AttrType, record.StringVal(record.TypeProc)),
+		record.New(ref, record.AttrName, record.StringVal(p.Name)),
+	}
+	if len(p.Argv) > 0 {
+		recs = append(recs, record.New(ref, record.AttrArgv, record.StringVal(strings.Join(p.Argv, " "))))
+	}
+	if len(p.Env) > 0 {
+		recs = append(recs, record.New(ref, record.AttrEnv, record.StringVal(strings.Join(p.Env, " "))))
+	}
+	return recs
+}
+
+// Exec records the image replacement: the fresh identity descends from the
+// old identity and from the binary.
+func (o *Observer) Exec(p *kernel.Process, oldRef pnode.Ref, binPath string, bin vfs.PassFile, binFS vfs.FS) {
+	node := o.transNodeFor(p.Ref())
+	ref := node.Ref()
+	recs := processIdentity(ref, p)
+	recs = append(recs, record.Input(ref, o.transNodeFor(oldRef).Ref()))
+	switch {
+	case bin != nil:
+		recs = append(recs, record.Input(ref, bin.Ref()))
+	case binFS != nil:
+		if _, rel, err := o.k.Resolve(binPath); err == nil {
+			if st, serr := binFS.Stat(rel); serr == nil && !st.IsDir {
+				recs = append(recs, record.Input(ref, o.fileNodeFor(binFS, st.Ino).Ref()))
+			}
+		}
+	}
+	o.cacheTransient(node, recs...)
+}
+
+// Exit: a process's cached provenance stays in the distributor; nothing to
+// do until someone depends on it.
+func (o *Observer) Exit(p *kernel.Process) {}
+
+// Open names the file. For PASS files the identity records go straight to
+// the volume; for others they are cached.
+func (o *Observer) Open(p *kernel.Process, fd *kernel.FD) {
+	if pf := fd.PassFile(); pf != nil {
+		node := passNode{pf}
+		recs := []record.Record{
+			record.New(node.Ref(), record.AttrName, record.StringVal(fd.Path)),
+			record.New(node.Ref(), record.AttrType, record.StringVal(record.TypeFile)),
+		}
+		out, err := o.an.Process(node, recs...)
+		if err != nil || len(out) == 0 {
+			return
+		}
+		sink := o.sinkFor(fd)
+		if sink == nil {
+			return
+		}
+		b := o.dist.BundleFor(sink, out)
+		pf.PassWrite(nil, 0, b)
+		return
+	}
+	node := o.fileNodeFor(o.fsOf(fd), fd.File().Ino())
+	o.cacheTransient(node,
+		record.New(node.Ref(), record.AttrName, record.StringVal(fd.Path)),
+		record.New(node.Ref(), record.AttrType, record.StringVal(record.TypeFile)),
+	)
+}
+
+func (o *Observer) fsOf(fd *kernel.FD) vfs.FS {
+	fs, _, err := o.k.Resolve(fd.Path)
+	if err != nil {
+		return nil
+	}
+	return fs
+}
+
+// Read performs the read and records the process→file dependency.
+func (o *Observer) Read(p *kernel.Process, fd *kernel.FD, buf []byte, off int64) (int, error) {
+	n, ref, err := o.readInternal(fd, buf, off)
+	if err == nil {
+		procNode := o.transNodeFor(p.Ref())
+		o.cacheTransient(procNode, record.Input(procNode.Ref(), ref))
+	}
+	return n, err
+}
+
+// PassRead is the user-level pass_read: same dependency, and the exact
+// identity goes back to the caller.
+func (o *Observer) PassRead(p *kernel.Process, fd *kernel.FD, buf []byte, off int64) (int, pnode.Ref, error) {
+	n, ref, err := o.readInternal(fd, buf, off)
+	if err == nil {
+		procNode := o.transNodeFor(p.Ref())
+		o.cacheTransient(procNode, record.Input(procNode.Ref(), ref))
+	}
+	return n, ref, err
+}
+
+func (o *Observer) readInternal(fd *kernel.FD, buf []byte, off int64) (int, pnode.Ref, error) {
+	if pf := fd.PassFile(); pf != nil {
+		return pf.PassRead(buf, off)
+	}
+	n, err := fd.File().ReadAt(buf, off)
+	if err != nil {
+		return n, pnode.Ref{}, err
+	}
+	node := o.fileNodeFor(o.fsOf(fd), fd.File().Ino())
+	return n, node.Ref(), nil
+}
+
+// Write performs the write with its provenance: the file depends on the
+// writing process, and the bundle carries the materialized closure of the
+// process's own ancestry (distributor) ahead of the data (WAP).
+func (o *Observer) Write(p *kernel.Process, fd *kernel.FD, data []byte, off int64) (int, error) {
+	procNode := o.transNodeFor(p.Ref())
+	if pf := fd.PassFile(); pf != nil {
+		node := passNode{pf}
+		out, err := o.an.Process(node, record.Input(node.Ref(), procNode.Ref()))
+		if err != nil {
+			return 0, err
+		}
+		var b *record.Bundle
+		if sink := o.sinkFor(fd); sink != nil {
+			b = o.dist.BundleFor(sink, out)
+		} else {
+			b = record.NewBundle(out...)
+		}
+		return pf.PassWrite(data, off, b)
+	}
+	node := o.fileNodeFor(o.fsOf(fd), fd.File().Ino())
+	o.cacheTransient(node, record.Input(node.Ref(), procNode.Ref()))
+	return fd.File().WriteAt(data, off)
+}
+
+// PipeRead / PipeWrite track data flow through pipes, which are transient
+// first-class objects (§5.5).
+func (o *Observer) PipeRead(p *kernel.Process, pipe *kernel.Pipe, n int) {
+	if pipe == nil || n <= 0 {
+		return
+	}
+	procNode := o.transNodeFor(p.Ref())
+	pipeNode := o.transNodeFor(pipe.Ref())
+	o.cacheTransient(procNode, record.Input(procNode.Ref(), pipeNode.Ref()))
+}
+
+func (o *Observer) PipeWrite(p *kernel.Process, pipe *kernel.Pipe, n int) {
+	if pipe == nil || n <= 0 {
+		return
+	}
+	procNode := o.transNodeFor(p.Ref())
+	pipeNode := o.transNodeFor(pipe.Ref())
+	ensureType(o, pipeNode, record.TypePipe)
+	o.cacheTransient(pipeNode, record.Input(pipeNode.Ref(), procNode.Ref()))
+}
+
+func ensureType(o *Observer, n *transNode, typ string) {
+	o.cacheTransient(n, record.New(n.Ref(), record.AttrType, record.StringVal(typ)))
+}
+
+// Mmap: a readable mapping is a read, a writable mapping is also a write.
+func (o *Observer) Mmap(p *kernel.Process, fd *kernel.FD, writable bool) {
+	procNode := o.transNodeFor(p.Ref())
+	if pf := fd.PassFile(); pf != nil {
+		o.cacheTransient(procNode, record.Input(procNode.Ref(), pf.Ref()))
+		if writable {
+			node := passNode{pf}
+			out, err := o.an.Process(node, record.Input(node.Ref(), procNode.Ref()))
+			if err == nil && len(out) > 0 {
+				if sink := o.sinkFor(fd); sink != nil {
+					pf.PassWrite(nil, 0, o.dist.BundleFor(sink, out))
+				}
+			}
+		}
+		return
+	}
+	node := o.fileNodeFor(o.fsOf(fd), fd.File().Ino())
+	o.cacheTransient(procNode, record.Input(procNode.Ref(), node.Ref()))
+	if writable {
+		o.cacheTransient(node, record.Input(node.Ref(), procNode.Ref()))
+	}
+}
+
+// Rename refreshes the renamed object's NAME record so queries by the new
+// name find it (the file's pnode is unchanged; only its user-meaningful
+// name moved).
+func (o *Observer) Rename(p *kernel.Process, fs vfs.FS, oldPath, newPath string) {
+	if pfs, ok := fs.(vfs.PassFS); ok {
+		_, rel, err := o.k.Resolve(newPath)
+		if err != nil {
+			return
+		}
+		f, err := pfs.Open(rel, vfs.ORdOnly)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		pf, ok := f.(vfs.PassFile)
+		if !ok {
+			return
+		}
+		node := passNode{pf}
+		out, err := o.an.Process(node, record.New(node.Ref(), record.AttrName, record.StringVal(newPath)))
+		if err != nil || len(out) == 0 {
+			return
+		}
+		pf.PassWrite(nil, 0, record.NewBundle(out...))
+		return
+	}
+	if st, err := fs.Stat(strings.TrimPrefix(newPath, mountPrefix(o, fs, newPath))); err == nil && !st.IsDir {
+		node := o.fileNodeFor(fs, st.Ino)
+		o.cacheTransient(node, record.New(node.Ref(), record.AttrName, record.StringVal(newPath)))
+	}
+}
+
+// mountPrefix finds the mount prefix of fs for path resolution.
+func mountPrefix(o *Observer, fs vfs.FS, path string) string {
+	for _, prefix := range o.k.Mounts.Mounts() {
+		if o.k.Mounts.FSAt(prefix) == fs {
+			if prefix == "/" {
+				return ""
+			}
+			return prefix
+		}
+	}
+	return ""
+}
+
+// DropInode discards cached provenance of an unlinked non-PASS file that
+// nothing persistent ever depended on.
+func (o *Observer) DropInode(fs vfs.FS, path string, st vfs.Stat) {
+	if vfs.IsPass(fs) {
+		return // Lasagna owns PASS file identity.
+	}
+	o.mu.Lock()
+	key := fileKey{fs: fs, ino: st.Ino}
+	ref, ok := o.fileIDs[key]
+	if ok {
+		delete(o.fileIDs, key)
+	}
+	o.mu.Unlock()
+	if ok {
+		o.dist.Drop(ref.PNode)
+	}
+}
+
+// Disclose is the DPAPI entry point for provenance-aware applications: an
+// explicit bundle, optionally with data, directed at a descriptor. The
+// observer adds the implicit application→file dependency, runs everything
+// through the analyzer grouped by subject, and routes records by subject
+// kind (§5.3).
+func (o *Observer) Disclose(p *kernel.Process, fd *kernel.FD, data []byte, off int64, b *record.Bundle) (int, error) {
+	procNode := o.transNodeFor(p.Ref())
+	pf := fd.PassFile()
+
+	var persistentOut []record.Record
+	process := func(subjectRef pnode.Ref, recs []record.Record) error {
+		node := o.nodeForSubject(subjectRef, pf)
+		out, err := o.an.Process(node, recs...)
+		if err != nil {
+			return err
+		}
+		if o.dist.IsTransient(subjectRef.PNode) {
+			o.dist.Cache(out...)
+			return nil
+		}
+		persistentOut = append(persistentOut, out...)
+		return nil
+	}
+
+	if b != nil {
+		// Group by subject, preserving order within each group.
+		order, groups := groupBySubject(b.Records)
+		for _, pn := range order {
+			if err := process(groups[pn][0].Subject, groups[pn]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Implicit dependency: the disclosed data (if any) descends from the
+	// disclosing process.
+	if pf != nil && len(data) > 0 {
+		node := passNode{pf}
+		out, err := o.an.Process(node, record.Input(node.Ref(), procNode.Ref()))
+		if err != nil {
+			return 0, err
+		}
+		persistentOut = append(persistentOut, out...)
+	}
+
+	if pf != nil {
+		var bundle *record.Bundle
+		if sink := o.sinkFor(fd); sink != nil {
+			bundle = o.dist.BundleFor(sink, persistentOut)
+		} else {
+			bundle = record.NewBundle(persistentOut...)
+		}
+		return pf.PassWrite(data, off, bundle)
+	}
+	// Non-PASS descriptor: persistent-subject records still belong to
+	// their own volumes; data is written plainly.
+	if len(persistentOut) > 0 {
+		if err := o.routeToOwningVolumes(persistentOut); err != nil {
+			return 0, err
+		}
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if fd.File() == nil {
+		return 0, kernel.ErrNotFile
+	}
+	n, err := fd.File().WriteAt(data, off)
+	if err == nil {
+		node := o.fileNodeFor(o.fsOf(fd), fd.File().Ino())
+		o.cacheTransient(node, record.Input(node.Ref(), procNode.Ref()))
+	}
+	return n, err
+}
+
+func groupBySubject(recs []record.Record) ([]pnode.PNode, map[pnode.PNode][]record.Record) {
+	var order []pnode.PNode
+	groups := make(map[pnode.PNode][]record.Record)
+	for _, r := range recs {
+		if _, ok := groups[r.Subject.PNode]; !ok {
+			order = append(order, r.Subject.PNode)
+		}
+		groups[r.Subject.PNode] = append(groups[r.Subject.PNode], r)
+	}
+	return order, groups
+}
+
+func (o *Observer) nodeForSubject(ref pnode.Ref, pf vfs.PassFile) analyzer.Node {
+	if pf != nil && pf.Ref().PNode == ref.PNode {
+		return passNode{pf}
+	}
+	o.mu.Lock()
+	if ph, ok := o.phantoms[ref.PNode]; ok {
+		o.mu.Unlock()
+		return ph.node
+	}
+	o.mu.Unlock()
+	if o.dist.IsTransient(ref.PNode) {
+		return o.transNodeFor(ref)
+	}
+	return staticNode{ref: ref}
+}
+
+// routeToOwningVolumes delivers records about persistent subjects to the
+// volume owning each subject's pnode space.
+func (o *Observer) routeToOwningVolumes(recs []record.Record) error {
+	// Group by volume prefix.
+	byVol := make(map[uint16][]record.Record)
+	for _, r := range recs {
+		byVol[pnode.VolumePrefix(r.Subject.PNode)] = append(byVol[pnode.VolumePrefix(r.Subject.PNode)], r)
+	}
+	for vol, group := range byVol {
+		sink := o.sinkByID(vol)
+		if sink == nil {
+			return fmt.Errorf("observer: no volume registered for prefix %#x", vol)
+		}
+		b := o.dist.BundleFor(sink, group)
+		if err := sink.AppendProvenance(b.Records); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *Observer) sinkByID(id uint16) distributor.Sink {
+	for _, prefix := range o.k.Mounts.Mounts() {
+		fs := o.k.Mounts.FSAt(prefix)
+		if s, ok := fs.(distributor.Sink); ok && s.VolumeID() == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// Mkobj creates a phantom object (user-level pass_mkobj): a transient
+// object the distributor will place on volumeHint's volume (or wherever
+// its first persistent descendant lives).
+func (o *Observer) Mkobj(p *kernel.Process, volumeHint string) (dpapi.Object, error) {
+	ref := o.k.AllocTransient()
+	node := o.transNodeFor(ref)
+	obj := &phantomObj{o: o, node: node}
+	o.mu.Lock()
+	o.phantoms[ref.PNode] = obj
+	o.mu.Unlock()
+	if volumeHint != "" {
+		if fs, _, err := o.k.Resolve(volumeHint); err == nil {
+			if s, ok := fs.(distributor.Sink); ok {
+				o.dist.SetHint(ref.PNode, s.VolumeID())
+			}
+		}
+	}
+	return obj, nil
+}
+
+// Revive returns a handle to a previously created phantom object
+// (pass_reviveobj).
+func (o *Observer) Revive(p *kernel.Process, ref pnode.Ref) (dpapi.Object, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	obj, ok := o.phantoms[ref.PNode]
+	if !ok {
+		return nil, dpapi.ErrStale
+	}
+	return obj, nil
+}
+
+var _ kernel.Hooks = (*Observer)(nil)

@@ -1,0 +1,444 @@
+package observer
+
+import (
+	"testing"
+
+	"passv2/internal/kernel"
+	"passv2/internal/lasagna"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// rig is a full local PASSv2 machine: kernel + observer + one Lasagna
+// volume at /data + a plain MemFS root + Waldo.
+type rig struct {
+	k   *kernel.Kernel
+	o   *Observer
+	vol *lasagna.FS
+	w   *waldo.Waldo
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := &vfs.Clock{}
+	k := kernel.New(clk)
+	root := vfs.NewMemFS("root", nil)
+	k.Mount("/", root)
+	lower := vfs.NewMemFS("lower", nil)
+	vol, err := lasagna.New("pass0", lasagna.Config{Lower: lower, VolumeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Mount("/data", vol)
+	o := New(k)
+	o.RegisterVolume(vol)
+	w := waldo.New()
+	w.Attach(vol)
+	return &rig{k: k, o: o, vol: vol, w: w}
+}
+
+func (r *rig) drain(t *testing.T) *waldo.DB {
+	t.Helper()
+	if err := r.w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return r.w.DB
+}
+
+func TestWriteCreatesAncestryOnVolume(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "writer", []string{"writer", "-o", "out"}, []string{"LANG=C"})
+	fd, err := p.Open("/data/out.txt", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	p.Close(fd)
+	db := r.drain(t)
+
+	files := db.ByName("/data/out.txt")
+	if len(files) != 1 {
+		t.Fatalf("file not in DB: %v", files)
+	}
+	filePN := files[0]
+	v, _ := db.LatestVersion(filePN)
+	inputs := db.Inputs(pnode.Ref{PNode: filePN, Version: v})
+	if len(inputs) != 1 {
+		t.Fatalf("inputs = %v", inputs)
+	}
+	procRef := inputs[0]
+	// The process's identity records were materialized to the volume.
+	if name, ok := db.NameOf(procRef.PNode); !ok || name != "writer" {
+		t.Fatalf("proc name = %q,%v", name, ok)
+	}
+	if typ, ok := db.TypeOf(procRef.PNode); !ok || typ != record.TypeProc {
+		t.Fatalf("proc type = %q", typ)
+	}
+	vals := db.AttrValues(procRef, record.AttrArgv)
+	if len(vals) != 1 {
+		t.Fatal("ARGV not materialized")
+	}
+	if s, _ := vals[0].AsString(); s != "writer -o out" {
+		t.Fatalf("ARGV = %q", s)
+	}
+}
+
+func TestReadThenWriteChainsProvenance(t *testing.T) {
+	r := newRig(t)
+	// Producer writes input file.
+	prod := r.k.Spawn(nil, "producer", nil, nil)
+	fd, _ := prod.Open("/data/in.dat", vfs.OCreate|vfs.ORdWr)
+	prod.Write(fd, []byte("source-bytes"))
+	prod.Close(fd)
+	prod.Exit()
+
+	// Consumer reads input, writes output.
+	cons := r.k.Spawn(nil, "consumer", nil, nil)
+	in, _ := cons.Open("/data/in.dat", vfs.ORdOnly)
+	buf := make([]byte, 64)
+	cons.Read(in, buf)
+	cons.Close(in)
+	out, _ := cons.Open("/data/out.dat", vfs.OCreate|vfs.ORdWr)
+	cons.Write(out, []byte("derived"))
+	cons.Close(out)
+
+	db := r.drain(t)
+	// out.dat ← consumer ← in.dat must be a connected ancestry path.
+	outPN := db.ByName("/data/out.dat")[0]
+	ov, _ := db.LatestVersion(outPN)
+	anc := collectAncestors(db, pnode.Ref{PNode: outPN, Version: ov})
+	inPN := db.ByName("/data/in.dat")[0]
+	foundIn, foundProd := false, false
+	prodName := "producer"
+	for ref := range anc {
+		if ref.PNode == inPN {
+			foundIn = true
+		}
+		if n, ok := db.NameOf(ref.PNode); ok && n == prodName {
+			foundProd = true
+		}
+	}
+	if !foundIn {
+		t.Fatal("input file missing from output's ancestry")
+	}
+	if !foundProd {
+		t.Fatal("producer process missing from output's ancestry (closure not materialized)")
+	}
+}
+
+func collectAncestors(db *waldo.DB, start pnode.Ref) map[pnode.Ref]bool {
+	seen := map[pnode.Ref]bool{}
+	stack := []pnode.Ref{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, db.Inputs(n)...)
+	}
+	return seen
+}
+
+func TestPipelineThroughPipe(t *testing.T) {
+	r := newRig(t)
+	sh := r.k.Spawn(nil, "sh", nil, nil)
+	p1 := r.k.Spawn(sh, "cat", nil, nil)
+	p2 := r.k.Spawn(sh, "grep", nil, nil)
+	pr, pw, _ := sh.Pipe()
+	prFD, _ := sh.GiveFD(pr, p2)
+	pwFD, _ := sh.GiveFD(pw, p1)
+
+	// cat reads a source file, writes into the pipe.
+	src, _ := p1.Open("/data/src.txt", vfs.OCreate|vfs.ORdWr)
+	p1.Write(src, []byte("line1\nline2\n"))
+	p1.Seek(src, 0, 0)
+	buf := make([]byte, 64)
+	n, _ := p1.Read(src, buf)
+	p1.Write(pwFD, buf[:n])
+	p1.Close(pwFD)
+	p1.Close(src)
+
+	// grep reads the pipe, writes the result file.
+	m, _ := p2.Read(prFD, buf)
+	outFD, _ := p2.Open("/data/hits.txt", vfs.OCreate|vfs.ORdWr)
+	p2.Write(outFD, buf[:m])
+	p2.Close(outFD)
+
+	db := r.drain(t)
+	outPN := db.ByName("/data/hits.txt")[0]
+	ov, _ := db.LatestVersion(outPN)
+	anc := collectAncestors(db, pnode.Ref{PNode: outPN, Version: ov})
+	// Ancestry must pass through grep, the pipe, cat, and src.txt.
+	wantNames := map[string]bool{"grep": false, "cat": false, "/data/src.txt": false}
+	sawPipe := false
+	for ref := range anc {
+		if name, ok := db.NameOf(ref.PNode); ok {
+			if _, want := wantNames[name]; want {
+				wantNames[name] = true
+			}
+		}
+		if typ, ok := db.TypeOf(ref.PNode); ok && typ == record.TypePipe {
+			sawPipe = true
+		}
+	}
+	for name, found := range wantNames {
+		if !found {
+			t.Errorf("%s missing from ancestry", name)
+		}
+	}
+	if !sawPipe {
+		t.Error("pipe missing from ancestry")
+	}
+}
+
+func TestCycleAvoidanceEndToEnd(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "rewriter", nil, nil)
+	fd, _ := p.Open("/data/f", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, []byte("v1"))
+	// Read it back: the file's version becomes observed; the process now
+	// depends on the file.
+	p.Seek(fd, 0, 0)
+	buf := make([]byte, 8)
+	p.Read(fd, buf)
+	// Write again: without cycle avoidance this would create
+	// file→proc→file at the same versions.
+	p.Seek(fd, 0, 0)
+	p.Write(fd, []byte("v2"))
+	db := r.drain(t)
+
+	filePN := db.ByName("/data/f")[0]
+	versions := db.Versions(filePN)
+	if len(versions) < 2 {
+		t.Fatalf("file should have been frozen: versions=%v", versions)
+	}
+	// Version graph must be acyclic.
+	for _, ref := range db.AllRefs() {
+		if inCycle(db, ref) {
+			t.Fatalf("cycle through %v", ref)
+		}
+	}
+}
+
+func inCycle(db *waldo.DB, start pnode.Ref) bool {
+	seen := map[pnode.Ref]bool{}
+	var stack []pnode.Ref
+	stack = append(stack, db.Inputs(start)...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == start {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, db.Inputs(n)...)
+	}
+	return false
+}
+
+func TestExecAncestry(t *testing.T) {
+	r := newRig(t)
+	// Store the binary on the PASS volume.
+	setup := r.k.Spawn(nil, "install", nil, nil)
+	setup.MkdirAll("/data/bin")
+	bfd, _ := setup.Open("/data/bin/cc", vfs.OCreate|vfs.ORdWr)
+	setup.Write(bfd, []byte("#!elf"))
+	setup.Close(bfd)
+
+	sh := r.k.Spawn(nil, "sh", nil, nil)
+	if err := sh.Exec("/data/bin/cc", []string{"cc", "-c", "x.c"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := sh.Open("/data/x.o", vfs.OCreate|vfs.ORdWr)
+	sh.Write(out, []byte("obj"))
+	db := r.drain(t)
+
+	oPN := db.ByName("/data/x.o")[0]
+	ov, _ := db.LatestVersion(oPN)
+	anc := collectAncestors(db, pnode.Ref{PNode: oPN, Version: ov})
+	sawBinary, sawShell := false, false
+	for ref := range anc {
+		if name, ok := db.NameOf(ref.PNode); ok {
+			switch name {
+			case "/data/bin/cc":
+				sawBinary = true
+			case "sh":
+				sawShell = true
+			}
+		}
+	}
+	if !sawBinary {
+		t.Error("binary missing from ancestry (Exec dependency lost)")
+	}
+	if !sawShell {
+		t.Error("pre-exec identity missing from ancestry")
+	}
+}
+
+func TestDiscloseBundleWithPhantom(t *testing.T) {
+	r := newRig(t)
+	app := r.k.Spawn(nil, "browser", nil, nil)
+	// The app models a session as a phantom object.
+	sess, err := app.PassMkobj("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sref := sess.Ref()
+	if _, err := sess.PassWrite(nil, 0, record.NewBundle(
+		record.New(sref, record.AttrType, record.StringVal(record.TypeSession)),
+		record.New(sref, record.AttrVisitedURL, record.StringVal("http://a.example/")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Download: data plus records linking the file to the session.
+	fd, _ := app.Open("/data/download.bin", vfs.OCreate|vfs.ORdWr)
+	kfd, _ := app.FDGet(fd)
+	fileRef := kfd.PassFile().Ref()
+	if _, err := app.PassWriteFd(fd, []byte("blob"), record.NewBundle(
+		record.New(fileRef, record.AttrFileURL, record.StringVal("http://a.example/f.bin")),
+		record.Input(fileRef, sref),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	db := r.drain(t)
+
+	fPN := db.ByName("/data/download.bin")[0]
+	fv, _ := db.LatestVersion(fPN)
+	inputs := db.Inputs(pnode.Ref{PNode: fPN, Version: fv})
+	foundSession := false
+	for _, in := range inputs {
+		if in.PNode == sref.PNode {
+			foundSession = true
+		}
+	}
+	if !foundSession {
+		t.Fatalf("session not among file inputs: %v", inputs)
+	}
+	// The session's VISITED_URL history was materialized with it.
+	urls := db.AttrValues(pnode.Ref{PNode: sref.PNode, Version: sref.Version}, record.AttrVisitedURL)
+	if len(urls) != 1 {
+		t.Fatalf("session URLs = %v", urls)
+	}
+	// FILE_URL rode along on the file itself.
+	if vals := db.AttrValues(pnode.Ref{PNode: fPN, Version: fv}, record.AttrFileURL); len(vals) != 1 {
+		t.Fatal("FILE_URL missing")
+	}
+}
+
+func TestPhantomSyncWithoutAncestry(t *testing.T) {
+	r := newRig(t)
+	app := r.k.Spawn(nil, "app", nil, nil)
+	obj, _ := app.PassMkobj("/data")
+	obj.PassWrite(nil, 0, record.NewBundle(
+		record.New(obj.Ref(), record.AttrType, record.StringVal(record.TypeDataset)),
+	))
+	db := r.drain(t)
+	if len(db.ByType(record.TypeDataset)) != 0 {
+		t.Fatal("phantom provenance persisted without ancestry or sync")
+	}
+	if err := obj.PassSync(); err != nil {
+		t.Fatal(err)
+	}
+	db = r.drain(t)
+	if len(db.ByType(record.TypeDataset)) != 1 {
+		t.Fatal("pass_sync did not persist phantom provenance")
+	}
+}
+
+func TestPhantomRevive(t *testing.T) {
+	r := newRig(t)
+	app := r.k.Spawn(nil, "app", nil, nil)
+	obj, _ := app.PassMkobj("")
+	ref := obj.Ref()
+	obj.Close()
+	again, err := app.PassReviveObj(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Ref().PNode != ref.PNode {
+		t.Fatal("revive returned wrong object")
+	}
+	if _, err := app.PassReviveObj(pnode.Ref{PNode: 0xDEAD, Version: 1}); err == nil {
+		t.Fatal("reviving unknown object must fail")
+	}
+}
+
+func TestNonPassFileProvenanceMaterializedWhenCopiedIn(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "cp", nil, nil)
+	// Write a file OUTSIDE the PASS volume.
+	src, _ := p.Open("/outside.txt", vfs.OCreate|vfs.ORdWr)
+	p.Write(src, []byte("external data"))
+	p.Seek(src, 0, 0)
+	buf := make([]byte, 64)
+	n, _ := p.Read(src, buf)
+	p.Close(src)
+	// Copy it INTO the PASS volume.
+	dst, _ := p.Open("/data/copied.txt", vfs.OCreate|vfs.ORdWr)
+	p.Write(dst, buf[:n])
+	db := r.drain(t)
+
+	dPN := db.ByName("/data/copied.txt")[0]
+	dv, _ := db.LatestVersion(dPN)
+	anc := collectAncestors(db, pnode.Ref{PNode: dPN, Version: dv})
+	sawOutside := false
+	for ref := range anc {
+		if name, ok := db.NameOf(ref.PNode); ok && name == "/outside.txt" {
+			sawOutside = true
+		}
+	}
+	if !sawOutside {
+		t.Fatal("non-PASS source file missing from ancestry (distributor closure)")
+	}
+}
+
+func TestDropInodeDiscardsTempProvenance(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "tmp", nil, nil)
+	fd, _ := p.Open("/tmpfile", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, []byte("scratch"))
+	p.Close(fd)
+	kfdRefCount, _ := r.o.Distributor().Stats()
+	if kfdRefCount == 0 {
+		t.Fatal("expected cached records for temp file")
+	}
+	if err := p.Remove("/tmpfile"); err != nil {
+		t.Fatal(err)
+	}
+	// The temp file's provenance is gone: a later write into the PASS
+	// volume referencing it cannot resurrect it, and nothing persists.
+	db := r.drain(t)
+	if len(db.ByName("/tmpfile")) != 0 {
+		t.Fatal("dropped temp file leaked into database")
+	}
+}
+
+func TestDuplicateWritesCollapse(t *testing.T) {
+	r := newRig(t)
+	p := r.k.Spawn(nil, "chunker", nil, nil)
+	fd, _ := p.Open("/data/big", vfs.OCreate|vfs.ORdWr)
+	chunk := make([]byte, 4096)
+	for i := 0; i < 64; i++ {
+		p.Write(fd, chunk)
+	}
+	db := r.drain(t)
+	bPN := db.ByName("/data/big")[0]
+	bv, _ := db.LatestVersion(bPN)
+	inputs := db.Inputs(pnode.Ref{PNode: bPN, Version: bv})
+	if len(inputs) != 1 {
+		t.Fatalf("64 writes produced %d dependencies; analyzer dedup failed", len(inputs))
+	}
+	if st := r.o.Analyzer().Stats(); st.Duplicates < 60 {
+		t.Fatalf("duplicates = %d", st.Duplicates)
+	}
+}

@@ -1,0 +1,109 @@
+package observer
+
+import (
+	"sync"
+
+	"passv2/internal/dpapi"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// phantomObj is the user-level handle for a pass_mkobj object: a browser
+// session, a data set, a workflow operator, a Python function — anything
+// that exists at a layer above the file system (§5.5). Its provenance is
+// cached by the distributor; any data written to it lives in memory only.
+type phantomObj struct {
+	o    *Observer
+	node *transNode
+
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+}
+
+// Ref returns the phantom's current identity.
+func (ph *phantomObj) Ref() pnode.Ref { return ph.node.Ref() }
+
+// PassRead returns the phantom's in-memory data plus its identity.
+func (ph *phantomObj) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if ph.closed {
+		return 0, pnode.Ref{}, dpapi.ErrClosed
+	}
+	if off < 0 || off >= int64(len(ph.buf)) {
+		return 0, ph.node.Ref(), nil
+	}
+	return copy(p, ph.buf[off:]), ph.node.Ref(), nil
+}
+
+// PassWrite runs the disclosed records through the analyzer (grouped by
+// subject — a phantom bundle may describe several objects) and caches
+// them; data, if any, is buffered in memory.
+func (ph *phantomObj) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
+	ph.mu.Lock()
+	if ph.closed {
+		ph.mu.Unlock()
+		return 0, dpapi.ErrClosed
+	}
+	ph.mu.Unlock()
+
+	if b != nil {
+		order, groups := groupBySubject(b.Records)
+		for _, pn := range order {
+			recs := groups[pn]
+			node := ph.o.nodeForSubject(recs[0].Subject, nil)
+			out, err := ph.o.an.Process(node, recs...)
+			if err != nil {
+				return 0, err
+			}
+			if ph.o.dist.IsTransient(pn) {
+				ph.o.dist.Cache(out...)
+			} else if len(out) > 0 {
+				if err := ph.o.routeToOwningVolumes(out); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(ph.buf)) {
+		grown := make([]byte, end)
+		copy(grown, ph.buf)
+		ph.buf = grown
+	}
+	copy(ph.buf[off:], p)
+	return len(p), nil
+}
+
+// PassFreeze breaks a cycle by versioning the phantom.
+func (ph *phantomObj) PassFreeze() (pnode.Version, error) {
+	_, chain, err := ph.o.an.Freeze(ph.node)
+	if err != nil {
+		return 0, err
+	}
+	ph.o.dist.Cache(chain)
+	return ph.node.Ref().Version, nil
+}
+
+// PassSync forces the phantom's provenance to persistent storage
+// (pass_sync).
+func (ph *phantomObj) PassSync() error {
+	return ph.o.dist.Sync(ph.node.Ref().PNode)
+}
+
+// Close releases the handle; the object remains revivable (§6.5: Firefox
+// session objects are revived across restarts).
+func (ph *phantomObj) Close() error {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	ph.closed = false // handles are cheap; Close is a logical no-op
+	return nil
+}
+
+var _ dpapi.Object = (*phantomObj)(nil)

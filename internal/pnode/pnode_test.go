@@ -1,0 +1,138 @@
+package pnode
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvalidIsZero(t *testing.T) {
+	var p PNode
+	if p.IsValid() {
+		t.Fatal("zero PNode must be invalid")
+	}
+	if Invalid.IsValid() {
+		t.Fatal("Invalid must not be valid")
+	}
+	if (Ref{}).IsValid() {
+		t.Fatal("zero Ref must be invalid")
+	}
+}
+
+func TestAllocatorStartsAtOne(t *testing.T) {
+	a := NewAllocator()
+	if got := a.Next(); got != 1 {
+		t.Fatalf("first pnode = %d, want 1", got)
+	}
+	if got := a.Next(); got != 2 {
+		t.Fatalf("second pnode = %d, want 2", got)
+	}
+}
+
+func TestAllocatorNeverRecycles(t *testing.T) {
+	a := NewAllocator()
+	seen := make(map[PNode]bool)
+	for i := 0; i < 10000; i++ {
+		p := a.Next()
+		if seen[p] {
+			t.Fatalf("pnode %v recycled", p)
+		}
+		if !p.IsValid() {
+			t.Fatalf("allocated pnode %v is invalid", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAllocatorConcurrent(t *testing.T) {
+	a := NewAllocator()
+	const workers, per = 8, 1000
+	var mu sync.Mutex
+	seen := make(map[PNode]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]PNode, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, a.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, p := range local {
+				if seen[p] {
+					t.Errorf("duplicate pnode %v", p)
+				}
+				seen[p] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("allocated %d unique pnodes, want %d", len(seen), workers*per)
+	}
+}
+
+func TestPrefixedAllocator(t *testing.T) {
+	a := NewPrefixed(7)
+	p := a.Next()
+	if got := VolumePrefix(p); got != 7 {
+		t.Fatalf("VolumePrefix = %d, want 7", got)
+	}
+	b := NewPrefixed(8)
+	if VolumePrefix(b.Next()) == VolumePrefix(p) {
+		t.Fatal("distinct prefixes must not collide")
+	}
+}
+
+func TestPrefixedAllocatorsDisjoint(t *testing.T) {
+	a, b := NewPrefixed(1), NewPrefixed(2)
+	seen := make(map[PNode]bool)
+	for i := 0; i < 1000; i++ {
+		pa, pb := a.Next(), b.Next()
+		if seen[pa] || seen[pb] || pa == pb {
+			t.Fatalf("collision between prefixed allocators: %v %v", pa, pb)
+		}
+		seen[pa], seen[pb] = true, true
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := PNode(42).String(); got != "pn:42" {
+		t.Errorf("PNode.String = %q", got)
+	}
+	if got := Version(3).String(); got != "v3" {
+		t.Errorf("Version.String = %q", got)
+	}
+	r := Ref{PNode: 42, Version: 3}
+	if got := r.String(); got != "pn:42@v3" {
+		t.Errorf("Ref.String = %q", got)
+	}
+}
+
+func TestRefLessIsStrictWeakOrder(t *testing.T) {
+	// Property: Less is irreflexive and asymmetric, and ordering by
+	// (pnode, version) is total on distinct refs.
+	f := func(p1, p2 uint64, v1, v2 uint32) bool {
+		a := Ref{PNode(p1), Version(v1)}
+		b := Ref{PNode(p2), Version(v2)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumePrefixRoundTrip(t *testing.T) {
+	f := func(prefix uint16) bool {
+		a := NewPrefixed(prefix)
+		return VolumePrefix(a.Next()) == prefix
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

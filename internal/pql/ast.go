@@ -1,0 +1,91 @@
+package pql
+
+// AST node types for the PQL dialect.
+
+// Query is a parsed select/from/where statement.
+type Query struct {
+	Select   []SelectItem
+	Bindings []Binding
+	Where    Expr // nil if absent
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Binding binds a path expression to a variable.
+type Binding struct {
+	Path Path
+	Var  string
+}
+
+// Path is a root plus a sequence of edge steps.
+type Path struct {
+	// Root: either a class root ("Provenance.file") or a variable.
+	Class   string // "" unless class-rooted; "obj" means every object
+	RootVar string // "" unless variable-rooted
+	Steps   []Step
+}
+
+// Closure kinds for a step.
+type Closure int
+
+const (
+	ClosureNone Closure = iota // exactly one step
+	ClosureStar                // zero or more
+	CLosurePlus                // one or more
+	ClosureOpt                 // zero or one
+)
+
+// Step follows one edge kind, possibly reversed, possibly closed over.
+type Step struct {
+	Edge    string // attribute name, e.g. "input"
+	Reverse bool   // "~": traverse against the edge direction
+	Closure Closure
+}
+
+// Expr is a boolean/value expression.
+type Expr interface{ isExpr() }
+
+// BinaryExpr applies a comparison or boolean operator.
+type BinaryExpr struct {
+	Op   string // "and", "or", "=", "!=", "<", "<=", ">", ">=", "like"
+	L, R Expr
+}
+
+// NotExpr negates.
+type NotExpr struct{ E Expr }
+
+// VarExpr references a bound variable.
+type VarExpr struct{ Name string }
+
+// AttrExpr accesses an attribute of a bound variable (Atlas.name).
+type AttrExpr struct {
+	Var  string
+	Attr string
+}
+
+// StringLit / NumberLit / BoolLit are literals.
+type StringLit struct{ V string }
+type NumberLit struct{ V int64 }
+type BoolLit struct{ V bool }
+
+// CountExpr aggregates the distinct values of an expression over all
+// matching tuples.
+type CountExpr struct{ E Expr }
+
+// ExistsExpr is a subquery predicate: true if the path, evaluated from the
+// current tuple, matches anything.
+type ExistsExpr struct{ Path Path }
+
+func (*BinaryExpr) isExpr() {}
+func (*NotExpr) isExpr()    {}
+func (*VarExpr) isExpr()    {}
+func (*AttrExpr) isExpr()   {}
+func (*StringLit) isExpr()  {}
+func (*NumberLit) isExpr()  {}
+func (*BoolLit) isExpr()    {}
+func (*CountExpr) isExpr()  {}
+func (*ExistsExpr) isExpr() {}

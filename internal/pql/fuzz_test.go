@@ -1,0 +1,104 @@
+package pql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated and random queries; every
+// input must return cleanly (parse or error, never panic). The paper
+// complains that Lorel's formal grammar was ambiguous with ill-defined
+// corner cases — PQL must at least fail predictably.
+func TestParserNeverPanics(t *testing.T) {
+	seedQueries := []string{
+		`select A from Provenance.file as F F.input* as A where F.name = "x"`,
+		`select count(X) from Provenance.obj as X`,
+		`select F.name as n, F.version as v from Provenance.file as F`,
+		`select X from Provenance.proc as P P.input~+ as X where exists(P.input)`,
+		`select A from F.input? as A where not (A.name like "*.gif") and 1 < 2`,
+	}
+	tokens := []string{
+		"select", "from", "where", "as", "and", "or", "not", "like",
+		"exists", "count", "Provenance", ".", ",", "*", "+", "?", "~",
+		"(", ")", "=", "!=", "<", "<=", ">", ">=", "input", "name",
+		`"str"`, "'s'", "42", "-7", "F", "X", "true", "false", "", " ",
+	}
+	rng := rand.New(rand.NewSource(99))
+	try := func(q string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", q, r)
+			}
+		}()
+		Parse(q)
+	}
+	// Mutations of valid queries: deletions, swaps, truncations.
+	for _, q := range seedQueries {
+		try(q)
+		for i := 0; i < 200; i++ {
+			b := []byte(q)
+			switch rng.Intn(3) {
+			case 0: // delete a span
+				if len(b) > 2 {
+					s := rng.Intn(len(b) - 1)
+					e := s + rng.Intn(len(b)-s)
+					b = append(b[:s], b[e:]...)
+				}
+			case 1: // flip a byte
+				if len(b) > 0 {
+					b[rng.Intn(len(b))] = byte(rng.Intn(128))
+				}
+			case 2: // truncate
+				b = b[:rng.Intn(len(b)+1)]
+			}
+			try(string(b))
+		}
+	}
+	// Random token soup.
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(20)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		try(sb.String())
+	}
+	// Raw bytes.
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		try(string(b))
+	}
+}
+
+// TestEvalNeverPanicsOnValidParses runs every successfully parsed mutation
+// against a graph; evaluation must return cleanly too.
+func TestEvalNeverPanicsOnValidParses(t *testing.T) {
+	g := buildGraph()
+	rng := rand.New(rand.NewSource(7))
+	base := `select A from Provenance.file as F F.input* as A where F.name = "atlas-x.gif"`
+	for i := 0; i < 500; i++ {
+		b := []byte(base)
+		if len(b) > 2 {
+			s := rng.Intn(len(b) - 1)
+			e := s + rng.Intn(len(b)-s)
+			b = append(b[:s], b[e:]...)
+		}
+		q, err := Parse(string(b))
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("eval panic on %q: %v", b, r)
+				}
+			}()
+			Eval(g, q)
+		}()
+	}
+}

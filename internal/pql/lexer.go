@@ -1,0 +1,194 @@
+// Package pql implements PQL ("pickle"), the Path Query Language of PASSv2
+// (§5.7). PQL derives from Lorel, the query language of Stanford's Lore
+// semistructured database, adapted per the paper's requirements: paths
+// through graphs as the basic model, paths as first-class objects, path
+// matching by closure over graph edges, traversal in both directions,
+// boolean values, sub-queries and aggregation.
+//
+// The implemented dialect:
+//
+//	select <items> from <bindings> where <condition>
+//
+//	items     := item ("," item)*
+//	item      := expr ("as" IDENT)?
+//	bindings  := binding ((",")? binding)*
+//	binding   := path "as" IDENT
+//	path      := ("Provenance" "." CLASS | IDENT) step*
+//	step      := "." EDGE ("~")? ("*" | "+" | "?")?
+//	expr      := disjunction of comparisons over IDENT, IDENT "." ATTR,
+//	             literals, count(...), exists(path)
+//
+// "~" traverses edges in reverse (descendants); "*" is reflexive
+// transitive closure, "+" transitive closure, "?" zero-or-one.
+//
+// The paper's running example works verbatim:
+//
+//	select Ancestor
+//	from Provenance.file as Atlas
+//	     Atlas.input* as Ancestor
+//	where Atlas.name = "atlas-x.gif"
+package pql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokDot
+	tokComma
+	tokStar
+	tokPlus
+	tokQuestion
+	tokTilde
+	tokLParen
+	tokRParen
+	tokEq
+	tokNeq
+	tokLt
+	tokLeq
+	tokGt
+	tokGeq
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// ErrSyntax wraps all lexical and parse errors.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokQuestion, "?", i})
+			i++
+		case c == '~':
+			toks = append(toks, token{tokTilde, "~", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{i, "unexpected '!'"}
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokLeq, "<=", i})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokNeq, "<>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokGeq, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, &SyntaxError{i, "unterminated string"}
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, &SyntaxError{i, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// keyword matching is case-insensitive, as in Lorel.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,316 @@
+package pql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a PQL query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected %s after query", p.cur())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !isKeyword(p.cur(), kw) {
+		return p.errf("expected %q, got %s", kw, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) query() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		item := SelectItem{Expr: e}
+		if isKeyword(p.cur(), "as") {
+			p.next()
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected alias, got %s", p.cur())
+			}
+			item.Alias = p.next().text
+		}
+		q.Select = append(q.Select, item)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		b, err := p.binding()
+		if err != nil {
+			return nil, err
+		}
+		q.Bindings = append(q.Bindings, b)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		// Bindings may also be separated by whitespace only (as in the
+		// paper's example); stop at "where" or EOF.
+		if isKeyword(p.cur(), "where") || p.cur().kind == tokEOF {
+			break
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected binding or 'where', got %s", p.cur())
+		}
+	}
+	if isKeyword(p.cur(), "where") {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	return q, nil
+}
+
+func (p *parser) binding() (Binding, error) {
+	path, err := p.path()
+	if err != nil {
+		return Binding{}, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return Binding{}, err
+	}
+	if p.cur().kind != tokIdent {
+		return Binding{}, p.errf("expected variable name, got %s", p.cur())
+	}
+	return Binding{Path: path, Var: p.next().text}, nil
+}
+
+func (p *parser) path() (Path, error) {
+	if p.cur().kind != tokIdent {
+		return Path{}, p.errf("expected path root, got %s", p.cur())
+	}
+	root := p.next().text
+	var path Path
+	if strings.EqualFold(root, "Provenance") {
+		if p.cur().kind != tokDot {
+			return Path{}, p.errf("expected '.' after Provenance")
+		}
+		p.next()
+		if p.cur().kind != tokIdent {
+			return Path{}, p.errf("expected class after Provenance., got %s", p.cur())
+		}
+		path.Class = strings.ToLower(p.next().text)
+	} else {
+		path.RootVar = root
+	}
+	for p.cur().kind == tokDot {
+		p.next()
+		if p.cur().kind != tokIdent {
+			return Path{}, p.errf("expected edge name after '.', got %s", p.cur())
+		}
+		step := Step{Edge: strings.ToLower(p.next().text)}
+		if p.cur().kind == tokTilde {
+			p.next()
+			step.Reverse = true
+		}
+		switch p.cur().kind {
+		case tokStar:
+			p.next()
+			step.Closure = ClosureStar
+		case tokPlus:
+			p.next()
+			step.Closure = CLosurePlus
+		case tokQuestion:
+			p.next()
+			step.Closure = ClosureOpt
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	return path, nil
+}
+
+// Expression grammar: or → and → not → comparison → primary.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for isKeyword(p.cur(), "or") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for isKeyword(p.cur(), "and") {
+		p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if isKeyword(p.cur(), "not") {
+		p.next()
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch {
+	case p.cur().kind == tokEq:
+		op = "="
+	case p.cur().kind == tokNeq:
+		op = "!="
+	case p.cur().kind == tokLt:
+		op = "<"
+	case p.cur().kind == tokLeq:
+		op = "<="
+	case p.cur().kind == tokGt:
+		op = ">"
+	case p.cur().kind == tokGeq:
+		op = ">="
+	case isKeyword(p.cur(), "like"):
+		op = "like"
+	default:
+		return l, nil
+	}
+	p.next()
+	r, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errf("expected ')', got %s", p.cur())
+		}
+		p.next()
+		return e, nil
+	case t.kind == tokString:
+		p.next()
+		return &StringLit{V: t.text}, nil
+	case t.kind == tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &NumberLit{V: v}, nil
+	case isKeyword(t, "true"):
+		p.next()
+		return &BoolLit{V: true}, nil
+	case isKeyword(t, "false"):
+		p.next()
+		return &BoolLit{V: false}, nil
+	case isKeyword(t, "count"):
+		p.next()
+		if p.cur().kind != tokLParen {
+			return nil, p.errf("expected '(' after count")
+		}
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errf("expected ')' after count argument")
+		}
+		p.next()
+		return &CountExpr{E: e}, nil
+	case isKeyword(t, "exists"):
+		p.next()
+		if p.cur().kind != tokLParen {
+			return nil, p.errf("expected '(' after exists")
+		}
+		p.next()
+		path, err := p.path()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errf("expected ')' after exists path")
+		}
+		p.next()
+		return &ExistsExpr{Path: path}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.cur().kind == tokDot {
+			p.next()
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected attribute after '.', got %s", p.cur())
+			}
+			attr := p.next().text
+			return &AttrExpr{Var: t.text, Attr: strings.ToLower(attr)}, nil
+		}
+		return &VarExpr{Name: t.text}, nil
+	default:
+		return nil, p.errf("unexpected %s", t)
+	}
+}

@@ -1,0 +1,302 @@
+package pql
+
+import (
+	"strings"
+	"testing"
+
+	"passv2/internal/graph"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+func ref(p uint64, v uint32) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(p), Version: pnode.Version(v)}
+}
+
+// buildGraph constructs the paper's running example:
+//
+//	atlas-x.gif ← convert ← softmean ← reslice ← align_warp ← anatomy.img
+//
+// with TYPE/NAME records for each, as two chained processes and files.
+func buildGraph() *graph.Graph {
+	db := waldo.NewDB()
+	add := func(r pnode.Ref, name, typ string) {
+		db.Apply(record.New(r, record.AttrName, record.StringVal(name)))
+		db.Apply(record.New(r, record.AttrType, record.StringVal(typ)))
+	}
+	atlas := ref(1, 1)
+	convert := ref(2, 1)
+	softmean := ref(3, 1)
+	mean := ref(4, 1) // intermediate file
+	anatomy := ref(5, 1)
+	add(atlas, "atlas-x.gif", record.TypeFile)
+	add(convert, "convert", record.TypeProc)
+	add(softmean, "softmean", record.TypeProc)
+	add(mean, "atlas-x.img", record.TypeFile)
+	add(anatomy, "anatomy.img", record.TypeFile)
+	db.Apply(record.Input(atlas, convert))
+	db.Apply(record.Input(convert, mean))
+	db.Apply(record.Input(mean, softmean))
+	db.Apply(record.Input(softmean, anatomy))
+	return graph.New(db)
+}
+
+func run(t *testing.T, g *graph.Graph, q string) *Result {
+	t.Helper()
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return res
+}
+
+func names(res *Result) []string {
+	var out []string
+	for _, row := range res.Rows {
+		out = append(out, row[0].String())
+	}
+	return out
+}
+
+func TestPaperExampleQuery(t *testing.T) {
+	g := buildGraph()
+	// Verbatim from §5.7 of the paper.
+	res := run(t, g, `
+		select Ancestor
+		from Provenance.file as Atlas
+		     Atlas.input* as Ancestor
+		where Atlas.name = "atlas-x.gif"`)
+	got := strings.Join(names(res), "\n")
+	for _, want := range []string{"atlas-x.gif", "convert", "softmean", "atlas-x.img", "anatomy.img"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ancestor %q missing from result:\n%s", want, got)
+		}
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("got %d rows, want 5", len(res.Rows))
+	}
+}
+
+func TestPlusClosureExcludesStart(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `
+		select A from Provenance.file as F F.input+ as A
+		where F.name = "atlas-x.gif"`)
+	for _, n := range names(res) {
+		if strings.Contains(n, "atlas-x.gif") {
+			t.Fatal("input+ must not include the start node")
+		}
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestSingleStepAndOptional(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `
+		select A from Provenance.file as F F.input as A
+		where F.name = "atlas-x.gif"`)
+	if len(res.Rows) != 1 || !strings.Contains(res.Rows[0][0].String(), "convert") {
+		t.Fatalf("single step = %v", names(res))
+	}
+	res = run(t, g, `
+		select A from Provenance.file as F F.input? as A
+		where F.name = "atlas-x.gif"`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("optional step rows = %d", len(res.Rows))
+	}
+}
+
+func TestReverseTraversalDescendants(t *testing.T) {
+	g := buildGraph()
+	// What descends from anatomy.img? (the malware-spread query shape)
+	res := run(t, g, `
+		select D from Provenance.file as F F.input~* as D
+		where F.name = "anatomy.img"`)
+	got := strings.Join(names(res), "\n")
+	for _, want := range []string{"atlas-x.gif", "convert", "softmean"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("descendant %q missing:\n%s", want, got)
+		}
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `select F from Provenance.file as F where F.name like "atlas-*"`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("like rows = %v", names(res))
+	}
+	res = run(t, g, `select F from Provenance.file as F where not (F.name = "anatomy.img")`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("not rows = %v", names(res))
+	}
+	res = run(t, g, `select F from Provenance.file as F
+		where F.name = "anatomy.img" or F.name = "atlas-x.gif"`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("or rows = %v", names(res))
+	}
+	res = run(t, g, `select F from Provenance.file as F
+		where F.name != "anatomy.img" and F.version = 1`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("and rows = %v", names(res))
+	}
+	res = run(t, g, `select F from Provenance.file as F where F.version >= 1 and F.version <= 1`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("range rows = %v", names(res))
+	}
+}
+
+func TestCountAggregate(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `
+		select count(A) from Provenance.file as F F.input* as A
+		where F.name = "atlas-x.gif"`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 5 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+}
+
+func TestExistsSubquery(t *testing.T) {
+	g := buildGraph()
+	// Files that have at least one ancestor named convert: use exists
+	// over a path from the bound variable.
+	res := run(t, g, `
+		select F from Provenance.file as F
+		where exists(F.input)`)
+	// atlas-x.gif and atlas-x.img have process inputs; anatomy.img has none.
+	if len(res.Rows) != 2 {
+		t.Fatalf("exists rows = %v", names(res))
+	}
+}
+
+func TestMultipleSelectItemsAndAliases(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `
+		select F.name as file, F.version as v
+		from Provenance.file as F
+		where F.name = "atlas-x.gif"`)
+	if res.Columns[0] != "file" || res.Columns[1] != "v" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if res.Rows[0][0].Str != "atlas-x.gif" || res.Rows[0][1].Int != 1 {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestProvenanceObjRoot(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `select count(X) from Provenance.obj as X`)
+	if res.Rows[0][0].Int != 5 {
+		t.Fatalf("obj count = %v", res.Rows[0][0])
+	}
+}
+
+func TestAttrEdgeTraversal(t *testing.T) {
+	// A FILE_URL-style ref attribute can be followed as an edge.
+	db := waldo.NewDB()
+	sess := ref(10, 1)
+	file := ref(11, 1)
+	db.Apply(record.New(sess, record.AttrType, record.StringVal(record.TypeSession)))
+	db.Apply(record.New(file, record.AttrType, record.StringVal(record.TypeFile)))
+	db.Apply(record.New(file, record.AttrName, record.StringVal("dl.bin")))
+	db.Apply(record.New(file, record.Attr("SESSION"), record.Ref(sess)))
+	g := graph.New(db)
+	res := run(t, g, `select S from Provenance.file as F F.session as S`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Ref != sess {
+		t.Fatalf("attr edge = %v", res.Rows)
+	}
+}
+
+func TestNullComparisonsAreFalse(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `select F from Provenance.file as F where F.params = "x"`)
+	if len(res.Rows) != 0 {
+		t.Fatal("comparison against missing attribute must be false")
+	}
+}
+
+func TestCycleSafeClosure(t *testing.T) {
+	// A malformed database containing a cycle must not hang the engine.
+	db := waldo.NewDB()
+	a, b := ref(1, 1), ref(2, 1)
+	db.Apply(record.New(a, record.AttrType, record.StringVal(record.TypeFile)))
+	db.Apply(record.New(a, record.AttrName, record.StringVal("a")))
+	db.Apply(record.Input(a, b))
+	db.Apply(record.Input(b, a))
+	g := graph.New(db)
+	res := run(t, g, `select X from Provenance.file as F F.input* as X where F.name = "a"`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("cyclic closure rows = %d", len(res.Rows))
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select X",
+		"select X from",
+		"select X from Provenance.file", // missing as
+		"select X from Provenance.file as F where", // missing cond
+		`select X from F.input* as X where X.name = `,
+		`select X from Provenance. as X`,
+		`select X from Provenance.file as F where F.name = "unterminated`,
+		`select count(X from Provenance.file as X`,
+		`select X from Provenance.file as F extra`,
+	}
+	for _, q := range bad {
+		if _, err := Run(buildGraph(), q); err == nil {
+			t.Errorf("query %q should not parse", q)
+		}
+	}
+}
+
+func TestUnboundVariableError(t *testing.T) {
+	if _, err := Run(buildGraph(), `select Y from Provenance.file as F where Y.name = "x"`); err == nil {
+		t.Fatal("unbound variable must error")
+	}
+}
+
+func TestReverseNonInputRejected(t *testing.T) {
+	if _, err := Run(buildGraph(), `select X from Provenance.file as F F.params~ as X`); err == nil {
+		t.Fatal("reverse of non-input edge must be rejected")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	g := buildGraph()
+	res := run(t, g, `select F.name from Provenance.file as F`)
+	out := res.Format()
+	if !strings.Contains(out, "F.name") || !strings.Contains(out, "atlas-x.gif") {
+		t.Fatalf("format:\n%s", out)
+	}
+	empty := &Result{Columns: []string{"x"}}
+	if empty.Format() != "(no results)\n" {
+		t.Fatal("empty format wrong")
+	}
+}
+
+func TestMultiSourceGraphUnion(t *testing.T) {
+	// Two databases, edge crossing them: Kepler on one volume, files on
+	// another (the layered query the paper is about).
+	db1 := waldo.NewDB()
+	db2 := waldo.NewDB()
+	out := ref(1, 1)
+	op := ref(2, 1)
+	db1.Apply(record.New(out, record.AttrName, record.StringVal("result.dat")))
+	db1.Apply(record.New(out, record.AttrType, record.StringVal(record.TypeFile)))
+	db1.Apply(record.Input(out, op))
+	db2.Apply(record.New(op, record.AttrName, record.StringVal("align_warp")))
+	db2.Apply(record.New(op, record.AttrType, record.StringVal(record.TypeOperator)))
+	g := graph.New(db1, db2)
+	res := run(t, g, `
+		select A from Provenance.file as F F.input* as A
+		where F.name = "result.dat"`)
+	joined := strings.Join(names(res), "\n")
+	if !strings.Contains(joined, "align_warp") {
+		t.Fatalf("cross-database ancestry broken:\n%s", joined)
+	}
+}

@@ -1,0 +1,123 @@
+package provlog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// TestPropertyRandomEntrySequences writes random interleavings of all
+// entry types under random buffering and rotation settings and asserts
+// the scan returns exactly the appended sequence.
+func TestPropertyRandomEntrySequences(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			fs := vfs.NewMemFS("lower", nil)
+			maxSize := int64(0)
+			if rng.Intn(2) == 0 {
+				maxSize = int64(rng.Intn(2048) + 256)
+			}
+			w, err := NewWriter(fs, "/.prov", maxSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(2) == 0 {
+				w.SetBuffer(rng.Intn(4096) + 1)
+			}
+
+			type expEntry struct {
+				typ EntryType
+				txn uint64
+				rec record.Record
+				d   DataDesc
+			}
+			var want []expEntry
+			n := rng.Intn(300) + 10
+			for i := 0; i < n; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					txn := uint64(rng.Intn(3))
+					r := record.Input(
+						pnode.Ref{PNode: pnode.PNode(rng.Intn(50) + 1), Version: pnode.Version(rng.Intn(3) + 1)},
+						pnode.Ref{PNode: pnode.PNode(rng.Intn(50) + 1), Version: 1},
+					)
+					if err := w.AppendRecord(txn, r); err != nil {
+						t.Fatal(err)
+					}
+					want = append(want, expEntry{typ: EntryRecord, txn: txn, rec: r})
+				case 2:
+					data := make([]byte, rng.Intn(64))
+					rng.Read(data)
+					ref := pnode.Ref{PNode: pnode.PNode(rng.Intn(50) + 1), Version: 1}
+					off := int64(rng.Intn(1000))
+					if err := w.AppendData(ref, off, data); err != nil {
+						t.Fatal(err)
+					}
+					e := expEntry{typ: EntryData}
+					e.d.Ref = ref
+					e.d.Off = off
+					e.d.Len = int32(len(data))
+					want = append(want, e)
+				case 3:
+					txn := uint64(rng.Intn(5) + 1)
+					if rng.Intn(2) == 0 {
+						if err := w.AppendBeginTxn(txn); err != nil {
+							t.Fatal(err)
+						}
+						want = append(want, expEntry{typ: EntryBeginTxn, txn: txn})
+					} else {
+						if err := w.AppendEndTxn(txn); err != nil {
+							t.Fatal(err)
+						}
+						want = append(want, expEntry{typ: EntryEndTxn, txn: txn})
+					}
+				}
+				if rng.Intn(40) == 0 {
+					if err := w.Rotate(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			var got []Entry
+			if err := ScanAll(fs, "/.prov", func(e Entry) error {
+				got = append(got, e)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("scanned %d entries, want %d", len(got), len(want))
+			}
+			for i := range got {
+				g, x := got[i], want[i]
+				if g.Type != x.typ {
+					t.Fatalf("entry %d type %v want %v", i, g.Type, x.typ)
+				}
+				switch x.typ {
+				case EntryRecord:
+					if g.Txn != x.txn || !g.Rec.Equal(x.rec) {
+						t.Fatalf("entry %d record mismatch", i)
+					}
+				case EntryData:
+					if g.Data.Ref != x.d.Ref || g.Data.Off != x.d.Off || g.Data.Len != x.d.Len {
+						t.Fatalf("entry %d data desc mismatch", i)
+					}
+				case EntryBeginTxn, EntryEndTxn:
+					if g.Txn != x.txn {
+						t.Fatalf("entry %d txn %d want %d", i, g.Txn, x.txn)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,253 @@
+// Package pyprov implements Provenance-Aware Python (§6.4): a set of
+// wrappers that track provenance in script applications. The paper's
+// colleagues wrapped Python objects, modules and output files so that
+// method invocations, their inputs, and their outputs become provenance
+// objects; this reproduction provides the same wrapper architecture over a
+// small script runtime (functions as Go closures, values as tagged data),
+// which preserves the design point that matters: the wrappers capture
+// function-level data flow, while anything flowing through unwrapped
+// built-in operators escapes them — the limitation §6.5 reports.
+//
+// For every wrapped object the runtime records TYPE and NAME; for every
+// invocation it issues pass_write calls with INPUT records describing the
+// dependencies between each input and the invocation, and between the
+// invocation and each of its outputs.
+package pyprov
+
+import (
+	"fmt"
+
+	"passv2/internal/dpapi"
+	"passv2/internal/kernel"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// Value is a runtime value with optional provenance identity. Values
+// produced by wrapped invocations or read from files carry a Ref; values
+// produced by unwrapped computation do not (that is the wrapper gap).
+type Value struct {
+	Data interface{}
+	Ref  pnode.Ref
+}
+
+// Tainted reports whether the value carries provenance.
+func (v Value) Tainted() bool { return v.Ref.IsValid() }
+
+// Runtime is one provenance-aware script interpreter instance bound to a
+// kernel process.
+type Runtime struct {
+	proc *kernel.Process
+	hint string // PASS volume hint for script objects
+}
+
+// New creates a runtime. hint names the volume for wrapper objects.
+func New(proc *kernel.Process, hint string) *Runtime {
+	return &Runtime{proc: proc, hint: hint}
+}
+
+// Proc exposes the underlying process.
+func (rt *Runtime) Proc() *kernel.Process { return rt.proc }
+
+// Function is a wrapped callable.
+type Function struct {
+	rt   *Runtime
+	name string
+	obj  dpapi.Object
+	fn   func(call *Invocation, args []Value) ([]Value, error)
+}
+
+// Wrap registers fn as a provenance-aware function: a FUNCTION object is
+// created for it, and every call produces an INVOCATION object linked to
+// the function, its inputs, and its outputs.
+func (rt *Runtime) Wrap(name string, fn func(call *Invocation, args []Value) ([]Value, error)) (*Function, error) {
+	obj, err := rt.proc.PassMkobj(rt.hint)
+	if err != nil {
+		return nil, fmt.Errorf("pyprov: wrap %s: %w", name, err)
+	}
+	ref := obj.Ref()
+	if err := dpapi.Disclose(obj,
+		record.New(ref, record.AttrType, record.StringVal(record.TypeFunction)),
+		record.New(ref, record.AttrName, record.StringVal(name)),
+	); err != nil {
+		return nil, err
+	}
+	return &Function{rt: rt, name: name, obj: obj, fn: fn}, nil
+}
+
+// Name returns the function's name.
+func (f *Function) Name() string { return f.name }
+
+// Ref returns the FUNCTION object's identity.
+func (f *Function) Ref() pnode.Ref { return f.obj.Ref() }
+
+// Invocation is one call of a wrapped function: itself a provenance
+// object, so process-validation queries (§3.3) can ask "which outputs
+// descend from an invocation of this routine?".
+type Invocation struct {
+	rt  *Runtime
+	fn  *Function
+	obj dpapi.Object
+}
+
+// Ref returns the invocation's identity.
+func (c *Invocation) Ref() pnode.Ref { return c.obj.Ref() }
+
+// Runtime returns the owning runtime.
+func (c *Invocation) Runtime() *Runtime { return c.rt }
+
+// Call invokes the wrapped function: it creates the INVOCATION object,
+// records invocation←function and invocation←each-tainted-arg, runs the
+// body, then records each tainted output←invocation.
+func (f *Function) Call(args ...Value) ([]Value, error) {
+	return f.callFrom(nil, args...)
+}
+
+// Call invokes another wrapped function from inside this invocation: the
+// inner invocation additionally descends from the outer one (the call
+// stack becomes ancestry), and the outer invocation picks up dependencies
+// on the inner call's tainted results — so a provenance-aware application
+// calling a provenance-aware library yields one connected chain (§5.2's
+// stacked-layers case).
+func (c *Invocation) Call(f *Function, args ...Value) ([]Value, error) {
+	outs, err := f.callFrom(c, args...)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record.Record
+	for _, o := range outs {
+		if o.Tainted() {
+			recs = append(recs, record.Input(c.obj.Ref(), o.Ref))
+		}
+	}
+	if err := dpapi.Disclose(c.obj, recs...); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+func (f *Function) callFrom(parent *Invocation, args ...Value) ([]Value, error) {
+	obj, err := f.rt.proc.PassMkobj(f.rt.hint)
+	if err != nil {
+		return nil, err
+	}
+	inv := &Invocation{rt: f.rt, fn: f, obj: obj}
+	iref := obj.Ref()
+	recs := []record.Record{
+		record.New(iref, record.AttrType, record.StringVal(record.TypeInvoke)),
+		record.New(iref, record.AttrName, record.StringVal(f.name)),
+		record.Input(iref, f.obj.Ref()),
+	}
+	if parent != nil {
+		recs = append(recs, record.Input(iref, parent.Ref()))
+	}
+	for _, a := range args {
+		if a.Tainted() {
+			recs = append(recs, record.Input(iref, a.Ref))
+		}
+	}
+	if err := dpapi.Disclose(obj, recs...); err != nil {
+		return nil, err
+	}
+	outs, err := f.fn(inv, args)
+	if err != nil {
+		return nil, fmt.Errorf("pyprov: %s: %w", f.name, err)
+	}
+	// Outputs descend from the invocation. Values that already carry a
+	// ref (e.g. documents passed through) keep their identity. The tag is
+	// the invocation's identity at return time: nested calls may have
+	// frozen it (cycle avoidance) since creation, and ancestry must start
+	// from the version whose dependency set includes those calls.
+	cur := obj.Ref()
+	for i := range outs {
+		if !outs[i].Tainted() {
+			outs[i].Ref = cur
+		}
+	}
+	return outs, nil
+}
+
+// ReadFile loads a file through pass_read, returning a Value whose Ref is
+// the exact file version read. The script sees its data; the provenance
+// layer sees the dependency.
+func (rt *Runtime) ReadFile(path string) (Value, error) {
+	p := rt.proc
+	fd, err := p.Open(path, vfs.ORdOnly)
+	if err != nil {
+		return Value{}, err
+	}
+	defer p.Close(fd)
+	st, err := p.Stat(path)
+	if err != nil {
+		return Value{}, err
+	}
+	buf := make([]byte, st.Size)
+	var ref pnode.Ref
+	total := 0
+	passAware := true
+	for total < len(buf) {
+		n, r, err := p.PassReadFd(fd, buf[total:])
+		if err != nil {
+			// Non-PASS volume: plain read, no identity at this layer.
+			passAware = false
+			if n, err = p.Read(fd, buf[total:]); err != nil {
+				return Value{}, err
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+			continue
+		}
+		ref = r
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if !passAware {
+		return Value{Data: buf[:total]}, nil
+	}
+	return Value{Data: buf[:total], Ref: ref}, nil
+}
+
+// WriteFile writes data to path with INPUT records for every tainted
+// dependency (the invocation that computed it, the documents used).
+func (rt *Runtime) WriteFile(path string, data []byte, deps ...Value) error {
+	p := rt.proc
+	fd, err := p.Open(path, vfs.OCreate|vfs.OTrunc|vfs.ORdWr)
+	if err != nil {
+		return err
+	}
+	defer p.Close(fd)
+	kfd, err := p.FDGet(fd)
+	if err != nil {
+		return err
+	}
+	if pf := kfd.PassFile(); pf != nil {
+		b := &record.Bundle{}
+		for _, d := range deps {
+			if d.Tainted() {
+				b.Add(record.Input(pf.Ref(), d.Ref))
+			}
+		}
+		_, err = p.PassWriteFd(fd, data, b)
+		return err
+	}
+	_, err = p.Write(fd, data)
+	return err
+}
+
+// Builtin applies an UNWRAPPED operation: data flows but provenance does
+// not — the exact gap the paper discovered ("we lost provenance across
+// built-in operators", §6.5). Exposed so tests and the ablation benches
+// can demonstrate the difference between a provenance-aware application
+// and a provenance-aware runtime.
+func Builtin(fn func(args []Value) []Value, args ...Value) []Value {
+	outs := fn(args)
+	for i := range outs {
+		outs[i].Ref = pnode.Ref{}
+	}
+	return outs
+}

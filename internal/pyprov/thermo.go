@@ -1,0 +1,153 @@
+package pyprov
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"passv2/internal/vfs"
+)
+
+// This file implements the Iowa State Thermography Research Group
+// application from §3.3: ~400 experiments on 60 specimens produced XML
+// experiment logs relating crack heating to vibrational stress; a Python
+// script plots crack heating as a function of crack length for two
+// classifications of vibrational stress. The script reads ALL the XML
+// files to decide which to use — which is why plain PASS reports the plot
+// as descending from every file, and why the layered PA-Python answer
+// (only the documents actually used) is the interesting one.
+
+// ExperimentLog is one data-acquisition XML file.
+type ExperimentLog struct {
+	XMLName     xml.Name `xml:"experiment"`
+	Specimen    string   `xml:"specimen,attr"`
+	CrackLength float64  `xml:"crackLength"`
+	Stress      float64  `xml:"stress"`
+	Heating     float64  `xml:"heating"`
+	Class       string   `xml:"classification"`
+}
+
+// GenerateLogs writes n experiment logs under dir through the runtime's
+// process (so the files have system-level provenance). Experiments
+// alternate between "high" and "low" stress classifications.
+func GenerateLogs(rt *Runtime, dir string, n int) error {
+	p := rt.Proc()
+	if err := p.MkdirAll(dir); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		class := "low"
+		if i%2 == 0 {
+			class = "high"
+		}
+		log := ExperimentLog{
+			Specimen:    fmt.Sprintf("S%03d", i%60),
+			CrackLength: 1.0 + float64(i%37)*0.13,
+			Stress:      80 + float64(i%11)*4.5,
+			Heating:     0.2 + float64(i%23)*0.011,
+			Class:       class,
+		}
+		body, err := xml.MarshalIndent(log, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("%s/exp%03d.xml", dir, i)
+		fd, err := p.Open(path, vfs.OCreate|vfs.OTrunc|vfs.ORdWr)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Write(fd, body); err != nil {
+			p.Close(fd)
+			return err
+		}
+		p.Close(fd)
+	}
+	return nil
+}
+
+// AnalysisResult reports what the plot script did.
+type AnalysisResult struct {
+	PlotPath  string
+	TotalRead int
+	Used      int
+}
+
+// AnalyzeCrackHeating is the plot script: it reads every XML log in dir,
+// uses only those whose classification matches class, estimates crack
+// heating with a wrapped calculation routine, and writes a plot whose
+// provenance names exactly the documents used.
+//
+// calcBuggy simulates the upgraded-library bug of the process-validation
+// use case: when true, the estimate routine miscomputes, and the question
+// "which results descend from an invocation of the buggy routine?" is
+// answerable from provenance.
+func AnalyzeCrackHeating(rt *Runtime, dir, plotPath, class string, calcBuggy bool) (*AnalysisResult, error) {
+	p := rt.Proc()
+
+	estimate, err := rt.Wrap("estimate_heating", func(call *Invocation, args []Value) ([]Value, error) {
+		doc := args[0].Data.(*ExperimentLog)
+		v := doc.Heating * doc.Stress / 100
+		if calcBuggy {
+			v *= 3.7 // the upgraded library's miscalculation
+		}
+		call.rt.Proc().Compute(int64(1000))
+		return []Value{{Data: v}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	plot, err := rt.Wrap("plot_crack_heating", func(call *Invocation, args []Value) ([]Value, error) {
+		var body []byte
+		for _, a := range args {
+			body = append(body, []byte(fmt.Sprintf("%v\n", a.Data))...)
+		}
+		call.rt.Proc().Compute(int64(len(args)) * 500)
+		return []Value{{Data: body}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ents, err := p.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &AnalysisResult{PlotPath: plotPath}
+	var points []Value
+	var used []Value
+	for _, e := range ents {
+		if e.IsDir {
+			continue
+		}
+		// The script reads EVERY file — PASS alone sees all of them as
+		// plot inputs.
+		val, err := rt.ReadFile(dir + "/" + e.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalRead++
+		var doc ExperimentLog
+		if err := xml.Unmarshal(val.Data.([]byte), &doc); err != nil {
+			continue
+		}
+		if doc.Class != class {
+			continue // read but not used
+		}
+		res.Used++
+		docVal := Value{Data: &doc, Ref: val.Ref}
+		pt, err := estimate.Call(docVal)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt[0])
+		used = append(used, docVal)
+	}
+	out, err := plot.Call(points...)
+	if err != nil {
+		return nil, err
+	}
+	deps := append([]Value{out[0]}, used...)
+	if err := rt.WriteFile(plotPath, out[0].Data.([]byte), deps...); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

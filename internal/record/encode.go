@@ -1,0 +1,265 @@
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"passv2/internal/pnode"
+)
+
+// Binary encoding of records and bundles. The same encoding is used in the
+// Lasagna on-disk log and on the PA-NFS wire, which is what lets a client
+// analyzer stack directly on a server analyzer (§6.1.1: "the input and
+// output data representations must be the same").
+//
+// Layout (all integers little-endian, strings/bytes length-prefixed with
+// uvarint):
+//
+//	record  = subjectPnode:u64 subjectVersion:u32 attr:str kind:u8 payload
+//	payload = int:varint | str | bool:u8 | bytes | ref(u64 u32)
+//	bundle  = count:uvarint record*
+
+var (
+	// ErrCorrupt reports undecodable record bytes.
+	ErrCorrupt = errors.New("record: corrupt encoding")
+	// errTooLarge guards length prefixes against hostile input.
+	errTooLarge = fmt.Errorf("%w: length prefix too large", ErrCorrupt)
+)
+
+// maxBlob bounds any single string/byte field (16 MiB).
+const maxBlob = 16 << 20
+
+// AppendValue appends the binary encoding of v to dst.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindBool:
+		if v.i != 0 {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindBytes:
+		dst = binary.AppendUvarint(dst, uint64(len(v.b)))
+		dst = append(dst, v.b...)
+	case KindRef:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.r.PNode))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.r.Version))
+	}
+	return dst
+}
+
+// AppendRecord appends the binary encoding of r to dst.
+func AppendRecord(dst []byte, r Record) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Subject.PNode))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Subject.Version))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Attr)))
+	dst = append(dst, r.Attr...)
+	return AppendValue(dst, r.Value)
+}
+
+// AppendBundle appends the binary encoding of b to dst. A nil bundle
+// encodes as a zero-count bundle.
+func AppendBundle(dst []byte, b *Bundle) []byte {
+	dst = binary.AppendUvarint(dst, uint64(b.Len()))
+	if b != nil {
+		for _, r := range b.Records {
+			dst = AppendRecord(dst, r)
+		}
+	}
+	return dst
+}
+
+// EncodeBundle returns the binary encoding of b.
+func EncodeBundle(b *Bundle) []byte { return AppendBundle(nil, b) }
+
+// decoder walks an encoded byte slice.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) u8() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) blob() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBlob {
+		return nil, errTooLarge
+	}
+	if uint64(d.remaining()) < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+func (d *decoder) value() (Value, error) {
+	k, err := d.u8()
+	if err != nil {
+		return Value{}, err
+	}
+	switch Kind(k) {
+	case KindInt:
+		i, err := d.varint()
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(i), nil
+	case KindString:
+		b, err := d.blob()
+		if err != nil {
+			return Value{}, err
+		}
+		return StringVal(string(b)), nil
+	case KindBool:
+		b, err := d.u8()
+		if err != nil {
+			return Value{}, err
+		}
+		if b > 1 {
+			return Value{}, ErrCorrupt
+		}
+		return Bool(b == 1), nil
+	case KindBytes:
+		b, err := d.blob()
+		if err != nil {
+			return Value{}, err
+		}
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		return Bytes(cp), nil
+	case KindRef:
+		pn, err := d.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		ver, err := d.u32()
+		if err != nil {
+			return Value{}, err
+		}
+		return Ref(pnode.Ref{PNode: pnode.PNode(pn), Version: pnode.Version(ver)}), nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown value kind %d", ErrCorrupt, k)
+	}
+}
+
+func (d *decoder) record() (Record, error) {
+	pn, err := d.u64()
+	if err != nil {
+		return Record{}, err
+	}
+	ver, err := d.u32()
+	if err != nil {
+		return Record{}, err
+	}
+	attr, err := d.blob()
+	if err != nil {
+		return Record{}, err
+	}
+	val, err := d.value()
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{
+		Subject: pnode.Ref{PNode: pnode.PNode(pn), Version: pnode.Version(ver)},
+		Attr:    Attr(attr),
+		Value:   val,
+	}, nil
+}
+
+// DecodeBundle decodes a bundle from buf, returning the bundle and the
+// number of bytes consumed.
+func DecodeBundle(buf []byte) (*Bundle, int, error) {
+	d := &decoder{buf: buf}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > math.MaxInt32 {
+		return nil, 0, errTooLarge
+	}
+	b := &Bundle{Records: make([]Record, 0, minInt(int(n), 1024))}
+	for i := uint64(0); i < n; i++ {
+		r, err := d.record()
+		if err != nil {
+			return nil, 0, err
+		}
+		b.Records = append(b.Records, r)
+	}
+	return b, d.off, nil
+}
+
+// DecodeRecord decodes one record from buf, returning it and the number of
+// bytes consumed.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	d := &decoder{buf: buf}
+	r, err := d.record()
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return r, d.off, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package record
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"passv2/internal/pnode"
+)
+
+func TestEncodeDecodeRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		Input(ref(3, 1), ref(2, 4)),
+		New(ref(1, 1), AttrName, StringVal("/data/in.xml")),
+		New(ref(1, 2), AttrType, StringVal(TypeProc)),
+		New(ref(7, 9), Attr("COUNT"), Int(-123456789)),
+		New(ref(7, 9), Attr("FLAG"), Bool(true)),
+		New(ref(7, 9), Attr("FLAG"), Bool(false)),
+		New(ref(8, 1), Attr("BLOB"), Bytes([]byte{0, 255, 1, 2})),
+		New(ref(8, 1), Attr("EMPTY"), Bytes(nil)),
+		New(ref(8, 1), Attr(""), StringVal("")),
+	}
+	for _, r := range recs {
+		enc := AppendRecord(nil, r)
+		got, n, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", r, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %v consumed %d of %d bytes", r, n, len(enc))
+		}
+		if !got.Equal(r) {
+			t.Fatalf("round trip: got %v, want %v", got, r)
+		}
+	}
+}
+
+func TestEncodeDecodeBundleRoundTrip(t *testing.T) {
+	b := NewBundle(
+		Input(ref(3, 1), ref(2, 4)),
+		New(ref(3, 1), AttrName, StringVal("x")),
+		New(ref(4, 1), AttrArgv, StringVal("cc -O2 main.c")),
+	)
+	enc := EncodeBundle(b)
+	got, n, err := DecodeBundle(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d", n, len(enc))
+	}
+	if len(got.Records) != len(b.Records) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(b.Records))
+	}
+	for i := range got.Records {
+		if !got.Records[i].Equal(b.Records[i]) {
+			t.Fatalf("record %d differs: %v vs %v", i, got.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestDecodeEmptyAndNilBundle(t *testing.T) {
+	enc := EncodeBundle(nil)
+	b, _, err := DecodeBundle(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil bundle decoded to %d records", b.Len())
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	b := NewBundle(
+		Input(ref(3, 1), ref(2, 4)),
+		New(ref(3, 1), AttrName, StringVal("some-name-here")),
+	)
+	enc := EncodeBundle(b)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := DecodeBundle(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecodeGarbageDoesNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		DecodeBundle(buf) // must not panic; errors are fine
+		DecodeRecord(buf)
+	}
+}
+
+func TestDecodeRejectsHugeLengthPrefix(t *testing.T) {
+	// A bundle claiming 2^40 records must fail cleanly, not OOM.
+	var enc []byte
+	enc = append(enc, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // uvarint 2^42
+	if _, _, err := DecodeBundle(enc); err == nil {
+		t.Fatal("huge count accepted")
+	}
+}
+
+// randomValue builds an arbitrary Value from fuzz inputs.
+func randomValue(which uint8, i int64, s string, bs []byte, p uint64, v uint32) Value {
+	switch which % 5 {
+	case 0:
+		return Int(i)
+	case 1:
+		return StringVal(s)
+	case 2:
+		return Bool(i%2 == 0)
+	case 3:
+		return Bytes(bs)
+	default:
+		return Ref(pnode.Ref{PNode: pnode.PNode(p), Version: pnode.Version(v)})
+	}
+}
+
+func TestPropertyRecordRoundTrip(t *testing.T) {
+	f := func(sp uint64, sv uint32, attr string, which uint8, i int64, s string, bs []byte, p uint64, v uint32) bool {
+		r := Record{
+			Subject: pnode.Ref{PNode: pnode.PNode(sp), Version: pnode.Version(sv)},
+			Attr:    Attr(attr),
+			Value:   randomValue(which, i, s, bs, p, v),
+		}
+		enc := AppendRecord(nil, r)
+		got, n, err := DecodeRecord(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		// Bytes(nil) and Bytes([]byte{}) compare equal via Equal.
+		return got.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBundleRoundTripPreservesOrder(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		b := &Bundle{}
+		for _, s := range seeds {
+			b.Add(Input(ref(uint64(s%97+1), s%5+1), ref(uint64(s%89+1), s%7+1)))
+		}
+		enc := EncodeBundle(b)
+		got, n, err := DecodeBundle(enc)
+		if err != nil || n != len(enc) || got.Len() != b.Len() {
+			return false
+		}
+		for i := range got.Records {
+			if !got.Records[i].Equal(b.Records[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendValueAllKindsDecodable(t *testing.T) {
+	vals := []Value{Int(0), Int(1 << 60), StringVal("π"), Bool(false), Bytes([]byte("raw")), Ref(ref(1, 1))}
+	for _, v := range vals {
+		enc := AppendValue(nil, v)
+		d := &decoder{buf: enc}
+		got, err := d.value()
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("got %v want %v", got, v)
+		}
+	}
+}
+
+func TestDecodeRecordExtraBytesReported(t *testing.T) {
+	r := Input(ref(1, 1), ref(2, 2))
+	enc := AppendRecord(nil, r)
+	enc = append(enc, 0xAB, 0xCD)
+	got, n, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc)-2 {
+		t.Fatalf("consumed %d, want %d", n, len(enc)-2)
+	}
+	if !reflect.DeepEqual(got.Subject, r.Subject) {
+		t.Fatal("subject mismatch")
+	}
+}

@@ -1,0 +1,130 @@
+package record
+
+import (
+	"strings"
+	"testing"
+
+	"passv2/internal/pnode"
+)
+
+func ref(p uint64, v uint32) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(p), Version: pnode.Version(v)}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Int(-7), KindInt},
+		{StringVal("hello"), KindString},
+		{Bool(true), KindBool},
+		{Bytes([]byte{1, 2, 3}), KindBytes},
+		{Ref(ref(9, 2)), KindRef},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind(), c.kind)
+		}
+		if !c.v.IsValid() {
+			t.Errorf("value %v should be valid", c.v)
+		}
+	}
+	if (Value{}).IsValid() {
+		t.Error("zero Value must be invalid")
+	}
+	if i, ok := Int(-7).AsInt(); !ok || i != -7 {
+		t.Error("AsInt failed")
+	}
+	if s, ok := StringVal("x").AsString(); !ok || s != "x" {
+		t.Error("AsString failed")
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("AsBool failed")
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("cross-kind accessor must fail")
+	}
+	if r, ok := Ref(ref(9, 2)).AsRef(); !ok || r != ref(9, 2) {
+		t.Error("AsRef failed")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) || Int(5).Equal(Int(6)) {
+		t.Error("Int equality wrong")
+	}
+	if !Bytes([]byte("ab")).Equal(Bytes([]byte("ab"))) {
+		t.Error("Bytes equality wrong")
+	}
+	if Bytes([]byte("ab")).Equal(Bytes([]byte("ac"))) {
+		t.Error("Bytes inequality wrong")
+	}
+	if Int(1).Equal(Bool(true)) {
+		t.Error("cross-kind values must not be equal")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Input(ref(3, 1), ref(2, 4))
+	want := "pn:3@v1 INPUT pn:2@v4"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestBundleSubjectsSortedDistinct(t *testing.T) {
+	b := NewBundle(
+		New(ref(5, 1), AttrName, StringVal("a")),
+		New(ref(2, 1), AttrName, StringVal("b")),
+		New(ref(5, 1), AttrType, StringVal(TypeFile)),
+		New(ref(2, 2), AttrType, StringVal(TypeFile)),
+	)
+	subs := b.Subjects()
+	if len(subs) != 3 {
+		t.Fatalf("got %d subjects, want 3", len(subs))
+	}
+	for i := 1; i < len(subs); i++ {
+		if !subs[i-1].Less(subs[i]) {
+			t.Fatalf("subjects not sorted: %v", subs)
+		}
+	}
+}
+
+func TestBundleCloneIsDeep(t *testing.T) {
+	data := []byte("payload")
+	b := NewBundle(New(ref(1, 1), Attr("DATA"), Bytes(data)))
+	c := b.Clone()
+	data[0] = 'X'
+	got, _ := c.Records[0].Value.AsBytes()
+	if got[0] == 'X' {
+		t.Fatal("Clone must deep-copy byte values")
+	}
+}
+
+func TestNilBundleSafe(t *testing.T) {
+	var b *Bundle
+	if b.Len() != 0 || !b.Empty() {
+		t.Fatal("nil bundle should behave as empty")
+	}
+	if b.Subjects() != nil {
+		t.Fatal("nil bundle has no subjects")
+	}
+	if b.Clone() != nil {
+		t.Fatal("clone of nil is nil")
+	}
+}
+
+func TestBundleStringListsRecords(t *testing.T) {
+	b := NewBundle(
+		Input(ref(3, 1), ref(2, 4)),
+		New(ref(3, 1), AttrName, StringVal("out.dat")),
+	)
+	s := b.String()
+	if !strings.Contains(s, "INPUT") || !strings.Contains(s, "out.dat") {
+		t.Errorf("Bundle.String missing records: %q", s)
+	}
+	if (&Bundle{}).String() != "(empty bundle)" {
+		t.Error("empty bundle string wrong")
+	}
+}

@@ -1,0 +1,48 @@
+// Package vfs provides the file-system substrate for the PASSv2
+// reproduction: the VFS interface, an in-memory ext3 stand-in (MemFS), a
+// mount table, and the simulated cost model used by the evaluation.
+//
+// The paper's evaluation ran on a 3GHz Pentium 4 with a 7200rpm disk; this
+// reproduction has neither, so elapsed-time benchmarks are measured on a
+// simulated clock to which every component charges costs (disk seeks,
+// transfers, page copies, network round trips, CPU work). Relative
+// overheads — the quantity Table 2 reports — come out of the interference
+// patterns the paper describes, not wall time.
+package vfs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the simulated time source. Components charge durations to it;
+// benchmarks read elapsed simulated time. The zero value is ready to use.
+// It is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Advance charges d of simulated time.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Now returns elapsed simulated time since the clock's creation.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Reset rewinds the clock to zero (between benchmark runs).
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}

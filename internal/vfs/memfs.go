@@ -1,0 +1,394 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is the ext3 stand-in: an inode-based in-memory file system with
+// directories, rename, unlink and open-file semantics (an unlinked file
+// stays readable through open handles). All I/O charges a Disk, so MemFS
+// doubles as the baseline file system in the evaluation.
+type MemFS struct {
+	name string
+	disk *Disk
+
+	mu      sync.Mutex
+	nextIno uint64
+	root    *mnode
+}
+
+type mnode struct {
+	ino      uint64
+	isDir    bool
+	data     []byte
+	children map[string]*mnode
+	nlink    int
+	resident bool // fully read once: further reads hit the page cache
+}
+
+// NewMemFS creates an empty file system. disk may be nil (no cost
+// charging), useful in unit tests.
+func NewMemFS(name string, disk *Disk) *MemFS {
+	fs := &MemFS{name: name, disk: disk, nextIno: 1}
+	fs.root = &mnode{ino: 1, isDir: true, children: make(map[string]*mnode), nlink: 2}
+	return fs
+}
+
+// FSName returns the volume name.
+func (fs *MemFS) FSName() string { return fs.name }
+
+// Disk returns the disk this volume charges, possibly nil.
+func (fs *MemFS) Disk() *Disk { return fs.disk }
+
+func (fs *MemFS) chargeMeta() {
+	if fs.disk != nil {
+		fs.disk.ChargeMetadata()
+	}
+}
+
+func (fs *MemFS) chargeIO(ino uint64, n int, write bool) {
+	if fs.disk != nil {
+		fs.disk.ChargeIO(ino, n, write)
+	}
+}
+
+// walk resolves a cleaned path to its node. Caller holds fs.mu.
+func (fs *MemFS) walk(path string) (*mnode, error) {
+	path = Clean(path)
+	if path == "/" {
+		return fs.root, nil
+	}
+	cur := fs.root
+	for _, part := range strings.Split(strings.TrimPrefix(path, "/"), "/") {
+		if !cur.isDir {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// walkParent resolves the parent directory of a cleaned path.
+func (fs *MemFS) walkParent(path string) (*mnode, string, error) {
+	dir, base := Split(path)
+	if base == "" {
+		return nil, "", ErrInvalid
+	}
+	parent, err := fs.walk(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.isDir {
+		return nil, "", ErrNotDir
+	}
+	return parent, base, nil
+}
+
+// Open opens (and with OCreate, creates) a file.
+func (fs *MemFS) Open(path string, flags Flags) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.walk(path)
+	switch {
+	case err == nil:
+		if n.isDir {
+			return nil, ErrIsDir
+		}
+		if flags&OExcl != 0 && flags&OCreate != 0 {
+			return nil, ErrExist
+		}
+	case err == ErrNotExist && flags&OCreate != 0:
+		parent, base, perr := fs.walkParent(path)
+		if perr != nil {
+			return nil, perr
+		}
+		n = &mnode{ino: fs.allocIno(), nlink: 1}
+		parent.children[base] = n
+		fs.chargeMeta()
+	default:
+		return nil, err
+	}
+	if flags&OTrunc != 0 {
+		n.data = nil
+		fs.chargeMeta()
+	}
+	return &memFile{fs: fs, node: n}, nil
+}
+
+func (fs *MemFS) allocIno() uint64 {
+	fs.nextIno++
+	return fs.nextIno
+}
+
+// Mkdir creates a directory; the parent must exist.
+func (fs *MemFS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mkdirLocked(path)
+}
+
+func (fs *MemFS) mkdirLocked(path string) error {
+	parent, base, err := fs.walkParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		return ErrExist
+	}
+	parent.children[base] = &mnode{ino: fs.allocIno(), isDir: true, children: make(map[string]*mnode), nlink: 2}
+	fs.chargeMeta()
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *MemFS) MkdirAll(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	path = Clean(path)
+	if path == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	cur := "/"
+	for _, part := range parts {
+		cur = Join(cur, part)
+		n, err := fs.walk(cur)
+		if err == ErrNotExist {
+			if err := fs.mkdirLocked(cur); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if !n.isDir {
+			return ErrNotDir
+		}
+	}
+	return nil
+}
+
+// ReadDir lists a directory in name order.
+func (fs *MemFS) ReadDir(path string) ([]DirEnt, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir {
+		return nil, ErrNotDir
+	}
+	out := make([]DirEnt, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, DirEnt{Name: name, IsDir: c.isDir, Ino: c.ino})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	fs.chargeMeta()
+	return out, nil
+}
+
+// Stat describes a path.
+func (fs *MemFS) Stat(path string) (Stat, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.walk(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	fs.chargeMeta()
+	return Stat{Ino: n.ino, Size: int64(len(n.data)), IsDir: n.isDir, Nlink: n.nlink}, nil
+}
+
+// Rename moves a file or directory. Overwrites an existing file target.
+func (fs *MemFS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	op, ob, err := fs.walkParent(oldPath)
+	if err != nil {
+		return err
+	}
+	n, ok := op.children[ob]
+	if !ok {
+		return ErrNotExist
+	}
+	np, nb, err := fs.walkParent(newPath)
+	if err != nil {
+		return err
+	}
+	if tgt, ok := np.children[nb]; ok {
+		if tgt.isDir {
+			if len(tgt.children) > 0 {
+				return ErrNotEmpty
+			}
+		}
+		if tgt.isDir != n.isDir {
+			if tgt.isDir {
+				return ErrIsDir
+			}
+			return ErrNotDir
+		}
+	}
+	delete(op.children, ob)
+	np.children[nb] = n
+	fs.chargeMeta()
+	return nil
+}
+
+// Remove unlinks a file or removes an empty directory.
+func (fs *MemFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, base, err := fs.walkParent(path)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		return ErrNotExist
+	}
+	if n.isDir && len(n.children) > 0 {
+		return ErrNotEmpty
+	}
+	delete(parent.children, base)
+	n.nlink--
+	fs.chargeMeta()
+	return nil
+}
+
+// Sync is a no-op for the in-memory baseline.
+func (fs *MemFS) Sync() error { return nil }
+
+// TotalBytes reports the sum of all file sizes (used by the space-overhead
+// benchmarks as the "ext3" data footprint).
+func (fs *MemFS) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return totalBytes(fs.root)
+}
+
+func totalBytes(n *mnode) int64 {
+	if !n.isDir {
+		return int64(len(n.data))
+	}
+	var sum int64
+	for _, c := range n.children {
+		sum += totalBytes(c)
+	}
+	return sum
+}
+
+// memFile is an open MemFS file.
+type memFile struct {
+	fs   *MemFS
+	node *mnode
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	if off >= int64(len(f.node.data)) {
+		return 0, nil
+	}
+	n := copy(p, f.node.data[off:])
+	if f.node.resident {
+		// Page-cache hit: no disk traffic, just the copy.
+		if f.fs.disk != nil {
+			f.fs.disk.ChargeCopy(n)
+		}
+	} else {
+		f.fs.chargeIO(f.node.ino, n, false)
+		if off+int64(n) >= int64(len(f.node.data)) {
+			f.node.resident = true
+		}
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	end := off + int64(len(p))
+	if end > int64(len(f.node.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.node.data)
+		f.node.data = grown
+	}
+	copy(f.node.data[off:], p)
+	f.node.resident = false
+	f.fs.chargeIO(f.node.ino, len(p), true)
+	return len(p), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if size < 0 {
+		return ErrInvalid
+	}
+	if size <= int64(len(f.node.data)) {
+		f.node.data = f.node.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, f.node.data)
+		f.node.data = grown
+	}
+	f.fs.chargeMeta()
+	return nil
+}
+
+func (f *memFile) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.node.data))
+}
+
+func (f *memFile) Ino() uint64 { return f.node.ino }
+
+func (f *memFile) Sync() error { return nil }
+
+func (f *memFile) Close() error { return nil }
+
+var _ FS = (*MemFS)(nil)
+var _ File = (*memFile)(nil)
+
+// ReadFile is a convenience: read a whole file from fs.
+func ReadFile(fs FS, path string) ([]byte, error) {
+	f, err := fs.Open(path, ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// WriteFile is a convenience: create/overwrite a whole file on fs.
+func WriteFile(fs FS, path string, data []byte) error {
+	f, err := fs.Open(path, OCreate|OTrunc|ORdWr)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	return nil
+}

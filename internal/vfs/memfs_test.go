@@ -1,0 +1,271 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathHelpers(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"a/b", "/a/b"},
+		{"/a/b/", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"/a/../b", "/b"},
+		{"//a//b", "/a/b"},
+	}
+	for _, c := range cases {
+		if got := Clean(c.in); got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	dir, base := Split("/a/b/c")
+	if dir != "/a/b" || base != "c" {
+		t.Errorf("Split = %q,%q", dir, base)
+	}
+	dir, base = Split("/c")
+	if dir != "/" || base != "c" {
+		t.Errorf("Split(/c) = %q,%q", dir, base)
+	}
+	if Join("/a", "b", "c") != "/a/b/c" {
+		t.Error("Join failed")
+	}
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	if err := WriteFile(fs, "/hello.txt", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(fs, "/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "world" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	if _, err := fs.Open("/missing", ORdOnly); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/d", ORdOnly); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("want ErrIsDir, got %v", err)
+	}
+	if err := WriteFile(fs, "/f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/f", OCreate|OExcl); !errors.Is(err, ErrExist) {
+		t.Fatalf("want ErrExist, got %v", err)
+	}
+	if _, err := fs.Open("/f/child", OCreate); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("want ErrNotDir, got %v", err)
+	}
+	if _, err := fs.Open("/nodir/f", OCreate); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestSparseWriteAndOffsets(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	f, err := fs.Open("/sparse", OCreate|ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("xy"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 12 {
+		t.Fatalf("size = %d, want 12", f.Size())
+	}
+	buf := make([]byte, 12)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || n != 12 {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	if !bytes.Equal(buf[:10], make([]byte, 10)) {
+		t.Fatal("hole not zero-filled")
+	}
+	if string(buf[10:]) != "xy" {
+		t.Fatal("tail wrong")
+	}
+	// Read past EOF returns 0 bytes, no error (simulated short read).
+	if n, err := f.ReadAt(buf, 100); n != 0 || err != nil {
+		t.Fatalf("past-EOF read = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(buf, -1); !errors.Is(err, ErrInvalid) {
+		t.Fatal("negative offset must fail")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	f, _ := fs.Open("/t", OCreate|ORdWr)
+	f.WriteAt([]byte("abcdef"), 0)
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3 {
+		t.Fatalf("size %d", f.Size())
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	f.ReadAt(buf, 0)
+	if string(buf) != "abc\x00\x00" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestMkdirAllAndReadDir(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal("MkdirAll must be idempotent:", err)
+	}
+	WriteFile(fs, "/a/b/z.txt", []byte("1"))
+	WriteFile(fs, "/a/b/a.txt", []byte("2"))
+	ents, err := fs.ReadDir("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name)
+	}
+	want := []string{"a.txt", "c", "z.txt"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("ReadDir = %v, want %v", names, want)
+	}
+	if err := fs.MkdirAll("/a/b/z.txt/q"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("MkdirAll through file: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	WriteFile(fs, "/src", []byte("data"))
+	if err := fs.Rename("/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/src"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("source must be gone")
+	}
+	got, _ := ReadFile(fs, "/dst")
+	if string(got) != "data" {
+		t.Fatal("data lost in rename")
+	}
+	// Overwriting rename (the patch(1) pattern from the Mercurial bench).
+	WriteFile(fs, "/src2", []byte("new"))
+	if err := fs.Rename("/src2", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = ReadFile(fs, "/dst")
+	if string(got) != "new" {
+		t.Fatal("overwrite rename failed")
+	}
+	if err := fs.Rename("/missing", "/x"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("rename missing must fail")
+	}
+	fs.MkdirAll("/full/sub")
+	if err := fs.Rename("/dst", "/full"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rename onto non-empty dir: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	WriteFile(fs, "/f", []byte("x"))
+	fs.MkdirAll("/d/sub")
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatal("removing non-empty dir must fail")
+	}
+	if err := fs.Remove("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("double remove must fail")
+	}
+}
+
+func TestOpenFileSurvivesUnlink(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	WriteFile(fs, "/f", []byte("keep"))
+	f, err := fs.Open("/f", ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || string(buf[:n]) != "keep" {
+		t.Fatalf("unlinked file unreadable: %q %v", buf[:n], err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	WriteFile(fs, "/a", make([]byte, 100))
+	fs.MkdirAll("/d")
+	WriteFile(fs, "/d/b", make([]byte, 50))
+	if got := fs.TotalBytes(); got != 150 {
+		t.Fatalf("TotalBytes = %d, want 150", got)
+	}
+}
+
+func TestInodesDistinct(t *testing.T) {
+	fs := NewMemFS("test", nil)
+	WriteFile(fs, "/a", nil)
+	WriteFile(fs, "/b", nil)
+	sa, _ := fs.Stat("/a")
+	sb, _ := fs.Stat("/b")
+	if sa.Ino == sb.Ino {
+		t.Fatal("inode numbers must be distinct")
+	}
+}
+
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	fs := NewMemFS("prop", nil)
+	i := 0
+	f := func(data []byte, off uint16) bool {
+		i++
+		path := fmt.Sprintf("/f%d", i)
+		fh, err := fs.Open(path, OCreate|ORdWr)
+		if err != nil {
+			return false
+		}
+		defer fh.Close()
+		if _, err := fh.WriteAt(data, int64(off)); err != nil {
+			return false
+		}
+		buf := make([]byte, len(data))
+		n, err := fh.ReadAt(buf, int64(off))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(buf[:n], data) && n == len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

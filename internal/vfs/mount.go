@@ -1,0 +1,109 @@
+package vfs
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MountTable maps absolute path prefixes to file systems, the way the
+// kernel's namespace does. Longest-prefix match wins, so "/mnt/nfs1" can
+// shadow "/".
+type MountTable struct {
+	mu     sync.RWMutex
+	mounts []mount // sorted by descending prefix length
+}
+
+type mount struct {
+	prefix string
+	fs     FS
+}
+
+// ErrNoMount reports path resolution with no root mount.
+var ErrNoMount = errors.New("vfs: no file system mounted for path")
+
+// NewMountTable returns an empty table.
+func NewMountTable() *MountTable { return &MountTable{} }
+
+// Mount attaches fs at prefix. Mounting over an existing prefix replaces
+// it.
+func (mt *MountTable) Mount(prefix string, fs FS) {
+	prefix = Clean(prefix)
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for i := range mt.mounts {
+		if mt.mounts[i].prefix == prefix {
+			mt.mounts[i].fs = fs
+			return
+		}
+	}
+	mt.mounts = append(mt.mounts, mount{prefix: prefix, fs: fs})
+	sort.Slice(mt.mounts, func(i, j int) bool {
+		return len(mt.mounts[i].prefix) > len(mt.mounts[j].prefix)
+	})
+}
+
+// Unmount detaches the mount at prefix, if present.
+func (mt *MountTable) Unmount(prefix string) {
+	prefix = Clean(prefix)
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for i := range mt.mounts {
+		if mt.mounts[i].prefix == prefix {
+			mt.mounts = append(mt.mounts[:i], mt.mounts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Resolve maps an absolute path to (fs, path-within-fs).
+func (mt *MountTable) Resolve(path string) (FS, string, error) {
+	path = Clean(path)
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	for _, m := range mt.mounts {
+		if m.prefix == "/" {
+			return m.fs, path, nil
+		}
+		if path == m.prefix || strings.HasPrefix(path, m.prefix+"/") {
+			rel := strings.TrimPrefix(path, m.prefix)
+			if rel == "" {
+				rel = "/"
+			}
+			return m.fs, rel, nil
+		}
+	}
+	return nil, "", ErrNoMount
+}
+
+// Mounts lists the mount points, longest prefix first.
+func (mt *MountTable) Mounts() []string {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	out := make([]string, len(mt.mounts))
+	for i, m := range mt.mounts {
+		out[i] = m.prefix
+	}
+	return out
+}
+
+// FSAt returns the file system mounted exactly at prefix, or nil.
+func (mt *MountTable) FSAt(prefix string) FS {
+	prefix = Clean(prefix)
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	for _, m := range mt.mounts {
+		if m.prefix == prefix {
+			return m.fs
+		}
+	}
+	return nil
+}
+
+// SameMount reports whether two absolute paths resolve to the same mount.
+func (mt *MountTable) SameMount(a, b string) bool {
+	fa, _, ea := mt.Resolve(a)
+	fb, _, eb := mt.Resolve(b)
+	return ea == nil && eb == nil && fa == fb
+}

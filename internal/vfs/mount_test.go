@@ -1,0 +1,145 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMountResolveLongestPrefix(t *testing.T) {
+	root := NewMemFS("root", nil)
+	nfs1 := NewMemFS("nfs1", nil)
+	nfs2 := NewMemFS("nfs2", nil)
+	mt := NewMountTable()
+	mt.Mount("/", root)
+	mt.Mount("/mnt/nfs1", nfs1)
+	mt.Mount("/mnt/nfs1/deep", nfs2)
+
+	cases := []struct {
+		path   string
+		wantFS FS
+		rel    string
+	}{
+		{"/etc/passwd", root, "/etc/passwd"},
+		{"/mnt/nfs1", nfs1, "/"},
+		{"/mnt/nfs1/a/b", nfs1, "/a/b"},
+		{"/mnt/nfs1/deep/x", nfs2, "/x"},
+		{"/mnt/nfs1deep", root, "/mnt/nfs1deep"}, // not a prefix match
+	}
+	for _, c := range cases {
+		fs, rel, err := mt.Resolve(c.path)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", c.path, err)
+		}
+		if fs != c.wantFS || rel != c.rel {
+			t.Errorf("Resolve(%q) = %s,%q want %s,%q", c.path, fs.FSName(), rel, c.wantFS.FSName(), c.rel)
+		}
+	}
+}
+
+func TestMountNoRoot(t *testing.T) {
+	mt := NewMountTable()
+	mt.Mount("/mnt", NewMemFS("m", nil))
+	if _, _, err := mt.Resolve("/other"); !errors.Is(err, ErrNoMount) {
+		t.Fatalf("want ErrNoMount, got %v", err)
+	}
+}
+
+func TestMountReplaceAndUnmount(t *testing.T) {
+	a, b := NewMemFS("a", nil), NewMemFS("b", nil)
+	mt := NewMountTable()
+	mt.Mount("/", a)
+	mt.Mount("/", b)
+	fs, _, _ := mt.Resolve("/x")
+	if fs != b {
+		t.Fatal("remount must replace")
+	}
+	mt.Mount("/sub", a)
+	mt.Unmount("/sub")
+	fs, _, _ = mt.Resolve("/sub/x")
+	if fs != b {
+		t.Fatal("unmount must fall back to root")
+	}
+	if got := mt.FSAt("/"); got != b {
+		t.Fatal("FSAt wrong")
+	}
+	if got := mt.FSAt("/sub"); got != nil {
+		t.Fatal("FSAt after unmount should be nil")
+	}
+}
+
+func TestSameMount(t *testing.T) {
+	mt := NewMountTable()
+	mt.Mount("/", NewMemFS("root", nil))
+	mt.Mount("/mnt", NewMemFS("m", nil))
+	if !mt.SameMount("/a", "/b") {
+		t.Fatal("same root mount")
+	}
+	if mt.SameMount("/a", "/mnt/b") {
+		t.Fatal("different mounts")
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Millisecond)
+	c.Advance(-time.Second) // negative is ignored
+	c.Advance(5 * time.Millisecond)
+	if c.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestDiskChargesSeeksOnObjectSwitch(t *testing.T) {
+	var clk Clock
+	model := CostModel{Seek: time.Millisecond, PerByte: 0, MetadataOp: 0}
+	d := NewDisk(model, &clk)
+	d.ChargeIO(1, 100, true)
+	d.ChargeIO(1, 100, true) // sequential: no seek
+	d.ChargeIO(2, 100, true) // switch: seek
+	d.ChargeIO(1, 100, false)
+	_, _, seeks, bytes := d.Stats()
+	if seeks != 3 {
+		t.Fatalf("seeks = %d, want 3 (initial + 2 switches)", seeks)
+	}
+	if bytes != 400 {
+		t.Fatalf("bytes = %d", bytes)
+	}
+	if clk.Now() != 3*time.Millisecond {
+		t.Fatalf("clock = %v", clk.Now())
+	}
+}
+
+func TestDiskTransferCost(t *testing.T) {
+	var clk Clock
+	d := NewDisk(CostModel{PerByte: time.Microsecond}, &clk)
+	d.ChargeIO(1, 1000, true)
+	if clk.Now() != time.Millisecond {
+		t.Fatalf("clock = %v", clk.Now())
+	}
+}
+
+func TestDiskNilClockSafe(t *testing.T) {
+	d := NewDisk(DefaultCostModel(), nil)
+	d.ChargeIO(1, 10, true)
+	d.ChargeMetadata()
+	d.ChargeCopy(100)
+	r, w, _, _ := d.Stats()
+	if r != 0 || w != 1 {
+		t.Fatalf("stats = %d,%d", r, w)
+	}
+}
+
+func TestMemFSChargesDisk(t *testing.T) {
+	var clk Clock
+	d := NewDisk(DefaultCostModel(), &clk)
+	fs := NewMemFS("bench", d)
+	WriteFile(fs, "/f", make([]byte, 4096))
+	if clk.Now() == 0 {
+		t.Fatal("writes must charge the clock")
+	}
+}

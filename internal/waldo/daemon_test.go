@@ -1,0 +1,79 @@
+package waldo
+
+import (
+	"testing"
+	"time"
+
+	"passv2/internal/lasagna"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// TestDaemonIngestsInBackground runs Waldo the way the paper does: as a
+// daemon woken by log-rotation notifications (simulated inotify) and a
+// periodic tick, while a writer keeps producing provenance.
+func TestDaemonIngestsInBackground(t *testing.T) {
+	lower := vfs.NewMemFS("lower", nil)
+	vol, err := lasagna.New("vol", lasagna.Config{Lower: lower, VolumeID: 1, MaxLogSize: 512, LogBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	w.Attach(vol)
+	w.Start(2 * time.Millisecond)
+
+	const total = 300
+	for i := 0; i < total; i++ {
+		vol.AppendProvenance([]record.Record{record.Input(ref(uint64(i+1), 1), ref(9999, 1))})
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// The daemon should converge without an explicit Drain; Stop performs
+	// a final drain as its barrier.
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ := w.DB.Stats()
+	if recs != total {
+		t.Fatalf("daemon ingested %d records, want %d", recs, total)
+	}
+	// Restarting and stopping again is safe and idempotent.
+	w.Start(time.Millisecond)
+	w.Start(time.Millisecond) // double start is a no-op
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs2, _, _ := w.DB.Stats()
+	if recs2 != total {
+		t.Fatalf("records changed across restart: %d", recs2)
+	}
+}
+
+// TestDaemonConcurrentWithWriter races the daemon against a fast writer
+// (run with -race to check the locking).
+func TestDaemonConcurrentWithWriter(t *testing.T) {
+	lower := vfs.NewMemFS("lower", nil)
+	vol, err := lasagna.New("vol", lasagna.Config{Lower: lower, VolumeID: 1, MaxLogSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	w.Attach(vol)
+	w.Start(time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			vol.AppendProvenance([]record.Record{record.Input(ref(uint64(i+1), 1), ref(7, 1))})
+		}
+	}()
+	<-done
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ := w.DB.Stats()
+	if recs != 500 {
+		t.Fatalf("lost records under concurrency: %d", recs)
+	}
+}

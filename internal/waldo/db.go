@@ -1,0 +1,330 @@
+// Package waldo implements Waldo, the PASSv2 user-level daemon (§5.6): it
+// reads provenance records from the Lasagna log and stores them in a
+// database, indexing them for the query engine. It is also where orphaned
+// NFS transactions — provenance from a client that crashed mid-write — are
+// identified and discarded (§6.1.2).
+package waldo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"passv2/internal/kvdb"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// Key schema. The "a|" space is the provenance database proper; everything
+// else is a secondary index (the distinction Table 3 reports).
+//
+//	a|<pn16x>|<ver8x>|<attr>|<seq8x> → encoded value   (attribute rows)
+//	i|<pn16x>|<ver8x>|<dst16x>|<dstver8x> → ""          (INPUT out-edges)
+//	r|<pn16x>|<ver8x>|<src16x>|<srcver8x> → ""          (INPUT in-edges)
+//	n|<name>\x00<pn16x> → ""                            (name index)
+//	t|<type>\x00<pn16x> → ""                            (type index)
+//	v|<pn16x>|<ver8x> → ""                              (version index)
+
+func pnKey(pn pnode.PNode) string     { return fmt.Sprintf("%016x", uint64(pn)) }
+func verKey(v pnode.Version) string   { return fmt.Sprintf("%08x", uint32(v)) }
+func refKey(r pnode.Ref) string       { return pnKey(r.PNode) + "|" + verKey(r.Version) }
+func parsePN(s string) pnode.PNode    { n, _ := strconv.ParseUint(s, 16, 64); return pnode.PNode(n) }
+func parseVer(s string) pnode.Version { n, _ := strconv.ParseUint(s, 16, 32); return pnode.Version(n) }
+
+func parseRef(s string) (pnode.Ref, bool) {
+	if len(s) != 16+1+8 || s[16] != '|' {
+		return pnode.Ref{}, false
+	}
+	return pnode.Ref{PNode: parsePN(s[:16]), Version: parseVer(s[17:])}, true
+}
+
+// DB is the indexed provenance database.
+type DB struct {
+	kv *kvdb.DB
+
+	mu        sync.Mutex
+	seqs      map[pnode.Ref]map[record.Attr]int // per-version per-attr row sequence
+	provBytes int64
+	idxBytes  int64
+	records   int64
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{kv: kvdb.New(), seqs: make(map[pnode.Ref]map[record.Attr]int)}
+}
+
+// Apply stores one provenance record and maintains the indexes.
+func (db *DB) Apply(r record.Record) {
+	db.mu.Lock()
+	attrSeqs, ok := db.seqs[r.Subject]
+	if !ok {
+		attrSeqs = make(map[record.Attr]int)
+		db.seqs[r.Subject] = attrSeqs
+	}
+	seq := attrSeqs[r.Attr]
+	attrSeqs[r.Attr] = seq + 1
+	db.records++
+	db.mu.Unlock()
+
+	val := record.AppendValue(nil, r.Value)
+	aKey := "a|" + refKey(r.Subject) + "|" + string(r.Attr) + "|" + fmt.Sprintf("%08x", seq)
+	db.kv.Set(aKey, val)
+	db.addBytes(len(aKey)+len(val), 0)
+
+	vKey := "v|" + refKey(r.Subject)
+	if !db.kv.Set(vKey, nil) {
+		db.addBytes(0, len(vKey))
+	}
+
+	if dep, isRef := r.Value.AsRef(); isRef && r.Attr == record.AttrInput {
+		iKey := "i|" + refKey(r.Subject) + "|" + refKey(dep)
+		rKey := "r|" + refKey(dep) + "|" + refKey(r.Subject)
+		if !db.kv.Set(iKey, nil) {
+			db.addBytes(0, len(iKey))
+		}
+		if !db.kv.Set(rKey, nil) {
+			db.addBytes(0, len(rKey))
+		}
+		dKey := "v|" + refKey(dep)
+		if !db.kv.Set(dKey, nil) {
+			db.addBytes(0, len(dKey))
+		}
+	}
+	if s, isStr := r.Value.AsString(); isStr {
+		switch r.Attr {
+		case record.AttrName:
+			k := "n|" + s + "\x00" + pnKey(r.Subject.PNode)
+			if !db.kv.Set(k, nil) {
+				db.addBytes(0, len(k))
+			}
+		case record.AttrType:
+			k := "t|" + s + "\x00" + pnKey(r.Subject.PNode)
+			if !db.kv.Set(k, nil) {
+				db.addBytes(0, len(k))
+			}
+		}
+	}
+}
+
+func (db *DB) addBytes(prov, idx int) {
+	db.mu.Lock()
+	db.provBytes += int64(prov)
+	db.idxBytes += int64(idx)
+	db.mu.Unlock()
+}
+
+// Stats reports sizes for the space-overhead evaluation: records applied,
+// provenance-database bytes, and index bytes.
+func (db *DB) Stats() (records, provBytes, idxBytes int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.records, db.provBytes, db.idxBytes
+}
+
+// --- Query surface (used by the graph view and PQL) ---
+
+// Attrs returns all attribute records of one object version, in insertion
+// order per attribute.
+func (db *DB) Attrs(ref pnode.Ref) []record.Record {
+	var out []record.Record
+	prefix := "a|" + refKey(ref) + "|"
+	db.kv.AscendPrefix(prefix, func(k string, v []byte) bool {
+		rest := k[len(prefix):] // attr|seq
+		attr := rest[:len(rest)-9]
+		r, _, err := decodeValueOnly(ref, record.Attr(attr), v)
+		if err == nil {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+func decodeValueOnly(ref pnode.Ref, attr record.Attr, enc []byte) (record.Record, int, error) {
+	// Values are stored with record.AppendValue; reuse the record decoder
+	// by framing a full record.
+	full := record.AppendRecord(nil, record.Record{Subject: ref, Attr: attr})
+	// Strip the zero-value placeholder (1 byte kind=invalid) and splice
+	// the real encoded value.
+	full = full[:len(full)-1]
+	full = append(full, enc...)
+	return record.DecodeRecord(full)
+}
+
+// AttrValues returns the values of one attribute on one version.
+func (db *DB) AttrValues(ref pnode.Ref, attr record.Attr) []record.Value {
+	var out []record.Value
+	for _, r := range db.Attrs(ref) {
+		if r.Attr == attr {
+			out = append(out, r.Value)
+		}
+	}
+	return out
+}
+
+// Inputs returns the direct ancestors of one object version.
+func (db *DB) Inputs(ref pnode.Ref) []pnode.Ref {
+	return db.edgeScan("i|", ref)
+}
+
+// Dependents returns the direct descendants of one object version.
+func (db *DB) Dependents(ref pnode.Ref) []pnode.Ref {
+	return db.edgeScan("r|", ref)
+}
+
+func (db *DB) edgeScan(space string, ref pnode.Ref) []pnode.Ref {
+	var out []pnode.Ref
+	prefix := space + refKey(ref) + "|"
+	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+		if dst, ok := parseRef(k[len(prefix):]); ok {
+			out = append(out, dst)
+		}
+		return true
+	})
+	return out
+}
+
+// Versions lists all known versions of a pnode, ascending.
+func (db *DB) Versions(pn pnode.PNode) []pnode.Version {
+	var out []pnode.Version
+	prefix := "v|" + pnKey(pn) + "|"
+	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+		out = append(out, parseVer(k[len(prefix):]))
+		return true
+	})
+	return out
+}
+
+// LatestVersion returns the highest known version of a pnode.
+func (db *DB) LatestVersion(pn pnode.PNode) (pnode.Version, bool) {
+	vs := db.Versions(pn)
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// ByName returns the pnodes that have carried the exact name.
+func (db *DB) ByName(name string) []pnode.PNode {
+	return db.labelScan("n|", name)
+}
+
+// ByType returns the pnodes of one object type.
+func (db *DB) ByType(typ string) []pnode.PNode {
+	return db.labelScan("t|", typ)
+}
+
+func (db *DB) labelScan(space, label string) []pnode.PNode {
+	var out []pnode.PNode
+	prefix := space + label + "\x00"
+	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+		out = append(out, parsePN(k[len(prefix):]))
+		return true
+	})
+	return out
+}
+
+// NameOf returns the most recent NAME value of a pnode across versions.
+func (db *DB) NameOf(pn pnode.PNode) (string, bool) {
+	name, found := "", false
+	prefix := "a|" + pnKey(pn) + "|"
+	db.kv.AscendPrefix(prefix, func(k string, v []byte) bool {
+		rest := k[len(prefix):] // ver|attr|seq
+		if len(rest) > 9 && rest[9:len(rest)-9] == string(record.AttrName) {
+			ref := pnode.Ref{PNode: pn, Version: parseVer(rest[:8])}
+			if r, _, err := decodeValueOnly(ref, record.AttrName, v); err == nil {
+				if s, ok := r.Value.AsString(); ok {
+					name, found = s, true
+				}
+			}
+		}
+		return true
+	})
+	return name, found
+}
+
+// TypeOf returns the TYPE of a pnode, if recorded.
+func (db *DB) TypeOf(pn pnode.PNode) (string, bool) {
+	typ, found := "", false
+	db.kv.AscendPrefix("t|", func(k string, _ []byte) bool {
+		body := k[2:]
+		for i := 0; i < len(body); i++ {
+			if body[i] == 0 {
+				if parsePN(body[i+1:]) == pn {
+					typ, found = body[:i], true
+					return false
+				}
+				break
+			}
+		}
+		return true
+	})
+	return typ, found
+}
+
+// AllPNodes lists every pnode in the database, ascending.
+func (db *DB) AllPNodes() []pnode.PNode {
+	seen := make(map[pnode.PNode]bool)
+	var out []pnode.PNode
+	db.kv.AscendPrefix("v|", func(k string, _ []byte) bool {
+		pn := parsePN(k[2 : 2+16])
+		if !seen[pn] {
+			seen[pn] = true
+			out = append(out, pn)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllRefs lists every (pnode, version) in the database.
+func (db *DB) AllRefs() []pnode.Ref {
+	var out []pnode.Ref
+	db.kv.AscendPrefix("v|", func(k string, _ []byte) bool {
+		if ref, ok := parseRef(k[2:]); ok {
+			out = append(out, ref)
+		}
+		return true
+	})
+	return out
+}
+
+// Save / Load persist the database via the kvdb snapshot format. Derived
+// counters (stats, row sequences) are rebuilt on load.
+func (db *DB) Save(w io.Writer) error { return db.kv.Save(w) }
+
+// Load reads a database snapshot.
+func Load(r io.Reader) (*DB, error) {
+	kv, err := kvdb.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{kv: kv, seqs: make(map[pnode.Ref]map[record.Attr]int)}
+	kv.AscendPrefix("a|", func(k string, v []byte) bool {
+		db.provBytes += int64(len(k) + len(v))
+		db.records++
+		// a|pn|ver|attr|seq
+		body := k[2:]
+		if ref, ok := parseRef(body[:25]); ok && len(body) > 25+1+9 {
+			attr := record.Attr(body[26 : len(body)-9])
+			m := db.seqs[ref]
+			if m == nil {
+				m = make(map[record.Attr]int)
+				db.seqs[ref] = m
+			}
+			m[attr]++
+		}
+		return true
+	})
+	for _, prefix := range []string{"i|", "r|", "n|", "t|", "v|"} {
+		kv.AscendPrefix(prefix, func(k string, v []byte) bool {
+			db.idxBytes += int64(len(k) + len(v))
+			return true
+		})
+	}
+	return db, nil
+}

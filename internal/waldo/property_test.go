@@ -1,0 +1,84 @@
+package waldo
+
+import (
+	"math/rand"
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// TestPropertyEdgeIndexesAreInverse applies random INPUT records and
+// checks the two edge indexes stay exact inverses: x ∈ Inputs(y) ⇔
+// y ∈ Dependents(x). The query engine's reverse traversal (input~)
+// depends on this.
+func TestPropertyEdgeIndexesAreInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := NewDB()
+	type edge struct{ s, d pnode.Ref }
+	truth := map[edge]bool{}
+	for i := 0; i < 3000; i++ {
+		s := pnode.Ref{PNode: pnode.PNode(rng.Intn(60) + 1), Version: pnode.Version(rng.Intn(4) + 1)}
+		d := pnode.Ref{PNode: pnode.PNode(rng.Intn(60) + 1), Version: pnode.Version(rng.Intn(4) + 1)}
+		db.Apply(record.Input(s, d))
+		truth[edge{s, d}] = true
+	}
+	// Forward matches truth.
+	fwd := 0
+	for _, ref := range db.AllRefs() {
+		for _, d := range db.Inputs(ref) {
+			if !truth[edge{ref, d}] {
+				t.Fatalf("phantom forward edge %v → %v", ref, d)
+			}
+			fwd++
+		}
+	}
+	if fwd != len(truth) {
+		t.Fatalf("forward edges = %d, want %d", fwd, len(truth))
+	}
+	// Reverse is the exact inverse.
+	rev := 0
+	for _, ref := range db.AllRefs() {
+		for _, s := range db.Dependents(ref) {
+			if !truth[edge{s, ref}] {
+				t.Fatalf("phantom reverse edge %v ← %v", ref, s)
+			}
+			rev++
+		}
+	}
+	if rev != fwd {
+		t.Fatalf("reverse edges = %d, forward = %d", rev, fwd)
+	}
+}
+
+// TestPropertyAttrsRoundTrip applies random attribute records and checks
+// every one is retrievable on its exact subject version, in order.
+func TestPropertyAttrsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := NewDB()
+	attrs := []record.Attr{record.AttrName, record.AttrArgv, record.Attr("CUSTOM"), record.AttrVisitedURL}
+	type key struct {
+		ref  pnode.Ref
+		attr record.Attr
+	}
+	truth := map[key][]string{}
+	for i := 0; i < 2000; i++ {
+		ref := pnode.Ref{PNode: pnode.PNode(rng.Intn(40) + 1), Version: pnode.Version(rng.Intn(3) + 1)}
+		attr := attrs[rng.Intn(len(attrs))]
+		val := string(rune('a'+rng.Intn(26))) + string(rune('0'+rng.Intn(10)))
+		db.Apply(record.New(ref, attr, record.StringVal(val)))
+		truth[key{ref, attr}] = append(truth[key{ref, attr}], val)
+	}
+	for k, want := range truth {
+		vals := db.AttrValues(k.ref, k.attr)
+		if len(vals) != len(want) {
+			t.Fatalf("%v %s: %d values, want %d", k.ref, k.attr, len(vals), len(want))
+		}
+		for i, v := range vals {
+			s, _ := v.AsString()
+			if s != want[i] {
+				t.Fatalf("%v %s[%d] = %q, want %q (order lost)", k.ref, k.attr, i, s, want[i])
+			}
+		}
+	}
+}

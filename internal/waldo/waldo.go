@@ -1,0 +1,218 @@
+package waldo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// Volume is what Waldo tails: a Lasagna volume (local or the one behind an
+// NFS export). The interface keeps waldo independent of the file-system
+// packages above it.
+type Volume interface {
+	FSName() string
+	Lower() vfs.FS
+	Log() *provlog.Writer
+}
+
+// Waldo tails one or more volumes' provenance logs into one database. One
+// database may span several volumes — that is how queries cross layers and
+// machines (§3.1's anomaly case needs Kepler provenance from the local
+// volume joined with file provenance from two NFS servers).
+type Waldo struct {
+	DB *DB
+
+	mu     sync.Mutex
+	tails  []*tail
+	orphan int64 // records discarded as orphaned transactions
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+type tail struct {
+	vol  Volume
+	seen map[uint64]int // entries already ingested, per log sequence
+
+	// Open transactions: records held back until their ENDTXN arrives.
+	pending map[uint64][]record.Record
+}
+
+// New creates a Waldo over an empty database.
+func New() *Waldo { return &Waldo{DB: NewDB()} }
+
+// Attach registers a volume for tailing.
+func (w *Waldo) Attach(vol Volume) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tails = append(w.tails, &tail{
+		vol:     vol,
+		seen:    make(map[uint64]int),
+		pending: make(map[uint64][]record.Record),
+	})
+}
+
+// Drain synchronously ingests everything new in every attached volume's
+// logs. It is idempotent: entries are counted per log file and never
+// re-applied.
+func (w *Waldo) Drain() error {
+	w.mu.Lock()
+	tails := append([]*tail(nil), w.tails...)
+	w.mu.Unlock()
+	for _, t := range tails {
+		if err := w.drainTail(t); err != nil {
+			return fmt.Errorf("waldo: %s: %w", t.vol.FSName(), err)
+		}
+	}
+	return nil
+}
+
+func (w *Waldo) drainTail(t *tail) error {
+	if err := t.vol.Log().Flush(); err != nil {
+		return err
+	}
+	lower, dir := t.vol.Lower(), t.vol.Log().Dir()
+	files, err := provlog.LogFiles(lower, dir)
+	if err != nil {
+		return err
+	}
+	currentSeq := t.vol.Log().CurrentSeq()
+	for i, path := range files {
+		name := vfs.Base(path)
+		seq, rotated := provlog.ParseSeq(name)
+		if !rotated {
+			seq = currentSeq
+		}
+		skip := t.seen[seq]
+		n := 0
+		scanErr := provlog.ScanFile(lower, path, func(e provlog.Entry) error {
+			n++
+			if n <= skip {
+				return nil
+			}
+			w.applyEntry(t, e)
+			return nil
+		})
+		if errors.Is(scanErr, provlog.ErrTorn) && i == len(files)-1 {
+			scanErr = nil // torn active tail: ingest the intact prefix
+		}
+		if scanErr != nil {
+			return scanErr
+		}
+		if n > skip {
+			t.seen[seq] = n
+		}
+	}
+	return nil
+}
+
+func (w *Waldo) applyEntry(t *tail, e provlog.Entry) {
+	switch e.Type {
+	case provlog.EntryBeginTxn:
+		if _, ok := t.pending[e.Txn]; !ok {
+			t.pending[e.Txn] = nil
+		}
+	case provlog.EntryEndTxn:
+		for _, r := range t.pending[e.Txn] {
+			w.DB.Apply(r)
+		}
+		delete(t.pending, e.Txn)
+	case provlog.EntryRecord:
+		if e.Txn != 0 {
+			t.pending[e.Txn] = append(t.pending[e.Txn], e.Rec)
+			return
+		}
+		w.DB.Apply(e.Rec)
+	case provlog.EntryData:
+		// Data descriptors serve crash recovery, not the database.
+	}
+}
+
+// OrphanTxns lists transactions that have begun but not ended across all
+// volumes — after a full drain these are the orphans a crashed NFS client
+// left behind.
+func (w *Waldo) OrphanTxns() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []uint64
+	for _, t := range w.tails {
+		for id := range t.pending {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiscardOrphans drops the records of all open transactions, returning how
+// many records were discarded. The server calls it once crashed clients
+// cannot come back (§6.1.2: "the transaction ID enables the server's Waldo
+// daemon to identify the orphaned provenance").
+func (w *Waldo) DiscardOrphans() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, t := range w.tails {
+		for id, recs := range t.pending {
+			n += len(recs)
+			delete(t.pending, id)
+		}
+	}
+	w.orphan += int64(n)
+	return n
+}
+
+// Start runs the daemon: drain on every log-rotation notification
+// (simulated inotify) and on a periodic tick. Stop with Stop.
+func (w *Waldo) Start(interval time.Duration) {
+	w.mu.Lock()
+	if w.stop != nil {
+		w.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	w.stop = stop
+	tails := append([]*tail(nil), w.tails...)
+	w.mu.Unlock()
+
+	for _, t := range tails {
+		t := t
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.vol.Log().Notify():
+				case <-ticker.C:
+				}
+				if err := w.drainTail(t); err != nil {
+					// A torn rotated log is permanent corruption;
+					// surface it loudly rather than spin.
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Stop halts the daemon and performs a final drain.
+func (w *Waldo) Stop() error {
+	w.mu.Lock()
+	stop := w.stop
+	w.stop = nil
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		w.wg.Wait()
+	}
+	return w.Drain()
+}

@@ -1,0 +1,262 @@
+package waldo
+
+import (
+	"bytes"
+	"testing"
+
+	"passv2/internal/lasagna"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+func ref(p uint64, v uint32) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(p), Version: pnode.Version(v)}
+}
+
+func TestApplyAndQuery(t *testing.T) {
+	db := NewDB()
+	file := ref(10, 1)
+	proc := ref(20, 1)
+	db.Apply(record.New(file, record.AttrName, record.StringVal("/out.dat")))
+	db.Apply(record.New(file, record.AttrType, record.StringVal(record.TypeFile)))
+	db.Apply(record.New(proc, record.AttrType, record.StringVal(record.TypeProc)))
+	db.Apply(record.New(proc, record.AttrArgv, record.StringVal("sort -u")))
+	db.Apply(record.Input(file, proc))
+
+	if got := db.Inputs(file); len(got) != 1 || got[0] != proc {
+		t.Fatalf("Inputs = %v", got)
+	}
+	if got := db.Dependents(proc); len(got) != 1 || got[0] != file {
+		t.Fatalf("Dependents = %v", got)
+	}
+	if got := db.ByName("/out.dat"); len(got) != 1 || got[0] != file.PNode {
+		t.Fatalf("ByName = %v", got)
+	}
+	if got := db.ByType(record.TypeProc); len(got) != 1 || got[0] != proc.PNode {
+		t.Fatalf("ByType = %v", got)
+	}
+	if name, ok := db.NameOf(file.PNode); !ok || name != "/out.dat" {
+		t.Fatalf("NameOf = %q,%v", name, ok)
+	}
+	if typ, ok := db.TypeOf(proc.PNode); !ok || typ != record.TypeProc {
+		t.Fatalf("TypeOf = %q,%v", typ, ok)
+	}
+	attrs := db.Attrs(proc)
+	if len(attrs) != 2 {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+	vals := db.AttrValues(proc, record.AttrArgv)
+	if len(vals) != 1 {
+		t.Fatal("AttrValues missed ARGV")
+	}
+	if s, _ := vals[0].AsString(); s != "sort -u" {
+		t.Fatalf("ARGV = %v", vals[0])
+	}
+}
+
+func TestVersionsAndLatest(t *testing.T) {
+	db := NewDB()
+	db.Apply(record.Input(ref(5, 1), ref(9, 1)))
+	db.Apply(record.Input(ref(5, 2), ref(5, 1))) // version chain
+	db.Apply(record.Input(ref(5, 3), ref(5, 2)))
+	vs := db.Versions(5)
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("Versions = %v", vs)
+	}
+	if v, ok := db.LatestVersion(5); !ok || v != 3 {
+		t.Fatalf("Latest = %v,%v", v, ok)
+	}
+	if _, ok := db.LatestVersion(999); ok {
+		t.Fatal("phantom latest version")
+	}
+	// The dep side of records is present in the version index too.
+	if got := db.Versions(9); len(got) != 1 {
+		t.Fatalf("dep versions = %v", got)
+	}
+}
+
+func TestMultipleValuesSameAttrKept(t *testing.T) {
+	db := NewDB()
+	s := ref(7, 1)
+	db.Apply(record.New(s, record.AttrVisitedURL, record.StringVal("http://a")))
+	db.Apply(record.New(s, record.AttrVisitedURL, record.StringVal("http://b")))
+	vals := db.AttrValues(s, record.AttrVisitedURL)
+	if len(vals) != 2 {
+		t.Fatalf("got %d VISITED_URL values", len(vals))
+	}
+	a, _ := vals[0].AsString()
+	b, _ := vals[1].AsString()
+	if a != "http://a" || b != "http://b" {
+		t.Fatalf("order lost: %v %v", a, b)
+	}
+}
+
+func newVolume(t *testing.T) *lasagna.FS {
+	t.Helper()
+	lower := vfs.NewMemFS("lower", nil)
+	fs, err := lasagna.New("vol", lasagna.Config{Lower: lower, VolumeID: 1, MaxLogSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestDrainFromVolume(t *testing.T) {
+	vol := newVolume(t)
+	w := New()
+	w.Attach(vol)
+
+	f, err := vol.Open("/data", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := f.(vfs.PassFile)
+	proc := ref(0x999, 1)
+	pf.PassWrite([]byte("x"), 0, record.NewBundle(
+		record.Input(pf.Ref(), proc),
+		record.New(pf.Ref(), record.AttrName, record.StringVal("/data")),
+	))
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.DB.Inputs(pf.Ref()); len(got) != 1 || got[0] != proc {
+		t.Fatalf("Inputs after drain = %v", got)
+	}
+	// Drain again: idempotent.
+	rec0, _, _ := w.DB.Stats()
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rec1, _, _ := w.DB.Stats()
+	if rec0 != rec1 {
+		t.Fatalf("re-drain re-applied records: %d → %d", rec0, rec1)
+	}
+}
+
+func TestDrainAcrossRotation(t *testing.T) {
+	vol := newVolume(t) // MaxLogSize 512 → rotations
+	w := New()
+	w.Attach(vol)
+	f, _ := vol.Open("/f", vfs.OCreate|vfs.ORdWr)
+	pf := f.(vfs.PassFile)
+	for i := 0; i < 40; i++ {
+		pf.PassWrite(nil, 0, record.NewBundle(record.Input(pf.Ref(), ref(uint64(0x1000+i), 1))))
+		if i == 20 {
+			if err := w.Drain(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.DB.Inputs(pf.Ref())); got != 40 {
+		t.Fatalf("inputs = %d, want 40 (lost across rotation?)", got)
+	}
+}
+
+func TestTxnRecordsHeldUntilEnd(t *testing.T) {
+	vol := newVolume(t)
+	w := New()
+	w.Attach(vol)
+	log := vol.Log()
+	subj := ref(0x100, 1)
+
+	log.AppendBeginTxn(42)
+	log.AppendRecord(42, record.Input(subj, ref(0x200, 1)))
+	w.Drain()
+	if got := w.DB.Inputs(subj); len(got) != 0 {
+		t.Fatal("txn record applied before ENDTXN")
+	}
+	if orphans := w.OrphanTxns(); len(orphans) != 1 || orphans[0] != 42 {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	log.AppendEndTxn(42)
+	w.Drain()
+	if got := w.DB.Inputs(subj); len(got) != 1 {
+		t.Fatal("txn record lost after ENDTXN")
+	}
+	if len(w.OrphanTxns()) != 0 {
+		t.Fatal("txn still open after end")
+	}
+}
+
+func TestDiscardOrphans(t *testing.T) {
+	vol := newVolume(t)
+	w := New()
+	w.Attach(vol)
+	log := vol.Log()
+	log.AppendBeginTxn(7)
+	log.AppendRecord(7, record.Input(ref(1, 1), ref(2, 1)))
+	log.AppendRecord(7, record.Input(ref(1, 1), ref(3, 1)))
+	// A completed transaction alongside.
+	log.AppendBeginTxn(8)
+	log.AppendRecord(8, record.Input(ref(4, 1), ref(5, 1)))
+	log.AppendEndTxn(8)
+	w.Drain()
+	if n := w.DiscardOrphans(); n != 2 {
+		t.Fatalf("discarded %d records, want 2", n)
+	}
+	if got := w.DB.Inputs(ref(1, 1)); len(got) != 0 {
+		t.Fatal("orphaned records leaked into the database")
+	}
+	if got := w.DB.Inputs(ref(4, 1)); len(got) != 1 {
+		t.Fatal("completed txn lost")
+	}
+}
+
+func TestStatsSeparateProvenanceFromIndexes(t *testing.T) {
+	db := NewDB()
+	db.Apply(record.Input(ref(1, 1), ref(2, 1)))
+	db.Apply(record.New(ref(1, 1), record.AttrName, record.StringVal("/x")))
+	recs, prov, idx := db.Stats()
+	if recs != 2 || prov <= 0 || idx <= 0 {
+		t.Fatalf("stats = %d,%d,%d", recs, prov, idx)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := NewDB()
+	db.Apply(record.Input(ref(1, 1), ref(2, 1)))
+	db.Apply(record.New(ref(1, 1), record.AttrName, record.StringVal("/x")))
+	db.Apply(record.New(ref(2, 1), record.AttrType, record.StringVal(record.TypeProc)))
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Inputs(ref(1, 1)); len(got) != 1 {
+		t.Fatal("edges lost in snapshot")
+	}
+	if name, ok := db2.NameOf(1); !ok || name != "/x" {
+		t.Fatal("names lost in snapshot")
+	}
+	r1, p1, i1 := db.Stats()
+	r2, p2, i2 := db2.Stats()
+	if r1 != r2 || p1 != p2 || i1 != i2 {
+		t.Fatalf("stats drifted: %d,%d,%d vs %d,%d,%d", r1, p1, i1, r2, p2, i2)
+	}
+	// Sequence counters were rebuilt: adding another NAME must not clobber.
+	db2.Apply(record.New(ref(1, 1), record.AttrName, record.StringVal("/y")))
+	if vals := db2.AttrValues(ref(1, 1), record.AttrName); len(vals) != 2 {
+		t.Fatalf("NAME rows after reload = %d, want 2", len(vals))
+	}
+}
+
+func TestAllPNodesAndRefs(t *testing.T) {
+	db := NewDB()
+	db.Apply(record.Input(ref(3, 1), ref(1, 2)))
+	db.Apply(record.Input(ref(2, 1), ref(1, 2)))
+	pns := db.AllPNodes()
+	if len(pns) != 3 || pns[0] != 1 || pns[1] != 2 || pns[2] != 3 {
+		t.Fatalf("AllPNodes = %v", pns)
+	}
+	refs := db.AllRefs()
+	if len(refs) != 3 {
+		t.Fatalf("AllRefs = %v", refs)
+	}
+}

@@ -1,0 +1,143 @@
+// Package web is a deterministic in-process World Wide Web: sites, pages,
+// hyperlinks, redirects and downloadable resources, with mutable content.
+// It stands in for the real web in the PA-links use cases (§3.2): the
+// attribution scenario needs pages that later disappear, and the malware
+// scenario needs a site whose download is silently replaced after a
+// compromise.
+package web
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the web.
+var (
+	ErrNotFound         = errors.New("web: 404 not found")
+	ErrTooManyRedirects = errors.New("web: redirect loop")
+)
+
+// Page is one addressable resource.
+type Page struct {
+	// Content is the page body (HTML-ish for pages, raw bytes for
+	// downloads).
+	Content []byte
+	// Links are the URLs this page links to.
+	Links []string
+	// Redirect, if set, bounces the request to another URL (the
+	// "redirected from a trusted site" detail of the malware use case).
+	Redirect string
+	// Download marks the resource as a file download rather than a page.
+	Download bool
+}
+
+// Web is the simulated internet.
+type Web struct {
+	mu    sync.Mutex
+	pages map[string]*Page
+	hits  map[string]int
+}
+
+// New creates an empty web.
+func New() *Web {
+	return &Web{pages: make(map[string]*Page), hits: make(map[string]int)}
+}
+
+// AddPage publishes a page with links.
+func (w *Web) AddPage(url string, content string, links ...string) *Web {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pages[url] = &Page{Content: []byte(content), Links: links}
+	return w
+}
+
+// AddDownload publishes a downloadable resource.
+func (w *Web) AddDownload(url string, content []byte) *Web {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pages[url] = &Page{Content: content, Download: true}
+	return w
+}
+
+// AddRedirect publishes a redirect.
+func (w *Web) AddRedirect(from, to string) *Web {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pages[from] = &Page{Redirect: to}
+	return w
+}
+
+// Replace swaps a resource's content in place — Eve hacking the codec
+// site.
+func (w *Web) Replace(url string, content []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p, ok := w.pages[url]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	p.Content = content
+	return nil
+}
+
+// Remove takes a resource offline (the attribution use case: "some of
+// them are no longer even accessible on the Web").
+func (w *Web) Remove(url string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.pages, url)
+}
+
+// Get fetches a URL, following redirects. It returns the page and the
+// final URL.
+func (w *Web) Get(url string) (*Page, string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for hops := 0; hops < 8; hops++ {
+		p, ok := w.pages[url]
+		if !ok {
+			return nil, url, fmt.Errorf("%w: %s", ErrNotFound, url)
+		}
+		w.hits[url]++
+		if p.Redirect != "" {
+			url = p.Redirect
+			continue
+		}
+		cp := *p
+		cp.Content = append([]byte(nil), p.Content...)
+		cp.Links = append([]string(nil), p.Links...)
+		return &cp, url, nil
+	}
+	return nil, url, ErrTooManyRedirects
+}
+
+// Hits reports how many times a URL was fetched.
+func (w *Web) Hits(url string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hits[url]
+}
+
+// URLs lists the published URLs, sorted.
+func (w *Web) URLs() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.pages))
+	for u := range w.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Host extracts the host part of a URL ("http://a.example/x" → "a.example").
+func Host(url string) string {
+	s := strings.TrimPrefix(strings.TrimPrefix(url, "https://"), "http://")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package web
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPagesAndLinks(t *testing.T) {
+	w := New()
+	w.AddPage("http://a.example/", "home", "http://a.example/about")
+	w.AddPage("http://a.example/about", "about us")
+	p, final, err := w.Get("http://a.example/")
+	if err != nil || final != "http://a.example/" {
+		t.Fatal(err)
+	}
+	if string(p.Content) != "home" || len(p.Links) != 1 {
+		t.Fatalf("page = %+v", p)
+	}
+	if _, _, err := w.Get("http://nope/"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("404 = %v", err)
+	}
+}
+
+func TestRedirects(t *testing.T) {
+	w := New()
+	w.AddRedirect("http://short/x", "http://long.example/real")
+	w.AddPage("http://long.example/real", "content")
+	p, final, err := w.Get("http://short/x")
+	if err != nil || final != "http://long.example/real" || string(p.Content) != "content" {
+		t.Fatalf("redirect: %v %q %v", final, p.Content, err)
+	}
+	// Loop detection.
+	w.AddRedirect("http://loop/a", "http://loop/b")
+	w.AddRedirect("http://loop/b", "http://loop/a")
+	if _, _, err := w.Get("http://loop/a"); !errors.Is(err, ErrTooManyRedirects) {
+		t.Fatalf("loop = %v", err)
+	}
+}
+
+func TestReplaceAndRemove(t *testing.T) {
+	w := New()
+	w.AddDownload("http://codecs.example/codec.bin", []byte("clean"))
+	if err := w.Replace("http://codecs.example/codec.bin", []byte("EVIL")); err != nil {
+		t.Fatal(err)
+	}
+	p, _, _ := w.Get("http://codecs.example/codec.bin")
+	if string(p.Content) != "EVIL" {
+		t.Fatal("replace failed")
+	}
+	if !p.Download {
+		t.Fatal("download flag lost")
+	}
+	if err := w.Replace("http://missing/", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatal("replace of missing must fail")
+	}
+	w.Remove("http://codecs.example/codec.bin")
+	if _, _, err := w.Get("http://codecs.example/codec.bin"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	w := New()
+	w.AddDownload("http://x/f", []byte("orig"))
+	p, _, _ := w.Get("http://x/f")
+	p.Content[0] = 'X'
+	p2, _, _ := w.Get("http://x/f")
+	if string(p2.Content) != "orig" {
+		t.Fatal("Get must return copies")
+	}
+}
+
+func TestHitsAndURLs(t *testing.T) {
+	w := New()
+	w.AddPage("http://b/", "b")
+	w.AddPage("http://a/", "a")
+	w.Get("http://a/")
+	w.Get("http://a/")
+	if w.Hits("http://a/") != 2 || w.Hits("http://b/") != 0 {
+		t.Fatal("hit counts wrong")
+	}
+	urls := w.URLs()
+	if len(urls) != 2 || urls[0] != "http://a/" {
+		t.Fatalf("URLs = %v", urls)
+	}
+}
+
+func TestHost(t *testing.T) {
+	cases := map[string]string{
+		"http://a.example/x/y": "a.example",
+		"https://b.example":    "b.example",
+		"http://c.example/":    "c.example",
+	}
+	for in, want := range cases {
+		if got := Host(in); got != want {
+			t.Errorf("Host(%q) = %q", in, got)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"passv2/internal/kernel"
+	"passv2/internal/vfs"
+)
+
+// Compile simulates the Linux-compile benchmark: unpack a source tree from
+// a tarball, then build it — one cc process per translation unit, each
+// reading its source plus a set of shared headers and writing an object
+// file, followed by a link step reading every object. CPU heavy with
+// bursts of small writes (the paper measures +15.6% under PASSv2).
+func Compile(k *kernel.Kernel, cfg Config) (*Stats, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := &Stats{}
+	nUnits := cfg.scale(120)
+	nHeaders := 30 // header pool; units include twenty each
+	srcSize := 14336
+
+	src := cfg.Dir + "/src"
+	obj := cfg.Dir + "/obj"
+
+	// "tar xf": one process unpacks the tree.
+	tar := k.Spawn(nil, "tar", []string{"tar", "xf", "linux.tar"}, nil)
+	stats.Processes++
+	if err := tar.MkdirAll(src); err != nil {
+		return nil, err
+	}
+	if err := tar.MkdirAll(obj); err != nil {
+		return nil, err
+	}
+	// The tarball itself is a file the unpack reads.
+	tarball := cfg.Dir + "/linux.tar"
+	if err := writeThrough(tar, tarball, body(rng, nUnits*srcSize/4)); err != nil {
+		return nil, err
+	}
+	if _, err := readThrough(tar, tarball); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nHeaders; i++ {
+		if err := writeThrough(tar, fmt.Sprintf("%s/h%02d.h", src, i), body(rng, 512)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nUnits; i++ {
+		if err := writeThrough(tar, fmt.Sprintf("%s/u%04d.c", src, i), body(rng, srcSize)); err != nil {
+			return nil, err
+		}
+		stats.FilesOut++
+	}
+	tar.Exit()
+
+	// Build: a make process forks a cc per unit.
+	make_ := k.Spawn(nil, "make", []string{"make", "-j1"}, []string{"PATH=/usr/bin"})
+	stats.Processes++
+	for i := 0; i < nUnits; i++ {
+		cc := make_.Fork()
+		cc.Exec(cfg.Dir+"/cc", []string{"cc", "-O2", "-c", fmt.Sprintf("u%04d.c", i)}, nil)
+		stats.Processes++
+		srcData, err := readThrough(cc, fmt.Sprintf("%s/u%04d.c", src, i))
+		if err != nil {
+			return nil, err
+		}
+		// Each unit includes twenty headers (cached after first read,
+		// but each fresh process still owes a dependency record).
+		for h := 0; h < 20; h++ {
+			if _, err := readThrough(cc, fmt.Sprintf("%s/h%02d.h", src, (i+h)%nHeaders)); err != nil {
+				return nil, err
+			}
+		}
+		cc.Compute(int64(len(srcData)) * 58) // compilation is CPU bound
+		o := body(rng, srcSize/2)
+		if err := writeThrough(cc, fmt.Sprintf("%s/u%04d.o", obj, i), o); err != nil {
+			return nil, err
+		}
+		stats.FilesOut++
+		stats.BytesOut += int64(len(o))
+		cc.Exit()
+	}
+
+	// Link: ld reads every object, writes the kernel image.
+	ld := make_.Fork()
+	ld.Exec(cfg.Dir+"/ld", []string{"ld", "-o", "vmlinux"}, nil)
+	stats.Processes++
+	var total int
+	for i := 0; i < nUnits; i++ {
+		o, err := readThrough(ld, fmt.Sprintf("%s/u%04d.o", obj, i))
+		if err != nil {
+			return nil, err
+		}
+		total += len(o)
+	}
+	ld.Compute(int64(total) * 50)
+	if err := writeThrough(ld, cfg.Dir+"/vmlinux", body(rng, total)); err != nil {
+		return nil, err
+	}
+	stats.FilesOut++
+	stats.BytesOut += int64(total)
+	ld.Exit()
+	make_.Exit()
+	return stats, nil
+}
+
+// Postmark simulates the email-server benchmark: an initial pool of files
+// across subdirectories, then a transaction mix of create/delete/read/
+// append. I/O intensive; the paper measures +11.5% (PASSv2) and +16.8%
+// (PA-NFS, mostly stackable-FS double buffering).
+func Postmark(k *kernel.Kernel, cfg Config) (*Stats, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := &Stats{}
+	nFiles := cfg.scale(1500)
+	nTxns := cfg.scale(1500)
+	nDirs := 10
+	minSize, maxSize := 4096, cfg.scale(1<<20)
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+
+	p := k.Spawn(nil, "postmark", []string{"postmark", "run"}, nil)
+	stats.Processes++
+	var files []string
+	for d := 0; d < nDirs; d++ {
+		if err := p.MkdirAll(fmt.Sprintf("%s/s%02d", cfg.Dir, d)); err != nil {
+			return nil, err
+		}
+	}
+	size := func() int { return minSize + rng.Intn(maxSize-minSize+1) }
+	for i := 0; i < nFiles; i++ {
+		path := fmt.Sprintf("%s/s%02d/%s", cfg.Dir, rng.Intn(nDirs), fileName(rng, i))
+		if err := writeThrough(p, path, body(rng, size())); err != nil {
+			return nil, err
+		}
+		files = append(files, path)
+	}
+	for t := 0; t < nTxns; t++ {
+		switch rng.Intn(4) {
+		case 0: // create
+			path := fmt.Sprintf("%s/s%02d/%s", cfg.Dir, rng.Intn(nDirs), fileName(rng, nFiles+t))
+			if err := writeThrough(p, path, body(rng, size())); err != nil {
+				return nil, err
+			}
+			files = append(files, path)
+			stats.FilesOut++
+		case 1: // delete
+			if len(files) > 1 {
+				i := rng.Intn(len(files))
+				if err := p.Remove(files[i]); err != nil {
+					return nil, err
+				}
+				files = append(files[:i], files[i+1:]...)
+			}
+		case 2: // read
+			if _, err := readThrough(p, files[rng.Intn(len(files))]); err != nil {
+				return nil, err
+			}
+		case 3: // append
+			path := files[rng.Intn(len(files))]
+			fd, err := p.Open(path, vfs.OAppend)
+			if err != nil {
+				return nil, err
+			}
+			chunk := body(rng, 4096)
+			if _, err := p.Write(fd, chunk); err != nil {
+				return nil, err
+			}
+			stats.BytesOut += int64(len(chunk))
+			p.Close(fd)
+		}
+	}
+	p.Exit()
+	return stats, nil
+}
+
+// Mercurial simulates the paper's development-activity benchmark: start
+// from a source tree and apply a series of patches the way patch(1) does —
+// create a temporary file, merge data from the original and the patch into
+// it, and rename it over the original. Heavily metadata-bound: the
+// provenance writes interleave with patch's own metadata I/O and cost
+// extra seeks (the paper's worst case, +23.1%).
+func Mercurial(k *kernel.Kernel, cfg Config) (*Stats, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := &Stats{}
+	nFiles := cfg.scale(80)
+	nPatches := cfg.scale(120)
+
+	tree := cfg.Dir + "/repo"
+	setup := k.Spawn(nil, "hg", []string{"hg", "clone"}, nil)
+	stats.Processes++
+	if err := setup.MkdirAll(tree); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nFiles; i++ {
+		if err := writeThrough(setup, fmt.Sprintf("%s/file%03d.c", tree, i), body(rng, 49152)); err != nil {
+			return nil, err
+		}
+	}
+	setup.Exit()
+
+	for n := 0; n < nPatches; n++ {
+		patchProc := k.Spawn(nil, "patch", []string{"patch", "-p1"}, nil)
+		stats.Processes++
+		target := fmt.Sprintf("%s/file%03d.c", tree, rng.Intn(nFiles))
+		patchFile := fmt.Sprintf("%s/change%04d.patch", cfg.Dir, n)
+		if err := writeThrough(patchProc, patchFile, body(rng, 1024)); err != nil {
+			return nil, err
+		}
+		orig, err := readThrough(patchProc, target)
+		if err != nil {
+			return nil, err
+		}
+		hunk, err := readThrough(patchProc, patchFile)
+		if err != nil {
+			return nil, err
+		}
+		// Merge into a temporary file, then rename over the original —
+		// patch(1)'s dance.
+		tmp := target + ".orig.tmp"
+		merged := append(append([]byte{}, orig...), hunk...)
+		if len(merged) > 49152 {
+			merged = merged[len(merged)-49152:]
+		}
+		if err := writeThrough(patchProc, tmp, merged); err != nil {
+			return nil, err
+		}
+		if err := patchProc.Rename(tmp, target); err != nil {
+			return nil, err
+		}
+		stats.FilesOut++
+		stats.BytesOut += int64(len(merged))
+		patchProc.Exit()
+	}
+	return stats, nil
+}

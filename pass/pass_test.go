@@ -1,0 +1,172 @@
+package pass
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+func TestMachineEndToEndQuery(t *testing.T) {
+	m := NewMachine(Config{Provenance: true, NoClock: true})
+	if _, err := m.AddVolume("/data", 1); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("gen", []string{"gen"}, nil)
+	fd, err := p.Open("/data/out", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(fd, []byte("x"))
+	p.Close(fd)
+	res, err := m.Query(`
+		select A from Provenance.file as F F.input* as A
+		where F.name = "/data/out"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("expected file + process in ancestry, got %d rows", len(res.Rows))
+	}
+	if !strings.Contains(res.Format(), "gen") {
+		t.Fatal("process missing from ancestry")
+	}
+}
+
+func TestBaselineMachineHasNoObserver(t *testing.T) {
+	m := NewMachine(Config{Provenance: false, NoClock: true})
+	if m.Observer != nil {
+		t.Fatal("baseline machine must not observe")
+	}
+	vol, err := m.AddVolume("/data", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol != nil {
+		t.Fatal("baseline volume should be plain")
+	}
+	p := m.Spawn("w", nil, nil)
+	fd, err := p.Open("/data/f", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(fd, []byte("data"))
+	p.Close(fd)
+	data, _, _, err := m.SpaceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != 4 {
+		t.Fatalf("baseline data bytes = %d", data)
+	}
+}
+
+func TestElapsedAccrues(t *testing.T) {
+	m := NewMachine(Config{Provenance: true})
+	m.AddVolume("/data", 1)
+	p := m.Spawn("w", nil, nil)
+	fd, _ := p.Open("/data/f", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, make([]byte, 4096))
+	p.Close(fd)
+	if m.Elapsed() == 0 {
+		t.Fatal("clock did not advance")
+	}
+	m.ResetClock()
+	if m.Elapsed() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSpaceStatsSeparatesProvenance(t *testing.T) {
+	m := NewMachine(Config{Provenance: true, NoClock: true})
+	m.AddVolume("/data", 1)
+	p := m.Spawn("w", nil, nil)
+	fd, _ := p.Open("/data/f", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, make([]byte, 1000))
+	p.Close(fd)
+	_, prov, total, err := m.SpaceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov <= 0 || total < prov {
+		t.Fatalf("space stats = %d/%d", prov, total)
+	}
+}
+
+func TestSaveDBRoundTrip(t *testing.T) {
+	m := NewMachine(Config{Provenance: true, NoClock: true})
+	m.AddVolume("/data", 1)
+	p := m.Spawn("w", nil, nil)
+	fd, _ := p.Open("/data/f", vfs.OCreate|vfs.ORdWr)
+	p.Write(fd, []byte("x"))
+	p.Close(fd)
+	var buf bytes.Buffer
+	if err := m.SaveDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db, err := waldo.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.ByName("/data/f")) != 1 {
+		t.Fatal("saved DB missing file")
+	}
+}
+
+func TestNFSMountEndToEnd(t *testing.T) {
+	m := NewMachine(Config{Provenance: true})
+	srv, err := NewFileServer(9, m.Clock, vfs.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := m.MountNFS("/mnt", srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	p := m.Spawn("writer", nil, nil)
+	fd, err := p.Open("/mnt/remote.txt", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(fd, []byte("over the wire"))
+	p.Close(fd)
+	db, err := srv.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.ByName("/mnt/remote.txt")) != 1 {
+		t.Fatal("remote file provenance missing at server")
+	}
+	// The writing process's identity was materialized to the server too.
+	pns := db.ByName("writer")
+	if len(pns) != 1 {
+		t.Fatal("process identity missing at server")
+	}
+}
+
+func TestPlainFileServerRejectsDPAPI(t *testing.T) {
+	m := NewMachine(Config{Provenance: false})
+	srv, err := NewPlainFileServer(m.Clock, vfs.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := m.MountNFS("/mnt", srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	p := m.Spawn("w", nil, nil)
+	fd, err := p.Open("/mnt/f", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.DB(); err == nil {
+		t.Fatal("plain server must not have a provenance DB")
+	}
+}

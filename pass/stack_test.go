@@ -1,0 +1,137 @@
+package pass
+
+import (
+	"strings"
+	"testing"
+
+	"passv2/internal/pnode"
+	"passv2/internal/pyprov"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// TestFiveLayerStack exercises §5.2's claim that the DPAPI supports an
+// arbitrary number of layers: a provenance-aware application calls a
+// provenance-aware library routine, both running on the provenance-aware
+// runtime, whose file I/O goes through a PA-NFS client to a PA-NFS server
+// backed by Lasagna:
+//
+//	app → library → runtime → PA-NFS client → PASSv2 storage
+//
+// The output's ancestry must contain objects from every layer.
+func TestFiveLayerStack(t *testing.T) {
+	m := NewMachine(Config{Provenance: true})
+	srv, err := NewFileServer(5, m.Clock, vfs.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := m.MountNFS("/remote", srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	py := m.Spawn("python", []string{"python", "pipeline.py"}, nil)
+	rt := pyprov.New(py, "/remote")
+
+	// Layer: library — a wrapped routine the application calls.
+	normalize, err := rt.Wrap("lib.normalize", func(call *pyprov.Invocation, args []pyprov.Value) ([]pyprov.Value, error) {
+		s := strings.ToLower(string(args[0].Data.([]byte)))
+		return []pyprov.Value{{Data: []byte(s)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer: application — a wrapped routine that calls the library.
+	summarize, err := rt.Wrap("app.summarize", func(call *pyprov.Invocation, args []pyprov.Value) ([]pyprov.Value, error) {
+		norm, err := call.Call(normalize, args...)
+		if err != nil {
+			return nil, err
+		}
+		out := append([]byte("summary: "), norm[0].Data.([]byte)...)
+		return []pyprov.Value{{Data: out}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The input lives on the remote volume; the runtime reads it through
+	// the kernel → NFS client → server.
+	fd, err := py.Open("/remote/input.txt", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	py.Write(fd, []byte("RAW SENSOR TEXT"))
+	py.Close(fd)
+
+	in, err := rt.ReadFile("/remote/input.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := summarize.Call(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WriteFile("/remote/result.txt", out[0].Data.([]byte), out[0], in); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query at the server: the result's ancestry must span every layer.
+	db, err := srv.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := db.ByName("/remote/result.txt")
+	if len(outs) != 1 {
+		t.Fatal("result file missing at server")
+	}
+	v, _ := db.LatestVersion(outs[0])
+	names := map[string]bool{}
+	types := map[string]bool{}
+	seen := map[string]bool{}
+	stack := db.Inputs(pnode.Ref{PNode: outs[0], Version: v})
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n.String()] {
+			continue
+		}
+		seen[n.String()] = true
+		if name, ok := db.NameOf(n.PNode); ok {
+			names[name] = true
+		}
+		if typ, ok := db.TypeOf(n.PNode); ok {
+			types[typ] = true
+		}
+		stack = append(stack, db.Inputs(n)...)
+	}
+	// Layer 1+2 (app + library): both wrapped functions and their
+	// invocations.
+	for _, want := range []string{"app.summarize", "lib.normalize"} {
+		if !names[want] {
+			t.Errorf("layer object %q missing from ancestry (have %v)", want, keys(names))
+		}
+	}
+	if !types[record.TypeFunction] || !types[record.TypeInvoke] {
+		t.Error("FUNCTION/INVOCATION objects missing from ancestry")
+	}
+	// Layer 3 (runtime/OS): the python process.
+	if !names["python"] {
+		t.Error("process missing from ancestry")
+	}
+	// Layer 4+5 (NFS + storage): the input file, named at the server.
+	if !names["/remote/input.txt"] {
+		t.Error("remote input file missing from ancestry")
+	}
+	if !types[record.TypeProc] || !types[record.TypeFile] {
+		t.Error("PROC/FILE objects missing from ancestry")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

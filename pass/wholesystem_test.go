@@ -1,0 +1,141 @@
+package pass
+
+import (
+	"strings"
+	"testing"
+
+	"passv2/internal/kepler"
+	"passv2/internal/links"
+	"passv2/internal/pnode"
+	"passv2/internal/pyprov"
+	"passv2/internal/vfs"
+	"passv2/internal/web"
+)
+
+// TestWholeSystemIntegration is the capstone: all three provenance-aware
+// applications on one machine, chained — the browser downloads a dataset,
+// a Kepler workflow processes it, a PA-Python script plots the workflow's
+// output — and a single PQL query walks the final plot's ancestry back to
+// the URL the data came from, crossing browser, OS, workflow and runtime
+// layers.
+func TestWholeSystemIntegration(t *testing.T) {
+	m := NewMachine(Config{Provenance: true, NoClock: true})
+	if _, err := m.AddVolume("/work", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 1: the browser fetches the dataset.
+	www := web.New()
+	www.AddPage("http://data.example/", "dataset index")
+	www.AddDownload("http://data.example/measurements.csv", []byte("a,1\nb,2\nc,3\n"))
+	bp := m.Spawn("links", nil, nil)
+	b := links.New(bp, www)
+	if _, err := b.NewSession("/work"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Visit("http://data.example/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Download("http://data.example/measurements.csv", "/work/measurements.csv"); err != nil {
+		t.Fatal(err)
+	}
+	bp.Exit()
+
+	// Layer 2: a Kepler workflow normalizes the download.
+	kp := m.Spawn("kepler", nil, nil)
+	eng := kepler.NewEngine(kp)
+	eng.AddRecorder(kepler.NewPASSRecorder(kp, "/work"))
+	wf := kepler.NewWorkflow("normalize")
+	wf.Add(kepler.FileSource("src", "/work/measurements.csv"))
+	wf.Add(kepler.Stage("normalize", []string{"in"}, "", 2))
+	wf.Add(kepler.FileSink("sink", "/work/normalized.dat"))
+	wf.Connect("src", "out", "normalize", "in")
+	wf.Connect("normalize", "out", "sink", "in")
+	if err := eng.Run(wf); err != nil {
+		t.Fatal(err)
+	}
+	kp.Exit()
+
+	// Layer 3: a PA-Python script plots the normalized data.
+	pp := m.Spawn("python", nil, nil)
+	rt := pyprov.New(pp, "/work")
+	plotFn, err := rt.Wrap("plot", func(call *pyprov.Invocation, args []pyprov.Value) ([]pyprov.Value, error) {
+		return []pyprov.Value{{Data: append([]byte("PLOT:"), args[0].Data.([]byte)...)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := rt.ReadFile("/work/normalized.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := plotFn.Call(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WriteFile("/work/final-plot.png", out[0].Data.([]byte), out[0], in); err != nil {
+		t.Fatal(err)
+	}
+	pp.Exit()
+
+	// One query, four layers.
+	res, err := m.Query(`
+		select Ancestor
+		from Provenance.file as Plot
+		     Plot.input* as Ancestor
+		where Plot.name = "/work/final-plot.png"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Format()
+	for _, want := range []string{
+		"normalized.dat",            // workflow output file (OS layer)
+		"normalize",                 // workflow operator (Kepler layer)
+		"measurements.csv",          // downloaded file (OS layer)
+		"plot",                      // wrapped routine (Python layer)
+		"python", "kepler", "links", // the processes
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("cross-layer ancestry missing %q:\n%s", want, got)
+		}
+	}
+	// The browser session (and through it the source URL) is reachable.
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	db := m.Waldo.DB
+	plotPN := db.ByName("/work/final-plot.png")[0]
+	v, _ := db.LatestVersion(plotPN)
+	g := m.Graph()
+	foundSession := false
+	for _, a := range g.Ancestors(pnode.Ref{PNode: plotPN, Version: v}) {
+		if typ, ok := db.TypeOf(a.PNode); ok && typ == "SESSION" {
+			foundSession = true
+			urls := db.AttrValues(a, "VISITED_URL")
+			if len(urls) == 0 {
+				t.Error("session reached but its URL trail is empty")
+			}
+		}
+	}
+	if !foundSession {
+		t.Error("browser session not reachable from the final plot")
+	}
+
+	// Bonus: the baseline machine runs the same pipeline with zero
+	// provenance machinery engaged (sanity that apps degrade gracefully).
+	base := NewMachine(Config{Provenance: false, NoClock: true})
+	base.AddVolume("/work", 1)
+	bp2 := base.Spawn("links", nil, nil)
+	b2 := links.New(bp2, www)
+	if _, err := b2.NewSession("/work"); err == nil {
+		// Sessions need pass_mkobj; without PASS this must fail cleanly.
+		t.Error("session creation should fail without the PASS pipeline")
+	}
+	fd, err := bp2.Open("/work/plain.txt", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp2.Write(fd, []byte("still works")); err != nil {
+		t.Fatal(err)
+	}
+}
