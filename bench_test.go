@@ -273,6 +273,81 @@ func BenchmarkAblationLogRotation(b *testing.B) {
 	}
 }
 
+// BenchmarkWaldoIngest measures the log→database pipeline (DESIGN.md §5):
+// Waldo draining a Lasagna provenance log into the indexed database.
+//
+// cold: one drain over a fully written multi-file log — the bulk-ingest
+// rate in records/sec.
+//
+// steady: a long-lived daemon draining small increments off a large
+// existing log — the case that is quadratic if each drain re-reads the
+// whole log instead of resuming from a byte offset.
+func BenchmarkWaldoIngest(b *testing.B) {
+	const (
+		ingestRecords = 20000
+		maxLogSize    = 256 << 10
+		steadyBatch   = 50
+	)
+	appendRecords := func(vol *lasagna.FS, lo, n int) {
+		for r := lo; r < lo+n; r++ {
+			vol.AppendProvenance([]record.Record{
+				record.New(pnode.Ref{PNode: pnode.PNode(r%512 + 1), Version: 1},
+					record.AttrName, record.StringVal(fmt.Sprintf("/data/f%d", r))),
+				record.Input(
+					pnode.Ref{PNode: pnode.PNode(r%512 + 1), Version: 1},
+					pnode.Ref{PNode: pnode.PNode(r%97 + 1000), Version: 1},
+				),
+			})
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		lower := vfs.NewMemFS("lower", nil)
+		vol, err := lasagna.New("v", lasagna.Config{Lower: lower, VolumeID: 1, MaxLogSize: maxLogSize, LogBuffer: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		appendRecords(vol, 0, ingestRecords)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := waldo.New()
+			w.Attach(vol)
+			if err := w.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			recs, _, _ := w.DB.Stats()
+			if recs != 2*ingestRecords {
+				b.Fatalf("ingested %d records, want %d", recs, 2*ingestRecords)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(2*ingestRecords)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	})
+
+	b.Run("steady", func(b *testing.B) {
+		lower := vfs.NewMemFS("lower", nil)
+		vol, err := lasagna.New("v", lasagna.Config{Lower: lower, VolumeID: 1, MaxLogSize: maxLogSize, LogBuffer: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		appendRecords(vol, 0, ingestRecords)
+		w := waldo.New()
+		w.Attach(vol)
+		if err := w.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			appendRecords(vol, ingestRecords+i*steadyBatch, steadyBatch)
+			if err := w.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(2*steadyBatch)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	})
+}
+
 func sanitize(s string) string {
 	out := make([]rune, 0, len(s))
 	for _, r := range s {

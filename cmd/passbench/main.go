@@ -11,8 +11,10 @@
 //	passbench -table 2 -nfs       # NFS only
 //	passbench -table 3            # space overheads
 //	passbench -table 1            # record-type inventory
+//	passbench -ingest             # Waldo log→database pipeline throughput
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
+//	passbench -records 100000     # ingest benchmark size
 package main
 
 import (
@@ -29,8 +31,18 @@ func main() {
 	scale := flag.Float64("scale", 0.4, "workload scale in (0,1]; 1.0 is paper-sized")
 	localOnly := flag.Bool("local", false, "table 2: only the PASSv2-vs-ext3 half")
 	nfsOnly := flag.Bool("nfs", false, "table 2: only the PA-NFS-vs-NFS half")
+	ingest := flag.Bool("ingest", false, "measure Waldo ingestion throughput (records/sec)")
+	records := flag.Int("records", 50000, "ingest: records in the cold-ingest log")
+	drains := flag.Int("drains", 200, "ingest: incremental drains in the steady-state phase")
+	batch := flag.Int("batch", 50, "ingest: records appended before each steady-state drain")
 	flag.Parse()
 
+	if *ingest || *all {
+		runIngest(*records, *drains, *batch)
+		if !*all {
+			return
+		}
+	}
 	if *all {
 		runTable(1, *scale, false, false)
 		runTable(2, *scale, false, false)
@@ -69,6 +81,12 @@ func runTable(table int, scale float64, localOnly, nfsOnly bool) {
 		fmt.Fprintf(os.Stderr, "unknown table %d\n", table)
 		os.Exit(2)
 	}
+}
+
+func runIngest(records, drains, batch int) {
+	res, err := bench.Ingest(records, drains, batch)
+	die(err)
+	bench.PrintIngest(os.Stdout, res)
 }
 
 func die(err error) {

@@ -1,0 +1,3 @@
+module passv2
+
+go 1.24

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"passv2/internal/lasagna"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// IngestResult reports the Waldo log→database pipeline's throughput
+// (DESIGN.md §5). Unlike the table benchmarks, these are wall-clock
+// numbers: the pipeline is pure harness code, so here the harness itself
+// is the system under test.
+type IngestResult struct {
+	Records  int   // records written to the log
+	LogBytes int64 // total log bytes scanned by the cold drain
+
+	ColdSecs       float64 // one drain over the whole log
+	ColdRecsPerSec float64
+
+	SteadyDrains      int // incremental drains performed
+	SteadyBatch       int // records appended before each drain
+	SteadySecs        float64
+	SteadyRecsPerSec  float64
+	SteadyEntriesScan int64 // entries decoded across all steady drains
+
+	DBKeys  int // resulting B-tree population
+	DBNodes int
+	DBDepth int
+}
+
+// Ingest measures cold and steady-state ingestion over a synthetic
+// provenance stream: records records split across rotated log files, then
+// steadyDrains incremental drains of steadyBatch records each.
+func Ingest(records, steadyDrains, steadyBatch int) (IngestResult, error) {
+	res := IngestResult{Records: records, SteadyDrains: steadyDrains, SteadyBatch: steadyBatch}
+	lower := vfs.NewMemFS("lower", nil)
+	vol, err := lasagna.New("v", lasagna.Config{Lower: lower, VolumeID: 1, MaxLogSize: 256 << 10, LogBuffer: 1 << 16})
+	if err != nil {
+		return res, err
+	}
+	appendRecords := func(lo, n int) error {
+		for r := lo; r < lo+n; r++ {
+			err := vol.AppendProvenance([]record.Record{
+				record.New(pnode.Ref{PNode: pnode.PNode(r%512 + 1), Version: 1},
+					record.AttrName, record.StringVal(fmt.Sprintf("/data/f%d", r))),
+				record.Input(
+					pnode.Ref{PNode: pnode.PNode(r%512 + 1), Version: 1},
+					pnode.Ref{PNode: pnode.PNode(r%97 + 1000), Version: 1},
+				),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := appendRecords(0, records); err != nil {
+		return res, err
+	}
+	if err := vol.Log().Flush(); err != nil {
+		return res, err
+	}
+	files, err := lower.ReadDir(vol.Log().Dir())
+	if err == nil {
+		for _, e := range files {
+			if st, serr := lower.Stat(vfs.Join(vol.Log().Dir(), e.Name)); serr == nil {
+				res.LogBytes += st.Size
+			}
+		}
+	}
+
+	w := waldo.New()
+	w.Attach(vol)
+	start := time.Now()
+	if err := w.Drain(); err != nil {
+		return res, err
+	}
+	res.ColdSecs = time.Since(start).Seconds()
+	if res.ColdSecs > 0 {
+		res.ColdRecsPerSec = float64(2*records) / res.ColdSecs
+	}
+
+	decoded0 := w.EntriesDecoded()
+	start = time.Now()
+	for i := 0; i < steadyDrains; i++ {
+		if err := appendRecords(records+i*steadyBatch, steadyBatch); err != nil {
+			return res, err
+		}
+		if err := w.Drain(); err != nil {
+			return res, err
+		}
+	}
+	res.SteadySecs = time.Since(start).Seconds()
+	res.SteadyEntriesScan = w.EntriesDecoded() - decoded0
+	if res.SteadySecs > 0 {
+		res.SteadyRecsPerSec = float64(2*steadyBatch*steadyDrains) / res.SteadySecs
+	}
+
+	st := w.DB.TreeStats()
+	res.DBKeys, res.DBNodes, res.DBDepth = st.Keys, st.Nodes, st.Depth
+	return res, nil
+}
+
+// PrintIngest renders an IngestResult.
+func PrintIngest(w io.Writer, r IngestResult) {
+	fmt.Fprintf(w, "Waldo ingestion (log→database pipeline)\n")
+	fmt.Fprintf(w, "  log: %d records, %d bytes across rotated files\n", 2*r.Records, r.LogBytes)
+	fmt.Fprintf(w, "  cold ingest:   %10.0f records/sec (%.3fs)\n", r.ColdRecsPerSec, r.ColdSecs)
+	fmt.Fprintf(w, "  steady state:  %10.0f records/sec (%d drains × %d records, %.3fs, %d entries decoded)\n",
+		r.SteadyRecsPerSec, r.SteadyDrains, 2*r.SteadyBatch, r.SteadySecs, r.SteadyEntriesScan)
+	fmt.Fprintf(w, "  database: %d keys in %d B-tree nodes, depth %d\n", r.DBKeys, r.DBNodes, r.DBDepth)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIngestShape runs a small ingestion measurement and sanity-checks
+// the result: all records land, the steady phase decodes exactly the new
+// entries, and the printer renders without error.
+func TestIngestShape(t *testing.T) {
+	const (
+		records = 2000
+		drains  = 10
+		batch   = 20
+	)
+	res, err := Ingest(records, drains, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdRecsPerSec <= 0 || res.SteadyRecsPerSec <= 0 {
+		t.Fatalf("nonpositive throughput: %+v", res)
+	}
+	if res.LogBytes == 0 {
+		t.Fatal("no log bytes accounted")
+	}
+	if want := int64(2 * batch * drains); res.SteadyEntriesScan != want {
+		t.Fatalf("steady drains decoded %d entries, want %d (work not proportional to new bytes)", res.SteadyEntriesScan, want)
+	}
+	if res.DBKeys == 0 || res.DBNodes == 0 || res.DBDepth == 0 {
+		t.Fatalf("empty tree stats: %+v", res)
+	}
+	var sb strings.Builder
+	PrintIngest(&sb, res)
+	if !strings.Contains(sb.String(), "records/sec") {
+		t.Fatalf("printer output: %q", sb.String())
+	}
+}

@@ -1,0 +1,185 @@
+package kvdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSetBatchMatchesSet drives SetBatch and Set with the same random
+// streams (inserts, replacements, duplicates within a batch) and checks
+// the stores converge to identical contents and counters.
+func TestSetBatchMatchesSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	one, batch := New(), New()
+	for round := 0; round < 50; round++ {
+		n := rng.Intn(200) + 1
+		kvs := make([]KV, n)
+		for i := range kvs {
+			k := fmt.Sprintf("k%05d", rng.Intn(500))
+			kvs[i] = KV{Key: k, Val: []byte(fmt.Sprintf("v%d-%d", round, i))}
+		}
+		// Set semantics for duplicate keys: last write wins. Feed Set in
+		// order; SetBatch processes in order too.
+		for _, kv := range kvs {
+			one.Set(kv.Key, kv.Val)
+		}
+		batch.SetBatch(kvs)
+	}
+	if one.Len() != batch.Len() {
+		t.Fatalf("Len: %d vs %d", one.Len(), batch.Len())
+	}
+	k1, v1 := one.Bytes()
+	k2, v2 := batch.Bytes()
+	if k1 != k2 || v1 != v2 {
+		t.Fatalf("Bytes: (%d,%d) vs (%d,%d)", k1, v1, k2, v2)
+	}
+	var keys1, keys2 []string
+	one.AscendPrefix("", func(k string, v []byte) bool { keys1 = append(keys1, k+"="+string(v)); return true })
+	batch.AscendPrefix("", func(k string, v []byte) bool { keys2 = append(keys2, k+"="+string(v)); return true })
+	if len(keys1) != len(keys2) {
+		t.Fatalf("key counts diverge: %d vs %d", len(keys1), len(keys2))
+	}
+	for i := range keys1 {
+		if keys1[i] != keys2[i] {
+			t.Fatalf("entry %d diverges: %q vs %q", i, keys1[i], keys2[i])
+		}
+	}
+}
+
+// TestSetBatchSortedRun exercises the cached-leaf fast path: a long
+// sorted run (Waldo feeds sorted batches) must land every key, keep order,
+// and report New correctly.
+func TestSetBatchSortedRun(t *testing.T) {
+	db := New()
+	const n = 5000
+	kvs := make([]KV, n)
+	for i := range kvs {
+		kvs[i] = KV{Key: fmt.Sprintf("key%08d", i), Val: []byte{byte(i)}}
+	}
+	if added := db.SetBatch(kvs); added != n {
+		t.Fatalf("added %d, want %d", added, n)
+	}
+	for i := range kvs {
+		if !kvs[i].New {
+			t.Fatalf("kv %d not marked New on first insert", i)
+		}
+	}
+	if db.Len() != n {
+		t.Fatalf("Len = %d, want %d", db.Len(), n)
+	}
+	prev := ""
+	count := 0
+	db.AscendPrefix("key", func(k string, _ []byte) bool {
+		if k <= prev {
+			t.Fatalf("order violated: %q after %q", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("iterated %d keys, want %d", count, n)
+	}
+	// Re-insert the same run: nothing is new.
+	again := make([]KV, n)
+	copy(again, kvs)
+	for i := range again {
+		again[i].New = false
+	}
+	if added := db.SetBatch(again); added != 0 {
+		t.Fatalf("re-insert added %d, want 0", added)
+	}
+	for i := range again {
+		if again[i].New {
+			t.Fatalf("kv %d marked New on re-insert", i)
+		}
+	}
+}
+
+// TestSetBatchNewFlags mixes fresh and existing keys and checks the
+// per-key New report, which Waldo's index-space accounting depends on.
+func TestSetBatchNewFlags(t *testing.T) {
+	db := New()
+	db.Set("b", []byte("old"))
+	kvs := []KV{
+		{Key: "a", Val: []byte("1")},
+		{Key: "b", Val: []byte("2")},
+		{Key: "c", Val: []byte("3")},
+	}
+	if added := db.SetBatch(kvs); added != 2 {
+		t.Fatalf("added %d, want 2", added)
+	}
+	if !kvs[0].New || kvs[1].New || !kvs[2].New {
+		t.Fatalf("New flags = %v %v %v, want true false true", kvs[0].New, kvs[1].New, kvs[2].New)
+	}
+	if v, _ := db.Get("b"); string(v) != "2" {
+		t.Fatalf("replacement value = %q", v)
+	}
+}
+
+// TestStats sanity-checks the tree-shape report.
+func TestStats(t *testing.T) {
+	db := New()
+	if s := db.Stats(); s.Keys != 0 || s.Nodes != 1 || s.Depth != 1 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		db.Set(fmt.Sprintf("%06d", i), []byte("v"))
+	}
+	s := db.Stats()
+	if s.Keys != n {
+		t.Fatalf("Keys = %d, want %d", s.Keys, n)
+	}
+	if s.Depth < 2 || s.Depth > 6 {
+		t.Fatalf("Depth = %d, implausible for %d keys at degree %d", s.Depth, n, degree)
+	}
+	if s.Nodes < n/(2*degree) {
+		t.Fatalf("Nodes = %d, too few for %d keys", s.Nodes, n)
+	}
+	kb, vb := db.Bytes()
+	if s.KeyBytes != kb || s.ValBytes != vb {
+		t.Fatalf("Stats bytes (%d,%d) disagree with Bytes (%d,%d)", s.KeyBytes, s.ValBytes, kb, vb)
+	}
+}
+
+// TestSetBatchInterleavedWithDeletes makes sure batch inserts compose
+// with the existing delete path (rebalancing does not confuse later
+// batches).
+func TestSetBatchInterleavedWithDeletes(t *testing.T) {
+	db := New()
+	live := map[string]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 30; round++ {
+		var kvs []KV
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("x%04d", rng.Intn(1000))
+			kvs = append(kvs, KV{Key: k, Val: []byte("v")})
+			live[k] = true
+		}
+		db.SetBatch(kvs)
+		for i := 0; i < 40; i++ {
+			k := fmt.Sprintf("x%04d", rng.Intn(1000))
+			if db.Delete(k) != live[k] {
+				t.Fatalf("Delete(%q) disagreed with model", k)
+			}
+			delete(live, k)
+		}
+	}
+	want := make([]string, 0, len(live))
+	for k := range live {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	got := db.Keys("x")
+	if len(got) != len(want) {
+		t.Fatalf("%d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("key %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}

@@ -66,6 +66,36 @@ func (db *DB) Bytes() (keyBytes, valBytes int64) {
 	return db.keyBytes, db.valBytes
 }
 
+// Stats describes the store: key population and tree shape. Nodes and
+// Depth are computed by a walk, so Stats is a diagnostics/bench call, not a
+// hot-path one.
+type Stats struct {
+	Keys     int
+	KeyBytes int64
+	ValBytes int64
+	Nodes    int
+	Depth    int
+}
+
+// Stats reports the current store statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{Keys: db.count, KeyBytes: db.keyBytes, ValBytes: db.valBytes}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		s.Nodes++
+		if depth > s.Depth {
+			s.Depth = depth
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(db.root, 1)
+	return s
+}
+
 // Get returns the value for key, and whether it exists. The returned slice
 // must not be modified.
 func (db *DB) Get(key string) ([]byte, bool) {
@@ -94,27 +124,98 @@ func (db *DB) Has(key string) bool {
 func (db *DB) Set(key string, value []byte) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	replaced := db.setLocked(key, value).replaced
+	return replaced
+}
+
+// KV is one key/value pair for batch insertion. SetBatch reports back
+// through New whether the key was absent before the batch.
+type KV struct {
+	Key string
+	Val []byte
+	New bool
+}
+
+// SetBatch stores every pair under a single mutex acquisition — the write
+// amortization Waldo's ingestion path depends on. Runs of ascending keys
+// additionally skip the root-to-leaf descent: the insertion leaf (and the
+// separator bounds that make it valid) is cached from the previous pair, so
+// a sorted batch touching one region of the key space inserts in O(1) per
+// key until the leaf fills. Returns the number of keys that were new.
+func (db *DB) SetBatch(kvs []KV) (added int) {
+	if len(kvs) == 0 {
+		return 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var at insertAt
+	for idx := range kvs {
+		key, value := kvs[idx].Key, kvs[idx].Val
+		// Fast path: key strictly inside the cached leaf's bounds, and
+		// the leaf has room for a direct insert (no split can cascade).
+		if at.leaf != nil && len(at.leaf.keys) < 2*degree &&
+			(!at.hasLo || key > at.lo) && (!at.hasHi || key < at.hi) {
+			n := at.leaf
+			i, ok := n.find(key)
+			if ok {
+				db.valBytes += int64(len(value)) - int64(len(n.vals[i]))
+				n.vals[i] = value
+				continue
+			}
+			n.keys = append(n.keys, "")
+			n.vals = append(n.vals, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = key
+			n.vals[i] = value
+			db.count++
+			db.keyBytes += int64(len(key))
+			db.valBytes += int64(len(value))
+			kvs[idx].New = true
+			added++
+			continue
+		}
+		at = db.setLocked(key, value)
+		if !at.replaced {
+			kvs[idx].New = true
+			added++
+		}
+	}
+	return added
+}
+
+// insertAt remembers where setLocked landed: the leaf it inserted into and
+// the separator bounds within which that leaf is the correct target for
+// further inserts. leaf is nil when the key was settled in an interior
+// node (replacement), which cannot seed the batch fast path.
+type insertAt struct {
+	leaf     *node
+	lo, hi   string
+	hasLo    bool
+	hasHi    bool
+	replaced bool
+}
+
+// setLocked inserts or replaces one key with db.mu held, maintaining the
+// size counters, and reports the insertion point for batch amortization.
+func (db *DB) setLocked(key string, value []byte) insertAt {
 	if len(db.root.keys) == 2*degree {
 		old := db.root
 		db.root = &node{children: []*node{old}}
 		db.root.splitChild(0)
 	}
-	replaced := db.insertNonFull(db.root, key, value)
-	if !replaced {
-		db.count++
-		db.keyBytes += int64(len(key))
-	}
-	db.valBytes += int64(len(value))
-	return replaced
-}
-
-func (db *DB) insertNonFull(n *node, key string, value []byte) bool {
+	var at insertAt
+	n := db.root
 	for {
 		i, ok := n.find(key)
 		if ok {
-			db.valBytes -= int64(len(n.vals[i]))
+			db.valBytes += int64(len(value)) - int64(len(n.vals[i]))
 			n.vals[i] = value
-			return true
+			at.replaced = true
+			if n.leaf() {
+				at.leaf = n
+			}
+			return at
 		}
 		if n.leaf() {
 			n.keys = append(n.keys, "")
@@ -123,18 +224,30 @@ func (db *DB) insertNonFull(n *node, key string, value []byte) bool {
 			copy(n.vals[i+1:], n.vals[i:])
 			n.keys[i] = key
 			n.vals[i] = value
-			return false
+			db.count++
+			db.keyBytes += int64(len(key))
+			db.valBytes += int64(len(value))
+			at.leaf = n
+			return at
 		}
 		if len(n.children[i].keys) == 2*degree {
 			n.splitChild(i)
 			if key == n.keys[i] {
-				db.valBytes -= int64(len(n.vals[i]))
+				db.valBytes += int64(len(value)) - int64(len(n.vals[i]))
 				n.vals[i] = value
-				return true
+				at.replaced = true
+				at.leaf = nil
+				return at
 			}
 			if key > n.keys[i] {
 				i++
 			}
+		}
+		if i > 0 {
+			at.lo, at.hasLo = n.keys[i-1], true
+		}
+		if i < len(n.keys) {
+			at.hi, at.hasHi = n.keys[i], true
 		}
 		n = n.children[i]
 	}

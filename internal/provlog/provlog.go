@@ -357,34 +357,63 @@ func decodeEntry(body []byte) (Entry, error) {
 // condition after a crash mid-append. fn may stop the scan by returning an
 // error, which is passed through.
 func ScanFile(fs vfs.FS, path string, fn func(Entry) error) error {
-	data, err := vfs.ReadFile(fs, path)
+	_, err := ScanFileFrom(fs, path, 0, fn)
+	return err
+}
+
+// ScanFileFrom iterates the entries of one log file starting at byte
+// offset off, which must be a frame boundary: 0 or an offset previously
+// returned by ScanFileFrom. Only the bytes at and after off are read, so a
+// tail that records the returned offset does work proportional to the new
+// bytes in the log, not its total size.
+//
+// The returned offset is the resume point for the next scan: after a clean
+// scan it is the end of the last intact frame; with ErrTorn it is the start
+// of the torn frame (all intact entries before it have been delivered);
+// with an fn error it is the start of the entry fn rejected.
+func ScanFileFrom(fs vfs.FS, path string, off int64, fn func(Entry) error) (int64, error) {
+	f, err := fs.Open(path, vfs.ORdOnly)
 	if err != nil {
-		return err
+		return off, err
 	}
-	off := 0
-	for off < len(data) {
-		if off+4 > len(data) {
-			return ErrTorn
+	defer f.Close()
+	size := f.Size()
+	if off < 0 {
+		return off, fmt.Errorf("provlog: negative scan offset %d", off)
+	}
+	if off >= size {
+		return off, nil
+	}
+	data := make([]byte, size-off)
+	n, err := f.ReadAt(data, off)
+	if err != nil {
+		return off, err
+	}
+	data = data[:n]
+	pos := 0
+	for pos < len(data) {
+		if pos+4 > len(data) {
+			return off + int64(pos), ErrTorn
 		}
-		n := int(binary.LittleEndian.Uint32(data[off:]))
-		if n < 1 || off+4+n+4 > len(data) {
-			return ErrTorn
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		if n < 1 || pos+4+n+4 > len(data) {
+			return off + int64(pos), ErrTorn
 		}
-		body := data[off+4 : off+4+n]
-		sum := binary.LittleEndian.Uint32(data[off+4+n:])
+		body := data[pos+4 : pos+4+n]
+		sum := binary.LittleEndian.Uint32(data[pos+4+n:])
 		if crc32.ChecksumIEEE(body) != sum {
-			return ErrTorn
+			return off + int64(pos), ErrTorn
 		}
 		e, err := decodeEntry(body)
 		if err != nil {
-			return err
+			return off + int64(pos), err
 		}
 		if err := fn(e); err != nil {
-			return err
+			return off + int64(pos), err
 		}
-		off += 4 + n + 4
+		pos += 4 + n + 4
 	}
-	return nil
+	return off + int64(pos), nil
 }
 
 // LogFiles lists a volume's log files in ingest order: rotated logs by

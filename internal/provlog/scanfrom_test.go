@@ -1,0 +1,142 @@
+package provlog
+
+import (
+	"errors"
+	"testing"
+
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// TestScanFileFromResume checks the offset contract: scanning from a
+// returned offset yields exactly the entries appended in between, and the
+// final offset equals the file size.
+func TestScanFileFromResume(t *testing.T) {
+	w, fs := newLog(t)
+	path := "/.prov/" + CurrentName
+	for i := 0; i < 5; i++ {
+		if err := w.AppendRecord(0, record.Input(ref(uint64(i+1), 1), ref(100, 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	off, err := ScanFileFrom(fs, path, 0, func(Entry) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("scanned %d entries, want 5", n)
+	}
+	if off != w.Size() {
+		t.Fatalf("offset %d, want file size %d", off, w.Size())
+	}
+
+	for i := 5; i < 8; i++ {
+		if err := w.AppendRecord(0, record.Input(ref(uint64(i+1), 1), ref(100, 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Entry
+	off2, err := ScanFileFrom(fs, path, off, func(e Entry) error { got = append(got, e); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("resumed scan saw %d entries, want 3", len(got))
+	}
+	if got[0].Rec.Subject.PNode != 6 {
+		t.Fatalf("resumed scan started at pnode %d, want 6", got[0].Rec.Subject.PNode)
+	}
+	if off2 != w.Size() {
+		t.Fatalf("offset %d, want %d", off2, w.Size())
+	}
+
+	// Nothing new: no entries, same offset.
+	off3, err := ScanFileFrom(fs, path, off2, func(Entry) error {
+		t.Fatal("scan past end delivered an entry")
+		return nil
+	})
+	if err != nil || off3 != off2 {
+		t.Fatalf("idle scan: off %d err %v", off3, err)
+	}
+}
+
+// TestScanFileFromTornOffset verifies that a torn tail reports the torn
+// frame's start as the resume offset, and that once the tail is repaired
+// the resumed scan picks up the replacement entries.
+func TestScanFileFromTornOffset(t *testing.T) {
+	w, fs := newLog(t)
+	path := "/.prov/" + CurrentName
+	for i := 0; i < 3; i++ {
+		if err := w.AppendRecord(0, record.Input(ref(uint64(i+1), 1), ref(100, 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intact := w.Size()
+	f, err := fs.Open(path, vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{9, 0, 0, 0, 1, 2}, intact); err != nil { // half a frame
+		t.Fatal(err)
+	}
+
+	n := 0
+	off, err := ScanFileFrom(fs, path, 0, func(Entry) error { n++; return nil })
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("want ErrTorn, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("delivered %d intact entries before tear, want 3", n)
+	}
+	if off != intact {
+		t.Fatalf("torn offset %d, want %d (start of torn frame)", off, intact)
+	}
+
+	// Repair: truncate the torn frame, append real entries, resume.
+	if err := f.Truncate(intact); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := w.AppendRecord(0, record.Input(ref(42, 1), ref(100, 1))); err != nil {
+		t.Fatal(err)
+	}
+	var got []Entry
+	off2, err := ScanFileFrom(fs, path, off, func(e Entry) error { got = append(got, e); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rec.Subject.PNode != 42 {
+		t.Fatalf("resumed scan after repair got %v", got)
+	}
+	if off2 != w.Size() {
+		t.Fatalf("offset %d, want %d", off2, w.Size())
+	}
+}
+
+// TestScanFileMatchesScanFileFrom keeps the wrapper honest: both must
+// deliver identical entry streams.
+func TestScanFileMatchesScanFileFrom(t *testing.T) {
+	w, fs := newLog(t)
+	path := "/.prov/" + CurrentName
+	w.AppendBeginTxn(3)
+	w.AppendRecord(3, record.Input(ref(1, 1), ref(2, 1)))
+	w.AppendEndTxn(3)
+	w.AppendData(ref(1, 1), 0, []byte("d"))
+
+	var a, b []Entry
+	if err := ScanFile(fs, path, func(e Entry) error { a = append(a, e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanFileFrom(fs, path, 0, func(e Entry) error { b = append(b, e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 4 {
+		t.Fatalf("entry streams diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Txn != b[i].Txn {
+			t.Fatalf("entry %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package record
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestDecodeValueRoundTrip is the contract Waldo's database rows rely on:
+// a bare AppendValue encoding decodes back through DecodeValue, with the
+// exact byte count consumed, for every value kind.
+func TestDecodeValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(-7), Int(1 << 60),
+		StringVal(""), StringVal("π and \x00 bytes"),
+		Bool(true), Bool(false),
+		Bytes(nil), Bytes([]byte{0xff, 0x00, 0x01}),
+		Ref(ref(1, 1)), Ref(ref(1<<40, 9)),
+	}
+	for _, v := range vals {
+		enc := AppendValue(nil, v)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("DecodeValue(%v): %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip: got %v want %v", got, v)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d bytes for %v", n, len(enc), v)
+		}
+	}
+}
+
+// TestDecodeValueTrailingBytes checks consumption stops at the value
+// boundary, which is what lets values be spliced into larger buffers.
+func TestDecodeValueTrailingBytes(t *testing.T) {
+	enc := AppendValue(nil, StringVal("x"))
+	enc = append(enc, 0xAA, 0xBB)
+	v, n, err := DecodeValue(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := v.AsString(); s != "x" {
+		t.Fatalf("got %v", v)
+	}
+	if n != len(enc)-2 {
+		t.Fatalf("consumed %d, want %d", n, len(enc)-2)
+	}
+}
+
+// TestDecodeValueCorrupt rejects truncated and malformed encodings
+// without panicking.
+func TestDecodeValueCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(KindInt)},            // varint missing
+		{byte(KindString), 5, 'a'}, // short string
+		{byte(KindBool)},           // payload missing
+		{byte(KindBool), 7},        // bad bool
+		{byte(KindRef), 1, 2, 3},   // short ref
+		{99},                       // unknown kind
+		{byte(KindBytes), 0xff, 0xff, 0xff, 0xff, 0x7f}, // huge length
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeValue(c); err == nil {
+			t.Fatalf("case %d: corrupt input decoded without error", i)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("case %d: unexpected error %v", i, err)
+		}
+	}
+}

@@ -246,6 +246,19 @@ func DecodeBundle(buf []byte) (*Bundle, int, error) {
 	return b, d.off, nil
 }
 
+// DecodeValue decodes one value (the AppendValue encoding) from buf,
+// returning it and the number of bytes consumed. Waldo stores bare encoded
+// values in its database rows; this decodes them without reframing a whole
+// record.
+func DecodeValue(buf []byte) (Value, int, error) {
+	d := &decoder{buf: buf}
+	v, err := d.value()
+	if err != nil {
+		return Value{}, 0, err
+	}
+	return v, d.off, nil
+}
+
 // DecodeRecord decodes one record from buf, returning it and the number of
 // bytes consumed.
 func DecodeRecord(buf []byte) (Record, int, error) {

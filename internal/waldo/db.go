@@ -6,7 +6,6 @@
 package waldo
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -26,10 +25,45 @@ import (
 //	n|<name>\x00<pn16x> → ""                            (name index)
 //	t|<type>\x00<pn16x> → ""                            (type index)
 //	v|<pn16x>|<ver8x> → ""                              (version index)
+//	N|<pn16x> → <ver8x><seq8x><name>                    (reverse name index)
+//	T|<pn16x> → <ver8x><seq8x><type>                    (reverse type index)
+//
+// The reverse indexes give NameOf/TypeOf O(log n) point lookups; the
+// <ver8x><seq8x> prefix makes "most recent wins" an ordinary string
+// comparison even when records are applied out of version order.
 
-func pnKey(pn pnode.PNode) string     { return fmt.Sprintf("%016x", uint64(pn)) }
-func verKey(v pnode.Version) string   { return fmt.Sprintf("%08x", uint32(v)) }
-func refKey(r pnode.Ref) string       { return pnKey(r.PNode) + "|" + verKey(r.Version) }
+const hexDigits = "0123456789abcdef"
+
+// appendHex64/appendHex32 are the hot-path replacements for
+// fmt.Sprintf("%016x"/"%08x"): fixed-width lowercase hex with no
+// interface boxing or format parsing.
+func appendHex64(dst []byte, v uint64) []byte {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return append(dst, b[:]...)
+}
+
+func appendHex32(dst []byte, v uint32) []byte {
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return append(dst, b[:]...)
+}
+
+func appendRefKey(dst []byte, r pnode.Ref) []byte {
+	dst = appendHex64(dst, uint64(r.PNode))
+	dst = append(dst, '|')
+	return appendHex32(dst, uint32(r.Version))
+}
+
+func pnKey(pn pnode.PNode) string     { return string(appendHex64(nil, uint64(pn))) }
+func verKey(v pnode.Version) string   { return string(appendHex32(nil, uint32(v))) }
+func refKey(r pnode.Ref) string       { return string(appendRefKey(nil, r)) }
 func parsePN(s string) pnode.PNode    { n, _ := strconv.ParseUint(s, 16, 64); return pnode.PNode(n) }
 func parseVer(s string) pnode.Version { n, _ := strconv.ParseUint(s, 16, 32); return pnode.Version(n) }
 
@@ -46,9 +80,15 @@ type DB struct {
 
 	mu        sync.Mutex
 	seqs      map[pnode.Ref]map[record.Attr]int // per-version per-attr row sequence
+	keyBuf    []byte                            // scratch for key encoding, guarded by mu
+	kvBuf     []kvdb.KV                         // scratch batch, guarded by mu
 	provBytes int64
 	idxBytes  int64
 	records   int64
+
+	// legacyIdx marks a database loaded from a snapshot that predates the
+	// N|/T| reverse indexes; NameOf/TypeOf then fall back to scanning.
+	legacyIdx bool
 }
 
 // NewDB creates an empty database.
@@ -58,62 +98,152 @@ func NewDB() *DB {
 
 // Apply stores one provenance record and maintains the indexes.
 func (db *DB) Apply(r record.Record) {
-	db.mu.Lock()
-	attrSeqs, ok := db.seqs[r.Subject]
-	if !ok {
-		attrSeqs = make(map[record.Attr]int)
-		db.seqs[r.Subject] = attrSeqs
-	}
-	seq := attrSeqs[r.Attr]
-	attrSeqs[r.Attr] = seq + 1
-	db.records++
-	db.mu.Unlock()
-
-	val := record.AppendValue(nil, r.Value)
-	aKey := "a|" + refKey(r.Subject) + "|" + string(r.Attr) + "|" + fmt.Sprintf("%08x", seq)
-	db.kv.Set(aKey, val)
-	db.addBytes(len(aKey)+len(val), 0)
-
-	vKey := "v|" + refKey(r.Subject)
-	if !db.kv.Set(vKey, nil) {
-		db.addBytes(0, len(vKey))
-	}
-
-	if dep, isRef := r.Value.AsRef(); isRef && r.Attr == record.AttrInput {
-		iKey := "i|" + refKey(r.Subject) + "|" + refKey(dep)
-		rKey := "r|" + refKey(dep) + "|" + refKey(r.Subject)
-		if !db.kv.Set(iKey, nil) {
-			db.addBytes(0, len(iKey))
-		}
-		if !db.kv.Set(rKey, nil) {
-			db.addBytes(0, len(rKey))
-		}
-		dKey := "v|" + refKey(dep)
-		if !db.kv.Set(dKey, nil) {
-			db.addBytes(0, len(dKey))
-		}
-	}
-	if s, isStr := r.Value.AsString(); isStr {
-		switch r.Attr {
-		case record.AttrName:
-			k := "n|" + s + "\x00" + pnKey(r.Subject.PNode)
-			if !db.kv.Set(k, nil) {
-				db.addBytes(0, len(k))
-			}
-		case record.AttrType:
-			k := "t|" + s + "\x00" + pnKey(r.Subject.PNode)
-			if !db.kv.Set(k, nil) {
-				db.addBytes(0, len(k))
-			}
-		}
-	}
+	var one [1]record.Record
+	one[0] = r
+	db.ApplyBatch(one[:])
 }
 
-func (db *DB) addBytes(prov, idx int) {
+// ApplyBatch stores a batch of provenance records and maintains the
+// indexes. This is Waldo's ingestion hot path: it takes the database lock
+// once for the whole batch, encodes every key into a shared buffer with
+// hand-rolled hex (no fmt on this path), and hands the store one sorted,
+// deduplicated run so the B-tree's amortized insertion applies.
+func (db *DB) ApplyBatch(recs []record.Record) {
+	if len(recs) == 0 {
+		return
+	}
 	db.mu.Lock()
-	db.provBytes += int64(prov)
-	db.idxBytes += int64(idx)
-	db.mu.Unlock()
+	defer db.mu.Unlock()
+
+	kvs := db.kvBuf[:0]
+	buf := db.keyBuf
+	mk := func() string { return string(buf) }
+
+	for _, r := range recs {
+		attrSeqs, ok := db.seqs[r.Subject]
+		if !ok {
+			attrSeqs = make(map[record.Attr]int)
+			db.seqs[r.Subject] = attrSeqs
+		}
+		seq := attrSeqs[r.Attr]
+		attrSeqs[r.Attr] = seq + 1
+		db.records++
+
+		val := record.AppendValue(nil, r.Value)
+		buf = append(buf[:0], 'a', '|')
+		buf = appendRefKey(buf, r.Subject)
+		buf = append(buf, '|')
+		buf = append(buf, r.Attr...)
+		buf = append(buf, '|')
+		buf = appendHex32(buf, uint32(seq))
+		kvs = append(kvs, kvdb.KV{Key: mk(), Val: val})
+
+		buf = append(buf[:0], 'v', '|')
+		buf = appendRefKey(buf, r.Subject)
+		kvs = append(kvs, kvdb.KV{Key: mk()})
+
+		if dep, isRef := r.Value.AsRef(); isRef && r.Attr == record.AttrInput {
+			buf = append(buf[:0], 'i', '|')
+			buf = appendRefKey(buf, r.Subject)
+			buf = append(buf, '|')
+			buf = appendRefKey(buf, dep)
+			kvs = append(kvs, kvdb.KV{Key: mk()})
+
+			buf = append(buf[:0], 'r', '|')
+			buf = appendRefKey(buf, dep)
+			buf = append(buf, '|')
+			buf = appendRefKey(buf, r.Subject)
+			kvs = append(kvs, kvdb.KV{Key: mk()})
+
+			buf = append(buf[:0], 'v', '|')
+			buf = appendRefKey(buf, dep)
+			kvs = append(kvs, kvdb.KV{Key: mk()})
+		}
+		if s, isStr := r.Value.AsString(); isStr {
+			var label, rev byte
+			switch r.Attr {
+			case record.AttrName:
+				label, rev = 'n', 'N'
+			case record.AttrType:
+				label, rev = 't', 'T'
+			default:
+				continue
+			}
+			buf = append(buf[:0], label, '|')
+			buf = append(buf, s...)
+			buf = append(buf, 0)
+			buf = appendHex64(buf, uint64(r.Subject.PNode))
+			kvs = append(kvs, kvdb.KV{Key: mk()})
+
+			// A legacy-snapshot database keeps answering NameOf/TypeOf
+			// from scans: seeding the reverse index here could shadow a
+			// newer label that exists only in the un-indexed legacy rows.
+			if db.legacyIdx {
+				continue
+			}
+			// Reverse index: value carries <ver8x><seq8x> so the most
+			// recent record wins regardless of application order.
+			rv := make([]byte, 0, 16+len(s))
+			rv = appendHex32(rv, uint32(r.Subject.Version))
+			rv = appendHex32(rv, uint32(seq))
+			rv = append(rv, s...)
+			buf = append(buf[:0], rev, '|')
+			buf = appendHex64(buf, uint64(r.Subject.PNode))
+			k := mk()
+			if old, exists := db.kv.Get(k); exists && len(old) >= 16 && string(old[:16]) > string(rv[:16]) {
+				continue // a newer version's label is already indexed
+			}
+			kvs = append(kvs, kvdb.KV{Key: k, Val: rv})
+		}
+	}
+
+	// One sorted, deduplicated run into the store. For equal keys the
+	// greatest value wins: index keys carry nil values (all equal), and
+	// reverse-index values order by their <ver8x><seq8x> prefix.
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].Key != kvs[j].Key {
+			return kvs[i].Key < kvs[j].Key
+		}
+		return string(kvs[i].Val) < string(kvs[j].Val)
+	})
+	out := kvs[:0]
+	for i := range kvs {
+		if i+1 < len(kvs) && kvs[i+1].Key == kvs[i].Key {
+			continue
+		}
+		out = append(out, kvs[i])
+	}
+	// Reverse-index rows are the only keys whose values get replaced;
+	// capture the outgoing lengths so idxBytes tracks the delta.
+	var oldLens map[int]int
+	for i := range out {
+		if c := out[i].Key[0]; c == 'N' || c == 'T' {
+			if old, ok := db.kv.Get(out[i].Key); ok {
+				if oldLens == nil {
+					oldLens = make(map[int]int)
+				}
+				oldLens[i] = len(old)
+			}
+		}
+	}
+	db.kv.SetBatch(out)
+
+	for i := range out {
+		size := len(out[i].Key) + len(out[i].Val)
+		switch {
+		case out[i].Key[0] == 'a':
+			db.provBytes += int64(size)
+		case out[i].New:
+			db.idxBytes += int64(size)
+		default:
+			if oldLen, ok := oldLens[i]; ok {
+				db.idxBytes += int64(len(out[i].Val) - oldLen)
+			}
+		}
+	}
+
+	db.kvBuf = kvs[:0]
+	db.keyBuf = buf[:0]
 }
 
 // Stats reports sizes for the space-overhead evaluation: records applied,
@@ -123,6 +253,10 @@ func (db *DB) Stats() (records, provBytes, idxBytes int64) {
 	defer db.mu.Unlock()
 	return db.records, db.provBytes, db.idxBytes
 }
+
+// TreeStats exposes the underlying store's tree shape (key count, node
+// count, depth) for the ingestion benchmarks.
+func (db *DB) TreeStats() kvdb.Stats { return db.kv.Stats() }
 
 // --- Query surface (used by the graph view and PQL) ---
 
@@ -134,24 +268,13 @@ func (db *DB) Attrs(ref pnode.Ref) []record.Record {
 	db.kv.AscendPrefix(prefix, func(k string, v []byte) bool {
 		rest := k[len(prefix):] // attr|seq
 		attr := rest[:len(rest)-9]
-		r, _, err := decodeValueOnly(ref, record.Attr(attr), v)
+		val, _, err := record.DecodeValue(v)
 		if err == nil {
-			out = append(out, r)
+			out = append(out, record.Record{Subject: ref, Attr: record.Attr(attr), Value: val})
 		}
 		return true
 	})
 	return out
-}
-
-func decodeValueOnly(ref pnode.Ref, attr record.Attr, enc []byte) (record.Record, int, error) {
-	// Values are stored with record.AppendValue; reuse the record decoder
-	// by framing a full record.
-	full := record.AppendRecord(nil, record.Record{Subject: ref, Attr: attr})
-	// Strip the zero-value placeholder (1 byte kind=invalid) and splice
-	// the real encoded value.
-	full = full[:len(full)-1]
-	full = append(full, enc...)
-	return record.DecodeRecord(full)
 }
 
 // AttrValues returns the values of one attribute on one version.
@@ -227,16 +350,23 @@ func (db *DB) labelScan(space, label string) []pnode.PNode {
 	return out
 }
 
-// NameOf returns the most recent NAME value of a pnode across versions.
+// NameOf returns the most recent NAME value of a pnode across versions: an
+// O(log n) point lookup in the reverse name index, with a bounded per-pnode
+// scan as the fallback for pre-index snapshots.
 func (db *DB) NameOf(pn pnode.PNode) (string, bool) {
+	if v, ok := db.kv.Get("N|" + pnKey(pn)); ok && len(v) >= 16 {
+		return string(v[16:]), true
+	}
+	if !db.isLegacy() {
+		return "", false
+	}
 	name, found := "", false
 	prefix := "a|" + pnKey(pn) + "|"
 	db.kv.AscendPrefix(prefix, func(k string, v []byte) bool {
 		rest := k[len(prefix):] // ver|attr|seq
 		if len(rest) > 9 && rest[9:len(rest)-9] == string(record.AttrName) {
-			ref := pnode.Ref{PNode: pn, Version: parseVer(rest[:8])}
-			if r, _, err := decodeValueOnly(ref, record.AttrName, v); err == nil {
-				if s, ok := r.Value.AsString(); ok {
+			if val, _, err := record.DecodeValue(v); err == nil {
+				if s, ok := val.AsString(); ok {
 					name, found = s, true
 				}
 			}
@@ -246,8 +376,16 @@ func (db *DB) NameOf(pn pnode.PNode) (string, bool) {
 	return name, found
 }
 
-// TypeOf returns the TYPE of a pnode, if recorded.
+// TypeOf returns the TYPE of a pnode, if recorded: an O(log n) point
+// lookup in the reverse type index. Only a database loaded from a snapshot
+// older than the index falls back to walking the t| space.
 func (db *DB) TypeOf(pn pnode.PNode) (string, bool) {
+	if v, ok := db.kv.Get("T|" + pnKey(pn)); ok && len(v) >= 16 {
+		return string(v[16:]), true
+	}
+	if !db.isLegacy() {
+		return "", false
+	}
 	typ, found := "", false
 	db.kv.AscendPrefix("t|", func(k string, _ []byte) bool {
 		body := k[2:]
@@ -263,6 +401,12 @@ func (db *DB) TypeOf(pn pnode.PNode) (string, bool) {
 		return true
 	})
 	return typ, found
+}
+
+func (db *DB) isLegacy() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.legacyIdx
 }
 
 // AllPNodes lists every pnode in the database, ascending.
@@ -320,11 +464,17 @@ func Load(r io.Reader) (*DB, error) {
 		}
 		return true
 	})
-	for _, prefix := range []string{"i|", "r|", "n|", "t|", "v|"} {
+	for _, prefix := range []string{"i|", "r|", "n|", "t|", "v|", "N|", "T|"} {
 		kv.AscendPrefix(prefix, func(k string, v []byte) bool {
 			db.idxBytes += int64(len(k) + len(v))
 			return true
 		})
+	}
+	// A snapshot with label indexes but no reverse indexes predates them:
+	// serve NameOf/TypeOf by scanning, as the old code did.
+	if (kv.HasPrefix("n|") || kv.HasPrefix("t|")) &&
+		!kv.HasPrefix("N|") && !kv.HasPrefix("T|") {
+		db.legacyIdx = true
 	}
 	return db, nil
 }

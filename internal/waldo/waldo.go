@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"passv2/internal/provlog"
@@ -21,6 +22,17 @@ type Volume interface {
 	Log() *provlog.Writer
 }
 
+// drainParallelism bounds how many volumes one Drain call ingests
+// concurrently. Volumes are independent logs feeding one database, whose
+// ApplyBatch serializes writers; the bound keeps a many-volume server from
+// holding every log's bytes in memory at once.
+const drainParallelism = 8
+
+// applyBatchSize is how many records drainTail accumulates before handing
+// them to DB.ApplyBatch. It bounds both memory during a cold ingest of a
+// huge log and the write-lock hold time per batch.
+const applyBatchSize = 4096
+
 // Waldo tails one or more volumes' provenance logs into one database. One
 // database may span several volumes — that is how queries cross layers and
 // machines (§3.1's anomaly case needs Kepler provenance from the local
@@ -28,16 +40,23 @@ type Volume interface {
 type Waldo struct {
 	DB *DB
 
-	mu     sync.Mutex
-	tails  []*tail
-	orphan int64 // records discarded as orphaned transactions
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	tails   []*tail
+	orphan  int64 // records discarded as orphaned transactions
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	decoded atomic.Int64 // log entries decoded across all drains
 }
 
+// tail tracks one volume's ingestion progress: a byte offset per log
+// sequence, so a drain reads and decodes only bytes it has never seen.
+// mu serializes drains of this tail (a manual Drain can race the daemon
+// goroutine) and guards the transaction buffer.
 type tail struct {
-	vol  Volume
-	seen map[uint64]int // entries already ingested, per log sequence
+	vol Volume
+
+	mu      sync.Mutex
+	offsets map[uint64]int64 // resume byte offset, per log sequence
 
 	// Open transactions: records held back until their ENDTXN arrives.
 	pending map[uint64][]record.Record
@@ -52,27 +71,60 @@ func (w *Waldo) Attach(vol Volume) {
 	defer w.mu.Unlock()
 	w.tails = append(w.tails, &tail{
 		vol:     vol,
-		seen:    make(map[uint64]int),
+		offsets: make(map[uint64]int64),
 		pending: make(map[uint64][]record.Record),
 	})
 }
 
+// EntriesDecoded reports how many log entries Waldo has decoded across all
+// drains since creation. Because tails resume from byte offsets, the delta
+// across one Drain equals the entries newly appended since the last one —
+// the property TestDrainProportionalWork pins down.
+func (w *Waldo) EntriesDecoded() int64 { return w.decoded.Load() }
+
 // Drain synchronously ingests everything new in every attached volume's
-// logs. It is idempotent: entries are counted per log file and never
-// re-applied.
+// logs, draining independent volumes concurrently (bounded). It is
+// idempotent: each tail resumes from its recorded byte offset, so bytes
+// are never decoded or applied twice.
 func (w *Waldo) Drain() error {
 	w.mu.Lock()
 	tails := append([]*tail(nil), w.tails...)
 	w.mu.Unlock()
-	for _, t := range tails {
-		if err := w.drainTail(t); err != nil {
-			return fmt.Errorf("waldo: %s: %w", t.vol.FSName(), err)
+	if len(tails) <= 1 {
+		for _, t := range tails {
+			if err := w.drainTail(t); err != nil {
+				return fmt.Errorf("waldo: %s: %w", t.vol.FSName(), err)
+			}
 		}
+		return nil
 	}
-	return nil
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, drainParallelism)
+		errc = make([]error, len(tails))
+	)
+	for i, t := range tails {
+		i, t := i, t
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := w.drainTail(t); err != nil {
+				errc[i] = fmt.Errorf("waldo: %s: %w", t.vol.FSName(), err)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errc...)
 }
 
+// drainTail ingests one volume's new log bytes: flush the writer, list the
+// log files, scan each from its recorded offset, and apply the decoded
+// records to the database in batches.
 func (w *Waldo) drainTail(t *tail) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.vol.Log().Flush(); err != nil {
 		return err
 	}
@@ -82,55 +134,64 @@ func (w *Waldo) drainTail(t *tail) error {
 		return err
 	}
 	currentSeq := t.vol.Log().CurrentSeq()
+	var batch []record.Record
+	flush := func() {
+		if len(batch) > 0 {
+			w.DB.ApplyBatch(batch)
+			batch = batch[:0]
+		}
+	}
 	for i, path := range files {
 		name := vfs.Base(path)
 		seq, rotated := provlog.ParseSeq(name)
 		if !rotated {
 			seq = currentSeq
 		}
-		skip := t.seen[seq]
-		n := 0
-		scanErr := provlog.ScanFile(lower, path, func(e provlog.Entry) error {
-			n++
-			if n <= skip {
-				return nil
+		off := t.offsets[seq]
+		next, scanErr := provlog.ScanFileFrom(lower, path, off, func(e provlog.Entry) error {
+			w.decoded.Add(1)
+			batch = t.collect(batch, e)
+			if len(batch) >= applyBatchSize {
+				flush()
 			}
-			w.applyEntry(t, e)
 			return nil
 		})
+		if next > off {
+			t.offsets[seq] = next
+		}
 		if errors.Is(scanErr, provlog.ErrTorn) && i == len(files)-1 {
 			scanErr = nil // torn active tail: ingest the intact prefix
 		}
 		if scanErr != nil {
+			flush()
 			return scanErr
 		}
-		if n > skip {
-			t.seen[seq] = n
-		}
 	}
+	flush()
 	return nil
 }
 
-func (w *Waldo) applyEntry(t *tail, e provlog.Entry) {
+// collect routes one decoded entry: loose records go straight into the
+// batch, transactional records are buffered until their ENDTXN.
+func (t *tail) collect(batch []record.Record, e provlog.Entry) []record.Record {
 	switch e.Type {
 	case provlog.EntryBeginTxn:
 		if _, ok := t.pending[e.Txn]; !ok {
 			t.pending[e.Txn] = nil
 		}
 	case provlog.EntryEndTxn:
-		for _, r := range t.pending[e.Txn] {
-			w.DB.Apply(r)
-		}
+		batch = append(batch, t.pending[e.Txn]...)
 		delete(t.pending, e.Txn)
 	case provlog.EntryRecord:
 		if e.Txn != 0 {
 			t.pending[e.Txn] = append(t.pending[e.Txn], e.Rec)
-			return
+			break
 		}
-		w.DB.Apply(e.Rec)
+		batch = append(batch, e.Rec)
 	case provlog.EntryData:
 		// Data descriptors serve crash recovery, not the database.
 	}
+	return batch
 }
 
 // OrphanTxns lists transactions that have begun but not ended across all
@@ -138,12 +199,15 @@ func (w *Waldo) applyEntry(t *tail, e provlog.Entry) {
 // left behind.
 func (w *Waldo) OrphanTxns() []uint64 {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	tails := append([]*tail(nil), w.tails...)
+	w.mu.Unlock()
 	var out []uint64
-	for _, t := range w.tails {
+	for _, t := range tails {
+		t.mu.Lock()
 		for id := range t.pending {
 			out = append(out, id)
 		}
+		t.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -155,15 +219,20 @@ func (w *Waldo) OrphanTxns() []uint64 {
 // daemon to identify the orphaned provenance").
 func (w *Waldo) DiscardOrphans() int {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	tails := append([]*tail(nil), w.tails...)
+	w.mu.Unlock()
 	n := 0
-	for _, t := range w.tails {
+	for _, t := range tails {
+		t.mu.Lock()
 		for id, recs := range t.pending {
 			n += len(recs)
 			delete(t.pending, id)
 		}
+		t.mu.Unlock()
 	}
+	w.mu.Lock()
 	w.orphan += int64(n)
+	w.mu.Unlock()
 	return n
 }
 
