@@ -17,6 +17,7 @@ import (
 	"passv2/internal/bench"
 	"passv2/internal/lasagna"
 	"passv2/internal/pnode"
+	"passv2/internal/pql"
 	"passv2/internal/record"
 	"passv2/internal/vfs"
 	"passv2/internal/waldo"
@@ -345,6 +346,43 @@ func BenchmarkWaldoIngest(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(2*steadyBatch)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	})
+}
+
+// BenchmarkPQLQuery measures the query planner (DESIGN.md §6): a selective
+// name-filtered ancestor query — the paper's §3.1/§4 attribution shape —
+// over a ≥100k-record database, evaluated by the planner/executor
+// ("planned": name-index seek, lazy binding expansion, memoized closures)
+// and by the retained cross-product reference evaluator ("naive"). Each
+// planned iteration re-plans and uses a fresh traversal memo; the
+// equivalence of the two result sets is asserted in-loop.
+func BenchmarkPQLQuery(b *testing.B) {
+	_, g, src := bench.QueryDataset(120000)
+	q, err := pql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := pql.EvalNaive(g, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := pql.Eval(g, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Format() != want.Format() {
+				b.Fatal("planned result diverges from naive")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pql.EvalNaive(g, q); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -12,6 +12,7 @@
 //	passbench -table 3            # space overheads
 //	passbench -table 1            # record-type inventory
 //	passbench -ingest             # Waldo log→database pipeline throughput
+//	passbench -query              # PQL planner vs naive evaluator
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
 //	passbench -records 100000     # ingest benchmark size
@@ -35,10 +36,18 @@ func main() {
 	records := flag.Int("records", 50000, "ingest: records in the cold-ingest log")
 	drains := flag.Int("drains", 200, "ingest: incremental drains in the steady-state phase")
 	batch := flag.Int("batch", 50, "ingest: records appended before each steady-state drain")
+	query := flag.Bool("query", false, "measure the PQL planner vs the naive evaluator")
+	queryRecords := flag.Int("query-records", 120000, "query: records in the benchmark database")
 	flag.Parse()
 
 	if *ingest || *all {
 		runIngest(*records, *drains, *batch)
+		if !*all {
+			return
+		}
+	}
+	if *query || *all {
+		runQuery(*queryRecords)
 		if !*all {
 			return
 		}
@@ -87,6 +96,12 @@ func runIngest(records, drains, batch int) {
 	res, err := bench.Ingest(records, drains, batch)
 	die(err)
 	bench.PrintIngest(os.Stdout, res)
+}
+
+func runQuery(records int) {
+	res, err := bench.Query(records)
+	die(err)
+	bench.PrintQuery(os.Stdout, res)
 }
 
 func die(err error) {

@@ -88,6 +88,10 @@ func anomaly() error {
 	if err := ws.MountNFS("/out", srvOut.Addr()); err != nil {
 		return err
 	}
+	// Deferred after the server closes, so it runs first: the servers'
+	// Close waits for their connection handlers, which only exit once the
+	// workstation's NFS clients disconnect.
+	defer ws.Close()
 	seed := ws.Spawn("seed", nil, nil)
 	seed.MkdirAll("/in/fmri")
 	for _, name := range kepler.ChallengeInputs() {

@@ -52,7 +52,7 @@ func main() {
 		return
 	}
 	// REPL: one query per line (or until a line ending in ';').
-	fmt.Println("PQL shell — end a query with ';', Ctrl-D to exit")
+	fmt.Println(`PQL shell — end a query with ';', Ctrl-D to exit, \explain <query>; shows the plan`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
@@ -79,12 +79,26 @@ func main() {
 }
 
 func run(g *graph.Graph, q string) {
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(q), `\explain`); ok {
+		explain(rest)
+		return
+	}
 	res, err := pql.Run(g, q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
 	fmt.Print(res.Format())
+}
+
+// explain prints the plan the engine would run for q, without executing it.
+func explain(q string) {
+	parsed, err := pql.Parse(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Print(pql.PlanQuery(parsed).Describe())
 }
 
 // demoDB builds the paper's atlas-x.gif ancestry chain so the shell can be

@@ -34,6 +34,10 @@ func main() {
 	defer srvOut.Close()
 	must(ws.MountNFS("/mnt/inputs", srvIn.Addr()))
 	must(ws.MountNFS("/mnt/outputs", srvOut.Addr()))
+	// Registered after the server defers so it runs first: Server.Close
+	// waits for its connection handlers, which only exit once the
+	// workstation's NFS clients disconnect.
+	defer ws.Close()
 
 	// Seed the challenge inputs on the input server.
 	seed := ws.Spawn("seed", nil, nil)

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"passv2/internal/graph"
+	"passv2/internal/pnode"
+	"passv2/internal/pql"
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+// queryChain is the ancestry-chain length of the synthetic query workload:
+// files link input-edges in blocks of this size, so one selective ancestor
+// query touches a bounded closure while the naive evaluator still has to
+// expand a closure per file in the database.
+const queryChain = 8
+
+// QueryDataset builds a synthetic provenance database of at least the given
+// record count (NAME + TYPE + chained INPUT records per file), and returns
+// the database, the graph over it, and the paper-shaped selective ancestor
+// query the benchmarks run (§3.1 attribution: all ancestry of one named
+// file).
+func QueryDataset(records int) (*waldo.DB, *graph.Graph, string) {
+	// Each file emits NAME + TYPE, and every file except a chain head (1
+	// in queryChain) emits an INPUT: 3f - ceil(f/queryChain) records from
+	// f files. Solve for f so the total meets the request.
+	files := (records*queryChain + 3*queryChain - 2) / (3*queryChain - 1)
+	if files < queryChain {
+		files = queryChain
+	}
+	db := waldo.NewDB()
+	batch := make([]record.Record, 0, 3*1024)
+	flush := func() {
+		db.ApplyBatch(batch)
+		batch = batch[:0]
+	}
+	for i := 1; i <= files; i++ {
+		ref := pnode.Ref{PNode: pnode.PNode(i), Version: 1}
+		batch = append(batch,
+			record.New(ref, record.AttrName, record.StringVal(fmt.Sprintf("/q/f%d", i))),
+			record.New(ref, record.AttrType, record.StringVal(record.TypeFile)))
+		if (i-1)%queryChain != 0 {
+			batch = append(batch, record.Input(ref, pnode.Ref{PNode: pnode.PNode(i - 1), Version: 1}))
+		}
+		if len(batch) >= 3*1024 {
+			flush()
+		}
+	}
+	flush()
+	// Target the last file of a complete chain so the closure is full-depth.
+	target := (files / queryChain) * queryChain
+	q := fmt.Sprintf(`select A from Provenance.file as F F.input* as A where F.name = "/q/f%d"`, target)
+	return db, graph.New(db), q
+}
+
+// QueryBenchResult reports the planned-vs-naive comparison for one
+// selective query over one database.
+type QueryBenchResult struct {
+	Records int     // records applied to the database
+	Query   string  // the measured query
+	Rows    int     // result rows (identical both ways)
+	NaiveMS float64 // one naive (cross-product) evaluation
+	PlanMS  float64 // one planned evaluation (fresh plan + memo each run)
+	Speedup float64
+	Plan    string // the executed plan, for the report
+}
+
+// Query measures the planner win: the same parsed query evaluated by the
+// naive cross-product evaluator and by the planner/executor, over a
+// database of at least `records` provenance records. The two result sets
+// are verified identical before any number is reported.
+func Query(records int) (QueryBenchResult, error) {
+	db, g, src := QueryDataset(records)
+	q, err := pql.Parse(src)
+	if err != nil {
+		return QueryBenchResult{}, err
+	}
+	res := QueryBenchResult{Query: src, Plan: pql.PlanQuery(q).Describe()}
+	recs, _, _ := db.Stats()
+	res.Records = int(recs)
+
+	start := time.Now()
+	naive, err := pql.EvalNaive(g, q)
+	if err != nil {
+		return res, err
+	}
+	res.NaiveMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	// Best of three planned runs: each run re-plans and uses a fresh memo,
+	// so nothing is amortized across runs.
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		planned, err := pql.Eval(g, q)
+		if err != nil {
+			return res, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		if i == 0 || ms < res.PlanMS {
+			res.PlanMS = ms
+		}
+		if planned.Format() != naive.Format() {
+			return res, fmt.Errorf("bench: planned and naive results differ")
+		}
+		res.Rows = len(planned.Rows)
+	}
+	if res.PlanMS > 0 {
+		res.Speedup = res.NaiveMS / res.PlanMS
+	}
+	return res, nil
+}
+
+// PrintQuery renders a QueryBenchResult.
+func PrintQuery(w io.Writer, r QueryBenchResult) {
+	fmt.Fprintf(w, "PQL query planner (selective ancestor query)\n")
+	fmt.Fprintf(w, "  database: %d records\n", r.Records)
+	fmt.Fprintf(w, "  query:    %s\n", r.Query)
+	fmt.Fprintf(w, "  naive:    %10.3f ms  (cross-product evaluator)\n", r.NaiveMS)
+	fmt.Fprintf(w, "  planned:  %10.3f ms  (%d rows, identical results)\n", r.PlanMS, r.Rows)
+	fmt.Fprintf(w, "  speedup:  %10.1fx\n", r.Speedup)
+	fmt.Fprint(w, indent(r.Plan, "  "))
+}
+
+func indent(s, pad string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimSuffix(s, "\n"), "\n") {
+		sb.WriteString(pad)
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -28,6 +28,18 @@ type Source interface {
 	AllRefs() []pnode.Ref
 }
 
+// RefScanner is an optional capability of a Source: index-backed
+// enumeration of object versions by type or name label, plus a point
+// type-membership probe. The PQL planner uses it to turn selective queries
+// into index seeks instead of database scans; waldo.DB implements it over
+// its n|/t|/v| key spaces. Sources without the capability fall back to
+// ByType/ByName plus per-pnode Versions.
+type RefScanner interface {
+	RefsByType(typ string) []pnode.Ref
+	RefsByName(name string) []pnode.Ref
+	HasTypedPNode(pn pnode.PNode, typ string) bool
+}
+
 // Graph is a union view over sources.
 type Graph struct {
 	srcs []Source
@@ -123,6 +135,89 @@ func (g *Graph) ByName(name string) []pnode.PNode {
 // ByType returns pnodes of the given TYPE in any source.
 func (g *Graph) ByType(typ string) []pnode.PNode {
 	return g.unionPNs(func(s Source) []pnode.PNode { return s.ByType(typ) })
+}
+
+// RefsByType returns every version of every pnode that has carried TYPE
+// typ. Over a single RefScanner source this is one index pass in the
+// source; over multiple sources it unions the typed pnodes first and then
+// takes the cross-source version union, because a pnode's TYPE record and
+// some of its versions can live in different databases.
+func (g *Graph) RefsByType(typ string) []pnode.Ref {
+	if len(g.srcs) == 1 {
+		if rs, ok := g.srcs[0].(RefScanner); ok {
+			return rs.RefsByType(typ)
+		}
+	}
+	return g.refsOf(g.ByType(typ))
+}
+
+// RefsByNameType returns every version of every pnode that has carried the
+// exact name and (when typ is non-empty) has carried TYPE typ — the root
+// enumeration behind the planner's name-equality pushdown. The name index
+// narrows the candidate set; type membership is a per-candidate point probe.
+// Over a single RefScanner source the name seek runs entirely in the
+// source; the multi-source union path mirrors RefsByType.
+func (g *Graph) RefsByNameType(name, typ string) []pnode.Ref {
+	if len(g.srcs) == 1 {
+		if rs, ok := g.srcs[0].(RefScanner); ok {
+			refs := rs.RefsByName(name)
+			if typ == "" {
+				return refs
+			}
+			// refs is freshly allocated and sorted by pnode: filter in
+			// place with one type probe per distinct pnode.
+			out := refs[:0]
+			cur, has := pnode.Invalid, false
+			for _, r := range refs {
+				if r.PNode != cur {
+					cur, has = r.PNode, rs.HasTypedPNode(r.PNode, typ)
+				}
+				if has {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+	}
+	pns := g.ByName(name)
+	if typ != "" {
+		kept := pns[:0]
+		for _, pn := range pns {
+			if g.HasType(pn, typ) {
+				kept = append(kept, pn)
+			}
+		}
+		pns = kept
+	}
+	return g.refsOf(pns)
+}
+
+func (g *Graph) refsOf(pns []pnode.PNode) []pnode.Ref {
+	var out []pnode.Ref
+	for _, pn := range pns {
+		for _, v := range g.Versions(pn) {
+			out = append(out, pnode.Ref{PNode: pn, Version: v})
+		}
+	}
+	return out
+}
+
+// HasType reports whether pn has ever carried TYPE typ in any source.
+func (g *Graph) HasType(pn pnode.PNode, typ string) bool {
+	for _, s := range g.srcs {
+		if rs, ok := s.(RefScanner); ok {
+			if rs.HasTypedPNode(pn, typ) {
+				return true
+			}
+			continue
+		}
+		for _, p := range s.ByType(typ) {
+			if p == pn {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // AllPNodes lists every pnode in every source.

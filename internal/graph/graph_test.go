@@ -98,3 +98,141 @@ func TestAddSource(t *testing.T) {
 		t.Fatalf("ancestors after AddSource = %v", anc)
 	}
 }
+
+func TestRefsByTypeMatchesNaive(t *testing.T) {
+	// Single source: served by the waldo RefScanner capability.
+	db := chainDB()
+	db.Apply(record.New(ref(2, 1), record.AttrType, record.StringVal(record.TypeFile)))
+	db.Apply(record.Input(ref(2, 2), ref(2, 1)))
+	g := New(db)
+	naive := func(g *Graph, typ string) []pnode.Ref {
+		var out []pnode.Ref
+		for _, pn := range g.ByType(typ) {
+			for _, v := range g.Versions(pn) {
+				out = append(out, pnode.Ref{PNode: pn, Version: v})
+			}
+		}
+		return out
+	}
+	check := func(g *Graph, typ string) {
+		t.Helper()
+		got, want := g.RefsByType(typ), naive(g, typ)
+		if len(got) != len(want) {
+			t.Fatalf("RefsByType(%q) = %v, want %v", typ, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RefsByType(%q)[%d] = %v, want %v", typ, i, got[i], want[i])
+			}
+		}
+	}
+	check(g, record.TypeFile)
+
+	// Multi source, with the TYPE record and one version split across
+	// databases: the union path must still find both versions.
+	db2 := waldo.NewDB()
+	db2.Apply(record.Input(ref(2, 3), ref(2, 2)))
+	g2 := New(db, db2)
+	check(g2, record.TypeFile)
+	found := false
+	for _, r := range g2.RefsByType(record.TypeFile) {
+		if r == ref(2, 3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cross-source version missing from RefsByType")
+	}
+}
+
+func TestRefsByNameTypeAndHasType(t *testing.T) {
+	db := chainDB() // pnode 1 has name "a", type FILE
+	g := New(db)
+	if got := g.RefsByNameType("a", record.TypeFile); len(got) != 1 || got[0] != ref(1, 1) {
+		t.Fatalf("RefsByNameType = %v", got)
+	}
+	// Wrong type filters the candidate out; empty type means any.
+	if got := g.RefsByNameType("a", record.TypeProc); len(got) != 0 {
+		t.Fatalf("type-mismatched RefsByNameType = %v", got)
+	}
+	if got := g.RefsByNameType("a", ""); len(got) != 1 {
+		t.Fatalf("untyped RefsByNameType = %v", got)
+	}
+	if !g.HasType(1, record.TypeFile) || g.HasType(1, record.TypeProc) || g.HasType(42, record.TypeFile) {
+		t.Fatal("HasType wrong")
+	}
+	// The capability must agree across sources: type in db2 only.
+	db2 := waldo.NewDB()
+	db2.Apply(record.New(ref(1, 1), record.AttrType, record.StringVal(record.TypeProc)))
+	g2 := New(db, db2)
+	if !g2.HasType(1, record.TypeProc) {
+		t.Fatal("HasType missed the second source")
+	}
+}
+
+func TestMemoMatchesClosures(t *testing.T) {
+	db := chainDB()
+	// Add a diamond and a cycle to exercise splicing and cycle safety:
+	// 3 ← 2 ← 1 (chain), plus 3 ← 4 ← 1 and 1 ← 3 (cycle back).
+	db.Apply(record.Input(ref(3, 1), ref(4, 1)))
+	db.Apply(record.Input(ref(4, 1), ref(1, 1)))
+	db.Apply(record.Input(ref(1, 1), ref(3, 1)))
+	g := New(db)
+	m := g.NewMemo()
+	refs := []pnode.Ref{ref(1, 1), ref(2, 1), ref(3, 1), ref(4, 1)}
+	// Warm the memo in an order that makes later closures hit earlier ones.
+	for _, r := range refs {
+		m.Closure(r, false)
+		m.Closure(r, true)
+	}
+	for _, r := range refs {
+		for pass := 0; pass < 2; pass++ { // second pass: fully cached
+			anc, desc := m.Closure(r, false), m.Closure(r, true)
+			wantAnc, wantDesc := g.Ancestors(r), g.Descendants(r)
+			if len(anc) != len(wantAnc) || len(desc) != len(wantDesc) {
+				t.Fatalf("memo closure size mismatch at %v: %v/%v vs %v/%v", r, anc, desc, wantAnc, wantDesc)
+			}
+			for i := range anc {
+				if anc[i] != wantAnc[i] {
+					t.Fatalf("memo ancestors(%v) = %v, want %v", r, anc, wantAnc)
+				}
+			}
+			for i := range desc {
+				if desc[i] != wantDesc[i] {
+					t.Fatalf("memo descendants(%v) = %v, want %v", r, desc, wantDesc)
+				}
+			}
+		}
+	}
+	if in := m.Inputs(ref(3, 1)); len(in) != len(g.Inputs(ref(3, 1))) {
+		t.Fatalf("memo inputs = %v", in)
+	}
+	if dep := m.Dependents(ref(1, 1)); len(dep) != len(g.Dependents(ref(1, 1))) {
+		t.Fatalf("memo dependents = %v", dep)
+	}
+}
+
+func TestMemoSplicesMemoizedClosures(t *testing.T) {
+	// A long chain: memoize the tail's closure first, then ask for the
+	// head's; the spliced result must equal a fresh graph walk.
+	db := waldo.NewDB()
+	const n = 64
+	for i := 2; i <= n; i++ {
+		db.Apply(record.Input(ref(uint64(i), 1), ref(uint64(i-1), 1)))
+	}
+	g := New(db)
+	m := g.NewMemo()
+	for i := uint64(2); i <= n; i++ { // tail-first warm-up
+		m.Closure(ref(i, 1), false)
+	}
+	got := m.Closure(ref(n, 1), false)
+	want := g.Ancestors(ref(n, 1))
+	if len(got) != len(want) {
+		t.Fatalf("spliced closure = %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("spliced closure[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

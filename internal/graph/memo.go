@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"sort"
+
+	"passv2/internal/pnode"
+)
+
+// Memo is a per-query traversal cache over a Graph. A query that expands
+// many overlapping ancestry (or descendant) closures — every selective PQL
+// query with an input*/input+ step does — pays for each edge scan and each
+// reachability frontier once instead of once per root:
+//
+//   - adjacency (Inputs/Dependents) is cached per ref, so repeated BFS over
+//     shared graph regions does map hits instead of index scans;
+//   - full closures are cached per start ref, and a BFS that reaches a node
+//     whose closure is already memoized splices that set in instead of
+//     re-walking the frontier behind it.
+//
+// A Memo's lifetime is one query evaluation: it holds no invalidation
+// logic, so it must be discarded before the underlying databases change.
+// It is not safe for concurrent use, and callers must not modify returned
+// slices.
+type Memo struct {
+	g           *Graph
+	inputs      map[pnode.Ref][]pnode.Ref
+	dependents  map[pnode.Ref][]pnode.Ref
+	ancestors   map[pnode.Ref][]pnode.Ref
+	descendants map[pnode.Ref][]pnode.Ref
+}
+
+// NewMemo creates an empty traversal cache over g.
+func (g *Graph) NewMemo() *Memo {
+	return &Memo{
+		g:           g,
+		inputs:      make(map[pnode.Ref][]pnode.Ref),
+		dependents:  make(map[pnode.Ref][]pnode.Ref),
+		ancestors:   make(map[pnode.Ref][]pnode.Ref),
+		descendants: make(map[pnode.Ref][]pnode.Ref),
+	}
+}
+
+// Inputs is Graph.Inputs with per-ref caching.
+func (m *Memo) Inputs(ref pnode.Ref) []pnode.Ref {
+	if out, ok := m.inputs[ref]; ok {
+		return out
+	}
+	out := m.g.Inputs(ref)
+	m.inputs[ref] = out
+	return out
+}
+
+// Dependents is Graph.Dependents with per-ref caching.
+func (m *Memo) Dependents(ref pnode.Ref) []pnode.Ref {
+	if out, ok := m.dependents[ref]; ok {
+		return out
+	}
+	out := m.g.Dependents(ref)
+	m.dependents[ref] = out
+	return out
+}
+
+// Closure returns every ref reachable from start along INPUT edges (against
+// them when reverse is set), excluding start itself, sorted. It matches
+// Graph.Ancestors/Descendants semantics, including on cyclic databases.
+func (m *Memo) Closure(start pnode.Ref, reverse bool) []pnode.Ref {
+	cache, step := m.ancestors, m.Inputs
+	if reverse {
+		cache, step = m.descendants, m.Dependents
+	}
+	if out, ok := cache[start]; ok {
+		return out
+	}
+	seen := map[pnode.Ref]bool{start: true}
+	var out []pnode.Ref
+	queue := append([]pnode.Ref(nil), step(start)...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		// Closures are monotone, so a memoized node's reachability set can
+		// be spliced in whole; its frontier needs no re-walk.
+		if done, ok := cache[n]; ok {
+			for _, r := range done {
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+			continue
+		}
+		queue = append(queue, step(n)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	cache[start] = out
+	return out
+}

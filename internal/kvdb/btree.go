@@ -463,6 +463,43 @@ func prefixEnd(prefix string) string {
 	return ""
 }
 
+// MaxInPrefix returns the greatest key carrying the prefix and its value,
+// found by one bounded root-to-leaf descent — no iteration over the prefix
+// range. Waldo's LatestVersion is built on it.
+func (db *DB) MaxInPrefix(prefix string) (string, []byte, bool) {
+	k, v, ok := db.maxBelow(prefixEnd(prefix))
+	if !ok || !strings.HasPrefix(k, prefix) {
+		return "", nil, false
+	}
+	return k, v, true
+}
+
+// maxBelow returns the greatest key strictly less than hi; hi == "" means
+// "no upper bound" (the greatest key in the store).
+func (db *DB) maxBelow(hi string) (string, []byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var (
+		bk    string
+		bv    []byte
+		found bool
+	)
+	n := db.root
+	for {
+		i := len(n.keys)
+		if hi != "" {
+			i = sort.SearchStrings(n.keys, hi)
+		}
+		if i > 0 {
+			bk, bv, found = n.keys[i-1], n.vals[i-1], true
+		}
+		if n.leaf() {
+			return bk, bv, found
+		}
+		n = n.children[i]
+	}
+}
+
 // CountPrefix counts keys with the prefix.
 func (db *DB) CountPrefix(prefix string) int {
 	n := 0

@@ -247,3 +247,41 @@ func BenchmarkGet(b *testing.B) {
 		db.Get(fmt.Sprintf("key%09d", i%100000))
 	}
 }
+
+func TestMaxInPrefix(t *testing.T) {
+	db := New()
+	if _, _, ok := db.MaxInPrefix("v|"); ok {
+		t.Fatal("empty store must miss")
+	}
+	// Enough keys to force a multi-level tree, across three prefixes.
+	for i := 0; i < 500; i++ {
+		db.Set(fmt.Sprintf("a|%04d", i), []byte("a"))
+		db.Set(fmt.Sprintf("m|%04d", i), []byte{byte(i)})
+		db.Set(fmt.Sprintf("z|%04d", i), []byte("z"))
+	}
+	k, v, ok := db.MaxInPrefix("m|")
+	if !ok || k != "m|0499" || len(v) != 1 || v[0] != byte(499%256) {
+		t.Fatalf("MaxInPrefix(m|) = %q,%v,%v", k, v, ok)
+	}
+	// A bounded sub-prefix must not leak into its neighbors.
+	if k, _, ok := db.MaxInPrefix("m|01"); !ok || k != "m|0199" {
+		t.Fatalf("MaxInPrefix(m|01) = %q,%v", k, ok)
+	}
+	if _, _, ok := db.MaxInPrefix("n|"); ok {
+		t.Fatal("absent prefix must miss")
+	}
+	// Greatest prefix overall (nothing sorts after z|).
+	if k, _, ok := db.MaxInPrefix("z|"); !ok || k != "z|0499" {
+		t.Fatalf("MaxInPrefix(z|) = %q,%v", k, ok)
+	}
+	// Agreement with a full prefix scan, for every per-item prefix.
+	for i := 0; i < 500; i += 17 {
+		prefix := fmt.Sprintf("a|%03d", i/10)
+		var last string
+		db.AscendPrefix(prefix, func(k string, _ []byte) bool { last = k; return true })
+		k, _, ok := db.MaxInPrefix(prefix)
+		if (last == "") != !ok || k != last {
+			t.Fatalf("MaxInPrefix(%q) = %q,%v; scan says %q", prefix, k, ok, last)
+		}
+	}
+}

@@ -35,7 +35,7 @@ type Closure int
 const (
 	ClosureNone Closure = iota // exactly one step
 	ClosureStar                // zero or more
-	CLosurePlus                // one or more
+	ClosurePlus                // one or more
 	ClosureOpt                 // zero or one
 )
 

@@ -1,0 +1,154 @@
+package pql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passv2/internal/graph"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+// equivalenceQueries is the fixed battery run over every random graph:
+// pushdown-eligible shapes (name/type equalities), pushdown-ineligible
+// shapes (OR, negation, LIKE, cross-binding predicates), dependent
+// bindings, closures in both directions, exists, count, and projections.
+var equivalenceQueries = []string{
+	`select A from Provenance.file as F F.input* as A where F.name = "n1"`,
+	`select F from Provenance.obj as F where F.type = "PROC"`,
+	`select F from Provenance.file as F where F.name = "n2" and F.version = 1`,
+	`select F from Provenance.file as F where F.name = "n1" or F.name = "n2"`,
+	`select F from Provenance.file as F where not (F.name = "n1")`,
+	`select A from Provenance.file as F F.input+ as A where A.name = "n3" and F.name != "n0"`,
+	`select D from Provenance.file as F F.input~* as D where F.name = "n1"`,
+	`select F from Provenance.proc as F where exists(F.input)`,
+	`select count(A) from Provenance.obj as F F.input* as A where F.type = "FILE"`,
+	`select F.name from Provenance.file as F where F.name like "n*"`,
+	`select A, B from Provenance.file as F F.input as A A.input* as B where F.name = "n1"`,
+	`select F.name, F.version from Provenance.proc as F`,
+	`select X from Provenance.file as F F.input? as X where X.version <= 2`,
+	`select A from Provenance.dataset.input* as A where A.name = "n4"`,
+	`select F from Provenance.file as F where "n2" = F.name`,
+	`select X from Provenance.obj as X where X.type = "FILE" and exists(X.input~)`,
+	`select count(F) from Provenance.file as F where true`,
+}
+
+// randomSources builds one or two provenance databases with colliding
+// names, multi-version pnodes, renames, and random (possibly cyclic) INPUT
+// edges — the adversarial inputs for planner/evaluator equivalence.
+func randomSources(rng *rand.Rand) []*waldo.DB {
+	nDBs := 1 + rng.Intn(2)
+	dbs := make([]*waldo.DB, nDBs)
+	for i := range dbs {
+		dbs[i] = waldo.NewDB()
+	}
+	pick := func() *waldo.DB { return dbs[rng.Intn(nDBs)] }
+	types := []string{record.TypeFile, record.TypeProc, record.TypeDataset}
+
+	n := 8 + rng.Intn(16)
+	maxVer := make([]uint32, n+1)
+	for pn := 1; pn <= n; pn++ {
+		maxVer[pn] = 1 + uint32(rng.Intn(3))
+		r := pnode.Ref{PNode: pnode.PNode(pn), Version: 1}
+		pick().Apply(record.New(r, record.AttrType, record.StringVal(types[rng.Intn(len(types))])))
+		pick().Apply(record.New(r, record.AttrName, record.StringVal(fmt.Sprintf("n%d", rng.Intn(8)))))
+		if maxVer[pn] > 1 && rng.Intn(3) == 0 { // rename at a later version
+			r2 := pnode.Ref{PNode: pnode.PNode(pn), Version: pnode.Version(maxVer[pn])}
+			pick().Apply(record.New(r2, record.AttrName, record.StringVal(fmt.Sprintf("n%d", rng.Intn(8)))))
+		}
+		if rng.Intn(4) == 0 { // a second TYPE for some objects
+			pick().Apply(record.New(r, record.AttrType, record.StringVal(types[rng.Intn(len(types))])))
+		}
+	}
+	edges := 2 * n
+	for e := 0; e < edges; e++ {
+		sub := pnode.Ref{PNode: pnode.PNode(1 + rng.Intn(n)), Version: pnode.Version(1 + rng.Intn(3))}
+		dep := pnode.Ref{PNode: pnode.PNode(1 + rng.Intn(n)), Version: pnode.Version(1 + rng.Intn(3))}
+		if sub == dep {
+			continue
+		}
+		pick().Apply(record.Input(sub, dep))
+	}
+	return dbs
+}
+
+// TestPlannedMatchesNaiveOnRandomGraphs is the planner equivalence suite:
+// over many random multi-source graphs, the planned executor and the naive
+// cross-product evaluator must produce byte-identical result tables for
+// every query shape in the battery.
+func TestPlannedMatchesNaiveOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dbs := randomSources(rng)
+		srcs := make([]graph.Source, len(dbs))
+		for i, db := range dbs {
+			srcs[i] = db
+		}
+		g := graph.New(srcs...)
+		for _, src := range equivalenceQueries {
+			q, err := Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: parse %q: %v", seed, src, err)
+			}
+			naive, nerr := EvalNaive(g, q)
+			planned, perr := Eval(g, q)
+			if nerr != nil || perr != nil {
+				t.Fatalf("seed %d: %q: naive err=%v planned err=%v", seed, src, nerr, perr)
+			}
+			if naive.Format() != planned.Format() {
+				t.Fatalf("seed %d: %q:\nnaive:\n%s\nplanned:\n%s", seed, src, naive.Format(), planned.Format())
+			}
+		}
+	}
+}
+
+// TestPlannedMatchesNaiveOnPaperGraph runs the battery over the fixed
+// paper example too, where expected results are human-checkable.
+func TestPlannedMatchesNaiveOnPaperGraph(t *testing.T) {
+	g := buildGraph()
+	for _, src := range equivalenceQueries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		naive, nerr := EvalNaive(g, q)
+		planned, perr := Eval(g, q)
+		if nerr != nil || perr != nil {
+			t.Fatalf("%q: naive err=%v planned err=%v", src, nerr, perr)
+		}
+		if naive.Format() != planned.Format() {
+			t.Fatalf("%q:\nnaive:\n%s\nplanned:\n%s", src, naive.Format(), planned.Format())
+		}
+	}
+}
+
+// TestPlanExecuteReusable pins that one Plan can be executed repeatedly
+// (and over different graphs) without state leaking between runs.
+func TestPlanExecuteReusable(t *testing.T) {
+	q, err := Parse(`select A from Provenance.file as F F.input* as A where F.name = "atlas-x.gif"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PlanQuery(q)
+	g := buildGraph()
+	first, err := p.Execute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Execute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Format() != second.Format() {
+		t.Fatal("re-executed plan diverged")
+	}
+	empty, err := p.Execute(graph.New(waldo.NewDB()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Rows) != 0 {
+		t.Fatalf("empty graph rows = %v", empty.Rows)
+	}
+}

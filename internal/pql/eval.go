@@ -57,7 +57,8 @@ type Result struct {
 	Rows    [][]Value
 }
 
-// Run parses and evaluates a query over g.
+// Run parses and evaluates a query over g (through the planner; see
+// plan.go).
 func Run(g *graph.Graph, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
@@ -66,14 +67,21 @@ func Run(g *graph.Graph, src string) (*Result, error) {
 	return Eval(g, q)
 }
 
+// evaluator carries the expression-evaluation state shared by the planned
+// executor (exec.go) and the naive reference evaluator. With memo set,
+// INPUT-edge traversals run through the per-query cache.
 type evaluator struct {
-	g *graph.Graph
+	g    *graph.Graph
+	memo *graph.Memo
 }
 
 type tuple map[string]pnode.Ref
 
-// Eval evaluates a parsed query over g.
-func Eval(g *graph.Graph, q *Query) (*Result, error) {
+// EvalNaive evaluates a parsed query by materializing the full
+// cross-product of the FROM bindings and then filtering — the pre-planner
+// evaluator, retained verbatim as the reference implementation for the
+// planner equivalence suite and the BenchmarkPQLQuery baseline.
+func EvalNaive(g *graph.Graph, q *Query) (*Result, error) {
 	ev := &evaluator{g: g}
 	tuples, err := ev.bind(q.Bindings)
 	if err != nil {
@@ -142,32 +150,41 @@ func (ev *evaluator) pathRefs(p Path, tu tuple) ([]pnode.Ref, error) {
 	return frontier, nil
 }
 
-// classRefs enumerates the roots of Provenance.<class>.
-func (ev *evaluator) classRefs(class string) []pnode.Ref {
-	var typ string
+// classType maps Provenance.<class> to the record TYPE it enumerates; all
+// reports the classes that mean "every object".
+func classType(class string) (typ string, all bool) {
 	switch class {
 	case "obj", "object", "any":
-		return ev.g.AllRefs()
+		return "", true
 	case "file":
-		typ = record.TypeFile
+		return record.TypeFile, false
 	case "proc", "process":
-		typ = record.TypeProc
+		return record.TypeProc, false
 	case "pipe":
-		typ = record.TypePipe
+		return record.TypePipe, false
 	case "session":
-		typ = record.TypeSession
+		return record.TypeSession, false
 	case "operator":
-		typ = record.TypeOperator
+		return record.TypeOperator, false
 	case "function":
-		typ = record.TypeFunction
+		return record.TypeFunction, false
 	case "invocation":
-		typ = record.TypeInvoke
+		return record.TypeInvoke, false
 	case "dataset":
-		typ = record.TypeDataset
+		return record.TypeDataset, false
 	case "document":
-		typ = record.TypeDocument
+		return record.TypeDocument, false
 	default:
-		typ = strings.ToUpper(class)
+		return strings.ToUpper(class), false
+	}
+}
+
+// classRefs enumerates the roots of Provenance.<class> the naive way:
+// typed pnodes, then every version of each.
+func (ev *evaluator) classRefs(class string) []pnode.Ref {
+	typ, all := classType(class)
+	if all {
+		return ev.g.AllRefs()
 	}
 	var out []pnode.Ref
 	for _, pn := range ev.g.ByType(typ) {
@@ -203,11 +220,17 @@ func (ev *evaluator) applyStep(frontier []pnode.Ref, s Step) ([]pnode.Ref, error
 			for _, r := range follow(start) {
 				add(r)
 			}
-		case ClosureStar, CLosurePlus:
-			visited := map[pnode.Ref]bool{start: true}
+		case ClosureStar, ClosurePlus:
 			if s.Closure == ClosureStar {
 				add(start)
 			}
+			if ev.memo != nil && s.Edge == "input" {
+				for _, r := range ev.memo.Closure(start, s.Reverse) {
+					add(r)
+				}
+				continue
+			}
+			visited := map[pnode.Ref]bool{start: true}
 			queue := follow(start)
 			for len(queue) > 0 {
 				n := queue[0]
@@ -227,6 +250,12 @@ func (ev *evaluator) applyStep(frontier []pnode.Ref, s Step) ([]pnode.Ref, error
 
 func (ev *evaluator) edgeFunc(s Step) (func(pnode.Ref) []pnode.Ref, error) {
 	if s.Edge == "input" {
+		if ev.memo != nil {
+			if s.Reverse {
+				return ev.memo.Dependents, nil
+			}
+			return ev.memo.Inputs, nil
+		}
 		if s.Reverse {
 			return ev.g.Dependents, nil
 		}

@@ -1,0 +1,133 @@
+package pql
+
+import (
+	"fmt"
+
+	"passv2/internal/graph"
+	"passv2/internal/pnode"
+)
+
+// Eval plans and executes a parsed query over g. For every query that
+// evaluates without error the result set is identical to EvalNaive's (the
+// equivalence suite pins this; see plan.go for the error caveat) — only
+// the work differs: sargable root predicates become index seeks, dependent
+// bindings expand lazily per surviving tuple, and closure steps share one
+// per-query traversal memo.
+func Eval(g *graph.Graph, q *Query) (*Result, error) {
+	return PlanQuery(q).Execute(g)
+}
+
+// Execute runs the plan over g. A Plan is immutable and may be executed
+// concurrently; each execution gets its own traversal memo.
+func (p *Plan) Execute(g *graph.Graph) (*Result, error) {
+	ev := &evaluator{g: g, memo: g.NewMemo()}
+	ex := &executor{p: p, ev: ev, roots: make([][]pnode.Ref, len(p.binds))}
+	tu := make(tuple, len(p.binds))
+	if err := ex.walk(0, tu); err != nil {
+		return nil, err
+	}
+	return ev.project(p.q.Select, ex.kept)
+}
+
+// executor is the state of one plan execution.
+type executor struct {
+	p     *Plan
+	ev    *evaluator
+	roots [][]pnode.Ref // cached tuple-independent root sets, per binding
+	kept  []tuple
+}
+
+// walk expands binding i for the partial tuple tu, applies the conjuncts
+// that become decidable at i, and recurses only for tuples that survive —
+// the lazy replacement for cross-product-then-filter.
+func (ex *executor) walk(i int, tu tuple) error {
+	if i == len(ex.p.binds) {
+		for _, f := range ex.p.residual {
+			ok, err := ex.ev.evalBool(f, tu)
+			if err != nil || !ok {
+				return err
+			}
+		}
+		kept := make(tuple, len(tu))
+		for k, v := range tu {
+			kept[k] = v
+		}
+		ex.kept = append(ex.kept, kept)
+		return nil
+	}
+	bp := &ex.p.binds[i]
+	refs, err := ex.bindRefs(i, bp, tu)
+	if err != nil {
+		return err
+	}
+	prev, had := tu[bp.b.Var]
+	defer func() {
+		if had {
+			tu[bp.b.Var] = prev
+		} else {
+			delete(tu, bp.b.Var)
+		}
+	}()
+	for _, r := range refs {
+		tu[bp.b.Var] = r
+		survives := true
+		for _, f := range bp.filters {
+			ok, err := ex.ev.evalBool(f, tu)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				survives = false
+				break
+			}
+		}
+		if !survives {
+			continue
+		}
+		if err := ex.walk(i+1, tu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindRefs enumerates the candidate refs of binding i under tu, through the
+// planned access path. Class-rooted bindings are tuple-independent, so
+// their (root enumeration + path steps) result is computed once per
+// execution and reused across outer tuples.
+func (ex *executor) bindRefs(i int, bp *bindPlan, tu tuple) ([]pnode.Ref, error) {
+	if bp.access != accessVar {
+		if cached := ex.roots[i]; cached != nil {
+			return cached, nil
+		}
+	}
+	var frontier []pnode.Ref
+	switch bp.access {
+	case accessVar:
+		r, ok := tu[bp.b.Path.RootVar]
+		if !ok {
+			return nil, fmt.Errorf("pql: unbound variable %q", bp.b.Path.RootVar)
+		}
+		frontier = []pnode.Ref{r}
+	case accessAllRefs:
+		frontier = ex.ev.g.AllRefs()
+	case accessTypeScan:
+		frontier = ex.ev.g.RefsByType(bp.typ)
+	case accessNameSeek:
+		frontier = ex.ev.g.RefsByNameType(bp.name, bp.typ)
+	}
+	for _, step := range bp.b.Path.Steps {
+		var err error
+		frontier, err = ex.ev.applyStep(frontier, step)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if bp.access != accessVar {
+		if frontier == nil {
+			frontier = []pnode.Ref{} // distinguish "computed, empty" from "not yet"
+		}
+		ex.roots[i] = frontier
+	}
+	return frontier, nil
+}

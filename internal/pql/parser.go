@@ -149,7 +149,7 @@ func (p *parser) path() (Path, error) {
 			step.Closure = ClosureStar
 		case tokPlus:
 			p.next()
-			step.Closure = CLosurePlus
+			step.Closure = ClosurePlus
 		case tokQuestion:
 			p.next()
 			step.Closure = ClosureOpt

@@ -1,0 +1,308 @@
+package pql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The planner splits Eval into two phases: PlanQuery analyzes the parsed
+// query once — WHERE conjuncts are assigned to the earliest binding that
+// decides them, and sargable predicates on binding roots are pushed into
+// index-backed root enumeration — and the executor (exec.go) then expands
+// bindings lazily per tuple, so dependent paths are only walked for tuples
+// that survive the already-decidable conjuncts.
+//
+// Pushdown never replaces a predicate: the index narrows the candidate
+// roots to a superset of the matches (labels index every value an object
+// has ever carried, not just the current one), and the conjunct is still
+// evaluated as a filter, so planned and naive evaluation return identical
+// result sets for every query that evaluates without error. Evaluation
+// *errors* are the one place the two can part ways: reordering conjuncts
+// and pruning tuples early means a failing conjunct (type-mismatched
+// comparison, unbound variable) may run for a partial tuple the naive
+// cross-product never built, or be skipped for tuples pushdown filtered
+// out — the usual planner contract.
+
+// accessKind is how a binding's roots are enumerated.
+type accessKind int
+
+const (
+	accessAllRefs  accessKind = iota // every object version (Provenance.obj)
+	accessTypeScan                   // type-index scan
+	accessNameSeek                   // name-index seek, optionally type-checked
+	accessVar                        // rooted at an earlier binding's variable
+)
+
+// bindPlan is the planned form of one FROM binding.
+type bindPlan struct {
+	b       Binding
+	access  accessKind
+	typ     string // record TYPE for accessTypeScan/accessNameSeek; "" = any
+	name    string // name literal for accessNameSeek
+	filters []Expr // WHERE conjuncts decidable once this binding is bound
+}
+
+// Plan is an executable query plan. Build one with PlanQuery; it is
+// read-only afterwards and may be executed any number of times, over any
+// graph.
+type Plan struct {
+	q        *Query
+	binds    []bindPlan
+	residual []Expr // WHERE conjuncts of a binding-less query
+}
+
+// PlanQuery plans a parsed query. Planning is purely syntactic — it
+// consults no data — so the same plan serves any database.
+func PlanQuery(q *Query) *Plan {
+	p := &Plan{q: q, binds: make([]bindPlan, len(q.Bindings))}
+	bound := make(map[string]int, len(q.Bindings))
+	for i, b := range q.Bindings {
+		bp := bindPlan{b: b}
+		switch {
+		case b.Path.RootVar != "":
+			bp.access = accessVar
+		default:
+			typ, all := classType(b.Path.Class)
+			if all {
+				bp.access = accessAllRefs
+			} else {
+				bp.access = accessTypeScan
+				bp.typ = typ
+			}
+		}
+		p.binds[i] = bp
+		bound[b.Var] = i // duplicate variables: the last binding wins
+	}
+	for _, c := range conjuncts(q.Where) {
+		if len(p.binds) == 0 {
+			p.residual = append(p.residual, c)
+			continue
+		}
+		at := 0
+		for v := range exprVars(c) {
+			i, ok := bound[v]
+			if !ok {
+				// Unbound variable: defer to the last binding, so the
+				// error is reported only for tuples that survive every
+				// decidable filter (mirroring naive AND short-circuiting).
+				i = len(p.binds) - 1
+			}
+			if i > at {
+				at = i
+			}
+		}
+		bp := &p.binds[at]
+		p.pushdown(bp, c)
+		bp.filters = append(bp.filters, c)
+	}
+	return p
+}
+
+// pushdown upgrades bp's access path when c is a sargable equality on the
+// binding's root. Eligible shapes: the binding is class-rooted with no path
+// steps, and c is <var>.name = "lit" or <var>.type = "lit" (either operand
+// order) over that variable alone. OR, negation, and cross-binding
+// predicates are never pushed.
+func (p *Plan) pushdown(bp *bindPlan, c Expr) {
+	if bp.access == accessVar || len(bp.b.Path.Steps) > 0 {
+		return
+	}
+	attr, lit, ok := eqAttrLit(c, bp.b.Var)
+	if !ok {
+		return
+	}
+	switch attr {
+	case "name":
+		if bp.access != accessNameSeek {
+			bp.name = lit
+			bp.access = accessNameSeek
+		}
+	case "type":
+		// Only useful when the class doesn't already pin a type; an
+		// accessNameSeek keeps its (more selective) name.
+		if bp.access == accessAllRefs {
+			bp.typ = lit
+			bp.access = accessTypeScan
+		}
+	}
+}
+
+// eqAttrLit matches c against <v>.<attr> = "lit" with either operand order.
+func eqAttrLit(c Expr, v string) (attr, lit string, ok bool) {
+	be, isBin := c.(*BinaryExpr)
+	if !isBin || be.Op != "=" {
+		return "", "", false
+	}
+	try := func(l, r Expr) (string, string, bool) {
+		a, aok := l.(*AttrExpr)
+		s, sok := r.(*StringLit)
+		if aok && sok && a.Var == v {
+			return a.Attr, s.V, true
+		}
+		return "", "", false
+	}
+	if attr, lit, ok = try(be.L, be.R); ok {
+		return attr, lit, true
+	}
+	return try(be.R, be.L)
+}
+
+// conjuncts flattens the top-level AND spine of e, preserving left-to-right
+// order. A nil WHERE yields none.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "and" {
+		return append(conjuncts(be.L), conjuncts(be.R)...)
+	}
+	return []Expr{e}
+}
+
+// exprVars collects every variable an expression mentions.
+func exprVars(e Expr) map[string]bool {
+	vars := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *NotExpr:
+			walk(x.E)
+		case *CountExpr:
+			walk(x.E)
+		case *VarExpr:
+			vars[x.Name] = true
+		case *AttrExpr:
+			vars[x.Var] = true
+		case *ExistsExpr:
+			if x.Path.RootVar != "" {
+				vars[x.Path.RootVar] = true
+			}
+		}
+	}
+	walk(e)
+	return vars
+}
+
+// Describe renders the plan for ExplainQuery and the \explain shell
+// command.
+func (p *Plan) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan: %d binding(s)\n", len(p.binds))
+	for i, bp := range p.binds {
+		fmt.Fprintf(&sb, "  %d. %s <- %s", i+1, bp.b.Var, bp.accessString())
+		if len(bp.b.Path.Steps) > 0 {
+			sb.WriteString(" then")
+			for _, s := range bp.b.Path.Steps {
+				sb.WriteString(" ." + stepString(s))
+			}
+		}
+		sb.WriteByte('\n')
+		for _, f := range bp.filters {
+			fmt.Fprintf(&sb, "       filter %s\n", exprString(f))
+		}
+	}
+	if closes(p.q) {
+		sb.WriteString("  closures: memoized per query\n")
+	}
+	return sb.String()
+}
+
+func (bp *bindPlan) accessString() string {
+	switch bp.access {
+	case accessNameSeek:
+		if bp.typ != "" {
+			return fmt.Sprintf("name seek %q (type %s)", bp.name, bp.typ)
+		}
+		return fmt.Sprintf("name seek %q", bp.name)
+	case accessTypeScan:
+		return fmt.Sprintf("type scan %s", bp.typ)
+	case accessVar:
+		return "var " + bp.b.Path.RootVar
+	default:
+		return "full scan (all refs)"
+	}
+}
+
+// closes reports whether any path in the query carries a closure step.
+func closes(q *Query) bool {
+	has := func(p Path) bool {
+		for _, s := range p.Steps {
+			if s.Closure == ClosureStar || s.Closure == ClosurePlus {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range q.Bindings {
+		if has(b.Path) {
+			return true
+		}
+	}
+	var walk func(Expr) bool
+	walk = func(e Expr) bool {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			return walk(x.L) || walk(x.R)
+		case *NotExpr:
+			return walk(x.E)
+		case *CountExpr:
+			return walk(x.E)
+		case *ExistsExpr:
+			return has(x.Path)
+		}
+		return false
+	}
+	return q.Where != nil && walk(q.Where)
+}
+
+func stepString(s Step) string {
+	out := s.Edge
+	if s.Reverse {
+		out += "~"
+	}
+	switch s.Closure {
+	case ClosureStar:
+		out += "*"
+	case ClosurePlus:
+		out += "+"
+	case ClosureOpt:
+		out += "?"
+	}
+	return out
+}
+
+// exprString renders an expression roughly as it was written.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", exprString(x.L), x.Op, exprString(x.R))
+	case *NotExpr:
+		return "not (" + exprString(x.E) + ")"
+	case *VarExpr:
+		return x.Name
+	case *AttrExpr:
+		return x.Var + "." + x.Attr
+	case *StringLit:
+		return fmt.Sprintf("%q", x.V)
+	case *NumberLit:
+		return fmt.Sprintf("%d", x.V)
+	case *BoolLit:
+		return fmt.Sprintf("%t", x.V)
+	case *CountExpr:
+		return "count(" + exprString(x.E) + ")"
+	case *ExistsExpr:
+		root := x.Path.RootVar
+		if x.Path.Class != "" {
+			root = "Provenance." + x.Path.Class
+		}
+		for _, s := range x.Path.Steps {
+			root += "." + stepString(s)
+		}
+		return "exists(" + root + ")"
+	default:
+		return "?"
+	}
+}

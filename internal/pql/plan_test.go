@@ -1,0 +1,116 @@
+package pql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPlan(t *testing.T, src string) *Plan {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return PlanQuery(q)
+}
+
+func TestPlanNamePushdown(t *testing.T) {
+	p := mustPlan(t, `select A from Provenance.file as F F.input* as A where F.name = "atlas-x.gif"`)
+	if p.binds[0].access != accessNameSeek || p.binds[0].name != "atlas-x.gif" || p.binds[0].typ != "FILE" {
+		t.Fatalf("binding 0 = %+v, want name seek", p.binds[0])
+	}
+	// The predicate is retained as a filter (the index is a superset).
+	if len(p.binds[0].filters) != 1 {
+		t.Fatalf("binding 0 filters = %v", p.binds[0].filters)
+	}
+	if p.binds[1].access != accessVar || len(p.binds[1].filters) != 0 {
+		t.Fatalf("binding 1 = %+v, want var access", p.binds[1])
+	}
+	d := p.Describe()
+	for _, want := range []string{`name seek "atlas-x.gif"`, "filter F.name", "memoized"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestPlanReversedOperandsPushdown(t *testing.T) {
+	p := mustPlan(t, `select F from Provenance.file as F where "x" = F.name`)
+	if p.binds[0].access != accessNameSeek || p.binds[0].name != "x" {
+		t.Fatalf("literal-first equality not pushed: %+v", p.binds[0])
+	}
+}
+
+func TestPlanTypePushdownOnObj(t *testing.T) {
+	p := mustPlan(t, `select X from Provenance.obj as X where X.type = "PROC"`)
+	if p.binds[0].access != accessTypeScan || p.binds[0].typ != "PROC" {
+		t.Fatalf("type pushdown on obj failed: %+v", p.binds[0])
+	}
+	// A typed class keeps its class type; the literal stays a filter only.
+	p = mustPlan(t, `select X from Provenance.file as X where X.type = "PROC"`)
+	if p.binds[0].access != accessTypeScan || p.binds[0].typ != "FILE" {
+		t.Fatalf("class type clobbered: %+v", p.binds[0])
+	}
+}
+
+func TestPlanIneligibleShapes(t *testing.T) {
+	// OR is not conjunct-splittable.
+	p := mustPlan(t, `select F from Provenance.file as F where F.name = "a" or F.name = "b"`)
+	if p.binds[0].access != accessTypeScan {
+		t.Fatalf("OR must not push down: %+v", p.binds[0])
+	}
+	// Negation.
+	p = mustPlan(t, `select F from Provenance.file as F where not (F.name = "a")`)
+	if p.binds[0].access != accessTypeScan {
+		t.Fatalf("NOT must not push down: %+v", p.binds[0])
+	}
+	// Cross-binding predicates belong to the later binding and cannot seek.
+	p = mustPlan(t, `select A from Provenance.file as F F.input* as A where F.name = A.name`)
+	if p.binds[0].access != accessTypeScan || len(p.binds[0].filters) != 0 {
+		t.Fatalf("cross-binding leaked to binding 0: %+v", p.binds[0])
+	}
+	if len(p.binds[1].filters) != 1 {
+		t.Fatalf("cross-binding filter not at binding 1: %+v", p.binds[1])
+	}
+	// LIKE is not an equality.
+	p = mustPlan(t, `select F from Provenance.file as F where F.name like "a*"`)
+	if p.binds[0].access != accessTypeScan {
+		t.Fatalf("LIKE must not push down: %+v", p.binds[0])
+	}
+	// A class root with path steps: the name applies to the step result,
+	// not the root, so no seek.
+	p = mustPlan(t, `select A from Provenance.file.input* as A where A.name = "a"`)
+	if p.binds[0].access != accessTypeScan || p.binds[0].typ != "FILE" {
+		t.Fatalf("stepped root must not push down: %+v", p.binds[0])
+	}
+}
+
+func TestPlanConjunctAssignment(t *testing.T) {
+	p := mustPlan(t, `
+		select A from Provenance.file as F F.input* as A
+		where F.name = "x" and A.version = 1 and F.version >= 1 and 1 <= 2`)
+	// F.name (pushed, retained), F.version, and the constant go to binding
+	// 0; A.version waits for binding 1.
+	if len(p.binds[0].filters) != 3 {
+		t.Fatalf("binding 0 filters = %d, want 3", len(p.binds[0].filters))
+	}
+	if len(p.binds[1].filters) != 1 {
+		t.Fatalf("binding 1 filters = %d, want 1", len(p.binds[1].filters))
+	}
+}
+
+func TestPlanUnboundVariableDefersToLastBinding(t *testing.T) {
+	p := mustPlan(t, `select F from Provenance.file as F F.input as A where Y.name = "x"`)
+	if len(p.binds[1].filters) != 1 {
+		t.Fatalf("unbound-var conjunct not deferred: %+v", p.binds)
+	}
+}
+
+func TestPlanExplainOutputStable(t *testing.T) {
+	d := mustPlan(t, `select count(A) from Provenance.obj as X X.input+ as A where exists(X.input) and X.type = "FILE"`).Describe()
+	for _, want := range []string{"type scan FILE", "exists(X.input)", "var X then .input+", "memoized"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

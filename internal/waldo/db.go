@@ -321,13 +321,16 @@ func (db *DB) Versions(pn pnode.PNode) []pnode.Version {
 	return out
 }
 
-// LatestVersion returns the highest known version of a pnode.
+// LatestVersion returns the highest known version of a pnode: one bounded
+// last-key descent in the version index, instead of materializing the full
+// Versions slice and taking its tail.
 func (db *DB) LatestVersion(pn pnode.PNode) (pnode.Version, bool) {
-	vs := db.Versions(pn)
-	if len(vs) == 0 {
+	prefix := "v|" + pnKey(pn) + "|"
+	k, _, ok := db.kv.MaxInPrefix(prefix)
+	if !ok {
 		return 0, false
 	}
-	return vs[len(vs)-1], true
+	return parseVer(k[len(prefix):]), true
 }
 
 // ByName returns the pnodes that have carried the exact name.
@@ -338,6 +341,52 @@ func (db *DB) ByName(name string) []pnode.PNode {
 // ByType returns the pnodes of one object type.
 func (db *DB) ByType(typ string) []pnode.PNode {
 	return db.labelScan("t|", typ)
+}
+
+// RefsByType returns every version of every pnode that has carried TYPE
+// typ. It is the planner's bulk root enumeration (graph.RefScanner): one
+// pass over the type index followed by bounded version-index scans with a
+// shared key buffer, instead of ByType building a pnode slice and the graph
+// layer running a dedup-map-and-sort Versions union per pnode. Output is
+// sorted by (pnode, version).
+func (db *DB) RefsByType(typ string) []pnode.Ref {
+	return db.labelRefs("t|" + typ + "\x00")
+}
+
+// RefsByName returns every version of every pnode that has carried the
+// exact name (graph.RefScanner; the name-equality pushdown seek).
+func (db *DB) RefsByName(name string) []pnode.Ref {
+	return db.labelRefs("n|" + name + "\x00")
+}
+
+func (db *DB) labelRefs(prefix string) []pnode.Ref {
+	// Collect the pnodes first, then scan their version ranges: the two
+	// phases must not nest, or a reader holding the store's RLock could
+	// deadlock behind a queued ingestion writer.
+	var pns []pnode.PNode
+	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+		pns = append(pns, parsePN(k[len(prefix):]))
+		return true
+	})
+	out := make([]pnode.Ref, 0, len(pns))
+	buf := make([]byte, 0, 2+16+1)
+	for _, pn := range pns {
+		buf = append(buf[:0], 'v', '|')
+		buf = appendHex64(buf, uint64(pn))
+		buf = append(buf, '|')
+		vp := string(buf)
+		db.kv.AscendPrefix(vp, func(vk string, _ []byte) bool {
+			out = append(out, pnode.Ref{PNode: pn, Version: parseVer(vk[len(vp):])})
+			return true
+		})
+	}
+	return out
+}
+
+// HasTypedPNode reports whether pn has ever carried TYPE typ: one point
+// lookup in the type index (graph.RefScanner).
+func (db *DB) HasTypedPNode(pn pnode.PNode, typ string) bool {
+	return db.kv.Has("t|" + typ + "\x00" + pnKey(pn))
 }
 
 func (db *DB) labelScan(space, label string) []pnode.PNode {

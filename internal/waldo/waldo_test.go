@@ -260,3 +260,83 @@ func TestAllPNodesAndRefs(t *testing.T) {
 		t.Fatalf("AllRefs = %v", refs)
 	}
 }
+
+func TestRefsByTypeAndName(t *testing.T) {
+	db := NewDB()
+	// Two FILEs (one multi-version), one PROC; one file renamed at v2.
+	db.Apply(record.New(ref(1, 1), record.AttrType, record.StringVal(record.TypeFile)))
+	db.Apply(record.New(ref(1, 1), record.AttrName, record.StringVal("/a")))
+	db.Apply(record.Input(ref(1, 2), ref(1, 1)))
+	db.Apply(record.New(ref(1, 2), record.AttrName, record.StringVal("/b")))
+	db.Apply(record.New(ref(2, 1), record.AttrType, record.StringVal(record.TypeFile)))
+	db.Apply(record.New(ref(3, 1), record.AttrType, record.StringVal(record.TypeProc)))
+
+	got := db.RefsByType(record.TypeFile)
+	want := []pnode.Ref{ref(1, 1), ref(1, 2), ref(2, 1)}
+	if len(got) != len(want) {
+		t.Fatalf("RefsByType = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RefsByType[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// RefsByType must agree with ByType × Versions.
+	var naive []pnode.Ref
+	for _, pn := range db.ByType(record.TypeFile) {
+		for _, v := range db.Versions(pn) {
+			naive = append(naive, pnode.Ref{PNode: pn, Version: v})
+		}
+	}
+	if len(naive) != len(got) {
+		t.Fatalf("RefsByType disagrees with ByType+Versions: %v vs %v", got, naive)
+	}
+
+	// The name index covers every name a pnode ever carried: both versions
+	// of pnode 1 are returned for either name.
+	if got := db.RefsByName("/a"); len(got) != 2 || got[0] != ref(1, 1) || got[1] != ref(1, 2) {
+		t.Fatalf("RefsByName(/a) = %v", got)
+	}
+	if got := db.RefsByName("/b"); len(got) != 2 {
+		t.Fatalf("RefsByName(/b) = %v", got)
+	}
+	if got := db.RefsByName("/absent"); len(got) != 0 {
+		t.Fatalf("RefsByName(absent) = %v", got)
+	}
+	if got := db.RefsByType("NOSUCH"); len(got) != 0 {
+		t.Fatalf("RefsByType(absent) = %v", got)
+	}
+
+	if !db.HasTypedPNode(1, record.TypeFile) {
+		t.Fatal("HasTypedPNode missed pnode 1")
+	}
+	if db.HasTypedPNode(1, record.TypeProc) {
+		t.Fatal("HasTypedPNode false positive")
+	}
+	if db.HasTypedPNode(99, record.TypeFile) {
+		t.Fatal("HasTypedPNode phantom pnode")
+	}
+}
+
+func TestLatestVersionBoundedLookup(t *testing.T) {
+	db := NewDB()
+	// Interleave pnodes so the version index holds neighbors on both sides
+	// of pnode 5's range; the last-key descent must not cross into them.
+	db.Apply(record.Input(ref(4, 9), ref(9, 1)))
+	for v := uint32(1); v <= 40; v++ {
+		db.Apply(record.Input(ref(5, v), ref(9, 1)))
+	}
+	db.Apply(record.Input(ref(6, 1), ref(9, 1)))
+	if v, ok := db.LatestVersion(5); !ok || v != 40 {
+		t.Fatalf("LatestVersion(5) = %v,%v", v, ok)
+	}
+	if v, ok := db.LatestVersion(4); !ok || v != 9 {
+		t.Fatalf("LatestVersion(4) = %v,%v", v, ok)
+	}
+	if _, ok := db.LatestVersion(7); ok {
+		t.Fatal("LatestVersion(7) should miss")
+	}
+	if _, ok := db.LatestVersion(0); ok {
+		t.Fatal("LatestVersion(0) should miss")
+	}
+}

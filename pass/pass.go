@@ -138,6 +138,18 @@ func (m *Machine) Query(q string) (*pql.Result, error) {
 	return pql.Run(m.Graph(), q)
 }
 
+// ExplainQuery parses q and returns the plan the query engine would
+// execute — access path per binding, pushed-down filters, closure
+// memoization — without running it. Planning is purely syntactic, so no
+// drain is needed.
+func (m *Machine) ExplainQuery(q string) (string, error) {
+	parsed, err := pql.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	return pql.PlanQuery(parsed).Describe(), nil
+}
+
 // QueryWith runs a PQL query over this machine's provenance joined with
 // additional databases (e.g. NFS servers').
 func (m *Machine) QueryWith(q string, extra ...*waldo.DB) (*pql.Result, error) {

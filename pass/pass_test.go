@@ -170,3 +170,21 @@ func TestPlainFileServerRejectsDPAPI(t *testing.T) {
 		t.Fatal("plain server must not have a provenance DB")
 	}
 }
+
+func TestExplainQuery(t *testing.T) {
+	m := NewMachine(Config{Provenance: true, NoClock: true})
+	plan, err := m.ExplainQuery(`
+		select A from Provenance.file as F F.input* as A
+		where F.name = "/data/out"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`name seek "/data/out"`, "memoized"} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	if _, err := m.ExplainQuery("select oops"); err == nil {
+		t.Fatal("bad query must not explain")
+	}
+}
