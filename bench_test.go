@@ -386,6 +386,29 @@ func BenchmarkPQLQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkConcurrentQuery measures the passd serving layer (DESIGN.md
+// §7): aggregate throughput of 16 concurrent clients querying snapshots of
+// a database that is ingesting live, versus the serialized in-process
+// drain-then-evaluate path (the pass.Machine.Query contract). Each
+// iteration runs both phases for a fixed wall-clock slice; the reported
+// metrics are aggregate queries/sec and the serve/baseline speedup. The
+// harness verifies remote results against quiesced local evaluations
+// before timing anything.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Serve(24000, 16, 1.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Shed != 0 {
+			b.Fatalf("backpressure shed %d queries; pool misconfigured for the bench", res.Shed)
+		}
+		b.ReportMetric(res.ServeQPS, "qps")
+		b.ReportMetric(res.BaselineQPS, "baseline-qps")
+		b.ReportMetric(res.Speedup, "speedup")
+	}
+}
+
 func sanitize(s string) string {
 	out := make([]rune, 0, len(s))
 	for _, r := range s {

@@ -13,6 +13,7 @@
 //	passbench -table 1            # record-type inventory
 //	passbench -ingest             # Waldo log→database pipeline throughput
 //	passbench -query              # PQL planner vs naive evaluator
+//	passbench -serve              # passd concurrent serving vs serialized queries
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
 //	passbench -records 100000     # ingest benchmark size
@@ -38,6 +39,10 @@ func main() {
 	batch := flag.Int("batch", 50, "ingest: records appended before each steady-state drain")
 	query := flag.Bool("query", false, "measure the PQL planner vs the naive evaluator")
 	queryRecords := flag.Int("query-records", 120000, "query: records in the benchmark database")
+	serve := flag.Bool("serve", false, "measure passd concurrent serving vs serialized in-process queries")
+	serveRecords := flag.Int("serve-records", 24000, "serve: records in the benchmark database")
+	serveClients := flag.Int("serve-clients", 16, "serve: concurrent passd clients")
+	serveSecs := flag.Float64("serve-secs", 3.0, "serve: seconds per measured phase")
 	flag.Parse()
 
 	if *ingest || *all {
@@ -48,6 +53,12 @@ func main() {
 	}
 	if *query || *all {
 		runQuery(*queryRecords)
+		if !*all {
+			return
+		}
+	}
+	if *serve || *all {
+		runServe(*serveRecords, *serveClients, *serveSecs)
 		if !*all {
 			return
 		}
@@ -102,6 +113,12 @@ func runQuery(records int) {
 	res, err := bench.Query(records)
 	die(err)
 	bench.PrintQuery(os.Stdout, res)
+}
+
+func runServe(records, clients int, secs float64) {
+	res, err := bench.Serve(records, clients, secs)
+	die(err)
+	bench.PrintServe(os.Stdout, res)
 }
 
 func die(err error) {

@@ -1,0 +1,82 @@
+// Command passd runs the PASSv2 provenance query daemon: it loads a
+// database snapshot (written with Machine.SaveDB or waldo.DB.Save) and
+// serves PQL queries to many concurrent clients over the line-oriented
+// JSON protocol in DESIGN.md §7. Every query runs on an immutable snapshot
+// of the database, so readers never block ingestion or each other.
+//
+// Usage:
+//
+//	passd -db prov.db                 # serve a snapshot on 127.0.0.1:7457
+//	passd -demo -addr :9000           # serve the built-in demo database
+//	passd -db prov.db -workers 8 -timeout 10s
+//
+// Query it with cmd/pql:
+//
+//	pql -remote 127.0.0.1:7457 'select A from Provenance.file as F ...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"passv2/internal/bench"
+	"passv2/internal/passd"
+	"passv2/internal/waldo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7457", "TCP listen address")
+	dbPath := flag.String("db", "", "provenance database snapshot to serve")
+	demo := flag.Bool("demo", false, "serve a built-in demo database instead of -db")
+	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queries waiting for a worker before shedding (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-query deadline")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+	flag.Parse()
+
+	var db *waldo.DB
+	switch {
+	case *demo:
+		db = bench.DemoDB()
+	case *dbPath != "":
+		f, err := os.Open(*dbPath)
+		die(err)
+		var lerr error
+		db, lerr = waldo.Load(f)
+		f.Close()
+		die(lerr)
+	default:
+		fmt.Fprintln(os.Stderr, "passd: need -db <snapshot> or -demo")
+		os.Exit(2)
+	}
+
+	w := waldo.New()
+	w.DB = db
+	srv, err := passd.Serve(w, passd.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	die(err)
+	records, _, _ := db.Stats()
+	fmt.Printf("passd: serving %d records on %s\n", records, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("passd: shutting down")
+	die(srv.Close())
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "passd:", err)
+		os.Exit(1)
+	}
+}

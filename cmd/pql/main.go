@@ -1,14 +1,16 @@
-// Command pql is the PASSv2 query shell: it loads a provenance database
-// snapshot (written with Machine.SaveDB or waldo.DB.Save) and evaluates
-// PQL queries against it, either from the command line or interactively.
+// Command pql is the PASSv2 query shell: it evaluates PQL queries against
+// a provenance database — a local snapshot (written with Machine.SaveDB or
+// waldo.DB.Save), a small built-in demo database, or a running passd
+// daemon — either from the command line or interactively.
 //
 // Usage:
 //
 //	pql -db prov.db 'select Ancestor from Provenance.file as Atlas
 //	                 Atlas.input* as Ancestor
 //	                 where Atlas.name = "atlas-x.gif"'
-//	pql -db prov.db            # REPL on stdin
-//	pql -demo 'select ...'     # query a small built-in demo database
+//	pql -db prov.db                  # REPL on stdin
+//	pql -demo 'select ...'           # query a small built-in demo database
+//	pql -remote 127.0.0.1:7457 ...   # query a running passd daemon
 package main
 
 import (
@@ -18,37 +20,64 @@ import (
 	"os"
 	"strings"
 
+	"passv2/internal/bench"
 	"passv2/internal/graph"
-	"passv2/internal/pnode"
+	"passv2/internal/passd"
 	"passv2/internal/pql"
-	"passv2/internal/record"
 	"passv2/internal/waldo"
 )
+
+// engine is where the shell sends queries: a local graph or a passd client.
+type engine interface {
+	query(q string) (*pql.Result, error)
+	explain(q string) (string, error)
+}
+
+type localEngine struct{ g *graph.Graph }
+
+func (e localEngine) query(q string) (*pql.Result, error) { return pql.Run(e.g, q) }
+func (e localEngine) explain(q string) (string, error) {
+	parsed, err := pql.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	return pql.PlanQuery(parsed).Describe(), nil
+}
+
+type remoteEngine struct{ c *passd.Client }
+
+func (e remoteEngine) query(q string) (*pql.Result, error) { return e.c.Query(q) }
+func (e remoteEngine) explain(q string) (string, error)    { return e.c.Explain(q) }
 
 func main() {
 	dbPath := flag.String("db", "", "provenance database snapshot to load")
 	demo := flag.Bool("demo", false, "use a built-in demo database instead of -db")
+	remote := flag.String("remote", "", "query a running passd daemon at this address instead of a local database")
 	flag.Parse()
 
-	var db *waldo.DB
+	var eng engine
 	switch {
+	case *remote != "":
+		c, err := passd.Dial(*remote)
+		die(err)
+		defer c.Close()
+		eng = remoteEngine{c: c}
 	case *demo:
-		db = demoDB()
+		eng = localEngine{g: graph.New(bench.DemoDB())}
 	case *dbPath != "":
 		f, err := os.Open(*dbPath)
 		die(err)
 		defer f.Close()
-		var lerr error
-		db, lerr = waldo.Load(f)
+		db, lerr := waldo.Load(f)
 		die(lerr)
+		eng = localEngine{g: graph.New(db)}
 	default:
-		fmt.Fprintln(os.Stderr, "pql: need -db <snapshot> or -demo")
+		fmt.Fprintln(os.Stderr, "pql: need -db <snapshot>, -demo, or -remote <addr>")
 		os.Exit(2)
 	}
-	g := graph.New(db)
 
 	if q := strings.TrimSpace(strings.Join(flag.Args(), " ")); q != "" {
-		run(g, q)
+		run(eng, q)
 		return
 	}
 	// REPL: one query per line (or until a line ending in ';').
@@ -72,55 +101,28 @@ func main() {
 			q := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
 			pending.Reset()
 			if strings.TrimSpace(q) != "" {
-				run(g, q)
+				run(eng, q)
 			}
 		}
 	}
 }
 
-func run(g *graph.Graph, q string) {
+func run(eng engine, q string) {
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(q), `\explain`); ok {
-		explain(rest)
+		plan, err := eng.explain(rest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Print(plan)
 		return
 	}
-	res, err := pql.Run(g, q)
+	res, err := eng.query(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
 	fmt.Print(res.Format())
-}
-
-// explain prints the plan the engine would run for q, without executing it.
-func explain(q string) {
-	parsed, err := pql.Parse(q)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		return
-	}
-	fmt.Print(pql.PlanQuery(parsed).Describe())
-}
-
-// demoDB builds the paper's atlas-x.gif ancestry chain so the shell can be
-// tried without running a workload first.
-func demoDB() *waldo.DB {
-	db := waldo.NewDB()
-	ref := func(p uint64) pnode.Ref { return pnode.Ref{PNode: pnode.PNode(p), Version: 1} }
-	add := func(r pnode.Ref, name, typ string) {
-		db.Apply(record.New(r, record.AttrName, record.StringVal(name)))
-		db.Apply(record.New(r, record.AttrType, record.StringVal(typ)))
-	}
-	atlas, convert, slicer, softmean, anatomy := ref(1), ref(2), ref(3), ref(4), ref(5)
-	add(atlas, "atlas-x.gif", record.TypeFile)
-	add(convert, "convert", record.TypeProc)
-	add(slicer, "slicer", record.TypeProc)
-	add(softmean, "softmean", record.TypeOperator)
-	add(anatomy, "anatomy1.img", record.TypeFile)
-	db.Apply(record.Input(atlas, convert))
-	db.Apply(record.Input(convert, slicer))
-	db.Apply(record.Input(slicer, softmean))
-	db.Apply(record.Input(softmean, anatomy))
-	return db
 }
 
 func die(err error) {

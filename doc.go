@@ -8,6 +8,9 @@
 //
 // The public API lives in package passv2/pass; the paper's components live
 // under internal/ (one package per subsystem — see DESIGN.md for the
-// inventory). The benchmarks in bench_test.go regenerate the paper's
-// Tables 1–3; EXPERIMENTS.md records paper-vs-measured.
+// inventory, and README.md for a quickstart). Queries run in-process
+// (pass.Machine.Query) or through the passd daemon (cmd/passd), which
+// serves many concurrent clients over immutable database snapshots while
+// ingestion continues. The benchmarks in bench_test.go regenerate the
+// paper's Tables 1–3; EXPERIMENTS.md records paper-vs-measured.
 package passv2

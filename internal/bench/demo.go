@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+// DemoDB builds the paper's atlas-x.gif ancestry chain (§3.1's attribution
+// example) so the query tools can be tried without running a workload
+// first. Both cmd/pql -demo and cmd/passd -demo serve it.
+func DemoDB() *waldo.DB {
+	db := waldo.NewDB()
+	ref := func(p uint64) pnode.Ref { return pnode.Ref{PNode: pnode.PNode(p), Version: 1} }
+	add := func(r pnode.Ref, name, typ string) {
+		db.Apply(record.New(r, record.AttrName, record.StringVal(name)))
+		db.Apply(record.New(r, record.AttrType, record.StringVal(typ)))
+	}
+	atlas, convert, slicer, softmean, anatomy := ref(1), ref(2), ref(3), ref(4), ref(5)
+	add(atlas, "atlas-x.gif", record.TypeFile)
+	add(convert, "convert", record.TypeProc)
+	add(slicer, "slicer", record.TypeProc)
+	add(softmean, "softmean", record.TypeOperator)
+	add(anatomy, "anatomy1.img", record.TypeFile)
+	db.Apply(record.Input(atlas, convert))
+	db.Apply(record.Input(convert, slicer))
+	db.Apply(record.Input(slicer, softmean))
+	db.Apply(record.Input(softmean, anatomy))
+	return db
+}

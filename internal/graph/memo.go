@@ -2,9 +2,20 @@ package graph
 
 import (
 	"sort"
+	"sync"
 
 	"passv2/internal/pnode"
 )
+
+// Traversal is the cached-traversal capability the query engine consumes:
+// adjacency plus full INPUT-edge closures. Memo implements it for one
+// single-threaded query; SharedMemo implements it for many concurrent
+// queries over an immutable snapshot.
+type Traversal interface {
+	Inputs(ref pnode.Ref) []pnode.Ref
+	Dependents(ref pnode.Ref) []pnode.Ref
+	Closure(start pnode.Ref, reverse bool) []pnode.Ref
+}
 
 // Memo is a per-query traversal cache over a Graph. A query that expands
 // many overlapping ancestry (or descendant) closures — every selective PQL
@@ -98,4 +109,46 @@ func (m *Memo) Closure(start pnode.Ref, reverse bool) []pnode.Ref {
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	cache[start] = out
 	return out
+}
+
+// SharedMemo is a Memo safe for concurrent use: one mutex serializes cache
+// access, so concurrent queries over the same graph share every memoized
+// adjacency list and closure instead of each paying its own traversal.
+//
+// Sharing a memo ACROSS queries is only sound when the underlying
+// databases cannot change — which is exactly what a waldo.ReadView
+// guarantees. This is the serving layer's amortization: the snapshot
+// machinery is what makes a long-lived traversal cache correct, where the
+// live-database path must discard its memo after every query.
+type SharedMemo struct {
+	mu sync.Mutex
+	m  *Memo
+}
+
+// NewSharedMemo creates a concurrent-safe traversal cache over g. g's
+// sources must be immutable for the memo's lifetime (e.g. ReadViews).
+func (g *Graph) NewSharedMemo() *SharedMemo {
+	return &SharedMemo{m: g.NewMemo()}
+}
+
+// Inputs is Memo.Inputs under the lock.
+func (s *SharedMemo) Inputs(ref pnode.Ref) []pnode.Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Inputs(ref)
+}
+
+// Dependents is Memo.Dependents under the lock.
+func (s *SharedMemo) Dependents(ref pnode.Ref) []pnode.Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Dependents(ref)
+}
+
+// Closure is Memo.Closure under the lock: a closure is computed once and
+// spliced into every later query that reaches it.
+func (s *SharedMemo) Closure(start pnode.Ref, reverse bool) []pnode.Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Closure(start, reverse)
 }

@@ -557,6 +557,7 @@ func (p *Process) Mmap(num int, writable bool) error {
 // Mkdir / MkdirAll / ReadDir / Stat / Rename / Remove are namespace
 // syscalls; they resolve through the mount table.
 
+// Mkdir creates a directory.
 func (p *Process) Mkdir(path string) error {
 	fs, rel, err := p.k.Resolve(p.Abs(path))
 	if err != nil {
@@ -565,6 +566,7 @@ func (p *Process) Mkdir(path string) error {
 	return fs.Mkdir(rel)
 }
 
+// MkdirAll creates a directory and any missing parents.
 func (p *Process) MkdirAll(path string) error {
 	fs, rel, err := p.k.Resolve(p.Abs(path))
 	if err != nil {
@@ -573,6 +575,7 @@ func (p *Process) MkdirAll(path string) error {
 	return fs.MkdirAll(rel)
 }
 
+// ReadDir lists a directory.
 func (p *Process) ReadDir(path string) ([]vfs.DirEnt, error) {
 	fs, rel, err := p.k.Resolve(p.Abs(path))
 	if err != nil {
@@ -581,6 +584,7 @@ func (p *Process) ReadDir(path string) ([]vfs.DirEnt, error) {
 	return fs.ReadDir(rel)
 }
 
+// Stat describes a file.
 func (p *Process) Stat(path string) (vfs.Stat, error) {
 	fs, rel, err := p.k.Resolve(p.Abs(path))
 	if err != nil {

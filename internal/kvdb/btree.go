@@ -7,6 +7,11 @@
 // The implementation is an in-memory B-tree with copy-free reads; all
 // operations are safe for concurrent use through a single RWMutex, which
 // matches Waldo's workload (one ingesting writer, many query readers).
+// For readers that must not contend with the writer at all, View returns
+// an O(1) immutable image of the store: taking a view bumps the store's
+// write epoch, and every mutation after that clones the nodes it touches
+// (path copying) instead of editing them in place, so a view's tree is
+// frozen for as long as the view is held.
 package kvdb
 
 import (
@@ -23,6 +28,10 @@ type node struct {
 	keys     []string
 	vals     [][]byte
 	children []*node // nil for leaves
+	// epoch is the DB write epoch the node was created (or cloned) in. A
+	// node whose epoch predates the store's current epoch may be shared
+	// with a View and must be cloned before mutation.
+	epoch uint64
 }
 
 func (n *node) leaf() bool { return n.children == nil }
@@ -44,11 +53,33 @@ type DB struct {
 	count    int
 	keyBytes int64
 	valBytes int64
+	// epoch is bumped by View: nodes created before the bump are frozen
+	// (possibly shared with a view) and are cloned on first mutation.
+	epoch uint64
 }
 
 // New creates an empty database.
 func New() *DB {
 	return &DB{root: &node{}}
+}
+
+// mutable returns a node safe to mutate under the current epoch: n itself
+// when it already belongs to this epoch, otherwise a shallow clone (keys,
+// values and child pointers are copied; the pointed-to children stay
+// shared until they are themselves mutated).
+func (db *DB) mutable(n *node) *node {
+	if n.epoch == db.epoch {
+		return n
+	}
+	c := &node{
+		keys:  append(make([]string, 0, len(n.keys)+1), n.keys...),
+		vals:  append(make([][]byte, 0, len(n.vals)+1), n.vals...),
+		epoch: db.epoch,
+	}
+	if n.children != nil {
+		c.children = append(make([]*node, 0, len(n.children)+1), n.children...)
+	}
+	return c
 }
 
 // Len returns the number of keys.
@@ -101,7 +132,12 @@ func (db *DB) Stats() Stats {
 func (db *DB) Get(key string) ([]byte, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	n := db.root
+	return lookup(db.root, key)
+}
+
+// lookup descends from root to the value of key. It takes no lock: the
+// caller either holds the store's RLock or owns an immutable view root.
+func lookup(n *node, key string) ([]byte, bool) {
 	for {
 		i, ok := n.find(key)
 		if ok {
@@ -153,6 +189,8 @@ func (db *DB) SetBatch(kvs []KV) (added int) {
 		key, value := kvs[idx].Key, kvs[idx].Val
 		// Fast path: key strictly inside the cached leaf's bounds, and
 		// the leaf has room for a direct insert (no split can cascade).
+		// The cached leaf came out of setLocked this batch, so it already
+		// belongs to the current epoch and is safe to mutate in place.
 		if at.leaf != nil && len(at.leaf.keys) < 2*degree &&
 			(!at.hasLo || key > at.lo) && (!at.hasHi || key < at.hi) {
 			n := at.leaf
@@ -198,11 +236,14 @@ type insertAt struct {
 
 // setLocked inserts or replaces one key with db.mu held, maintaining the
 // size counters, and reports the insertion point for batch amortization.
+// Every node it is about to mutate is first made current-epoch (cloned if
+// a view still shares it), so pinned views keep their frozen image.
 func (db *DB) setLocked(key string, value []byte) insertAt {
+	db.root = db.mutable(db.root)
 	if len(db.root.keys) == 2*degree {
 		old := db.root
-		db.root = &node{children: []*node{old}}
-		db.root.splitChild(0)
+		db.root = &node{children: []*node{old}, epoch: db.epoch}
+		db.splitChild(db.root, 0)
 	}
 	var at insertAt
 	n := db.root
@@ -231,7 +272,7 @@ func (db *DB) setLocked(key string, value []byte) insertAt {
 			return at
 		}
 		if len(n.children[i].keys) == 2*degree {
-			n.splitChild(i)
+			db.splitChild(n, i)
 			if key == n.keys[i] {
 				db.valBytes += int64(len(value)) - int64(len(n.vals[i]))
 				n.vals[i] = value
@@ -249,19 +290,23 @@ func (db *DB) setLocked(key string, value []byte) insertAt {
 		if i < len(n.keys) {
 			at.hi, at.hasHi = n.keys[i], true
 		}
+		n.children[i] = db.mutable(n.children[i])
 		n = n.children[i]
 	}
 }
 
 // splitChild splits n.children[i] (which must be full) around its median.
-func (n *node) splitChild(i int) {
+// n must already be current-epoch; the child is cloned if a view shares it.
+func (db *DB) splitChild(n *node, i int) {
+	n.children[i] = db.mutable(n.children[i])
 	child := n.children[i]
 	mid := degree
 	midKey, midVal := child.keys[mid], child.vals[mid]
 
 	right := &node{
-		keys: append([]string(nil), child.keys[mid+1:]...),
-		vals: append([][]byte(nil), child.vals[mid+1:]...),
+		keys:  append([]string(nil), child.keys[mid+1:]...),
+		vals:  append([][]byte(nil), child.vals[mid+1:]...),
+		epoch: db.epoch,
 	}
 	if !child.leaf() {
 		right.children = append([]*node(nil), child.children[mid+1:]...)
@@ -285,6 +330,7 @@ func (n *node) splitChild(i int) {
 func (db *DB) Delete(key string) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.root = db.mutable(db.root)
 	removed, vlen := db.delete(db.root, key)
 	if removed {
 		db.count--
@@ -298,8 +344,8 @@ func (db *DB) Delete(key string) bool {
 }
 
 // delete removes key from the subtree rooted at n, which is guaranteed to
-// have > degree keys (or be the root). Returns whether removed and the
-// removed value's length.
+// have > degree keys (or be the root) and to be current-epoch. Returns
+// whether removed and the removed value's length.
 func (db *DB) delete(n *node, key string) (bool, int) {
 	i, found := n.find(key)
 	if n.leaf() {
@@ -316,12 +362,14 @@ func (db *DB) delete(n *node, key string) (bool, int) {
 		// CLRS case 2: replace with the predecessor or successor from a
 		// child that can spare a key, then delete that key from it.
 		if len(n.children[i].keys) > degree {
+			n.children[i] = db.mutable(n.children[i])
 			pk, pv := maxKV(n.children[i])
 			n.keys[i], n.vals[i] = pk, pv
 			db.delete(n.children[i], pk)
 			return true, vlen
 		}
 		if len(n.children[i+1].keys) > degree {
+			n.children[i+1] = db.mutable(n.children[i+1])
 			sk, sv := minKV(n.children[i+1])
 			n.keys[i], n.vals[i] = sk, sv
 			db.delete(n.children[i+1], sk)
@@ -337,15 +385,18 @@ func (db *DB) delete(n *node, key string) (bool, int) {
 }
 
 // ensureChild guarantees n.children[i] has more than degree keys before
-// descending, borrowing from a sibling or merging. Returns the (possibly
-// shifted) child index.
+// descending, borrowing from a sibling or merging, and leaves the
+// descended-into child current-epoch. Returns the (possibly shifted)
+// child index.
 func (db *DB) ensureChild(n *node, i int) int {
+	n.children[i] = db.mutable(n.children[i])
 	c := n.children[i]
 	if len(c.keys) > degree {
 		return i
 	}
 	// Borrow from left sibling.
 	if i > 0 && len(n.children[i-1].keys) > degree {
+		n.children[i-1] = db.mutable(n.children[i-1])
 		left := n.children[i-1]
 		c.keys = append([]string{n.keys[i-1]}, c.keys...)
 		c.vals = append([][]byte{n.vals[i-1]}, c.vals...)
@@ -361,6 +412,7 @@ func (db *DB) ensureChild(n *node, i int) int {
 	}
 	// Borrow from right sibling.
 	if i < len(n.children)-1 && len(n.children[i+1].keys) > degree {
+		n.children[i+1] = db.mutable(n.children[i+1])
 		right := n.children[i+1]
 		c.keys = append(c.keys, n.keys[i])
 		c.vals = append(c.vals, n.vals[i])
@@ -383,8 +435,11 @@ func (db *DB) ensureChild(n *node, i int) int {
 	return i
 }
 
-// mergeChildren merges children i and i+1 around key i.
+// mergeChildren merges children i and i+1 around key i. The surviving left
+// child is made current-epoch; the right child is only read (a view
+// sharing it keeps its frozen image).
 func (db *DB) mergeChildren(n *node, i int) {
+	n.children[i] = db.mutable(n.children[i])
 	left, right := n.children[i], n.children[i+1]
 	left.keys = append(left.keys, n.keys[i])
 	left.vals = append(left.vals, n.vals[i])
@@ -417,14 +472,16 @@ func minKV(n *node) (string, []byte) {
 func (db *DB) Ascend(lo, hi string, fn func(key string, value []byte) bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	db.ascend(db.root, lo, hi, fn)
+	ascend(db.root, lo, hi, fn)
 }
 
-func (db *DB) ascend(n *node, lo, hi string, fn func(string, []byte) bool) bool {
+// ascend is the lock-free range walk shared by DB (under RLock) and View
+// (over a frozen root).
+func ascend(n *node, lo, hi string, fn func(string, []byte) bool) bool {
 	i := sort.SearchStrings(n.keys, lo)
 	for ; i <= len(n.keys); i++ {
 		if !n.leaf() {
-			if !db.ascend(n.children[i], lo, hi, fn) {
+			if !ascend(n.children[i], lo, hi, fn) {
 				return false
 			}
 		}
@@ -467,7 +524,9 @@ func prefixEnd(prefix string) string {
 // found by one bounded root-to-leaf descent — no iteration over the prefix
 // range. Waldo's LatestVersion is built on it.
 func (db *DB) MaxInPrefix(prefix string) (string, []byte, bool) {
-	k, v, ok := db.maxBelow(prefixEnd(prefix))
+	db.mu.RLock()
+	k, v, ok := maxBelow(db.root, prefixEnd(prefix))
+	db.mu.RUnlock()
 	if !ok || !strings.HasPrefix(k, prefix) {
 		return "", nil, false
 	}
@@ -476,15 +535,12 @@ func (db *DB) MaxInPrefix(prefix string) (string, []byte, bool) {
 
 // maxBelow returns the greatest key strictly less than hi; hi == "" means
 // "no upper bound" (the greatest key in the store).
-func (db *DB) maxBelow(hi string) (string, []byte, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+func maxBelow(n *node, hi string) (string, []byte, bool) {
 	var (
 		bk    string
 		bv    []byte
 		found bool
 	)
-	n := db.root
 	for {
 		i := len(n.keys)
 		if hi != "" {

@@ -16,22 +16,24 @@ var snapshotMagic = []byte("PASSKVDB1\n")
 // ErrBadSnapshot reports an unreadable snapshot stream.
 var ErrBadSnapshot = errors.New("kvdb: bad snapshot")
 
-// Save writes a point-in-time snapshot of the database to w.
-func (db *DB) Save(w io.Writer) error {
+// Save writes a point-in-time snapshot of the database to w. The image is
+// consistent even with a concurrent writer: Save pins a View first, so the
+// header count and the pair stream describe the same frozen tree.
+func (db *DB) Save(w io.Writer) error { return db.View().Save(w) }
+
+// Save writes the view's frozen image to w in the snapshot format.
+func (v *View) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic); err != nil {
 		return err
 	}
-	db.mu.RLock()
-	count := db.count
-	db.mu.RUnlock()
 	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(count))
+	binary.LittleEndian.PutUint64(hdr[:], uint64(v.count))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	var failed error
-	db.Ascend("", "", func(k string, v []byte) bool {
+	v.Ascend("", "", func(k string, v []byte) bool {
 		var lens [8]byte
 		binary.LittleEndian.PutUint32(lens[:4], uint32(len(k)))
 		binary.LittleEndian.PutUint32(lens[4:], uint32(len(v)))

@@ -1,0 +1,92 @@
+package kvdb
+
+import "strings"
+
+// View is an immutable point-in-time image of the store. Taking one is
+// O(1): it captures the current tree root and bumps the store's write
+// epoch, after which every mutation path-copies the nodes it touches
+// instead of editing them in place. A View therefore never blocks — and is
+// never blocked by — the writer, which is what lets many concurrent
+// queries run against a database that is still ingesting.
+//
+// A View holds no lock and keeps its tree alive only through ordinary
+// references: dropping the View releases the frozen nodes to the garbage
+// collector. Values returned by a View must not be modified.
+type View struct {
+	root     *node
+	count    int
+	keyBytes int64
+	valBytes int64
+}
+
+// View returns an immutable snapshot of the current database state.
+func (db *DB) View() *View {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.epoch++
+	return &View{
+		root:     db.root,
+		count:    db.count,
+		keyBytes: db.keyBytes,
+		valBytes: db.valBytes,
+	}
+}
+
+// Len returns the number of keys in the view.
+func (v *View) Len() int { return v.count }
+
+// Bytes reports the cumulative size of keys and values in the view.
+func (v *View) Bytes() (keyBytes, valBytes int64) { return v.keyBytes, v.valBytes }
+
+// Get returns the value for key at the view's point in time.
+func (v *View) Get(key string) ([]byte, bool) { return lookup(v.root, key) }
+
+// Has reports whether key exists in the view.
+func (v *View) Has(key string) bool {
+	_, ok := v.Get(key)
+	return ok
+}
+
+// Ascend visits keys in [lo, hi) in order; fn returning false stops the
+// scan. An empty hi means "to the end".
+func (v *View) Ascend(lo, hi string, fn func(key string, value []byte) bool) {
+	ascend(v.root, lo, hi, fn)
+}
+
+// AscendPrefix visits all keys with the given prefix in order.
+func (v *View) AscendPrefix(prefix string, fn func(key string, value []byte) bool) {
+	v.Ascend(prefix, prefixEnd(prefix), fn)
+}
+
+// MaxInPrefix returns the greatest key carrying the prefix and its value.
+func (v *View) MaxInPrefix(prefix string) (string, []byte, bool) {
+	k, val, ok := maxBelow(v.root, prefixEnd(prefix))
+	if !ok || !strings.HasPrefix(k, prefix) {
+		return "", nil, false
+	}
+	return k, val, true
+}
+
+// CountPrefix counts keys with the prefix.
+func (v *View) CountPrefix(prefix string) int {
+	n := 0
+	v.AscendPrefix(prefix, func(string, []byte) bool { n++; return true })
+	return n
+}
+
+// HasPrefix reports whether any key starts with prefix.
+func (v *View) HasPrefix(prefix string) bool {
+	found := false
+	v.AscendPrefix(prefix, func(string, []byte) bool { found = true; return false })
+	return found
+}
+
+// Keys returns all keys with the prefix.
+func (v *View) Keys(prefix string) []string {
+	var out []string
+	v.AscendPrefix(prefix, func(k string, _ []byte) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -20,6 +20,7 @@ type Inconsistency struct {
 	Len  int32
 }
 
+// String renders the inconsistency for recovery reports.
 func (i Inconsistency) String() string {
 	return fmt.Sprintf("%s %s [%d,+%d): data does not match logged provenance", i.Ref, i.Path, i.Off, i.Len)
 }

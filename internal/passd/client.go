@@ -1,0 +1,129 @@
+package passd
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"passv2/internal/pql"
+)
+
+// Client is one connection to a passd server. It is safe for concurrent
+// use: calls are serialized on the connection (the protocol is strict
+// request/response), so open one Client per desired in-flight query.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a passd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	if _, err := c.bw.Write(b); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	// ReadBytes rather than a Scanner: a response line is as large as the
+	// result set (a closure query can return megabytes of rows), and a
+	// Scanner's buffer cap would wedge the connection mid-token.
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		if len(line) == 0 && errors.Is(err, io.EOF) {
+			return nil, errors.New("passd: connection closed by server")
+		}
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("passd: bad response: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("passd: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Query evaluates a PQL query on the server under its default deadline and
+// returns the result set, identical in shape to an in-process pql.Run.
+func (c *Client) Query(q string) (*pql.Result, error) {
+	return c.QueryTimeout(q, 0)
+}
+
+// QueryTimeout is Query with an explicit per-query deadline (capped by the
+// server's MaxTimeout). Zero means the server default.
+func (c *Client) QueryTimeout(q string, timeout time.Duration) (*pql.Result, error) {
+	resp, err := c.roundTrip(&Request{Op: "query", Query: q, TimeoutMS: timeout.Milliseconds()})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp.Columns, resp.Rows)
+}
+
+// Explain returns the plan the server would execute for q.
+func (c *Client) Explain(q string) (string, error) {
+	resp, err := c.roundTrip(&Request{Op: "explain", Query: q})
+	if err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
+// Stats returns the server's database and serving counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.roundTrip(&Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("passd: stats response missing payload")
+	}
+	return resp.Stats, nil
+}
+
+// Drain asks the server to synchronously ingest everything new in its
+// volumes' logs, returning the record count afterwards. Views pinned after
+// Drain returns observe everything it ingested.
+func (c *Client) Drain() (int64, error) {
+	resp, err := c.roundTrip(&Request{Op: "drain"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Records, nil
+}
+
+// Ping round-trips a no-op, for liveness checks.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: "ping"})
+	return err
+}

@@ -1,0 +1,159 @@
+// Package passd is the PASSv2 provenance query daemon: a TCP serving layer
+// over a Waldo database, the piece the paper's user-level stack stops short
+// of (§5.6 runs Waldo and the query shell in one process, one client at a
+// time). It exists so many clients can query a database that is still
+// ingesting: every query pins an O(1) snapshot (waldo.DB.ReadView over
+// kvdb's copy-on-write views), so readers never contend with ApplyBatch —
+// the serialization the in-process path pays on waldo.DB's store lock.
+//
+// The wire protocol is one JSON object per line in each direction (see
+// DESIGN.md §7 for the grammar):
+//
+//	→ {"op":"query","query":"select ...","timeout_ms":500}
+//	← {"ok":true,"columns":["A"],"rows":[[{"k":"ref","p":5,"v":1,"n":"/f"}]]}
+//
+// Verbs: "query" evaluates PQL over a pinned snapshot; "explain" returns
+// the plan without executing; "stats" reports database and server
+// counters; "drain" forces a synchronous Waldo drain so subsequent views
+// observe everything logged; "ping" is a liveness no-op.
+//
+// Concurrency model: one goroutine per connection, but query execution
+// passes through a bounded worker pool (Config.Workers slots). When all
+// slots are busy, up to Config.MaxQueue queries wait; beyond that the
+// server sheds load with an "overloaded" error instead of queueing
+// unboundedly — the backpressure contract DESIGN.md §7 documents. Each
+// query runs under a deadline (client-requested, capped by
+// Config.MaxTimeout) enforced inside the PQL executor.
+package passd
+
+import (
+	"fmt"
+
+	"passv2/internal/pnode"
+	"passv2/internal/pql"
+)
+
+// Request is one client command, encoded as a single JSON line.
+type Request struct {
+	// Op is the verb: "query", "explain", "stats", "drain" or "ping"
+	// (case-insensitive).
+	Op string `json:"op"`
+	// Query is the PQL source for "query" and "explain".
+	Query string `json:"query,omitempty"`
+	// TimeoutMS overrides the server's default per-query deadline,
+	// capped at Config.MaxTimeout. Zero means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response is one server reply, encoded as a single JSON line. Exactly one
+// response is written per request, in request order.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Columns []string  `json:"columns,omitempty"` // query
+	Rows    [][]Value `json:"rows,omitempty"`    // query
+	Plan    string    `json:"plan,omitempty"`    // explain
+	Stats   *Stats    `json:"stats,omitempty"`   // stats
+	Records int64     `json:"records,omitempty"` // drain
+	Elapsed int64     `json:"elapsed_us,omitempty"`
+}
+
+// Value is the wire form of one result cell (pql.Value without the
+// unexported-kind enum, so both ends agree on a stable encoding).
+type Value struct {
+	K string `json:"k"`           // "null", "ref", "str", "int", "bool"
+	S string `json:"s,omitempty"` // str payload
+	I int64  `json:"i,omitempty"` // int payload
+	B bool   `json:"b,omitempty"` // bool payload
+	P uint64 `json:"p,omitempty"` // ref pnode
+	V uint32 `json:"v,omitempty"` // ref version
+	N string `json:"n,omitempty"` // ref display name
+}
+
+// Stats is the payload of the "stats" verb: the live database counters
+// plus the server's serving counters.
+type Stats struct {
+	Records   int64 `json:"records"`
+	ProvBytes int64 `json:"prov_bytes"`
+	IdxBytes  int64 `json:"idx_bytes"`
+
+	Queries     int64 `json:"queries"`      // queries served (including failed)
+	QueryErrors int64 `json:"query_errors"` // parse/eval failures
+	Timeouts    int64 `json:"timeouts"`     // queries killed by deadline
+	Shed        int64 `json:"shed"`         // queries refused by backpressure
+	Drains      int64 `json:"drains"`       // drain verbs served
+	Conns       int64 `json:"conns"`        // currently open connections
+	Workers     int   `json:"workers"`      // worker-pool size
+	CacheHits   int64 `json:"cache_hits"`   // queries answered from a snapshot's result cache
+	CacheMisses int64 `json:"cache_misses"` // queries that executed
+}
+
+// encodeValue converts an engine value to its wire form.
+func encodeValue(v pql.Value) Value {
+	switch v.Kind {
+	case pql.ValRef:
+		return Value{K: "ref", P: uint64(v.Ref.PNode), V: uint32(v.Ref.Version), N: v.Name}
+	case pql.ValString:
+		return Value{K: "str", S: v.Str}
+	case pql.ValInt:
+		return Value{K: "int", I: v.Int}
+	case pql.ValBool:
+		return Value{K: "bool", B: v.Bool}
+	default:
+		return Value{K: "null"}
+	}
+}
+
+// decodeValue converts a wire value back to an engine value.
+func decodeValue(v Value) (pql.Value, error) {
+	switch v.K {
+	case "ref":
+		return pql.Value{
+			Kind: pql.ValRef,
+			Ref:  pnode.Ref{PNode: pnode.PNode(v.P), Version: pnode.Version(v.V)},
+			Name: v.N,
+		}, nil
+	case "str":
+		return pql.Value{Kind: pql.ValString, Str: v.S}, nil
+	case "int":
+		return pql.Value{Kind: pql.ValInt, Int: v.I}, nil
+	case "bool":
+		return pql.Value{Kind: pql.ValBool, Bool: v.B}, nil
+	case "null":
+		return pql.Value{Kind: pql.ValNull}, nil
+	default:
+		return pql.Value{}, fmt.Errorf("passd: unknown value kind %q", v.K)
+	}
+}
+
+// encodeResult converts a result set to wire rows.
+func encodeResult(res *pql.Result) (cols []string, rows [][]Value) {
+	cols = res.Columns
+	rows = make([][]Value, len(res.Rows))
+	for i, row := range res.Rows {
+		wr := make([]Value, len(row))
+		for j, v := range row {
+			wr[j] = encodeValue(v)
+		}
+		rows[i] = wr
+	}
+	return cols, rows
+}
+
+// decodeResult converts wire rows back to a result set.
+func decodeResult(cols []string, rows [][]Value) (*pql.Result, error) {
+	res := &pql.Result{Columns: cols}
+	for _, wr := range rows {
+		row := make([]pql.Value, len(wr))
+		for j, v := range wr {
+			dv, err := decodeValue(v)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = dv
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

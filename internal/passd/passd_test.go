@@ -1,0 +1,284 @@
+package passd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"passv2/internal/graph"
+	"passv2/internal/pnode"
+	"passv2/internal/pql"
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+// testWaldo builds a Waldo over an in-memory chain database (no volumes:
+// Drain is a no-op, ApplyBatch stands in for ingestion).
+func testWaldo(files int) (*waldo.Waldo, string) {
+	w := waldo.New()
+	var recs []record.Record
+	for i := 1; i <= files; i++ {
+		ref := pnode.Ref{PNode: pnode.PNode(i), Version: 1}
+		recs = append(recs,
+			record.New(ref, record.AttrName, record.StringVal(fmt.Sprintf("/t/%d", i))),
+			record.New(ref, record.AttrType, record.StringVal(record.TypeFile)))
+		if i > 1 {
+			recs = append(recs, record.Input(ref, pnode.Ref{PNode: pnode.PNode(i - 1), Version: 1}))
+		}
+	}
+	w.DB.ApplyBatch(recs)
+	q := fmt.Sprintf(`select A from Provenance.file as F F.input* as A where F.name = "/t/%d"`, files)
+	return w, q
+}
+
+func startServer(t *testing.T, w *waldo.Waldo, cfg Config) *Server {
+	t.Helper()
+	srv, err := Serve(w, cfg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dialClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestServerQuery is the end-to-end smoke test: remote result must be
+// byte-identical to the in-process evaluation.
+func TestServerQuery(t *testing.T) {
+	w, q := testWaldo(20)
+	srv := startServer(t, w, Config{})
+	c := dialClient(t, srv)
+
+	want, err := pql.Run(graph.New(w.DB), q)
+	if err != nil {
+		t.Fatalf("local eval: %v", err)
+	}
+	got, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("remote query: %v", err)
+	}
+	if got.Format() != want.Format() {
+		t.Fatalf("remote result differs:\n--- remote\n%s--- local\n%s", got.Format(), want.Format())
+	}
+	if len(got.Rows) != 20 { // input* closure includes the root itself
+		t.Fatalf("rows = %d, want 20", len(got.Rows))
+	}
+}
+
+func TestServerExplainStatsPingDrain(t *testing.T) {
+	w, q := testWaldo(8)
+	srv := startServer(t, w, Config{})
+	c := dialClient(t, srv)
+
+	plan, err := c.Explain(q)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if !strings.Contains(plan, "name seek") {
+		t.Fatalf("plan missing name seek:\n%s", plan)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := c.Query(q); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	recs, err := c.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wantRecs, _, _ := w.DB.Stats()
+	if recs != wantRecs {
+		t.Fatalf("drain records = %d, want %d", recs, wantRecs)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Records != wantRecs || st.Queries != 1 || st.Drains != 1 || st.Conns != 1 {
+		t.Fatalf("stats = %+v; want records=%d queries=1 drains=1 conns=1", st, wantRecs)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	w, _ := testWaldo(4)
+	srv := startServer(t, w, Config{})
+	c := dialClient(t, srv)
+
+	if _, err := c.Query("select bogus syntax from"); err == nil {
+		t.Fatal("bad query did not error")
+	}
+	// The connection must survive an error and keep serving.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after error: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.QueryErrors != 1 {
+		t.Fatalf("query_errors = %d, want 1", st.QueryErrors)
+	}
+}
+
+// TestServerTimeout runs a three-way cross-product over every object —
+// millions of tuple expansions, far beyond a 20ms budget on any machine —
+// and checks the executor's deadline polling kills it promptly.
+func TestServerTimeout(t *testing.T) {
+	w, _ := testWaldo(256)
+	srv := startServer(t, w, Config{})
+	c := dialClient(t, srv)
+
+	slow := `select A from Provenance.obj as A Provenance.obj as B Provenance.obj as C
+	         where A.name = B.name and B.name = C.name`
+	start := time.Now()
+	_, err := c.QueryTimeout(slow, 20*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("expected timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout enforcement took %v; deadline polling is broken", elapsed)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", st.Timeouts)
+	}
+}
+
+// TestServerBackpressure fills the worker pool and the wait queue by hand,
+// then checks the next query is shed with the overloaded error.
+func TestServerBackpressure(t *testing.T) {
+	w, q := testWaldo(4)
+	srv := startServer(t, w, Config{Workers: 2, MaxQueue: 1})
+	c := dialClient(t, srv)
+
+	// Occupy both worker slots and the entire wait-queue allowance.
+	srv.workers <- struct{}{}
+	srv.workers <- struct{}{}
+	srv.waiting.Add(int64(srv.cfg.MaxQueue))
+
+	if _, err := c.Query(q); err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("expected overloaded error, got %v", err)
+	}
+
+	// Release: the same query must now succeed.
+	srv.waiting.Add(-int64(srv.cfg.MaxQueue))
+	<-srv.workers
+	<-srv.workers
+	if _, err := c.Query(q); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestServerConcurrentClients runs many client connections against a live
+// ingest load — the -race exercise for the whole serving stack.
+func TestServerConcurrentClients(t *testing.T) {
+	w, q := testWaldo(64)
+	srv := startServer(t, w, Config{Workers: 4})
+
+	stop := make(chan struct{})
+	var ingest sync.WaitGroup
+	ingest.Add(1)
+	go func() {
+		defer ingest.Done()
+		for n := 0; n < 500; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := 10000 + n*16
+			var recs []record.Record
+			for i := lo; i < lo+16; i++ {
+				ref := pnode.Ref{PNode: pnode.PNode(i), Version: 1}
+				recs = append(recs,
+					record.New(ref, record.AttrName, record.StringVal(fmt.Sprintf("/bg/%d", i))),
+					record.New(ref, record.AttrType, record.StringVal(record.TypeFile)))
+			}
+			w.DB.ApplyBatch(recs)
+		}
+	}()
+
+	want, err := pql.Run(graph.New(w.DB), q)
+	if err != nil {
+		t.Fatalf("local eval: %v", err)
+	}
+	var clients sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 25; j++ {
+				res, err := c.Query(q)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				// The ingest load never touches the queried chain, so the
+				// snapshot answer is stable across the whole run.
+				if res.Format() != want.Format() {
+					t.Errorf("result drifted under concurrent ingest")
+					return
+				}
+			}
+		}()
+	}
+	clients.Wait()
+	close(stop)
+	ingest.Wait()
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Closed server refuses new connections.
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}
+
+// TestServerCleanShutdown closes the server while a client holds an open
+// connection: the client must observe a closed connection, not a hang.
+func TestServerCleanShutdown(t *testing.T) {
+	w, q := testWaldo(4)
+	srv := startServer(t, w, Config{})
+	c := dialClient(t, srv)
+	if _, err := c.Query(q); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded after server close")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close not idempotent: %v", err)
+	}
+}

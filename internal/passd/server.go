@@ -1,0 +1,400 @@
+package passd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"passv2/internal/graph"
+	"passv2/internal/pql"
+	"passv2/internal/waldo"
+)
+
+// Config configures a Server. The zero value serves on a kernel-assigned
+// loopback port with GOMAXPROCS workers, a queue of 4× that, a 5s default
+// per-query deadline and a 30s cap.
+type Config struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+	// Workers bounds how many queries execute concurrently; <=0 means
+	// GOMAXPROCS (but at least 2, so a slow query cannot starve the pool
+	// alone).
+	Workers int
+	// MaxQueue bounds how many queries may wait for a worker before the
+	// server sheds load; <=0 means 4×Workers.
+	MaxQueue int
+	// DefaultTimeout is the per-query deadline when the request does not
+	// carry one; <=0 means 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; <=0 means 30s.
+	MaxTimeout time.Duration
+}
+
+// ErrOverloaded is the backpressure error: all workers busy and the wait
+// queue full. Clients see its message with an "overloaded:" prefix.
+var ErrOverloaded = errors.New("passd: overloaded, retry later")
+
+// Server is the query daemon: an accept loop, per-connection goroutines,
+// and a bounded worker pool all queries pass through. Create with Serve,
+// stop with Close.
+type Server struct {
+	cfg Config
+	w   *waldo.Waldo
+	ln  net.Listener
+
+	workers chan struct{} // worker-pool slots
+	waiting atomic.Int64  // queries queued for a slot
+	closed  atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	// snap is the current snapshot cache: a pinned view plus everything
+	// soundly shareable across queries on it. Rebuilt (O(1)) whenever the
+	// database generation moves.
+	snapMu sync.Mutex
+	snap   *snapshot
+
+	queries     atomic.Int64
+	queryErrors atomic.Int64
+	timeouts    atomic.Int64
+	shed        atomic.Int64
+	drains      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// snapshot bundles one pinned view with the caches its immutability makes
+// sound: a graph, a shared traversal memo, parsed plans, and finished
+// results keyed by query text. None of it needs invalidation logic — the
+// whole bundle is dropped when the database generation moves.
+type snapshot struct {
+	view *waldo.ReadView
+	g    *graph.Graph
+	memo *graph.SharedMemo
+
+	mu      sync.Mutex
+	plans   map[string]*pql.Plan
+	results map[string]*queryResult
+}
+
+// queryResult is one cached query outcome on a snapshot.
+type queryResult struct {
+	cols    []string
+	rows    [][]Value
+	elapsed int64 // µs spent computing it (cache hits report the original)
+}
+
+// currentSnapshot returns the snapshot cache for the database's current
+// generation, pinning a fresh view when ingestion has advanced it. The
+// generation is read under snapMu so a racing ApplyBatch cannot make two
+// queries replace each other's freshly built same-generation bundle.
+func (s *Server) currentSnapshot() *snapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	gen := s.w.DB.Gen()
+	if s.snap == nil || s.snap.view.Gen() != gen {
+		view := s.w.DB.ReadView()
+		g := graph.New(view)
+		s.snap = &snapshot{
+			view:    view,
+			g:       g,
+			memo:    g.NewSharedMemo(),
+			plans:   make(map[string]*pql.Plan),
+			results: make(map[string]*queryResult),
+		}
+	}
+	return s.snap
+}
+
+// maxCachedQueries bounds each snapshot's plan and result maps: a
+// long-lived generation (a static database with no ingestion never moves
+// it) must not grow server memory without bound under a many-distinct-
+// query workload. Past the cap, queries still execute — they just stop
+// populating the caches.
+const maxCachedQueries = 1024
+
+// plan returns the cached plan for src, parsing and planning on first use.
+func (sn *snapshot) plan(src string) (*pql.Plan, error) {
+	sn.mu.Lock()
+	p, ok := sn.plans[src]
+	sn.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	q, err := pql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p = pql.PlanQuery(q)
+	sn.mu.Lock()
+	if len(sn.plans) < maxCachedQueries {
+		sn.plans[src] = p
+	}
+	sn.mu.Unlock()
+	return p, nil
+}
+
+func (sn *snapshot) cachedResult(src string) (*queryResult, bool) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	r, ok := sn.results[src]
+	return r, ok
+}
+
+func (sn *snapshot) storeResult(src string, r *queryResult) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if len(sn.results) < maxCachedQueries {
+		sn.results[src] = r
+	}
+}
+
+// Serve starts a daemon over w's database and returns once the listener is
+// bound. The returned server is live: connect with Dial(srv.Addr()).
+func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 2 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.Workers
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		w:       w,
+		ln:      ln,
+		workers: make(chan struct{}, cfg.Workers),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address, for clients.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every open connection, and waits for all
+// connection handlers to return. It is idempotent.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle serves one connection: requests are processed sequentially, one
+// JSON line in, one JSON line out. Concurrency comes from connections, not
+// from pipelining within one.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = "bad request: " + err.Error()
+		} else {
+			resp = s.dispatch(&req)
+		}
+		resp.OK = resp.Error == ""
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// ConnCount reports currently open client connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) dispatch(req *Request) Response {
+	switch strings.ToLower(req.Op) {
+	case "query":
+		return s.doQuery(req)
+	case "explain":
+		return s.doExplain(req)
+	case "stats":
+		return Response{Stats: s.snapshotStats()}
+	case "drain":
+		return s.doDrain()
+	case "ping":
+		return Response{}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// acquireWorker takes a worker slot, shedding load when the wait queue is
+// full. The returned release func is nil when the query was shed.
+func (s *Server) acquireWorker() func() {
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		s.shed.Add(1)
+		return nil
+	}
+	s.workers <- struct{}{}
+	s.waiting.Add(-1)
+	return func() { <-s.workers }
+}
+
+func (s *Server) doQuery(req *Request) Response {
+	s.queries.Add(1)
+	release := s.acquireWorker()
+	if release == nil {
+		return Response{Error: "overloaded: " + ErrOverloaded.Error()}
+	}
+	defer release()
+
+	// The heart of the serving layer: pin (or reuse) a snapshot of the
+	// database and answer from it lock-free. Ingestion keeps running; this
+	// query cannot see or cause a torn state. Because the snapshot is
+	// immutable, everything derived from it — plans, traversal memo,
+	// finished results — is shared across queries until ingestion moves
+	// the generation, at which point the whole bundle is dropped.
+	sn := s.currentSnapshot()
+	if r, ok := sn.cachedResult(req.Query); ok {
+		s.cacheHits.Add(1)
+		return Response{Columns: r.cols, Rows: r.rows, Elapsed: r.elapsed}
+	}
+	s.cacheMisses.Add(1)
+
+	plan, err := sn.plan(req.Query)
+	if err != nil {
+		s.queryErrors.Add(1)
+		return Response{Error: err.Error()}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := plan.ExecuteWith(ctx, sn.g, sn.memo)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+			return Response{Error: fmt.Sprintf("timeout: query exceeded %v", timeout)}
+		}
+		s.queryErrors.Add(1)
+		return Response{Error: err.Error()}
+	}
+	cols, rows := encodeResult(res)
+	r := &queryResult{cols: cols, rows: rows, elapsed: time.Since(start).Microseconds()}
+	sn.storeResult(req.Query, r)
+	return Response{Columns: r.cols, Rows: r.rows, Elapsed: r.elapsed}
+}
+
+func (s *Server) doExplain(req *Request) Response {
+	q, err := pql.Parse(req.Query)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{Plan: pql.PlanQuery(q).Describe()}
+}
+
+func (s *Server) doDrain() Response {
+	s.drains.Add(1)
+	if err := s.w.Drain(); err != nil {
+		return Response{Error: err.Error()}
+	}
+	records, _, _ := s.w.DB.Stats()
+	return Response{Records: records}
+}
+
+func (s *Server) snapshotStats() *Stats {
+	// DB.Stats reads the same counters the view would pin, without bumping
+	// the store's write epoch (a view taken here would force the ingest
+	// writer to re-clone every node it touches next batch, for nothing).
+	records, prov, idx := s.w.DB.Stats()
+	return &Stats{
+		Records:     records,
+		ProvBytes:   prov,
+		IdxBytes:    idx,
+		Queries:     s.queries.Load(),
+		QueryErrors: s.queryErrors.Load(),
+		Timeouts:    s.timeouts.Load(),
+		Shed:        s.shed.Load(),
+		Drains:      s.drains.Load(),
+		Conns:       int64(s.ConnCount()),
+		Workers:     s.cfg.Workers,
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+	}
+}

@@ -69,10 +69,11 @@ func Run(g *graph.Graph, src string) (*Result, error) {
 
 // evaluator carries the expression-evaluation state shared by the planned
 // executor (exec.go) and the naive reference evaluator. With memo set,
-// INPUT-edge traversals run through the per-query cache.
+// INPUT-edge traversals run through a cache — per-query (graph.Memo) or
+// shared across queries on a snapshot (graph.SharedMemo).
 type evaluator struct {
 	g    *graph.Graph
-	memo *graph.Memo
+	memo graph.Traversal
 }
 
 type tuple map[string]pnode.Ref

@@ -1,6 +1,7 @@
 package pql
 
 import (
+	"context"
 	"fmt"
 
 	"passv2/internal/graph"
@@ -20,8 +21,33 @@ func Eval(g *graph.Graph, q *Query) (*Result, error) {
 // Execute runs the plan over g. A Plan is immutable and may be executed
 // concurrently; each execution gets its own traversal memo.
 func (p *Plan) Execute(g *graph.Graph) (*Result, error) {
-	ev := &evaluator{g: g, memo: g.NewMemo()}
-	ex := &executor{p: p, ev: ev, roots: make([][]pnode.Ref, len(p.binds))}
+	return p.ExecuteContext(context.Background(), g)
+}
+
+// ExecuteContext is Execute with a deadline/cancellation context — the
+// per-query budget the passd serving layer enforces. The executor polls the
+// context between tuple expansions (every deadlineStride tuples), so
+// cancellation is prompt for the combinatorial part of a query; a single
+// huge root enumeration or closure expansion is not interrupted mid-call.
+func (p *Plan) ExecuteContext(ctx context.Context, g *graph.Graph) (*Result, error) {
+	return p.ExecuteWith(ctx, g, nil)
+}
+
+// ExecuteWith is ExecuteContext with a caller-provided traversal cache —
+// normally a graph.SharedMemo pinned to the same snapshot as g, so closure
+// work is shared across queries (the passd serving layer's amortization).
+// A nil tr gets a fresh per-query memo. The caller owns the soundness
+// contract: a shared cache must only outlive one query if g's sources are
+// immutable for its whole lifetime.
+func (p *Plan) ExecuteWith(ctx context.Context, g *graph.Graph, tr graph.Traversal) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pql: %w", err)
+	}
+	if tr == nil {
+		tr = g.NewMemo()
+	}
+	ev := &evaluator{g: g, memo: tr}
+	ex := &executor{p: p, ev: ev, ctx: ctx, roots: make([][]pnode.Ref, len(p.binds))}
 	tu := make(tuple, len(p.binds))
 	if err := ex.walk(0, tu); err != nil {
 		return nil, err
@@ -29,10 +55,17 @@ func (p *Plan) Execute(g *graph.Graph) (*Result, error) {
 	return ev.project(p.q.Select, ex.kept)
 }
 
+// deadlineStride is how many tuple expansions the executor runs between
+// context polls: large enough to keep the poll off the per-tuple fast path,
+// small enough that deadlines land within microseconds on real queries.
+const deadlineStride = 256
+
 // executor is the state of one plan execution.
 type executor struct {
 	p     *Plan
 	ev    *evaluator
+	ctx   context.Context
+	tick  uint          // tuple expansions since the last context poll
 	roots [][]pnode.Ref // cached tuple-independent root sets, per binding
 	kept  []tuple
 }
@@ -41,6 +74,11 @@ type executor struct {
 // that become decidable at i, and recurses only for tuples that survive —
 // the lazy replacement for cross-product-then-filter.
 func (ex *executor) walk(i int, tu tuple) error {
+	if ex.tick++; ex.tick%deadlineStride == 0 {
+		if err := ex.ctx.Err(); err != nil {
+			return fmt.Errorf("pql: %w", err)
+		}
+	}
 	if i == len(ex.p.binds) {
 		for _, f := range ex.p.residual {
 			ok, err := ex.ev.evalBool(f, tu)

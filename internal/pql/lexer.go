@@ -77,6 +77,7 @@ type SyntaxError struct {
 	Msg string
 }
 
+// Error renders the syntax error with its position.
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("pql: syntax error at offset %d: %s", e.Pos, e.Msg)
 }

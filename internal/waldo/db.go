@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"passv2/internal/kvdb"
 	"passv2/internal/pnode"
@@ -74,9 +75,34 @@ func parseRef(s string) (pnode.Ref, bool) {
 	return pnode.Ref{PNode: parsePN(s[:16]), Version: parseVer(s[17:])}, true
 }
 
+// kvStore is the ordered-read surface the query methods run over: both the
+// live store (*kvdb.DB, reads under its RWMutex) and a pinned snapshot
+// (*kvdb.View, lock-free) provide it.
+type kvStore interface {
+	Get(key string) ([]byte, bool)
+	Has(key string) bool
+	AscendPrefix(prefix string, fn func(key string, value []byte) bool)
+	MaxInPrefix(prefix string) (string, []byte, bool)
+	HasPrefix(prefix string) bool
+}
+
+// reader is the query surface of a provenance database — the methods the
+// graph layer (graph.Source, graph.RefScanner) consumes. It is embedded by
+// both DB (over the live store) and ReadView (over a frozen view), so the
+// two answer queries with identical code.
+type reader struct {
+	store kvStore
+
+	// legacy marks a database loaded from a snapshot that predates the
+	// N|/T| reverse indexes; NameOf/TypeOf then fall back to scanning. It
+	// is set during Load, before the database is shared.
+	legacy bool
+}
+
 // DB is the indexed provenance database.
 type DB struct {
-	kv *kvdb.DB
+	reader
+	kv *kvdb.DB // the live store behind reader.store, for the write paths
 
 	mu        sync.Mutex
 	seqs      map[pnode.Ref]map[record.Attr]int // per-version per-attr row sequence
@@ -86,14 +112,26 @@ type DB struct {
 	idxBytes  int64
 	records   int64
 
-	// legacyIdx marks a database loaded from a snapshot that predates the
-	// N|/T| reverse indexes; NameOf/TypeOf then fall back to scanning.
-	legacyIdx bool
+	// gen counts applied batches: a cheap change detector, so a serving
+	// layer can tell whether a pinned snapshot is still current without
+	// comparing contents.
+	gen atomic.Int64
 }
+
+// Gen returns the database generation: it increases every time a batch of
+// records is applied, and is otherwise stable. Two equal Gen readings
+// bracket an unchanged database, which is what makes snapshot-keyed
+// caches (passd's plan/memo/result caches) sound.
+func (db *DB) Gen() int64 { return db.gen.Load() }
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{kv: kvdb.New(), seqs: make(map[pnode.Ref]map[record.Attr]int)}
+	kv := kvdb.New()
+	return &DB{
+		reader: reader{store: kv},
+		kv:     kv,
+		seqs:   make(map[pnode.Ref]map[record.Attr]int),
+	}
 }
 
 // Apply stores one provenance record and maintains the indexes.
@@ -178,7 +216,7 @@ func (db *DB) ApplyBatch(recs []record.Record) {
 			// A legacy-snapshot database keeps answering NameOf/TypeOf
 			// from scans: seeding the reverse index here could shadow a
 			// newer label that exists only in the un-indexed legacy rows.
-			if db.legacyIdx {
+			if db.legacy {
 				continue
 			}
 			// Reverse index: value carries <ver8x><seq8x> so the most
@@ -244,6 +282,7 @@ func (db *DB) ApplyBatch(recs []record.Record) {
 
 	db.kvBuf = kvs[:0]
 	db.keyBuf = buf[:0]
+	db.gen.Add(1)
 }
 
 // Stats reports sizes for the space-overhead evaluation: records applied,
@@ -258,14 +297,64 @@ func (db *DB) Stats() (records, provBytes, idxBytes int64) {
 // count, depth) for the ingestion benchmarks.
 func (db *DB) TreeStats() kvdb.Stats { return db.kv.Stats() }
 
+// ReadView returns an immutable snapshot of the database. Taking one is
+// O(1) (it pins the store's current tree root; subsequent ingestion
+// copy-on-writes around it) and the view never contends with ApplyBatch —
+// this is what lets many concurrent queries run while ingestion continues.
+//
+// ReadView acquires the database lock, so the snapshot always lands on an
+// ApplyBatch boundary: a view observes a whole number of applied record
+// batches, never a torn one. Relative to Waldo.Drain, that means a prefix
+// of the drained log in applyBatchSize units; take the view after Drain
+// returns to observe everything the drain ingested.
+//
+// A ReadView implements the same query surface as DB (graph.Source and
+// graph.RefScanner), so graph.New(db.ReadView()) builds a graph whose
+// queries are snapshot-isolated and lock-free.
+func (db *DB) ReadView() *ReadView {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return &ReadView{
+		reader:    reader{store: db.kv.View(), legacy: db.legacy},
+		gen:       db.gen.Load(),
+		records:   db.records,
+		provBytes: db.provBytes,
+		idxBytes:  db.idxBytes,
+	}
+}
+
+// ReadView is an immutable snapshot of a provenance database: the full
+// query surface of DB, answered from a frozen tree with no locking. See
+// DB.ReadView.
+type ReadView struct {
+	reader
+	gen       int64
+	records   int64
+	provBytes int64
+	idxBytes  int64
+}
+
+// Gen returns the database generation the view was pinned at; the view is
+// current exactly while DB.Gen() still returns it.
+func (v *ReadView) Gen() int64 { return v.gen }
+
+// Stats reports the record and byte counters pinned when the view was
+// taken.
+func (v *ReadView) Stats() (records, provBytes, idxBytes int64) {
+	return v.records, v.provBytes, v.idxBytes
+}
+
 // --- Query surface (used by the graph view and PQL) ---
+//
+// These methods live on reader, so they serve identically over the live
+// database (*DB) and over a pinned snapshot (*ReadView).
 
 // Attrs returns all attribute records of one object version, in insertion
 // order per attribute.
-func (db *DB) Attrs(ref pnode.Ref) []record.Record {
+func (r *reader) Attrs(ref pnode.Ref) []record.Record {
 	var out []record.Record
 	prefix := "a|" + refKey(ref) + "|"
-	db.kv.AscendPrefix(prefix, func(k string, v []byte) bool {
+	r.store.AscendPrefix(prefix, func(k string, v []byte) bool {
 		rest := k[len(prefix):] // attr|seq
 		attr := rest[:len(rest)-9]
 		val, _, err := record.DecodeValue(v)
@@ -278,30 +367,30 @@ func (db *DB) Attrs(ref pnode.Ref) []record.Record {
 }
 
 // AttrValues returns the values of one attribute on one version.
-func (db *DB) AttrValues(ref pnode.Ref, attr record.Attr) []record.Value {
+func (r *reader) AttrValues(ref pnode.Ref, attr record.Attr) []record.Value {
 	var out []record.Value
-	for _, r := range db.Attrs(ref) {
-		if r.Attr == attr {
-			out = append(out, r.Value)
+	for _, rec := range r.Attrs(ref) {
+		if rec.Attr == attr {
+			out = append(out, rec.Value)
 		}
 	}
 	return out
 }
 
 // Inputs returns the direct ancestors of one object version.
-func (db *DB) Inputs(ref pnode.Ref) []pnode.Ref {
-	return db.edgeScan("i|", ref)
+func (r *reader) Inputs(ref pnode.Ref) []pnode.Ref {
+	return r.edgeScan("i|", ref)
 }
 
 // Dependents returns the direct descendants of one object version.
-func (db *DB) Dependents(ref pnode.Ref) []pnode.Ref {
-	return db.edgeScan("r|", ref)
+func (r *reader) Dependents(ref pnode.Ref) []pnode.Ref {
+	return r.edgeScan("r|", ref)
 }
 
-func (db *DB) edgeScan(space string, ref pnode.Ref) []pnode.Ref {
+func (r *reader) edgeScan(space string, ref pnode.Ref) []pnode.Ref {
 	var out []pnode.Ref
 	prefix := space + refKey(ref) + "|"
-	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+	r.store.AscendPrefix(prefix, func(k string, _ []byte) bool {
 		if dst, ok := parseRef(k[len(prefix):]); ok {
 			out = append(out, dst)
 		}
@@ -311,10 +400,10 @@ func (db *DB) edgeScan(space string, ref pnode.Ref) []pnode.Ref {
 }
 
 // Versions lists all known versions of a pnode, ascending.
-func (db *DB) Versions(pn pnode.PNode) []pnode.Version {
+func (r *reader) Versions(pn pnode.PNode) []pnode.Version {
 	var out []pnode.Version
 	prefix := "v|" + pnKey(pn) + "|"
-	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+	r.store.AscendPrefix(prefix, func(k string, _ []byte) bool {
 		out = append(out, parseVer(k[len(prefix):]))
 		return true
 	})
@@ -324,9 +413,9 @@ func (db *DB) Versions(pn pnode.PNode) []pnode.Version {
 // LatestVersion returns the highest known version of a pnode: one bounded
 // last-key descent in the version index, instead of materializing the full
 // Versions slice and taking its tail.
-func (db *DB) LatestVersion(pn pnode.PNode) (pnode.Version, bool) {
+func (r *reader) LatestVersion(pn pnode.PNode) (pnode.Version, bool) {
 	prefix := "v|" + pnKey(pn) + "|"
-	k, _, ok := db.kv.MaxInPrefix(prefix)
+	k, _, ok := r.store.MaxInPrefix(prefix)
 	if !ok {
 		return 0, false
 	}
@@ -334,13 +423,13 @@ func (db *DB) LatestVersion(pn pnode.PNode) (pnode.Version, bool) {
 }
 
 // ByName returns the pnodes that have carried the exact name.
-func (db *DB) ByName(name string) []pnode.PNode {
-	return db.labelScan("n|", name)
+func (r *reader) ByName(name string) []pnode.PNode {
+	return r.labelScan("n|", name)
 }
 
 // ByType returns the pnodes of one object type.
-func (db *DB) ByType(typ string) []pnode.PNode {
-	return db.labelScan("t|", typ)
+func (r *reader) ByType(typ string) []pnode.PNode {
+	return r.labelScan("t|", typ)
 }
 
 // RefsByType returns every version of every pnode that has carried TYPE
@@ -349,22 +438,22 @@ func (db *DB) ByType(typ string) []pnode.PNode {
 // shared key buffer, instead of ByType building a pnode slice and the graph
 // layer running a dedup-map-and-sort Versions union per pnode. Output is
 // sorted by (pnode, version).
-func (db *DB) RefsByType(typ string) []pnode.Ref {
-	return db.labelRefs("t|" + typ + "\x00")
+func (r *reader) RefsByType(typ string) []pnode.Ref {
+	return r.labelRefs("t|" + typ + "\x00")
 }
 
 // RefsByName returns every version of every pnode that has carried the
 // exact name (graph.RefScanner; the name-equality pushdown seek).
-func (db *DB) RefsByName(name string) []pnode.Ref {
-	return db.labelRefs("n|" + name + "\x00")
+func (r *reader) RefsByName(name string) []pnode.Ref {
+	return r.labelRefs("n|" + name + "\x00")
 }
 
-func (db *DB) labelRefs(prefix string) []pnode.Ref {
+func (r *reader) labelRefs(prefix string) []pnode.Ref {
 	// Collect the pnodes first, then scan their version ranges: the two
 	// phases must not nest, or a reader holding the store's RLock could
 	// deadlock behind a queued ingestion writer.
 	var pns []pnode.PNode
-	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+	r.store.AscendPrefix(prefix, func(k string, _ []byte) bool {
 		pns = append(pns, parsePN(k[len(prefix):]))
 		return true
 	})
@@ -375,7 +464,7 @@ func (db *DB) labelRefs(prefix string) []pnode.Ref {
 		buf = appendHex64(buf, uint64(pn))
 		buf = append(buf, '|')
 		vp := string(buf)
-		db.kv.AscendPrefix(vp, func(vk string, _ []byte) bool {
+		r.store.AscendPrefix(vp, func(vk string, _ []byte) bool {
 			out = append(out, pnode.Ref{PNode: pn, Version: parseVer(vk[len(vp):])})
 			return true
 		})
@@ -385,14 +474,14 @@ func (db *DB) labelRefs(prefix string) []pnode.Ref {
 
 // HasTypedPNode reports whether pn has ever carried TYPE typ: one point
 // lookup in the type index (graph.RefScanner).
-func (db *DB) HasTypedPNode(pn pnode.PNode, typ string) bool {
-	return db.kv.Has("t|" + typ + "\x00" + pnKey(pn))
+func (r *reader) HasTypedPNode(pn pnode.PNode, typ string) bool {
+	return r.store.Has("t|" + typ + "\x00" + pnKey(pn))
 }
 
-func (db *DB) labelScan(space, label string) []pnode.PNode {
+func (r *reader) labelScan(space, label string) []pnode.PNode {
 	var out []pnode.PNode
 	prefix := space + label + "\x00"
-	db.kv.AscendPrefix(prefix, func(k string, _ []byte) bool {
+	r.store.AscendPrefix(prefix, func(k string, _ []byte) bool {
 		out = append(out, parsePN(k[len(prefix):]))
 		return true
 	})
@@ -402,16 +491,16 @@ func (db *DB) labelScan(space, label string) []pnode.PNode {
 // NameOf returns the most recent NAME value of a pnode across versions: an
 // O(log n) point lookup in the reverse name index, with a bounded per-pnode
 // scan as the fallback for pre-index snapshots.
-func (db *DB) NameOf(pn pnode.PNode) (string, bool) {
-	if v, ok := db.kv.Get("N|" + pnKey(pn)); ok && len(v) >= 16 {
+func (r *reader) NameOf(pn pnode.PNode) (string, bool) {
+	if v, ok := r.store.Get("N|" + pnKey(pn)); ok && len(v) >= 16 {
 		return string(v[16:]), true
 	}
-	if !db.isLegacy() {
+	if !r.legacy {
 		return "", false
 	}
 	name, found := "", false
 	prefix := "a|" + pnKey(pn) + "|"
-	db.kv.AscendPrefix(prefix, func(k string, v []byte) bool {
+	r.store.AscendPrefix(prefix, func(k string, v []byte) bool {
 		rest := k[len(prefix):] // ver|attr|seq
 		if len(rest) > 9 && rest[9:len(rest)-9] == string(record.AttrName) {
 			if val, _, err := record.DecodeValue(v); err == nil {
@@ -428,15 +517,15 @@ func (db *DB) NameOf(pn pnode.PNode) (string, bool) {
 // TypeOf returns the TYPE of a pnode, if recorded: an O(log n) point
 // lookup in the reverse type index. Only a database loaded from a snapshot
 // older than the index falls back to walking the t| space.
-func (db *DB) TypeOf(pn pnode.PNode) (string, bool) {
-	if v, ok := db.kv.Get("T|" + pnKey(pn)); ok && len(v) >= 16 {
+func (r *reader) TypeOf(pn pnode.PNode) (string, bool) {
+	if v, ok := r.store.Get("T|" + pnKey(pn)); ok && len(v) >= 16 {
 		return string(v[16:]), true
 	}
-	if !db.isLegacy() {
+	if !r.legacy {
 		return "", false
 	}
 	typ, found := "", false
-	db.kv.AscendPrefix("t|", func(k string, _ []byte) bool {
+	r.store.AscendPrefix("t|", func(k string, _ []byte) bool {
 		body := k[2:]
 		for i := 0; i < len(body); i++ {
 			if body[i] == 0 {
@@ -452,17 +541,11 @@ func (db *DB) TypeOf(pn pnode.PNode) (string, bool) {
 	return typ, found
 }
 
-func (db *DB) isLegacy() bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.legacyIdx
-}
-
 // AllPNodes lists every pnode in the database, ascending.
-func (db *DB) AllPNodes() []pnode.PNode {
+func (r *reader) AllPNodes() []pnode.PNode {
 	seen := make(map[pnode.PNode]bool)
 	var out []pnode.PNode
-	db.kv.AscendPrefix("v|", func(k string, _ []byte) bool {
+	r.store.AscendPrefix("v|", func(k string, _ []byte) bool {
 		pn := parsePN(k[2 : 2+16])
 		if !seen[pn] {
 			seen[pn] = true
@@ -475,9 +558,9 @@ func (db *DB) AllPNodes() []pnode.PNode {
 }
 
 // AllRefs lists every (pnode, version) in the database.
-func (db *DB) AllRefs() []pnode.Ref {
+func (r *reader) AllRefs() []pnode.Ref {
 	var out []pnode.Ref
-	db.kv.AscendPrefix("v|", func(k string, _ []byte) bool {
+	r.store.AscendPrefix("v|", func(k string, _ []byte) bool {
 		if ref, ok := parseRef(k[2:]); ok {
 			out = append(out, ref)
 		}
@@ -486,8 +569,10 @@ func (db *DB) AllRefs() []pnode.Ref {
 	return out
 }
 
-// Save / Load persist the database via the kvdb snapshot format. Derived
-// counters (stats, row sequences) are rebuilt on load.
+// Save / Load persist the database via the kvdb snapshot format. Save pins
+// a store view first, so the written image is consistent even while
+// ingestion continues. Derived counters (stats, row sequences) are rebuilt
+// on load.
 func (db *DB) Save(w io.Writer) error { return db.kv.Save(w) }
 
 // Load reads a database snapshot.
@@ -496,7 +581,11 @@ func Load(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{kv: kv, seqs: make(map[pnode.Ref]map[record.Attr]int)}
+	db := &DB{
+		reader: reader{store: kv},
+		kv:     kv,
+		seqs:   make(map[pnode.Ref]map[record.Attr]int),
+	}
 	kv.AscendPrefix("a|", func(k string, v []byte) bool {
 		db.provBytes += int64(len(k) + len(v))
 		db.records++
@@ -523,7 +612,7 @@ func Load(r io.Reader) (*DB, error) {
 	// serve NameOf/TypeOf by scanning, as the old code did.
 	if (kv.HasPrefix("n|") || kv.HasPrefix("t|")) &&
 		!kv.HasPrefix("N|") && !kv.HasPrefix("T|") {
-		db.legacyIdx = true
+		db.legacy = true
 	}
 	return db, nil
 }

@@ -341,7 +341,7 @@ func TestLegacySnapshotFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !loaded.isLegacy() {
+	if !loaded.legacy {
 		t.Fatal("stripped snapshot not detected as legacy")
 	}
 	if typ, ok := loaded.TypeOf(4); !ok || typ != record.TypeProc {

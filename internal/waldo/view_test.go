@@ -1,0 +1,141 @@
+package waldo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"passv2/internal/graph"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// A ReadView must offer the full query surface the graph layer consumes.
+var (
+	_ graph.Source     = (*ReadView)(nil)
+	_ graph.RefScanner = (*ReadView)(nil)
+	_ graph.Source     = (*DB)(nil)
+	_ graph.RefScanner = (*DB)(nil)
+)
+
+func chainRecords(lo, hi int, name func(int) string) []record.Record {
+	var recs []record.Record
+	for i := lo; i < hi; i++ {
+		ref := pnode.Ref{PNode: pnode.PNode(i), Version: 1}
+		recs = append(recs,
+			record.New(ref, record.AttrName, record.StringVal(name(i))),
+			record.New(ref, record.AttrType, record.StringVal(record.TypeFile)))
+		if i > lo {
+			recs = append(recs, record.Input(ref, pnode.Ref{PNode: pnode.PNode(i - 1), Version: 1}))
+		}
+	}
+	return recs
+}
+
+// TestReadViewSnapshotIsolation pins a view mid-ingestion and checks it
+// answers every query family from the pinned state while the live DB moves
+// on.
+func TestReadViewSnapshotIsolation(t *testing.T) {
+	db := NewDB()
+	name := func(i int) string { return fmt.Sprintf("/f/%d", i) }
+	db.ApplyBatch(chainRecords(1, 101, name))
+
+	v := db.ReadView()
+	wantRecs, wantProv, wantIdx := db.Stats()
+
+	// Everything applied after the pin must be invisible to the view.
+	db.ApplyBatch(chainRecords(101, 201, name))
+	db.Apply(record.New(pnode.Ref{PNode: 50, Version: 2},
+		record.AttrName, record.StringVal("/f/renamed")))
+
+	if got := len(v.AllRefs()); got != 100 {
+		t.Fatalf("view AllRefs = %d, want 100", got)
+	}
+	if got := len(db.AllRefs()); got != 201 { // 200 files + v2 of pnode 50
+		t.Fatalf("live AllRefs = %d, want 201", got)
+	}
+	if _, ok := v.NameOf(150); ok {
+		t.Fatal("view sees a pnode ingested after the pin")
+	}
+	if n, ok := v.NameOf(50); !ok || n != "/f/50" {
+		t.Fatalf("view NameOf(50) = %q, %v; want pinned /f/50", n, ok)
+	}
+	if n, ok := db.NameOf(50); !ok || n != "/f/renamed" {
+		t.Fatalf("live NameOf(50) = %q, %v; want /f/renamed", n, ok)
+	}
+	if got := len(v.RefsByName("/f/42")); got != 1 {
+		t.Fatalf("view RefsByName = %d refs, want 1", got)
+	}
+	if got := len(v.RefsByType(record.TypeFile)); got != 100 {
+		t.Fatalf("view RefsByType = %d, want 100", got)
+	}
+	if lv, ok := v.LatestVersion(50); !ok || lv != 1 {
+		t.Fatalf("view LatestVersion(50) = %d, %v; want 1", lv, ok)
+	}
+	if lv, ok := db.LatestVersion(50); !ok || lv != 2 {
+		t.Fatalf("live LatestVersion(50) = %d, %v; want 2", lv, ok)
+	}
+	recs, prov, idx := v.Stats()
+	if recs != wantRecs || prov != wantProv || idx != wantIdx {
+		t.Fatalf("view Stats = (%d,%d,%d), want pinned (%d,%d,%d)",
+			recs, prov, idx, wantRecs, wantProv, wantIdx)
+	}
+
+	// A graph over the view answers a closure query from the pinned state.
+	g := graph.New(v)
+	anc := g.Ancestors(pnode.Ref{PNode: 100, Version: 1})
+	if len(anc) != 99 {
+		t.Fatalf("view ancestry of pnode 100 = %d refs, want 99", len(anc))
+	}
+}
+
+// TestReadViewConcurrentIngest is the -race exercise: view readers running
+// graph closures while ApplyBatch ingests, plus view pinning from several
+// goroutines.
+func TestReadViewConcurrentIngest(t *testing.T) {
+	db := NewDB()
+	name := func(i int) string { return fmt.Sprintf("/c/%d", i) }
+	db.ApplyBatch(chainRecords(1, 65, name))
+
+	stop := make(chan struct{})
+	var writer, readers sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for n := 0; n < 200; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := 1000 + n*32
+			db.ApplyBatch(chainRecords(lo, lo+32, name))
+			runtime.Gosched()
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			last := int64(-1)
+			for i := 0; i < 40; i++ {
+				v := db.ReadView()
+				recs, _, _ := v.Stats()
+				if recs < last {
+					t.Errorf("views went backwards: %d then %d", last, recs)
+					return
+				}
+				last = recs
+				g := graph.New(v)
+				if got := len(g.Ancestors(pnode.Ref{PNode: 64, Version: 1})); got != 63 {
+					t.Errorf("ancestry under ingest = %d, want 63", got)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}

@@ -27,6 +27,7 @@ import (
 	"passv2/internal/lasagna"
 	"passv2/internal/nfs"
 	"passv2/internal/observer"
+	"passv2/internal/passd"
 	"passv2/internal/pql"
 	"passv2/internal/vfs"
 	"passv2/internal/waldo"
@@ -148,6 +149,18 @@ func (m *Machine) ExplainQuery(q string) (string, error) {
 		return "", err
 	}
 	return pql.PlanQuery(parsed).Describe(), nil
+}
+
+// Serve drains once and starts a passd query daemon over this machine's
+// Waldo database: many clients can then run PQL queries concurrently (each
+// over an immutable snapshot) while the machine keeps generating and
+// ingesting provenance. Stop it with Close; see passv2/internal/passd for
+// the protocol and cmd/pql -remote for a client.
+func (m *Machine) Serve(cfg passd.Config) (*passd.Server, error) {
+	if err := m.Drain(); err != nil {
+		return nil, err
+	}
+	return passd.Serve(m.Waldo, cfg)
 }
 
 // QueryWith runs a PQL query over this machine's provenance joined with
