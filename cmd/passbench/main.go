@@ -14,12 +14,14 @@
 //	passbench -ingest             # Waldo log→database pipeline throughput
 //	passbench -query              # PQL planner vs naive evaluator
 //	passbench -serve              # passd concurrent serving vs serialized queries
+//	passbench -recover            # checkpoint recovery vs from-zero re-ingest (BENCH_recover.json)
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
 //	passbench -records 100000     # ingest benchmark size
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +45,10 @@ func main() {
 	serveRecords := flag.Int("serve-records", 24000, "serve: records in the benchmark database")
 	serveClients := flag.Int("serve-clients", 16, "serve: concurrent passd clients")
 	serveSecs := flag.Float64("serve-secs", 3.0, "serve: seconds per measured phase")
+	recoverFlag := flag.Bool("recover", false, "measure checkpoint recovery vs from-zero re-ingest")
+	recoverRecords := flag.Int("recover-records", 120000, "recover: records ingested before the checkpoint")
+	recoverTail := flag.Int("recover-tail", 2000, "recover: records appended after the checkpoint")
+	recoverJSON := flag.String("recover-json", "BENCH_recover.json", "recover: file for the JSON result (empty = don't write)")
 	flag.Parse()
 
 	if *ingest || *all {
@@ -59,6 +65,12 @@ func main() {
 	}
 	if *serve || *all {
 		runServe(*serveRecords, *serveClients, *serveSecs)
+		if !*all {
+			return
+		}
+	}
+	if *recoverFlag || *all {
+		runRecover(*recoverRecords, *recoverTail, *recoverJSON)
 		if !*all {
 			return
 		}
@@ -119,6 +131,18 @@ func runServe(records, clients int, secs float64) {
 	res, err := bench.Serve(records, clients, secs)
 	die(err)
 	bench.PrintServe(os.Stdout, res)
+}
+
+func runRecover(records, tail int, jsonPath string) {
+	res, err := bench.Recover(records, tail)
+	die(err)
+	bench.PrintRecover(os.Stdout, res)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		die(err)
+		die(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
 }
 
 func die(err error) {

@@ -1,13 +1,26 @@
-// Command passd runs the PASSv2 provenance query daemon: it loads a
-// database snapshot (written with Machine.SaveDB or waldo.DB.Save) and
-// serves PQL queries to many concurrent clients over the line-oriented
-// JSON protocol in DESIGN.md §7. Every query runs on an immutable snapshot
-// of the database, so readers never block ingestion or each other.
+// Command passd runs the PASSv2 provenance query daemon: it serves PQL
+// queries to many concurrent clients over the line-oriented JSON protocol
+// in DESIGN.md §7. Every query runs on an immutable snapshot of the
+// database, so readers never block ingestion or each other.
+//
+// The database comes from one of three places: a snapshot file (-db,
+// written with Machine.SaveDB or waldo.DB.Save), the built-in demo
+// database (-demo), or a provenance log directory on the local file
+// system (-logdir), which the daemon tails continuously and extends via
+// the protocol's "append" verb.
+//
+// With -checkpoint-dir the daemon is crash-durable: a background
+// checkpointer persists atomic generations (database snapshot + log tail
+// offsets, DESIGN.md §8), and on boot the daemon recovers the newest
+// valid generation — falling back across corrupt ones — and re-drains
+// only the log bytes past the checkpointed offsets, so restart work is
+// proportional to the tail, not the log.
 //
 // Usage:
 //
 //	passd -db prov.db                 # serve a snapshot on 127.0.0.1:7457
 //	passd -demo -addr :9000           # serve the built-in demo database
+//	passd -logdir /var/pass/log -checkpoint-dir /var/pass/ckpt
 //	passd -db prov.db -workers 8 -timeout 10s
 //
 // Query it with cmd/pql:
@@ -24,24 +37,58 @@ import (
 	"time"
 
 	"passv2/internal/bench"
+	"passv2/internal/checkpoint"
 	"passv2/internal/passd"
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
 	"passv2/internal/waldo"
 )
+
+// logVolumeName is the stable volume identity under which a -logdir tail
+// is checkpointed; it must not change across restarts or recovery could
+// not match the recorded offsets back to the volume.
+const logVolumeName = "logdir"
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7457", "TCP listen address")
 	dbPath := flag.String("db", "", "provenance database snapshot to serve")
 	demo := flag.Bool("demo", false, "serve a built-in demo database instead of -db")
+	logDir := flag.String("logdir", "", "provenance log directory to tail (and append to) on the local file system")
+	drainInterval := flag.Duration("drain-interval", 500*time.Millisecond, "how often the daemon drains the -logdir log")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable checkpoints (enables crash recovery)")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "elapsed-time checkpoint trigger")
+	ckptRecords := flag.Int64("checkpoint-records", 50000, "records-ingested checkpoint trigger (0 = interval only)")
+	retain := flag.Int("retain", checkpoint.DefaultRetain, "checkpoint generations to keep")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max queries waiting for a worker before shedding (0 = 4x workers)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
 	flag.Parse()
 
+	// Boot-time recovery: load the newest valid checkpoint generation,
+	// falling back across corrupt ones, before deciding the database.
+	var (
+		store *checkpoint.Store
+		rec   *checkpoint.Recovered
+	)
+	if *ckptDir != "" {
+		var err error
+		store, err = checkpoint.OpenDir(*ckptDir, *retain)
+		die(err)
+		rec, err = store.Load()
+		die(err)
+		for _, skip := range rec.Skipped {
+			fmt.Printf("passd: recovery skipped generation %d: %s\n", skip.Gen, skip.Reason)
+		}
+	}
+
 	var db *waldo.DB
 	switch {
-	case *demo:
-		db = bench.DemoDB()
+	case rec != nil && rec.DB != nil:
+		db = rec.DB
+		fmt.Printf("passd: recovered checkpoint generation %d (%d records, %d snapshot bytes)\n",
+			rec.Gen, rec.Records, rec.SnapshotBytes)
 	case *dbPath != "":
 		f, err := os.Open(*dbPath)
 		die(err)
@@ -49,19 +96,67 @@ func main() {
 		db, lerr = waldo.Load(f)
 		f.Close()
 		die(lerr)
+	case *demo:
+		db = bench.DemoDB()
+	case *logDir != "":
+		db = waldo.NewDB() // cold start: everything replays from the log
 	default:
-		fmt.Fprintln(os.Stderr, "passd: need -db <snapshot> or -demo")
+		fmt.Fprintln(os.Stderr, "passd: need -db <snapshot>, -demo, -logdir <dir> or a recoverable -checkpoint-dir")
 		os.Exit(2)
 	}
 
 	w := waldo.New()
 	w.DB = db
+
+	// Attach the on-disk log, if any: a write-through provlog on a DirFS,
+	// so acknowledged appends survive a SIGKILL.
+	var appendFn func([]record.Record) error
+	if *logDir != "" {
+		dfs, err := vfs.NewDirFS(*logDir)
+		die(err)
+		log, err := provlog.NewWriter(dfs, "/", 0)
+		die(err)
+		w.Attach(waldo.NewLogVolume(logVolumeName, dfs, log))
+		appendFn = func(recs []record.Record) error {
+			for _, r := range recs {
+				if err := log.AppendRecord(0, r); err != nil {
+					return err
+				}
+			}
+			// One fsync per acknowledged batch: an acked append survives
+			// OS crash and power loss, not just a daemon kill.
+			return log.Sync()
+		}
+	}
+	if rec != nil && rec.DB != nil {
+		for _, name := range w.RestoreVolumes(rec.Volumes) {
+			fmt.Printf("passd: checkpointed volume %q has no attached log; its offsets were dropped\n", name)
+		}
+	}
+
+	// Catch-up drain: with a recovered checkpoint this reads only the log
+	// tail past the recorded offsets (proportional work); cold it replays
+	// the whole log.
+	if *logDir != "" {
+		die(w.Drain())
+		if rec != nil && rec.DB != nil {
+			fmt.Printf("passd: resumed past %d checkpointed log bytes, replayed %d tail entries\n",
+				rec.ResumeBytes(), w.EntriesDecoded())
+		}
+		w.Start(*drainInterval)
+	}
+
 	srv, err := passd.Serve(w, passd.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		MaxQueue:       *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Addr:               *addr,
+		Workers:            *workers,
+		MaxQueue:           *queue,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		Checkpoints:        store,
+		CheckpointInterval: *ckptInterval,
+		CheckpointEvery:    *ckptRecords,
+		Append:             appendFn,
+		Recovered:          rec,
 	})
 	die(err)
 	records, _, _ := db.Stats()
@@ -71,7 +166,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("passd: shutting down")
-	die(srv.Close())
+	if *logDir != "" {
+		die(w.Stop()) // final drain so the shutdown checkpoint is complete
+	}
+	die(srv.Close()) // flushes a final checkpoint generation
 }
 
 func die(err error) {

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"passv2/internal/checkpoint"
+	"passv2/internal/pnode"
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+	"runtime"
+)
+
+// RecoverResult reports the restart-cost comparison DESIGN.md §8 is
+// about: recovering a serving database from the newest checkpoint plus a
+// tail replay, versus re-ingesting the whole log from byte zero.
+type RecoverResult struct {
+	Records     int64 `json:"records"`      // records ingested before the checkpoint
+	TailRecords int64 `json:"tail_records"` // records appended after the checkpoint
+	LogBytes    int64 `json:"log_bytes"`    // total log size at crash time
+
+	SnapshotBytes int64   `json:"snapshot_bytes"` // checkpoint snapshot size
+	ResumeBytes   int64   `json:"resume_bytes"`   // log bytes the checkpoint lets recovery skip
+	ReplayedBytes int64   `json:"replayed_bytes"` // log bytes recovery actually read
+	ReplayedRecs  int64   `json:"replayed_records"`
+	FromZeroSecs  float64 `json:"from_zero_secs"`
+	FromCkptSecs  float64 `json:"from_checkpoint_secs"`
+	Speedup       float64 `json:"speedup"`
+	Verified      bool    `json:"verified"` // recovered DB byte-identical to re-ingested DB
+}
+
+// Recover measures restart cost: ingest `records` provenance records from
+// a log, checkpoint, append `tail` more, then time (a) a from-zero
+// re-ingest of the whole log and (b) checkpoint recovery plus tail
+// replay. Both paths are verified byte-identical before any number is
+// reported.
+func Recover(records, tail int) (RecoverResult, error) {
+	res := RecoverResult{}
+	lower := vfs.NewMemFS("lower", nil)
+	log, err := provlog.NewWriter(lower, "/log", 1<<22)
+	if err != nil {
+		return res, err
+	}
+	log.SetBuffer(1 << 16)
+	appendRecords := func(lo, n int) error {
+		for i := lo; i < lo+n; i += 2 {
+			ref := pnode.Ref{PNode: pnode.PNode(i%4096 + 1), Version: 1}
+			if err := log.AppendRecord(0, record.New(ref, record.AttrName,
+				record.StringVal(fmt.Sprintf("/data/f%d", i)))); err != nil {
+				return err
+			}
+			if err := log.AppendRecord(0, record.Input(ref,
+				pnode.Ref{PNode: pnode.PNode(i%97 + 100000), Version: 1})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Ingest the body, checkpoint, append the tail (the "crash" point).
+	if err := appendRecords(0, records); err != nil {
+		return res, err
+	}
+	w := waldo.New()
+	w.Attach(waldo.NewLogVolume("vol", lower, log))
+	if err := w.Drain(); err != nil {
+		return res, err
+	}
+	store, err := checkpoint.NewStore(vfs.NewMemFS("ck", nil), "/ck", 2)
+	if err != nil {
+		return res, err
+	}
+	info, err := store.Write(w.CheckpointState())
+	if err != nil {
+		return res, err
+	}
+	res.Records = info.Records
+	res.SnapshotBytes = info.SnapshotBytes
+	if err := appendRecords(records, tail); err != nil {
+		return res, err
+	}
+	if err := log.Flush(); err != nil {
+		return res, err
+	}
+	res.TailRecords = int64(tail)
+	files, err := provlog.LogFiles(lower, "/log")
+	if err != nil {
+		return res, err
+	}
+	for _, f := range files {
+		if st, err := lower.Stat(f); err == nil {
+			res.LogBytes += st.Size
+		}
+	}
+
+	// From-zero re-ingest: a fresh process with no checkpoint.
+	zeroLog, err := provlog.NewWriter(lower, "/log", 1<<22)
+	if err != nil {
+		return res, err
+	}
+	zero := waldo.New()
+	zero.Attach(waldo.NewLogVolume("vol", lower, zeroLog))
+	runtime.GC() // each phase pays only for its own garbage
+	start := time.Now()
+	if err := zero.Drain(); err != nil {
+		return res, err
+	}
+	res.FromZeroSecs = time.Since(start).Seconds()
+
+	// Checkpoint recovery: load the newest generation, seed the offsets,
+	// replay the tail. Timed end to end, snapshot load included.
+	ckptLog, err := provlog.NewWriter(lower, "/log", 1<<22)
+	if err != nil {
+		return res, err
+	}
+	runtime.GC()
+	start = time.Now()
+	rec, err := store.Load()
+	if err != nil {
+		return res, err
+	}
+	if rec.DB == nil {
+		return res, fmt.Errorf("bench: no checkpoint recovered (skipped %v)", rec.Skipped)
+	}
+	recovered := waldo.New()
+	recovered.DB = rec.DB
+	recovered.Attach(waldo.NewLogVolume("vol", lower, ckptLog))
+	if missing := recovered.RestoreVolumes(rec.Volumes); len(missing) != 0 {
+		return res, fmt.Errorf("bench: unmatched checkpoint volumes %v", missing)
+	}
+	if err := recovered.Drain(); err != nil {
+		return res, err
+	}
+	res.FromCkptSecs = time.Since(start).Seconds()
+	res.ResumeBytes = rec.ResumeBytes()
+	res.ReplayedBytes = res.LogBytes - res.ResumeBytes
+	recs, _, _ := recovered.DB.Stats()
+	res.ReplayedRecs = recs - rec.Records
+	if res.FromCkptSecs > 0 {
+		res.Speedup = res.FromZeroSecs / res.FromCkptSecs
+	}
+
+	// Correctness gate: both paths must produce the same database.
+	var zb, cb bytes.Buffer
+	if err := zero.DB.Save(&zb); err != nil {
+		return res, err
+	}
+	if err := recovered.DB.Save(&cb); err != nil {
+		return res, err
+	}
+	res.Verified = bytes.Equal(zb.Bytes(), cb.Bytes())
+	if !res.Verified {
+		return res, fmt.Errorf("bench: recovered database differs from from-zero re-ingest")
+	}
+	return res, nil
+}
+
+// PrintRecover renders a RecoverResult.
+func PrintRecover(w io.Writer, r RecoverResult) {
+	fmt.Fprintf(w, "checkpoint recovery vs from-zero re-ingest\n")
+	fmt.Fprintf(w, "  log:        %d records + %d tail records, %d bytes\n", r.Records, r.TailRecords, r.LogBytes)
+	fmt.Fprintf(w, "  checkpoint: %d snapshot bytes covering %d records (%d log bytes skippable)\n",
+		r.SnapshotBytes, r.Records, r.ResumeBytes)
+	fmt.Fprintf(w, "  from zero:  %8.3fs  (decode + re-index the whole log)\n", r.FromZeroSecs)
+	fmt.Fprintf(w, "  recovery:   %8.3fs  (snapshot load + %d-byte tail replay, %d records)\n",
+		r.FromCkptSecs, r.ReplayedBytes, r.ReplayedRecs)
+	fmt.Fprintf(w, "  speedup:    %8.1fx  (verified byte-identical: %v)\n", r.Speedup, r.Verified)
+}

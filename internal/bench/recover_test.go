@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRecoverShape runs the recovery benchmark at a small scale and
+// checks its internal consistency: the correctness gate (recovered ==
+// from-zero) must hold, and the replayed bytes must be exactly the log
+// minus the checkpointed offsets.
+func TestRecoverShape(t *testing.T) {
+	res, err := Recover(4000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("recovered database not verified identical")
+	}
+	if res.Records != 4000 || res.ReplayedRecs != 200 {
+		t.Fatalf("records %d / replayed %d, want 4000 / 200", res.Records, res.ReplayedRecs)
+	}
+	if res.ResumeBytes <= 0 || res.ResumeBytes+res.ReplayedBytes != res.LogBytes {
+		t.Fatalf("byte accounting off: resume %d + replayed %d != log %d",
+			res.ResumeBytes, res.ReplayedBytes, res.LogBytes)
+	}
+	if res.SnapshotBytes <= 0 || res.FromZeroSecs <= 0 || res.FromCkptSecs <= 0 {
+		t.Fatalf("degenerate timings/sizes: %+v", res)
+	}
+	var buf bytes.Buffer
+	PrintRecover(&buf, res)
+	if buf.Len() == 0 {
+		t.Fatal("PrintRecover wrote nothing")
+	}
+}

@@ -1,0 +1,216 @@
+// Package checkpoint persists durable, crash-atomic checkpoints of the
+// query stack's state — the restartability layer the paper's recovery
+// story (§5.6/§6.1.2) stops short of. A Lasagna log is crash-safe, but the
+// Waldo database above it is an in-memory tree: without checkpoints a
+// daemon crash forces re-ingestion from byte zero of every volume log.
+// A checkpoint makes restart work proportional to the log tail instead:
+// it bundles a database snapshot with the per-volume provlog offsets (and
+// open-transaction buffers) pinned on the same ApplyBatch boundary
+// (waldo.Waldo.CheckpointState), so recovery loads the snapshot and
+// resumes Drain from the recorded offsets, reading only bytes the
+// checkpoint has not covered.
+//
+// On-disk layout, one generation per checkpoint (gen = the database's
+// batch generation, monotonic across restarts via waldo.DB.RestoreGen):
+//
+//	ckpt-<gen16x>.db    kvdb snapshot stream (waldo.ReadView.Save)
+//	ckpt-<gen16x>.meta  manifest: magic, gen, record count, snapshot
+//	                    size+CRC, per-volume offsets and pending
+//	                    transactions, trailing CRC-32 over the whole file
+//
+// Commit protocol: both files are written to tmp- names, fsynced, and
+// renamed into place — snapshot first, manifest last, directory synced
+// after each rename. The manifest rename is the commit point: a crash
+// anywhere earlier leaves at worst a stale tmp file or an orphaned
+// snapshot, both invisible to recovery and collected by the next
+// retention sweep. Load walks generations newest-first and falls back
+// across corrupt or torn ones (bad magic, bad CRC, truncated snapshot,
+// missing files), reporting everything it skipped; it never serves a
+// half-loaded database.
+//
+// The store works over any vfs.FS: a MemFS under the fault-injection
+// wrapper (vfs.FaultFS) for the crash-equivalence sweep, a vfs.DirFS for
+// the real daemon's on-disk checkpoints.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"passv2/internal/record"
+	"passv2/internal/waldo"
+)
+
+// metaMagic heads every manifest file.
+var metaMagic = []byte("PASSCKPT1\n")
+
+// ErrBadManifest reports an unreadable or corrupt manifest.
+var ErrBadManifest = errors.New("checkpoint: bad manifest")
+
+// manifest is the decoded form of a ckpt-*.meta file. Records, ProvBytes
+// and IdxBytes are the pinned database counters: recovery seeds the loaded
+// database with them (waldo.LoadCheckpoint) instead of recomputing them
+// with full-store scans.
+type manifest struct {
+	Gen       int64
+	Records   int64
+	ProvBytes int64
+	IdxBytes  int64
+	SnapSize  int64
+	SnapCRC   uint32
+	Volumes   []waldo.VolumeState
+}
+
+// encodeManifest renders the manifest, including magic and trailing CRC.
+func encodeManifest(m *manifest) []byte {
+	out := append([]byte(nil), metaMagic...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.Gen))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.Records))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.ProvBytes))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.IdxBytes))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.SnapSize))
+	out = binary.LittleEndian.AppendUint32(out, m.SnapCRC)
+	out = binary.AppendUvarint(out, uint64(len(m.Volumes)))
+	for i := range m.Volumes {
+		v := &m.Volumes[i]
+		out = binary.AppendUvarint(out, uint64(len(v.Name)))
+		out = append(out, v.Name...)
+		out = binary.AppendUvarint(out, uint64(len(v.Offsets)))
+		// Offsets sorted by sequence so the encoding is deterministic.
+		seqs := make([]uint64, 0, len(v.Offsets))
+		for seq := range v.Offsets {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			out = binary.LittleEndian.AppendUint64(out, seq)
+			out = binary.LittleEndian.AppendUint64(out, uint64(v.Offsets[seq]))
+		}
+		out = binary.AppendUvarint(out, uint64(len(v.Pending)))
+		for _, p := range v.Pending {
+			out = binary.LittleEndian.AppendUint64(out, p.ID)
+			out = binary.AppendUvarint(out, uint64(len(p.Records)))
+			for _, r := range p.Records {
+				out = record.AppendRecord(out, r)
+			}
+		}
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// decodeManifest parses and validates a manifest file image.
+func decodeManifest(data []byte) (*manifest, error) {
+	if len(data) < len(metaMagic)+4 {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrBadManifest, len(data))
+	}
+	if string(data[:len(metaMagic)]) != string(metaMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadManifest)
+	}
+	d := &mdecoder{buf: body, off: len(metaMagic)}
+	m := &manifest{
+		Gen:       int64(d.u64()),
+		Records:   int64(d.u64()),
+		ProvBytes: int64(d.u64()),
+		IdxBytes:  int64(d.u64()),
+		SnapSize:  int64(d.u64()),
+		SnapCRC:   d.u32(),
+	}
+	nVols := d.uvarint()
+	for i := uint64(0); i < nVols && d.err == nil; i++ {
+		var v waldo.VolumeState
+		v.Name = string(d.bytes(d.uvarint()))
+		nOff := d.uvarint()
+		v.Offsets = make(map[uint64]int64, nOff)
+		for j := uint64(0); j < nOff && d.err == nil; j++ {
+			seq := d.u64()
+			v.Offsets[seq] = int64(d.u64())
+		}
+		nPend := d.uvarint()
+		for j := uint64(0); j < nPend && d.err == nil; j++ {
+			p := waldo.PendingTxn{ID: d.u64()}
+			nRecs := d.uvarint()
+			for k := uint64(0); k < nRecs && d.err == nil; k++ {
+				rec, n, err := record.DecodeRecord(d.buf[d.off:])
+				if err != nil {
+					d.err = err
+					break
+				}
+				d.off += n
+				p.Records = append(p.Records, rec)
+			}
+			v.Pending = append(v.Pending, p)
+		}
+		m.Volumes = append(m.Volumes, v)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, d.err)
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadManifest, len(body)-d.off)
+	}
+	return m, nil
+}
+
+// mdecoder is a tiny error-latching cursor over the manifest body.
+type mdecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *mdecoder) need(n int) bool {
+	if d.err != nil || d.off+n > len(d.buf) {
+		if d.err == nil {
+			d.err = errors.New("short read")
+		}
+		return false
+	}
+	return true
+}
+
+func (d *mdecoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *mdecoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *mdecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = errors.New("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *mdecoder) bytes(n uint64) []byte {
+	if n > uint64(len(d.buf)) || !d.need(int(n)) {
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}

@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passv2/internal/vfs"
+)
+
+// TestPropertyCrashEquivalence is the waldo-layer analogue of
+// lasagna/crash_property_test.go: for random workloads, a crash is
+// injected at every mutating operation (create, write, fsync, rename,
+// remove, directory sync) of the checkpoint write path, and after each
+// crash the recovered database — newest surviving checkpoint plus replay
+// of the log from its recorded offsets — must be byte-identical (a full
+// Ascend compare via the snapshot encoding) to a from-zero re-ingest of
+// the same log. The workload deliberately leaves a transaction open
+// across the first checkpoint and closes it in the second phase, so the
+// sweep also proves pending-transaction state survives the cut.
+//
+// The run is deterministic per (seed, crash point): the log bytes, the
+// checkpoint contents and therefore the mutating-op count N are identical
+// across re-runs, so a first uncrashed run learns N and the sweep re-runs
+// the scenario N times, killing the store at each op in turn.
+func TestPropertyCrashEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Learning run: no crash point; count the checkpoint path's
+			// mutating ops.
+			_, fault, _ := runScenario(t, seed, 0)
+			total := fault.Ops()
+			if total < 10 {
+				t.Fatalf("checkpoint path performed only %d mutating ops; sweep would be vacuous", total)
+			}
+			for k := int64(1); k <= total; k++ {
+				ckInner, fault, logLower := runScenario(t, seed, k)
+				if !fault.Crashed() {
+					t.Fatalf("crash point %d/%d not reached", k, total)
+				}
+				verifyRecovery(t, seed, k, ckInner, logLower)
+			}
+		})
+	}
+}
+
+// runScenario replays the deterministic workload for seed with a crash
+// armed at mutating op k of the checkpoint store's FS (k=0: never crash).
+// The scenario stops where a real process would die: at the first failed
+// checkpoint write. It returns the checkpoint FS as the crash left it and
+// the log FS in its final state.
+func runScenario(t *testing.T, seed, k int64) (*vfs.MemFS, *vfs.FaultFS, *vfs.MemFS) {
+	t.Helper()
+	ckInner := vfs.NewMemFS("ck", nil)
+	fault := vfs.NewFaultFS(ckInner)
+	fault.SetCrashPoint(k)
+	store, err := NewStore(fault, "/ck", 2)
+	if err != nil {
+		// Creating the checkpoint directory is mutating op 1 of the path.
+		if !errors.Is(err, vfs.ErrInjectedCrash) {
+			t.Fatal(err)
+		}
+		return ckInner, fault, vfs.NewMemFS("log", nil)
+	}
+	logLower := vfs.NewMemFS("log", nil)
+	wd, log := newLogWaldo(t, logLower)
+	rng := rand.New(rand.NewSource(seed))
+
+	phase1 := rng.Intn(400) + 200
+	phase2 := rng.Intn(200) + 100
+	openTxn := uint64(7)
+
+	appendWorkload(t, rng, log, 0, phase1, openTxn)
+	if err := wd.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write(wd.CheckpointState()); err != nil {
+		if !errors.Is(err, vfs.ErrInjectedCrash) {
+			t.Fatalf("checkpoint 1 failed for a non-crash reason: %v", err)
+		}
+		return ckInner, fault, logLower
+	}
+	appendWorkload(t, rng, log, phase1, phase2, 0)
+	if err := log.AppendEndTxn(openTxn); err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write(wd.CheckpointState()); err != nil {
+		if !errors.Is(err, vfs.ErrInjectedCrash) {
+			t.Fatalf("checkpoint 2 failed for a non-crash reason: %v", err)
+		}
+	}
+	return ckInner, fault, logLower
+}
+
+// verifyRecovery recovers from the post-crash checkpoint directory (read
+// directly, as a restarted process would), replays the log, and compares
+// against a from-zero re-ingest of the same log bytes.
+func verifyRecovery(t *testing.T, seed, k int64, ckInner, logLower *vfs.MemFS) {
+	t.Helper()
+	store, err := NewStore(ckInner, "/ck", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := store.Load()
+	if err != nil {
+		t.Fatalf("seed %d crash %d: Load: %v", seed, k, err)
+	}
+	wd, _ := newLogWaldo(t, logLower)
+	if rec.DB != nil {
+		wd.DB = rec.DB
+		if missing := wd.RestoreVolumes(rec.Volumes); len(missing) != 0 {
+			t.Fatalf("seed %d crash %d: unmatched volumes %v", seed, k, missing)
+		}
+	}
+	if err := wd.Drain(); err != nil {
+		t.Fatalf("seed %d crash %d: replay drain: %v", seed, k, err)
+	}
+
+	ref, _ := newLogWaldo(t, logLower)
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(dbBytes(t, wd.DB), dbBytes(t, ref.DB)) {
+		t.Fatalf("seed %d crash %d (recovered gen %d, skipped %v): recovered database differs from from-zero re-ingest",
+			seed, k, rec.Gen, rec.Skipped)
+	}
+	gotRecs, _, _ := wd.DB.Stats()
+	wantRecs, _, _ := ref.DB.Stats()
+	if gotRecs != wantRecs {
+		t.Fatalf("seed %d crash %d: recovered %d records, from-zero %d", seed, k, gotRecs, wantRecs)
+	}
+	// Open-transaction state must also match: the same orphans are
+	// pending on both sides.
+	if got, want := fmt.Sprint(wd.OrphanTxns()), fmt.Sprint(ref.OrphanTxns()); got != want {
+		t.Fatalf("seed %d crash %d: pending txns %v, from-zero %v", seed, k, got, want)
+	}
+}

@@ -1,0 +1,357 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// DefaultRetain is how many checkpoint generations a store keeps when the
+// caller does not say: the newest to recover from, plus fallbacks should
+// it prove corrupt.
+const DefaultRetain = 3
+
+// Store reads and writes checkpoints in one directory of an FS. Methods
+// are not safe for concurrent use with each other; the daemon serializes
+// them behind its checkpointer mutex.
+type Store struct {
+	fs     vfs.FS
+	dir    string
+	retain int
+}
+
+// NewStore opens (creating if needed) a checkpoint directory on fs.
+// retain <= 0 means DefaultRetain.
+func NewStore(fs vfs.FS, dir string, retain int) (*Store, error) {
+	dir = vfs.Clean(dir)
+	if err := fs.MkdirAll(dir); err != nil && !errors.Is(err, vfs.ErrExist) {
+		return nil, err
+	}
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Store{fs: fs, dir: dir, retain: retain}, nil
+}
+
+// OpenDir opens a checkpoint store on a real OS directory — the form the
+// passd daemon uses (-checkpoint-dir).
+func OpenDir(path string, retain int) (*Store, error) {
+	dfs, err := vfs.NewDirFS(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(dfs, "/", retain)
+}
+
+// Dir returns the store's directory path within its FS.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) snapPath(gen int64) string {
+	return vfs.Join(s.dir, fmt.Sprintf("ckpt-%016x.db", uint64(gen)))
+}
+
+func (s *Store) metaPath(gen int64) string {
+	return vfs.Join(s.dir, fmt.Sprintf("ckpt-%016x.meta", uint64(gen)))
+}
+
+// parseGen extracts the generation from a checkpoint file name
+// ("ckpt-<gen16x>.db" / ".meta"), reporting the extension.
+func parseGen(name string) (gen int64, ext string, ok bool) {
+	if !strings.HasPrefix(name, "ckpt-") {
+		return 0, "", false
+	}
+	rest := name[len("ckpt-"):]
+	dot := strings.IndexByte(rest, '.')
+	if dot != 16 {
+		return 0, "", false
+	}
+	n, err := strconv.ParseUint(rest[:dot], 16, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return int64(n), rest[dot+1:], true
+}
+
+// Info describes one written checkpoint.
+type Info struct {
+	Gen           int64
+	Records       int64
+	SnapshotBytes int64
+}
+
+// Write persists one checkpoint generation: snapshot then manifest, each
+// through a temp file, fsync and atomic rename, with a directory sync
+// after each rename. The manifest rename is the commit point. After
+// committing, a retention sweep removes generations beyond the store's
+// retain count, stale temp files, and orphaned snapshots.
+func (s *Store) Write(cp *waldo.CheckpointState) (Info, error) {
+	info := Info{Gen: cp.Gen, Records: cp.Records}
+
+	// Snapshot.
+	snapTmp := vfs.Join(s.dir, fmt.Sprintf("tmp-ckpt-%016x.db", uint64(cp.Gen)))
+	f, err := s.fs.Open(snapTmp, vfs.OCreate|vfs.ORdWr|vfs.OTrunc)
+	if err != nil {
+		return info, err
+	}
+	fw := &fileWriter{f: f, crc: crc32.NewIEEE()}
+	if err := cp.View.Save(fw); err != nil {
+		f.Close()
+		return info, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return info, err
+	}
+	if err := f.Close(); err != nil {
+		return info, err
+	}
+	if err := s.fs.Rename(snapTmp, s.snapPath(cp.Gen)); err != nil {
+		return info, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return info, err
+	}
+	info.SnapshotBytes = fw.off
+
+	// Manifest — the commit point.
+	_, provBytes, idxBytes := cp.View.Stats()
+	meta := encodeManifest(&manifest{
+		Gen:       cp.Gen,
+		Records:   cp.Records,
+		ProvBytes: provBytes,
+		IdxBytes:  idxBytes,
+		SnapSize:  fw.off,
+		SnapCRC:   fw.crc.Sum32(),
+		Volumes:   cp.Volumes,
+	})
+	metaTmp := vfs.Join(s.dir, fmt.Sprintf("tmp-ckpt-%016x.meta", uint64(cp.Gen)))
+	f, err = s.fs.Open(metaTmp, vfs.OCreate|vfs.ORdWr|vfs.OTrunc)
+	if err != nil {
+		return info, err
+	}
+	if _, err := f.WriteAt(meta, 0); err != nil {
+		f.Close()
+		return info, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return info, err
+	}
+	if err := f.Close(); err != nil {
+		return info, err
+	}
+	if err := s.fs.Rename(metaTmp, s.metaPath(cp.Gen)); err != nil {
+		return info, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return info, err
+	}
+
+	if err := s.sweep(); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// sweep enforces retention: keep the newest retain committed generations;
+// remove older generations, stale temp files, and snapshots with no
+// manifest (a crash between the two renames leaves one).
+func (s *Store) sweep() error {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	committed := make(map[int64]bool)
+	var gens []int64
+	for _, e := range ents {
+		if gen, ext, ok := parseGen(e.Name); ok && ext == "meta" {
+			committed[gen] = true
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	keep := make(map[int64]bool)
+	for i, gen := range gens {
+		if i < s.retain {
+			keep[gen] = true
+		}
+	}
+	var first error
+	for _, e := range ents {
+		var drop bool
+		switch gen, ext, ok := parseGen(e.Name); {
+		case strings.HasPrefix(e.Name, "tmp-"):
+			drop = true
+		case ok && ext == "meta":
+			drop = !keep[gen]
+		case ok && ext == "db":
+			drop = !keep[gen] || !committed[gen]
+		}
+		if drop {
+			if err := s.fs.Remove(vfs.Join(s.dir, e.Name)); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Skip reports one generation recovery could not use, and why.
+type Skip struct {
+	Gen    int64
+	Reason string
+}
+
+// Recovered is the outcome of Load. DB is nil when no usable generation
+// exists (an empty or brand-new store, or every generation corrupt — the
+// caller then starts from an empty database and byte zero of every log);
+// Skipped lists every generation that was present but rejected, newest
+// first.
+type Recovered struct {
+	DB            *waldo.DB
+	Gen           int64
+	Records       int64
+	SnapshotBytes int64
+	Volumes       []waldo.VolumeState
+	Skipped       []Skip
+	// Missing is filled by restore helpers (pass.Machine.Recover) with the
+	// names of checkpointed volumes that had no attached counterpart.
+	Missing []string
+}
+
+// ResumeBytes sums the recovered offsets across volumes: the log bytes a
+// post-recovery drain skips.
+func (r *Recovered) ResumeBytes() int64 {
+	var n int64
+	for i := range r.Volumes {
+		n += r.Volumes[i].ResumeBytes()
+	}
+	return n
+}
+
+// Load recovers from the newest valid checkpoint generation, falling back
+// across corrupt ones (bad magic or CRC, truncated snapshot or manifest,
+// missing files) rather than failing: a half-written or bit-rotted
+// generation costs only the fallback, never a panic or a half-loaded
+// database. The returned error is reserved for the directory itself being
+// unreadable.
+func (s *Store) Load() (*Recovered, error) {
+	rec := &Recovered{}
+	ents, err := s.fs.ReadDir(s.dir)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return rec, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var gens []int64
+	committed := make(map[int64]bool)
+	for _, e := range ents {
+		if gen, ext, ok := parseGen(e.Name); ok && ext == "meta" {
+			gens = append(gens, gen)
+			committed[gen] = true
+		}
+	}
+	// An orphaned snapshot (no manifest) is a checkpoint that crashed
+	// between its two renames: invisible to recovery, but worth reporting.
+	for _, e := range ents {
+		if gen, ext, ok := parseGen(e.Name); ok && ext == "db" && !committed[gen] {
+			rec.Skipped = append(rec.Skipped, Skip{Gen: gen, Reason: "missing manifest (checkpoint did not commit)"})
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	for _, gen := range gens {
+		db, m, snapBytes, err := s.loadGen(gen)
+		if err != nil {
+			rec.Skipped = append(rec.Skipped, Skip{Gen: gen, Reason: err.Error()})
+			continue
+		}
+		db.RestoreGen(m.Gen)
+		rec.DB = db
+		rec.Gen = m.Gen
+		rec.Records = m.Records
+		rec.SnapshotBytes = snapBytes
+		rec.Volumes = m.Volumes
+		return rec, nil
+	}
+	return rec, nil
+}
+
+// loadGen loads and fully validates one generation.
+func (s *Store) loadGen(gen int64) (*waldo.DB, *manifest, int64, error) {
+	metaData, err := vfs.ReadFile(s.fs, s.metaPath(gen))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("manifest: %w", err)
+	}
+	m, err := decodeManifest(metaData)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if m.Gen != gen {
+		return nil, nil, 0, fmt.Errorf("%w: manifest gen %d under name gen %d", ErrBadManifest, m.Gen, gen)
+	}
+	f, err := s.fs.Open(s.snapPath(gen), vfs.ORdOnly)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	if size := f.Size(); size != m.SnapSize {
+		return nil, nil, 0, fmt.Errorf("snapshot: %d bytes, manifest says %d", size, m.SnapSize)
+	}
+	// One exact-size read, one CRC pass, then an in-place parse: the
+	// snapshot is validated whole before a single pair is trusted.
+	buf := make([]byte, m.SnapSize)
+	if n, err := f.ReadAt(buf, 0); err != nil || int64(n) != m.SnapSize {
+		return nil, nil, 0, fmt.Errorf("snapshot: read %d of %d bytes: %v", n, m.SnapSize, err)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != m.SnapCRC {
+		return nil, nil, 0, fmt.Errorf("snapshot: CRC mismatch (%08x != %08x)", got, m.SnapCRC)
+	}
+	db, err := waldo.LoadCheckpoint(buf, m.Records, m.ProvBytes, m.IdxBytes)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("snapshot: %w", err)
+	}
+	return db, m, m.SnapSize, nil
+}
+
+// Generations lists the committed (manifest-bearing) generations, newest
+// first. Validation is Load's job; this is directory inventory for tests
+// and tools.
+func (s *Store) Generations() ([]int64, error) {
+	ents, err := s.fs.ReadDir(s.dir)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var gens []int64
+	for _, e := range ents {
+		if gen, ext, ok := parseGen(e.Name); ok && ext == "meta" {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens, nil
+}
+
+// fileWriter adapts a vfs.File to io.Writer, tracking offset and CRC.
+type fileWriter struct {
+	f   vfs.File
+	off int64
+	crc hash.Hash32
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	w.crc.Write(p[:n])
+	return n, err
+}

@@ -240,7 +240,7 @@ type insertAt struct {
 // a view still shares it), so pinned views keep their frozen image.
 func (db *DB) setLocked(key string, value []byte) insertAt {
 	db.root = db.mutable(db.root)
-	if len(db.root.keys) == 2*degree {
+	if len(db.root.keys) >= 2*degree {
 		old := db.root
 		db.root = &node{children: []*node{old}, epoch: db.epoch}
 		db.splitChild(db.root, 0)
@@ -271,7 +271,7 @@ func (db *DB) setLocked(key string, value []byte) insertAt {
 			at.leaf = n
 			return at
 		}
-		if len(n.children[i].keys) == 2*degree {
+		if len(n.children[i].keys) >= 2*degree {
 			db.splitChild(n, i)
 			if key == n.keys[i] {
 				db.valBytes += int64(len(value)) - int64(len(n.vals[i]))
@@ -296,11 +296,14 @@ func (db *DB) setLocked(key string, value []byte) insertAt {
 }
 
 // splitChild splits n.children[i] (which must be full) around its median.
-// n must already be current-epoch; the child is cloned if a view shares it.
+// The child may hold 2·degree or 2·degree+1 keys — delete's merge path can
+// briefly leave a node one over the cap — so the median is computed, not
+// assumed. n must already be current-epoch; the child is cloned if a view
+// shares it.
 func (db *DB) splitChild(n *node, i int) {
 	n.children[i] = db.mutable(n.children[i])
 	child := n.children[i]
-	mid := degree
+	mid := len(child.keys) / 2
 	midKey, midVal := child.keys[mid], child.vals[mid]
 
 	right := &node{

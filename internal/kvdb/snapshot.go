@@ -6,7 +6,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"unsafe"
 )
+
+// zeroCopyString views data's bytes as a string without copying. Safe
+// only because LoadBytes owns its arena by contract (the caller hands it
+// over and nothing ever writes to it again); keys carved from the result
+// stay valid for the life of the database. This halves the memory and
+// skips a whole-arena copy on the recovery path, where restart latency is
+// the budget.
+func zeroCopyString(data []byte) string {
+	if len(data) == 0 {
+		return ""
+	}
+	return unsafe.String(&data[0], len(data))
+}
 
 // Snapshot format: magic, count, then (keyLen, key, valLen, val)* in key
 // order. Loading bulk-inserts in order, which keeps the tree balanced.
@@ -59,35 +73,68 @@ func (v *View) Save(w io.Writer) error {
 
 // Load reads a snapshot written by Save into a fresh database.
 func Load(r io.Reader) (*DB, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if string(magic) != string(snapshotMagic) {
+	return LoadBytes(data)
+}
+
+// LoadBytes reads a snapshot image into a fresh database, taking
+// ownership of data: the caller must not modify it afterwards, because
+// loaded keys and values alias it rather than copying — the snapshot
+// arena becomes the database's storage. Save streams pairs in key order,
+// so loading builds the tree bottom-up along its right spine (see
+// bulkload.go): O(1) per pair, no descents, and every node but the
+// rightmost per level ends exactly full. A stream that violates the key
+// order (not something Save produces) falls back to ordinary insertion
+// for the out-of-order remainder.
+func LoadBytes(data []byte) (*DB, error) {
+	if len(data) < len(snapshotMagic)+8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	if string(data[:len(snapshotMagic)]) != string(snapshotMagic) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
-	}
-	count := binary.LittleEndian.Uint64(hdr[:])
+	count := binary.LittleEndian.Uint64(data[len(snapshotMagic):])
+	data = data[len(snapshotMagic)+8:]
+	sdata := zeroCopyString(data)
 	db := New()
-	var lens [8]byte
+	var (
+		bl      bulkLoader
+		bulking = true
+		pos     int
+	)
 	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, lens[:]); err != nil {
+		if pos+8 > len(data) {
 			return nil, fmt.Errorf("%w: truncated at pair %d", ErrBadSnapshot, i)
 		}
-		klen := binary.LittleEndian.Uint32(lens[:4])
-		vlen := binary.LittleEndian.Uint32(lens[4:])
+		klen := int(binary.LittleEndian.Uint32(data[pos:]))
+		vlen := int(binary.LittleEndian.Uint32(data[pos+4:]))
 		if klen > 1<<24 || vlen > 1<<28 {
 			return nil, fmt.Errorf("%w: implausible lengths", ErrBadSnapshot)
 		}
-		kv := make([]byte, int(klen)+int(vlen))
-		if _, err := io.ReadFull(br, kv); err != nil {
+		pos += 8
+		if pos+klen+vlen > len(data) {
 			return nil, fmt.Errorf("%w: truncated at pair %d", ErrBadSnapshot, i)
 		}
-		db.Set(string(kv[:klen]), kv[klen:])
+		key := sdata[pos : pos+klen]
+		val := data[pos+klen : pos+klen+vlen : pos+klen+vlen]
+		if vlen == 0 {
+			val = nil
+		}
+		pos += klen + vlen
+		if bulking {
+			if bl.add(key, val) {
+				continue
+			}
+			bl.into(db) // out-of-order stream: finish the prefix, Set the rest
+			bulking = false
+		}
+		db.Set(key, val)
+	}
+	if bulking {
+		bl.into(db)
 	}
 	return db, nil
 }

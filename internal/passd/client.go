@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"passv2/internal/pql"
+	"passv2/internal/record"
 )
 
 // Client is one connection to a passd server. It is safe for concurrent
@@ -120,6 +121,39 @@ func (c *Client) Drain() (int64, error) {
 		return 0, err
 	}
 	return resp.Records, nil
+}
+
+// Checkpoint forces the server to write a durable checkpoint now and
+// returns what it committed. It fails if the server has no checkpoint
+// store configured.
+func (c *Client) Checkpoint() (*CheckpointInfo, error) {
+	resp, err := c.roundTrip(&Request{Op: "checkpoint"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Checkpoint == nil {
+		return nil, errors.New("passd: checkpoint response missing payload")
+	}
+	return resp.Checkpoint, nil
+}
+
+// Append durably logs provenance records on the server; when the call
+// returns, the records are in the server's write-through log and survive a
+// daemon kill. Byte-valued records are not representable on this wire.
+func (c *Client) Append(recs []record.Record) (int64, error) {
+	wire := make([]WireRecord, 0, len(recs))
+	for _, r := range recs {
+		wr, ok := encodeRecord(r)
+		if !ok {
+			return 0, fmt.Errorf("passd: record value kind %v not representable", r.Value.Kind())
+		}
+		wire = append(wire, wr)
+	}
+	resp, err := c.roundTrip(&Request{Op: "append", Records: wire})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Appended, nil
 }
 
 // Ping round-trips a no-op, for liveness checks.

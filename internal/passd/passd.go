@@ -14,8 +14,17 @@
 //
 // Verbs: "query" evaluates PQL over a pinned snapshot; "explain" returns
 // the plan without executing; "stats" reports database and server
-// counters; "drain" forces a synchronous Waldo drain so subsequent views
-// observe everything logged; "ping" is a liveness no-op.
+// counters (including checkpoint and boot-recovery state); "drain" forces
+// a synchronous Waldo drain so subsequent views observe everything logged;
+// "checkpoint" forces a durable checkpoint generation (Config.Checkpoints);
+// "append" durably logs provenance records before replying
+// (Config.Append); "ping" is a liveness no-op.
+//
+// Durability: with a checkpoint store configured the server runs a
+// background checkpointer (interval- and records-applied-triggered, see
+// Config) and flushes a final generation on Close; after a crash the
+// daemon restarts from the newest valid generation and re-drains only the
+// log tail past the checkpointed offsets — see passv2/internal/checkpoint.
 //
 // Concurrency model: one goroutine per connection, but query execution
 // passes through a bounded worker pool (Config.Workers slots). When all
@@ -31,18 +40,23 @@ import (
 
 	"passv2/internal/pnode"
 	"passv2/internal/pql"
+	"passv2/internal/record"
 )
 
 // Request is one client command, encoded as a single JSON line.
 type Request struct {
-	// Op is the verb: "query", "explain", "stats", "drain" or "ping"
-	// (case-insensitive).
+	// Op is the verb: "query", "explain", "stats", "drain", "checkpoint",
+	// "append" or "ping" (case-insensitive).
 	Op string `json:"op"`
 	// Query is the PQL source for "query" and "explain".
 	Query string `json:"query,omitempty"`
 	// TimeoutMS overrides the server's default per-query deadline,
 	// capped at Config.MaxTimeout. Zero means the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Records carries provenance records for "append". The server logs
+	// them durably (write-through to the volume log) before replying, so
+	// an acknowledged append survives a daemon kill.
+	Records []WireRecord `json:"records,omitempty"`
 }
 
 // Response is one server reply, encoded as a single JSON line. Exactly one
@@ -51,12 +65,22 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
-	Columns []string  `json:"columns,omitempty"` // query
-	Rows    [][]Value `json:"rows,omitempty"`    // query
-	Plan    string    `json:"plan,omitempty"`    // explain
-	Stats   *Stats    `json:"stats,omitempty"`   // stats
-	Records int64     `json:"records,omitempty"` // drain
-	Elapsed int64     `json:"elapsed_us,omitempty"`
+	Columns    []string        `json:"columns,omitempty"`    // query
+	Rows       [][]Value       `json:"rows,omitempty"`       // query
+	Plan       string          `json:"plan,omitempty"`       // explain
+	Stats      *Stats          `json:"stats,omitempty"`      // stats
+	Records    int64           `json:"records,omitempty"`    // drain
+	Appended   int64           `json:"appended,omitempty"`   // append
+	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"` // checkpoint
+	Elapsed    int64           `json:"elapsed_us,omitempty"`
+}
+
+// CheckpointInfo is the payload of the "checkpoint" verb: the committed
+// generation, the records it covers and the snapshot size on disk.
+type CheckpointInfo struct {
+	Gen           int64 `json:"gen"`
+	Records       int64 `json:"records"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
 }
 
 // Value is the wire form of one result cell (pql.Value without the
@@ -87,6 +111,71 @@ type Stats struct {
 	Workers     int   `json:"workers"`      // worker-pool size
 	CacheHits   int64 `json:"cache_hits"`   // queries answered from a snapshot's result cache
 	CacheMisses int64 `json:"cache_misses"` // queries that executed
+
+	Gen            int64 `json:"gen"`             // database generation (applied batches)
+	EntriesDecoded int64 `json:"entries_decoded"` // log entries decoded by this process's drains
+
+	Checkpoints       int64 `json:"checkpoints"`       // checkpoints committed by this process
+	CheckpointErrors  int64 `json:"checkpoint_errors"` // checkpoint attempts that failed
+	LastCheckpointGen int64 `json:"last_checkpoint_gen"`
+	Appends           int64 `json:"appends"` // records accepted via the append verb
+
+	RecoveredGen     int64 `json:"recovered_gen"`     // generation recovered at boot (0 = cold start)
+	RecoveredRecords int64 `json:"recovered_records"` // records in the recovered snapshot
+	ResumeBytes      int64 `json:"resume_bytes"`      // log bytes the recovery skipped
+	SkippedGens      int64 `json:"skipped_gens"`      // corrupt generations recovery fell past
+}
+
+// WireRecord is the wire form of one provenance record for the append
+// verb: the subject ref, the attribute, and the value reusing the result
+// Value encoding (kinds "str", "int", "bool" and "ref").
+type WireRecord struct {
+	P    uint64 `json:"p"`
+	V    uint32 `json:"v"`
+	Attr string `json:"attr"`
+	Val  Value  `json:"val"`
+}
+
+// encodeRecord converts a provenance record to its wire form. Byte-valued
+// records are not representable on this wire and report false.
+func encodeRecord(r record.Record) (WireRecord, bool) {
+	wr := WireRecord{P: uint64(r.Subject.PNode), V: uint32(r.Subject.Version), Attr: string(r.Attr)}
+	switch r.Value.Kind() {
+	case record.KindString:
+		s, _ := r.Value.AsString()
+		wr.Val = Value{K: "str", S: s}
+	case record.KindInt:
+		i, _ := r.Value.AsInt()
+		wr.Val = Value{K: "int", I: i}
+	case record.KindBool:
+		b, _ := r.Value.AsBool()
+		wr.Val = Value{K: "bool", B: b}
+	case record.KindRef:
+		dep, _ := r.Value.AsRef()
+		wr.Val = Value{K: "ref", P: uint64(dep.PNode), V: uint32(dep.Version)}
+	default:
+		return wr, false
+	}
+	return wr, true
+}
+
+// decodeRecord converts a wire record back to a provenance record.
+func decodeRecord(wr WireRecord) (record.Record, error) {
+	subj := pnode.Ref{PNode: pnode.PNode(wr.P), Version: pnode.Version(wr.V)}
+	var val record.Value
+	switch wr.Val.K {
+	case "str":
+		val = record.StringVal(wr.Val.S)
+	case "int":
+		val = record.Int(wr.Val.I)
+	case "bool":
+		val = record.Bool(wr.Val.B)
+	case "ref":
+		val = record.Ref(pnode.Ref{PNode: pnode.PNode(wr.Val.P), Version: pnode.Version(wr.Val.V)})
+	default:
+		return record.Record{}, fmt.Errorf("passd: unknown record value kind %q", wr.Val.K)
+	}
+	return record.New(subj, record.Attr(wr.Attr), val), nil
 }
 
 // encodeValue converts an engine value to its wire form.

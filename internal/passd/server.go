@@ -13,8 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"passv2/internal/checkpoint"
 	"passv2/internal/graph"
 	"passv2/internal/pql"
+	"passv2/internal/record"
 	"passv2/internal/waldo"
 )
 
@@ -36,6 +38,25 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines; <=0 means 30s.
 	MaxTimeout time.Duration
+
+	// Checkpoints, when non-nil, enables durable checkpointing: a
+	// background checkpointer writes a generation whenever either trigger
+	// below fires, the "checkpoint" verb forces one, and Close takes a
+	// final one so a clean shutdown restarts from the tip.
+	Checkpoints *checkpoint.Store
+	// CheckpointInterval is the elapsed-time trigger; <=0 means 30s.
+	CheckpointInterval time.Duration
+	// CheckpointEvery is the records-applied trigger: checkpoint once this
+	// many records have been ingested since the last one. <=0 disables the
+	// record trigger (interval only).
+	CheckpointEvery int64
+	// Append, when non-nil, enables the "append" verb: the function must
+	// durably log the records (the daemon wires it to its volume's
+	// write-through provenance log) before returning.
+	Append func([]record.Record) error
+	// Recovered carries the boot-time recovery outcome, surfaced in STATS
+	// so clients (and the restart tests) can see what recovery did.
+	Recovered *checkpoint.Recovered
 }
 
 // ErrOverloaded is the backpressure error: all workers busy and the wait
@@ -71,6 +92,16 @@ type Server struct {
 	drains      atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	appends     atomic.Int64
+
+	// Checkpointer state: ckptMu serializes checkpoint writes (the
+	// background loop and the verb can race), stopCkpt ends the loop.
+	ckptMu           sync.Mutex
+	stopCkpt         chan struct{}
+	lastCkptGen      atomic.Int64
+	lastCkptRecords  atomic.Int64
+	checkpoints      atomic.Int64
+	checkpointErrors atomic.Int64
 }
 
 // snapshot bundles one pinned view with the caches its immutability makes
@@ -184,6 +215,9 @@ func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 30 * time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		w:       w,
@@ -191,19 +225,97 @@ func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
 		workers: make(chan struct{}, cfg.Workers),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	if cfg.Recovered != nil && cfg.Recovered.DB != nil {
+		// The recovered generation is the implicit first checkpoint: the
+		// record trigger counts ingestion since it, not since zero.
+		s.lastCkptGen.Store(cfg.Recovered.Gen)
+		s.lastCkptRecords.Store(cfg.Recovered.Records)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if cfg.Checkpoints != nil {
+		s.stopCkpt = make(chan struct{})
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
 	return s, nil
+}
+
+// checkpointLoop is the background checkpointer: it polls at a fraction of
+// the interval so the records-applied trigger reacts promptly, and writes
+// a generation when either trigger fires. Errors are counted and retried
+// at the next tick — a failing disk must not take the serving layer down.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	poll := s.cfg.CheckpointInterval / 10
+	if poll < 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	if poll > 5*time.Second {
+		poll = 5 * time.Second
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-s.stopCkpt:
+			return
+		case <-ticker.C:
+		}
+		due := time.Since(last) >= s.cfg.CheckpointInterval
+		if !due && s.cfg.CheckpointEvery > 0 {
+			records, _, _ := s.w.DB.Stats()
+			due = records-s.lastCkptRecords.Load() >= s.cfg.CheckpointEvery
+		}
+		if !due {
+			continue
+		}
+		s.doCheckpoint()
+		last = time.Now()
+	}
+}
+
+// doCheckpoint writes one checkpoint generation if the database has moved
+// since the last one. It is shared by the background loop, the
+// "checkpoint" verb and the final flush in Close.
+func (s *Server) doCheckpoint() (checkpoint.Info, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	// Cheap idle check first: pinning a cut bumps the store's write epoch
+	// (forcing the ingest writer to re-clone nodes) and takes every tail
+	// lock — not worth it just to discover nothing changed.
+	if gen := s.w.DB.Gen(); gen == s.lastCkptGen.Load() {
+		return checkpoint.Info{Gen: gen, Records: s.lastCkptRecords.Load()}, nil
+	}
+	st := s.w.CheckpointState()
+	if st.Gen == s.lastCkptGen.Load() {
+		return checkpoint.Info{Gen: st.Gen, Records: st.Records}, nil
+	}
+	info, err := s.cfg.Checkpoints.Write(st)
+	if err != nil {
+		s.checkpointErrors.Add(1)
+		return info, err
+	}
+	s.checkpoints.Add(1)
+	s.lastCkptGen.Store(info.Gen)
+	s.lastCkptRecords.Store(info.Records)
+	return info, nil
 }
 
 // Addr returns the bound listen address, for clients.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes every open connection, and waits for all
-// connection handlers to return. It is idempotent.
+// Close stops accepting, closes every open connection, waits for all
+// connection handlers to return and — when checkpointing is enabled —
+// writes a final checkpoint, so a cleanly stopped daemon restarts from the
+// tip with nothing to replay. It is idempotent.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if s.stopCkpt != nil {
+		close(s.stopCkpt)
 	}
 	err := s.ln.Close()
 	s.mu.Lock()
@@ -212,6 +324,11 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.cfg.Checkpoints != nil {
+		if _, cerr := s.doCheckpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -289,6 +406,10 @@ func (s *Server) dispatch(req *Request) Response {
 		return Response{Stats: s.snapshotStats()}
 	case "drain":
 		return s.doDrain()
+	case "checkpoint":
+		return s.doCheckpointVerb()
+	case "append":
+		return s.doAppend(req)
 	case "ping":
 		return Response{}
 	default:
@@ -378,12 +499,50 @@ func (s *Server) doDrain() Response {
 	return Response{Records: records}
 }
 
+// doCheckpointVerb forces a checkpoint now, regardless of triggers.
+func (s *Server) doCheckpointVerb() Response {
+	if s.cfg.Checkpoints == nil {
+		return Response{Error: "checkpointing disabled (no checkpoint store configured)"}
+	}
+	info, err := s.doCheckpoint()
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{Checkpoint: &CheckpointInfo{
+		Gen:           info.Gen,
+		Records:       info.Records,
+		SnapshotBytes: info.SnapshotBytes,
+	}}
+}
+
+// doAppend durably logs the request's records. The reply is sent only
+// after the configured append function returns, so an acknowledged record
+// is on disk (write-through log) and survives a SIGKILL.
+func (s *Server) doAppend(req *Request) Response {
+	if s.cfg.Append == nil {
+		return Response{Error: "append disabled (server owns no writable log)"}
+	}
+	recs := make([]record.Record, 0, len(req.Records))
+	for _, wr := range req.Records {
+		r, err := decodeRecord(wr)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		recs = append(recs, r)
+	}
+	if err := s.cfg.Append(recs); err != nil {
+		return Response{Error: err.Error()}
+	}
+	s.appends.Add(int64(len(recs)))
+	return Response{Appended: int64(len(recs))}
+}
+
 func (s *Server) snapshotStats() *Stats {
 	// DB.Stats reads the same counters the view would pin, without bumping
 	// the store's write epoch (a view taken here would force the ingest
 	// writer to re-clone every node it touches next batch, for nothing).
 	records, prov, idx := s.w.DB.Stats()
-	return &Stats{
+	st := &Stats{
 		Records:     records,
 		ProvBytes:   prov,
 		IdxBytes:    idx,
@@ -396,5 +555,22 @@ func (s *Server) snapshotStats() *Stats {
 		Workers:     s.cfg.Workers,
 		CacheHits:   s.cacheHits.Load(),
 		CacheMisses: s.cacheMisses.Load(),
+
+		Gen:            s.w.DB.Gen(),
+		EntriesDecoded: s.w.EntriesDecoded(),
+
+		Checkpoints:       s.checkpoints.Load(),
+		CheckpointErrors:  s.checkpointErrors.Load(),
+		LastCheckpointGen: s.lastCkptGen.Load(),
+		Appends:           s.appends.Load(),
 	}
+	if r := s.cfg.Recovered; r != nil && r.DB != nil {
+		st.RecoveredGen = r.Gen
+		st.RecoveredRecords = r.Records
+		st.ResumeBytes = r.ResumeBytes()
+	}
+	if r := s.cfg.Recovered; r != nil {
+		st.SkippedGens = int64(len(r.Skipped))
+	}
+	return st
 }

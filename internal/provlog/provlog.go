@@ -151,6 +151,19 @@ func (w *Writer) Flush() error {
 	return w.flushLocked()
 }
 
+// Sync flushes buffered entries and fsyncs the active log file: after Sync
+// returns, every appended entry survives not just a process kill but an OS
+// crash or power loss. The passd append verb calls it before acknowledging
+// — it is the durability point of the wire contract.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
 func (w *Writer) flushLocked() error {
 	if len(w.buf) == 0 {
 		return nil

@@ -1,0 +1,254 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjectedCrash is returned by every FaultFS operation once the crash
+// point has been reached: the simulated process is dead.
+var ErrInjectedCrash = errors.New("vfs: injected crash")
+
+// FaultFS wraps an FS and simulates a whole-process crash at a chosen
+// mutating operation — the fault-injection layer the checkpoint and
+// recovery tests systematically sweep. Mutating operations (writes,
+// truncates, syncs, renames, removes, mkdirs, and creating/truncating
+// opens) are counted; when the count reaches the configured crash point,
+// that operation fails — a crashing WriteAt first persists a prefix of its
+// buffer, simulating a torn write — and every subsequent operation, read
+// or write, fails with ErrInjectedCrash. Recovery code then reopens the
+// inner FS directly, exactly as a restarted process would.
+//
+// Typical sweep: run the path once with no crash point to learn the total
+// mutating-op count N, then rerun it N times crashing at each op in turn.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int64
+	crashAt int64 // 0 = never crash
+	crashed bool
+}
+
+// NewFaultFS wraps inner with fault injection disabled (counting only).
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// SetCrashPoint arms the wrapper: the n-th mutating operation from now on
+// (1-based, counted from the last Reset) fails and the FS dies. n <= 0
+// disarms.
+func (f *FaultFS) SetCrashPoint(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// Reset rearms a dead FS and restarts the mutating-op count.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = 0
+	f.crashed = false
+	f.crashAt = 0
+}
+
+// Ops reports mutating operations observed since the last Reset.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has been hit.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// alive gates a read-only operation.
+func (f *FaultFS) alive() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjectedCrash
+	}
+	return nil
+}
+
+// mutate gates a mutating operation: it counts the op and reports whether
+// this op is the crash point (the op must then not take effect, except for
+// a torn WriteAt prefix).
+func (f *FaultFS) mutate() (crash bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrInjectedCrash
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		f.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// FSName names the wrapped file system.
+func (f *FaultFS) FSName() string { return f.inner.FSName() }
+
+// Open opens a file; creating or truncating opens count as mutating.
+func (f *FaultFS) Open(path string, flags Flags) (File, error) {
+	if flags&(OCreate|OTrunc) != 0 {
+		crash, err := f.mutate()
+		if err != nil {
+			return nil, err
+		}
+		if crash {
+			return nil, ErrInjectedCrash
+		}
+	} else if err := f.alive(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(path, flags)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Mkdir creates a directory (mutating).
+func (f *FaultFS) Mkdir(path string) error {
+	crash, err := f.mutate()
+	if err != nil {
+		return err
+	}
+	if crash {
+		return ErrInjectedCrash
+	}
+	return f.inner.Mkdir(path)
+}
+
+// MkdirAll creates a directory tree (mutating).
+func (f *FaultFS) MkdirAll(path string) error {
+	crash, err := f.mutate()
+	if err != nil {
+		return err
+	}
+	if crash {
+		return ErrInjectedCrash
+	}
+	return f.inner.MkdirAll(path)
+}
+
+// ReadDir lists a directory.
+func (f *FaultFS) ReadDir(path string) ([]DirEnt, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(path)
+}
+
+// Stat describes a file.
+func (f *FaultFS) Stat(path string) (Stat, error) {
+	if err := f.alive(); err != nil {
+		return Stat{}, err
+	}
+	return f.inner.Stat(path)
+}
+
+// Rename renames a file (mutating): at the crash point the rename does not
+// happen — the "crash just after rename" case is the crash point of the
+// operation that follows it.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	crash, err := f.mutate()
+	if err != nil {
+		return err
+	}
+	if crash {
+		return ErrInjectedCrash
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// Remove removes a file (mutating).
+func (f *FaultFS) Remove(path string) error {
+	crash, err := f.mutate()
+	if err != nil {
+		return err
+	}
+	if crash {
+		return ErrInjectedCrash
+	}
+	return f.inner.Remove(path)
+}
+
+// Sync syncs the file system (mutating: it is a durability point).
+func (f *FaultFS) Sync() error {
+	crash, err := f.mutate()
+	if err != nil {
+		return err
+	}
+	if crash {
+		return ErrInjectedCrash
+	}
+	return f.inner.Sync()
+}
+
+// faultFile gates every file operation through the owning FaultFS.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.alive(); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+// WriteAt is mutating; at the crash point it persists only a prefix of p —
+// the torn write a real crash mid-write leaves behind.
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	crash, err := f.fs.mutate()
+	if err != nil {
+		return 0, err
+	}
+	if crash {
+		if n := len(p) / 2; n > 0 {
+			f.inner.WriteAt(p[:n], off)
+		}
+		return 0, ErrInjectedCrash
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	crash, err := f.fs.mutate()
+	if err != nil {
+		return err
+	}
+	if crash {
+		return ErrInjectedCrash
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Size() int64 { return f.inner.Size() }
+
+func (f *faultFile) Ino() uint64 { return f.inner.Ino() }
+
+// Sync is mutating: it is the durability point crashes are injected
+// around.
+func (f *faultFile) Sync() error {
+	crash, err := f.fs.mutate()
+	if err != nil {
+		return err
+	}
+	if crash {
+		return ErrInjectedCrash
+	}
+	return f.inner.Sync()
+}
+
+// Close is not a durability point; a dead FS still "closes" handles.
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,130 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultFSCrashPoint sweeps a small write sequence and checks the op
+// counting contract: crash at op k leaves exactly the first k-1 mutations
+// applied (plus the torn prefix of a crashing write), and everything after
+// the crash fails.
+func TestFaultFSCrashPoint(t *testing.T) {
+	run := func(f *FaultFS) error {
+		file, err := f.Open("/a", OCreate|ORdWr) // op 1
+		if err != nil {
+			return err
+		}
+		if _, err := file.WriteAt([]byte("hello world!"), 0); err != nil { // op 2
+			return err
+		}
+		if err := file.Sync(); err != nil { // op 3
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		return f.Rename("/a", "/b") // op 4
+	}
+
+	count := NewFaultFS(NewMemFS("m", nil))
+	if err := run(count); err != nil {
+		t.Fatal(err)
+	}
+	total := count.Ops()
+	if total != 4 {
+		t.Fatalf("counted %d mutating ops, want 4", total)
+	}
+
+	for k := int64(1); k <= total; k++ {
+		inner := NewMemFS("m", nil)
+		f := NewFaultFS(inner)
+		f.SetCrashPoint(k)
+		err := run(f)
+		if !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("crash at %d: got %v, want ErrInjectedCrash", k, err)
+		}
+		if !f.Crashed() {
+			t.Fatalf("crash at %d not marked", k)
+		}
+		// Post-crash: all ops fail, reads included.
+		if _, err := f.Open("/a", ORdOnly); !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("post-crash open: %v", err)
+		}
+		// Inner state reflects the prefix of applied ops.
+		_, statA := inner.Stat("/a")
+		_, statB := inner.Stat("/b")
+		switch k {
+		case 1: // create did not happen
+			if statA == nil || statB == nil {
+				t.Fatalf("crash at 1: file exists")
+			}
+		case 2: // created, write torn to a prefix
+			if statA != nil {
+				t.Fatalf("crash at 2: /a missing")
+			}
+			data, _ := ReadFile(inner, "/a")
+			if len(data) >= len("hello world!") {
+				t.Fatalf("crash at 2: full write survived (%d bytes)", len(data))
+			}
+		case 3: // write complete, sync did not matter for memfs
+			data, _ := ReadFile(inner, "/a")
+			if string(data) != "hello world!" {
+				t.Fatalf("crash at 3: content %q", data)
+			}
+		case 4: // rename did not happen
+			if statA != nil || statB == nil {
+				t.Fatalf("crash at 4: rename happened")
+			}
+		}
+	}
+}
+
+// TestDirFSRoundTrip exercises the OS adapter against a real temp
+// directory: create, write, rename, list, reopen, remove.
+func TestDirFSRoundTrip(t *testing.T) {
+	d, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MkdirAll("/sub/dir"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Open("/sub/dir/x", OCreate|ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Size(); got != 3 {
+		t.Fatalf("size %d, want 3", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := d.Rename("/sub/dir/x", "/sub/dir/y"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := d.ReadDir("/sub/dir")
+	if err != nil || len(ents) != 1 || ents[0].Name != "y" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	data, err := ReadFile(d, "/sub/dir/y")
+	if err != nil || string(data) != "abc" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if _, err := d.Open("/nope", ORdOnly); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing file: %v, want ErrNotExist", err)
+	}
+	if _, err := d.ReadDir("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing dir: %v, want ErrNotExist", err)
+	}
+	if err := d.Remove("/sub/dir/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

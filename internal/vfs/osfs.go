@@ -1,0 +1,165 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// DirFS adapts a directory on the host operating system's file system to
+// the FS interface, so components written against vfs — the provenance log
+// writer/scanner and the checkpoint store — can persist real files that
+// survive process restarts. That is what lets cmd/passd tail a log
+// directory and keep durable checkpoints across a SIGKILL.
+//
+// Paths are interpreted relative to the root directory (vfs.Clean keeps
+// them from escaping it). Inode numbers are not surfaced (Ino returns 0),
+// so a DirFS is not suitable as a Lasagna lower volume, whose pnode
+// bindings key off inodes; it is meant for logs and checkpoints, which
+// never look at Ino.
+type DirFS struct {
+	root string
+	name string
+}
+
+// NewDirFS returns an FS rooted at the OS directory root, creating it if
+// needed.
+func NewDirFS(root string) (*DirFS, error) {
+	if err := os.MkdirAll(root, 0o777); err != nil {
+		return nil, err
+	}
+	return &DirFS{root: root, name: "dir:" + root}, nil
+}
+
+// FSName names the file system after its root directory.
+func (d *DirFS) FSName() string { return d.name }
+
+// path maps a vfs path to the host path.
+func (d *DirFS) path(p string) string {
+	return filepath.Join(d.root, filepath.FromSlash(Clean(p)))
+}
+
+// mapErr translates OS errors to the vfs sentinel errors callers test for.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("%w: %v", ErrNotExist, err)
+	case errors.Is(err, fs.ErrExist):
+		return fmt.Errorf("%w: %v", ErrExist, err)
+	default:
+		return err
+	}
+}
+
+// Open opens (or creates) a file.
+func (d *DirFS) Open(path string, flags Flags) (File, error) {
+	mode := os.O_RDONLY
+	switch {
+	case flags&OWrOnly != 0:
+		mode = os.O_WRONLY
+	case flags&ORdWr != 0 || flags&(OCreate|OTrunc) != 0:
+		mode = os.O_RDWR
+	}
+	if flags&OCreate != 0 {
+		mode |= os.O_CREATE
+	}
+	if flags&OTrunc != 0 {
+		mode |= os.O_TRUNC
+	}
+	if flags&OExcl != 0 {
+		mode |= os.O_EXCL
+	}
+	f, err := os.OpenFile(d.path(path), mode, 0o666)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &osFile{f: f}, nil
+}
+
+// Mkdir creates one directory.
+func (d *DirFS) Mkdir(path string) error { return mapErr(os.Mkdir(d.path(path), 0o777)) }
+
+// MkdirAll creates a directory and any missing parents.
+func (d *DirFS) MkdirAll(path string) error { return mapErr(os.MkdirAll(d.path(path), 0o777)) }
+
+// ReadDir lists a directory.
+func (d *DirFS) ReadDir(path string) ([]DirEnt, error) {
+	ents, err := os.ReadDir(d.path(path))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	out := make([]DirEnt, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, DirEnt{Name: e.Name(), IsDir: e.IsDir()})
+	}
+	return out, nil
+}
+
+// Stat describes a file or directory.
+func (d *DirFS) Stat(path string) (Stat, error) {
+	fi, err := os.Stat(d.path(path))
+	if err != nil {
+		return Stat{}, mapErr(err)
+	}
+	return Stat{Size: fi.Size(), IsDir: fi.IsDir(), Nlink: 1}, nil
+}
+
+// Rename renames a file; on POSIX hosts the rename is atomic, which is
+// what the checkpoint store's commit protocol relies on.
+func (d *DirFS) Rename(oldPath, newPath string) error {
+	return mapErr(os.Rename(d.path(oldPath), d.path(newPath)))
+}
+
+// Remove removes a file or empty directory.
+func (d *DirFS) Remove(path string) error { return mapErr(os.Remove(d.path(path))) }
+
+// Sync syncs the root directory itself, making completed renames durable.
+// Hosts that cannot fsync a directory are tolerated silently.
+func (d *DirFS) Sync() error {
+	f, err := os.Open(d.root)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	f.Sync()
+	return nil
+}
+
+// osFile adapts *os.File to vfs.File.
+type osFile struct {
+	f *os.File
+}
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.f.ReadAt(p, off)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+func (f *osFile) WriteAt(p []byte, off int64) (int, error) { return f.f.WriteAt(p, off) }
+
+func (f *osFile) Truncate(size int64) error { return f.f.Truncate(size) }
+
+// Size stats the file on every call: external writers (another process
+// appending to a shared log) move it between calls.
+func (f *osFile) Size() int64 {
+	fi, err := f.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Ino is not surfaced for OS files; see the DirFS doc comment.
+func (f *osFile) Ino() uint64 { return 0 }
+
+func (f *osFile) Sync() error { return f.f.Sync() }
+
+func (f *osFile) Close() error { return f.f.Close() }

@@ -1,0 +1,159 @@
+package waldo
+
+import (
+	"sort"
+
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/vfs"
+)
+
+// Checkpoint support: a CheckpointState is the consistent cut the
+// checkpoint store (passv2/internal/checkpoint) persists — a pinned
+// database view plus, per attached volume, exactly the log-tail state that
+// produced it. Restoring the cut and re-draining the logs from the
+// recorded offsets yields a database byte-identical to a from-zero
+// re-ingest, which is the crash-equivalence property the fault-injection
+// tests sweep.
+
+// CheckpointState is a consistent cut of a Waldo: the database view,
+// its generation and record count, and per-volume tail state, all pinned
+// on the same ApplyBatch boundary. Taking one is cheap — the view is an
+// O(1) copy-on-write image and the tail state is a small map copy — but it
+// briefly holds every tail's drain lock, so no drain may be mid-batch
+// while the cut is taken. Serving (queries over views) is never paused.
+type CheckpointState struct {
+	View    *ReadView
+	Gen     int64
+	Records int64
+	Volumes []VolumeState
+}
+
+// VolumeState is one volume's tail state at the cut: the resume byte
+// offset per log sequence, and the records of transactions that had begun
+// but not ended (which live only in Waldo's memory — their log bytes are
+// before the offsets, so recovery could not otherwise see them again).
+type VolumeState struct {
+	Name    string
+	Offsets map[uint64]int64
+	Pending []PendingTxn
+}
+
+// PendingTxn is one open transaction's buffered records.
+type PendingTxn struct {
+	ID      uint64
+	Records []record.Record
+}
+
+// ResumeBytes sums the recorded offsets: the log bytes recovery will skip.
+func (v *VolumeState) ResumeBytes() int64 {
+	var n int64
+	for _, off := range v.Offsets {
+		n += off
+	}
+	return n
+}
+
+// CheckpointState pins a consistent cut of the Waldo. It locks every
+// tail (so no drain is between applying a batch and recording its offset)
+// and then pins the database view inside that window; the view therefore
+// contains exactly the records described by the returned offsets and
+// pending transactions. Volumes are reported in attach order; their
+// FSNames must be unique for RestoreVolumes to match them up later.
+func (w *Waldo) CheckpointState() *CheckpointState {
+	w.mu.Lock()
+	tails := append([]*tail(nil), w.tails...)
+	w.mu.Unlock()
+	for _, t := range tails {
+		t.mu.Lock()
+	}
+	defer func() {
+		for _, t := range tails {
+			t.mu.Unlock()
+		}
+	}()
+	view := w.DB.ReadView()
+	records, _, _ := view.Stats()
+	cp := &CheckpointState{
+		View:    view,
+		Gen:     view.Gen(),
+		Records: records,
+		Volumes: make([]VolumeState, 0, len(tails)),
+	}
+	for _, t := range tails {
+		vs := VolumeState{
+			Name:    t.vol.FSName(),
+			Offsets: make(map[uint64]int64, len(t.offsets)),
+		}
+		for seq, off := range t.offsets {
+			vs.Offsets[seq] = off
+		}
+		txns := make([]uint64, 0, len(t.pending))
+		for id := range t.pending {
+			txns = append(txns, id)
+		}
+		sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+		for _, id := range txns {
+			vs.Pending = append(vs.Pending, PendingTxn{
+				ID:      id,
+				Records: append([]record.Record(nil), t.pending[id]...),
+			})
+		}
+		cp.Volumes = append(cp.Volumes, vs)
+	}
+	return cp
+}
+
+// RestoreVolumes seeds attached volumes with checkpointed tail state, so
+// the next Drain reads only log bytes past the checkpoint and open
+// transactions resume waiting for their ENDTXN. Volumes are matched to
+// states by FSName; the names of states with no attached volume are
+// returned so the caller can surface them (their logs will be re-ingested
+// from byte zero if the volume is attached later without a restore).
+func (w *Waldo) RestoreVolumes(vols []VolumeState) (missing []string) {
+	w.mu.Lock()
+	tails := append([]*tail(nil), w.tails...)
+	w.mu.Unlock()
+	byName := make(map[string]*tail, len(tails))
+	for _, t := range tails {
+		byName[t.vol.FSName()] = t
+	}
+	for i := range vols {
+		vs := &vols[i]
+		t, ok := byName[vs.Name]
+		if !ok {
+			missing = append(missing, vs.Name)
+			continue
+		}
+		t.mu.Lock()
+		t.offsets = make(map[uint64]int64, len(vs.Offsets))
+		for seq, off := range vs.Offsets {
+			t.offsets[seq] = off
+		}
+		t.pending = make(map[uint64][]record.Record, len(vs.Pending))
+		for _, p := range vs.Pending {
+			t.pending[p.ID] = append([]record.Record(nil), p.Records...)
+		}
+		t.mu.Unlock()
+	}
+	return missing
+}
+
+// NewLogVolume adapts a bare provenance log to the Volume interface: a
+// directory of log files on fs written by log, with no file system
+// stacked on top. It is how a process that only ingests and serves (the
+// passd daemon tailing a log directory, the recovery benchmarks and the
+// crash tests) attaches a log without building a full Lasagna volume.
+func NewLogVolume(name string, fs vfs.FS, log *provlog.Writer) Volume {
+	return &logVol{name: name, fs: fs, log: log}
+}
+
+type logVol struct {
+	name string
+	fs   vfs.FS
+	log  *provlog.Writer
+}
+
+func (v *logVol) FSName() string       { return v.name }
+func (v *logVol) Lower() vfs.FS        { return v.fs }
+func (v *logVol) Log() *provlog.Writer { return v.log }

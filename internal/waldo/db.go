@@ -112,6 +112,12 @@ type DB struct {
 	idxBytes  int64
 	records   int64
 
+	// lazySeqs marks a database loaded by LoadCheckpoint: the seqs map
+	// starts empty and a (ref, attr) pair's next row sequence is recovered
+	// from the store (a bounded prefix count) the first time that pair is
+	// written again. It keeps checkpoint recovery free of full-store scans.
+	lazySeqs bool
+
 	// gen counts applied batches: a cheap change detector, so a serving
 	// layer can tell whether a pinned snapshot is still current without
 	// comparing contents.
@@ -123,6 +129,17 @@ type DB struct {
 // bracket an unchanged database, which is what makes snapshot-keyed
 // caches (passd's plan/memo/result caches) sound.
 func (db *DB) Gen() int64 { return db.gen.Load() }
+
+// RestoreGen seeds the generation counter of a freshly loaded database.
+// Checkpoint recovery calls it with the checkpointed generation so that
+// generations — and the checkpoint files named after them — stay monotonic
+// across restarts; without it a post-recovery checkpoint would sort before
+// the one it was recovered from.
+func (db *DB) RestoreGen(gen int64) {
+	if gen > db.gen.Load() {
+		db.gen.Store(gen)
+	}
+}
 
 // NewDB creates an empty database.
 func NewDB() *DB {
@@ -163,7 +180,18 @@ func (db *DB) ApplyBatch(recs []record.Record) {
 			attrSeqs = make(map[record.Attr]int)
 			db.seqs[r.Subject] = attrSeqs
 		}
-		seq := attrSeqs[r.Attr]
+		seq, have := attrSeqs[r.Attr]
+		if !have && db.lazySeqs {
+			// Checkpoint-recovered database: the next sequence for rows
+			// this process has not yet written is however many rows the
+			// snapshot already holds (a bounded prefix count, cached here).
+			buf = append(buf[:0], 'a', '|')
+			buf = appendRefKey(buf, r.Subject)
+			buf = append(buf, '|')
+			buf = append(buf, r.Attr...)
+			buf = append(buf, '|')
+			seq = db.kv.CountPrefix(mk())
+		}
 		attrSeqs[r.Attr] = seq + 1
 		db.records++
 
@@ -314,8 +342,10 @@ func (db *DB) TreeStats() kvdb.Stats { return db.kv.Stats() }
 func (db *DB) ReadView() *ReadView {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	kv := db.kv.View()
 	return &ReadView{
-		reader:    reader{store: db.kv.View(), legacy: db.legacy},
+		reader:    reader{store: kv, legacy: db.legacy},
+		kv:        kv,
 		gen:       db.gen.Load(),
 		records:   db.records,
 		provBytes: db.provBytes,
@@ -328,6 +358,7 @@ func (db *DB) ReadView() *ReadView {
 // DB.ReadView.
 type ReadView struct {
 	reader
+	kv        *kvdb.View
 	gen       int64
 	records   int64
 	provBytes int64
@@ -343,6 +374,12 @@ func (v *ReadView) Gen() int64 { return v.gen }
 func (v *ReadView) Stats() (records, provBytes, idxBytes int64) {
 	return v.records, v.provBytes, v.idxBytes
 }
+
+// Save writes the view's frozen image in the snapshot format — the same
+// bytes DB.Save would have written at the view's point in time. The
+// checkpoint store writes snapshots from a pinned view so ingestion never
+// pauses for the disk.
+func (v *ReadView) Save(w io.Writer) error { return v.kv.Save(w) }
 
 // --- Query surface (used by the graph view and PQL) ---
 //
@@ -610,6 +647,35 @@ func Load(r io.Reader) (*DB, error) {
 	}
 	// A snapshot with label indexes but no reverse indexes predates them:
 	// serve NameOf/TypeOf by scanning, as the old code did.
+	if (kv.HasPrefix("n|") || kv.HasPrefix("t|")) &&
+		!kv.HasPrefix("N|") && !kv.HasPrefix("T|") {
+		db.legacy = true
+	}
+	return db, nil
+}
+
+// LoadCheckpoint reads a database snapshot image on the checkpoint
+// recovery path: the derived counters (records, provenance and index
+// bytes) come from the checkpoint manifest instead of the rebuild scans
+// Load runs, and per-ref row sequences are recovered lazily on first
+// write (see DB.lazySeqs). Restart cost is therefore one bulk tree build —
+// nothing else touches every key.
+func LoadCheckpoint(data []byte, records, provBytes, idxBytes int64) (*DB, error) {
+	kv, err := kvdb.LoadBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		reader:    reader{store: kv},
+		kv:        kv,
+		seqs:      make(map[pnode.Ref]map[record.Attr]int),
+		records:   records,
+		provBytes: provBytes,
+		idxBytes:  idxBytes,
+		lazySeqs:  true,
+	}
+	// Checkpoints are written by current code, so the legacy probe is only
+	// a cheap safety net (four O(log n) lookups).
 	if (kv.HasPrefix("n|") || kv.HasPrefix("t|")) &&
 		!kv.HasPrefix("N|") && !kv.HasPrefix("T|") {
 		db.legacy = true

@@ -22,6 +22,7 @@ import (
 	"io"
 	"time"
 
+	"passv2/internal/checkpoint"
 	"passv2/internal/graph"
 	"passv2/internal/kernel"
 	"passv2/internal/lasagna"
@@ -326,4 +327,34 @@ func (m *Machine) SaveDB(w io.Writer) error {
 		return err
 	}
 	return m.Waldo.DB.Save(w)
+}
+
+// Checkpoint drains and writes a durable checkpoint of the machine's
+// provenance state — database snapshot plus per-volume log offsets — to
+// the store. Recovery (Recover, or a passd daemon booting on the same
+// store) then replays only log bytes past the checkpoint.
+func (m *Machine) Checkpoint(store *checkpoint.Store) (checkpoint.Info, error) {
+	if err := m.Drain(); err != nil {
+		return checkpoint.Info{}, err
+	}
+	return store.Write(m.Waldo.CheckpointState())
+}
+
+// Recover replaces the machine's provenance database with the newest
+// valid checkpoint generation and seeds its volumes' log offsets, so the
+// next Drain reads only bytes past the checkpoint. Volumes must already
+// be attached (AddVolume) under the same names they were checkpointed
+// with. With no usable generation the machine is left untouched (a cold
+// start); the returned Recovered reports what happened either way.
+func (m *Machine) Recover(store *checkpoint.Store) (*checkpoint.Recovered, error) {
+	rec, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	if rec.DB == nil {
+		return rec, nil
+	}
+	m.Waldo.DB = rec.DB
+	rec.Missing = m.Waldo.RestoreVolumes(rec.Volumes)
+	return rec, nil
 }
