@@ -15,6 +15,7 @@
 //	passbench -query              # PQL planner vs naive evaluator
 //	passbench -serve              # passd concurrent serving vs serialized queries
 //	passbench -recover            # checkpoint recovery vs from-zero re-ingest (BENCH_recover.json)
+//	passbench -disclose           # remote DPAPI disclosure, per-record vs batched (BENCH_disclose.json)
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
 //	passbench -records 100000     # ingest benchmark size
@@ -49,6 +50,10 @@ func main() {
 	recoverRecords := flag.Int("recover-records", 120000, "recover: records ingested before the checkpoint")
 	recoverTail := flag.Int("recover-tail", 2000, "recover: records appended after the checkpoint")
 	recoverJSON := flag.String("recover-json", "BENCH_recover.json", "recover: file for the JSON result (empty = don't write)")
+	disclose := flag.Bool("disclose", false, "measure remote DPAPI disclosure: per-record round-trips vs pipelined batches")
+	discloseRecords := flag.Int("disclose-records", 4000, "disclose: records per phase")
+	discloseBatch := flag.Int("disclose-batch", 64, "disclose: DPAPI ops per pipelined batch")
+	discloseJSON := flag.String("disclose-json", "BENCH_disclose.json", "disclose: file for the JSON result (empty = don't write)")
 	flag.Parse()
 
 	if *ingest || *all {
@@ -71,6 +76,12 @@ func main() {
 	}
 	if *recoverFlag || *all {
 		runRecover(*recoverRecords, *recoverTail, *recoverJSON)
+		if !*all {
+			return
+		}
+	}
+	if *disclose || *all {
+		runDisclose(*discloseRecords, *discloseBatch, *discloseJSON)
 		if !*all {
 			return
 		}
@@ -137,6 +148,18 @@ func runRecover(records, tail int, jsonPath string) {
 	res, err := bench.Recover(records, tail)
 	die(err)
 	bench.PrintRecover(os.Stdout, res)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		die(err)
+		die(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+}
+
+func runDisclose(records, batch int, jsonPath string) {
+	res, err := bench.Disclose(records, batch)
+	die(err)
+	bench.PrintDisclose(os.Stdout, res)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		die(err)

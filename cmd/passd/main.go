@@ -1,7 +1,15 @@
-// Command passd runs the PASSv2 provenance query daemon: it serves PQL
-// queries to many concurrent clients over the line-oriented JSON protocol
-// in DESIGN.md §7. Every query runs on an immutable snapshot of the
+// Command passd runs the PASSv2 provenance daemon: it serves PQL queries
+// to many concurrent clients over the line-oriented JSON protocol in
+// DESIGN.md §7/§9. Every query runs on an immutable snapshot of the
 // database, so readers never block ingestion or each other.
+//
+// With protocol v2 the daemon is also a remote DPAPI layer (§5.2):
+// clients create phantom objects (mkobj), disclose provenance against
+// them (write — durably acknowledged, pipelinable via batch), freeze
+// them, and revive them across reconnects and daemon restarts. Anything
+// written against dpapi.Object/dpapi.Layer — the Kepler PASS recorder,
+// the provenance-aware Python runtime — stacks on this daemon unchanged
+// through passd.Client; see the examples/remotesession walkthrough.
 //
 // The database comes from one of three places: a snapshot file (-db,
 // written with Machine.SaveDB or waldo.DB.Save), the built-in demo
@@ -109,8 +117,14 @@ func main() {
 	w.DB = db
 
 	// Attach the on-disk log, if any: a write-through provlog on a DirFS,
-	// so acknowledged appends survive a SIGKILL.
-	var appendFn func([]record.Record) error
+	// so acknowledged writes survive a SIGKILL. Staging (Append) and the
+	// durable-ack barrier (Sync) are split so a pipelined DPAPI batch
+	// pays one fsync per acknowledgment, not one per record — the server
+	// calls Sync exactly once before each acked request.
+	var (
+		appendFn func([]record.Record) error
+		syncFn   func() error
+	)
 	if *logDir != "" {
 		dfs, err := vfs.NewDirFS(*logDir)
 		die(err)
@@ -123,10 +137,9 @@ func main() {
 					return err
 				}
 			}
-			// One fsync per acknowledged batch: an acked append survives
-			// OS crash and power loss, not just a daemon kill.
-			return log.Sync()
+			return nil
 		}
+		syncFn = log.Sync
 	}
 	if rec != nil && rec.DB != nil {
 		for _, name := range w.RestoreVolumes(rec.Volumes) {
@@ -156,6 +169,7 @@ func main() {
 		CheckpointInterval: *ckptInterval,
 		CheckpointEvery:    *ckptRecords,
 		Append:             appendFn,
+		Sync:               syncFn,
 		Recovered:          rec,
 	})
 	die(err)

@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+// TestDiscloseRuns is the harness smoke test: tiny sizes, but both phases
+// must complete, commit every record, and produce sane numbers. The real
+// multiplier claim is measured by passbench -disclose and gated in CI.
+func TestDiscloseRuns(t *testing.T) {
+	res, err := Disclose(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerRecordSecs <= 0 || res.BatchedSecs <= 0 {
+		t.Fatalf("phases did not run: %+v", res)
+	}
+	if res.Multiplier <= 0 {
+		t.Fatalf("no multiplier computed: %+v", res)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"passv2/internal/dpapi"
+	"passv2/internal/dpapi/dpapitest"
 	"passv2/internal/kernel"
 	"passv2/internal/lasagna"
 	"passv2/internal/nfs"
@@ -15,33 +16,30 @@ import (
 
 // The DPAPI is "the central API inside PASSv2" (§5.2): every layer that
 // exports it must behave the same way, or layers cannot stack freely.
-// This conformance suite runs one contract against every implementation
-// of the object/layer surface in the repository:
+// The contract itself lives in passv2/internal/dpapi/dpapitest; this file
+// registers the local implementations of the object and layer surfaces:
 //
 //   - Lasagna files and Lasagna phantom objects (local storage)
-//   - PA-NFS remote files and remote phantoms (the protocol)
-//   - observer phantom objects (the kernel's pass_mkobj)
+//   - PA-NFS remote files and remote phantoms (the NFS protocol)
+//   - observer phantom objects (the kernel's pass_mkobj/pass_reviveobj)
+//
+// The remote daemon's implementation (passd.RemoteObject over protocol
+// v2) runs the same suites from passv2/internal/passd.
 
-type objUnderTest struct {
-	name string
-	mk   func(t *testing.T) (obj passObj, cleanup func())
-	// phantoms have no backing data limit semantics; files do.
-	isPhantom bool
+func newVolume(t *testing.T) *lasagna.FS {
+	t.Helper()
+	vol, err := lasagna.New("vol", lasagna.Config{Lower: vfs.NewMemFS("lower", nil), VolumeID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vol
 }
 
-// passObj is the common surface of vfs.PassFile and dpapi.Object.
-type passObj interface {
-	Ref() pnode.Ref
-	PassRead(p []byte, off int64) (int, pnode.Ref, error)
-	PassWrite(p []byte, off int64, b *record.Bundle) (int, error)
-	PassFreeze() (pnode.Version, error)
-}
-
-func implementations() []objUnderTest {
-	return []objUnderTest{
+func TestConformanceObjects(t *testing.T) {
+	dpapitest.RunObjects(t, []dpapitest.ObjectImpl{
 		{
-			name: "lasagna-file",
-			mk: func(t *testing.T) (passObj, func()) {
+			Name: "lasagna-file",
+			Mk: func(t *testing.T) (dpapitest.Object, func()) {
 				vol := newVolume(t)
 				f, err := vol.Open("/obj", vfs.OCreate|vfs.ORdWr)
 				if err != nil {
@@ -51,9 +49,8 @@ func implementations() []objUnderTest {
 			},
 		},
 		{
-			name:      "lasagna-phantom",
-			isPhantom: true,
-			mk: func(t *testing.T) (passObj, func()) {
+			Name: "lasagna-phantom",
+			Mk: func(t *testing.T) (dpapitest.Object, func()) {
 				vol := newVolume(t)
 				ph, err := vol.PassMkobj()
 				if err != nil {
@@ -63,8 +60,8 @@ func implementations() []objUnderTest {
 			},
 		},
 		{
-			name: "nfs-file",
-			mk: func(t *testing.T) (passObj, func()) {
+			Name: "nfs-file",
+			Mk: func(t *testing.T) (dpapitest.Object, func()) {
 				vol := newVolume(t)
 				srv, err := nfs.NewServer(vol)
 				if err != nil {
@@ -84,9 +81,8 @@ func implementations() []objUnderTest {
 			},
 		},
 		{
-			name:      "nfs-phantom",
-			isPhantom: true,
-			mk: func(t *testing.T) (passObj, func()) {
+			Name: "nfs-phantom",
+			Mk: func(t *testing.T) (dpapitest.Object, func()) {
 				vol := newVolume(t)
 				srv, err := nfs.NewServer(vol)
 				if err != nil {
@@ -106,153 +102,52 @@ func implementations() []objUnderTest {
 			},
 		},
 		{
-			name:      "observer-phantom",
-			isPhantom: true,
-			mk: func(t *testing.T) (passObj, func()) {
-				k := kernel.New(nil)
-				k.Mount("/", vfs.NewMemFS("root", nil))
-				vol := newVolume(t)
-				k.Mount("/data", vol)
-				o := observer.New(k)
-				o.RegisterVolume(vol)
-				p := k.Spawn(nil, "app", nil, nil)
-				obj, err := p.PassMkobj("/data")
+			Name: "observer-phantom",
+			Mk: func(t *testing.T) (dpapitest.Object, func()) {
+				l, cleanup := observerLayer(t)
+				obj, err := l.PassMkobj()
 				if err != nil {
+					cleanup()
 					t.Fatal(err)
 				}
-				return obj.(dpapi.Object), func() { obj.Close() }
+				return obj, func() { obj.Close(); cleanup() }
 			},
 		},
-	}
+	})
 }
 
-func newVolume(t *testing.T) *lasagna.FS {
+// procLayer adapts a kernel process's DPAPI syscalls (libpass, §5.1) to
+// the dpapi.Layer shape the harness drives.
+type procLayer struct {
+	p    *kernel.Process
+	hint string
+}
+
+func (l procLayer) PassMkobj() (dpapi.Object, error) { return l.p.PassMkobj(l.hint) }
+func (l procLayer) PassReviveObj(ref pnode.Ref) (dpapi.Object, error) {
+	return l.p.PassReviveObj(ref)
+}
+
+func observerLayer(t *testing.T) (dpapi.Layer, func()) {
 	t.Helper()
-	vol, err := lasagna.New("vol", lasagna.Config{Lower: vfs.NewMemFS("lower", nil), VolumeID: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return vol
+	k := kernel.New(nil)
+	k.Mount("/", vfs.NewMemFS("root", nil))
+	vol := newVolume(t)
+	k.Mount("/data", vol)
+	o := observer.New(k)
+	o.RegisterVolume(vol)
+	p := k.Spawn(nil, "app", nil, nil)
+	return procLayer{p: p, hint: "/data"}, func() {}
 }
 
-func TestConformanceIdentityIsStable(t *testing.T) {
-	for _, impl := range implementations() {
-		t.Run(impl.name, func(t *testing.T) {
-			obj, cleanup := impl.mk(t)
-			defer cleanup()
-			r1 := obj.Ref()
-			if !r1.IsValid() {
-				t.Fatal("fresh object must have a valid ref")
-			}
-			if r1.Version != 1 {
-				t.Fatalf("fresh object version = %v, want 1", r1.Version)
-			}
-			if obj.Ref() != r1 {
-				t.Fatal("Ref must be stable without writes/freezes")
-			}
-		})
-	}
-}
-
-func TestConformanceWriteThenReadWithIdentity(t *testing.T) {
-	for _, impl := range implementations() {
-		t.Run(impl.name, func(t *testing.T) {
-			obj, cleanup := impl.mk(t)
-			defer cleanup()
-			payload := []byte("dpapi-payload")
-			n, err := obj.PassWrite(payload, 0, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if n != len(payload) {
-				t.Fatalf("short write: %d", n)
-			}
-			buf := make([]byte, 64)
-			rn, ref, err := obj.PassRead(buf, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if string(buf[:rn]) != string(payload) {
-				t.Fatalf("read back %q", buf[:rn])
-			}
-			if ref.PNode != obj.Ref().PNode {
-				t.Fatalf("pass_read identity %v != object %v", ref, obj.Ref())
-			}
-		})
-	}
-}
-
-func TestConformanceFreezeMonotonic(t *testing.T) {
-	for _, impl := range implementations() {
-		t.Run(impl.name, func(t *testing.T) {
-			obj, cleanup := impl.mk(t)
-			defer cleanup()
-			prev := obj.Ref().Version
-			for i := 0; i < 5; i++ {
-				v, err := obj.PassFreeze()
-				if err != nil {
-					t.Fatal(err)
-				}
-				if v != prev+1 {
-					t.Fatalf("freeze %d: version %v, want %v", i, v, prev+1)
-				}
-				prev = v
-			}
-			if obj.Ref().Version != prev {
-				t.Fatalf("Ref version %v after freezes, want %v", obj.Ref().Version, prev)
-			}
-		})
-	}
-}
-
-func TestConformanceProvenanceOnlyWrite(t *testing.T) {
-	for _, impl := range implementations() {
-		t.Run(impl.name, func(t *testing.T) {
-			obj, cleanup := impl.mk(t)
-			defer cleanup()
-			dep := pnode.Ref{PNode: 0xFFFF000000000123, Version: 1}
-			n, err := obj.PassWrite(nil, 0, record.NewBundle(record.Input(obj.Ref(), dep)))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if n != 0 {
-				t.Fatalf("provenance-only write returned n=%d", n)
-			}
-			// The object's data is untouched.
-			buf := make([]byte, 8)
-			rn, _, err := obj.PassRead(buf, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if rn != 0 {
-				t.Fatalf("provenance-only write produced data: %q", buf[:rn])
-			}
-		})
-	}
-}
-
-func TestConformanceOffsetWrites(t *testing.T) {
-	for _, impl := range implementations() {
-		t.Run(impl.name, func(t *testing.T) {
-			obj, cleanup := impl.mk(t)
-			defer cleanup()
-			if _, err := obj.PassWrite([]byte("AA"), 0, nil); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := obj.PassWrite([]byte("BB"), 4, nil); err != nil {
-				t.Fatal(err)
-			}
-			buf := make([]byte, 6)
-			n, _, err := obj.PassRead(buf, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := "AA\x00\x00BB"
-			if string(buf[:n]) != want {
-				t.Fatalf("sparse content %q, want %q", buf[:n], want)
-			}
-		})
-	}
+// TestConformanceLayers runs the layer contract — mkobj/revive lifecycle,
+// ErrStale/ErrWrongLayer/ErrClosed — against the kernel-local phantom
+// implementation. The remote implementation runs the identical suite in
+// passv2/internal/passd.
+func TestConformanceLayers(t *testing.T) {
+	dpapitest.RunLayers(t, []dpapitest.LayerImpl{
+		{Name: "observer", New: observerLayer},
+	})
 }
 
 func TestDiscloseHelper(t *testing.T) {

@@ -19,6 +19,7 @@ type machine struct {
 	k   *kernel.Kernel
 	vol *lasagna.FS
 	w   *waldo.Waldo
+	o   *observer.Observer
 }
 
 func newMachine(t *testing.T) *machine {
@@ -34,7 +35,7 @@ func newMachine(t *testing.T) *machine {
 	o.RegisterVolume(vol)
 	w := waldo.New()
 	w.Attach(vol)
-	return &machine{k: k, vol: vol, w: w}
+	return &machine{k: k, vol: vol, w: w, o: o}
 }
 
 func (m *machine) seedChallengeInputs(t *testing.T, p *kernel.Process, dir string) {

@@ -1,0 +1,119 @@
+package kepler
+
+import (
+	"strings"
+	"testing"
+
+	"passv2/internal/dpapi/dpapitest"
+	"passv2/internal/passd"
+	"passv2/internal/pnode"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// pipelineWorkflow is a deterministic three-stage dataflow — read,
+// transform, write — whose every operator ends up in the ancestry of the
+// written output, so the in-process run materializes exactly the records
+// the remote run discloses eagerly.
+func pipelineWorkflow() *Workflow {
+	wf := NewWorkflow("pipeline")
+	wf.Add(&Operator{
+		Name:   "ingest",
+		Params: map[string]string{"path": "/data/in.txt"},
+		Out:    []string{"out"},
+		Fire: func(ctx *Ctx, in map[string]Token) (map[string]Token, error) {
+			data, ref, err := ctx.ReadFile("/data/in.txt")
+			if err != nil {
+				return nil, err
+			}
+			return map[string]Token{"out": {Data: data, Refs: []pnode.Ref{ref}}}, nil
+		},
+	})
+	wf.Add(&Operator{
+		Name:   "upcase",
+		Params: map[string]string{"mode": "upper"},
+		In:     []string{"in"},
+		Out:    []string{"out"},
+		Fire: func(ctx *Ctx, in map[string]Token) (map[string]Token, error) {
+			tok := in["in"]
+			return map[string]Token{"out": {
+				Data: []byte(strings.ToUpper(string(tok.Data))),
+				Refs: tok.Refs,
+			}}, nil
+		},
+	})
+	wf.Add(&Operator{
+		Name: "publish",
+		In:   []string{"in"},
+		Fire: func(ctx *Ctx, in map[string]Token) (map[string]Token, error) {
+			return nil, ctx.WriteFile("/data/out.txt", in["in"].Data)
+		},
+	})
+	wf.Connect("ingest", "out", "upcase", "in")
+	wf.Connect("upcase", "out", "publish", "in")
+	return wf
+}
+
+// runPipeline seeds the input, runs the workflow under a PASSRecorder on
+// m, and drains m's local database. The recorder is constructed exactly
+// as a local run would construct it — whether its pass_mkobj objects end
+// up local or remote is decided entirely below it, which is the point.
+func runPipeline(t *testing.T, m *machine) {
+	t.Helper()
+	p := m.k.Spawn(nil, "kepler", []string{"kepler", "pipeline"}, nil)
+	fd, err := p.Open("/data/in.txt", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("tokens flowing downstream")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(p)
+	eng.AddRecorder(NewPASSRecorder(p, "/data"))
+	if err := eng.Run(pipelineWorkflow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPASSRecorderRemoteEquivalence is the layering acceptance test: the
+// same workflow run twice under the unmodified PASSRecorder — once with
+// local phantom objects, once with the machine's phantom layer stacked on
+// a remote passd daemon — must yield byte-identical provenance graphs
+// (identity-normalized; the remote run's graph spans the machine's
+// database plus the daemon's).
+func TestPASSRecorderRemoteEquivalence(t *testing.T) {
+	// In-process run.
+	local := newMachine(t)
+	runPipeline(t, local)
+	want := dpapitest.CanonicalGraph(local.w.DB)
+
+	// Remote run: identical machine, phantom objects on a passd daemon.
+	remote := newMachine(t)
+	serverW := waldo.New()
+	srv, err := passd.Serve(serverW, passd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := passd.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote.o.SetPhantomLayer(c)
+	runPipeline(t, remote)
+	got := dpapitest.CanonicalGraph(remote.w.DB, serverW.DB)
+
+	if got != want {
+		t.Fatalf("remote-layered provenance graph differs from in-process run:\n--- in-process\n%s\n--- remote\n%s", want, got)
+	}
+	if !strings.Contains(want, "upcase") || !strings.Contains(want, "/data/out.txt") {
+		t.Fatalf("graph misses expected objects:\n%s", want)
+	}
+}

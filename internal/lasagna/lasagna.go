@@ -546,6 +546,9 @@ func (ph *phantom) PassWrite(p []byte, off int64, b *record.Bundle) (int, error)
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
 	end := off + int64(len(p))

@@ -32,7 +32,8 @@ type Observer struct {
 	mu       sync.Mutex
 	nodes    map[pnode.PNode]*transNode // all transient objects
 	fileIDs  map[fileKey]pnode.Ref      // non-PASS file identities
-	phantoms map[pnode.PNode]*phantomObj
+	phantoms map[pnode.PNode]*phantomState
+	remote   dpapi.Layer // optional lower layer for phantom objects
 }
 
 type fileKey struct {
@@ -48,10 +49,29 @@ func New(k *kernel.Kernel) *Observer {
 		dist:     distributor.New(0xFFFF),
 		nodes:    make(map[pnode.PNode]*transNode),
 		fileIDs:  make(map[fileKey]pnode.Ref),
-		phantoms: make(map[pnode.PNode]*phantomObj),
+		phantoms: make(map[pnode.PNode]*phantomState),
 	}
 	k.SetHooks(o)
 	return o
+}
+
+// SetPhantomLayer stacks this observer on a lower DPAPI layer for phantom
+// objects: pass_mkobj and pass_reviveobj are delegated to it, so the
+// objects a process creates live in that layer (e.g. a remote passd
+// daemon via passd.Client) instead of in the local distributor cache.
+// This is §5.2's layer stacking applied at the phantom boundary — the
+// components above (Kepler recorders, the Python runtime) are unchanged.
+// Pass nil to restore local phantoms.
+func (o *Observer) SetPhantomLayer(l dpapi.Layer) {
+	o.mu.Lock()
+	o.remote = l
+	o.mu.Unlock()
+}
+
+func (o *Observer) phantomLayer() dpapi.Layer {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.remote
 }
 
 // Analyzer exposes the analyzer (stats, tests).
@@ -434,7 +454,7 @@ func (o *Observer) Disclose(p *kernel.Process, fd *kernel.FD, data []byte, off i
 
 	if b != nil {
 		// Group by subject, preserving order within each group.
-		order, groups := groupBySubject(b.Records)
+		order, groups := record.GroupBySubject(b.Records)
 		for _, pn := range order {
 			if err := process(groups[pn][0].Subject, groups[pn]); err != nil {
 				return 0, err
@@ -482,26 +502,14 @@ func (o *Observer) Disclose(p *kernel.Process, fd *kernel.FD, data []byte, off i
 	return n, err
 }
 
-func groupBySubject(recs []record.Record) ([]pnode.PNode, map[pnode.PNode][]record.Record) {
-	var order []pnode.PNode
-	groups := make(map[pnode.PNode][]record.Record)
-	for _, r := range recs {
-		if _, ok := groups[r.Subject.PNode]; !ok {
-			order = append(order, r.Subject.PNode)
-		}
-		groups[r.Subject.PNode] = append(groups[r.Subject.PNode], r)
-	}
-	return order, groups
-}
-
 func (o *Observer) nodeForSubject(ref pnode.Ref, pf vfs.PassFile) analyzer.Node {
 	if pf != nil && pf.Ref().PNode == ref.PNode {
 		return passNode{pf}
 	}
 	o.mu.Lock()
-	if ph, ok := o.phantoms[ref.PNode]; ok {
+	if st, ok := o.phantoms[ref.PNode]; ok {
 		o.mu.Unlock()
-		return ph.node
+		return st.node
 	}
 	o.mu.Unlock()
 	if o.dist.IsTransient(ref.PNode) {
@@ -543,13 +551,19 @@ func (o *Observer) sinkByID(id uint16) distributor.Sink {
 
 // Mkobj creates a phantom object (user-level pass_mkobj): a transient
 // object the distributor will place on volumeHint's volume (or wherever
-// its first persistent descendant lives).
+// its first persistent descendant lives). With a phantom layer stacked
+// below (SetPhantomLayer), creation is delegated there and the object's
+// provenance lives in that layer — the hint is moot, since the lower
+// layer owns placement.
 func (o *Observer) Mkobj(p *kernel.Process, volumeHint string) (dpapi.Object, error) {
+	if l := o.phantomLayer(); l != nil {
+		return l.PassMkobj()
+	}
 	ref := o.k.AllocTransient()
 	node := o.transNodeFor(ref)
-	obj := &phantomObj{o: o, node: node}
+	st := &phantomState{node: node}
 	o.mu.Lock()
-	o.phantoms[ref.PNode] = obj
+	o.phantoms[ref.PNode] = st
 	o.mu.Unlock()
 	if volumeHint != "" {
 		if fs, _, err := o.k.Resolve(volumeHint); err == nil {
@@ -558,19 +572,29 @@ func (o *Observer) Mkobj(p *kernel.Process, volumeHint string) (dpapi.Object, er
 			}
 		}
 	}
-	return obj, nil
+	return &phantomObj{o: o, st: st}, nil
 }
 
-// Revive returns a handle to a previously created phantom object
-// (pass_reviveobj).
+// Revive returns a fresh handle to a previously created phantom object
+// (pass_reviveobj) — the object outlives its handles, so reviving works
+// after the creating handle was closed. A reference outside this layer's
+// transient pnode space belongs to the stacked phantom layer when one is
+// present, and is ErrWrongLayer otherwise; an unknown pnode inside our
+// space is ErrStale.
 func (o *Observer) Revive(p *kernel.Process, ref pnode.Ref) (dpapi.Object, error) {
+	if !o.dist.IsTransient(ref.PNode) {
+		if l := o.phantomLayer(); l != nil {
+			return l.PassReviveObj(ref)
+		}
+		return nil, dpapi.ErrWrongLayer
+	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	obj, ok := o.phantoms[ref.PNode]
+	st, ok := o.phantoms[ref.PNode]
+	o.mu.Unlock()
 	if !ok {
 		return nil, dpapi.ErrStale
 	}
-	return obj, nil
+	return &phantomObj{o: o, st: st}, nil
 }
 
 var _ kernel.Hooks = (*Observer)(nil)

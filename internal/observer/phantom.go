@@ -6,50 +6,69 @@ import (
 	"passv2/internal/dpapi"
 	"passv2/internal/pnode"
 	"passv2/internal/record"
+	"passv2/internal/vfs"
 )
 
-// phantomObj is the user-level handle for a pass_mkobj object: a browser
-// session, a data set, a workflow operator, a Python function — anything
-// that exists at a layer above the file system (§5.5). Its provenance is
-// cached by the distributor; any data written to it lives in memory only.
-type phantomObj struct {
-	o    *Observer
+// phantomState is a pass_mkobj object itself: a browser session, a data
+// set, a workflow operator, a Python function — anything that exists at a
+// layer above the file system (§5.5). Its provenance is cached by the
+// distributor; any data written to it lives in memory only. The state
+// outlives every handle onto it: pass_reviveobj opens a fresh handle long
+// after the creating one was closed (§6.5's Firefox sessions).
+type phantomState struct {
 	node *transNode
 
+	mu  sync.Mutex
+	buf []byte
+}
+
+// phantomObj is one user-level handle onto a phantom. Handles are cheap
+// and independently closable; closing one returns ErrClosed from further
+// use of that handle but never destroys the object or its provenance.
+type phantomObj struct {
+	o  *Observer
+	st *phantomState
+
 	mu     sync.Mutex
-	buf    []byte
 	closed bool
 }
 
-// Ref returns the phantom's current identity.
-func (ph *phantomObj) Ref() pnode.Ref { return ph.node.Ref() }
-
-// PassRead returns the phantom's in-memory data plus its identity.
-func (ph *phantomObj) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+// alive reports ErrClosed once the handle has been closed.
+func (ph *phantomObj) alive() error {
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
 	if ph.closed {
-		return 0, pnode.Ref{}, dpapi.ErrClosed
+		return dpapi.ErrClosed
 	}
-	if off < 0 || off >= int64(len(ph.buf)) {
-		return 0, ph.node.Ref(), nil
+	return nil
+}
+
+// Ref returns the phantom's current identity.
+func (ph *phantomObj) Ref() pnode.Ref { return ph.st.node.Ref() }
+
+// PassRead returns the phantom's in-memory data plus its identity.
+func (ph *phantomObj) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+	if err := ph.alive(); err != nil {
+		return 0, pnode.Ref{}, err
 	}
-	return copy(p, ph.buf[off:]), ph.node.Ref(), nil
+	st := ph.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if off < 0 || off >= int64(len(st.buf)) {
+		return 0, st.node.Ref(), nil
+	}
+	return copy(p, st.buf[off:]), st.node.Ref(), nil
 }
 
 // PassWrite runs the disclosed records through the analyzer (grouped by
 // subject — a phantom bundle may describe several objects) and caches
 // them; data, if any, is buffered in memory.
 func (ph *phantomObj) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
-	ph.mu.Lock()
-	if ph.closed {
-		ph.mu.Unlock()
-		return 0, dpapi.ErrClosed
+	if err := ph.alive(); err != nil {
+		return 0, err
 	}
-	ph.mu.Unlock()
-
 	if b != nil {
-		order, groups := groupBySubject(b.Records)
+		order, groups := record.GroupBySubject(b.Records)
 		for _, pn := range order {
 			recs := groups[pn]
 			node := ph.o.nodeForSubject(recs[0].Subject, nil)
@@ -69,40 +88,54 @@ func (ph *phantomObj) PassWrite(p []byte, off int64, b *record.Bundle) (int, err
 	if len(p) == 0 {
 		return 0, nil
 	}
-	ph.mu.Lock()
-	defer ph.mu.Unlock()
-	end := off + int64(len(p))
-	if end > int64(len(ph.buf)) {
-		grown := make([]byte, end)
-		copy(grown, ph.buf)
-		ph.buf = grown
+	if off < 0 {
+		return 0, vfs.ErrInvalid
 	}
-	copy(ph.buf[off:], p)
+	st := ph.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(st.buf)) {
+		grown := make([]byte, end)
+		copy(grown, st.buf)
+		st.buf = grown
+	}
+	copy(st.buf[off:], p)
 	return len(p), nil
 }
 
 // PassFreeze breaks a cycle by versioning the phantom.
 func (ph *phantomObj) PassFreeze() (pnode.Version, error) {
-	_, chain, err := ph.o.an.Freeze(ph.node)
+	if err := ph.alive(); err != nil {
+		return 0, err
+	}
+	_, chain, err := ph.o.an.Freeze(ph.st.node)
 	if err != nil {
 		return 0, err
 	}
 	ph.o.dist.Cache(chain)
-	return ph.node.Ref().Version, nil
+	return ph.st.node.Ref().Version, nil
 }
 
 // PassSync forces the phantom's provenance to persistent storage
 // (pass_sync).
 func (ph *phantomObj) PassSync() error {
-	return ph.o.dist.Sync(ph.node.Ref().PNode)
+	if err := ph.alive(); err != nil {
+		return err
+	}
+	return ph.o.dist.Sync(ph.st.node.Ref().PNode)
 }
 
-// Close releases the handle; the object remains revivable (§6.5: Firefox
-// session objects are revived across restarts).
+// Close releases this handle; the object remains revivable (§6.5: Firefox
+// session objects are revived across restarts) and its provenance is
+// untouched.
 func (ph *phantomObj) Close() error {
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
-	ph.closed = false // handles are cheap; Close is a logical no-op
+	if ph.closed {
+		return dpapi.ErrClosed
+	}
+	ph.closed = true
 	return nil
 }
 

@@ -17,11 +17,23 @@ import (
 // Client is one connection to a passd server. It is safe for concurrent
 // use: calls are serialized on the connection (the protocol is strict
 // request/response), so open one Client per desired in-flight query.
+//
+// A Client is also a dpapi.Layer (and a distributor.Sink): PassMkobj and
+// PassReviveObj hand out RemoteObject handles, making a remote daemon a
+// drop-in lower layer for anything written against the DPAPI — see
+// dpapi.go.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	addr string
+
+	// Protocol negotiation, performed lazily on first DPAPI use.
+	helloOnce sync.Once
+	helloErr  error
+	version   int
+	volume    uint16
 }
 
 // Dial connects to a passd server.
@@ -30,7 +42,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn), addr: addr}, nil
 }
 
 // Close closes the connection.
@@ -47,6 +59,10 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	b, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
+	}
+	if len(b) > maxRequestWireBytes {
+		return nil, fmt.Errorf("passd: request encodes to %d bytes, over the %d-byte wire line limit; split the bundle",
+			len(b), maxRequestWireBytes)
 	}
 	b = append(b, '\n')
 	if _, err := c.bw.Write(b); err != nil {
@@ -70,7 +86,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("passd: bad response: %w", err)
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("passd: %s", resp.Error)
+		return nil, wireError(&resp)
 	}
 	return &resp, nil
 }

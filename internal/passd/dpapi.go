@@ -1,0 +1,415 @@
+package passd
+
+// Client-side DPAPI: the remote half of the protocol-v2 contract. A
+// passd.Client is a dpapi.Layer and hands out RemoteObject handles that
+// are dpapi.Objects — the same six-call interface every local layer
+// exports, implemented a second time over the wire. That is the point of
+// the redesign: a component written against dpapi.Object (the Kepler
+// PASS recorder, the provenance-aware Python runtime, the distributor's
+// materialization sink) stacks on a remote daemon without changing a
+// line, exactly as §5.2 lets layers stack locally.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"passv2/internal/distributor"
+	"passv2/internal/dpapi"
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+var (
+	_ dpapi.Layer      = (*Client)(nil)
+	_ distributor.Sink = (*Client)(nil)
+)
+
+// Hello negotiates the protocol version with the server and returns the
+// negotiated version plus the server's phantom-object volume prefix. It
+// is called lazily by the DPAPI methods; calling it eagerly is a cheap
+// way to confirm the server speaks v2.
+func (c *Client) Hello() (version int, volume uint16, err error) {
+	c.helloOnce.Do(func() {
+		resp, herr := c.roundTrip(&Request{Op: "hello", Version: ProtocolVersion})
+		if herr != nil {
+			c.helloErr = herr
+			return
+		}
+		c.version = resp.Version
+		c.volume = resp.Volume
+	})
+	return c.version, c.volume, c.helloErr
+}
+
+// PassMkobj creates a phantom object on the server (dpapi.Layer). The
+// returned handle lives on this client's connection; the object itself
+// lives in the server registry and is revivable from any connection.
+func (c *Client) PassMkobj() (dpapi.Object, error) {
+	if _, _, err := c.Hello(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&Request{Op: "mkobj"})
+	if err != nil {
+		return nil, err
+	}
+	return c.objFromResp(resp), nil
+}
+
+// PassReviveObj reopens a phantom object by reference (dpapi.Layer):
+// across connections, and — because every acknowledged record is in the
+// server's durable log — across daemon crashes (§6.5's session revival).
+func (c *Client) PassReviveObj(ref pnode.Ref) (dpapi.Object, error) {
+	if _, _, err := c.Hello(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&Request{Op: "revive", P: uint64(ref.PNode), Ver: uint32(ref.Version)})
+	if err != nil {
+		return nil, err
+	}
+	return c.objFromResp(resp), nil
+}
+
+func (c *Client) objFromResp(resp *Response) *RemoteObject {
+	return &RemoteObject{
+		c:      c,
+		handle: resp.Handle,
+		ref:    pnode.Ref{PNode: pnode.PNode(resp.P), Version: pnode.Version(resp.Ver)},
+	}
+}
+
+// --- distributor.Sink ---
+
+// FSName names the remote layer for sink bookkeeping.
+func (c *Client) FSName() string { return "passd(" + c.addr + ")" }
+
+// VolumeID reports the server's phantom-object volume prefix, so the
+// distributor can route by pnode space. Zero if the server is
+// unreachable or pre-v2.
+func (c *Client) VolumeID() uint16 {
+	_, vol, err := c.Hello()
+	if err != nil {
+		return 0
+	}
+	return vol
+}
+
+// AppendProvenance materializes already-analyzed records onto the remote
+// daemon: the distributor's sink operation, carried by the handle-less
+// write path (no second analyzer pass — the records were analyzed by the
+// layer that produced them).
+func (c *Client) AppendProvenance(recs []record.Record) error {
+	wire, err := encodeRecords(recs)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&Request{Op: "write", Records: wire})
+	return err
+}
+
+// encodeRecords converts records to wire form, rejecting byte-valued
+// records (not representable in the JSON line protocol).
+func encodeRecords(recs []record.Record) ([]WireRecord, error) {
+	wire := make([]WireRecord, 0, len(recs))
+	for _, r := range recs {
+		wr, ok := encodeRecord(r)
+		if !ok {
+			return nil, fmt.Errorf("passd: record value kind %v not representable", r.Value.Kind())
+		}
+		wire = append(wire, wr)
+	}
+	return wire, nil
+}
+
+// RemoteObject is a dpapi.Object whose layer is a passd daemon: the six
+// DPAPI calls become protocol-v2 round-trips. It is safe for concurrent
+// use (round-trips serialize on the owning Client). For many small
+// disclosures, queue them on a Batch instead of paying a round-trip and a
+// durable ack per record.
+type RemoteObject struct {
+	c *Client
+
+	mu     sync.Mutex
+	handle uint64
+	ref    pnode.Ref
+	closed bool
+}
+
+var _ dpapi.Object = (*RemoteObject)(nil)
+
+// wireHandle returns the object's handle, or ErrClosed after Close.
+func (o *RemoteObject) wireHandle() (uint64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, dpapi.ErrClosed
+	}
+	return o.handle, nil
+}
+
+// setRef updates the cached identity from a server response that carries
+// one (read, write, freeze) — versions move server-side when cycle
+// avoidance freezes the object.
+func (o *RemoteObject) setRef(resp *Response) {
+	if resp.P == 0 && resp.Ver == 0 {
+		return
+	}
+	o.mu.Lock()
+	if resp.P != 0 {
+		o.ref.PNode = pnode.PNode(resp.P)
+	}
+	if resp.Ver != 0 {
+		o.ref.Version = pnode.Version(resp.Ver)
+	}
+	o.mu.Unlock()
+}
+
+// Ref returns the object's identity as of the last call that reported it.
+func (o *RemoteObject) Ref() pnode.Ref {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ref
+}
+
+// PassRead reads the phantom's data plus the exact identity read.
+func (o *RemoteObject) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
+	h, err := o.wireHandle()
+	if err != nil {
+		return 0, pnode.Ref{}, err
+	}
+	resp, err := o.c.roundTrip(&Request{Op: "read", Handle: h, Off: off, Len: len(p)})
+	if err != nil {
+		return 0, pnode.Ref{}, err
+	}
+	o.setRef(resp)
+	n := copy(p, resp.Data)
+	return n, pnode.Ref{PNode: pnode.PNode(resp.P), Version: pnode.Version(resp.Ver)}, nil
+}
+
+// PassWrite sends data and a provenance bundle as one unit; the server
+// acknowledges only after the records are committed durably (WAP order:
+// records before data, ack after the sync barrier).
+func (o *RemoteObject) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
+	h, err := o.wireHandle()
+	if err != nil {
+		return 0, err
+	}
+	var wire []WireRecord
+	if b != nil {
+		if wire, err = encodeRecords(b.Records); err != nil {
+			return 0, err
+		}
+	}
+	resp, err := o.c.roundTrip(&Request{Op: "write", Handle: h, Data: p, Off: off, Records: wire})
+	if err != nil {
+		return 0, err
+	}
+	o.setRef(resp)
+	return resp.N, nil
+}
+
+// PassFreeze versions the object (cycle breaking) and returns the new
+// current version.
+func (o *RemoteObject) PassFreeze() (pnode.Version, error) {
+	h, err := o.wireHandle()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := o.c.roundTrip(&Request{Op: "freeze", Handle: h})
+	if err != nil {
+		return 0, err
+	}
+	o.setRef(resp)
+	return pnode.Version(resp.Ver), nil
+}
+
+// PassSync forces everything disclosed against this object onto the
+// server's stable storage before returning.
+func (o *RemoteObject) PassSync() error {
+	h, err := o.wireHandle()
+	if err != nil {
+		return err
+	}
+	_, err = o.c.roundTrip(&Request{Op: "sync", Handle: h})
+	return err
+}
+
+// Close releases the wire handle. The object's provenance — and the
+// object itself, via PassReviveObj — survives (§5.2: closing a handle
+// never destroys provenance).
+func (o *RemoteObject) Close() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return dpapi.ErrClosed
+	}
+	o.closed = true
+	h := o.handle
+	o.mu.Unlock()
+	_, err := o.c.roundTrip(&Request{Op: "close", Handle: h})
+	return err
+}
+
+// --- batching ---
+
+// Batch queues DPAPI ops and ships them in one request: one round-trip
+// and one durable acknowledgment for the whole pipeline, however many
+// records it discloses. This is the §6.5 disclosure pattern at network
+// scale — a browser session logging hundreds of page derivations pays one
+// fsync, not hundreds. A Batch is not safe for concurrent use; it is a
+// staging buffer for a single caller.
+type Batch struct {
+	c    *Client
+	ops  []Request
+	objs []*RemoteObject // parallel to ops; ref-update target (may be nil)
+}
+
+// NewBatch starts an empty pipeline on this client.
+func (c *Client) NewBatch() *Batch { return &Batch{c: c} }
+
+// Len reports queued ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Write queues a pass_write of data and records against obj.
+func (b *Batch) Write(obj *RemoteObject, data []byte, off int64, recs *record.Bundle) error {
+	h, err := obj.wireHandle()
+	if err != nil {
+		return err
+	}
+	var wire []WireRecord
+	if recs != nil {
+		if wire, err = encodeRecords(recs.Records); err != nil {
+			return err
+		}
+	}
+	b.ops = append(b.ops, Request{Op: "write", Handle: h, Data: data, Off: off, Records: wire})
+	b.objs = append(b.objs, obj)
+	return nil
+}
+
+// Disclose queues a provenance-only pass_write against obj.
+func (b *Batch) Disclose(obj *RemoteObject, recs ...record.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	return b.Write(obj, nil, 0, record.NewBundle(recs...))
+}
+
+// Append queues a handle-less disclose of already-analyzed records.
+func (b *Batch) Append(recs []record.Record) error {
+	wire, err := encodeRecords(recs)
+	if err != nil {
+		return err
+	}
+	b.ops = append(b.ops, Request{Op: "write", Records: wire})
+	b.objs = append(b.objs, nil)
+	return nil
+}
+
+// Freeze queues a pass_freeze of obj.
+func (b *Batch) Freeze(obj *RemoteObject) error {
+	h, err := obj.wireHandle()
+	if err != nil {
+		return err
+	}
+	b.ops = append(b.ops, Request{Op: "freeze", Handle: h})
+	b.objs = append(b.objs, obj)
+	return nil
+}
+
+// maxBatchWireBytes bounds the encoded size of one batch request so it
+// stays inside the server's per-line read budget (the connection handler
+// caps lines at 4 MiB). Flush transparently splits a larger pipeline
+// into several requests — per-op durability is unchanged, only the
+// amortization granularity: each request is still one round-trip and
+// one durable ack for everything it carries.
+const maxBatchWireBytes = 2 << 20
+
+// maxRequestWireBytes rejects any single request whose encoded line
+// would overflow the server's read budget: the server could only answer
+// it by tearing down the connection, so failing client-side with a real
+// error is strictly better. Batches split themselves under this; a
+// single op this large (an enormous record bundle) must be split by the
+// caller.
+const maxRequestWireBytes = 3 << 20
+
+// approxWireSize conservatively estimates one op's encoded footprint.
+func approxWireSize(r *Request) int {
+	n := 96 + len(r.Data)*4/3
+	for i := range r.Records {
+		wr := &r.Records[i]
+		n += 64 + len(wr.Attr) + len(wr.Val.S) + len(wr.Val.N)
+	}
+	return n
+}
+
+// Flush ships the queued ops in order and empties the pipeline, splitting
+// into size-bounded batch requests when necessary. The server executes
+// every op in order and acknowledges each request once, durably; per-op
+// failures do not abort the rest, and Flush returns the first one
+// (wrapped with its op index) after applying the identity updates of the
+// ops that succeeded. A transport error aborts the remaining requests.
+func (b *Batch) Flush() error {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	ops, objs := b.ops, b.objs
+	b.ops, b.objs = nil, nil
+	var first error
+	for start := 0; start < len(ops); {
+		end, size := start, 0
+		for end < len(ops) {
+			sz := approxWireSize(&ops[end])
+			if end > start && size+sz > maxBatchWireBytes {
+				break
+			}
+			size += sz
+			end++
+		}
+		resp, err := b.c.roundTrip(&Request{Op: "batch", Ops: ops[start:end]})
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		if len(resp.Ops) != end-start {
+			return fmt.Errorf("passd: batch returned %d responses for %d ops", len(resp.Ops), end-start)
+		}
+		for i := range resp.Ops {
+			r := &resp.Ops[i]
+			if !r.OK {
+				if first == nil {
+					first = fmt.Errorf("passd: batch op %d: %w", start+i, wireError(r))
+				}
+				continue
+			}
+			if objs[start+i] != nil {
+				objs[start+i].setRef(r)
+			}
+		}
+		start = end
+	}
+	return first
+}
+
+// wireError reconstructs a client-side error from a failed response,
+// mapping the machine-readable code back onto the dpapi sentinels so
+// errors.Is works across the wire.
+func wireError(resp *Response) error {
+	var base error
+	switch resp.Code {
+	case codeStale:
+		base = dpapi.ErrStale
+	case codeWrongLayer:
+		base = dpapi.ErrWrongLayer
+	case codeClosed:
+		base = dpapi.ErrClosed
+	case codeNotPass:
+		base = dpapi.ErrNotPassVolume
+	}
+	if base != nil {
+		return fmt.Errorf("passd: remote: %w", base)
+	}
+	return errors.New("passd: " + resp.Error)
+}

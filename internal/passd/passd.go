@@ -1,24 +1,41 @@
-// Package passd is the PASSv2 provenance query daemon: a TCP serving layer
-// over a Waldo database, the piece the paper's user-level stack stops short
-// of (§5.6 runs Waldo and the query shell in one process, one client at a
+// Package passd is the PASSv2 provenance daemon: a TCP serving layer over
+// a Waldo database, the piece the paper's user-level stack stops short of
+// (§5.6 runs Waldo and the query shell in one process, one client at a
 // time). It exists so many clients can query a database that is still
 // ingesting: every query pins an O(1) snapshot (waldo.DB.ReadView over
 // kvdb's copy-on-write views), so readers never contend with ApplyBatch —
 // the serialization the in-process path pays on waldo.DB's store lock.
 //
 // The wire protocol is one JSON object per line in each direction (see
-// DESIGN.md §7 for the grammar):
+// DESIGN.md §9 for the grammar):
 //
 //	→ {"op":"query","query":"select ...","timeout_ms":500}
 //	← {"ok":true,"columns":["A"],"rows":[[{"k":"ref","p":5,"v":1,"n":"/f"}]]}
 //
-// Verbs: "query" evaluates PQL over a pinned snapshot; "explain" returns
-// the plan without executing; "stats" reports database and server
-// counters (including checkpoint and boot-recovery state); "drain" forces
-// a synchronous Waldo drain so subsequent views observe everything logged;
-// "checkpoint" forces a durable checkpoint generation (Config.Checkpoints);
-// "append" durably logs provenance records before replying
-// (Config.Append); "ping" is a liveness no-op.
+// Protocol v1 verbs: "query" evaluates PQL over a pinned snapshot;
+// "explain" returns the plan without executing; "stats" reports database
+// and server counters (including checkpoint and boot-recovery state);
+// "drain" forces a synchronous Waldo drain so subsequent views observe
+// everything logged; "checkpoint" forces a durable checkpoint generation
+// (Config.Checkpoints); "append" durably logs provenance records before
+// replying; "ping" is a liveness no-op.
+//
+// Protocol v2 makes the daemon a DPAPI layer (§5.2): its verbs are the six
+// Disclosed Provenance API calls, so anything that stacks on a local layer
+// through dpapi.Object/dpapi.Layer stacks on a remote daemon through the
+// same interface. "hello" negotiates the protocol version and reports the
+// server's phantom-object volume prefix; "mkobj" creates a phantom object
+// and returns a wire handle; "revive" reopens one by (pnode, version)
+// across connections and daemon restarts; "read" returns data plus the
+// exact identity read (pass_read); "write" applies a data buffer and a
+// provenance-record bundle as one unit, durably acknowledged (pass_write);
+// "freeze" versions the object (cycle breaking); "sync" forces its
+// provenance to persistent storage; "close" releases the handle without
+// destroying provenance; "batch" pipelines many DPAPI ops in one
+// round-trip under a single durable acknowledgment. "append" is retained
+// as a deprecated v1 alias over the handle-less write path. The client
+// side of the same contract is passd.Client (a dpapi.Layer) handing out
+// RemoteObject handles (dpapi.Object) — see dpapi.go.
 //
 // Durability: with a checkpoint store configured the server runs a
 // background checkpointer (interval- and records-applied-triggered, see
@@ -45,18 +62,44 @@ import (
 
 // Request is one client command, encoded as a single JSON line.
 type Request struct {
-	// Op is the verb: "query", "explain", "stats", "drain", "checkpoint",
-	// "append" or "ping" (case-insensitive).
+	// Op is the verb (case-insensitive). v1: "query", "explain", "stats",
+	// "drain", "checkpoint", "append", "ping". v2 (DPAPI): "hello",
+	// "mkobj", "revive", "read", "write", "freeze", "sync", "close",
+	// "batch".
 	Op string `json:"op"`
 	// Query is the PQL source for "query" and "explain".
 	Query string `json:"query,omitempty"`
 	// TimeoutMS overrides the server's default per-query deadline,
 	// capped at Config.MaxTimeout. Zero means the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Records carries provenance records for "append". The server logs
-	// them durably (write-through to the volume log) before replying, so
-	// an acknowledged append survives a daemon kill.
+	// Records carries provenance records: the bundle of a "write", or the
+	// raw payload of the deprecated "append" alias. The server commits
+	// them durably (write-through to the volume log when it owns one)
+	// before replying, so an acknowledged write survives a daemon kill.
 	Records []WireRecord `json:"records,omitempty"`
+
+	// --- protocol v2 fields ---
+
+	// Version is the highest protocol version the client speaks
+	// ("hello"). Servers reply with min(theirs, ours).
+	Version int `json:"v,omitempty"`
+	// Handle addresses an open object for "read", "write", "freeze",
+	// "sync" and "close". Zero on "write" means the handle-less disclose
+	// path (the "append" alias).
+	Handle uint64 `json:"h,omitempty"`
+	// P and Ver identify the object to "revive" (pnode, version).
+	P   uint64 `json:"p,omitempty"`
+	Ver uint32 `json:"ver,omitempty"`
+	// Off is the byte offset of a "read" or "write".
+	Off int64 `json:"off,omitempty"`
+	// Len bounds how many bytes a "read" returns.
+	Len int `json:"len,omitempty"`
+	// Data is the payload of a "write" (base64 inside the JSON line).
+	Data []byte `json:"data,omitempty"`
+	// Ops is the pipelined op list of a "batch": each entry is a full
+	// Request restricted to the DPAPI verbs (no nested batches). The
+	// server executes them in order and acknowledges once, durably.
+	Ops []Request `json:"ops,omitempty"`
 }
 
 // Response is one server reply, encoded as a single JSON line. Exactly one
@@ -64,16 +107,40 @@ type Request struct {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Code is a machine-readable error class for DPAPI failures, so
+	// clients can map wire errors back onto the dpapi sentinel errors:
+	// "stale" (dpapi.ErrStale), "wrong_layer" (dpapi.ErrWrongLayer),
+	// "closed" (dpapi.ErrClosed), "not_pass" (dpapi.ErrNotPassVolume).
+	Code string `json:"code,omitempty"`
 
 	Columns    []string        `json:"columns,omitempty"`    // query
 	Rows       [][]Value       `json:"rows,omitempty"`       // query
 	Plan       string          `json:"plan,omitempty"`       // explain
 	Stats      *Stats          `json:"stats,omitempty"`      // stats
 	Records    int64           `json:"records,omitempty"`    // drain
-	Appended   int64           `json:"appended,omitempty"`   // append
+	Appended   int64           `json:"appended,omitempty"`   // append/write: records committed
 	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"` // checkpoint
 	Elapsed    int64           `json:"elapsed_us,omitempty"`
+
+	// --- protocol v2 fields ---
+
+	Version int        `json:"version,omitempty"` // hello: negotiated version
+	Volume  uint16     `json:"volume,omitempty"`  // hello: phantom-object volume prefix
+	Handle  uint64     `json:"h,omitempty"`       // mkobj/revive: wire handle
+	P       uint64     `json:"p,omitempty"`       // mkobj/revive/read: object identity
+	Ver     uint32     `json:"ver,omitempty"`     // mkobj/revive/read/freeze: version
+	N       int        `json:"n,omitempty"`       // read/write: bytes moved
+	Data    []byte     `json:"data,omitempty"`    // read: payload
+	Ops     []Response `json:"ops,omitempty"`     // batch: one response per op, in order
 }
+
+// Error codes carried in Response.Code; see decodeDPAPIError in dpapi.go.
+const (
+	codeStale      = "stale"
+	codeWrongLayer = "wrong_layer"
+	codeClosed     = "closed"
+	codeNotPass    = "not_pass"
+)
 
 // CheckpointInfo is the payload of the "checkpoint" verb: the committed
 // generation, the records it covers and the snapshot size on disk.
@@ -124,7 +191,25 @@ type Stats struct {
 	RecoveredRecords int64 `json:"recovered_records"` // records in the recovered snapshot
 	ResumeBytes      int64 `json:"resume_bytes"`      // log bytes the recovery skipped
 	SkippedGens      int64 `json:"skipped_gens"`      // corrupt generations recovery fell past
+
+	Mkobjs  int64 `json:"mkobjs"`  // phantom objects created over the wire
+	Revives int64 `json:"revives"` // handles reopened over the wire
+	Batches int64 `json:"batches"` // pipelined batch requests served
+	Objects int64 `json:"objects"` // live objects in the server registry
 }
+
+// ProtocolVersion is the highest wire-protocol version this package
+// speaks. Version 1 is the query protocol (PR 3/4); version 2 adds the
+// DPAPI verbs. Servers answer "hello" with min(client, server), and every
+// v1 verb remains valid on a v2 connection.
+const ProtocolVersion = 2
+
+// AttrMkobj is the registry's allocation record: a daemon backed by a
+// durable log stages one per pass_mkobj, so an acknowledged identity
+// survives a crash (pnodes are never recycled, §5.2) and the object is
+// revivable before its first disclosure. It is layer housekeeping, in
+// the same spirit as Lasagna's LPATH records.
+const AttrMkobj record.Attr = "MKOBJ"
 
 // WireRecord is the wire form of one provenance record for the append
 // verb: the subject ref, the attribute, and the value reusing the result

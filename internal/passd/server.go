@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"passv2/internal/checkpoint"
+	"passv2/internal/dpapi"
 	"passv2/internal/graph"
+	"passv2/internal/pnode"
 	"passv2/internal/pql"
 	"passv2/internal/record"
 	"passv2/internal/waldo"
@@ -50,10 +52,24 @@ type Config struct {
 	// many records have been ingested since the last one. <=0 disables the
 	// record trigger (interval only).
 	CheckpointEvery int64
-	// Append, when non-nil, enables the "append" verb: the function must
-	// durably log the records (the daemon wires it to its volume's
-	// write-through provenance log) before returning.
+	// Append, when non-nil, routes committed provenance records to the
+	// daemon's backing log (the daemon wires it to its volume's
+	// write-through provenance log). When nil, records are applied
+	// straight to the in-memory database — consistent, but only as
+	// durable as the process. Acknowledgments wait for Sync, so Append
+	// itself need not flush.
 	Append func([]record.Record) error
+	// Sync, when non-nil, forces everything Append accepted onto stable
+	// storage. It is the single durable-ack point: one call per
+	// acknowledged request, however many DPAPI ops the request pipelined
+	// — which is exactly why batched disclosure beats per-record
+	// round-trips (one fsync amortized over the whole batch).
+	Sync func() error
+	// ObjectVolume is the pnode volume prefix for phantom objects created
+	// over the wire (mkobj); zero means DefaultObjectVolume. It must
+	// differ from every local volume and from the kernel's transient
+	// space, or remote identities would collide with local ones.
+	ObjectVolume uint16
 	// Recovered carries the boot-time recovery outcome, surfaced in STATS
 	// so clients (and the restart tests) can see what recovery did.
 	Recovered *checkpoint.Recovered
@@ -70,6 +86,7 @@ type Server struct {
 	cfg Config
 	w   *waldo.Waldo
 	ln  net.Listener
+	reg *registry // protocol-v2 phantom objects
 
 	workers chan struct{} // worker-pool slots
 	waiting atomic.Int64  // queries queued for a slot
@@ -93,6 +110,9 @@ type Server struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	appends     atomic.Int64
+	mkobjs      atomic.Int64
+	revives     atomic.Int64
+	batches     atomic.Int64
 
 	// Checkpointer state: ckptMu serializes checkpoint writes (the
 	// background loop and the verb can race), stopCkpt ends the loop.
@@ -218,10 +238,14 @@ func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
 	if cfg.CheckpointInterval <= 0 {
 		cfg.CheckpointInterval = 30 * time.Second
 	}
+	if cfg.ObjectVolume == 0 {
+		cfg.ObjectVolume = DefaultObjectVolume
+	}
 	s := &Server{
 		cfg:     cfg,
 		w:       w,
 		ln:      ln,
+		reg:     newRegistry(w, cfg.ObjectVolume),
 		workers: make(chan struct{}, cfg.Workers),
 		conns:   make(map[net.Conn]struct{}),
 	}
@@ -352,12 +376,55 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connState is the per-connection protocol-v2 residue: the wire handles
+// this connection has opened. Handles are connection-scoped (a disconnect
+// releases them all — the object and its provenance survive in the
+// registry, revivable from any later connection) and touched only by the
+// connection's own goroutine, so no lock is needed.
+type connState struct {
+	handles map[uint64]*serverObject
+	next    uint64
+}
+
+// open registers an object and returns its wire handle. Handles start at 1
+// so 0 can mean "no handle" (the handle-less write path) on the wire.
+func (cs *connState) open(obj *serverObject) uint64 {
+	if cs.handles == nil {
+		cs.handles = make(map[uint64]*serverObject)
+	}
+	cs.next++
+	cs.handles[cs.next] = obj
+	return cs.next
+}
+
+// lookup resolves a wire handle: dpapi.ErrClosed for a handle this
+// connection closed, a plain error for one it never opened.
+func (cs *connState) lookup(h uint64) (*serverObject, error) {
+	obj, ok := cs.handles[h]
+	if !ok {
+		return nil, fmt.Errorf("passd: unknown handle %d", h)
+	}
+	if obj == nil {
+		return nil, dpapi.ErrClosed
+	}
+	return obj, nil
+}
+
 // handle serves one connection: requests are processed sequentially, one
 // JSON line in, one JSON line out. Concurrency comes from connections, not
-// from pipelining within one.
+// from pipelining within one — a client that wants many DPAPI ops in
+// flight sends them as one "batch" request instead.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	cs := &connState{}
 	defer func() {
+		// Disconnect releases this connection's handles; the objects and
+		// their provenance stay in the registry/database, revivable.
+		for _, obj := range cs.handles {
+			if obj != nil {
+				s.reg.release(obj)
+			}
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -377,7 +444,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp.Error = "bad request: " + err.Error()
 		} else {
-			resp = s.dispatch(&req)
+			resp = s.dispatch(cs, &req)
 		}
 		resp.OK = resp.Error == ""
 		if err := enc.Encode(&resp); err != nil {
@@ -396,7 +463,7 @@ func (s *Server) ConnCount() int {
 	return len(s.conns)
 }
 
-func (s *Server) dispatch(req *Request) Response {
+func (s *Server) dispatch(cs *connState, req *Request) Response {
 	switch strings.ToLower(req.Op) {
 	case "query":
 		return s.doQuery(req)
@@ -412,9 +479,258 @@ func (s *Server) dispatch(req *Request) Response {
 		return s.doAppend(req)
 	case "ping":
 		return Response{}
+	case "hello":
+		return s.doHello(req)
+	case "mkobj", "revive", "read", "write", "freeze", "sync", "close":
+		resp := s.execDPAPI(cs, req)
+		// Single-op requests carry their own durable acknowledgment;
+		// batches defer it to one Sync for the whole pipeline.
+		if resp.Error == "" && dpapiCommits(req.Op) {
+			if err := s.ackDurable(); err != nil {
+				return Response{Error: err.Error()}
+			}
+		}
+		return resp
+	case "batch":
+		return s.doBatch(cs, req)
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// dpapiCommits reports whether a DPAPI verb can have staged records that
+// need the durable-ack barrier before the reply.
+func dpapiCommits(op string) bool {
+	switch strings.ToLower(op) {
+	case "mkobj", "write", "freeze", "sync":
+		return true
+	}
+	return false
+}
+
+// doHello negotiates the protocol version and describes the server's
+// DPAPI surface: the volume prefix remote phantom identities come from.
+// v1 clients never send hello; every v1 verb works without it.
+func (s *Server) doHello(req *Request) Response {
+	v := req.Version
+	if v <= 0 || v > ProtocolVersion {
+		v = ProtocolVersion
+	}
+	return Response{Version: v, Volume: s.reg.prefix}
+}
+
+// execDPAPI runs one DPAPI op against the connection's handle table. It
+// stages record commits but never calls the durable-ack barrier — the
+// caller does, once per request (dispatch for single ops, doBatch once for
+// a whole pipeline).
+func (s *Server) execDPAPI(cs *connState, req *Request) Response {
+	switch strings.ToLower(req.Op) {
+	case "mkobj":
+		s.mkobjs.Add(1)
+		obj := s.reg.mkobj()
+		ref := obj.Ref()
+		// A daemon with a durable log persists the allocation itself:
+		// after a crash the registry reseeds its allocator from the
+		// database, and an acknowledged identity that left no record
+		// would otherwise be re-issued to a different object. An
+		// ephemeral (memory-backed) daemon has no restart to survive, so
+		// it stages nothing.
+		if s.cfg.Append != nil {
+			if err := s.stageRecords([]record.Record{record.New(ref, AttrMkobj, record.Int(1))}); err != nil {
+				// The client never receives the handle: give back the
+				// reference mkobj took so the stillborn entry is not
+				// pinned forever.
+				s.reg.release(obj)
+				return Response{Error: err.Error()}
+			}
+		}
+		return Response{Handle: cs.open(obj), P: uint64(ref.PNode), Ver: uint32(ref.Version)}
+	case "revive":
+		s.revives.Add(1)
+		obj, err := s.reg.revive(pnode.Ref{PNode: pnode.PNode(req.P), Version: pnode.Version(req.Ver)})
+		if err != nil {
+			return dpapiError(err)
+		}
+		ref := obj.Ref()
+		return Response{Handle: cs.open(obj), P: uint64(ref.PNode), Ver: uint32(ref.Version)}
+	case "read":
+		obj, err := cs.lookup(req.Handle)
+		if err != nil {
+			return dpapiError(err)
+		}
+		data, ref := obj.readAt(req.Len, req.Off)
+		return Response{N: len(data), Data: data, P: uint64(ref.PNode), Ver: uint32(ref.Version)}
+	case "write":
+		return s.doDPAPIWrite(cs, req)
+	case "freeze":
+		obj, err := cs.lookup(req.Handle)
+		if err != nil {
+			return dpapiError(err)
+		}
+		newRef, chain, err := s.reg.an.Freeze(obj)
+		if err != nil {
+			return dpapiError(err)
+		}
+		if err := s.stageRecords([]record.Record{chain}); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{Ver: uint32(newRef.Version)}
+	case "sync":
+		// Every disclosed record was committed at write time; pass_sync
+		// only has to force the backlog onto stable storage, which the
+		// caller's durable-ack barrier does.
+		if _, err := cs.lookup(req.Handle); err != nil {
+			return dpapiError(err)
+		}
+		return Response{}
+	case "close":
+		obj, err := cs.lookup(req.Handle)
+		if err != nil {
+			return dpapiError(err)
+		}
+		// Tombstone, not delete: later ops on this handle are ErrClosed,
+		// and the object itself stays revivable (§6.5).
+		cs.handles[req.Handle] = nil
+		s.reg.release(obj)
+		return Response{}
+	default:
+		return Response{Error: fmt.Sprintf("op %q is not a DPAPI verb", req.Op)}
+	}
+}
+
+// doDPAPIWrite is pass_write on the wire: a record bundle and a data
+// buffer applied as one unit, records first (the WAP ordering Lasagna
+// enforces locally). Handle 0 is the handle-less disclose path — records
+// are committed raw, with no analyzer pass, because they come from a layer
+// that has already analyzed them (the v1 "append" alias and the
+// distributor's materialization sink both land here).
+func (s *Server) doDPAPIWrite(cs *connState, req *Request) Response {
+	recs := make([]record.Record, 0, len(req.Records))
+	for _, wr := range req.Records {
+		r, err := decodeRecord(wr)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		recs = append(recs, r)
+	}
+	if req.Handle == 0 {
+		if len(req.Data) > 0 {
+			return Response{Error: "passd: handle-less write cannot carry data"}
+		}
+		if err := s.stageRecords(recs); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{Appended: int64(len(recs))}
+	}
+	obj, err := cs.lookup(req.Handle)
+	if err != nil {
+		return dpapiError(err)
+	}
+	// Validate the data span before anything stages: pass_write is one
+	// unit, so a write whose data cannot be applied must not commit its
+	// records either.
+	if err := checkDataSpan(len(req.Data), req.Off); err != nil {
+		return Response{Error: err.Error()}
+	}
+	processed, subjects, err := s.reg.process(recs)
+	if err != nil {
+		return dpapiError(err)
+	}
+	if err := s.stageRecords(processed); err != nil {
+		return Response{Error: err.Error()}
+	}
+	// Bundle subjects we only held for this write (no wire handle) have
+	// served their purpose once their records are committed.
+	s.reg.sweepZeroHandle(subjects)
+	n, err := obj.writeData(req.Data, req.Off)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	// Report the object's identity after the write: processing the bundle
+	// may have frozen it (cycle avoidance), and the client-side handle
+	// must see the same version a local handle would.
+	ref := obj.Ref()
+	return Response{N: n, Appended: int64(len(processed)), P: uint64(ref.PNode), Ver: uint32(ref.Version)}
+}
+
+// doBatch executes a pipeline of DPAPI ops in order, then acknowledges
+// once, durably. Each op gets its own Response slot (an op failure does
+// not abort the rest — the client sees exactly which ops failed), but the
+// outer acknowledgment covers every staged record with a single Sync:
+// this is the round-trip/fsync amortization passbench -disclose measures.
+func (s *Server) doBatch(cs *connState, req *Request) Response {
+	s.batches.Add(1)
+	resp := Response{Ops: make([]Response, 0, len(req.Ops))}
+	commits := false
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		var r Response
+		if strings.EqualFold(op.Op, "batch") {
+			r = Response{Error: "passd: batches do not nest"}
+		} else {
+			commits = commits || dpapiCommits(op.Op)
+			r = s.execDPAPI(cs, op)
+		}
+		r.OK = r.Error == ""
+		resp.Ops = append(resp.Ops, r)
+	}
+	// Read-only pipelines (reads, revives, closes) stage nothing and owe
+	// no fsync; mirror the single-op dispatch.
+	if commits {
+		if err := s.ackDurable(); err != nil {
+			return Response{Error: err.Error()}
+		}
+	}
+	return resp
+}
+
+// stageRecords is the single commit path for provenance arriving over the
+// wire — DPAPI writes, freezes, batches and the v1 append alias all pass
+// through it. Records go to the backing log (Config.Append) when the
+// daemon owns one, else straight into the database. Durability is the
+// caller's ackDurable barrier, so a pipelined batch pays one Sync total.
+func (s *Server) stageRecords(recs []record.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	// Whatever path an identity takes into the store, the registry's
+	// allocator must never re-issue it.
+	s.reg.observeRecords(recs)
+	if s.cfg.Append != nil {
+		if err := s.cfg.Append(recs); err != nil {
+			return err
+		}
+	} else {
+		s.w.DB.ApplyBatch(recs)
+	}
+	s.appends.Add(int64(len(recs)))
+	return nil
+}
+
+// ackDurable is the durable-ack barrier: after it returns, everything
+// stageRecords accepted is on stable storage and may be acknowledged.
+func (s *Server) ackDurable() error {
+	if s.cfg.Sync != nil {
+		return s.cfg.Sync()
+	}
+	return nil
+}
+
+// dpapiError renders a DPAPI failure with its machine-readable code so
+// the client can reconstruct the dpapi sentinel error.
+func dpapiError(err error) Response {
+	resp := Response{Error: err.Error()}
+	switch {
+	case errors.Is(err, dpapi.ErrStale):
+		resp.Code = codeStale
+	case errors.Is(err, dpapi.ErrWrongLayer):
+		resp.Code = codeWrongLayer
+	case errors.Is(err, dpapi.ErrClosed):
+		resp.Code = codeClosed
+	case errors.Is(err, dpapi.ErrNotPassVolume):
+		resp.Code = codeNotPass
+	}
+	return resp
 }
 
 // acquireWorker takes a worker slot, shedding load when the wait queue is
@@ -515,26 +831,27 @@ func (s *Server) doCheckpointVerb() Response {
 	}}
 }
 
-// doAppend durably logs the request's records. The reply is sent only
-// after the configured append function returns, so an acknowledged record
-// is on disk (write-through log) and survives a SIGKILL.
+// doAppend is the v1 "append" verb, retained as a deprecated alias over
+// the protocol-v2 write path: a handle-less write plus the same
+// durable-ack barrier every v2 op uses. Its former private decode-and-log
+// implementation is gone — stageRecords/ackDurable is the one durable-ack
+// code path in this server. The reply still means what it always did: an
+// acknowledged record is on stable storage and survives a SIGKILL.
 func (s *Server) doAppend(req *Request) Response {
+	// v1 contract: append promises on-disk durability, so it stays
+	// refused on a daemon with no backing log. (v2 writes accept the
+	// weaker process-lifetime durability a memory-backed server offers.)
 	if s.cfg.Append == nil {
 		return Response{Error: "append disabled (server owns no writable log)"}
 	}
-	recs := make([]record.Record, 0, len(req.Records))
-	for _, wr := range req.Records {
-		r, err := decodeRecord(wr)
-		if err != nil {
-			return Response{Error: err.Error()}
-		}
-		recs = append(recs, r)
+	resp := s.doDPAPIWrite(&connState{}, &Request{Op: "write", Records: req.Records})
+	if resp.Error != "" {
+		return resp
 	}
-	if err := s.cfg.Append(recs); err != nil {
+	if err := s.ackDurable(); err != nil {
 		return Response{Error: err.Error()}
 	}
-	s.appends.Add(int64(len(recs)))
-	return Response{Appended: int64(len(recs))}
+	return Response{Appended: resp.Appended}
 }
 
 func (s *Server) snapshotStats() *Stats {
@@ -563,6 +880,11 @@ func (s *Server) snapshotStats() *Stats {
 		CheckpointErrors:  s.checkpointErrors.Load(),
 		LastCheckpointGen: s.lastCkptGen.Load(),
 		Appends:           s.appends.Load(),
+
+		Mkobjs:  s.mkobjs.Load(),
+		Revives: s.revives.Load(),
+		Batches: s.batches.Load(),
+		Objects: s.reg.count(),
 	}
 	if r := s.cfg.Recovered; r != nil && r.DB != nil {
 		st.RecoveredGen = r.Gen

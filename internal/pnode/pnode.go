@@ -85,6 +85,22 @@ func (a *Allocator) Next() PNode {
 	return PNode(a.next.Add(1))
 }
 
+// SeedPast advances the allocator so every future pnode is strictly
+// greater than pn. Restarted daemons use it to resume allocation past
+// everything a previous process handed out (pnodes are never recycled,
+// §5.2); seeding below the current position is a no-op.
+func (a *Allocator) SeedPast(pn PNode) {
+	for {
+		cur := a.next.Load()
+		if cur >= uint64(pn) {
+			return
+		}
+		if a.next.CompareAndSwap(cur, uint64(pn)) {
+			return
+		}
+	}
+}
+
 // VolumePrefix extracts the volume prefix embedded in a pnode allocated by
 // a NewPrefixed allocator.
 func VolumePrefix(p PNode) uint16 {

@@ -1,0 +1,131 @@
+package pyprov
+
+import (
+	"strings"
+	"testing"
+
+	"passv2/internal/dpapi/dpapitest"
+	"passv2/internal/kernel"
+	"passv2/internal/lasagna"
+	"passv2/internal/observer"
+	"passv2/internal/passd"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// remoteRig is newRig plus a handle on the observer, so the test can
+// stack the machine's phantom objects on a remote daemon.
+type remoteRig struct {
+	k *kernel.Kernel
+	w *waldo.Waldo
+	o *observer.Observer
+}
+
+func newRemoteRig(t *testing.T) *remoteRig {
+	t.Helper()
+	k := kernel.New(&vfs.Clock{})
+	k.Mount("/", vfs.NewMemFS("root", nil))
+	vol, err := lasagna.New("pass0", lasagna.Config{Lower: vfs.NewMemFS("lower", nil), VolumeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Mount("/lab", vol)
+	o := observer.New(k)
+	o.RegisterVolume(vol)
+	w := waldo.New()
+	w.Attach(vol)
+	return &remoteRig{k: k, w: w, o: o}
+}
+
+// runScript executes a deterministic provenance-aware script: read an
+// input file, run it through a wrapped function that itself calls a
+// wrapped library function (the §5.2 stacked-application case — the
+// nested invocation's result flows back into the outer invocation's
+// dependency set, exercising cycle-avoidance freezes), then persist the
+// result with its dependency chain.
+func runScript(t *testing.T, r *remoteRig) {
+	t.Helper()
+	p := r.k.Spawn(nil, "python", []string{"python", "pipeline.py"}, nil)
+	rt := New(p, "/lab")
+
+	fd, err := p.Open("/lab/in.csv", vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("3,1,2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	sortvals, err := rt.Wrap("sortvals", func(call *Invocation, args []Value) ([]Value, error) {
+		return []Value{{Data: "1,2,3"}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyze, err := rt.Wrap("analyze", func(call *Invocation, args []Value) ([]Value, error) {
+		sorted, err := call.Call(sortvals, args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Value{{Data: "max=" + sorted[0].Data.(string)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := rt.ReadFile("/lab/in.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := analyze.Call(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WriteFile("/lab/report.txt", []byte(outs[0].Data.(string)), outs[0], in); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeRemoteEquivalence: the unmodified provenance-aware Python
+// runtime records through remote DPAPI objects, and the resulting graph —
+// machine database plus daemon database — is byte-identical to the
+// in-process run's.
+func TestRuntimeRemoteEquivalence(t *testing.T) {
+	local := newRemoteRig(t)
+	runScript(t, local)
+	want := dpapitest.CanonicalGraph(local.w.DB)
+
+	remote := newRemoteRig(t)
+	serverW := waldo.New()
+	srv, err := passd.Serve(serverW, passd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := passd.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote.o.SetPhantomLayer(c)
+	runScript(t, remote)
+	got := dpapitest.CanonicalGraph(remote.w.DB, serverW.DB)
+
+	if got != want {
+		t.Fatalf("remote-layered provenance graph differs from in-process run:\n--- in-process\n%s\n--- remote\n%s", want, got)
+	}
+	// "@v2" pins the nested call's cycle-avoidance freeze: the outer
+	// invocation is versioned when the inner result joins its dependency
+	// set, and the remote layer must reproduce that exactly.
+	for _, needle := range []string{"analyze", "sortvals", "/lab/report.txt", "INVOCATION", "@v2"} {
+		if !strings.Contains(want, needle) {
+			t.Fatalf("graph misses %q:\n%s", needle, want)
+		}
+	}
+}

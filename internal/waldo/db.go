@@ -578,6 +578,31 @@ func (r *reader) TypeOf(pn pnode.PNode) (string, bool) {
 	return typ, found
 }
 
+// MaxPNode returns the highest pnode the database knows — as a record
+// subject or as a cross-reference target — whose top 16 bits equal prefix:
+// one bounded last-key descent in the version index. The passd object
+// registry uses it to seed its pnode allocator past everything a previous
+// process may have handed out, preserving the paper's never-recycled
+// guarantee (§5.2) across daemon crashes.
+func (r *reader) MaxPNode(prefix uint16) (pnode.PNode, bool) {
+	buf := make([]byte, 0, 2+16)
+	buf = append(buf, 'v', '|')
+	buf = appendHex64(buf, uint64(prefix)<<prefixShift)
+	k, _, ok := r.store.MaxInPrefix(string(buf[:2+4]))
+	if !ok {
+		return 0, false
+	}
+	pn := parsePN(k[2 : 2+16])
+	if pnode.VolumePrefix(pn) != prefix {
+		return 0, false
+	}
+	return pn, true
+}
+
+// prefixShift mirrors pnode's volume-prefix layout: 48 bits of per-volume
+// pnode space below a 16-bit prefix.
+const prefixShift = 48
+
 // AllPNodes lists every pnode in the database, ascending.
 func (r *reader) AllPNodes() []pnode.PNode {
 	seen := make(map[pnode.PNode]bool)

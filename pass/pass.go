@@ -164,6 +164,32 @@ func (m *Machine) Serve(cfg passd.Config) (*passd.Server, error) {
 	return passd.Serve(m.Waldo, cfg)
 }
 
+// Connect dials a remote passd daemon (Serve on another machine, or
+// cmd/passd) and stacks this machine's phantom objects on it: from here
+// on, pass_mkobj and pass_reviveobj issued by processes on this machine
+// return remote DPAPI objects whose provenance is disclosed over the
+// protocol-v2 wire and lives in the daemon's database. Components written
+// against dpapi.Object — the Kepler PASS recorder, the provenance-aware
+// Python runtime — need no changes; this is the paper's layer stacking
+// (§5.2) across a process and network boundary. The connection is closed
+// by Machine.Close.
+func (m *Machine) Connect(addr string) (*passd.Client, error) {
+	if m.Observer == nil {
+		return nil, ErrNoProvenance
+	}
+	c, err := passd.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.Hello(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	m.Observer.SetPhantomLayer(c)
+	m.clients = append(m.clients, c)
+	return c, nil
+}
+
 // QueryWith runs a PQL query over this machine's provenance joined with
 // additional databases (e.g. NFS servers').
 func (m *Machine) QueryWith(q string, extra ...*waldo.DB) (*pql.Result, error) {
