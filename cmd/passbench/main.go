@@ -16,6 +16,7 @@
 //	passbench -serve              # passd concurrent serving vs serialized queries
 //	passbench -recover            # checkpoint recovery vs from-zero re-ingest (BENCH_recover.json)
 //	passbench -disclose           # remote DPAPI disclosure, per-record vs batched (BENCH_disclose.json)
+//	passbench -replicate          # hedged vs unhedged reads on a replicated group (BENCH_replicate.json)
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
 //	passbench -records 100000     # ingest benchmark size
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"passv2/internal/bench"
 )
@@ -54,6 +56,12 @@ func main() {
 	discloseRecords := flag.Int("disclose-records", 4000, "disclose: records per phase")
 	discloseBatch := flag.Int("disclose-batch", 64, "disclose: DPAPI ops per pipelined batch")
 	discloseJSON := flag.String("disclose-json", "BENCH_disclose.json", "disclose: file for the JSON result (empty = don't write)")
+	replicate := flag.Bool("replicate", false, "measure hedged vs unhedged cluster reads on a replicated group with one slow follower")
+	replRecords := flag.Int("replicate-records", 2000, "replicate: records replicated before measuring")
+	replQueries := flag.Int("replicate-queries", 300, "replicate: queries per measured arm")
+	replSlow := flag.Duration("replicate-slow", 25*time.Millisecond, "replicate: injected response delay on the slow follower")
+	replHedge := flag.Duration("replicate-hedge", 3*time.Millisecond, "replicate: hedge trigger delay")
+	replJSON := flag.String("replicate-json", "BENCH_replicate.json", "replicate: file for the JSON result (empty = don't write)")
 	flag.Parse()
 
 	if *ingest || *all {
@@ -82,6 +90,12 @@ func main() {
 	}
 	if *disclose || *all {
 		runDisclose(*discloseRecords, *discloseBatch, *discloseJSON)
+		if !*all {
+			return
+		}
+	}
+	if *replicate || *all {
+		runReplicate(*replRecords, *replQueries, *replSlow, *replHedge, *replJSON)
 		if !*all {
 			return
 		}
@@ -160,6 +174,18 @@ func runDisclose(records, batch int, jsonPath string) {
 	res, err := bench.Disclose(records, batch)
 	die(err)
 	bench.PrintDisclose(os.Stdout, res)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		die(err)
+		die(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+}
+
+func runReplicate(records, queries int, slow, hedge time.Duration, jsonPath string) {
+	res, err := bench.Replicate(records, queries, slow, hedge)
+	die(err)
+	bench.PrintReplicate(os.Stdout, res)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		die(err)

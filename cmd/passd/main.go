@@ -24,12 +24,25 @@
 // only the log bytes past the checkpointed offsets, so restart work is
 // proportional to the tail, not the log.
 //
+// With -replicate W the daemon is a replication primary (DESIGN.md §10):
+// followers started with -join announce themselves, the primary streams
+// its provenance log to them, and a write is acknowledged only once W
+// daemons (counting the primary) hold it durably — so any single
+// machine's death loses zero acked records. Followers are read-only
+// replicas serving the same queries; point a read cluster at all of them
+// for failover and hedged reads.
+//
 // Usage:
 //
 //	passd -db prov.db                 # serve a snapshot on 127.0.0.1:7457
 //	passd -demo -addr :9000           # serve the built-in demo database
 //	passd -logdir /var/pass/log -checkpoint-dir /var/pass/ckpt
 //	passd -db prov.db -workers 8 -timeout 10s
+//
+//	# a 3-node replicated group, quorum 2:
+//	passd -addr 127.0.0.1:7457 -logdir /var/pass/log -replicate 2
+//	passd -addr 127.0.0.1:7458 -logdir /var/pass/f1  -join 127.0.0.1:7457
+//	passd -addr 127.0.0.1:7459 -logdir /var/pass/f2  -join 127.0.0.1:7457
 //
 // Query it with cmd/pql:
 //
@@ -49,6 +62,7 @@ import (
 	"passv2/internal/passd"
 	"passv2/internal/provlog"
 	"passv2/internal/record"
+	"passv2/internal/replica"
 	"passv2/internal/vfs"
 	"passv2/internal/waldo"
 )
@@ -72,7 +86,21 @@ func main() {
 	queue := flag.Int("queue", 0, "max queries waiting for a worker before shedding (0 = 4x workers)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+	replicate := flag.Int("replicate", 0, "write quorum counting this daemon: acks wait for N-1 follower copies (1 = replicate asynchronously, 0 = replication off); requires -logdir")
+	commitTimeout := flag.Duration("commit-timeout", 10*time.Second, "how long an ack may wait for the write quorum before refusing")
+	join := flag.String("join", "", "primary address to follow: run as a read-only replica of that daemon; requires -logdir")
+	joinInterval := flag.Duration("join-interval", time.Second, "how often a follower re-announces itself to the primary")
+	advertise := flag.String("advertise", "", "address the primary should dial this follower back on (default: the bound -addr)")
 	flag.Parse()
+
+	if *replicate > 0 && *join != "" {
+		fmt.Fprintln(os.Stderr, "passd: -replicate (primary) and -join (follower) are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*replicate > 0 || *join != "") && *logDir == "" {
+		fmt.Fprintln(os.Stderr, "passd: replication ships the provenance log, so -replicate/-join require -logdir")
+		os.Exit(2)
+	}
 
 	// Boot-time recovery: load the newest valid checkpoint generation,
 	// falling back across corrupt ones, before deciding the database.
@@ -124,9 +152,11 @@ func main() {
 	var (
 		appendFn func([]record.Record) error
 		syncFn   func() error
+		dfs      *vfs.DirFS
 	)
 	if *logDir != "" {
-		dfs, err := vfs.NewDirFS(*logDir)
+		var err error
+		dfs, err = vfs.NewDirFS(*logDir)
 		die(err)
 		log, err := provlog.NewWriter(dfs, "/", 0)
 		die(err)
@@ -140,6 +170,34 @@ func main() {
 			return nil
 		}
 		syncFn = log.Sync
+	}
+
+	// Replication roles. A primary streams its log file to followers and
+	// gates acks on the write quorum; a follower receives log bytes via
+	// replappend (its own writer is never appended to — the only writer
+	// of a follower's log is the replication stream) and is read-only on
+	// the client surface.
+	var (
+		prim *replica.Primary
+		flog *replica.FollowerLog
+	)
+	if *replicate > 0 {
+		src, err := replica.OpenFileSource(dfs, "/"+provlog.CurrentName)
+		die(err)
+		prim = replica.NewPrimary(src, replica.Config{
+			Quorum:        *replicate,
+			CommitTimeout: *commitTimeout,
+			Dial: passd.PeerDialer(passd.Options{
+				DialTimeout:    2 * time.Second,
+				RequestTimeout: 30 * time.Second,
+			}),
+		})
+	}
+	if *join != "" {
+		var err error
+		flog, err = replica.OpenFollowerLog(dfs, "/"+provlog.CurrentName)
+		die(err)
+		appendFn, syncFn = nil, nil
 	}
 	if rec != nil && rec.DB != nil {
 		for _, name := range w.RestoreVolumes(rec.Volumes) {
@@ -171,10 +229,33 @@ func main() {
 		Append:             appendFn,
 		Sync:               syncFn,
 		Recovered:          rec,
+		Replicate:          prim,
+		Follower:           flog,
 	})
 	die(err)
 	records, _, _ := db.Stats()
 	fmt.Printf("passd: serving %d records on %s\n", records, srv.Addr())
+
+	// A follower announces itself to the primary on a timer: the first
+	// round registers it, later rounds are idempotent no-ops that
+	// re-register after a primary restart. The primary dials back and
+	// drives replication from whatever offset this follower's log holds.
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = srv.Addr()
+		}
+		fmt.Printf("passd: following %s as %s\n", *join, self)
+		go func() {
+			for {
+				if err := passd.Announce(*join, self, 2*time.Second); err == nil {
+					time.Sleep(*joinInterval)
+				} else {
+					time.Sleep(*joinInterval / 2)
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -184,6 +265,9 @@ func main() {
 		die(w.Stop()) // final drain so the shutdown checkpoint is complete
 	}
 	die(srv.Close()) // flushes a final checkpoint generation
+	if prim != nil {
+		die(prim.Close())
+	}
 }
 
 func die(err error) {

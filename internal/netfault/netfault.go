@@ -1,0 +1,308 @@
+// Package netfault injects network faults into net.Conn and net.Listener,
+// the network-side twin of vfs.FaultFS: where FaultFS proves the
+// checkpoint stack survives a disk that dies mid-write, netfault proves
+// the replication and client-resilience stack survives a network that
+// drops, delays, partitions, tears frames mid-write, and blackholes one
+// direction while the other keeps flowing.
+//
+// A Faults value is a shared, dynamically adjustable control block; wrap a
+// listener (or an individual connection) once and flip faults on and off
+// while traffic is live:
+//
+//	flt := netfault.New()
+//	srv, _ := passd.Serve(w, passd.Config{Listener: flt.Listener(ln)})
+//	flt.SetWriteDelay(25 * time.Millisecond) // a slow replica
+//	flt.Partition(true)                      // nothing in, nothing out
+//	flt.TearAfter(100)                       // cut the next frame mid-write
+//	flt.KillConns()                          // reset every live connection
+//	flt.Heal()                               // back to a healthy network
+//
+// Faults are injected on the wrapped side only (usually the server's
+// accepted connections); the peer experiences them as the corresponding
+// client-visible pathology — stalls, resets, half-open connections and
+// truncated responses. Blackholed reads and writes do not error: reads
+// block (until the connection's read deadline, if any, fires) and writes
+// report success while the bytes vanish, exactly like a mid-path packet
+// drop. All methods are safe for concurrent use.
+package netfault
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// pollInterval is how often a blackholed read re-checks for healing or an
+// expired deadline. Coarse is fine: blackholes are for tests that assert
+// deadlines fire, not for latency measurements.
+const pollInterval = 2 * time.Millisecond
+
+// Faults is the shared fault state for a set of wrapped connections.
+// The zero value is not ready; use New.
+type Faults struct {
+	mu         sync.Mutex
+	readDelay  time.Duration
+	writeDelay time.Duration
+	blackRead  bool  // reads block (one-way blackhole toward the wrapped side)
+	blackWrite bool  // writes vanish (one-way blackhole away from the wrapped side)
+	refuse     bool  // new connections are accepted then immediately reset
+	tearAfter  int64 // bytes the wrapped side may still write; -1 = off
+	conns      map[*Conn]struct{}
+}
+
+// New returns a healthy Faults control block.
+func New() *Faults {
+	return &Faults{tearAfter: -1, conns: make(map[*Conn]struct{})}
+}
+
+// SetReadDelay stalls every read on wrapped connections by d.
+func (f *Faults) SetReadDelay(d time.Duration) {
+	f.mu.Lock()
+	f.readDelay = d
+	f.mu.Unlock()
+}
+
+// SetWriteDelay stalls every write on wrapped connections by d — the
+// "artificially slow follower" fault the hedged-read benchmark uses.
+func (f *Faults) SetWriteDelay(d time.Duration) {
+	f.mu.Lock()
+	f.writeDelay = d
+	f.mu.Unlock()
+}
+
+// BlackholeReads makes reads on wrapped connections block indefinitely
+// (honoring read deadlines): bytes toward the wrapped side are dropped
+// in-flight while the reverse direction keeps working.
+func (f *Faults) BlackholeReads(on bool) {
+	f.mu.Lock()
+	f.blackRead = on
+	f.mu.Unlock()
+}
+
+// BlackholeWrites makes writes on wrapped connections report success while
+// the bytes vanish: the wrapped side believes it answered, the peer never
+// hears it — the classic half-open failure a response deadline must catch.
+func (f *Faults) BlackholeWrites(on bool) {
+	f.mu.Lock()
+	f.blackWrite = on
+	f.mu.Unlock()
+}
+
+// Refuse makes the wrapped listener reset new connections on accept.
+func (f *Faults) Refuse(on bool) {
+	f.mu.Lock()
+	f.refuse = on
+	f.mu.Unlock()
+}
+
+// Partition isolates the wrapped side completely: new connections are
+// refused and existing ones go black in both directions. Partition(false)
+// heals only what Partition(true) set.
+func (f *Faults) Partition(on bool) {
+	f.mu.Lock()
+	f.refuse = on
+	f.blackRead = on
+	f.blackWrite = on
+	f.mu.Unlock()
+}
+
+// TearAfter arms a torn write: across all wrapped connections, the next n
+// written bytes pass through, then the write in flight is truncated
+// mid-frame and that connection's writes silently vanish from then on (the
+// peer sees a partial frame and then nothing — not even a FIN). Tearing
+// disarms itself after cutting one connection; other connections are
+// unaffected.
+func (f *Faults) TearAfter(n int64) {
+	f.mu.Lock()
+	f.tearAfter = n
+	f.mu.Unlock()
+}
+
+// KillConns abruptly closes every live wrapped connection — the "drop"
+// fault: peers see a reset/EOF, in-flight requests die.
+func (f *Faults) KillConns() {
+	f.mu.Lock()
+	conns := make([]*Conn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal clears every fault (but does not resurrect killed or torn
+// connections — like a real network, recovery means reconnecting).
+func (f *Faults) Heal() {
+	f.mu.Lock()
+	f.readDelay, f.writeDelay = 0, 0
+	f.blackRead, f.blackWrite = false, false
+	f.refuse = false
+	f.tearAfter = -1
+	f.mu.Unlock()
+}
+
+// snapshot reads the current fault state.
+func (f *Faults) snapshot() (rd, wd time.Duration, br, bw bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readDelay, f.writeDelay, f.blackRead, f.blackWrite
+}
+
+// Conn wraps c: all I/O passes through f's faults.
+func (f *Faults) Conn(c net.Conn) *Conn {
+	fc := &Conn{inner: c, f: f}
+	f.mu.Lock()
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	return fc
+}
+
+// Listener wraps ln: accepted connections pass through f's faults, and
+// Refuse/Partition reset new connections at the door.
+func (f *Faults) Listener(ln net.Listener) net.Listener {
+	return &listener{inner: ln, f: f}
+}
+
+type listener struct {
+	inner net.Listener
+	f     *Faults
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.f.mu.Lock()
+		refuse := l.f.refuse
+		l.f.mu.Unlock()
+		if refuse {
+			c.Close()
+			continue
+		}
+		return l.f.Conn(c), nil
+	}
+}
+
+func (l *listener) Close() error   { return l.inner.Close() }
+func (l *listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conn is one fault-injected connection. It implements net.Conn.
+type Conn struct {
+	inner net.Conn
+	f     *Faults
+
+	mu      sync.Mutex
+	torn    bool // a TearAfter cut this connection; writes vanish
+	closed  bool
+	readDL  time.Time
+	writeDL time.Time
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read applies read delay and read blackholing, honoring the read
+// deadline: a blackholed read returns os.ErrDeadlineExceeded once the
+// deadline passes instead of hanging the caller forever.
+func (c *Conn) Read(p []byte) (int, error) {
+	for {
+		rd, _, black, _ := c.f.snapshot()
+		if !black {
+			if rd > 0 {
+				time.Sleep(rd)
+			}
+			return c.inner.Read(p)
+		}
+		c.mu.Lock()
+		dl, closed := c.readDL, c.closed
+		c.mu.Unlock()
+		if closed {
+			return 0, net.ErrClosed
+		}
+		if !dl.IsZero() && time.Now().After(dl) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// Write applies write delay, write blackholing and torn-frame injection.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	torn, closed := c.torn, c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	if torn {
+		return len(p), nil // the cut connection swallows everything
+	}
+	_, wd, _, black := c.f.snapshot()
+	if wd > 0 {
+		time.Sleep(wd)
+	}
+	if black {
+		return len(p), nil // bytes vanish, caller believes they were sent
+	}
+	// Torn-frame arming is checked under the Faults lock so exactly one
+	// write across all connections gets cut.
+	c.f.mu.Lock()
+	tear := c.f.tearAfter
+	if tear >= 0 {
+		if int64(len(p)) >= tear {
+			c.f.tearAfter = -1 // disarm: one cut per arming
+		} else {
+			c.f.tearAfter -= int64(len(p))
+		}
+	}
+	c.f.mu.Unlock()
+	if tear >= 0 && int64(len(p)) >= tear {
+		c.mu.Lock()
+		c.torn = true
+		c.mu.Unlock()
+		if tear > 0 {
+			c.inner.Write(p[:tear])
+		}
+		return len(p), nil // the frame was cut mid-write; the rest vanishes
+	}
+	return c.inner.Write(p)
+}
+
+// Close closes the underlying connection and unregisters it.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.f.mu.Lock()
+	delete(c.f.conns, c)
+	c.f.mu.Unlock()
+	return c.inner.Close()
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

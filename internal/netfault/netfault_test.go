@@ -1,0 +1,203 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts through ln and echoes every byte back.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+}
+
+func startEcho(t *testing.T) (*Faults, string) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt := New()
+	ln := flt.Listener(inner)
+	t.Cleanup(func() { ln.Close() })
+	echoServer(t, ln)
+	return flt, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(c net.Conn, msg string, timeout time.Duration) (string, error) {
+	if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return "", err
+	}
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestHealthyPassThrough(t *testing.T) {
+	_, addr := startEcho(t)
+	c := dial(t, addr)
+	got, err := roundTrip(c, "hello", 2*time.Second)
+	if err != nil || got != "hello" {
+		t.Fatalf("echo = %q, %v", got, err)
+	}
+}
+
+func TestWriteDelay(t *testing.T) {
+	flt, addr := startEcho(t)
+	flt.SetWriteDelay(60 * time.Millisecond)
+	c := dial(t, addr)
+	start := time.Now()
+	if _, err := roundTrip(c, "x", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("delayed echo returned in %v, want >= 50ms", d)
+	}
+	flt.Heal()
+	start = time.Now()
+	if _, err := roundTrip(c, "y", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("healed echo took %v, want fast", d)
+	}
+}
+
+func TestBlackholeWritesHonorsClientDeadline(t *testing.T) {
+	flt, addr := startEcho(t)
+	flt.BlackholeWrites(true)
+	c := dial(t, addr)
+	// The echo's response writes vanish; the client's read deadline must
+	// fire rather than hang.
+	_, err := roundTrip(c, "lost", 200*time.Millisecond)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackholed response returned %v, want timeout", err)
+	}
+}
+
+func TestBlackholeReadsHonorsServerDeadline(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt := New()
+	ln := flt.Listener(inner)
+	defer ln.Close()
+	flt.BlackholeReads(true)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srvErr error
+	go func() {
+		defer wg.Done()
+		sc, err := ln.Accept()
+		if err != nil {
+			srvErr = err
+			return
+		}
+		defer sc.Close()
+		sc.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+		_, srvErr = sc.Read(make([]byte, 16))
+	}()
+	c := dial(t, ln.Addr().String())
+	c.Write([]byte("never arrives"))
+	wg.Wait()
+	if !errors.Is(srvErr, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read returned %v, want deadline exceeded", srvErr)
+	}
+}
+
+func TestTornWriteCutsOneFrame(t *testing.T) {
+	flt, addr := startEcho(t)
+	c := dial(t, addr)
+	// Warm the connection through, then arm a tear 3 bytes into the next
+	// server write: the client receives a partial echo and then silence.
+	if _, err := roundTrip(c, "warm", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	flt.TearAfter(3)
+	c.SetDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := c.Write([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := io.ReadFull(c, buf)
+	if n != 3 || string(buf[:3]) != "abc" {
+		t.Fatalf("torn frame delivered %d bytes (%q), want 3 (%q); err=%v", n, buf[:n], "abc", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read past the tear returned %v, want timeout", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	flt, addr := startEcho(t)
+	c := dial(t, addr)
+	if _, err := roundTrip(c, "pre", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	flt.Partition(true)
+	// Existing connection: blackholed both ways.
+	if _, err := roundTrip(c, "gone", 150*time.Millisecond); err == nil {
+		t.Fatal("round-trip succeeded across a partition")
+	}
+	// New connections: reset at the door. TCP connect itself succeeds
+	// (the kernel accepts), but the first exchange dies.
+	c2 := dial(t, addr)
+	if _, err := roundTrip(c2, "refused", 150*time.Millisecond); err == nil {
+		t.Fatal("round-trip succeeded on a refused connection")
+	}
+	flt.Partition(false)
+	c3 := dial(t, addr)
+	if got, err := roundTrip(c3, "healed", 2*time.Second); err != nil || got != "healed" {
+		t.Fatalf("post-heal echo = %q, %v", got, err)
+	}
+}
+
+func TestKillConnsResetsPeers(t *testing.T) {
+	flt, addr := startEcho(t)
+	c := dial(t, addr)
+	if _, err := roundTrip(c, "up", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	flt.KillConns()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	// The peer sees EOF or a reset, promptly.
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on a killed connection succeeded")
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,44 +20,211 @@ import (
 // use: calls are serialized on the connection (the protocol is strict
 // request/response), so open one Client per desired in-flight query.
 //
+// A Client is resilient by default (see Options): dials are bounded by a
+// timeout, every round-trip carries a socket deadline derived from the
+// request's own timeout (a hung or partitioned server surfaces as an
+// error, never a stuck caller), transient failures — overload shedding,
+// quorum unavailability, connection resets on idempotent ops — are
+// retried with exponential backoff and jitter, and a broken connection is
+// transparently redialed, with every open RemoteObject revived on the new
+// connection under its current identity (PR 5's registry semantics make
+// that sound: handles are connection residue, objects live server-side).
+//
 // A Client is also a dpapi.Layer (and a distributor.Sink): PassMkobj and
 // PassReviveObj hand out RemoteObject handles, making a remote daemon a
 // drop-in lower layer for anything written against the DPAPI — see
 // dpapi.go.
 type Client struct {
+	addr string
+	opts Options
+
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
-	addr string
 
-	// Protocol negotiation, performed lazily on first DPAPI use.
-	helloOnce sync.Once
-	helloErr  error
+	// Protocol negotiation, performed on every (re)connection so the
+	// client works against a restarted daemon without caller involvement.
+	helloDone bool
 	version   int
 	volume    uint16
+
+	// objs is the revival registry: every open RemoteObject this client
+	// handed out. After a reconnect, each is re-opened by its current
+	// (pnode, version) and its wire handle refreshed in place.
+	objs map[*RemoteObject]struct{}
 }
 
-// Dial connects to a passd server.
+// Options tunes a Client's resilience. The zero value means sane
+// defaults; fields are only consulted at Dial time.
+type Options struct {
+	// DialTimeout bounds connection establishment; <=0 means 5s.
+	DialTimeout time.Duration
+	// RequestTimeout is the socket-deadline base for requests that carry
+	// no timeout of their own; <=0 means 30s. Requests with an explicit
+	// TimeoutMS use that instead, so a query's wire deadline tracks its
+	// server-side execution deadline.
+	RequestTimeout time.Duration
+	// DeadlineGrace is added to the request timeout when deriving the
+	// socket deadline, covering queueing and transfer time so the server
+	// gets to report its own timeout error before the socket gives up;
+	// <=0 means 2s.
+	DeadlineGrace time.Duration
+	// MaxRetries bounds retries of transient failures (shed load, quorum
+	// unavailability, and transport errors on idempotent ops). 0 means
+	// the default (4); negative disables retries.
+	MaxRetries int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// retries; defaults 25ms and 1s. Jitter is applied on top.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.DeadlineGrace <= 0 {
+		o.DeadlineGrace = 2 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = time.Second
+	}
+	return o
+}
+
+// ErrExhausted is the terminal retry error: the failure was transient and
+// retryable, but every attempt failed. It wraps the last attempt's error.
+var ErrExhausted = errors.New("passd: retries exhausted")
+
+// Dial connects to a passd server with default Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a passd server with explicit resilience
+// options. The initial dial is attempted immediately so configuration
+// errors surface here; later reconnects are automatic.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults(), objs: make(map[*RemoteObject]struct{})}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn), addr: addr}, nil
+	return c, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
 }
 
-// roundTrip sends one request and reads one response.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// connectLocked dials a fresh connection. Requires c.mu.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.helloDone = false
+	return nil
+}
+
+// dropLocked abandons a connection a transport error poisoned: the
+// request/response framing is no longer trustworthy (a torn response
+// would desynchronize every later exchange), so the next call redials.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// ensureLocked makes the connection ready: dialed, protocol negotiated,
+// and every registered object revived on it. Errors here are always
+// retryable — the caller's request has not been sent.
+func (c *Client) ensureLocked() error {
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return err
+		}
+	}
+	if c.helloDone {
+		return nil
+	}
+	resp, err := c.rawLocked(&Request{Op: "hello", Version: ProtocolVersion}, c.opts.RequestTimeout)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return wireError(resp)
+	}
+	c.version = resp.Version
+	c.volume = resp.Volume
+	c.helloDone = true
+	c.reviveLocked()
+	return nil
+}
+
+// reviveLocked re-opens every registered object on the current
+// connection: wire handles are connection residue, but the objects and
+// their provenance live in the server registry under stable (pnode,
+// version) identities, so a reconnect revives them transparently. A
+// revival failure is parked on the object — its next use reports it —
+// rather than failing whatever unrelated call triggered the reconnect.
+func (c *Client) reviveLocked() {
+	for o := range c.objs {
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			continue
+		}
+		ref := o.ref
+		o.mu.Unlock()
+		resp, err := c.rawLocked(&Request{Op: "revive", P: uint64(ref.PNode), Ver: uint32(ref.Version)}, c.opts.RequestTimeout)
+		if err == nil && !resp.OK {
+			err = wireError(resp)
+		}
+		o.mu.Lock()
+		if err != nil {
+			o.handle, o.reviveErr = 0, err
+		} else {
+			o.handle, o.reviveErr = resp.Handle, nil
+		}
+		o.mu.Unlock()
+		if err != nil && c.conn == nil {
+			return // the reconnect itself died; later calls retry
+		}
+	}
+}
+
+// rawLocked performs one wire exchange on the current connection under a
+// socket deadline. Requires c.mu. Transport failures drop the connection
+// and return a transportError; wire-level failures return the decoded
+// response with resp.OK false and a nil error.
+func (c *Client) rawLocked(req *Request, timeout time.Duration) (*Response, error) {
 	b, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -64,31 +233,165 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("passd: request encodes to %d bytes, over the %d-byte wire line limit; split the bundle",
 			len(b), maxRequestWireBytes)
 	}
+	// The whole exchange runs under one deadline: a server that hangs —
+	// or a network that partitions mid-exchange — surfaces as a timeout
+	// here instead of blocking the caller forever (the old behavior
+	// enforced TimeoutMS server-side only).
+	if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		c.dropLocked()
+		return nil, &transportError{err}
+	}
 	b = append(b, '\n')
 	if _, err := c.bw.Write(b); err != nil {
-		return nil, err
+		c.dropLocked()
+		return nil, &transportError{err}
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		c.dropLocked()
+		return nil, &transportError{err}
 	}
 	// ReadBytes rather than a Scanner: a response line is as large as the
 	// result set (a closure query can return megabytes of rows), and a
 	// Scanner's buffer cap would wedge the connection mid-token.
 	line, err := c.br.ReadBytes('\n')
 	if err != nil {
+		c.dropLocked()
 		if len(line) == 0 && errors.Is(err, io.EOF) {
-			return nil, errors.New("passd: connection closed by server")
+			return nil, &transportError{errors.New("passd: connection closed by server")}
 		}
-		return nil, err
+		return nil, &transportError{err}
 	}
 	var resp Response
 	if err := json.Unmarshal(line, &resp); err != nil {
-		return nil, fmt.Errorf("passd: bad response: %w", err)
-	}
-	if !resp.OK {
-		return nil, wireError(&resp)
+		c.dropLocked()
+		return nil, &transportError{fmt.Errorf("passd: bad response: %w", err)}
 	}
 	return &resp, nil
+}
+
+// transportError marks a failure of the transport itself — as opposed to
+// a well-formed error reply — so retry classification can tell "the
+// server refused" from "the request may or may not have arrived".
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// deadlineFor derives the socket deadline from the request's own timeout
+// plus the grace margin, falling back to the client-wide default.
+func (c *Client) deadlineFor(req *Request) time.Duration {
+	if req.TimeoutMS > 0 {
+		return time.Duration(req.TimeoutMS)*time.Millisecond + c.opts.DeadlineGrace
+	}
+	return c.opts.RequestTimeout + c.opts.DeadlineGrace
+}
+
+// idempotentOp reports whether op can be blindly re-sent after an
+// ambiguous transport failure (the request may have executed). Reads and
+// forced barriers are; record-staging writes are not — re-executing one
+// after a lost ack would disclose its records twice on the basis of a
+// guess. (Replicated appends are the engineered exception: the follower
+// log skips already-held prefixes, which is what makes the replication
+// stream safe under at-least-once delivery.)
+func idempotentOp(op string) bool {
+	switch strings.ToLower(op) {
+	case "query", "explain", "stats", "drain", "checkpoint", "ping",
+		"hello", "read", "revive", "sync",
+		"replstate", "replappend", "repljoin":
+		return true
+	}
+	return false
+}
+
+// retryable classifies one attempt's failure. Wire-level refusals that
+// carry a transient code (overloaded, unavailable) are retryable for
+// every op — the server refused before, or instead of, acknowledging.
+// Transport failures are retryable only when the op is idempotent, or
+// when the request provably never went out (dial/hello/revive failures).
+func retryable(op string, err error, sent bool) bool {
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrUnavailable) {
+		return true
+	}
+	var te *transportError
+	if errors.As(err, &te) {
+		return !sent || idempotentOp(op)
+	}
+	return false
+}
+
+// call is the resilient request path: ensure a live negotiated
+// connection, send, and retry transient failures with exponential
+// backoff plus jitter. When o is non-nil the request addresses that
+// object, and its wire handle is refreshed per attempt — a reconnect
+// between attempts changes it.
+func (c *Client) call(o *RemoteObject, req *Request) (*Response, error) {
+	timeout := c.deadlineFor(req)
+	backoff := c.opts.RetryBase
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, sent, err := c.attempt(o, req, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		if !retryable(req.Op, err, sent) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= c.opts.MaxRetries {
+			// Both errors stay in the chain: errors.Is sees ErrExhausted
+			// (the terminal classification) and the transient cause.
+			return nil, fmt.Errorf("%w after %d attempts: %w", ErrExhausted, attempt+1, lastErr)
+		}
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2+1))))
+		if backoff *= 2; backoff > c.opts.RetryMax {
+			backoff = c.opts.RetryMax
+		}
+	}
+}
+
+// attempt runs one try of a request. sent reports whether the request
+// itself was handed to the transport (false for dial/negotiation
+// failures, which are therefore always safe to retry).
+func (c *Client) attempt(o *RemoteObject, req *Request, timeout time.Duration) (resp *Response, sent bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return nil, false, err
+	}
+	if o != nil {
+		h, err := o.wireHandle()
+		if err != nil {
+			return nil, false, err
+		}
+		req.Handle = h
+	}
+	resp, err = c.rawLocked(req, timeout)
+	if err != nil {
+		return nil, true, err
+	}
+	if !resp.OK {
+		return nil, true, wireError(resp)
+	}
+	return resp, true, nil
+}
+
+// roundTrip sends one request and reads one response, with resilience.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	return c.call(nil, req)
+}
+
+// register adds an object to the revival registry.
+func (c *Client) register(o *RemoteObject) {
+	c.mu.Lock()
+	c.objs[o] = struct{}{}
+	c.mu.Unlock()
+}
+
+// unregister removes an object (Close) from the revival registry.
+func (c *Client) unregister(o *RemoteObject) {
+	c.mu.Lock()
+	delete(c.objs, o)
+	c.mu.Unlock()
 }
 
 // Query evaluates a PQL query on the server under its default deadline and
@@ -98,7 +401,8 @@ func (c *Client) Query(q string) (*pql.Result, error) {
 }
 
 // QueryTimeout is Query with an explicit per-query deadline (capped by the
-// server's MaxTimeout). Zero means the server default.
+// server's MaxTimeout). Zero means the server default. The same deadline,
+// plus the grace margin, bounds the socket exchange.
 func (c *Client) QueryTimeout(q string, timeout time.Duration) (*pql.Result, error) {
 	resp, err := c.roundTrip(&Request{Op: "query", Query: q, TimeoutMS: timeout.Milliseconds()})
 	if err != nil {

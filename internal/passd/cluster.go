@@ -1,0 +1,271 @@
+package passd
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"passv2/internal/pql"
+)
+
+// Cluster reads from a replicated passd group: one primary plus its
+// followers, any of which can answer a query (followers serve the same
+// log the primary acked — see internal/replica). It layers two policies
+// over plain Clients:
+//
+//   - Failover: when a replica fails (dead daemon, refused connection,
+//     exhausted retries), the query moves to the next replica. With a
+//     quorum-replicated group, any single daemon's death leaves the
+//     cluster answering.
+//   - Hedged reads (PAPERS.md, "Low Latency via Redundancy"): if the
+//     first replica hasn't answered within the cluster's observed p95
+//     query latency, the same query is fired at a second replica and the
+//     first answer wins. One straggler — a GC pause, a slow disk, an
+//     overloaded peer — stops defining the tail; the cost is a bounded
+//     ~5% duplicate-query rate by construction of the p95 trigger.
+//
+// Queries rotate round-robin across replicas so follower capacity is
+// used, not just held in reserve. A Cluster is safe for concurrent use.
+// Writes go to the primary via a plain Client: replication has one
+// writer, so write hedging would be wrong, not just wasteful.
+type Cluster struct {
+	addrs []string
+	opts  ClusterOptions
+
+	mu      sync.Mutex
+	clients []*Client // lazily dialed; nil until first use, re-dialed on demand
+	next    int       // round-robin cursor
+	lats    []time.Duration
+	latPos  int
+	latFull bool
+	hedges  int64
+	wins    int64 // hedged attempts where the second request answered first
+}
+
+// ClusterOptions tunes cluster reads; the embedded Options configure each
+// per-replica Client.
+type ClusterOptions struct {
+	Options
+	// HedgeDelay fixes the hedge trigger. Zero means adaptive: the p95 of
+	// the cluster's recent query latencies (with a small floor so a
+	// microsecond-fast cache workload does not hedge on noise).
+	HedgeDelay time.Duration
+	// NoHedge disables hedging, leaving only failover — the control arm
+	// the passbench -replicate benchmark measures against.
+	NoHedge bool
+}
+
+// hedgeFloor keeps the adaptive trigger from collapsing to ~0 on
+// all-cache-hit workloads, where hedging every query would double load
+// for nothing.
+const hedgeFloor = 2 * time.Millisecond
+
+// latWindow is how many recent query latencies feed the p95 estimate.
+const latWindow = 128
+
+// NewCluster makes a read cluster over the given replica addresses.
+// Connections are dialed lazily, so a dead replica costs nothing until a
+// query rotates onto it (and then only a failover hop).
+func NewCluster(addrs []string, opts ClusterOptions) *Cluster {
+	return &Cluster{
+		addrs:   addrs,
+		opts:    opts,
+		clients: make([]*Client, len(addrs)),
+		lats:    make([]time.Duration, latWindow),
+	}
+}
+
+// Close closes every dialed connection.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var first error
+	for i, c := range cl.clients {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+			cl.clients[i] = nil
+		}
+	}
+	return first
+}
+
+// Hedges reports how many hedge requests were fired and how many of them
+// beat the primary attempt — the benchmark's bookkeeping.
+func (cl *Cluster) Hedges() (fired, won int64) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.hedges, cl.wins
+}
+
+// client returns (dialing if needed) the i'th replica's client.
+func (cl *Cluster) client(i int) (*Client, error) {
+	cl.mu.Lock()
+	if c := cl.clients[i]; c != nil {
+		cl.mu.Unlock()
+		return c, nil
+	}
+	addr := cl.addrs[i]
+	opts := cl.opts.Options
+	cl.mu.Unlock()
+	// Dial outside the lock: one dead replica's dial timeout must not
+	// serialize every other query in the cluster.
+	c, err := DialOptions(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if prev := cl.clients[i]; prev != nil {
+		c.Close()
+		return prev, nil
+	}
+	cl.clients[i] = c
+	return c, nil
+}
+
+// dropClient forgets a client whose replica failed, so the next rotation
+// redials instead of reusing a dead connection.
+func (cl *Cluster) dropClient(i int, c *Client) {
+	cl.mu.Lock()
+	if cl.clients[i] == c {
+		cl.clients[i] = nil
+	}
+	cl.mu.Unlock()
+	c.Close()
+}
+
+// observe feeds one successful query latency into the p95 window.
+func (cl *Cluster) observe(d time.Duration) {
+	cl.mu.Lock()
+	cl.lats[cl.latPos] = d
+	cl.latPos++
+	if cl.latPos == len(cl.lats) {
+		cl.latPos, cl.latFull = 0, true
+	}
+	cl.mu.Unlock()
+}
+
+// hedgeDelay returns the current hedge trigger.
+func (cl *Cluster) hedgeDelay() time.Duration {
+	if cl.opts.HedgeDelay > 0 {
+		return cl.opts.HedgeDelay
+	}
+	cl.mu.Lock()
+	n := cl.latPos
+	if cl.latFull {
+		n = len(cl.lats)
+	}
+	sorted := append([]time.Duration(nil), cl.lats[:n]...)
+	cl.mu.Unlock()
+	if len(sorted) < 8 {
+		// Too few samples to call a p95: start conservative so a cold
+		// cluster does not hedge everything.
+		return 25 * time.Millisecond
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p95 := sorted[len(sorted)*95/100]
+	if p95 < hedgeFloor {
+		p95 = hedgeFloor
+	}
+	return p95
+}
+
+// Query evaluates q on the cluster with failover and (unless disabled)
+// hedging.
+func (cl *Cluster) Query(q string) (*pql.Result, error) {
+	return cl.QueryTimeout(q, 0)
+}
+
+// QueryTimeout is Query with an explicit per-query deadline.
+func (cl *Cluster) QueryTimeout(q string, timeout time.Duration) (*pql.Result, error) {
+	cl.mu.Lock()
+	first := cl.next % len(cl.addrs)
+	cl.next++
+	cl.mu.Unlock()
+
+	type outcome struct {
+		res *pql.Result
+		err error
+		leg int // 0 = first attempt, >0 = hedge/failover legs
+	}
+	ch := make(chan outcome, len(cl.addrs))
+	launched := 0
+	launch := func(leg int) {
+		idx := (first + leg) % len(cl.addrs)
+		launched++
+		go func() {
+			c, err := cl.client(idx)
+			if err != nil {
+				ch <- outcome{nil, err, leg}
+				return
+			}
+			res, err := c.QueryTimeout(q, timeout)
+			if err != nil && !isWireRefusal(err) {
+				// Transport-level death (even after the client's own
+				// retries): this replica is gone, make the rotation redial.
+				cl.dropClient(idx, c)
+			}
+			ch <- outcome{res, err, leg}
+		}()
+	}
+
+	start := time.Now()
+	launch(0)
+	var hedgeTimer <-chan time.Time
+	if !cl.opts.NoHedge && len(cl.addrs) > 1 {
+		hedgeTimer = time.After(cl.hedgeDelay())
+	}
+
+	inflight := 1
+	var lastErr error
+	for {
+		select {
+		case o := <-ch:
+			inflight--
+			if o.err == nil {
+				cl.observe(time.Since(start))
+				if o.leg > 0 {
+					cl.mu.Lock()
+					cl.wins++
+					cl.mu.Unlock()
+				}
+				return o.res, nil
+			}
+			lastErr = o.err
+			// Failover: try the next untried replica; when none remain,
+			// drain what's still in flight before giving up.
+			if launched < len(cl.addrs) {
+				launch(launched)
+				inflight++
+			} else if inflight == 0 {
+				return nil, lastErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if launched < len(cl.addrs) {
+				cl.mu.Lock()
+				cl.hedges++
+				cl.mu.Unlock()
+				launch(launched)
+				inflight++
+			}
+		}
+	}
+}
+
+// isWireRefusal reports whether err is a well-formed server refusal (the
+// connection is healthy) as opposed to transport-level death.
+func isWireRefusal(err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return false
+	}
+	if errors.Is(err, ErrExhausted) {
+		// Exhausted retries on a refusal code is still a live server.
+		return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrUnavailable)
+	}
+	return true
+}

@@ -26,29 +26,24 @@ var (
 )
 
 // Hello negotiates the protocol version with the server and returns the
-// negotiated version plus the server's phantom-object volume prefix. It
-// is called lazily by the DPAPI methods; calling it eagerly is a cheap
-// way to confirm the server speaks v2.
+// negotiated version plus the server's phantom-object volume prefix.
+// Negotiation happens automatically on every (re)connection; calling this
+// eagerly is a cheap way to confirm the server speaks v2.
 func (c *Client) Hello() (version int, volume uint16, err error) {
-	c.helloOnce.Do(func() {
-		resp, herr := c.roundTrip(&Request{Op: "hello", Version: ProtocolVersion})
-		if herr != nil {
-			c.helloErr = herr
-			return
-		}
-		c.version = resp.Version
-		c.volume = resp.Volume
-	})
-	return c.version, c.volume, c.helloErr
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return 0, 0, err
+	}
+	return c.version, c.volume, nil
 }
 
 // PassMkobj creates a phantom object on the server (dpapi.Layer). The
 // returned handle lives on this client's connection; the object itself
-// lives in the server registry and is revivable from any connection.
+// lives in the server registry and is revivable from any connection —
+// which is also how the client itself survives reconnects: it re-revives
+// every open object on the new connection.
 func (c *Client) PassMkobj() (dpapi.Object, error) {
-	if _, _, err := c.Hello(); err != nil {
-		return nil, err
-	}
 	resp, err := c.roundTrip(&Request{Op: "mkobj"})
 	if err != nil {
 		return nil, err
@@ -60,9 +55,6 @@ func (c *Client) PassMkobj() (dpapi.Object, error) {
 // across connections, and — because every acknowledged record is in the
 // server's durable log — across daemon crashes (§6.5's session revival).
 func (c *Client) PassReviveObj(ref pnode.Ref) (dpapi.Object, error) {
-	if _, _, err := c.Hello(); err != nil {
-		return nil, err
-	}
 	resp, err := c.roundTrip(&Request{Op: "revive", P: uint64(ref.PNode), Ver: uint32(ref.Version)})
 	if err != nil {
 		return nil, err
@@ -71,11 +63,13 @@ func (c *Client) PassReviveObj(ref pnode.Ref) (dpapi.Object, error) {
 }
 
 func (c *Client) objFromResp(resp *Response) *RemoteObject {
-	return &RemoteObject{
+	o := &RemoteObject{
 		c:      c,
 		handle: resp.Handle,
 		ref:    pnode.Ref{PNode: pnode.PNode(resp.P), Version: pnode.Version(resp.Ver)},
 	}
+	c.register(o)
+	return o
 }
 
 // --- distributor.Sink ---
@@ -129,20 +123,25 @@ func encodeRecords(recs []record.Record) ([]WireRecord, error) {
 type RemoteObject struct {
 	c *Client
 
-	mu     sync.Mutex
-	handle uint64
-	ref    pnode.Ref
-	closed bool
+	mu        sync.Mutex
+	handle    uint64
+	ref       pnode.Ref
+	closed    bool
+	reviveErr error // a reconnect failed to revive this object
 }
 
 var _ dpapi.Object = (*RemoteObject)(nil)
 
-// wireHandle returns the object's handle, or ErrClosed after Close.
+// wireHandle returns the object's handle, ErrClosed after Close, or the
+// parked revival failure if a reconnect could not re-open the object.
 func (o *RemoteObject) wireHandle() (uint64, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
 		return 0, dpapi.ErrClosed
+	}
+	if o.reviveErr != nil {
+		return 0, fmt.Errorf("passd: object lost across reconnect: %w", o.reviveErr)
 	}
 	return o.handle, nil
 }
@@ -171,13 +170,11 @@ func (o *RemoteObject) Ref() pnode.Ref {
 	return o.ref
 }
 
-// PassRead reads the phantom's data plus the exact identity read.
+// PassRead reads the phantom's data plus the exact identity read. The
+// wire handle is resolved per attempt, so a read that triggers a
+// reconnect transparently uses the revived handle.
 func (o *RemoteObject) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
-	h, err := o.wireHandle()
-	if err != nil {
-		return 0, pnode.Ref{}, err
-	}
-	resp, err := o.c.roundTrip(&Request{Op: "read", Handle: h, Off: off, Len: len(p)})
+	resp, err := o.c.call(o, &Request{Op: "read", Off: off, Len: len(p)})
 	if err != nil {
 		return 0, pnode.Ref{}, err
 	}
@@ -190,17 +187,14 @@ func (o *RemoteObject) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
 // acknowledges only after the records are committed durably (WAP order:
 // records before data, ack after the sync barrier).
 func (o *RemoteObject) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
-	h, err := o.wireHandle()
-	if err != nil {
-		return 0, err
-	}
 	var wire []WireRecord
+	var err error
 	if b != nil {
 		if wire, err = encodeRecords(b.Records); err != nil {
 			return 0, err
 		}
 	}
-	resp, err := o.c.roundTrip(&Request{Op: "write", Handle: h, Data: p, Off: off, Records: wire})
+	resp, err := o.c.call(o, &Request{Op: "write", Data: p, Off: off, Records: wire})
 	if err != nil {
 		return 0, err
 	}
@@ -211,11 +205,7 @@ func (o *RemoteObject) PassWrite(p []byte, off int64, b *record.Bundle) (int, er
 // PassFreeze versions the object (cycle breaking) and returns the new
 // current version.
 func (o *RemoteObject) PassFreeze() (pnode.Version, error) {
-	h, err := o.wireHandle()
-	if err != nil {
-		return 0, err
-	}
-	resp, err := o.c.roundTrip(&Request{Op: "freeze", Handle: h})
+	resp, err := o.c.call(o, &Request{Op: "freeze"})
 	if err != nil {
 		return 0, err
 	}
@@ -226,17 +216,14 @@ func (o *RemoteObject) PassFreeze() (pnode.Version, error) {
 // PassSync forces everything disclosed against this object onto the
 // server's stable storage before returning.
 func (o *RemoteObject) PassSync() error {
-	h, err := o.wireHandle()
-	if err != nil {
-		return err
-	}
-	_, err = o.c.roundTrip(&Request{Op: "sync", Handle: h})
+	_, err := o.c.call(o, &Request{Op: "sync"})
 	return err
 }
 
 // Close releases the wire handle. The object's provenance — and the
 // object itself, via PassReviveObj — survives (§5.2: closing a handle
-// never destroys provenance).
+// never destroys provenance). Transport failures count as success: a
+// dead connection released every handle on it already.
 func (o *RemoteObject) Close() error {
 	o.mu.Lock()
 	if o.closed {
@@ -246,7 +233,15 @@ func (o *RemoteObject) Close() error {
 	o.closed = true
 	h := o.handle
 	o.mu.Unlock()
+	o.c.unregister(o)
+	if h == 0 {
+		return nil // never held a live handle on the current connection
+	}
 	_, err := o.c.roundTrip(&Request{Op: "close", Handle: h})
+	var te *transportError
+	if errors.As(err, &te) {
+		return nil
+	}
 	return err
 }
 
@@ -366,6 +361,17 @@ func (b *Batch) Flush() error {
 			size += sz
 			end++
 		}
+		// Handles are connection residue: re-resolve each op's handle just
+		// before shipping, so a reconnect between queueing and flushing
+		// (which revived every object under a fresh handle) still lands
+		// the ops on the right objects.
+		for i := start; i < end; i++ {
+			if objs[i] != nil {
+				if h, herr := objs[i].wireHandle(); herr == nil {
+					ops[i].Handle = h
+				}
+			}
+		}
 		resp, err := b.c.roundTrip(&Request{Op: "batch", Ops: ops[start:end]})
 		if err != nil {
 			if first == nil {
@@ -407,6 +413,19 @@ func wireError(resp *Response) error {
 		base = dpapi.ErrClosed
 	case codeNotPass:
 		base = dpapi.ErrNotPassVolume
+	case codeOverloaded, codeUnavail, codeReadOnly:
+		// Availability refusals keep the server's detail (quorum counts,
+		// shed reason) while mapping onto the sentinel the retry policy
+		// and errors.Is tests key on.
+		switch resp.Code {
+		case codeOverloaded:
+			base = ErrOverloaded
+		case codeUnavail:
+			base = ErrUnavailable
+		case codeReadOnly:
+			base = ErrReadOnly
+		}
+		return fmt.Errorf("passd: remote: %w (%s)", base, resp.Error)
 	}
 	if base != nil {
 		return fmt.Errorf("passd: remote: %w", base)

@@ -37,6 +37,19 @@
 // side of the same contract is passd.Client (a dpapi.Layer) handing out
 // RemoteObject handles (dpapi.Object) — see dpapi.go.
 //
+// Replication (DESIGN.md §10) adds three peer verbs on the same wire:
+// "repljoin" announces a follower's serving address to the primary (which
+// dials back and drives replication), "replstate" reports a follower's
+// durable replicated log size, and "replappend" appends a chunk of the
+// primary's log bytes at an exact offset, durably, draining it into the
+// follower's database before the ack. A follower is read-only: client
+// writes are refused with the "read_only" code; queries, stats and the
+// whole read-side DPAPI keep working, which is what makes follower reads
+// and hedging sound. On a primary with a write quorum configured, the
+// durable-ack barrier additionally blocks until W-1 followers hold the
+// acknowledged bytes; when they don't, the client sees the retryable
+// "unavailable" code instead of a false ack.
+//
 // Durability: with a checkpoint store configured the server runs a
 // background checkpointer (interval- and records-applied-triggered, see
 // Config) and flushes a final generation on Close; after a crash the
@@ -100,6 +113,14 @@ type Request struct {
 	// Request restricted to the DPAPI verbs (no nested batches). The
 	// server executes them in order and acknowledges once, durably.
 	Ops []Request `json:"ops,omitempty"`
+
+	// --- replication fields (see internal/replica and DESIGN.md §10) ---
+
+	// Addr is the follower's advertised serving address ("repljoin"): a
+	// follower announces itself to the primary, which dials back and
+	// drives replication. Off and Data double as the replicated log
+	// offset and byte chunk of a "replappend".
+	Addr string `json:"addr,omitempty"`
 }
 
 // Response is one server reply, encoded as a single JSON line. Exactly one
@@ -132,14 +153,30 @@ type Response struct {
 	N       int        `json:"n,omitempty"`       // read/write: bytes moved
 	Data    []byte     `json:"data,omitempty"`    // read: payload
 	Ops     []Response `json:"ops,omitempty"`     // batch: one response per op, in order
+
+	// ReplSize is the follower's durable replicated log size after a
+	// "replstate" or "replappend" — the offset replication resumes from.
+	ReplSize int64 `json:"repl_size,omitempty"`
 }
 
 // Error codes carried in Response.Code; see decodeDPAPIError in dpapi.go.
+// The last four classify availability failures so clients can decide what
+// to retry without parsing error strings: "overloaded" (ErrOverloaded,
+// shed before execution — always safe to retry), "unavailable"
+// (ErrUnavailable, the write quorum was not reached — retryable, and safe
+// because replicated appends are idempotent), "read_only" (ErrReadOnly, a
+// follower refusing a write — not retryable here, go to the primary) and
+// "gap" (replica.ErrGap, a replicated append past the follower's log end
+// — the primary re-reads the follower state and backfills).
 const (
 	codeStale      = "stale"
 	codeWrongLayer = "wrong_layer"
 	codeClosed     = "closed"
 	codeNotPass    = "not_pass"
+	codeOverloaded = "overloaded"
+	codeUnavail    = "unavailable"
+	codeReadOnly   = "read_only"
+	codeGap        = "gap"
 )
 
 // CheckpointInfo is the payload of the "checkpoint" verb: the committed
@@ -196,6 +233,15 @@ type Stats struct {
 	Revives int64 `json:"revives"` // handles reopened over the wire
 	Batches int64 `json:"batches"` // pipelined batch requests served
 	Objects int64 `json:"objects"` // live objects in the server registry
+
+	// Replication state (DESIGN.md §10). Role is "" on a standalone
+	// daemon, "primary" when replicating out, "follower" when receiving.
+	Role           string `json:"role,omitempty"`
+	ReplQuorum     int    `json:"repl_quorum,omitempty"`     // write quorum W, counting the primary
+	ReplFollowers  int64  `json:"repl_followers,omitempty"`  // followers joined (primary)
+	ReplConnected  int64  `json:"repl_connected,omitempty"`  // followers currently streaming (primary)
+	ReplBytes      int64  `json:"repl_bytes,omitempty"`      // follower: durable replicated log bytes
+	QuorumFailures int64  `json:"quorum_failures,omitempty"` // acks refused because quorum was not reached
 }
 
 // ProtocolVersion is the highest wire-protocol version this package

@@ -160,11 +160,17 @@ func TestServerTimeout(t *testing.T) {
 }
 
 // TestServerBackpressure fills the worker pool and the wait queue by hand,
-// then checks the next query is shed with the overloaded error.
+// then checks the next query is shed with the overloaded error. The
+// client's own retry policy is disabled to observe the raw shed (the
+// retry-until-drained path is resilience_test.go's subject).
 func TestServerBackpressure(t *testing.T) {
 	w, q := testWaldo(4)
 	srv := startServer(t, w, Config{Workers: 2, MaxQueue: 1})
-	c := dialClient(t, srv)
+	c, err := DialOptions(srv.Addr(), Options{MaxRetries: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
 
 	// Occupy both worker slots and the entire wait-queue allowance.
 	srv.workers <- struct{}{}

@@ -1,0 +1,68 @@
+package passd
+
+// Replication glue: how a replica.Primary drives follower daemons over
+// this package's wire protocol, and how a follower announces itself. The
+// replication engine (internal/replica) knows nothing about passd — it
+// sees Peers; these adapters are the only place the two meet.
+
+import (
+	"time"
+
+	"passv2/internal/replica"
+)
+
+// replPeer adapts a Client into a replica.Peer speaking the
+// replstate/replappend verbs.
+type replPeer struct{ c *Client }
+
+func (p replPeer) State() (int64, error) {
+	resp, err := p.c.roundTrip(&Request{Op: "replstate"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ReplSize, nil
+}
+
+func (p replPeer) Append(off int64, b []byte) (int64, error) {
+	resp, err := p.c.roundTrip(&Request{Op: "replappend", Off: off, Data: b})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ReplSize, nil
+}
+
+func (p replPeer) Close() error { return p.c.Close() }
+
+// PeerDialer returns a replica.Dialer that connects to follower daemons
+// as resilient passd clients. Retries stay on — replicated appends are
+// idempotent, so at-least-once delivery is safe — but the generous
+// request timeout matters more: a replappend covering a large catch-up
+// chunk also drains it into the follower's database before replying.
+func PeerDialer(opts Options) replica.Dialer {
+	return func(addr string) (replica.Peer, error) {
+		c, err := DialOptions(addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		return replPeer{c}, nil
+	}
+}
+
+// Announce tells the primary at primaryAddr that a follower serves at
+// selfAddr, over a short-lived connection. It is idempotent on the
+// primary, so followers call it on a timer: the first call registers,
+// later ones are cheap no-ops that double as re-registration after a
+// primary restart.
+func Announce(primaryAddr, selfAddr string, timeout time.Duration) error {
+	c, err := DialOptions(primaryAddr, Options{
+		DialTimeout:    timeout,
+		RequestTimeout: timeout,
+		MaxRetries:     -1, // the announce loop is the retry policy
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.roundTrip(&Request{Op: "repljoin", Addr: selfAddr})
+	return err
+}

@@ -19,6 +19,7 @@ import (
 	"passv2/internal/pnode"
 	"passv2/internal/pql"
 	"passv2/internal/record"
+	"passv2/internal/replica"
 	"passv2/internal/waldo"
 )
 
@@ -73,11 +74,40 @@ type Config struct {
 	// Recovered carries the boot-time recovery outcome, surfaced in STATS
 	// so clients (and the restart tests) can see what recovery did.
 	Recovered *checkpoint.Recovered
+
+	// Listener, when non-nil, serves on it instead of listening on Addr —
+	// the seam the fault-injection tests use to put a netfault wrapper
+	// between the daemon and its clients. The server owns it and closes
+	// it on Close.
+	Listener net.Listener
+
+	// Replicate, when non-nil, makes this daemon a replication primary:
+	// the durable-ack barrier additionally commits the log through the
+	// replica.Primary (blocking for its write quorum), and the "repljoin"
+	// verb registers announcing followers. The server does not own it;
+	// the daemon closes it after the server.
+	Replicate *replica.Primary
+
+	// Follower, when non-nil, makes this daemon a read-only replication
+	// follower: "replstate"/"replappend" serve the primary against this
+	// log, and client writes are refused with ErrReadOnly. The server
+	// does not own it.
+	Follower *replica.FollowerLog
 }
 
 // ErrOverloaded is the backpressure error: all workers busy and the wait
 // queue full. Clients see its message with an "overloaded:" prefix.
 var ErrOverloaded = errors.New("passd: overloaded, retry later")
+
+// ErrUnavailable is the replication backpressure error: the write is
+// durable on the primary but the write quorum did not acknowledge it in
+// time, so the request is refused rather than falsely acked. It is safe
+// to retry — the replicated log is idempotent under resends.
+var ErrUnavailable = errors.New("passd: write quorum unavailable, retry later")
+
+// ErrReadOnly is a follower refusing a client write: followers replicate
+// the primary's log verbatim, so the only writer is the primary.
+var ErrReadOnly = errors.New("passd: read-only replication follower")
 
 // Server is the query daemon: an accept loop, per-connection goroutines,
 // and a bounded worker pool all queries pass through. Create with Serve,
@@ -113,6 +143,8 @@ type Server struct {
 	mkobjs      atomic.Int64
 	revives     atomic.Int64
 	batches     atomic.Int64
+
+	quorumFailures atomic.Int64 // primary: acks refused for lack of quorum
 
 	// Checkpointer state: ckptMu serializes checkpoint writes (the
 	// background loop and the verb can race), stopCkpt ends the loop.
@@ -231,9 +263,13 @@ func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 30 * time.Second
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.CheckpointInterval <= 0 {
 		cfg.CheckpointInterval = 30 * time.Second
@@ -487,15 +523,83 @@ func (s *Server) dispatch(cs *connState, req *Request) Response {
 		// batches defer it to one Sync for the whole pipeline.
 		if resp.Error == "" && dpapiCommits(req.Op) {
 			if err := s.ackDurable(); err != nil {
-				return Response{Error: err.Error()}
+				return errResponse(err)
 			}
 		}
 		return resp
 	case "batch":
 		return s.doBatch(cs, req)
+	case "repljoin":
+		return s.doReplJoin(req)
+	case "replstate":
+		return s.doReplState()
+	case "replappend":
+		return s.doReplAppend(req)
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// doReplJoin registers an announcing follower on a replication primary.
+// Joining is idempotent, so followers re-announce on a timer and survive
+// primary restarts (the restarted primary learns its followers from the
+// next round of announcements).
+func (s *Server) doReplJoin(req *Request) Response {
+	if s.cfg.Replicate == nil {
+		return Response{Error: "repljoin: this daemon is not a replication primary"}
+	}
+	if req.Addr == "" {
+		return Response{Error: "repljoin: missing follower address"}
+	}
+	s.cfg.Replicate.Join(req.Addr)
+	return Response{}
+}
+
+// doReplState reports the follower's durable replicated log size — the
+// offset the primary resumes streaming from.
+func (s *Server) doReplState() Response {
+	if s.cfg.Follower == nil {
+		return Response{Error: "replstate: this daemon is not a replication follower"}
+	}
+	return Response{ReplSize: s.cfg.Follower.Size()}
+}
+
+// doReplAppend applies a chunk of the primary's log bytes durably, then
+// drains it into the database so a replicated record is queryable here
+// the moment the primary's ack covers it. A chunk may end mid-frame; the
+// drain ingests the intact prefix and the torn tail completes on the next
+// chunk (waldo tolerates a torn active tail by design).
+func (s *Server) doReplAppend(req *Request) Response {
+	if s.cfg.Follower == nil {
+		return Response{Error: "replappend: this daemon is not a replication follower"}
+	}
+	size, err := s.cfg.Follower.Append(req.Off, req.Data)
+	if err != nil {
+		resp := errResponse(err)
+		resp.ReplSize = size
+		return resp
+	}
+	if err := s.w.Drain(); err != nil {
+		return errResponse(err)
+	}
+	return Response{ReplSize: size}
+}
+
+// errResponse renders an availability failure with its machine-readable
+// code, so clients classify retryability without parsing error strings.
+func errResponse(err error) Response {
+	resp := Response{Error: err.Error()}
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		resp.Code = codeOverloaded
+	case errors.Is(err, ErrUnavailable):
+		resp.Code = codeUnavail
+	case errors.Is(err, ErrReadOnly):
+		resp.Code = codeReadOnly
+	case errors.Is(err, replica.ErrGap):
+		resp.Code = codeGap
+	}
+	return resp
 }
 
 // dpapiCommits reports whether a DPAPI verb can have staged records that
@@ -524,6 +628,15 @@ func (s *Server) doHello(req *Request) Response {
 // caller does, once per request (dispatch for single ops, doBatch once for
 // a whole pipeline).
 func (s *Server) execDPAPI(cs *connState, req *Request) Response {
+	switch strings.ToLower(req.Op) {
+	case "mkobj", "write", "freeze":
+		// A follower's log is a verbatim copy of the primary's; letting a
+		// client write here would fork it. Reads, revives and closes keep
+		// working — that is what read failover and hedging stand on.
+		if s.cfg.Follower != nil {
+			return errResponse(ErrReadOnly)
+		}
+	}
 	switch strings.ToLower(req.Op) {
 	case "mkobj":
 		s.mkobjs.Add(1)
@@ -678,7 +791,7 @@ func (s *Server) doBatch(cs *connState, req *Request) Response {
 	// no fsync; mirror the single-op dispatch.
 	if commits {
 		if err := s.ackDurable(); err != nil {
-			return Response{Error: err.Error()}
+			return errResponse(err)
 		}
 	}
 	return resp
@@ -708,10 +821,26 @@ func (s *Server) stageRecords(recs []record.Record) error {
 }
 
 // ackDurable is the durable-ack barrier: after it returns, everything
-// stageRecords accepted is on stable storage and may be acknowledged.
+// stageRecords accepted is on stable storage — and, on a replication
+// primary, durably held by the write quorum — and may be acknowledged. A
+// quorum miss refuses the ack with ErrUnavailable rather than downgrading
+// it: the records are safe on the primary's disk, but the promise an ack
+// makes here is that they survive the primary's machine too.
 func (s *Server) ackDurable() error {
 	if s.cfg.Sync != nil {
-		return s.cfg.Sync()
+		if err := s.cfg.Sync(); err != nil {
+			return err
+		}
+	}
+	if p := s.cfg.Replicate; p != nil {
+		size, err := p.SourceSize()
+		if err != nil {
+			return err
+		}
+		if err := p.Commit(size); err != nil {
+			s.quorumFailures.Add(1)
+			return fmt.Errorf("%w (%v)", ErrUnavailable, err)
+		}
 	}
 	return nil
 }
@@ -750,7 +879,7 @@ func (s *Server) doQuery(req *Request) Response {
 	s.queries.Add(1)
 	release := s.acquireWorker()
 	if release == nil {
-		return Response{Error: "overloaded: " + ErrOverloaded.Error()}
+		return errResponse(fmt.Errorf("overloaded: %w", ErrOverloaded))
 	}
 	defer release()
 
@@ -841,6 +970,9 @@ func (s *Server) doAppend(req *Request) Response {
 	// v1 contract: append promises on-disk durability, so it stays
 	// refused on a daemon with no backing log. (v2 writes accept the
 	// weaker process-lifetime durability a memory-backed server offers.)
+	if s.cfg.Follower != nil {
+		return errResponse(ErrReadOnly)
+	}
 	if s.cfg.Append == nil {
 		return Response{Error: "append disabled (server owns no writable log)"}
 	}
@@ -849,7 +981,7 @@ func (s *Server) doAppend(req *Request) Response {
 		return resp
 	}
 	if err := s.ackDurable(); err != nil {
-		return Response{Error: err.Error()}
+		return errResponse(err)
 	}
 	return Response{Appended: resp.Appended}
 }
@@ -885,6 +1017,24 @@ func (s *Server) snapshotStats() *Stats {
 		Revives: s.revives.Load(),
 		Batches: s.batches.Load(),
 		Objects: s.reg.count(),
+	}
+	if p := s.cfg.Replicate; p != nil {
+		st.Role = "primary"
+		st.ReplQuorum = p.Quorum()
+		st.QuorumFailures = s.quorumFailures.Load()
+		var connected int64
+		followers := p.Followers()
+		for _, f := range followers {
+			if f.Connected {
+				connected++
+			}
+		}
+		st.ReplFollowers = int64(len(followers))
+		st.ReplConnected = connected
+	}
+	if s.cfg.Follower != nil {
+		st.Role = "follower"
+		st.ReplBytes = s.cfg.Follower.Size()
 	}
 	if r := s.cfg.Recovered; r != nil && r.DB != nil {
 		st.RecoveredGen = r.Gen

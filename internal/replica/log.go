@@ -1,0 +1,110 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+
+	"passv2/internal/vfs"
+)
+
+// FileSource adapts the primary's live provenance-log file (log.current,
+// kept open by the provlog writer) as a replication Source. Reads race the
+// writer harmlessly: Size() is sampled before ReadAt, and the writer only
+// ever appends, so any prefix read is a stable prefix of the final log.
+type FileSource struct {
+	f vfs.File
+}
+
+// OpenFileSource opens the log file at path read-only.
+func OpenFileSource(fs vfs.FS, path string) (*FileSource, error) {
+	f, err := fs.Open(path, vfs.ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{f: f}, nil
+}
+
+// NewFileSource wraps an already-open log file (the daemon shares its
+// writer's handle so replication sees buffered-but-synced bytes exactly
+// when the file does).
+func NewFileSource(f vfs.File) *FileSource { return &FileSource{f: f} }
+
+// Size reports the current log size.
+func (s *FileSource) Size() (int64, error) { return s.f.Size(), nil }
+
+// ReadAt reads log bytes at off.
+func (s *FileSource) ReadAt(p []byte, off int64) (int, error) {
+	return s.f.ReadAt(p, off)
+}
+
+// Close closes the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// ErrGap is returned by FollowerLog.Append when the primary tries to
+// append past the follower's current size — bytes would be missing in
+// between. The primary reacts by re-reading the follower's state and
+// streaming the gap (this happens when a follower loses its disk and
+// restarts empty while the primary still remembers a higher offset).
+var ErrGap = fmt.Errorf("replica: append past end of follower log")
+
+// FollowerLog is the follower side of byte-level log shipping: an
+// append-only file whose size is, by construction, the follower's durable
+// replication offset. Append is idempotent on overlap (the primary may
+// resend a prefix after a reconnect) and refuses gaps, so the on-disk log
+// is always byte-identical to a prefix of the primary's log.
+type FollowerLog struct {
+	mu sync.Mutex
+	f  vfs.File
+}
+
+// OpenFollowerLog opens (creating if needed) the follower's log file.
+// The returned log's Size is the offset replication resumes from — no
+// sidecar state survives or needs to.
+func OpenFollowerLog(fs vfs.FS, path string) (*FollowerLog, error) {
+	f, err := fs.Open(path, vfs.OCreate|vfs.ORdWr)
+	if err != nil {
+		return nil, err
+	}
+	return &FollowerLog{f: f}, nil
+}
+
+// NewFollowerLog wraps an already-open file.
+func NewFollowerLog(f vfs.File) *FollowerLog { return &FollowerLog{f: f} }
+
+// Size reports the durable replicated size.
+func (l *FollowerLog) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Size()
+}
+
+// Append applies log bytes at off durably (write + fsync) and returns the
+// new size. Bytes before the current size are skipped idempotently — the
+// primary resending an already-held prefix is a no-op, which makes
+// at-least-once delivery after reconnects safe. An off beyond the current
+// size returns ErrGap.
+func (l *FollowerLog) Append(off int64, p []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := l.f.Size()
+	if off > size {
+		return size, fmt.Errorf("%w: have %d bytes, append at %d", ErrGap, size, off)
+	}
+	// Skip the already-held overlap; identical bytes are guaranteed because
+	// both sides hold prefixes of the same primary log.
+	skip := size - off
+	if skip >= int64(len(p)) {
+		return size, nil
+	}
+	p = p[skip:]
+	if _, err := l.f.WriteAt(p, size); err != nil {
+		return size, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return size, err
+	}
+	return l.f.Size(), nil
+}
+
+// Close closes the underlying file.
+func (l *FollowerLog) Close() error { return l.f.Close() }

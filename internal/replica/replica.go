@@ -1,0 +1,381 @@
+// Package replica replicates a passd daemon's provenance log to follower
+// daemons with a write quorum, so an acknowledged record survives not just
+// the disk that recorded it (PR 4's checkpoint stack) but the machine.
+//
+// The unit of replication is the primary's provenance-log byte stream:
+// followers receive exactly the primary's log bytes, in order, and append
+// them to their own log before acknowledging. That choice buys three
+// properties for free:
+//
+//   - A follower's durable replication state IS its log size. There is no
+//     separate sequence file to keep crash-consistent: after a follower
+//     restart, the byte offset where replication resumes is the size of
+//     log.current on disk, and the follower's database rebuilds from the
+//     same bytes through the ordinary Waldo drain path.
+//   - Catch-up streaming is a file read. A follower that was down for an
+//     hour reports its offset and the primary streams the missing range
+//     from its own log — no replay buffers, no bounded retention window
+//     (the log is the retention).
+//   - "More caught up" means "strict superset". Follower offsets are
+//     totally ordered, so the freshest reachable follower is guaranteed to
+//     hold every record any other follower acknowledged — the property
+//     that makes read failover lose nothing.
+//
+// The primary's durable-ack barrier calls Commit(size) after its local
+// fsync: Commit blocks until at least Quorum-1 followers durably hold the
+// log prefix [0, size). With a 3-node group and Quorum=2, any single
+// SIGKILL — follower or primary — loses zero acknowledged records: the
+// prefix covering every ack is on at least one surviving node (and the
+// primary's own disk, which recovers on restart).
+//
+// Each follower is driven by its own goroutine: dial (with timeout),
+// learn the follower's durable offset, stream chunks, and on any error
+// reconnect with exponential backoff. Followers join dynamically (Join is
+// idempotent), re-announce themselves after primary restarts, and are
+// caught up from whatever offset they report. See DESIGN.md §10.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Peer is one follower as the primary drives it over the wire. passd
+// provides the implementation (a resilient client speaking the
+// replstate/replappend verbs); tests provide in-memory fakes.
+type Peer interface {
+	// State reports the follower's durable replicated log size.
+	State() (int64, error)
+	// Append applies log bytes at off (which must equal the follower's
+	// current size; earlier offsets are skipped idempotently) durably and
+	// returns the follower's new size.
+	Append(off int64, p []byte) (int64, error)
+	Close() error
+}
+
+// Dialer connects to a follower by address.
+type Dialer func(addr string) (Peer, error)
+
+// Source is the primary's own durable log, the stream being replicated.
+type Source interface {
+	Size() (int64, error)
+	ReadAt(p []byte, off int64) (int, error)
+}
+
+// ErrQuorum is the commit failure: not enough followers acknowledged the
+// prefix within the commit timeout. The write is durable locally but must
+// not be acknowledged to the client; the client sees a retryable
+// "unavailable" error.
+var ErrQuorum = errors.New("replica: write quorum not reached")
+
+// Config configures a Primary.
+type Config struct {
+	// Quorum is the write quorum W, counting the primary itself: an ack
+	// requires the primary's fsync plus W-1 follower acks. <=1 means
+	// asynchronous replication (commits never block).
+	Quorum int
+	// Dial connects to followers.
+	Dial Dialer
+	// CommitTimeout bounds how long Commit waits for quorum; <=0 means 10s.
+	CommitTimeout time.Duration
+	// ChunkSize bounds one replicated append; <=0 means 256 KiB.
+	ChunkSize int
+	// RetryBase/RetryMax bound the per-follower reconnect backoff;
+	// defaults 50ms / 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+// FollowerStatus is one follower's view for stats and tests.
+type FollowerStatus struct {
+	Addr      string
+	Acked     int64 // durable log bytes the follower holds
+	Connected bool
+}
+
+// Primary replicates a Source to a dynamic set of followers.
+type Primary struct {
+	src Source
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	followers map[string]*follower
+	target    int64 // highest size any Commit has asked for
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+type follower struct {
+	addr      string
+	acked     int64
+	connected bool
+}
+
+// NewPrimary starts a replication primary over src. Followers join via
+// Join; stop with Close.
+func NewPrimary(src Source, cfg Config) *Primary {
+	if cfg.CommitTimeout <= 0 {
+		cfg.CommitTimeout = 10 * time.Second
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 256 << 10
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	p := &Primary{src: src, cfg: cfg, followers: make(map[string]*follower)}
+	p.cond = sync.NewCond(&p.mu)
+	// Coarse periodic wake so follower loops notice new log bytes that
+	// arrive outside Commit (and re-check liveness) without busy-polling.
+	p.wg.Add(1)
+	go p.ticker()
+	return p
+}
+
+func (p *Primary) ticker() {
+	defer p.wg.Done()
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for range t.C {
+		p.mu.Lock()
+		closed := p.closed
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// Join registers a follower address and starts driving it. It is
+// idempotent: re-joining an address already being driven is a no-op, so
+// followers can re-announce themselves on a timer without churn.
+func (p *Primary) Join(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	if _, ok := p.followers[addr]; ok {
+		return false
+	}
+	f := &follower{addr: addr}
+	p.followers[addr] = f
+	p.wg.Add(1)
+	go p.drive(f)
+	return true
+}
+
+// drive is one follower's replication loop: connect, learn the durable
+// offset, stream chunks, reconnect with backoff on any failure.
+func (p *Primary) drive(f *follower) {
+	defer p.wg.Done()
+	backoff := p.cfg.RetryBase
+	for {
+		if p.isClosed() {
+			return
+		}
+		peer, err := p.cfg.Dial(f.addr)
+		if err == nil {
+			var size int64
+			size, err = peer.State()
+			if err == nil {
+				p.setAcked(f, size, true)
+				backoff = p.cfg.RetryBase
+				err = p.stream(f, peer)
+			}
+			peer.Close()
+		}
+		p.setConnected(f, false)
+		if p.isClosed() {
+			return
+		}
+		// Exponential backoff with jitter before redialing, so a dead
+		// follower costs one cheap dial attempt per backoff period and a
+		// restarted one is picked up quickly.
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2+1))))
+		if backoff *= 2; backoff > p.cfg.RetryMax {
+			backoff = p.cfg.RetryMax
+		}
+	}
+}
+
+// stream ships log bytes to one connected follower until an error or
+// close. It returns nil only on close.
+func (p *Primary) stream(f *follower, peer Peer) error {
+	buf := make([]byte, p.cfg.ChunkSize)
+	for {
+		p.mu.Lock()
+		for {
+			if p.closed {
+				p.mu.Unlock()
+				return nil
+			}
+			if f.acked < p.target {
+				break
+			}
+			// Nothing committed past this follower: check the raw source
+			// size too (bytes staged outside a commit, or a commit about
+			// to happen) and otherwise wait for the next broadcast.
+			p.mu.Unlock()
+			size, err := p.src.Size()
+			p.mu.Lock()
+			if err == nil && f.acked < size {
+				break
+			}
+			p.cond.Wait()
+		}
+		off := f.acked
+		p.mu.Unlock()
+
+		size, err := p.src.Size()
+		if err != nil {
+			return err
+		}
+		if size <= off {
+			continue
+		}
+		n := size - off
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		rn, err := p.src.ReadAt(buf[:n], off)
+		if rn == 0 && err != nil {
+			return err
+		}
+		newSize, err := peer.Append(off, buf[:rn])
+		if err != nil {
+			return err
+		}
+		if newSize < off+int64(rn) {
+			return fmt.Errorf("replica: follower %s acked %d after append to %d", f.addr, newSize, off+int64(rn))
+		}
+		p.setAcked(f, newSize, true)
+	}
+}
+
+func (p *Primary) setAcked(f *follower, size int64, connected bool) {
+	p.mu.Lock()
+	if size > f.acked {
+		f.acked = size
+	}
+	f.connected = connected
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *Primary) setConnected(f *follower, connected bool) {
+	p.mu.Lock()
+	f.connected = connected
+	p.mu.Unlock()
+}
+
+func (p *Primary) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// SourceSize reports the primary log's current size — the commit point for
+// an ack barrier that just fsynced.
+func (p *Primary) SourceSize() (int64, error) { return p.src.Size() }
+
+// Commit blocks until the write quorum durably holds the log prefix
+// [0, size): the primary counts as one vote, so Quorum-1 follower acks at
+// or past size are required. On timeout it returns ErrQuorum (wrapped with
+// the in-sync count); the caller must then fail the client request rather
+// than acknowledge it.
+func (p *Primary) Commit(size int64) error {
+	need := p.cfg.Quorum - 1
+	if need <= 0 {
+		// Asynchronous replication: wake the follower loops and return.
+		p.mu.Lock()
+		if size > p.target {
+			p.target = size
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil
+	}
+	deadline := time.Now().Add(p.cfg.CommitTimeout)
+	timer := time.AfterFunc(p.cfg.CommitTimeout, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if size > p.target {
+		p.target = size
+	}
+	p.cond.Broadcast()
+	for {
+		if p.inSyncLocked(size) >= need {
+			return nil
+		}
+		if p.closed {
+			return fmt.Errorf("%w: primary closed", ErrQuorum)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: %d/%d followers hold %d bytes (quorum %d)",
+				ErrQuorum, p.inSyncLocked(size), len(p.followers), size, p.cfg.Quorum)
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Primary) inSyncLocked(size int64) int {
+	n := 0
+	for _, f := range p.followers {
+		if f.acked >= size {
+			n++
+		}
+	}
+	return n
+}
+
+// InSync reports how many followers durably hold the prefix [0, size).
+func (p *Primary) InSync(size int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inSyncLocked(size)
+}
+
+// Followers reports every follower's replication state.
+func (p *Primary) Followers() []FollowerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]FollowerStatus, 0, len(p.followers))
+	for _, f := range p.followers {
+		out = append(out, FollowerStatus{Addr: f.addr, Acked: f.acked, Connected: f.connected})
+	}
+	return out
+}
+
+// Quorum reports the configured write quorum (counting the primary).
+func (p *Primary) Quorum() int { return p.cfg.Quorum }
+
+// Close stops every follower loop and releases waiting commits with
+// ErrQuorum.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}

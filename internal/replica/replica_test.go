@@ -1,0 +1,317 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"passv2/internal/vfs"
+)
+
+// memSource is an in-memory growable Source.
+type memSource struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (s *memSource) append(p []byte) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf, p...)
+	return int64(len(s.buf))
+}
+
+func (s *memSource) Size() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.buf)), nil
+}
+
+func (s *memSource) ReadAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off >= int64(len(s.buf)) {
+		return 0, fmt.Errorf("read past end")
+	}
+	n := copy(p, s.buf[off:])
+	return n, nil
+}
+
+// fakePeer is an in-memory follower with switchable failure.
+type fakePeer struct {
+	mu   sync.Mutex
+	buf  []byte
+	fail bool // State/Append error while set
+}
+
+func (p *fakePeer) setFail(on bool) {
+	p.mu.Lock()
+	p.fail = on
+	p.mu.Unlock()
+}
+
+func (p *fakePeer) held() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]byte(nil), p.buf...)
+}
+
+type fakeConn struct{ p *fakePeer }
+
+func (c fakeConn) State() (int64, error) {
+	c.p.mu.Lock()
+	defer c.p.mu.Unlock()
+	if c.p.fail {
+		return 0, fmt.Errorf("fake: down")
+	}
+	return int64(len(c.p.buf)), nil
+}
+
+func (c fakeConn) Append(off int64, b []byte) (int64, error) {
+	c.p.mu.Lock()
+	defer c.p.mu.Unlock()
+	if c.p.fail {
+		return 0, fmt.Errorf("fake: down")
+	}
+	size := int64(len(c.p.buf))
+	if off > size {
+		return size, ErrGap
+	}
+	skip := size - off
+	if skip < int64(len(b)) {
+		c.p.buf = append(c.p.buf, b[skip:]...)
+	}
+	return int64(len(c.p.buf)), nil
+}
+
+func (c fakeConn) Close() error { return nil }
+
+// fakeNet maps addresses to fakePeers for the Dialer.
+type fakeNet struct {
+	mu    sync.Mutex
+	peers map[string]*fakePeer
+}
+
+func newFakeNet() *fakeNet { return &fakeNet{peers: make(map[string]*fakePeer)} }
+
+func (n *fakeNet) add(addr string) *fakePeer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := &fakePeer{}
+	n.peers[addr] = p
+	return p
+}
+
+func (n *fakeNet) dial(addr string) (Peer, error) {
+	n.mu.Lock()
+	p, ok := n.peers[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fake: no route to %s", addr)
+	}
+	p.mu.Lock()
+	fail := p.fail
+	p.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("fake: connection refused")
+	}
+	return fakeConn{p}, nil
+}
+
+func testConfig(n *fakeNet, quorum int) Config {
+	return Config{
+		Quorum:        quorum,
+		Dial:          n.dial,
+		CommitTimeout: 500 * time.Millisecond,
+		ChunkSize:     8, // tiny chunks so catch-up exercises the chunk loop
+		RetryBase:     5 * time.Millisecond,
+		RetryMax:      50 * time.Millisecond,
+	}
+}
+
+func TestQuorumCommitReplicatesBeforeAck(t *testing.T) {
+	net := newFakeNet()
+	f1 := net.add("a")
+	f2 := net.add("b")
+	src := &memSource{}
+	p := NewPrimary(src, testConfig(net, 2))
+	defer p.Close()
+	p.Join("a")
+	p.Join("b")
+
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	size := src.append(payload)
+	if err := p.Commit(size); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Quorum=2 means at least one follower holds every byte at ack time.
+	if h1, h2 := f1.held(), f2.held(); int64(len(h1)) < size && int64(len(h2)) < size {
+		t.Fatalf("no follower holds the committed prefix: %d / %d of %d", len(h1), len(h2), size)
+	}
+	// Both catch up shortly after.
+	waitFor(t, func() bool {
+		return bytes.Equal(f1.held(), payload) && bytes.Equal(f2.held(), payload)
+	})
+}
+
+func TestCommitFailsWithoutQuorum(t *testing.T) {
+	net := newFakeNet()
+	f := net.add("a")
+	f.setFail(true)
+	src := &memSource{}
+	p := NewPrimary(src, testConfig(net, 2))
+	defer p.Close()
+	p.Join("a")
+
+	size := src.append([]byte("doomed"))
+	err := p.Commit(size)
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("Commit with dead follower = %v, want ErrQuorum", err)
+	}
+}
+
+func TestFollowerRecoversAndCatchesUp(t *testing.T) {
+	net := newFakeNet()
+	f := net.add("a")
+	src := &memSource{}
+	p := NewPrimary(src, testConfig(net, 2))
+	defer p.Close()
+	p.Join("a")
+
+	size := src.append([]byte("first batch, fully replicated. "))
+	if err := p.Commit(size); err != nil {
+		t.Fatal(err)
+	}
+
+	// Follower goes down; commits fail but the log keeps growing locally.
+	f.setFail(true)
+	size = src.append([]byte("written during the outage. "))
+	if err := p.Commit(size); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("Commit during outage = %v, want ErrQuorum", err)
+	}
+
+	// Follower comes back: the primary reconnects, streams the gap in
+	// chunks, and commits succeed again.
+	f.setFail(false)
+	size = src.append([]byte("and the recovery batch."))
+	if err := p.Commit(size); err != nil {
+		t.Fatalf("Commit after recovery: %v", err)
+	}
+	want := "first batch, fully replicated. written during the outage. and the recovery batch."
+	if got := string(f.held()); got != want {
+		t.Fatalf("follower log = %q, want %q", got, want)
+	}
+}
+
+func TestLateJoinerStreamsFromZero(t *testing.T) {
+	net := newFakeNet()
+	src := &memSource{}
+	// Asynchronous primary (quorum 1): bytes exist before anyone joins.
+	p := NewPrimary(src, testConfig(net, 1))
+	defer p.Close()
+	payload := []byte("history that predates the follower entirely, long enough for several chunks")
+	src.append(payload)
+
+	f := net.add("late")
+	p.Join("late")
+	waitFor(t, func() bool { return bytes.Equal(f.held(), payload) })
+}
+
+func TestJoinIsIdempotent(t *testing.T) {
+	net := newFakeNet()
+	net.add("a")
+	p := NewPrimary(&memSource{}, testConfig(net, 1))
+	defer p.Close()
+	if !p.Join("a") {
+		t.Fatal("first Join returned false")
+	}
+	if p.Join("a") {
+		t.Fatal("second Join returned true, want no-op")
+	}
+	if got := len(p.Followers()); got != 1 {
+		t.Fatalf("followers = %d, want 1", got)
+	}
+}
+
+func TestFollowerLogIdempotentAndGap(t *testing.T) {
+	fs := vfs.NewMemFS("mem", nil)
+	l, err := OpenFollowerLog(fs, "/log.current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(0, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	// Full overlap: no-op.
+	if n, err := l.Append(0, []byte("abc")); err != nil || n != 6 {
+		t.Fatalf("overlap append = %d, %v", n, err)
+	}
+	// Partial overlap: only the new suffix lands.
+	if n, err := l.Append(3, []byte("defghi")); err != nil || n != 9 {
+		t.Fatalf("partial-overlap append = %d, %v", n, err)
+	}
+	// Gap: refused.
+	if _, err := l.Append(100, []byte("x")); !errors.Is(err, ErrGap) {
+		t.Fatalf("gap append = %v, want ErrGap", err)
+	}
+	l.Close()
+
+	// Reopen: size survives — the log file IS the replication state.
+	l2, err := OpenFollowerLog(fs, "/log.current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Size(); got != 9 {
+		t.Fatalf("reopened size = %d, want 9", got)
+	}
+	buf := make([]byte, 9)
+	src, _ := OpenFileSource(fs, "/log.current")
+	defer src.Close()
+	if _, err := src.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcdefghi" {
+		t.Fatalf("log contents = %q", buf)
+	}
+}
+
+func TestCloseReleasesWaitingCommit(t *testing.T) {
+	net := newFakeNet()
+	f := net.add("a")
+	f.setFail(true)
+	src := &memSource{}
+	cfg := testConfig(net, 2)
+	cfg.CommitTimeout = 10 * time.Second // would hang without Close
+	p := NewPrimary(src, cfg)
+	p.Join("a")
+	size := src.append([]byte("x"))
+
+	errc := make(chan error, 1)
+	go func() { errc <- p.Commit(size) }()
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrQuorum) {
+			t.Fatalf("Commit after Close = %v, want ErrQuorum", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Commit still blocked after Close")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
