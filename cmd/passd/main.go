@@ -150,26 +150,27 @@ func main() {
 	// pays one fsync per acknowledgment, not one per record — the server
 	// calls Sync exactly once before each acked request.
 	var (
-		appendFn func([]record.Record) error
-		syncFn   func() error
-		dfs      *vfs.DirFS
+		appendFn  func([]record.Record) error
+		syncFn    func() error
+		dfs       *vfs.DirFS
+		logWriter *provlog.Writer
 	)
 	if *logDir != "" {
 		var err error
 		dfs, err = vfs.NewDirFS(*logDir)
 		die(err)
-		log, err := provlog.NewWriter(dfs, "/", 0)
+		logWriter, err = provlog.NewWriter(dfs, "/", 0)
 		die(err)
-		w.Attach(waldo.NewLogVolume(logVolumeName, dfs, log))
+		w.Attach(waldo.NewLogVolume(logVolumeName, dfs, logWriter))
 		appendFn = func(recs []record.Record) error {
 			for _, r := range recs {
-				if err := log.AppendRecord(0, r); err != nil {
+				if err := logWriter.AppendRecord(0, r); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		syncFn = log.Sync
+		syncFn = logWriter.Sync
 	}
 
 	// Replication roles. A primary streams its log file to followers and
@@ -182,6 +183,11 @@ func main() {
 		flog *replica.FollowerLog
 	)
 	if *replicate > 0 {
+		// Followers mirror log.current by byte offset, so a rotation (which
+		// renames it and starts a fresh file) would silently fork every
+		// replica. -replicate already passes MaxSize 0; this refuses the
+		// explicit Rotate path too.
+		logWriter.DisableRotation("replication primary: follower offsets track log.current")
 		src, err := replica.OpenFileSource(dfs, "/"+provlog.CurrentName)
 		die(err)
 		prim = replica.NewPrimary(src, replica.Config{
@@ -194,6 +200,10 @@ func main() {
 		})
 	}
 	if *join != "" {
+		// Same divergence hazard as the primary: the replication stream
+		// appends to log.current by offset, so the attached writer must
+		// never rename it away.
+		logWriter.DisableRotation("replication follower: the stream appends to log.current by offset")
 		var err error
 		flog, err = replica.OpenFollowerLog(dfs, "/"+provlog.CurrentName)
 		die(err)

@@ -23,9 +23,9 @@ import (
 // A Client is resilient by default (see Options): dials are bounded by a
 // timeout, every round-trip carries a socket deadline derived from the
 // request's own timeout (a hung or partitioned server surfaces as an
-// error, never a stuck caller), transient failures — overload shedding,
-// quorum unavailability, connection resets on idempotent ops — are
-// retried with exponential backoff and jitter, and a broken connection is
+// error, never a stuck caller), transient failures — overload shedding
+// on any op; quorum unavailability and connection resets on idempotent
+// ops — are retried with exponential backoff and jitter, and a broken connection is
 // transparently redialed, with every open RemoteObject revived on the new
 // connection under its current identity (PR 5's registry semantics make
 // that sound: handles are connection residue, objects live server-side).
@@ -303,14 +303,21 @@ func idempotentOp(op string) bool {
 	return false
 }
 
-// retryable classifies one attempt's failure. Wire-level refusals that
-// carry a transient code (overloaded, unavailable) are retryable for
-// every op — the server refused before, or instead of, acknowledging.
-// Transport failures are retryable only when the op is idempotent, or
-// when the request provably never went out (dial/hello/revive failures).
+// retryable classifies one attempt's failure. An overload refusal is
+// retryable for every op: the server shed the request before executing
+// it, so nothing happened. A quorum-unavailable refusal is not — by the
+// time the primary refuses the ack it has already staged and durably
+// logged the request's records, so blindly re-sending a record-staging
+// op would disclose those records a second time; only idempotent ops
+// retry, and writers see the error and must decide. Transport failures
+// are retryable only when the op is idempotent, or when the request
+// provably never went out (dial/hello/revive failures).
 func retryable(op string, err error, sent bool) bool {
-	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrUnavailable) {
+	if errors.Is(err, ErrOverloaded) {
 		return true
+	}
+	if errors.Is(err, ErrUnavailable) {
+		return idempotentOp(op)
 	}
 	var te *transportError
 	if errors.As(err, &te) {

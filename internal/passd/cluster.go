@@ -193,6 +193,11 @@ func (cl *Cluster) QueryTimeout(q string, timeout time.Duration) (*pql.Result, e
 	}
 	ch := make(chan outcome, len(cl.addrs))
 	launched := 0
+	// hedged marks legs launched by the hedge timer, as opposed to
+	// failover legs launched after an error: only a hedge leg answering
+	// first is a hedge "win", so Hedges() can never report won > fired.
+	// Written and read only by this goroutine's select loop.
+	hedged := make([]bool, len(cl.addrs))
 	launch := func(leg int) {
 		idx := (first + leg) % len(cl.addrs)
 		launched++
@@ -227,7 +232,7 @@ func (cl *Cluster) QueryTimeout(q string, timeout time.Duration) (*pql.Result, e
 			inflight--
 			if o.err == nil {
 				cl.observe(time.Since(start))
-				if o.leg > 0 {
+				if hedged[o.leg] {
 					cl.mu.Lock()
 					cl.wins++
 					cl.mu.Unlock()
@@ -249,6 +254,7 @@ func (cl *Cluster) QueryTimeout(q string, timeout time.Duration) (*pql.Result, e
 				cl.mu.Lock()
 				cl.hedges++
 				cl.mu.Unlock()
+				hedged[launched] = true
 				launch(launched)
 				inflight++
 			}

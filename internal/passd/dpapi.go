@@ -18,6 +18,7 @@ import (
 	"passv2/internal/dpapi"
 	"passv2/internal/pnode"
 	"passv2/internal/record"
+	"passv2/internal/replica"
 )
 
 var (
@@ -413,10 +414,13 @@ func wireError(resp *Response) error {
 		base = dpapi.ErrClosed
 	case codeNotPass:
 		base = dpapi.ErrNotPassVolume
-	case codeOverloaded, codeUnavail, codeReadOnly:
+	case codeOverloaded, codeUnavail, codeReadOnly, codeGap:
 		// Availability refusals keep the server's detail (quorum counts,
-		// shed reason) while mapping onto the sentinel the retry policy
-		// and errors.Is tests key on.
+		// shed reason, gap offsets) while mapping onto the sentinel the
+		// retry policy and errors.Is tests key on. codeGap maps back to
+		// replica.ErrGap so a primary's replPeer.Append can tell "the
+		// follower holds less than I thought — re-learn its state and
+		// backfill" from a generic refusal.
 		switch resp.Code {
 		case codeOverloaded:
 			base = ErrOverloaded
@@ -424,6 +428,8 @@ func wireError(resp *Response) error {
 			base = ErrUnavailable
 		case codeReadOnly:
 			base = ErrReadOnly
+		case codeGap:
+			base = replica.ErrGap
 		}
 		return fmt.Errorf("passd: remote: %w (%s)", base, resp.Error)
 	}

@@ -163,11 +163,13 @@ type Response struct {
 // The last four classify availability failures so clients can decide what
 // to retry without parsing error strings: "overloaded" (ErrOverloaded,
 // shed before execution — always safe to retry), "unavailable"
-// (ErrUnavailable, the write quorum was not reached — retryable, and safe
-// because replicated appends are idempotent), "read_only" (ErrReadOnly, a
-// follower refusing a write — not retryable here, go to the primary) and
-// "gap" (replica.ErrGap, a replicated append past the follower's log end
-// — the primary re-reads the follower state and backfills).
+// (ErrUnavailable, the write quorum was not reached after the records
+// were already staged and durably logged — retried automatically only
+// for idempotent ops; a record-staging op must not be blindly resent),
+// "read_only" (ErrReadOnly, a follower refusing a write — not retryable
+// here, go to the primary) and "gap" (replica.ErrGap, a replicated
+// append past the follower's log end — the primary re-reads the follower
+// state and backfills).
 const (
 	codeStale      = "stale"
 	codeWrongLayer = "wrong_layer"

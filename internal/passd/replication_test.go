@@ -249,15 +249,29 @@ func TestReplicatedGroupSurvivesFollowerKill(t *testing.T) {
 	if st.QuorumFailures < 1 {
 		t.Fatalf("quorum_failures = %d, want >= 1", st.QuorumFailures)
 	}
-	// The retryable classification holds through retry exhaustion, so a
-	// caller (or Cluster) can still tell "live but degraded" from "dead".
-	rc, err := DialOptions(prim.srv.Addr(), Options{MaxRetries: 1, RetryBase: time.Millisecond})
+	// A retry-enabled client must NOT auto-resend a refused write: the
+	// primary staged and durably logged the records before refusing the
+	// ack, so a blind resend would stage them a second time. The error
+	// surfaces immediately (no ErrExhausted — no retries happened) and the
+	// server's staging counter moves by exactly one request's records.
+	rc, err := DialOptions(prim.srv.Addr(), Options{MaxRetries: 3, RetryBase: time.Millisecond})
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
 	t.Cleanup(func() { rc.Close() })
-	if _, err := rc.Append(replRecs(41, 1)); !errors.Is(err, ErrExhausted) || !errors.Is(err, ErrUnavailable) {
-		t.Fatalf("exhausted append = %v, want ErrExhausted wrapping ErrUnavailable", err)
+	before, err := rc.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if _, err := rc.Append(replRecs(41, 1)); !errors.Is(err, ErrUnavailable) || errors.Is(err, ErrExhausted) {
+		t.Fatalf("refused write = %v, want ErrUnavailable surfaced without retries", err)
+	}
+	after, err := rc.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if got := after.Appends - before.Appends; got != 2 { // replRecs(41, 1) is 2 records
+		t.Fatalf("refused write staged %d records, want exactly 2 (no duplicate staging)", got)
 	}
 }
 

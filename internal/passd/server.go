@@ -101,8 +101,11 @@ var ErrOverloaded = errors.New("passd: overloaded, retry later")
 
 // ErrUnavailable is the replication backpressure error: the write is
 // durable on the primary but the write quorum did not acknowledge it in
-// time, so the request is refused rather than falsely acked. It is safe
-// to retry — the replicated log is idempotent under resends.
+// time, so the request is refused rather than falsely acked. The refusal
+// happens *after* the records were staged and durably logged, so
+// resending a record-staging op would disclose its records twice; the
+// client auto-retries this error only for idempotent ops and surfaces it
+// to writers, whose records will still replicate once quorum heals.
 var ErrUnavailable = errors.New("passd: write quorum unavailable, retry later")
 
 // ErrReadOnly is a follower refusing a client write: followers replicate

@@ -80,13 +80,14 @@ type Writer struct {
 	// MaxSize triggers rotation; 0 means never rotate by size.
 	MaxSize int64
 
-	mu      sync.Mutex
-	f       vfs.File
-	size    int64
-	seq     uint64
-	buf     []byte      // write-behind buffer (page cache for the log)
-	bufSize int         // 0 = write-through
-	notify  chan string // rotated file paths for Waldo (simulated inotify)
+	mu       sync.Mutex
+	f        vfs.File
+	size     int64
+	seq      uint64
+	buf      []byte      // write-behind buffer (page cache for the log)
+	bufSize  int         // 0 = write-through
+	noRotate string      // non-empty: rotation refused, with this reason
+	notify   chan string // rotated file paths for Waldo (simulated inotify)
 }
 
 // NewWriter opens (creating if needed) the log directory and active log.
@@ -240,6 +241,18 @@ func (w *Writer) AppendEndTxn(txn uint64) error {
 	return w.Flush()
 }
 
+// DisableRotation pins the active log: Rotate (and the MaxSize trigger,
+// which callers that pin should leave at 0) returns an error naming the
+// reason instead of renaming log.current. A replicating daemon pins its
+// log because followers mirror log.current by byte offset — renaming it
+// out from under the replication stream would restart offsets at zero
+// and silently fork every replica.
+func (w *Writer) DisableRotation(reason string) {
+	w.mu.Lock()
+	w.noRotate = reason
+	w.mu.Unlock()
+}
+
 // Rotate closes the active log, renames it into the sequence and starts a
 // new one, notifying Waldo.
 func (w *Writer) Rotate() error {
@@ -249,6 +262,9 @@ func (w *Writer) Rotate() error {
 }
 
 func (w *Writer) rotateLocked() error {
+	if w.noRotate != "" {
+		return fmt.Errorf("provlog: rotation disabled: %s", w.noRotate)
+	}
 	if err := w.flushLocked(); err != nil {
 		return err
 	}

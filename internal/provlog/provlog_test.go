@@ -4,6 +4,7 @@ import (
 	"crypto/md5"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"passv2/internal/pnode"
@@ -222,5 +223,35 @@ func TestLogFilesMissingDir(t *testing.T) {
 	files, err := LogFiles(fs, "/nope")
 	if err != nil || files != nil {
 		t.Fatalf("missing dir: %v %v", files, err)
+	}
+}
+
+// TestDisableRotationRefuses pins the active log and checks that Rotate
+// refuses (naming the reason) while appends keep working — the guard a
+// replicating daemon relies on so log.current is never renamed out from
+// under follower byte offsets.
+func TestDisableRotationRefuses(t *testing.T) {
+	w, fs := newLog(t)
+	if err := w.AppendRecord(0, record.Input(ref(3, 1), ref(2, 1))); err != nil {
+		t.Fatal(err)
+	}
+	w.DisableRotation("pinned for replication")
+	err := w.Rotate()
+	if err == nil {
+		t.Fatal("Rotate succeeded on a pinned log")
+	}
+	if !strings.Contains(err.Error(), "pinned for replication") {
+		t.Fatalf("Rotate error %q does not name the pin reason", err)
+	}
+	// The active log is untouched and still writable.
+	if err := w.AppendRecord(0, record.Input(ref(4, 1), ref(2, 1))); err != nil {
+		t.Fatalf("append after refused rotation: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ents := scan(t, fs, "/.prov")
+	if len(ents) != 2 {
+		t.Fatalf("got %d entries after refused rotation, want 2", len(ents))
 	}
 }

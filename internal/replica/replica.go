@@ -188,7 +188,7 @@ func (p *Primary) drive(f *follower) {
 			var size int64
 			size, err = peer.State()
 			if err == nil {
-				p.setAcked(f, size, true)
+				p.setState(f, size, true)
 				backoff = p.cfg.RetryBase
 				err = p.stream(f, peer)
 			}
@@ -253,6 +253,17 @@ func (p *Primary) stream(f *follower, peer Peer) error {
 		}
 		newSize, err := peer.Append(off, buf[:rn])
 		if err != nil {
+			if errors.Is(err, ErrGap) {
+				// The follower holds less than we believed (it restarted
+				// with a truncated or empty log). Re-learn its real size and
+				// resume streaming from there on the same connection.
+				size, serr := peer.State()
+				if serr != nil {
+					return serr
+				}
+				p.setState(f, size, true)
+				continue
+			}
 			return err
 		}
 		if newSize < off+int64(rn) {
@@ -262,11 +273,28 @@ func (p *Primary) stream(f *follower, peer Peer) error {
 	}
 }
 
+// setAcked raises a follower's acked offset after a successful append;
+// it never lowers it (an append cannot shrink the follower's log).
 func (p *Primary) setAcked(f *follower, size int64, connected bool) {
 	p.mu.Lock()
 	if size > f.acked {
 		f.acked = size
 	}
+	f.connected = connected
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// setState overwrites a follower's acked offset with the size the
+// follower itself just reported — lowering it when the follower holds
+// less than we remembered. A follower that restarted with a truncated or
+// empty log must stop counting toward the write quorum for bytes it no
+// longer holds, and streaming must resume from its real size; keeping
+// the stale high-water mark would both fake quorum and wedge the stream
+// on ErrGap forever.
+func (p *Primary) setState(f *follower, size int64, connected bool) {
+	p.mu.Lock()
+	f.acked = size
 	f.connected = connected
 	p.cond.Broadcast()
 	p.mu.Unlock()

@@ -53,6 +53,14 @@ func (p *fakePeer) setFail(on bool) {
 	p.mu.Unlock()
 }
 
+// truncate simulates the follower losing its log (disk loss, restart
+// from an empty data directory): its durable size drops to zero.
+func (p *fakePeer) truncate() {
+	p.mu.Lock()
+	p.buf = nil
+	p.mu.Unlock()
+}
+
 func (p *fakePeer) held() []byte {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -204,6 +212,82 @@ func TestFollowerRecoversAndCatchesUp(t *testing.T) {
 	if got := string(f.held()); got != want {
 		t.Fatalf("follower log = %q, want %q", got, want)
 	}
+}
+
+// TestTruncatedFollowerRecoversAcrossReconnect is the ErrGap scenario
+// from log.go driven end to end: a follower that goes down and comes
+// back with an empty log must have its acked offset *lowered* to what
+// State() reports — not kept at the stale high-water mark, which would
+// both count phantom bytes toward the write quorum and wedge every
+// append on ErrGap forever — and then be restreamed from scratch.
+func TestTruncatedFollowerRecoversAcrossReconnect(t *testing.T) {
+	net := newFakeNet()
+	f := net.add("a")
+	src := &memSource{}
+	p := NewPrimary(src, testConfig(net, 2))
+	defer p.Close()
+	p.Join("a")
+
+	size := src.append([]byte("fully replicated before the disk died. "))
+	if err := p.Commit(size); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower loses its disk: connection drops and the log is gone.
+	// An append during the outage makes the stream notice the dead peer.
+	f.setFail(true)
+	f.truncate()
+	size = src.append([]byte("written during the outage. "))
+	if err := p.Commit(size); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("Commit during outage = %v, want ErrQuorum", err)
+	}
+	waitFor(t, func() bool {
+		fs := p.Followers()
+		return len(fs) == 1 && !fs[0].Connected
+	})
+	f.setFail(false)
+
+	// The reconnect re-learns the follower's real (zero) size and streams
+	// the whole log again; only then may new commits succeed.
+	size = src.append([]byte("and rewritten after recovery."))
+	if err := p.Commit(size); err != nil {
+		t.Fatalf("Commit after follower truncation: %v", err)
+	}
+	want := "fully replicated before the disk died. written during the outage. and rewritten after recovery."
+	if got := string(f.held()); got != want {
+		t.Fatalf("follower log = %q, want %q", got, want)
+	}
+	fs := p.Followers()
+	if len(fs) != 1 || fs[0].Acked != size {
+		t.Fatalf("follower status = %+v, want acked %d", fs, size)
+	}
+}
+
+// TestMidStreamGapRestreams truncates the follower while its connection
+// stays healthy: the next append returns ErrGap, and the primary must
+// re-read the follower's state and restream in place instead of treating
+// the gap as a connection failure (or worse, retrying the same offset).
+func TestMidStreamGapRestreams(t *testing.T) {
+	net := newFakeNet()
+	f := net.add("a")
+	src := &memSource{}
+	p := NewPrimary(src, testConfig(net, 2))
+	defer p.Close()
+	p.Join("a")
+
+	size := src.append([]byte("first epoch, acked and then lost. "))
+	if err := p.Commit(size); err != nil {
+		t.Fatal(err)
+	}
+
+	f.truncate() // connection stays up; only the data is gone
+
+	size = src.append([]byte("second epoch."))
+	if err := p.Commit(size); err != nil {
+		t.Fatalf("Commit across a mid-stream gap: %v", err)
+	}
+	want := "first epoch, acked and then lost. second epoch."
+	waitFor(t, func() bool { return string(f.held()) == want })
 }
 
 func TestLateJoinerStreamsFromZero(t *testing.T) {
