@@ -17,6 +17,7 @@
 //	passbench -recover            # checkpoint recovery vs from-zero re-ingest (BENCH_recover.json)
 //	passbench -disclose           # remote DPAPI disclosure, per-record vs batched (BENCH_disclose.json)
 //	passbench -replicate          # hedged vs unhedged reads on a replicated group (BENCH_replicate.json)
+//	passbench -swarm              # protocol v3 frames vs v2 lines under a 1k-session swarm (BENCH_swarm.json)
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
 //	passbench -records 100000     # ingest benchmark size
@@ -56,6 +57,11 @@ func main() {
 	discloseRecords := flag.Int("disclose-records", 4000, "disclose: records per phase")
 	discloseBatch := flag.Int("disclose-batch", 64, "disclose: DPAPI ops per pipelined batch")
 	discloseJSON := flag.String("disclose-json", "BENCH_disclose.json", "disclose: file for the JSON result (empty = don't write)")
+	swarm := flag.Bool("swarm", false, "measure protocol v3 binary frames vs the v2 line protocol under a session swarm")
+	swarmSessions := flag.Int("swarm-sessions", 1000, "swarm: concurrent client sessions per arm")
+	swarmConns := flag.Int("swarm-conns", 64, "swarm: TCP connections the sessions share")
+	swarmSecs := flag.Float64("swarm-secs", 5.0, "swarm: seconds per measured arm")
+	swarmJSON := flag.String("swarm-json", "BENCH_swarm.json", "swarm: file for the JSON result (empty = don't write)")
 	replicate := flag.Bool("replicate", false, "measure hedged vs unhedged cluster reads on a replicated group with one slow follower")
 	replRecords := flag.Int("replicate-records", 2000, "replicate: records replicated before measuring")
 	replQueries := flag.Int("replicate-queries", 300, "replicate: queries per measured arm")
@@ -96,6 +102,12 @@ func main() {
 	}
 	if *replicate || *all {
 		runReplicate(*replRecords, *replQueries, *replSlow, *replHedge, *replJSON)
+		if !*all {
+			return
+		}
+	}
+	if *swarm || *all {
+		runSwarm(*swarmSessions, *swarmConns, *swarmSecs, *swarmJSON)
 		if !*all {
 			return
 		}
@@ -186,6 +198,18 @@ func runReplicate(records, queries int, slow, hedge time.Duration, jsonPath stri
 	res, err := bench.Replicate(records, queries, slow, hedge)
 	die(err)
 	bench.PrintReplicate(os.Stdout, res)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		die(err)
+		die(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+}
+
+func runSwarm(sessions, conns int, secs float64, jsonPath string) {
+	res, err := bench.Swarm(sessions, conns, secs)
+	die(err)
+	bench.PrintSwarm(os.Stdout, res)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		die(err)

@@ -112,7 +112,10 @@ func (f *Faults) Partition(on bool) {
 // mid-frame and that connection's writes silently vanish from then on (the
 // peer sees a partial frame and then nothing — not even a FIN). Tearing
 // disarms itself after cutting one connection; other connections are
-// unaffected.
+// unaffected. The count is blind to message boundaries, so on a protocol
+// v3 connection a small n lands inside the 10-byte binary frame header
+// and a larger one mid-payload — both torn-frame shapes a crashing peer
+// can leave behind (frame_test.go drives each).
 func (f *Faults) TearAfter(n int64) {
 	f.mu.Lock()
 	f.tearAfter = n

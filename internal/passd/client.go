@@ -43,6 +43,12 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
+	// mux is non-nil once hello negotiates protocol v3: the connection
+	// switches to binary frames and many requests share it concurrently,
+	// each on its own stream (see clientMux). c.mu then guards only
+	// lifecycle state (conn/hello/objs) — round-trips run outside it.
+	mux *clientMux
+
 	// Protocol negotiation, performed on every (re)connection so the
 	// client works against a restarted daemon without caller involvement.
 	helloDone bool
@@ -78,9 +84,17 @@ type Options struct {
 	// retries; defaults 25ms and 1s. Jitter is applied on top.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// MaxVersion caps the protocol version this client offers in hello;
+	// <=0 means ProtocolVersion (prefer v3 binary framing when the
+	// server speaks it). Pinning 2 forces the line-oriented JSON
+	// protocol — the negotiation tests' and benchmark baseline's knob.
+	MaxVersion int
 }
 
 func (o Options) withDefaults() Options {
+	if o.MaxVersion <= 0 || o.MaxVersion > ProtocolVersion {
+		o.MaxVersion = ProtocolVersion
+	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
@@ -109,6 +123,12 @@ func (o Options) withDefaults() Options {
 // retryable, but every attempt failed. It wraps the last attempt's error.
 var ErrExhausted = errors.New("passd: retries exhausted")
 
+// ErrTooLarge reports a request over the wire size budget — refused
+// client-side before sending when the client can tell, or by the server
+// with the "toolarge" code. Never retried: the same bytes would be
+// refused again; split the bundle instead.
+var ErrTooLarge = errors.New("passd: request exceeds the wire size budget")
+
 // Dial connects to a passd server with default Options.
 func Dial(addr string) (*Client, error) {
 	return DialOptions(addr, Options{})
@@ -134,6 +154,10 @@ func (c *Client) Close() error {
 	if c.conn == nil {
 		return nil
 	}
+	if c.mux != nil {
+		c.mux.fail(errors.New("passd: client closed"))
+		c.mux = nil
+	}
 	err := c.conn.Close()
 	c.conn = nil
 	return err
@@ -155,11 +179,28 @@ func (c *Client) connectLocked() error {
 // dropLocked abandons a connection a transport error poisoned: the
 // request/response framing is no longer trustworthy (a torn response
 // would desynchronize every later exchange), so the next call redials.
+// On a v3 connection this also fails the mux, which delivers the error
+// to every request still waiting on the shared connection.
 func (c *Client) dropLocked() {
+	if c.mux != nil {
+		c.mux.fail(errors.New("passd: connection dropped"))
+		c.mux = nil
+	}
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
 	}
+}
+
+// dropConn drops conn if it is still the client's current connection —
+// the unlocked path a v3 round-trip uses after a transport failure,
+// where another goroutine may already have reconnected.
+func (c *Client) dropConn(conn net.Conn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.dropLocked()
+	}
+	c.mu.Unlock()
 }
 
 // ensureLocked makes the connection ready: dialed, protocol negotiated,
@@ -174,7 +215,9 @@ func (c *Client) ensureLocked() error {
 	if c.helloDone {
 		return nil
 	}
-	resp, err := c.rawLocked(&Request{Op: "hello", Version: ProtocolVersion}, c.opts.RequestTimeout)
+	// Hello itself is always a JSON line exchange — that is what makes
+	// negotiation backward compatible: a v2 server just answers it.
+	resp, err := c.rawLocked(&Request{Op: "hello", Version: c.opts.MaxVersion}, c.opts.RequestTimeout)
 	if err != nil {
 		return err
 	}
@@ -184,8 +227,40 @@ func (c *Client) ensureLocked() error {
 	c.version = resp.Version
 	c.volume = resp.Volume
 	c.helloDone = true
+	if c.version >= 3 {
+		// Upgrade: from here the connection speaks binary frames. Clear
+		// the sticky deadline rawLocked set — the mux reader goroutine
+		// runs deadline-free (each request is bounded by its own waiter
+		// timer), and per-write deadlines are set per send.
+		c.conn.SetDeadline(time.Time{})
+		c.mux = newClientMux(c.conn, c.br)
+	}
 	c.reviveLocked()
 	return nil
+}
+
+// exchangeLocked is one round-trip on the current connection, routed by
+// the negotiated protocol: the JSON line path, or the frame mux (safe to
+// call under c.mu — the mux's reader goroutine never takes it). Used by
+// the lifecycle exchanges (revive); regular calls go through attempt,
+// which releases c.mu before a mux round-trip.
+func (c *Client) exchangeLocked(req *Request, timeout time.Duration) (*Response, error) {
+	if c.mux != nil {
+		resp, err := c.mux.do(req, timeout)
+		if err != nil {
+			if isTransportErr(err) {
+				c.dropLocked()
+			}
+			return nil, err
+		}
+		return resp, nil
+	}
+	return c.rawLocked(req, timeout)
+}
+
+func isTransportErr(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
 }
 
 // reviveLocked re-opens every registered object on the current
@@ -203,7 +278,7 @@ func (c *Client) reviveLocked() {
 		}
 		ref := o.ref
 		o.mu.Unlock()
-		resp, err := c.rawLocked(&Request{Op: "revive", P: uint64(ref.PNode), Ver: uint32(ref.Version)}, c.opts.RequestTimeout)
+		resp, err := c.exchangeLocked(&Request{Op: "revive", P: uint64(ref.PNode), Ver: uint32(ref.Version)}, c.opts.RequestTimeout)
 		if err == nil && !resp.OK {
 			err = wireError(resp)
 		}
@@ -230,8 +305,8 @@ func (c *Client) rawLocked(req *Request, timeout time.Duration) (*Response, erro
 		return nil, err
 	}
 	if len(b) > maxRequestWireBytes {
-		return nil, fmt.Errorf("passd: request encodes to %d bytes, over the %d-byte wire line limit; split the bundle",
-			len(b), maxRequestWireBytes)
+		return nil, fmt.Errorf("%w: request encodes to %d bytes, over the %d-byte wire line limit; split the bundle",
+			ErrTooLarge, len(b), maxRequestWireBytes)
 	}
 	// The whole exchange runs under one deadline: a server that hangs —
 	// or a network that partitions mid-exchange — surfaces as a timeout
@@ -358,23 +433,41 @@ func (c *Client) call(o *RemoteObject, req *Request) (*Response, error) {
 
 // attempt runs one try of a request. sent reports whether the request
 // itself was handed to the transport (false for dial/negotiation
-// failures, which are therefore always safe to retry).
+// failures, which are therefore always safe to retry). On a v3
+// connection c.mu is released before the round-trip — the mux carries
+// many concurrent requests on the one connection, which is the whole
+// point of the framing; on v1/v2 the exchange serializes under c.mu as
+// the line protocol requires.
 func (c *Client) attempt(o *RemoteObject, req *Request, timeout time.Duration) (resp *Response, sent bool, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.ensureLocked(); err != nil {
+		c.mu.Unlock()
 		return nil, false, err
 	}
 	if o != nil {
-		h, err := o.wireHandle()
-		if err != nil {
-			return nil, false, err
+		h, herr := o.wireHandle()
+		if herr != nil {
+			c.mu.Unlock()
+			return nil, false, herr
 		}
 		req.Handle = h
 	}
-	resp, err = c.rawLocked(req, timeout)
-	if err != nil {
-		return nil, true, err
+	if m := c.mux; m != nil {
+		conn := c.conn
+		c.mu.Unlock()
+		resp, err = m.do(req, timeout)
+		if err != nil {
+			if isTransportErr(err) {
+				c.dropConn(conn)
+			}
+			return nil, true, err
+		}
+	} else {
+		resp, err = c.rawLocked(req, timeout)
+		c.mu.Unlock()
+		if err != nil {
+			return nil, true, err
+		}
 	}
 	if !resp.OK {
 		return nil, true, wireError(resp)
@@ -476,7 +569,7 @@ func (c *Client) Append(recs []record.Record) (int64, error) {
 		}
 		wire = append(wire, wr)
 	}
-	resp, err := c.roundTrip(&Request{Op: "append", Records: wire})
+	resp, err := c.roundTrip(&Request{Op: "append", Records: wire, recs: recs})
 	if err != nil {
 		return 0, err
 	}

@@ -98,7 +98,9 @@ func (c *Client) AppendProvenance(recs []record.Record) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.roundTrip(&Request{Op: "write", Records: wire})
+	// recs rides along in native form: a v3 connection ships it through
+	// the binary record codec and never marshals the WireRecord slice.
+	_, err = c.roundTrip(&Request{Op: "write", Records: wire, recs: recs})
 	return err
 }
 
@@ -189,13 +191,15 @@ func (o *RemoteObject) PassRead(p []byte, off int64) (int, pnode.Ref, error) {
 // records before data, ack after the sync barrier).
 func (o *RemoteObject) PassWrite(p []byte, off int64, b *record.Bundle) (int, error) {
 	var wire []WireRecord
+	var recs []record.Record
 	var err error
 	if b != nil {
 		if wire, err = encodeRecords(b.Records); err != nil {
 			return 0, err
 		}
+		recs = b.Records
 	}
-	resp, err := o.c.call(o, &Request{Op: "write", Data: p, Off: off, Records: wire})
+	resp, err := o.c.call(o, &Request{Op: "write", Data: p, Off: off, Records: wire, recs: recs})
 	if err != nil {
 		return 0, err
 	}
@@ -278,7 +282,11 @@ func (b *Batch) Write(obj *RemoteObject, data []byte, off int64, recs *record.Bu
 			return err
 		}
 	}
-	b.ops = append(b.ops, Request{Op: "write", Handle: h, Data: data, Off: off, Records: wire})
+	var raw []record.Record
+	if recs != nil {
+		raw = recs.Records
+	}
+	b.ops = append(b.ops, Request{Op: "write", Handle: h, Data: data, Off: off, Records: wire, recs: raw})
 	b.objs = append(b.objs, obj)
 	return nil
 }
@@ -297,7 +305,7 @@ func (b *Batch) Append(recs []record.Record) error {
 	if err != nil {
 		return err
 	}
-	b.ops = append(b.ops, Request{Op: "write", Records: wire})
+	b.ops = append(b.ops, Request{Op: "write", Records: wire, recs: recs})
 	b.objs = append(b.objs, nil)
 	return nil
 }
@@ -414,6 +422,11 @@ func wireError(resp *Response) error {
 		base = dpapi.ErrClosed
 	case codeNotPass:
 		base = dpapi.ErrNotPassVolume
+	case codeTooLarge:
+		// Not retryable: the same bytes would be refused again. The
+		// server closes the connection after this refusal, but the error
+		// the caller acts on is the budget, not the reconnect.
+		return fmt.Errorf("passd: remote: %w (%s)", ErrTooLarge, resp.Error)
 	case codeOverloaded, codeUnavail, codeReadOnly, codeGap:
 		// Availability refusals keep the server's detail (quorum counts,
 		// shed reason, gap offsets) while mapping onto the sentinel the

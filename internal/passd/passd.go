@@ -6,8 +6,12 @@
 // kvdb's copy-on-write views), so readers never contend with ApplyBatch —
 // the serialization the in-process path pays on waldo.DB's store lock.
 //
-// The wire protocol is one JSON object per line in each direction (see
-// DESIGN.md §9 for the grammar):
+// The wire protocol starts as one JSON object per line in each direction
+// (see DESIGN.md §9 for the grammar); a hello that negotiates protocol
+// version 3 upgrades the connection to the multiplexed binary framing in
+// frame.go (DESIGN.md §11) — same verbs, same envelopes, but many
+// requests in flight per connection and record/data/row payloads off
+// JSON:
 //
 //	→ {"op":"query","query":"select ...","timeout_ms":500}
 //	← {"ok":true,"columns":["A"],"rows":[[{"k":"ref","p":5,"v":1,"n":"/f"}]]}
@@ -121,6 +125,13 @@ type Request struct {
 	// drives replication. Off and Data double as the replicated log
 	// offset and byte chunk of a "replappend".
 	Addr string `json:"addr,omitempty"`
+
+	// recs is the native-form record bundle of a "write"/"append": the
+	// protocol-v3 binary framing ships it through internal/record's codec
+	// (frame.go) instead of the JSON WireRecord form, so Records never
+	// needs to be materialized on a v3 connection. When both are present,
+	// recs wins; the JSON marshaler never sees this field.
+	recs []record.Record
 }
 
 // Response is one server reply, encoded as a single JSON line. Exactly one
@@ -179,6 +190,13 @@ const (
 	codeUnavail    = "unavailable"
 	codeReadOnly   = "read_only"
 	codeGap        = "gap"
+	// codeTooLarge classifies a request that overflows the server's wire
+	// budget (the 4 MiB JSON line cap, or the 16 MiB frame cap on v3).
+	// The server replies with it before closing the connection — the old
+	// behavior was a silent drop when bufio.Scanner hit ErrTooLong — and
+	// the client maps it onto ErrTooLarge. It is never retryable: the
+	// same bytes would be refused again.
+	codeTooLarge = "toolarge"
 )
 
 // CheckpointInfo is the payload of the "checkpoint" verb: the committed
@@ -208,15 +226,16 @@ type Stats struct {
 	ProvBytes int64 `json:"prov_bytes"`
 	IdxBytes  int64 `json:"idx_bytes"`
 
-	Queries     int64 `json:"queries"`      // queries served (including failed)
-	QueryErrors int64 `json:"query_errors"` // parse/eval failures
-	Timeouts    int64 `json:"timeouts"`     // queries killed by deadline
-	Shed        int64 `json:"shed"`         // queries refused by backpressure
-	Drains      int64 `json:"drains"`       // drain verbs served
-	Conns       int64 `json:"conns"`        // currently open connections
-	Workers     int   `json:"workers"`      // worker-pool size
-	CacheHits   int64 `json:"cache_hits"`   // queries answered from a snapshot's result cache
-	CacheMisses int64 `json:"cache_misses"` // queries that executed
+	Queries     int64 `json:"queries"`            // queries served (including failed)
+	QueryErrors int64 `json:"query_errors"`       // parse/eval failures
+	Timeouts    int64 `json:"timeouts"`           // queries killed by deadline
+	Shed        int64 `json:"shed"`               // queries refused by backpressure
+	Drains      int64 `json:"drains"`             // drain verbs served
+	Conns       int64 `json:"conns"`              // currently open connections
+	V3Conns     int64 `json:"v3_conns,omitempty"` // connections upgraded to binary framing
+	Workers     int   `json:"workers"`            // worker-pool size
+	CacheHits   int64 `json:"cache_hits"`         // queries answered from a snapshot's result cache
+	CacheMisses int64 `json:"cache_misses"`       // queries that executed
 
 	Gen            int64 `json:"gen"`             // database generation (applied batches)
 	EntriesDecoded int64 `json:"entries_decoded"` // log entries decoded by this process's drains
@@ -248,9 +267,13 @@ type Stats struct {
 
 // ProtocolVersion is the highest wire-protocol version this package
 // speaks. Version 1 is the query protocol (PR 3/4); version 2 adds the
-// DPAPI verbs. Servers answer "hello" with min(client, server), and every
-// v1 verb remains valid on a v2 connection.
-const ProtocolVersion = 2
+// DPAPI verbs; version 3 keeps the verb set and replaces the transport:
+// after a hello that negotiates ≥3, both sides switch from JSON lines to
+// the multiplexed binary framing in frame.go. Servers answer "hello"
+// with min(client, server), so a v3 client falls back to JSON lines
+// against a v2 server and a v2 client never sees a frame; every v1 verb
+// remains valid on any connection.
+const ProtocolVersion = 3
 
 // AttrMkobj is the registry's allocation record: a daemon backed by a
 // durable log stages one per pass_mkobj, so an acknowledged identity

@@ -2,10 +2,12 @@ package passd
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"strings"
@@ -41,6 +43,18 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines; <=0 means 30s.
 	MaxTimeout time.Duration
+	// MaxVersion caps the protocol version hello negotiates; <=0 means
+	// ProtocolVersion. Setting 2 serves the line-oriented JSON protocol
+	// only — the knob the negotiation-matrix tests (and a staged rollout)
+	// use to stand up a "v2-only" daemon.
+	MaxVersion int
+	// MaxInFlight bounds how many requests one protocol-v3 connection may
+	// have executing or queued at once; beyond it the server replies
+	// ErrOverloaded immediately instead of reading further ahead. This is
+	// per-connection admission control in front of the worker pool's
+	// global backpressure (queries still shed via MaxQueue). <=0 means
+	// 1024.
+	MaxInFlight int
 
 	// Checkpoints, when non-nil, enables durable checkpointing: a
 	// background checkpointer writes a generation whenever either trigger
@@ -124,6 +138,7 @@ type Server struct {
 	workers chan struct{} // worker-pool slots
 	waiting atomic.Int64  // queries queued for a slot
 	closed  atomic.Bool
+	v3Conns atomic.Int64 // connections upgraded to binary framing
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -276,6 +291,12 @@ func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
 	}
 	if cfg.CheckpointInterval <= 0 {
 		cfg.CheckpointInterval = 30 * time.Second
+	}
+	if cfg.MaxVersion <= 0 || cfg.MaxVersion > ProtocolVersion {
+		cfg.MaxVersion = ProtocolVersion
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1024
 	}
 	if cfg.ObjectVolume == 0 {
 		cfg.ObjectVolume = DefaultObjectVolume
@@ -449,10 +470,122 @@ func (cs *connState) lookup(h uint64) (*serverObject, error) {
 	return obj, nil
 }
 
-// handle serves one connection: requests are processed sequentially, one
-// JSON line in, one JSON line out. Concurrency comes from connections, not
-// from pipelining within one — a client that wants many DPAPI ops in
-// flight sends them as one "batch" request instead.
+// maxLineBytes is the JSON protocol's per-line read budget (v1/v2). An
+// over-budget line is refused with a codeTooLarge response before the
+// connection closes — the framing is unrecoverable past the cap, but the
+// client gets a machine-readable reason instead of a silent drop.
+const maxLineBytes = 4 << 20
+
+// errLineTooLong reports a request line over maxLineBytes.
+var errLineTooLong = errors.New("passd: request line exceeds the wire size budget")
+
+// connReaderPool recycles per-connection read buffers: connection churn
+// (a swarm of short-lived clients) must not allocate a fresh 64 KiB
+// buffer per accept.
+var connReaderPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 64<<10) },
+}
+
+// respBuffer is a pooled response-marshal buffer plus its JSON encoder:
+// the v2 JSON path encodes every reply into one of these and hands the
+// bytes to the connection in a single write, instead of allocating an
+// encode buffer per reply.
+type respBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var respBufPool = sync.Pool{
+	New: func() any {
+		rb := &respBuffer{}
+		rb.enc = json.NewEncoder(&rb.buf)
+		return rb
+	},
+}
+
+// writeJSONResponse marshals resp through a pooled buffer and writes it
+// as one line. Buffers inflated by a giant result set are dropped rather
+// than pooled.
+func writeJSONResponse(w io.Writer, resp *Response) error {
+	rb := respBufPool.Get().(*respBuffer)
+	rb.buf.Reset()
+	if err := rb.enc.Encode(resp); err != nil {
+		respBufPool.Put(rb)
+		return err
+	}
+	_, err := w.Write(rb.buf.Bytes())
+	if rb.buf.Cap() <= 1<<20 {
+		respBufPool.Put(rb)
+	}
+	return err
+}
+
+// readBoundedLine reads one newline-terminated line of at most
+// maxLineBytes, mirroring bufio.Scanner's line semantics (final line
+// without a newline is still a line, trailing \r is stripped) but with a
+// typed over-budget error instead of a silent stop. The fast path — a
+// line that fits the reader's buffer — returns a slice aliasing it,
+// valid until the next read.
+func readBoundedLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == nil {
+		return trimLine(line), nil
+	}
+	if errors.Is(err, io.EOF) {
+		if len(line) > 0 {
+			return trimLine(line), nil
+		}
+		return nil, io.EOF
+	}
+	if !errors.Is(err, bufio.ErrBufferFull) {
+		return nil, err
+	}
+	buf := append([]byte(nil), line...)
+	for {
+		if len(buf) > maxLineBytes {
+			return nil, errLineTooLong
+		}
+		line, err = br.ReadSlice('\n')
+		buf = append(buf, line...)
+		switch {
+		case err == nil:
+			if len(buf) > maxLineBytes {
+				return nil, errLineTooLong
+			}
+			return trimLine(buf), nil
+		case errors.Is(err, io.EOF):
+			if len(buf) > maxLineBytes {
+				return nil, errLineTooLong
+			}
+			if len(buf) > 0 {
+				return trimLine(buf), nil
+			}
+			return nil, io.EOF
+		case errors.Is(err, bufio.ErrBufferFull):
+			// keep accumulating
+		default:
+			return nil, err
+		}
+	}
+}
+
+// trimLine strips the trailing newline (and \r) from a raw line.
+func trimLine(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+// handle serves one connection. It starts in the line-oriented JSON
+// protocol (v1/v2): requests processed sequentially, one JSON line in,
+// one JSON line out. A hello that negotiates protocol version ≥3 hands
+// the connection to serveFrames, which multiplexes many in-flight
+// requests over binary frames; until then, concurrency comes from
+// connections, not from pipelining within one.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	cs := &connState{}
@@ -469,12 +602,28 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
-	bw := bufio.NewWriter(conn)
-	enc := json.NewEncoder(bw)
-	for sc.Scan() {
-		line := sc.Bytes()
+	br := connReaderPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer func() {
+		br.Reset(nil) // drop the conn reference before pooling
+		connReaderPool.Put(br)
+	}()
+	for {
+		line, err := readBoundedLine(br)
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				// The stream is desynchronized past the budget, so the
+				// connection must close — but with a machine-readable
+				// refusal first, not the silent drop Scanner's ErrTooLong
+				// used to cause.
+				writeJSONResponse(conn, &Response{
+					Error: fmt.Sprintf("request line exceeds the %d-byte budget; split the request", maxLineBytes),
+					Code:  codeTooLarge,
+				})
+				drainBeforeClose(conn, br)
+			}
+			return
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -486,13 +635,177 @@ func (s *Server) handle(conn net.Conn) {
 			resp = s.dispatch(cs, &req)
 		}
 		resp.OK = resp.Error == ""
-		if err := enc.Encode(&resp); err != nil {
+		if err := writeJSONResponse(conn, &resp); err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
+		// A successful hello that negotiated v3 upgrades the transport:
+		// everything after this reply is binary frames, both directions.
+		if resp.OK && resp.Version >= 3 && strings.EqualFold(req.Op, "hello") {
+			s.serveFrames(conn, br, cs)
 			return
 		}
 	}
+}
+
+// serialVerb reports whether op must run on the connection's serial lane:
+// DPAPI verbs share the per-connection handle table (connState) and keep
+// v2's strict FIFO semantics, and record-staging verbs keep their
+// arrival order. Everything else — queries, stats, replication state —
+// touches only shared state with its own synchronization and may run
+// concurrently; that split is what lets a fast query overtake a slow
+// disclosure on the same connection.
+func serialVerb(op string) bool {
+	switch strings.ToLower(op) {
+	case "query", "explain", "stats", "drain", "checkpoint", "ping", "hello", "replstate", "repljoin":
+		return false
+	}
+	return true
+}
+
+// outFrame is one response queued for the connection's writer goroutine.
+type outFrame struct {
+	stream uint32
+	resp   Response
+}
+
+// serveFrames serves one protocol-v3 connection: a reader loop (this
+// goroutine) decodes request frames and fans them out, a single writer
+// goroutine serializes response frames (chunking large ones), and two
+// dispatch lanes run the work — a serial lane preserving v2's in-order
+// semantics for stateful verbs, and per-request goroutines for
+// concurrent-safe verbs, which still pass through the worker pool's
+// global backpressure. A per-connection in-flight cap (Config.MaxInFlight)
+// refuses further requests with ErrOverloaded instead of reading
+// unboundedly ahead.
+func (s *Server) serveFrames(conn net.Conn, br *bufio.Reader, cs *connState) {
+	s.v3Conns.Add(1)
+	defer s.v3Conns.Add(-1)
+
+	out := make(chan outFrame, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		sc := getFrameScratch()
+		defer putFrameScratch(sc)
+		dead := false
+		for m := range out {
+			if dead {
+				continue // drain so producers never block on a dead conn
+			}
+			if err := writeResponseFrames(bw, m.stream, &m.resp, sc); err != nil {
+				dead = true
+				conn.Close() // unblocks the reader loop too
+				continue
+			}
+			// Flush when no more responses are immediately queued: one
+			// syscall covers however many responses were ready.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					dead = true
+					conn.Close()
+				}
+			}
+		}
+		if !dead {
+			bw.Flush()
+		}
+	}()
+
+	type frameJob struct {
+		stream uint32
+		req    *Request
+	}
+	var inflight atomic.Int64
+	serialQ := make(chan frameJob, 64)
+	serialDone := make(chan struct{})
+	go func() {
+		defer close(serialDone)
+		for j := range serialQ {
+			resp := s.dispatch(cs, j.req)
+			resp.OK = resp.Error == ""
+			out <- outFrame{j.stream, resp}
+			inflight.Add(-1)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	refused := false
+	for {
+		h, err := readFrameHeader(br)
+		if err != nil {
+			if errors.Is(err, errFrameTooLarge) {
+				out <- outFrame{h.stream, *refuseTooLarge(h.length)}
+				refused = true
+			}
+			break
+		}
+		payload, err := readFramePayload(br, h)
+		if err != nil {
+			break
+		}
+		if h.kind != frameRequest || h.flags&flagMore != 0 {
+			// Requests are single frames; anything else means the peer
+			// and we disagree about the protocol — stop before
+			// misinterpreting the stream.
+			out <- outFrame{h.stream, Response{Error: "bad frame: requests are single request-kind frames"}}
+			break
+		}
+		req, _, derr := decodeRequestPayload(payload, 0)
+		if derr != nil {
+			// The frame boundary held, so the stream is still in sync:
+			// refuse this request and keep serving.
+			out <- outFrame{h.stream, Response{Error: "bad request: " + derr.Error()}}
+			continue
+		}
+		if inflight.Add(1) > int64(s.cfg.MaxInFlight) {
+			inflight.Add(-1)
+			s.shed.Add(1)
+			resp := errResponse(fmt.Errorf("overloaded: connection has %d requests in flight: %w", s.cfg.MaxInFlight, ErrOverloaded))
+			out <- outFrame{h.stream, resp}
+			continue
+		}
+		if serialVerb(req.Op) {
+			serialQ <- frameJob{h.stream, req}
+			continue
+		}
+		wg.Add(1)
+		go func(stream uint32, req *Request) {
+			defer wg.Done()
+			resp := s.dispatch(cs, req)
+			resp.OK = resp.Error == ""
+			out <- outFrame{stream, resp}
+			inflight.Add(-1)
+		}(h.stream, req)
+	}
+	// Teardown: the writer keeps consuming until both lanes finish, so
+	// no in-flight dispatch can block on a full out channel.
+	wg.Wait()
+	close(serialQ)
+	<-serialDone
+	close(out)
+	<-writerDone
+	if refused {
+		drainBeforeClose(conn, br)
+	}
+}
+
+// refuseTooLarge is the v3 twin of the JSON path's over-budget refusal.
+func refuseTooLarge(n int) *Response {
+	return &Response{
+		Error: fmt.Sprintf("frame payload of %d bytes exceeds the %d-byte budget; split the request", n, maxFramePayload),
+		Code:  codeTooLarge,
+	}
+}
+
+// drainBeforeClose briefly consumes whatever the peer already sent after
+// a refusal, so closing the socket with unread bytes in the receive
+// buffer does not turn into a TCP reset that clobbers the refusal before
+// the peer reads it. Bounded by a short deadline — a peer that keeps
+// streaming just gets cut off.
+func drainBeforeClose(conn net.Conn, br *bufio.Reader) {
+	conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+	io.Copy(io.Discard, br)
 }
 
 // ConnCount reports currently open client connections.
@@ -617,11 +930,15 @@ func dpapiCommits(op string) bool {
 
 // doHello negotiates the protocol version and describes the server's
 // DPAPI surface: the volume prefix remote phantom identities come from.
-// v1 clients never send hello; every v1 verb works without it.
+// v1 clients never send hello; every v1 verb works without it. The
+// answer is min(client, server) capped by Config.MaxVersion; when it
+// lands at ≥3, the connection handler upgrades to binary framing right
+// after this reply (a hello re-sent on an already-framed connection
+// just reports the version again — there is no downgrade).
 func (s *Server) doHello(req *Request) Response {
 	v := req.Version
-	if v <= 0 || v > ProtocolVersion {
-		v = ProtocolVersion
+	if v <= 0 || v > s.cfg.MaxVersion {
+		v = s.cfg.MaxVersion
 	}
 	return Response{Version: v, Volume: s.reg.prefix}
 }
@@ -721,13 +1038,19 @@ func (s *Server) execDPAPI(cs *connState, req *Request) Response {
 // that has already analyzed them (the v1 "append" alias and the
 // distributor's materialization sink both land here).
 func (s *Server) doDPAPIWrite(cs *connState, req *Request) Response {
-	recs := make([]record.Record, 0, len(req.Records))
-	for _, wr := range req.Records {
-		r, err := decodeRecord(wr)
-		if err != nil {
-			return Response{Error: err.Error()}
+	// A request that arrived over a v3 binary frame already carries its
+	// records in native form — straight off internal/record's codec, no
+	// JSON/base64 round-trip. The WireRecord path remains for JSON lines.
+	recs := req.recs
+	if recs == nil {
+		recs = make([]record.Record, 0, len(req.Records))
+		for _, wr := range req.Records {
+			r, err := decodeRecord(wr)
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			recs = append(recs, r)
 		}
-		recs = append(recs, r)
 	}
 	if req.Handle == 0 {
 		if len(req.Data) > 0 {
@@ -979,7 +1302,7 @@ func (s *Server) doAppend(req *Request) Response {
 	if s.cfg.Append == nil {
 		return Response{Error: "append disabled (server owns no writable log)"}
 	}
-	resp := s.doDPAPIWrite(&connState{}, &Request{Op: "write", Records: req.Records})
+	resp := s.doDPAPIWrite(&connState{}, &Request{Op: "write", Records: req.Records, recs: req.recs})
 	if resp.Error != "" {
 		return resp
 	}
@@ -1004,6 +1327,7 @@ func (s *Server) snapshotStats() *Stats {
 		Shed:        s.shed.Load(),
 		Drains:      s.drains.Load(),
 		Conns:       int64(s.ConnCount()),
+		V3Conns:     s.v3Conns.Load(),
 		Workers:     s.cfg.Workers,
 		CacheHits:   s.cacheHits.Load(),
 		CacheMisses: s.cacheMisses.Load(),
