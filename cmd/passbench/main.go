@@ -61,6 +61,7 @@ func main() {
 	swarmSessions := flag.Int("swarm-sessions", 1000, "swarm: concurrent client sessions per arm")
 	swarmConns := flag.Int("swarm-conns", 64, "swarm: TCP connections the sessions share")
 	swarmSecs := flag.Float64("swarm-secs", 5.0, "swarm: seconds per measured arm")
+	swarmTenantSecs := flag.Float64("swarm-tenant-secs", 3.0, "swarm: seconds per noisy-tenant isolation arm (0 = skip the tenant arms)")
 	swarmJSON := flag.String("swarm-json", "BENCH_swarm.json", "swarm: file for the JSON result (empty = don't write)")
 	replicate := flag.Bool("replicate", false, "measure hedged vs unhedged cluster reads on a replicated group with one slow follower")
 	replRecords := flag.Int("replicate-records", 2000, "replicate: records replicated before measuring")
@@ -107,7 +108,7 @@ func main() {
 		}
 	}
 	if *swarm || *all {
-		runSwarm(*swarmSessions, *swarmConns, *swarmSecs, *swarmJSON)
+		runSwarm(*swarmSessions, *swarmConns, *swarmSecs, *swarmTenantSecs, *swarmJSON)
 		if !*all {
 			return
 		}
@@ -206,8 +207,8 @@ func runReplicate(records, queries int, slow, hedge time.Duration, jsonPath stri
 	}
 }
 
-func runSwarm(sessions, conns int, secs float64, jsonPath string) {
-	res, err := bench.Swarm(sessions, conns, secs)
+func runSwarm(sessions, conns int, secs, tenantSecs float64, jsonPath string) {
+	res, err := bench.Swarm(sessions, conns, secs, tenantSecs)
 	die(err)
 	bench.PrintSwarm(os.Stdout, res)
 	if jsonPath != "" {

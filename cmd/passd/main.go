@@ -38,6 +38,8 @@
 //	passd -demo -addr :9000           # serve the built-in demo database
 //	passd -logdir /var/pass/log -checkpoint-dir /var/pass/ckpt
 //	passd -db prov.db -workers 8 -timeout 10s
+//	passd -demo -admin 127.0.0.1:7459  # /metrics /healthz /readyz
+//	passd -demo -admin 127.0.0.1:7459 -quota burst=4:65536
 //
 //	# a 3-node replicated group, quorum 2:
 //	passd -addr 127.0.0.1:7457 -logdir /var/pass/log -replicate 2
@@ -54,6 +56,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -91,6 +95,28 @@ func main() {
 	join := flag.String("join", "", "primary address to follow: run as a read-only replica of that daemon; requires -logdir")
 	joinInterval := flag.Duration("join-interval", time.Second, "how often a follower re-announces itself to the primary")
 	advertise := flag.String("advertise", "", "address the primary should dial this follower back on (default: the bound -addr)")
+	admin := flag.String("admin", "", "HTTP admin listen address serving /metrics, /healthz and /readyz (empty = off)")
+	quotas := map[string]passd.TenantQuota{}
+	flag.Func("quota", "per-tenant quota as tenant=maxInflight:stagedBytesPerSec (0 = unlimited axis); repeatable", func(v string) error {
+		name, caps, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want tenant=maxInflight:stagedBytesPerSec, got %q", v)
+		}
+		inflightS, bytesS, ok := strings.Cut(caps, ":")
+		if !ok {
+			return fmt.Errorf("want tenant=maxInflight:stagedBytesPerSec, got %q", v)
+		}
+		inflight, err := strconv.Atoi(inflightS)
+		if err != nil {
+			return fmt.Errorf("bad maxInflight in %q: %v", v, err)
+		}
+		bytes, err := strconv.ParseInt(bytesS, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad stagedBytesPerSec in %q: %v", v, err)
+		}
+		quotas[name] = passd.TenantQuota{MaxInFlight: inflight, StagedBytesPerSec: bytes}
+		return nil
+	})
 	flag.Parse()
 
 	if *replicate > 0 && *join != "" {
@@ -241,10 +267,15 @@ func main() {
 		Recovered:          rec,
 		Replicate:          prim,
 		Follower:           flog,
+		AdminAddr:          *admin,
+		TenantQuotas:       quotas,
 	})
 	die(err)
 	records, _, _ := db.Stats()
 	fmt.Printf("passd: serving %d records on %s\n", records, srv.Addr())
+	if a := srv.AdminAddr(); a != "" {
+		fmt.Printf("passd: admin endpoints on http://%s (/metrics /healthz /readyz)\n", a)
+	}
 
 	// A follower announces itself to the primary on a timer: the first
 	// round registers it, later rounds are idempotent no-ops that

@@ -55,6 +55,10 @@ type SwarmResult struct {
 
 	QPSMultiplier   float64 `json:"qps_multiplier"`   // V3.QPS / V2.QPS
 	RecPSMultiplier float64 `json:"recps_multiplier"` // V3.RecPS / V2.RecPS
+
+	// Tenant carries the noisy-tenant isolation arms (tenant.go) when the
+	// run asked for them; nil otherwise.
+	Tenant *TenantIsolation `json:"tenant_isolation,omitempty"`
 }
 
 // swarmSessionRecords builds the reusable disclosure batch for one
@@ -209,7 +213,9 @@ func swarmDataset() (*waldo.DB, []string) {
 // session's requests as binary frames. Both arms run against fresh,
 // identical daemons for `secs` seconds, after remote results are verified
 // against local evaluation.
-func Swarm(sessions, conns int, secs float64) (SwarmResult, error) {
+// A positive tenantSecs additionally runs the noisy-tenant isolation arms
+// (tenant.go) for that long each.
+func Swarm(sessions, conns int, secs, tenantSecs float64) (SwarmResult, error) {
 	res := SwarmResult{Sessions: sessions, Conns: conns, Batch: swarmBatch, Secs: secs}
 
 	db, queries := swarmDataset()
@@ -252,6 +258,13 @@ func Swarm(sessions, conns int, secs float64) (SwarmResult, error) {
 	if v2.RecPS > 0 {
 		res.RecPSMultiplier = v3.RecPS / v2.RecPS
 	}
+	if tenantSecs > 0 {
+		ti, err := tenantIsolation(tenantSecs, queries)
+		if err != nil {
+			return res, fmt.Errorf("tenant arms: %w", err)
+		}
+		res.Tenant = ti
+	}
 	return res, nil
 }
 
@@ -266,4 +279,7 @@ func PrintSwarm(w io.Writer, r SwarmResult) {
 	row("line protocol", r.V2)
 	row("binary frames", r.V3)
 	fmt.Fprintf(w, "  multiplier:            %9.2fx q/s %11.2fx rec/s\n", r.QPSMultiplier, r.RecPSMultiplier)
+	if r.Tenant != nil {
+		PrintTenantIsolation(w, r.Tenant)
+	}
 }

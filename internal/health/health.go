@@ -1,0 +1,116 @@
+// Package health is the daemon's liveness/readiness surface: a Checker
+// that separates "the process is up" (liveness — true the moment the
+// process can answer HTTP) from "the process should receive traffic"
+// (readiness — an explicit bit the daemon sets once it has recovered,
+// drained and bound, gated further by named readiness checks such as "the
+// write quorum is reachable"). The split matches how orchestrators use
+// the two endpoints: a failed liveness probe restarts the process, a
+// failed readiness probe only steers traffic away — a primary that lost
+// its quorum wants the second, never the first.
+package health
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Check is one named readiness condition. Return nil when healthy.
+type Check func() error
+
+// Checker aggregates the readiness bit and registered checks. The zero
+// value is not ready and has no start time; use New.
+type Checker struct {
+	start time.Time
+	ready atomic.Bool
+
+	mu     sync.Mutex
+	names  []string // registration order, for stable reports
+	checks map[string]Check
+}
+
+// New returns a Checker that is alive but not yet ready.
+func New() *Checker {
+	return &Checker{start: time.Now(), checks: make(map[string]Check)}
+}
+
+// AddReadiness registers a named readiness check, evaluated on every
+// Ready call. Re-registering a name replaces the check.
+func (c *Checker) AddReadiness(name string, fn Check) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.checks[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.checks[name] = fn
+}
+
+// SetReady flips the master readiness bit — the daemon calls it once
+// recovery and binding are done, and may clear it during shutdown.
+func (c *Checker) SetReady(ready bool) { c.ready.Store(ready) }
+
+// Uptime reports time since New.
+func (c *Checker) Uptime() time.Duration { return time.Since(c.start) }
+
+// CheckResult is one check's outcome in a report; Err is "" when healthy.
+type CheckResult struct {
+	Name string
+	Err  string
+}
+
+// Report is the outcome of a Live or Ready evaluation.
+type Report struct {
+	OK     bool
+	Uptime time.Duration
+	Checks []CheckResult
+}
+
+// Live reports liveness: always OK — if this code runs, the process is
+// alive. It carries uptime so a probe's output is still informative.
+func (c *Checker) Live() Report {
+	return Report{OK: true, Uptime: c.Uptime()}
+}
+
+// Ready evaluates the readiness bit and every registered check. All must
+// pass for OK; every check's outcome is reported either way.
+func (c *Checker) Ready() Report {
+	rep := Report{OK: c.ready.Load(), Uptime: c.Uptime()}
+	if !rep.OK {
+		rep.Checks = append(rep.Checks, CheckResult{Name: "ready", Err: "not ready"})
+	}
+	c.mu.Lock()
+	names := append([]string(nil), c.names...)
+	checks := make(map[string]Check, len(c.checks))
+	for k, v := range c.checks {
+		checks[k] = v
+	}
+	c.mu.Unlock()
+	for _, name := range names {
+		res := CheckResult{Name: name}
+		if err := checks[name](); err != nil {
+			res.Err = err.Error()
+			rep.OK = false
+		}
+		rep.Checks = append(rep.Checks, res)
+	}
+	return rep
+}
+
+// WriteText renders the report in the plain one-line-per-fact shape the
+// admin endpoints serve: "ok"/"unhealthy", uptime, then each check.
+func (r Report) WriteText(w io.Writer) {
+	status := "ok"
+	if !r.OK {
+		status = "unhealthy"
+	}
+	fmt.Fprintf(w, "%s\nuptime_seconds %.3f\n", status, r.Uptime.Seconds())
+	for _, c := range r.Checks {
+		if c.Err == "" {
+			fmt.Fprintf(w, "check %s ok\n", c.Name)
+		} else {
+			fmt.Fprintf(w, "check %s failing: %s\n", c.Name, c.Err)
+		}
+	}
+}

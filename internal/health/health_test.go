@@ -1,0 +1,66 @@
+package health
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLiveAlwaysOK(t *testing.T) {
+	c := New()
+	if rep := c.Live(); !rep.OK {
+		t.Fatalf("liveness must be OK while the process runs")
+	}
+}
+
+func TestReadinessBitAndChecks(t *testing.T) {
+	c := New()
+	if c.Ready().OK {
+		t.Fatalf("a fresh checker must not be ready")
+	}
+	c.SetReady(true)
+	if !c.Ready().OK {
+		t.Fatalf("ready bit set, no checks: must be ready")
+	}
+
+	var quorumErr error
+	c.AddReadiness("quorum", func() error { return quorumErr })
+	if !c.Ready().OK {
+		t.Fatalf("passing check must keep readiness")
+	}
+	quorumErr = errors.New("1 of 2 followers connected")
+	rep := c.Ready()
+	if rep.OK {
+		t.Fatalf("failing check must fail readiness")
+	}
+	if len(rep.Checks) != 1 || rep.Checks[0].Name != "quorum" || rep.Checks[0].Err == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "unhealthy\n") || !strings.Contains(out, "check quorum failing: 1 of 2 followers connected") {
+		t.Fatalf("report text:\n%s", out)
+	}
+
+	quorumErr = nil
+	var ok strings.Builder
+	c.Ready().WriteText(&ok)
+	if !strings.HasPrefix(ok.String(), "ok\n") || !strings.Contains(ok.String(), "check quorum ok") {
+		t.Fatalf("healthy report text:\n%s", ok.String())
+	}
+}
+
+func TestSetReadyClears(t *testing.T) {
+	c := New()
+	c.SetReady(true)
+	c.SetReady(false)
+	rep := c.Ready()
+	if rep.OK {
+		t.Fatalf("cleared ready bit must fail readiness")
+	}
+	if len(rep.Checks) == 0 || rep.Checks[0].Name != "ready" {
+		t.Fatalf("not-ready report must name the ready bit, got %+v", rep)
+	}
+}

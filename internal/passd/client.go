@@ -89,6 +89,12 @@ type Options struct {
 	// server speaks it). Pinning 2 forces the line-oriented JSON
 	// protocol — the negotiation tests' and benchmark baseline's knob.
 	MaxVersion int
+	// Tenant, when non-empty, names this client's tenant on hello: every
+	// request on the connection is accounted (and, when the server
+	// configures TenantQuotas for the name, limited) under it. Over-quota
+	// requests come back as ErrQuotaExceeded and are retried with backoff
+	// like ErrOverloaded.
+	Tenant string
 }
 
 func (o Options) withDefaults() Options {
@@ -217,7 +223,7 @@ func (c *Client) ensureLocked() error {
 	}
 	// Hello itself is always a JSON line exchange — that is what makes
 	// negotiation backward compatible: a v2 server just answers it.
-	resp, err := c.rawLocked(&Request{Op: "hello", Version: c.opts.MaxVersion}, c.opts.RequestTimeout)
+	resp, err := c.rawLocked(&Request{Op: "hello", Version: c.opts.MaxVersion, Tenant: c.opts.Tenant}, c.opts.RequestTimeout)
 	if err != nil {
 		return err
 	}
@@ -389,6 +395,12 @@ func idempotentOp(op string) bool {
 // provably never went out (dial/hello/revive failures).
 func retryable(op string, err error, sent bool) bool {
 	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	// Quota refusals happen at admission, before anything executes or
+	// stages — re-sending can never double-apply, so they retry like
+	// overload regardless of the op.
+	if errors.Is(err, ErrQuotaExceeded) {
 		return true
 	}
 	if errors.Is(err, ErrUnavailable) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"passv2/internal/metrics"
 	"passv2/internal/pql"
 )
 
@@ -54,6 +55,11 @@ type ClusterOptions struct {
 	// NoHedge disables hedging, leaving only failover — the control arm
 	// the passbench -replicate benchmark measures against.
 	NoHedge bool
+	// Metrics, when non-nil, registers the cluster's hedge counters
+	// (passd_cluster_hedges_total / passd_cluster_hedge_wins_total) as
+	// read-throughs over the same bookkeeping Hedges reports — the
+	// serving edge's view of its own read hedging.
+	Metrics *metrics.Registry
 }
 
 // hedgeFloor keeps the adaptive trigger from collapsing to ~0 on
@@ -68,12 +74,25 @@ const latWindow = 128
 // Connections are dialed lazily, so a dead replica costs nothing until a
 // query rotates onto it (and then only a failover hop).
 func NewCluster(addrs []string, opts ClusterOptions) *Cluster {
-	return &Cluster{
+	cl := &Cluster{
 		addrs:   addrs,
 		opts:    opts,
 		clients: make([]*Client, len(addrs)),
 		lats:    make([]time.Duration, latWindow),
 	}
+	if r := opts.Metrics; r != nil {
+		r.CounterFunc("passd_cluster_hedges_total",
+			"Hedge requests fired by this cluster client.", func() int64 {
+				fired, _ := cl.Hedges()
+				return fired
+			})
+		r.CounterFunc("passd_cluster_hedge_wins_total",
+			"Hedge requests that answered before the first attempt.", func() int64 {
+				_, won := cl.Hedges()
+				return won
+			})
+	}
+	return cl
 }
 
 // Close closes every dialed connection.

@@ -427,7 +427,7 @@ func wireError(resp *Response) error {
 		// server closes the connection after this refusal, but the error
 		// the caller acts on is the budget, not the reconnect.
 		return fmt.Errorf("passd: remote: %w (%s)", ErrTooLarge, resp.Error)
-	case codeOverloaded, codeUnavail, codeReadOnly, codeGap:
+	case codeOverloaded, codeUnavail, codeReadOnly, codeQuota, codeGap:
 		// Availability refusals keep the server's detail (quorum counts,
 		// shed reason, gap offsets) while mapping onto the sentinel the
 		// retry policy and errors.Is tests key on. codeGap maps back to
@@ -441,6 +441,8 @@ func wireError(resp *Response) error {
 			base = ErrUnavailable
 		case codeReadOnly:
 			base = ErrReadOnly
+		case codeQuota:
+			base = ErrQuotaExceeded
 		case codeGap:
 			base = replica.ErrGap
 		}

@@ -94,6 +94,12 @@ type Request struct {
 	// them durably (write-through to the volume log when it owns one)
 	// before replying, so an acknowledged write survives a daemon kill.
 	Records []WireRecord `json:"records,omitempty"`
+	// Tenant is an optional tenant identity for per-tenant accounting and
+	// quotas (Config.TenantQuotas). Carried on "hello" it names the whole
+	// connection; carried on any other request it names that request
+	// (overriding the connection's tenant). Empty means unattributed —
+	// never quota-limited, never per-tenant-counted.
+	Tenant string `json:"tenant,omitempty"`
 
 	// --- protocol v2 fields ---
 
@@ -197,6 +203,12 @@ const (
 	// the client maps it onto ErrTooLarge. It is never retryable: the
 	// same bytes would be refused again.
 	codeTooLarge = "toolarge"
+	// codeQuota classifies a per-tenant quota refusal (ErrQuotaExceeded):
+	// the request was refused at admission, before execution, because its
+	// tenant is over its in-flight or staged-bytes/sec cap. Like
+	// "overloaded" it is always safe to retry with backoff — nothing
+	// executed — and the client does so automatically.
+	codeQuota = "quota"
 )
 
 // CheckpointInfo is the payload of the "checkpoint" verb: the committed
@@ -263,6 +275,28 @@ type Stats struct {
 	ReplConnected  int64  `json:"repl_connected,omitempty"`  // followers currently streaming (primary)
 	ReplBytes      int64  `json:"repl_bytes,omitempty"`      // follower: durable replicated log bytes
 	QuorumFailures int64  `json:"quorum_failures,omitempty"` // acks refused because quorum was not reached
+
+	// Serving-edge observability (DESIGN.md §12). Verbs counts dispatched
+	// requests per verb — the same counters /metrics exports as
+	// passd_requests_total, read from one source so the two surfaces can
+	// never disagree. QuotaRefusals totals per-tenant quota refusals, and
+	// Tenants breaks accounting down per tenant (only tenants that ever
+	// named themselves appear).
+	Verbs         map[string]int64       `json:"verbs,omitempty"`
+	QuotaRefusals int64                  `json:"quota_refusals,omitempty"`
+	Tenants       map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's slice of the serving counters. Requests
+// counts every request the tenant offered (admitted or refused), Refused
+// the quota refusals among them, StagedBytes the wire bytes of admitted
+// record-staging requests, and InFlight the tenant's requests executing
+// right now.
+type TenantStats struct {
+	Requests    int64 `json:"requests"`
+	Refused     int64 `json:"refused"`
+	StagedBytes int64 `json:"staged_bytes"`
+	InFlight    int64 `json:"in_flight"`
 }
 
 // ProtocolVersion is the highest wire-protocol version this package

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"runtime"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"passv2/internal/checkpoint"
 	"passv2/internal/dpapi"
 	"passv2/internal/graph"
+	"passv2/internal/health"
 	"passv2/internal/pnode"
 	"passv2/internal/pql"
 	"passv2/internal/record"
@@ -55,6 +57,22 @@ type Config struct {
 	// global backpressure (queries still shed via MaxQueue). <=0 means
 	// 1024.
 	MaxInFlight int
+
+	// TenantQuotas caps named tenants (Request.Tenant, usually set once on
+	// hello): per-tenant in-flight requests and staged wire bytes per
+	// second. A tenant without an entry — and the empty tenant — is
+	// unlimited. Over-quota requests are refused at admission with the
+	// "quota" wire code (ErrQuotaExceeded), before any execution, so the
+	// refusal is always safe to retry. See DESIGN.md §12.
+	TenantQuotas map[string]TenantQuota
+
+	// AdminAddr, when non-empty, serves the HTTP admin surface —
+	// /metrics (Prometheus text format), /healthz (liveness) and /readyz
+	// (readiness) — on that address. AdminListener, when non-nil, serves
+	// it on an existing listener instead (the tests' port-0 seam); the
+	// server owns either and closes it on Close.
+	AdminAddr     string
+	AdminListener net.Listener
 
 	// Checkpoints, when non-nil, enables durable checkpointing: a
 	// background checkpointer writes a generation whenever either trigger
@@ -126,6 +144,13 @@ var ErrUnavailable = errors.New("passd: write quorum unavailable, retry later")
 // the primary's log verbatim, so the only writer is the primary.
 var ErrReadOnly = errors.New("passd: read-only replication follower")
 
+// ErrQuotaExceeded is a per-tenant quota refusal: the request's tenant is
+// over its configured in-flight or staged-bytes/sec cap, and the request
+// was refused at admission — nothing executed, so retrying with backoff
+// (which the client does automatically, exactly as for ErrOverloaded) is
+// always safe. Other tenants are unaffected; that is the point.
+var ErrQuotaExceeded = errors.New("passd: tenant over quota, retry later")
+
 // Server is the query daemon: an accept loop, per-connection goroutines,
 // and a bounded worker pool all queries pass through. Create with Serve,
 // stop with Close.
@@ -153,7 +178,6 @@ type Server struct {
 	queries     atomic.Int64
 	queryErrors atomic.Int64
 	timeouts    atomic.Int64
-	shed        atomic.Int64
 	drains      atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -164,12 +188,24 @@ type Server struct {
 
 	quorumFailures atomic.Int64 // primary: acks refused for lack of quorum
 
+	// Observability and admission (admin.go, quota.go): met owns every
+	// /metrics family — including the per-lane shed counters Stats.Shed is
+	// derived from, so the two surfaces read one set of counters — health
+	// is the /healthz//readyz checker, tenants the per-tenant quota table,
+	// admin the HTTP admin server (nil when not configured).
+	met     *serverMetrics
+	health  *health.Checker
+	tenants *tenantTable
+	admin   *http.Server
+	adminLn net.Listener
+
 	// Checkpointer state: ckptMu serializes checkpoint writes (the
 	// background loop and the verb can race), stopCkpt ends the loop.
 	ckptMu           sync.Mutex
 	stopCkpt         chan struct{}
 	lastCkptGen      atomic.Int64
 	lastCkptRecords  atomic.Int64
+	lastCkptUnixNano atomic.Int64 // when the last checkpoint committed (0 = never)
 	checkpoints      atomic.Int64
 	checkpointErrors atomic.Int64
 }
@@ -309,11 +345,36 @@ func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
 		workers: make(chan struct{}, cfg.Workers),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	s.met = newServerMetrics(s)
+	s.health = health.New()
+	s.tenants = newTenantTable(cfg.TenantQuotas)
+	if p := cfg.Replicate; p != nil {
+		// A primary that cannot reach its write quorum refuses every
+		// durable ack, so it should stop receiving write traffic — a
+		// readiness concern, never a liveness one (restarting it would not
+		// bring the followers back).
+		s.health.AddReadiness("quorum", func() error {
+			connected := 1 // the primary itself
+			for _, f := range p.Followers() {
+				if f.Connected {
+					connected++
+				}
+			}
+			if q := p.Quorum(); connected < q {
+				return fmt.Errorf("%d of %d quorum members reachable", connected, q)
+			}
+			return nil
+		})
+	}
 	if cfg.Recovered != nil && cfg.Recovered.DB != nil {
 		// The recovered generation is the implicit first checkpoint: the
 		// record trigger counts ingestion since it, not since zero.
 		s.lastCkptGen.Store(cfg.Recovered.Gen)
 		s.lastCkptRecords.Store(cfg.Recovered.Records)
+	}
+	if err := s.startAdmin(); err != nil {
+		ln.Close()
+		return nil, err
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -322,6 +383,9 @@ func Serve(w *waldo.Waldo, cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.checkpointLoop()
 	}
+	// Recovery is done, the listeners are bound: the daemon is ready for
+	// traffic (readiness checks such as quorum still gate /readyz).
+	s.health.SetReady(true)
 	return s, nil
 }
 
@@ -384,6 +448,7 @@ func (s *Server) doCheckpoint() (checkpoint.Info, error) {
 	s.checkpoints.Add(1)
 	s.lastCkptGen.Store(info.Gen)
 	s.lastCkptRecords.Store(info.Records)
+	s.lastCkptUnixNano.Store(time.Now().UnixNano())
 	return info, nil
 }
 
@@ -397,6 +462,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	s.health.SetReady(false)
+	if s.admin != nil {
+		s.admin.Close() // also closes the admin listener
 	}
 	if s.stopCkpt != nil {
 		close(s.stopCkpt)
@@ -444,6 +513,12 @@ func (s *Server) acceptLoop() {
 type connState struct {
 	handles map[uint64]*serverObject
 	next    uint64
+
+	// tenant is the connection's tenant identity, set by a hello carrying
+	// one. Written only by the connection's reader goroutine, and read
+	// only there too (the reader resolves each request's effective tenant
+	// before fanning it out), so no lock is needed.
+	tenant string
 }
 
 // open registers an object and returns its wire handle. Handles start at 1
@@ -632,7 +707,8 @@ func (s *Server) handle(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp.Error = "bad request: " + err.Error()
 		} else {
-			resp = s.dispatch(cs, &req)
+			resolveTenant(cs, &req)
+			resp = s.serve(cs, &req, laneLine, len(line))
 		}
 		resp.OK = resp.Error == ""
 		if err := writeJSONResponse(conn, &resp); err != nil {
@@ -714,6 +790,7 @@ func (s *Server) serveFrames(conn net.Conn, br *bufio.Reader, cs *connState) {
 
 	type frameJob struct {
 		stream uint32
+		wire   int
 		req    *Request
 	}
 	var inflight atomic.Int64
@@ -722,8 +799,7 @@ func (s *Server) serveFrames(conn net.Conn, br *bufio.Reader, cs *connState) {
 	go func() {
 		defer close(serialDone)
 		for j := range serialQ {
-			resp := s.dispatch(cs, j.req)
-			resp.OK = resp.Error == ""
+			resp := s.serve(cs, j.req, laneSerial, j.wire)
 			out <- outFrame{j.stream, resp}
 			inflight.Add(-1)
 		}
@@ -758,25 +834,25 @@ func (s *Server) serveFrames(conn net.Conn, br *bufio.Reader, cs *connState) {
 			out <- outFrame{h.stream, Response{Error: "bad request: " + derr.Error()}}
 			continue
 		}
+		resolveTenant(cs, req)
 		if inflight.Add(1) > int64(s.cfg.MaxInFlight) {
 			inflight.Add(-1)
-			s.shed.Add(1)
+			s.met.shed.With(laneConn).Inc()
 			resp := errResponse(fmt.Errorf("overloaded: connection has %d requests in flight: %w", s.cfg.MaxInFlight, ErrOverloaded))
 			out <- outFrame{h.stream, resp}
 			continue
 		}
 		if serialVerb(req.Op) {
-			serialQ <- frameJob{h.stream, req}
+			serialQ <- frameJob{h.stream, h.length, req}
 			continue
 		}
 		wg.Add(1)
-		go func(stream uint32, req *Request) {
+		go func(stream uint32, wire int, req *Request) {
 			defer wg.Done()
-			resp := s.dispatch(cs, req)
-			resp.OK = resp.Error == ""
+			resp := s.serve(cs, req, laneConcurrent, wire)
 			out <- outFrame{stream, resp}
 			inflight.Add(-1)
-		}(h.stream, req)
+		}(h.stream, h.length, req)
 	}
 	// Teardown: the writer keeps consuming until both lanes finish, so
 	// no in-flight dispatch can block on a full out channel.
@@ -813,6 +889,76 @@ func (s *Server) ConnCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.conns)
+}
+
+// Dispatch lanes, as the per-lane in-flight gauge and shed counters label
+// them: "line" is the v1/v2 one-request-at-a-time JSON loop, "serial" and
+// "concurrent" are protocol v3's two execution lanes, "queue" is the
+// worker pool's wait queue and "conn" the per-connection v3 in-flight cap
+// (the last two only shed, they never execute).
+const (
+	laneLine       = "line"
+	laneSerial     = "serial"
+	laneConcurrent = "concurrent"
+	laneQueue      = "queue"
+	laneConn       = "conn"
+)
+
+// verbLabel maps a wire op onto the bounded verb label set the per-verb
+// metric families use — unknown ops collapse into "unknown" so a peer
+// spraying garbage cannot grow label cardinality without bound.
+func verbLabel(op string) string {
+	switch op := strings.ToLower(op); op {
+	case "query", "explain", "stats", "drain", "checkpoint", "ping", "hello",
+		"append", "mkobj", "revive", "read", "write", "freeze", "sync", "close",
+		"batch", "repljoin", "replstate", "replappend":
+		return op
+	}
+	return "unknown"
+}
+
+// resolveTenant pins req's effective tenant before fan-out: a hello
+// carrying one renames the connection, and any other request inherits the
+// connection's tenant unless it names its own. Must run on the
+// connection's reader goroutine — connState.tenant is unsynchronized by
+// design (see connState).
+func resolveTenant(cs *connState, req *Request) {
+	if req.Tenant != "" && strings.EqualFold(req.Op, "hello") {
+		cs.tenant = req.Tenant
+	}
+	if req.Tenant == "" {
+		req.Tenant = cs.tenant
+	}
+}
+
+// serve runs one decoded request through the full instrumented serving
+// path: tenant quota admission first (an over-quota request is refused
+// with the "quota" code before anything executes or counts as served),
+// then per-verb request/latency/error accounting and the per-lane
+// in-flight gauge around dispatch. wireBytes is the request's encoded
+// size on the wire — the unit the staged-bytes/sec tenant quota charges
+// for record-staging verbs. Every execution lane funnels through here, so
+// /metrics, STATS and the wire all describe the same requests.
+func (s *Server) serve(cs *connState, req *Request, lane string, wireBytes int) Response {
+	verb := verbLabel(req.Op)
+	release, err := s.admitTenant(req.Tenant, verb, wireBytes)
+	if err != nil {
+		resp := errResponse(err)
+		resp.OK = false
+		return resp
+	}
+	defer release()
+	s.met.requests.With(verb).Inc()
+	s.met.inflight.With(lane).Add(1)
+	start := time.Now()
+	resp := s.dispatch(cs, req)
+	s.met.latency.With(verb).Observe(time.Since(start).Seconds())
+	s.met.inflight.With(lane).Add(-1)
+	if resp.Error != "" {
+		s.met.requestErrors.With(verb).Inc()
+	}
+	resp.OK = resp.Error == ""
+	return resp
 }
 
 func (s *Server) dispatch(cs *connState, req *Request) Response {
@@ -912,6 +1058,8 @@ func errResponse(err error) Response {
 		resp.Code = codeUnavail
 	case errors.Is(err, ErrReadOnly):
 		resp.Code = codeReadOnly
+	case errors.Is(err, ErrQuotaExceeded):
+		resp.Code = codeQuota
 	case errors.Is(err, replica.ErrGap):
 		resp.Code = codeGap
 	}
@@ -936,11 +1084,18 @@ func dpapiCommits(op string) bool {
 // after this reply (a hello re-sent on an already-framed connection
 // just reports the version again — there is no downgrade).
 func (s *Server) doHello(req *Request) Response {
-	v := req.Version
-	if v <= 0 || v > s.cfg.MaxVersion {
-		v = s.cfg.MaxVersion
+	return Response{Version: negotiateVersion(req.Version, s.cfg.MaxVersion), Volume: s.reg.prefix}
+}
+
+// negotiateVersion picks the protocol version for a hello asking for v
+// against a server capped at maxV: min of the two, where a missing or
+// absurd ask means "the server's best". Pure so the envelope fuzzer can
+// pin its invariant (the answer is always in [1, maxV]) directly.
+func negotiateVersion(v, maxV int) int {
+	if v <= 0 || v > maxV {
+		return maxV
 	}
-	return Response{Version: v, Volume: s.reg.prefix}
+	return v
 }
 
 // execDPAPI runs one DPAPI op against the connection's handle table. It
@@ -1163,7 +1318,10 @@ func (s *Server) ackDurable() error {
 		if err != nil {
 			return err
 		}
-		if err := p.Commit(size); err != nil {
+		start := time.Now()
+		err = p.Commit(size)
+		s.met.replCommit.Observe(time.Since(start).Seconds())
+		if err != nil {
 			s.quorumFailures.Add(1)
 			return fmt.Errorf("%w (%v)", ErrUnavailable, err)
 		}
@@ -1193,7 +1351,7 @@ func dpapiError(err error) Response {
 func (s *Server) acquireWorker() func() {
 	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
 		s.waiting.Add(-1)
-		s.shed.Add(1)
+		s.met.shed.With(laneQueue).Inc()
 		return nil
 	}
 	s.workers <- struct{}{}
@@ -1324,7 +1482,7 @@ func (s *Server) snapshotStats() *Stats {
 		Queries:     s.queries.Load(),
 		QueryErrors: s.queryErrors.Load(),
 		Timeouts:    s.timeouts.Load(),
-		Shed:        s.shed.Load(),
+		Shed:        s.met.shed.Total(),
 		Drains:      s.drains.Load(),
 		Conns:       int64(s.ConnCount()),
 		V3Conns:     s.v3Conns.Load(),
@@ -1344,6 +1502,10 @@ func (s *Server) snapshotStats() *Stats {
 		Revives: s.revives.Load(),
 		Batches: s.batches.Load(),
 		Objects: s.reg.count(),
+
+		Verbs:         s.met.verbCounts(),
+		QuotaRefusals: s.met.quotaRefused.Total(),
+		Tenants:       s.met.tenantSnapshot(),
 	}
 	if p := s.cfg.Replicate; p != nil {
 		st.Role = "primary"

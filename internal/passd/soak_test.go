@@ -1,0 +1,255 @@
+package passd
+
+// Randomized multiplexing soak: many concurrent sessions drive mixed
+// verbs over shared v3 connections while the network is repeatedly cut
+// underneath them (kills, torn frames, blackholes, partitions). The test
+// asserts the mux invariants the protocol's correctness rests on:
+//
+//   - stream IDs are never reused while a connection lives (per-mux
+//     m.next only grows),
+//   - a poisoned mux leaks no waiters (fail drains the table),
+//   - every caller gets exactly one terminal answer — success or error —
+//     never a hang (the workers' WaitGroup finishes under a watchdog),
+//   - after the faults heal, the same daemon still answers and returns
+//     results identical to the pre-fault evaluation.
+//
+// Runs ~4s by default (1s under -short); PASSD_SOAK_SECS overrides:
+// PASSD_SOAK_SECS=30 go test -race -run TestMuxFaultSoak ./internal/passd
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"passv2/internal/pnode"
+	"passv2/internal/record"
+)
+
+// soakBatch builds a small disclosure bundle private to one worker, off
+// in pnode space where it cannot perturb the ancestry query the test
+// re-checks after healing.
+func soakBatch(worker, round int) []record.Record {
+	ref := pnode.Ref{PNode: pnode.PNode(uint64(1<<40) + uint64(worker)<<20 + uint64(round)), Version: 1}
+	return []record.Record{
+		record.New(ref, record.AttrName, record.StringVal(fmt.Sprintf("/soak/%d/%d", worker, round))),
+		record.New(ref, record.AttrType, record.StringVal(record.TypeFile)),
+	}
+}
+
+func soakSeconds(t *testing.T) float64 {
+	if env := os.Getenv("PASSD_SOAK_SECS"); env != "" {
+		secs, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("bad PASSD_SOAK_SECS %q: %v", env, err)
+		}
+		return secs
+	}
+	if testing.Short() {
+		return 1
+	}
+	return 4
+}
+
+func TestMuxFaultSoak(t *testing.T) {
+	secs := soakSeconds(t)
+	w, query := testWaldo(64)
+	srv, flt := startFaultyServer(t, w, Config{})
+
+	const nClients = 4
+	const nWorkers = 24
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		c, err := DialOptions(srv.Addr(), Options{
+			MaxRetries:     8,
+			RetryBase:      2 * time.Millisecond,
+			RetryMax:       50 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+			DeadlineGrace:  500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("dial client %d: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+	}
+
+	// Ground truth before any fault is injected.
+	res, err := clients[0].Query(query)
+	if err != nil {
+		t.Fatalf("pre-fault query: %v", err)
+	}
+	expected := res.Format()
+
+	deadline := time.Now().Add(time.Duration(secs * float64(time.Second)))
+
+	// Mux observer: samples every client's live mux and asserts stream
+	// IDs only ever grow. Muxes retired by redials stay in the map for
+	// the post-soak leak check.
+	type muxSample struct {
+		lastNext uint32
+	}
+	seen := make(map[*clientMux]*muxSample)
+	obsDone := make(chan struct{})
+	sample := func() {
+		for _, c := range clients {
+			c.mu.Lock()
+			m := c.mux
+			c.mu.Unlock()
+			if m == nil {
+				continue
+			}
+			m.mu.Lock()
+			next := m.next
+			m.mu.Unlock()
+			s, ok := seen[m]
+			if !ok {
+				seen[m] = &muxSample{lastNext: next}
+				continue
+			}
+			if next < s.lastNext {
+				t.Errorf("stream counter went backwards on a live mux: %d -> %d (stream-ID reuse)", s.lastNext, next)
+			}
+			s.lastNext = next
+		}
+	}
+	go func() {
+		defer close(obsDone)
+		for time.Now().Before(deadline.Add(100 * time.Millisecond)) {
+			sample()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Fault injector: a rolling sequence of cuts with short heals between
+	// them, so connections keep dying mid-flight and redialing.
+	faultsDone := make(chan struct{})
+	go func() {
+		defer close(faultsDone)
+		rng := rand.New(rand.NewSource(7))
+		for time.Now().Before(deadline) {
+			time.Sleep(time.Duration(40+rng.Intn(120)) * time.Millisecond)
+			switch rng.Intn(5) {
+			case 0:
+				flt.KillConns()
+			case 1:
+				flt.TearAfter(int64(200 + rng.Intn(4000)))
+			case 2:
+				flt.BlackholeWrites(true)
+			case 3:
+				flt.Partition(true)
+			case 4:
+				flt.SetWriteDelay(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+			}
+			time.Sleep(time.Duration(20+rng.Intn(80)) * time.Millisecond)
+			flt.Heal()
+		}
+		flt.Heal()
+	}()
+
+	// The swarm: workers deal mixed verbs across the shared clients.
+	// Errors are expected — connections are being cut — but every call
+	// must return, and the WaitGroup below proves each caller got exactly
+	// one terminal answer.
+	var ops, fails int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < nWorkers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + wkr)))
+			c := clients[wkr%nClients]
+			var nOps, nFails int64
+			for round := 0; time.Now().Before(deadline); round++ {
+				var err error
+				switch rng.Intn(6) {
+				case 0:
+					err = c.Ping()
+				case 1:
+					_, err = c.Query(query)
+				case 2:
+					_, err = c.Query("select ! syntax error !") // server-side refusal path
+					err = nil                                   // a parse error IS a terminal answer
+				case 3:
+					_, err = c.Stats()
+				case 4:
+					_, err = c.Explain(query)
+				case 5:
+					err = c.AppendProvenance(soakBatch(wkr, round))
+				}
+				nOps++
+				if err != nil {
+					nFails++
+				}
+			}
+			mu.Lock()
+			ops += nOps
+			fails += nFails
+			mu.Unlock()
+		}(wkr)
+	}
+
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+	select {
+	case <-workersDone:
+	case <-time.After(time.Duration(secs*float64(time.Second)) + 60*time.Second):
+		t.Fatal("soak workers hung: some caller never received a terminal answer")
+	}
+	<-faultsDone
+	<-obsDone
+	flt.Heal()
+
+	if ops == 0 {
+		t.Fatal("soak made no calls")
+	}
+	if fails == ops {
+		t.Fatalf("all %d soak calls failed; the client never made progress between faults", ops)
+	}
+	t.Logf("soak: %d calls, %d failed terminally, %d muxes observed", ops, fails, len(seen))
+
+	// Recovery: the healed daemon must answer with the pre-fault result.
+	var after string
+	for i := 0; ; i++ {
+		res, err := clients[0].Query(query)
+		if err == nil {
+			after = res.Format()
+			break
+		}
+		if i >= 20 {
+			t.Fatalf("query never recovered after heal: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if after != expected {
+		t.Fatalf("post-soak query result differs from pre-fault evaluation:\nbefore: %s\nafter:  %s", expected, after)
+	}
+
+	// Leak check: take one final sample, then audit every mux this soak
+	// ever saw. Live muxes must be idle (no leaked waiters after
+	// quiesce); poisoned muxes must have drained their waiter tables.
+	sample()
+	live := make(map[*clientMux]bool)
+	for _, c := range clients {
+		c.mu.Lock()
+		if c.mux != nil {
+			live[c.mux] = true
+		}
+		c.mu.Unlock()
+	}
+	for m := range seen {
+		m.mu.Lock()
+		waiters, muxErr := len(m.waiters), m.err
+		m.mu.Unlock()
+		if waiters != 0 {
+			t.Errorf("mux (live=%v, err=%v) leaked %d waiters after quiesce", live[m], muxErr, waiters)
+		}
+		if !live[m] && muxErr == nil {
+			t.Errorf("retired mux was replaced without being poisoned")
+		}
+	}
+}
