@@ -85,6 +85,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for durable checkpoints (enables crash recovery)")
 	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "elapsed-time checkpoint trigger")
 	ckptRecords := flag.Int64("checkpoint-records", 50000, "records-ingested checkpoint trigger (0 = interval only)")
+	ckptFullEvery := flag.Int("checkpoint-full-every", 8, "write a full snapshot every N checkpoint generations and cheap deltas in between (<=1 = always full)")
 	retain := flag.Int("retain", checkpoint.DefaultRetain, "checkpoint generations to keep")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max queries waiting for a worker before shedding (0 = 4x workers)")
@@ -254,21 +255,22 @@ func main() {
 	}
 
 	srv, err := passd.Serve(w, passd.Config{
-		Addr:               *addr,
-		Workers:            *workers,
-		MaxQueue:           *queue,
-		DefaultTimeout:     *timeout,
-		MaxTimeout:         *maxTimeout,
-		Checkpoints:        store,
-		CheckpointInterval: *ckptInterval,
-		CheckpointEvery:    *ckptRecords,
-		Append:             appendFn,
-		Sync:               syncFn,
-		Recovered:          rec,
-		Replicate:          prim,
-		Follower:           flog,
-		AdminAddr:          *admin,
-		TenantQuotas:       quotas,
+		Addr:                *addr,
+		Workers:             *workers,
+		MaxQueue:            *queue,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		Checkpoints:         store,
+		CheckpointInterval:  *ckptInterval,
+		CheckpointEvery:     *ckptRecords,
+		CheckpointFullEvery: *ckptFullEvery,
+		Append:              appendFn,
+		Sync:                syncFn,
+		Recovered:           rec,
+		Replicate:           prim,
+		Follower:            flog,
+		AdminAddr:           *admin,
+		TenantQuotas:        quotas,
 	})
 	die(err)
 	records, _, _ := db.Stats()

@@ -31,6 +31,14 @@ type RecoverResult struct {
 	FromCkptSecs  float64 `json:"from_checkpoint_secs"`
 	Speedup       float64 `json:"speedup"`
 	Verified      bool    `json:"verified"` // recovered DB byte-identical to re-ingested DB
+
+	// Incremental arm: after the tail is drained, the same state is
+	// committed again as a delta generation against the pinned full — the
+	// steady-state shape of a long-running daemon, where the change set
+	// between checkpoints is small relative to the database.
+	FullWriteSecs  float64 `json:"full_write_secs"`  // time to commit the full generation
+	DeltaBytes     int64   `json:"delta_bytes"`      // delta generation payload size
+	DeltaWriteSecs float64 `json:"delta_write_secs"` // time to commit the delta generation
 }
 
 // Recover measures restart cost: ingest `records` provenance records from
@@ -74,10 +82,12 @@ func Recover(records, tail int) (RecoverResult, error) {
 	if err != nil {
 		return res, err
 	}
-	info, err := store.Write(w.CheckpointState())
+	start := time.Now()
+	info, err := store.Write(w.CheckpointState(), checkpoint.Policy{})
 	if err != nil {
 		return res, err
 	}
+	res.FullWriteSecs = time.Since(start).Seconds()
 	res.Records = info.Records
 	res.SnapshotBytes = info.SnapshotBytes
 	if err := appendRecords(records, tail); err != nil {
@@ -105,7 +115,7 @@ func Recover(records, tail int) (RecoverResult, error) {
 	zero := waldo.New()
 	zero.Attach(waldo.NewLogVolume("vol", lower, zeroLog))
 	runtime.GC() // each phase pays only for its own garbage
-	start := time.Now()
+	start = time.Now()
 	if err := zero.Drain(); err != nil {
 		return res, err
 	}
@@ -156,6 +166,39 @@ func Recover(records, tail int) (RecoverResult, error) {
 	if !res.Verified {
 		return res, fmt.Errorf("bench: recovered database differs from from-zero re-ingest")
 	}
+
+	// Incremental arm: drain the tail into the live Waldo and commit the
+	// result as a delta against the pinned full generation, then prove a
+	// chain recovery reproduces the same bytes.
+	if err := w.Drain(); err != nil {
+		return res, err
+	}
+	start = time.Now()
+	dinfo, err := store.Write(w.CheckpointState(), checkpoint.Policy{FullEvery: 1 << 20})
+	if err != nil {
+		return res, err
+	}
+	res.DeltaWriteSecs = time.Since(start).Seconds()
+	if dinfo.Kind != checkpoint.KindDelta {
+		return res, fmt.Errorf("bench: steady-state checkpoint fell back to a %v generation", dinfo.Kind)
+	}
+	res.DeltaBytes = dinfo.SnapshotBytes
+	chain, err := store.Load()
+	if err != nil {
+		return res, err
+	}
+	if chain.DB == nil || chain.Gen != dinfo.Gen || len(chain.Chain) != 2 {
+		return res, fmt.Errorf("bench: chain recovery landed on gen %d (chain %v), want delta gen %d",
+			chain.Gen, chain.Chain, dinfo.Gen)
+	}
+	var hb bytes.Buffer
+	if err := chain.DB.Save(&hb); err != nil {
+		return res, err
+	}
+	if !bytes.Equal(hb.Bytes(), zb.Bytes()) {
+		res.Verified = false
+		return res, fmt.Errorf("bench: full+delta chain recovery differs from from-zero re-ingest")
+	}
 	return res, nil
 }
 
@@ -169,4 +212,7 @@ func PrintRecover(w io.Writer, r RecoverResult) {
 	fmt.Fprintf(w, "  recovery:   %8.3fs  (snapshot load + %d-byte tail replay, %d records)\n",
 		r.FromCkptSecs, r.ReplayedBytes, r.ReplayedRecs)
 	fmt.Fprintf(w, "  speedup:    %8.1fx  (verified byte-identical: %v)\n", r.Speedup, r.Verified)
+	fmt.Fprintf(w, "  delta:      %d bytes in %.3fs vs %d-byte full in %.3fs (%.1f%% of full)\n",
+		r.DeltaBytes, r.DeltaWriteSecs, r.SnapshotBytes, r.FullWriteSecs,
+		100*float64(r.DeltaBytes)/float64(r.SnapshotBytes))
 }

@@ -27,6 +27,16 @@ func TestRecoverShape(t *testing.T) {
 	if res.SnapshotBytes <= 0 || res.FromZeroSecs <= 0 || res.FromCkptSecs <= 0 {
 		t.Fatalf("degenerate timings/sizes: %+v", res)
 	}
+	// Incremental arm: the steady-state delta covers only the tail's
+	// changes, so it must come in well under the full snapshot — the same
+	// 5x margin CI gates the full-size run on.
+	if res.DeltaBytes <= 0 || res.DeltaWriteSecs <= 0 || res.FullWriteSecs <= 0 {
+		t.Fatalf("incremental arm not measured: %+v", res)
+	}
+	if res.DeltaBytes*5 > res.SnapshotBytes {
+		t.Fatalf("delta generation is %d bytes against a %d-byte full; want <= 1/5",
+			res.DeltaBytes, res.SnapshotBytes)
+	}
 	var buf bytes.Buffer
 	PrintRecover(&buf, res)
 	if buf.Len() == 0 {

@@ -13,20 +13,32 @@
 // On-disk layout, one generation per checkpoint (gen = the database's
 // batch generation, monotonic across restarts via waldo.DB.RestoreGen):
 //
-//	ckpt-<gen16x>.db    kvdb snapshot stream (waldo.ReadView.Save)
-//	ckpt-<gen16x>.meta  manifest: magic, gen, record count, snapshot
-//	                    size+CRC, per-volume offsets and pending
-//	                    transactions, trailing CRC-32 over the whole file
+//	ckpt-<gen16x>.db     full kvdb snapshot stream (waldo.ReadView.Save)
+//	ckpt-<gen16x>.delta  delta stream against an earlier generation
+//	                     (waldo.ReadView.SaveDelta) — O(changed keys)
+//	ckpt-<gen16x>.meta   manifest: magic, gen, kind (full|delta), base
+//	                     gen, record count, payload size+CRC, per-volume
+//	                     offsets and pending transactions, trailing
+//	                     CRC-32 over the whole file
+//
+// A generation is either full (self-contained) or a delta whose manifest
+// names the generation it applies on top of (BaseGen, always the
+// immediately preceding generation). Chains are bounded by the write
+// policy (Policy.FullEvery) and always terminate in a full generation.
 //
 // Commit protocol: both files are written to tmp- names, fsynced, and
-// renamed into place — snapshot first, manifest last, directory synced
+// renamed into place — payload first, manifest last, directory synced
 // after each rename. The manifest rename is the commit point: a crash
 // anywhere earlier leaves at worst a stale tmp file or an orphaned
-// snapshot, both invisible to recovery and collected by the next
-// retention sweep. Load walks generations newest-first and falls back
-// across corrupt or torn ones (bad magic, bad CRC, truncated snapshot,
-// missing files), reporting everything it skipped; it never serves a
-// half-loaded database.
+// payload, both invisible to recovery and collected by the next
+// retention sweep. Load walks committed generations newest-first,
+// composing each candidate's base+delta chain down to its full
+// generation; any corrupt or torn link (bad magic, bad CRC, truncated
+// payload, missing files, missing base) skips the whole candidate and
+// recovery falls back toward the previous full generation, reporting
+// everything it skipped per generation; it never serves a half-loaded
+// database. Retention keeps whole chains: a base is never dropped while
+// a retained delta still references it.
 //
 // The store works over any vfs.FS: a MemFS under the fault-injection
 // wrapper (vfs.FaultFS) for the crash-equivalence sweep, a vfs.DirFS for
@@ -44,18 +56,47 @@ import (
 	"passv2/internal/waldo"
 )
 
-// metaMagic heads every manifest file.
-var metaMagic = []byte("PASSCKPT1\n")
+// metaMagicV1 headed manifests before delta generations existed; those
+// stores still decode (every v1 generation is a full one).
+var metaMagicV1 = []byte("PASSCKPT1\n")
+
+// metaMagic heads every manifest file written today.
+var metaMagic = []byte("PASSCKPT2\n")
 
 // ErrBadManifest reports an unreadable or corrupt manifest.
 var ErrBadManifest = errors.New("checkpoint: bad manifest")
 
+// Kind says how a generation's payload encodes the database.
+type Kind uint8
+
+const (
+	// KindFull is a self-contained snapshot (ckpt-*.db).
+	KindFull Kind = iota
+	// KindDelta is a diff against the generation named by the manifest's
+	// BaseGen (ckpt-*.delta).
+	KindDelta
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
 // manifest is the decoded form of a ckpt-*.meta file. Records, ProvBytes
 // and IdxBytes are the pinned database counters: recovery seeds the loaded
 // database with them (waldo.LoadCheckpoint) instead of recomputing them
-// with full-store scans.
+// with full-store scans. For a delta generation they describe the state
+// after the delta is applied, so a chain's head manifest alone seeds the
+// composed database.
 type manifest struct {
 	Gen       int64
+	Kind      Kind
+	BaseGen   int64
 	Records   int64
 	ProvBytes int64
 	IdxBytes  int64
@@ -68,6 +109,8 @@ type manifest struct {
 func encodeManifest(m *manifest) []byte {
 	out := append([]byte(nil), metaMagic...)
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.Gen))
+	out = append(out, byte(m.Kind))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.BaseGen))
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.Records))
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.ProvBytes))
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.IdxBytes))
@@ -101,12 +144,14 @@ func encodeManifest(m *manifest) []byte {
 	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 }
 
-// decodeManifest parses and validates a manifest file image.
+// decodeManifest parses and validates a manifest file image, accepting
+// both the current format and the pre-delta v1 layout.
 func decodeManifest(data []byte) (*manifest, error) {
 	if len(data) < len(metaMagic)+4 {
 		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrBadManifest, len(data))
 	}
-	if string(data[:len(metaMagic)]) != string(metaMagic) {
+	v1 := string(data[:len(metaMagicV1)]) == string(metaMagicV1)
+	if !v1 && string(data[:len(metaMagic)]) != string(metaMagic) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
@@ -114,13 +159,24 @@ func decodeManifest(data []byte) (*manifest, error) {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadManifest)
 	}
 	d := &mdecoder{buf: body, off: len(metaMagic)}
-	m := &manifest{
-		Gen:       int64(d.u64()),
-		Records:   int64(d.u64()),
-		ProvBytes: int64(d.u64()),
-		IdxBytes:  int64(d.u64()),
-		SnapSize:  int64(d.u64()),
-		SnapCRC:   d.u32(),
+	m := &manifest{Gen: int64(d.u64())}
+	if !v1 {
+		m.Kind = Kind(d.u8())
+		m.BaseGen = int64(d.u64())
+	}
+	m.Records = int64(d.u64())
+	m.ProvBytes = int64(d.u64())
+	m.IdxBytes = int64(d.u64())
+	m.SnapSize = int64(d.u64())
+	m.SnapCRC = d.u32()
+	switch {
+	case d.err != nil:
+	case m.Kind > KindDelta:
+		return nil, fmt.Errorf("%w: unknown generation kind %d", ErrBadManifest, m.Kind)
+	case m.Kind == KindDelta && m.BaseGen >= m.Gen:
+		return nil, fmt.Errorf("%w: delta base gen %d not older than gen %d", ErrBadManifest, m.BaseGen, m.Gen)
+	case m.Kind == KindFull && m.BaseGen != 0:
+		return nil, fmt.Errorf("%w: full generation names base gen %d", ErrBadManifest, m.BaseGen)
 	}
 	nVols := d.uvarint()
 	for i := uint64(0); i < nVols && d.err == nil; i++ {
@@ -173,6 +229,15 @@ func (d *mdecoder) need(n int) bool {
 		return false
 	}
 	return true
+}
+
+func (d *mdecoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
 }
 
 func (d *mdecoder) u32() uint32 {

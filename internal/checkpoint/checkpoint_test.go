@@ -100,7 +100,7 @@ func buildTwoGens(t *testing.T, ckfs vfs.FS) (*vfs.MemFS, *Store, []byte) {
 	if err := wd.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Write(wd.CheckpointState()); err != nil {
+	if _, err := store.Write(wd.CheckpointState(), Policy{}); err != nil {
 		t.Fatal(err)
 	}
 	appendWorkload(t, rng, log, 400, 300, 0)
@@ -110,7 +110,7 @@ func buildTwoGens(t *testing.T, ckfs vfs.FS) (*vfs.MemFS, *Store, []byte) {
 	if err := wd.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Write(wd.CheckpointState()); err != nil {
+	if _, err := store.Write(wd.CheckpointState(), Policy{}); err != nil {
 		t.Fatal(err)
 	}
 	return lower, store, dbBytes(t, wd.DB)
@@ -187,7 +187,7 @@ func TestRecoveryProportionalWork(t *testing.T) {
 	if err := wd.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Write(wd.CheckpointState()); err != nil {
+	if _, err := store.Write(wd.CheckpointState(), Policy{}); err != nil {
 		t.Fatal(err)
 	}
 	appendWorkload(t, rng, log, 2000, 50, 0)
@@ -377,7 +377,7 @@ func TestSweepRetention(t *testing.T) {
 		if err := vfs.WriteFile(ckfs, "/ck/tmp-ckpt-0000000000000001.db", []byte("junk")); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := store.Write(wd.CheckpointState()); err != nil {
+		if _, err := store.Write(wd.CheckpointState(), Policy{}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -77,7 +77,7 @@ func runScenario(t *testing.T, seed, k int64) (*vfs.MemFS, *vfs.FaultFS, *vfs.Me
 	if err := wd.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Write(wd.CheckpointState()); err != nil {
+	if _, err := store.Write(wd.CheckpointState(), Policy{}); err != nil {
 		if !errors.Is(err, vfs.ErrInjectedCrash) {
 			t.Fatalf("checkpoint 1 failed for a non-crash reason: %v", err)
 		}
@@ -90,7 +90,7 @@ func runScenario(t *testing.T, seed, k int64) (*vfs.MemFS, *vfs.FaultFS, *vfs.Me
 	if err := wd.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Write(wd.CheckpointState()); err != nil {
+	if _, err := store.Write(wd.CheckpointState(), Policy{}); err != nil {
 		if !errors.Is(err, vfs.ErrInjectedCrash) {
 			t.Fatalf("checkpoint 2 failed for a non-crash reason: %v", err)
 		}

@@ -1,0 +1,250 @@
+package kvdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// saveView serializes a view's full image.
+func saveView(t *testing.T, v *View) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// applyRandom mutates db with n random operations drawn from rng: inserts,
+// overwrites, and — crucially for tombstone coverage — deletes of existing
+// keys, tracked in live.
+func applyRandom(rng *rand.Rand, db *DB, live map[string]bool, n int) (dels int) {
+	for i := 0; i < n; i++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // insert (or collide into an overwrite)
+			k := fmt.Sprintf("k%06d", rng.Intn(50000))
+			db.Set(k, []byte(fmt.Sprintf("v%d", rng.Int63())))
+			live[k] = true
+		case op < 8: // overwrite an existing key
+			if k, ok := anyKey(rng, live); ok {
+				db.Set(k, []byte(fmt.Sprintf("w%d", rng.Int63())))
+			}
+		default: // delete an existing key
+			if k, ok := anyKey(rng, live); ok {
+				db.Delete(k)
+				delete(live, k)
+				dels++
+			}
+		}
+	}
+	return dels
+}
+
+func anyKey(rng *rand.Rand, live map[string]bool) (string, bool) {
+	if len(live) == 0 {
+		return "", false
+	}
+	i := rng.Intn(len(live))
+	for k := range live {
+		if i == 0 {
+			return k, true
+		}
+		i--
+	}
+	return "", false
+}
+
+// TestDeltaRoundTrip sweeps random workloads: base image + delta must
+// reproduce the current image byte-for-byte, across inserts, overwrites
+// and enough deletes that tombstones are genuinely exercised.
+func TestDeltaRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			db := New()
+			live := map[string]bool{}
+			applyRandom(rng, db, live, 3000+rng.Intn(2000))
+			base := db.View()
+			baseImg := saveView(t, base)
+
+			dels := applyRandom(rng, db, live, 500+rng.Intn(500))
+			cur := db.View()
+			if cur.Epoch() <= base.Epoch() {
+				t.Fatalf("epochs not monotonic: base %d, cur %d", base.Epoch(), cur.Epoch())
+			}
+
+			var delta bytes.Buffer
+			st, err := cur.SaveDelta(base, &delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dels > 0 && st.Deletes == 0 {
+				t.Fatalf("workload deleted %d keys but the delta carries no tombstones", dels)
+			}
+
+			re, err := LoadBytes(append([]byte(nil), baseImg...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ast, err := ApplyDelta(re, bytes.NewReader(delta.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ast != st {
+				t.Fatalf("applied %+v ops, delta saved %+v", ast, st)
+			}
+			if got, want := saveView(t, re.View()), saveView(t, cur); !bytes.Equal(got, want) {
+				t.Fatalf("base+delta image differs from current image (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestDeltaChain composes a full image with several consecutive deltas —
+// the shape a checkpoint chain recovers — and requires byte identity at
+// the end.
+func TestDeltaChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db := New()
+	live := map[string]bool{}
+	applyRandom(rng, db, live, 4000)
+	base := db.View()
+	full := saveView(t, base)
+
+	var deltas [][]byte
+	for i := 0; i < 4; i++ {
+		applyRandom(rng, db, live, 400)
+		cur := db.View()
+		var buf bytes.Buffer
+		if _, err := cur.SaveDelta(base, &buf); err != nil {
+			t.Fatal(err)
+		}
+		deltas = append(deltas, buf.Bytes())
+		base = cur
+	}
+	want := saveView(t, db.View())
+
+	re, err := LoadBytes(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range deltas {
+		if _, err := ApplyDeltaBytes(re, d); err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+	}
+	if got := saveView(t, re.View()); !bytes.Equal(got, want) {
+		t.Fatal("full+delta-chain image differs from the live image")
+	}
+}
+
+// TestDeltaBaseIdentity pins the same-process identity contract: a base
+// from another DB value (including a reload of identical data) or a base
+// newer than the view must be refused before anything is written.
+func TestDeltaBaseIdentity(t *testing.T) {
+	db := New()
+	db.Set("a", []byte("1"))
+	v1 := db.View()
+	db.Set("b", []byte("2"))
+	v2 := db.View()
+
+	var buf bytes.Buffer
+	if _, err := v1.SaveDelta(v2, &buf); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("newer base accepted: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed SaveDelta wrote %d bytes", buf.Len())
+	}
+
+	other := New()
+	other.Set("a", []byte("1"))
+	if _, err := v2.SaveDelta(other.View(), &buf); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("foreign base accepted: %v", err)
+	}
+
+	// A reloaded incarnation holds the same data but is a different DB:
+	// its epochs are unrelated, so it cannot serve as a base.
+	img := saveView(t, v1)
+	re, err := LoadBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.SaveDelta(re.View(), &buf); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("reloaded base accepted: %v", err)
+	}
+
+	// Self-delta: legal and empty.
+	buf.Reset()
+	st, err := v2.SaveDelta(v2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sets != 0 || st.Deletes != 0 {
+		t.Fatalf("self-delta carries ops: %+v", st)
+	}
+}
+
+// TestDeltaProportional is the size contract behind incremental
+// checkpoints: a small tail of changes over a large database must produce
+// a delta far smaller than the full snapshot.
+func TestDeltaProportional(t *testing.T) {
+	db := New()
+	for i := 0; i < 60000; i++ {
+		db.Set(fmt.Sprintf("key-%08d", i), []byte(fmt.Sprintf("value-%d", i)))
+	}
+	base := db.View()
+	for i := 0; i < 500; i++ {
+		db.Set(fmt.Sprintf("key-%08d", i*117%60000), []byte("changed"))
+	}
+	cur := db.View()
+	full := cur.SnapshotSize()
+	if got := int64(len(saveView(t, cur))); got != full {
+		t.Fatalf("SnapshotSize says %d, Save wrote %d", full, got)
+	}
+	var delta bytes.Buffer
+	if _, err := cur.SaveDelta(base, &delta); err != nil {
+		t.Fatal(err)
+	}
+	if int64(delta.Len())*5 > full {
+		t.Fatalf("delta %d bytes vs full %d: not under 1/5", delta.Len(), full)
+	}
+}
+
+// TestDeltaCorrupt sweeps malformed delta streams: truncations at every
+// boundary, a bad trailer count, trailing garbage and a flipped magic must
+// all fail cleanly, never panic.
+func TestDeltaCorrupt(t *testing.T) {
+	db := New()
+	db.Set("alpha", []byte("1"))
+	base := db.View()
+	db.Set("beta", []byte("2"))
+	db.Delete("alpha")
+	var buf bytes.Buffer
+	if _, err := db.View().SaveDelta(base, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for cut := 0; cut < len(good); cut++ {
+		fresh := New()
+		fresh.Set("alpha", []byte("1"))
+		if _, err := ApplyDeltaBytes(fresh, append([]byte(nil), good[:cut]...)); !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("truncation at %d not rejected: %v", cut, err)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff // trailer delete-count
+	if _, err := ApplyDeltaBytes(New(), bad); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("bad trailer count not rejected: %v", err)
+	}
+	if _, err := ApplyDeltaBytes(New(), append(append([]byte(nil), good...), 0)); !errors.Is(err, ErrBadDelta) {
+		t.Fatal("trailing garbage not rejected")
+	}
+	bad = append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := ApplyDeltaBytes(New(), bad); !errors.Is(err, ErrBadDelta) {
+		t.Fatal("bad magic not rejected")
+	}
+}

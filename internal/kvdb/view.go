@@ -13,6 +13,16 @@ import "strings"
 // references: dropping the View releases the frozen nodes to the garbage
 // collector. Values returned by a View must not be modified.
 type View struct {
+	// db identifies the store the view was pinned from: SaveDelta refuses
+	// a base view of a different store (or of a different incarnation of
+	// the "same" store after a restart), because epoch comparisons are
+	// meaningful only within one DB's lifetime.
+	db *DB
+	// epoch is the store's write epoch after the pin's bump: every node
+	// mutated after this view was taken carries an epoch >= this value,
+	// while every node the view can reach carries a smaller one. That
+	// ordering is what lets SaveDelta prune unchanged subtrees.
+	epoch    uint64
 	root     *node
 	count    int
 	keyBytes int64
@@ -25,11 +35,26 @@ func (db *DB) View() *View {
 	defer db.mu.Unlock()
 	db.epoch++
 	return &View{
+		db:       db,
+		epoch:    db.epoch,
 		root:     db.root,
 		count:    db.count,
 		keyBytes: db.keyBytes,
 		valBytes: db.valBytes,
 	}
+}
+
+// Epoch returns the store write epoch the view was pinned at. Epochs are
+// comparable only between views of the same DB value: a later view has a
+// strictly greater epoch, and nodes mutated after this view was taken are
+// tagged with epochs >= Epoch().
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// SnapshotSize returns the exact byte size Save would write for this
+// view — the store's checkpoint policy compares a delta against it before
+// choosing which generation kind to commit.
+func (v *View) SnapshotSize() int64 {
+	return int64(len(snapshotMagic)) + 8 + int64(v.count)*8 + v.keyBytes + v.valBytes
 }
 
 // Len returns the number of keys in the view.

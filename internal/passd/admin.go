@@ -119,6 +119,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 	// Checkpointer.
 	r.CounterFunc("passd_checkpoints_total", "Checkpoint generations written.", s.checkpoints.Load)
 	r.CounterFunc("passd_checkpoint_errors_total", "Checkpoint attempts that failed.", s.checkpointErrors.Load)
+	r.CounterFunc("passd_checkpoint_deltas_total", "Checkpoint generations written as deltas.", s.checkpointDeltas.Load)
+	r.CounterFunc("passd_checkpoint_full_bytes_total", "Payload bytes committed as full snapshots.", s.checkpointFullBytes.Load)
+	r.CounterFunc("passd_checkpoint_delta_bytes_total", "Payload bytes committed as delta generations.", s.checkpointDeltaBytes.Load)
+	r.CounterFunc("passd_checkpoint_sweep_errors_total", "Committed generations whose post-commit retention sweep failed.", s.checkpointSweepErrors.Load)
 	r.GaugeFunc("passd_checkpoint_generation", "Database generation of the last checkpoint.", func() float64 {
 		return float64(s.lastCkptGen.Load())
 	})

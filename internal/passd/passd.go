@@ -212,11 +212,13 @@ const (
 )
 
 // CheckpointInfo is the payload of the "checkpoint" verb: the committed
-// generation, the records it covers and the snapshot size on disk.
+// generation, its kind ("full" or "delta"), the records it covers and the
+// payload size on disk.
 type CheckpointInfo struct {
-	Gen           int64 `json:"gen"`
-	Records       int64 `json:"records"`
-	SnapshotBytes int64 `json:"snapshot_bytes"`
+	Gen           int64  `json:"gen"`
+	Kind          string `json:"kind"`
+	Records       int64  `json:"records"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
 }
 
 // Value is the wire form of one result cell (pql.Value without the
@@ -255,7 +257,14 @@ type Stats struct {
 	Checkpoints       int64 `json:"checkpoints"`       // checkpoints committed by this process
 	CheckpointErrors  int64 `json:"checkpoint_errors"` // checkpoint attempts that failed
 	LastCheckpointGen int64 `json:"last_checkpoint_gen"`
-	Appends           int64 `json:"appends"` // records accepted via the append verb
+	// Incremental-checkpoint accounting: generations committed as deltas,
+	// payload bytes by kind, and committed generations whose post-commit
+	// retention sweep failed (housekeeping lag, not checkpoint failure).
+	CheckpointDeltas      int64 `json:"checkpoint_deltas"`
+	CheckpointFullBytes   int64 `json:"checkpoint_full_bytes"`
+	CheckpointDeltaBytes  int64 `json:"checkpoint_delta_bytes"`
+	CheckpointSweepErrors int64 `json:"checkpoint_sweep_errors"`
+	Appends               int64 `json:"appends"` // records accepted via the append verb
 
 	RecoveredGen     int64 `json:"recovered_gen"`     // generation recovered at boot (0 = cold start)
 	RecoveredRecords int64 `json:"recovered_records"` // records in the recovered snapshot

@@ -85,6 +85,10 @@ type Config struct {
 	// many records have been ingested since the last one. <=0 disables the
 	// record trigger (interval only).
 	CheckpointEvery int64
+	// CheckpointFullEvery bounds delta chains: one full snapshot, then up
+	// to CheckpointFullEvery-1 cheap delta generations, then full again.
+	// <=1 writes a full snapshot every time (the historical behavior).
+	CheckpointFullEvery int
 	// Append, when non-nil, routes committed provenance records to the
 	// daemon's backing log (the daemon wires it to its volume's
 	// write-through provenance log). When nil, records are applied
@@ -208,6 +212,14 @@ type Server struct {
 	lastCkptUnixNano atomic.Int64 // when the last checkpoint committed (0 = never)
 	checkpoints      atomic.Int64
 	checkpointErrors atomic.Int64
+	// Per-kind checkpoint accounting: payload bytes committed as full
+	// snapshots vs deltas, how many generations were deltas, and how many
+	// post-commit retention sweeps failed (committed generations whose
+	// housekeeping lagged — deliberately not CheckpointErrors).
+	checkpointFullBytes   atomic.Int64
+	checkpointDeltaBytes  atomic.Int64
+	checkpointDeltas      atomic.Int64
+	checkpointSweepErrors atomic.Int64
 }
 
 // snapshot bundles one pinned view with the caches its immutability makes
@@ -440,12 +452,22 @@ func (s *Server) doCheckpoint() (checkpoint.Info, error) {
 	if st.Gen == s.lastCkptGen.Load() {
 		return checkpoint.Info{Gen: st.Gen, Records: st.Records}, nil
 	}
-	info, err := s.cfg.Checkpoints.Write(st)
+	info, err := s.cfg.Checkpoints.Write(st, checkpoint.Policy{FullEvery: s.cfg.CheckpointFullEvery})
 	if err != nil {
 		s.checkpointErrors.Add(1)
 		return info, err
 	}
 	s.checkpoints.Add(1)
+	if info.Kind == checkpoint.KindDelta {
+		s.checkpointDeltas.Add(1)
+		s.checkpointDeltaBytes.Add(info.SnapshotBytes)
+	} else {
+		s.checkpointFullBytes.Add(info.SnapshotBytes)
+	}
+	if info.SweepErr != nil {
+		// The generation committed; only the retention sweep failed.
+		s.checkpointSweepErrors.Add(1)
+	}
 	s.lastCkptGen.Store(info.Gen)
 	s.lastCkptRecords.Store(info.Records)
 	s.lastCkptUnixNano.Store(time.Now().UnixNano())
@@ -1439,6 +1461,7 @@ func (s *Server) doCheckpointVerb() Response {
 	}
 	return Response{Checkpoint: &CheckpointInfo{
 		Gen:           info.Gen,
+		Kind:          info.Kind.String(),
 		Records:       info.Records,
 		SnapshotBytes: info.SnapshotBytes,
 	}}
@@ -1493,10 +1516,14 @@ func (s *Server) snapshotStats() *Stats {
 		Gen:            s.w.DB.Gen(),
 		EntriesDecoded: s.w.EntriesDecoded(),
 
-		Checkpoints:       s.checkpoints.Load(),
-		CheckpointErrors:  s.checkpointErrors.Load(),
-		LastCheckpointGen: s.lastCkptGen.Load(),
-		Appends:           s.appends.Load(),
+		Checkpoints:           s.checkpoints.Load(),
+		CheckpointErrors:      s.checkpointErrors.Load(),
+		LastCheckpointGen:     s.lastCkptGen.Load(),
+		CheckpointDeltas:      s.checkpointDeltas.Load(),
+		CheckpointFullBytes:   s.checkpointFullBytes.Load(),
+		CheckpointDeltaBytes:  s.checkpointDeltaBytes.Load(),
+		CheckpointSweepErrors: s.checkpointSweepErrors.Load(),
+		Appends:               s.appends.Load(),
 
 		Mkobjs:  s.mkobjs.Load(),
 		Revives: s.revives.Load(),

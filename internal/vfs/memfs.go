@@ -322,10 +322,26 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 		return 0, ErrInvalid
 	}
 	end := off + int64(len(p))
-	if end > int64(len(f.node.data)) {
-		grown := make([]byte, end)
-		copy(grown, f.node.data)
-		f.node.data = grown
+	if oldLen := int64(len(f.node.data)); end > oldLen {
+		if end > int64(cap(f.node.data)) {
+			// Grow with spare capacity: sized exactly, every buffered
+			// append re-copies the whole file and large payload writes
+			// go quadratic.
+			newCap := int64(cap(f.node.data))*2 + 1
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.node.data)
+			f.node.data = grown
+		} else {
+			// Re-sliced capacity may hold bytes from before a Truncate;
+			// a file hole must read back as zeros.
+			f.node.data = f.node.data[:end]
+			for i := oldLen; i < off; i++ {
+				f.node.data[i] = 0
+			}
+		}
 	}
 	copy(f.node.data[off:], p)
 	f.node.resident = false

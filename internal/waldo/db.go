@@ -6,6 +6,7 @@
 package waldo
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -381,6 +382,28 @@ func (v *ReadView) Stats() (records, provBytes, idxBytes int64) {
 // pauses for the disk.
 func (v *ReadView) Save(w io.Writer) error { return v.kv.Save(w) }
 
+// Epoch returns the underlying store's write epoch at the pin — the
+// ordering delta checkpoints prune by. Epochs compare only between views
+// of the same live database within one process lifetime.
+func (v *ReadView) Epoch() uint64 { return v.kv.Epoch() }
+
+// SnapshotSize returns the exact byte size Save would write, letting the
+// checkpoint policy compare a delta against the full snapshot it would
+// replace before committing either.
+func (v *ReadView) SnapshotSize() int64 { return v.kv.SnapshotSize() }
+
+// SaveDelta writes the ops that transform base's image into v's (sets and
+// delete tombstones, kvdb delta format). base must be an earlier ReadView
+// of the same live database in the same process; otherwise
+// kvdb.ErrDeltaBase is returned and nothing is written, which is the
+// checkpoint store's cue to fall back to a full generation.
+func (v *ReadView) SaveDelta(base *ReadView, w io.Writer) (kvdb.DeltaStats, error) {
+	if base == nil {
+		return kvdb.DeltaStats{}, kvdb.ErrDeltaBase
+	}
+	return v.kv.SaveDelta(base.kv, w)
+}
+
 // --- Query surface (used by the graph view and PQL) ---
 //
 // These methods live on reader, so they serve identically over the live
@@ -686,9 +709,24 @@ func Load(r io.Reader) (*DB, error) {
 // write (see DB.lazySeqs). Restart cost is therefore one bulk tree build —
 // nothing else touches every key.
 func LoadCheckpoint(data []byte, records, provBytes, idxBytes int64) (*DB, error) {
-	kv, err := kvdb.LoadBytes(data)
+	return LoadCheckpointChain(data, nil, records, provBytes, idxBytes)
+}
+
+// LoadCheckpointChain reconstructs a database from a full snapshot image
+// plus a chain of delta images (kvdb delta format, oldest first) — the
+// composition step of incremental checkpoint recovery. The counters come
+// from the newest generation's manifest, so they describe the database
+// after every delta has been applied. Like LoadCheckpoint, it takes
+// ownership of every buffer it is handed.
+func LoadCheckpointChain(full []byte, deltas [][]byte, records, provBytes, idxBytes int64) (*DB, error) {
+	kv, err := kvdb.LoadBytes(full)
 	if err != nil {
 		return nil, err
+	}
+	for i, d := range deltas {
+		if _, err := kvdb.ApplyDeltaBytes(kv, d); err != nil {
+			return nil, fmt.Errorf("delta %d of %d: %w", i+1, len(deltas), err)
+		}
 	}
 	db := &DB{
 		reader:    reader{store: kv},

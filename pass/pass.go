@@ -363,7 +363,7 @@ func (m *Machine) Checkpoint(store *checkpoint.Store) (checkpoint.Info, error) {
 	if err := m.Drain(); err != nil {
 		return checkpoint.Info{}, err
 	}
-	return store.Write(m.Waldo.CheckpointState())
+	return store.Write(m.Waldo.CheckpointState(), checkpoint.Policy{})
 }
 
 // Recover replaces the machine's provenance database with the newest
