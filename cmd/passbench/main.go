@@ -18,6 +18,7 @@
 //	passbench -disclose           # remote DPAPI disclosure, per-record vs batched (BENCH_disclose.json)
 //	passbench -replicate          # hedged vs unhedged reads on a replicated group (BENCH_replicate.json)
 //	passbench -swarm              # protocol v3 frames vs v2 lines under a 1k-session swarm (BENCH_swarm.json)
+//	passbench -verify             # tamper-evidence costs: MMR ingest overhead, proofs, audit (BENCH_verify.json)
 //	passbench -all                # everything
 //	passbench -scale 0.4          # workload scale (1.0 = paper-sized)
 //	passbench -records 100000     # ingest benchmark size
@@ -69,6 +70,10 @@ func main() {
 	replSlow := flag.Duration("replicate-slow", 25*time.Millisecond, "replicate: injected response delay on the slow follower")
 	replHedge := flag.Duration("replicate-hedge", 3*time.Millisecond, "replicate: hedge trigger delay")
 	replJSON := flag.String("replicate-json", "BENCH_replicate.json", "replicate: file for the JSON result (empty = don't write)")
+	verifyFlag := flag.Bool("verify", false, "measure tamper-evidence costs: MMR ingest overhead, proof latency, signatures, offline audit")
+	verifyRecords := flag.Int("verify-records", 60000, "verify: records per ingest arm")
+	verifyProofs := flag.Int("verify-proofs", 2000, "verify: inclusion proofs to generate")
+	verifyJSON := flag.String("verify-json", "BENCH_verify.json", "verify: file for the JSON result (empty = don't write)")
 	flag.Parse()
 
 	if *ingest || *all {
@@ -109,6 +114,12 @@ func main() {
 	}
 	if *swarm || *all {
 		runSwarm(*swarmSessions, *swarmConns, *swarmSecs, *swarmTenantSecs, *swarmJSON)
+		if !*all {
+			return
+		}
+	}
+	if *verifyFlag || *all {
+		runVerify(*verifyRecords, *verifyProofs, *verifyJSON)
 		if !*all {
 			return
 		}
@@ -187,6 +198,18 @@ func runDisclose(records, batch int, jsonPath string) {
 	res, err := bench.Disclose(records, batch)
 	die(err)
 	bench.PrintDisclose(os.Stdout, res)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		die(err)
+		die(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+}
+
+func runVerify(records, proofs int, jsonPath string) {
+	res, err := bench.Verify(records, proofs)
+	die(err)
+	bench.PrintVerify(os.Stdout, res)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		die(err)

@@ -52,21 +52,27 @@
 package main
 
 import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"passv2/internal/bench"
 	"passv2/internal/checkpoint"
+	"passv2/internal/mmr"
 	"passv2/internal/passd"
 	"passv2/internal/provlog"
 	"passv2/internal/record"
 	"passv2/internal/replica"
+	"passv2/internal/signer"
 	"passv2/internal/vfs"
 	"passv2/internal/waldo"
 )
@@ -97,6 +103,8 @@ func main() {
 	joinInterval := flag.Duration("join-interval", time.Second, "how often a follower re-announces itself to the primary")
 	advertise := flag.String("advertise", "", "address the primary should dial this follower back on (default: the bound -addr)")
 	admin := flag.String("admin", "", "HTTP admin listen address serving /metrics, /healthz and /readyz (empty = off)")
+	useMMR := flag.Bool("mmr", true, "maintain a Merkle mountain range over -logdir, sign checkpoint roots, and serve the verify verb (tamper evidence, DESIGN.md §13)")
+	keyDir := flag.String("key-dir", "", "directory for the daemon's Ed25519 signing identity (default <logdir>/keys)")
 	quotas := map[string]passd.TenantQuota{}
 	flag.Func("quota", "per-tenant quota as tenant=maxInflight:stagedBytesPerSec (0 = unlimited axis); repeatable", func(v string) error {
 		name, caps, ok := strings.Cut(v, "=")
@@ -129,6 +137,54 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The log directory's file system is opened first: tamper evidence
+	// derives the MMR from the on-disk log before recovery decides which
+	// checkpoint to trust.
+	var dfs *vfs.DirFS
+	if *logDir != "" {
+		var err error
+		dfs, err = vfs.NewDirFS(*logDir)
+		die(err)
+	}
+
+	// Tamper evidence (DESIGN.md §13): a signing identity plus a Merkle
+	// mountain range over the provenance log. The range is built per role
+	// — a follower drives it from the replication stream (TailFeeder), a
+	// primary needs the full node set to serve root claims at arbitrary
+	// stream offsets, and a standalone daemon resumes cheaply from the
+	// peak file, rehydrating only when a proof demands history.
+	tamper := *useMMR && *logDir != ""
+	var (
+		id     *signer.Identity
+		bootM  *mmr.MMR
+		feeder *provlog.TailFeeder
+	)
+	if tamper {
+		var err error
+		if *keyDir != "" {
+			var kfs *vfs.DirFS
+			kfs, err = vfs.NewDirFS(*keyDir)
+			die(err)
+			id, err = signer.LoadOrCreate(kfs, "/")
+		} else {
+			id, err = signer.LoadOrCreate(dfs, "/keys")
+		}
+		die(err)
+		switch {
+		case *join != "":
+			feeder, err = provlog.LoadFeeder(dfs, "/", logVolumeName)
+			die(err)
+			bootM = feeder.MMR()
+		case *replicate > 0:
+			bootM, err = provlog.RebuildMMR(dfs, "/", logVolumeName)
+			die(err)
+		default:
+			bootM, err = provlog.LoadMMR(dfs, "/", logVolumeName)
+			die(err)
+		}
+		fmt.Printf("passd: tamper evidence on: device %x, MMR at %d leaves\n", id.DeviceID, bootM.Count())
+	}
+
 	// Boot-time recovery: load the newest valid checkpoint generation,
 	// falling back across corrupt ones, before deciding the database.
 	var (
@@ -139,10 +195,55 @@ func main() {
 		var err error
 		store, err = checkpoint.OpenDir(*ckptDir, *retain)
 		die(err)
+		if tamper {
+			// Recovery must not trust a checkpoint whose signed root the
+			// log cannot reproduce: a candidate that fails here is skipped
+			// with class root_mismatch and recovery falls back, exactly as
+			// for a CRC failure — this is the CRC-valid-but-forged case.
+			store.VerifyProofs = func(man *checkpoint.Manifest) error {
+				for _, p := range man.Proofs {
+					if p.Volume != logVolumeName {
+						return fmt.Errorf("generation %d: proof names unknown volume %q", man.Gen, p.Volume)
+					}
+					if !bytes.Equal(p.PubKey, id.Pub) {
+						return fmt.Errorf("generation %d: proof signed by a different identity", man.Gen)
+					}
+					st := signer.Statement{
+						DeviceID:  p.DeviceID,
+						Volume:    p.Volume,
+						Root:      p.Root,
+						Size:      p.Size,
+						Gen:       uint64(man.Gen),
+						Timestamp: p.Timestamp,
+					}
+					if !signer.Verify(ed25519.PublicKey(p.PubKey), st, p.Sig) {
+						return fmt.Errorf("generation %d: root statement signature is invalid", man.Gen)
+					}
+					root, err := bootM.RootAt(p.Size)
+					if errors.Is(err, mmr.ErrPruned) {
+						// The peak file resumed past this generation's
+						// size; rehydrate from the log and retry.
+						var full *mmr.MMR
+						if full, err = provlog.RebuildMMR(dfs, "/", logVolumeName); err != nil {
+							return err
+						}
+						bootM = full
+						root, err = bootM.RootAt(p.Size)
+					}
+					if err != nil {
+						return err
+					}
+					if root != p.Root {
+						return fmt.Errorf("generation %d: signed root over %d records does not match the log", man.Gen, p.Size)
+					}
+				}
+				return nil
+			}
+		}
 		rec, err = store.Load()
 		die(err)
 		for _, skip := range rec.Skipped {
-			fmt.Printf("passd: recovery skipped generation %d: %s\n", skip.Gen, skip.Reason)
+			fmt.Printf("passd: recovery skipped generation %d [%s]: %s\n", skip.Gen, skip.Class, skip.Reason)
 		}
 	}
 
@@ -179,13 +280,10 @@ func main() {
 	var (
 		appendFn  func([]record.Record) error
 		syncFn    func() error
-		dfs       *vfs.DirFS
 		logWriter *provlog.Writer
 	)
 	if *logDir != "" {
 		var err error
-		dfs, err = vfs.NewDirFS(*logDir)
-		die(err)
 		logWriter, err = provlog.NewWriter(dfs, "/", 0)
 		die(err)
 		w.Attach(waldo.NewLogVolume(logVolumeName, dfs, logWriter))
@@ -198,6 +296,18 @@ func main() {
 			return nil
 		}
 		syncFn = logWriter.Sync
+	}
+
+	// Wire the MMR into the writer so every appended frame becomes a
+	// leaf. A follower's range is driven by the replication stream (the
+	// feeder), not by the writer — its writer never appends. A log whose
+	// tail the MMR cannot cover (torn bytes mid-file) degrades to serving
+	// without tamper evidence rather than refusing to boot.
+	if tamper && *join == "" {
+		if err := logWriter.AttachMMR(bootM, logVolumeName); err != nil {
+			fmt.Fprintf(os.Stderr, "passd: tamper evidence disabled: %v\n", err)
+			tamper, bootM = false, nil
+		}
 	}
 
 	// Replication roles. A primary streams its log file to followers and
@@ -217,7 +327,28 @@ func main() {
 		logWriter.DisableRotation("replication primary: follower offsets track log.current")
 		src, err := replica.OpenFileSource(dfs, "/"+provlog.CurrentName)
 		die(err)
-		prim = replica.NewPrimary(src, replica.Config{
+		var rsrc replica.Source = src
+		if tamper {
+			// A proof-aware primary sends its MMR leaf count and root
+			// alongside each replicated chunk; proof-aware followers
+			// recompute and refuse a fork before it becomes durable.
+			rsrc = replica.WithProofs(src, func(end int64) (uint64, [32]byte, bool) {
+				m := logWriter.MMR()
+				if m == nil {
+					return 0, [32]byte{}, false
+				}
+				n, ok := m.LeavesAtOffset(end)
+				if !ok {
+					return 0, [32]byte{}, false
+				}
+				root, err := m.RootAt(n)
+				if err != nil {
+					return 0, [32]byte{}, false
+				}
+				return n, root, true
+			})
+		}
+		prim = replica.NewPrimary(rsrc, replica.Config{
 			Quorum:        *replicate,
 			CommitTimeout: *commitTimeout,
 			Dial: passd.PeerDialer(passd.Options{
@@ -254,6 +385,82 @@ func main() {
 		w.Start(*drainInterval)
 	}
 
+	// Checkpoint signing and the server's tamper surface. Every committed
+	// generation carries a signed statement binding the checkpoint to the
+	// exact log prefix it covers; the MMR peak state that statement was
+	// taken from is persisted after the manifest commits (the stash), so
+	// the next boot resumes the range without rehashing history.
+	var tamperCfg *passd.TamperConfig
+	if tamper {
+		var stash struct {
+			mu sync.Mutex
+			st mmr.State
+			ok bool
+		}
+		var saveState func() error
+		if store != nil {
+			store.MakeProofs = func(cp *waldo.CheckpointState) ([]checkpoint.Proof, error) {
+				var (
+					st   mmr.State
+					root mmr.Hash
+					err  error
+				)
+				if feeder != nil {
+					// A follower signs what the replication stream has
+					// fed: its log is the primary's, verbatim.
+					m := feeder.MMR()
+					st = m.State()
+					if root, err = m.RootAt(st.Count); err != nil {
+						return nil, err
+					}
+				} else if st, _, root, err = logWriter.SyncTamper(); err != nil {
+					return nil, err
+				}
+				stmt := signer.Statement{
+					Volume:    logVolumeName,
+					Root:      root,
+					Size:      st.Count,
+					Gen:       uint64(cp.Gen),
+					Timestamp: uint64(time.Now().Unix()),
+				}
+				stash.mu.Lock()
+				stash.st, stash.ok = st, true
+				stash.mu.Unlock()
+				return []checkpoint.Proof{{
+					Volume:    logVolumeName,
+					Size:      st.Count,
+					Root:      root,
+					Timestamp: stmt.Timestamp,
+					DeviceID:  id.DeviceID,
+					PubKey:    append([]byte(nil), id.Pub...),
+					Sig:       id.Sign(stmt),
+				}}, nil
+			}
+			if feeder == nil {
+				saveState = func() error {
+					stash.mu.Lock()
+					st, ok := stash.st, stash.ok
+					stash.mu.Unlock()
+					if !ok {
+						return nil
+					}
+					return provlog.SaveMMR(dfs, "/", st)
+				}
+			}
+		}
+		tamperCfg = &passd.TamperConfig{
+			Volume:    logVolumeName,
+			Signer:    id,
+			SaveState: saveState,
+		}
+		if feeder != nil {
+			tamperCfg.MMR = feeder.MMR
+		} else {
+			tamperCfg.MMR = logWriter.MMR
+			tamperCfg.Rehydrate = logWriter.Rehydrate
+		}
+	}
+
 	srv, err := passd.Serve(w, passd.Config{
 		Addr:                *addr,
 		Workers:             *workers,
@@ -271,6 +478,8 @@ func main() {
 		Follower:            flog,
 		AdminAddr:           *admin,
 		TenantQuotas:        quotas,
+		Tamper:              tamperCfg,
+		Feeder:              feeder,
 	})
 	die(err)
 	records, _, _ := db.Stats()

@@ -1,0 +1,151 @@
+// Command passverify is the offline tamper-evidence auditor: point it at
+// a daemon's log directory (and, ideally, its checkpoint directory and
+// an out-of-band copy of its public identity) and it re-derives the
+// Merkle mountain range from the raw log bytes, checks every signed
+// checkpoint root against it, proves the signed history append-only,
+// and optionally produces inclusion proofs for named records. It never
+// talks to a daemon and never writes anything — run it against copies.
+//
+//	passverify -logdir /var/lib/passd/log -checkpoint-dir /var/lib/passd/ckpt \
+//	    -pub signer.pub -prove 0,41,1000
+//
+// Exit status: 0 clean, 1 audit failures, 2 usage or environment errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"passv2/internal/signer"
+	"passv2/internal/verify"
+	"passv2/internal/vfs"
+)
+
+func usageDie(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "passverify: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	logDir := flag.String("logdir", "", "provenance log directory to audit (required)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint store directory holding the signed root statements")
+	pubPath := flag.String("pub", "", "pinned public identity (a copy of the daemon's signer.pub); omitting it downgrades to trust-on-first-generation")
+	volume := flag.String("volume", "logdir", "provlog volume name the roots were signed over (passd signs its -logdir tail as \"logdir\")")
+	prove := flag.String("prove", "", "comma-separated record indices to produce inclusion proofs for")
+	asJSON := flag.Bool("json", false, "emit the full report as JSON on stdout")
+	flag.Parse()
+
+	if *logDir == "" {
+		usageDie("-logdir is required")
+	}
+	opts := verify.Options{Volume: *volume}
+
+	lfs, err := vfs.NewDirFS(*logDir)
+	if err != nil {
+		usageDie("%v", err)
+	}
+	opts.LogFS = lfs
+	if *ckptDir != "" {
+		cfs, err := vfs.NewDirFS(*ckptDir)
+		if err != nil {
+			usageDie("%v", err)
+		}
+		opts.CheckpointFS = cfs
+	}
+	if *pubPath != "" {
+		b, err := os.ReadFile(*pubPath)
+		if err != nil {
+			usageDie("%v", err)
+		}
+		pub, err := signer.ParsePublic(b)
+		if err != nil {
+			usageDie("%s: %v", *pubPath, err)
+		}
+		opts.Pub = &pub
+	}
+	for _, f := range strings.Split(*prove, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		idx, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			usageDie("-prove: %q is not a record index", f)
+		}
+		opts.ProveIndices = append(opts.ProveIndices, idx)
+	}
+
+	rep, err := verify.Audit(opts)
+	if err != nil {
+		usageDie("%v", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			usageDie("%v", err)
+		}
+	} else {
+		printReport(rep)
+	}
+	if !rep.OK {
+		os.Exit(1)
+	}
+}
+
+func printReport(r *verify.Report) {
+	fmt.Printf("passverify: volume %q: %d records, root %s\n", r.Volume, r.Records, r.Root)
+	key := "none on file"
+	if r.Key != "" {
+		key = r.Key
+		if !r.KeyPinned {
+			key += " (UNPINNED — adopted from the oldest manifest; pass -pub to pin)"
+		}
+	}
+	fmt.Printf("passverify: identity: %s\n", key)
+	for _, g := range r.Generations {
+		verdict := "ok"
+		if !g.SigOK || !g.KeyOK || !g.RootOK {
+			verdict = fmt.Sprintf("FAIL (sig=%v key=%v root=%v)", g.SigOK, g.KeyOK, g.RootOK)
+			if g.Err != "" {
+				verdict += ": " + g.Err
+			}
+		}
+		fmt.Printf("passverify: generation %d: %d records signed at %d: %s\n", g.Gen, g.Size, g.Timestamp, verdict)
+	}
+	for _, c := range r.Consistency {
+		verdict := "append-only ok"
+		if !c.OK {
+			verdict = "FAIL: " + c.Err
+		}
+		fmt.Printf("passverify: generations %d→%d (%d→%d records): %s\n", c.FromGen, c.ToGen, c.FromSize, c.ToSize, verdict)
+	}
+	for _, p := range r.Inclusions {
+		switch {
+		case p.OK && p.Signed:
+			fmt.Printf("passverify: record %d: proven under the signed root over %d records\n", p.Index, p.Size)
+		case p.OK:
+			fmt.Printf("passverify: record %d: proven under the (unsigned) full-log root over %d records\n", p.Index, p.Size)
+		default:
+			fmt.Printf("passverify: record %d: FAIL: %s\n", p.Index, p.Err)
+		}
+	}
+	if r.StateFile != "" {
+		fmt.Printf("passverify: mmr.state cross-check: %s\n", r.StateFile)
+	}
+	if r.TailRecords > 0 {
+		fmt.Printf("passverify: note: %d records past the newest signed root are CRC-checked only\n", r.TailRecords)
+	}
+	if r.OK {
+		fmt.Printf("passverify: OK — %d records verified, %d covered by signatures\n", r.Records, r.SignedSize)
+		return
+	}
+	fmt.Printf("passverify: %d FAILURE(S):\n", len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Printf("passverify:   - %s\n", f)
+	}
+}

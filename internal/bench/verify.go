@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"passv2/internal/mmr"
+	"passv2/internal/pnode"
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/signer"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+// VerifyResult reports what tamper evidence costs (DESIGN.md §13): the
+// ingest overhead of maintaining the MMR inline with appends, the
+// latency of serving Merkle proofs, the cost of signing and checking
+// root statements, and the price an offline auditor pays to re-derive
+// the whole range from raw log bytes.
+type VerifyResult struct {
+	Records int `json:"records"`
+
+	// Ingest arms: the daemon's append path (log append + database
+	// drain), with and without an attached MMR. The overhead gate is on
+	// OverheadPct: (plain - mmr) / plain, in percent.
+	PlainRecPerSec float64 `json:"recps_plain"`
+	MMRRecPerSec   float64 `json:"recps_mmr"`
+	OverheadPct    float64 `json:"overhead_pct"`
+
+	// Proof service: inclusion-proof generation latency over the full
+	// range, and one mid-to-head consistency proof.
+	Proofs            int     `json:"proofs"`
+	ProofAvgMicros    float64 `json:"proof_avg_us"`
+	ProofP99Micros    float64 `json:"proof_p99_us"`
+	ConsistencyMicros float64 `json:"consistency_us"`
+
+	// Signature costs per root statement.
+	SignMicros      float64 `json:"sign_us"`
+	VerifySigMicros float64 `json:"verify_sig_us"`
+
+	// Offline-auditor cost: re-deriving the MMR from raw log bytes, the
+	// dominant term of a passverify run.
+	RebuildSecs      float64 `json:"rebuild_secs"`
+	RebuildRecPerSec float64 `json:"rebuild_recps"`
+}
+
+// verifyIngestArm runs the daemon-shaped ingest path — append a batch to
+// the provlog, drain it into the database — over n records, with or
+// without an MMR attached, and returns the elapsed seconds.
+func verifyIngestArm(n int, withMMR bool) (float64, *provlog.Writer, vfs.FS, error) {
+	lower := vfs.NewMemFS("bench", nil)
+	log, err := provlog.NewWriter(lower, "/log", 1<<22)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	log.SetBuffer(1 << 16)
+	if withMMR {
+		if err := log.AttachMMR(mmr.New(), "vol"); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	w := waldo.New()
+	w.Attach(waldo.NewLogVolume("vol", lower, log))
+
+	const batch = 500
+	runtime.GC()
+	start := time.Now()
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			ref := pnode.Ref{PNode: pnode.PNode(i%4096 + 1), Version: 1}
+			var r record.Record
+			if i%2 == 0 {
+				r = record.New(ref, record.AttrName, record.StringVal(fmt.Sprintf("/data/f%d", i)))
+			} else {
+				r = record.Input(ref, pnode.Ref{PNode: pnode.PNode(i%97 + 100000), Version: 1})
+			}
+			if err := log.AppendRecord(0, r); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		if err := w.Drain(); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	if err := log.Flush(); err != nil {
+		return 0, nil, nil, err
+	}
+	return time.Since(start).Seconds(), log, lower, nil
+}
+
+// Verify measures the cost of the tamper-evidence layer over a
+// records-sized ingest, generating `proofs` inclusion proofs.
+func Verify(records, proofs int) (VerifyResult, error) {
+	res := VerifyResult{Records: records, Proofs: proofs}
+
+	// Interleave three repetitions of each arm and keep the fastest:
+	// the arms are identical workloads, so min-of-3 cancels allocator
+	// and GC noise that would otherwise dominate a percent-level gate.
+	const reps = 3
+	var (
+		plainBest, mmrBest float64
+		log                *provlog.Writer
+		lower              vfs.FS
+	)
+	for r := 0; r < reps; r++ {
+		secs, _, _, err := verifyIngestArm(records, false)
+		if err != nil {
+			return res, err
+		}
+		if r == 0 || secs < plainBest {
+			plainBest = secs
+		}
+		var mlog *provlog.Writer
+		var mfs vfs.FS
+		if secs, mlog, mfs, err = verifyIngestArm(records, true); err != nil {
+			return res, err
+		}
+		if r == 0 || secs < mmrBest {
+			mmrBest = secs
+		}
+		log, lower = mlog, mfs
+	}
+	res.PlainRecPerSec = float64(records) / plainBest
+	res.MMRRecPerSec = float64(records) / mmrBest
+	res.OverheadPct = (res.PlainRecPerSec - res.MMRRecPerSec) / res.PlainRecPerSec * 100
+
+	// Proof-generation latency over the final MMR-armed log.
+	m := log.MMR()
+	n := m.Count()
+	if n == 0 {
+		return res, fmt.Errorf("bench: MMR arm produced no leaves")
+	}
+	lat := make([]float64, 0, proofs)
+	for i := 0; i < proofs; i++ {
+		idx := (uint64(i) * 7919) % n
+		start := time.Now()
+		p, err := m.Prove(idx)
+		if err != nil {
+			return res, err
+		}
+		lat = append(lat, float64(time.Since(start).Nanoseconds())/1e3)
+		leaf, err := m.Leaf(idx)
+		if err != nil {
+			return res, err
+		}
+		if err := mmr.VerifyInclusion(m.Root(), leaf, p); err != nil {
+			return res, fmt.Errorf("bench: generated proof for %d does not verify: %v", idx, err)
+		}
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	if len(lat) > 0 {
+		res.ProofAvgMicros = sum / float64(len(lat))
+		res.ProofP99Micros = lat[len(lat)*99/100]
+	}
+
+	// Consistency proof from the mid-point to the head, averaged over
+	// enough iterations to resolve on a microsecond clock.
+	if n >= 2 {
+		oldRoot, err := m.RootAt(n / 2)
+		if err != nil {
+			return res, err
+		}
+		const iters = 200
+		start := time.Now()
+		var cp mmr.ConsistencyProof
+		for i := 0; i < iters; i++ {
+			if cp, err = m.Consistency(n/2, n); err != nil {
+				return res, err
+			}
+		}
+		res.ConsistencyMicros = float64(time.Since(start).Nanoseconds()) / 1e3 / iters
+		if err := mmr.VerifyConsistency(oldRoot, m.Root(), cp); err != nil {
+			return res, fmt.Errorf("bench: consistency proof does not verify: %v", err)
+		}
+	}
+
+	// Signature arm: sign and check root statements.
+	id, err := signer.LoadOrCreate(vfs.NewMemFS("keys", nil), "/")
+	if err != nil {
+		return res, err
+	}
+	stmt := signer.Statement{Volume: "vol", Root: m.Root(), Size: n, Timestamp: 1}
+	const sigIters = 500
+	start := time.Now()
+	var sig []byte
+	for i := 0; i < sigIters; i++ {
+		sig = id.Sign(stmt)
+	}
+	res.SignMicros = float64(time.Since(start).Nanoseconds()) / 1e3 / sigIters
+	stmt.DeviceID = id.DeviceID
+	start = time.Now()
+	for i := 0; i < sigIters; i++ {
+		if !signer.Verify(id.Pub, stmt, sig) {
+			return res, fmt.Errorf("bench: root statement signature does not verify")
+		}
+	}
+	res.VerifySigMicros = float64(time.Since(start).Nanoseconds()) / 1e3 / sigIters
+
+	// Offline-auditor arm: re-derive the range from raw bytes.
+	runtime.GC()
+	start = time.Now()
+	rm, err := provlog.RebuildMMR(lower, "/log", "vol")
+	if err != nil {
+		return res, err
+	}
+	res.RebuildSecs = time.Since(start).Seconds()
+	res.RebuildRecPerSec = float64(records) / res.RebuildSecs
+	if rm.Root() != m.Root() {
+		return res, fmt.Errorf("bench: rebuilt root disagrees with the live MMR")
+	}
+	return res, nil
+}
+
+// PrintVerify renders the result as the EXPERIMENTS.md §13 table rows.
+func PrintVerify(out io.Writer, r VerifyResult) {
+	fmt.Fprintf(out, "tamper-evidence cost (%d records):\n", r.Records)
+	fmt.Fprintf(out, "  ingest, no MMR:        %10.0f rec/s\n", r.PlainRecPerSec)
+	fmt.Fprintf(out, "  ingest, MMR attached:  %10.0f rec/s  (%.1f%% overhead)\n", r.MMRRecPerSec, r.OverheadPct)
+	fmt.Fprintf(out, "  inclusion proof:       %10.1f us avg, %.1f us p99 (%d proofs)\n", r.ProofAvgMicros, r.ProofP99Micros, r.Proofs)
+	fmt.Fprintf(out, "  consistency proof:     %10.1f us\n", r.ConsistencyMicros)
+	fmt.Fprintf(out, "  sign root statement:   %10.1f us\n", r.SignMicros)
+	fmt.Fprintf(out, "  check root signature:  %10.1f us\n", r.VerifySigMicros)
+	fmt.Fprintf(out, "  offline MMR rebuild:   %10.2f s  (%.0f rec/s audited)\n", r.RebuildSecs, r.RebuildRecPerSec)
+}

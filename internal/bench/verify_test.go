@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestVerifyShape runs the tamper-evidence benchmark at a small scale
+// and checks its internal consistency. Correctness is enforced inside
+// Verify itself — every generated proof is checked, the rebuilt root
+// must match the live MMR, and signatures must verify — so the shape
+// test only needs non-degenerate measurements. The overhead percentage
+// is deliberately NOT gated here (too noisy at this scale); CI gates it
+// on the full-size run.
+func TestVerifyShape(t *testing.T) {
+	res, err := Verify(3000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 3000 || res.Proofs != 100 {
+		t.Fatalf("records %d / proofs %d, want 3000 / 100", res.Records, res.Proofs)
+	}
+	if res.PlainRecPerSec <= 0 || res.MMRRecPerSec <= 0 {
+		t.Fatalf("degenerate ingest rates: %+v", res)
+	}
+	if res.ProofAvgMicros <= 0 || res.ProofP99Micros < res.ProofAvgMicros/2 {
+		t.Fatalf("degenerate proof latencies: avg %f p99 %f", res.ProofAvgMicros, res.ProofP99Micros)
+	}
+	if res.SignMicros <= 0 || res.VerifySigMicros <= 0 {
+		t.Fatalf("degenerate signature timings: %+v", res)
+	}
+	if res.RebuildSecs <= 0 || res.RebuildRecPerSec <= 0 {
+		t.Fatalf("degenerate rebuild timing: %+v", res)
+	}
+	var buf bytes.Buffer
+	PrintVerify(&buf, res)
+	if buf.Len() == 0 {
+		t.Fatal("PrintVerify wrote nothing")
+	}
+}

@@ -18,8 +18,9 @@
 //	                     (waldo.ReadView.SaveDelta) — O(changed keys)
 //	ckpt-<gen16x>.meta   manifest: magic, gen, kind (full|delta), base
 //	                     gen, record count, payload size+CRC, per-volume
-//	                     offsets and pending transactions, trailing
-//	                     CRC-32 over the whole file
+//	                     offsets and pending transactions, optionally the
+//	                     signed MMR root proofs (v3 magic, DESIGN.md §13),
+//	                     trailing CRC-32 over the whole file
 //
 // A generation is either full (self-contained) or a delta whose manifest
 // names the generation it applies on top of (BaseGen, always the
@@ -60,8 +61,14 @@ import (
 // stores still decode (every v1 generation is a full one).
 var metaMagicV1 = []byte("PASSCKPT1\n")
 
-// metaMagic heads every manifest file written today.
+// metaMagic heads manifests without signed root proofs — still the
+// format written when no signer is configured, so a v2 store stays
+// byte-identical under a daemon that never enables tamper evidence.
 var metaMagic = []byte("PASSCKPT2\n")
+
+// metaMagicV3 heads manifests carrying signed MMR root proofs
+// (DESIGN.md §13). v1 and v2 manifests still decode.
+var metaMagicV3 = []byte("PASSCKPT3\n")
 
 // ErrBadManifest reports an unreadable or corrupt manifest.
 var ErrBadManifest = errors.New("checkpoint: bad manifest")
@@ -87,13 +94,32 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// manifest is the decoded form of a ckpt-*.meta file. Records, ProvBytes
+// Proof is one signed MMR root statement embedded in a manifest: the
+// daemon identified by DeviceID asserts that Volume's first Size provlog
+// records hash to Root, as of this checkpoint at Timestamp (unix
+// seconds). PubKey and Sig are opaque here — the checkpoint layer stores
+// and round-trips them; cryptographic verification belongs to the
+// VerifyProofs hook (wired by the daemon) and the offline verifier, so
+// this package never imports the signer.
+type Proof struct {
+	Volume    string
+	Size      uint64
+	Root      [32]byte
+	Timestamp uint64
+	DeviceID  [16]byte
+	PubKey    []byte
+	Sig       []byte
+}
+
+// Manifest is the decoded form of a ckpt-*.meta file. Records, ProvBytes
 // and IdxBytes are the pinned database counters: recovery seeds the loaded
 // database with them (waldo.LoadCheckpoint) instead of recomputing them
 // with full-store scans. For a delta generation they describe the state
 // after the delta is applied, so a chain's head manifest alone seeds the
-// composed database.
-type manifest struct {
+// composed database. Proofs, when present, are the generation's signed
+// MMR root statements (one per tamper-evident volume) and force the v3
+// magic; a manifest without proofs encodes exactly as v2 did.
+type Manifest struct {
 	Gen       int64
 	Kind      Kind
 	BaseGen   int64
@@ -103,11 +129,16 @@ type manifest struct {
 	SnapSize  int64
 	SnapCRC   uint32
 	Volumes   []waldo.VolumeState
+	Proofs    []Proof
 }
 
 // encodeManifest renders the manifest, including magic and trailing CRC.
-func encodeManifest(m *manifest) []byte {
-	out := append([]byte(nil), metaMagic...)
+func encodeManifest(m *Manifest) []byte {
+	magic := metaMagic
+	if len(m.Proofs) > 0 {
+		magic = metaMagicV3
+	}
+	out := append([]byte(nil), magic...)
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.Gen))
 	out = append(out, byte(m.Kind))
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.BaseGen))
@@ -141,17 +172,40 @@ func encodeManifest(m *manifest) []byte {
 			}
 		}
 	}
+	if len(m.Proofs) > 0 {
+		out = binary.AppendUvarint(out, uint64(len(m.Proofs)))
+		for i := range m.Proofs {
+			p := &m.Proofs[i]
+			out = binary.AppendUvarint(out, uint64(len(p.Volume)))
+			out = append(out, p.Volume...)
+			out = binary.LittleEndian.AppendUint64(out, p.Size)
+			out = append(out, p.Root[:]...)
+			out = binary.LittleEndian.AppendUint64(out, p.Timestamp)
+			out = append(out, p.DeviceID[:]...)
+			out = binary.AppendUvarint(out, uint64(len(p.PubKey)))
+			out = append(out, p.PubKey...)
+			out = binary.AppendUvarint(out, uint64(len(p.Sig)))
+			out = append(out, p.Sig...)
+		}
+	}
 	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 }
 
 // decodeManifest parses and validates a manifest file image, accepting
-// both the current format and the pre-delta v1 layout.
-func decodeManifest(data []byte) (*manifest, error) {
+// the proof-bearing v3 format, the proofless v2 format, and the pre-delta
+// v1 layout.
+func decodeManifest(data []byte) (*Manifest, error) {
 	if len(data) < len(metaMagic)+4 {
 		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrBadManifest, len(data))
 	}
-	v1 := string(data[:len(metaMagicV1)]) == string(metaMagicV1)
-	if !v1 && string(data[:len(metaMagic)]) != string(metaMagic) {
+	var v1, v3 bool
+	switch string(data[:len(metaMagic)]) {
+	case string(metaMagicV1):
+		v1 = true
+	case string(metaMagic):
+	case string(metaMagicV3):
+		v3 = true
+	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
@@ -159,7 +213,7 @@ func decodeManifest(data []byte) (*manifest, error) {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadManifest)
 	}
 	d := &mdecoder{buf: body, off: len(metaMagic)}
-	m := &manifest{Gen: int64(d.u64())}
+	m := &Manifest{Gen: int64(d.u64())}
 	if !v1 {
 		m.Kind = Kind(d.u8())
 		m.BaseGen = int64(d.u64())
@@ -204,6 +258,23 @@ func decodeManifest(data []byte) (*manifest, error) {
 			v.Pending = append(v.Pending, p)
 		}
 		m.Volumes = append(m.Volumes, v)
+	}
+	if v3 {
+		nProofs := d.uvarint()
+		if d.err == nil && nProofs == 0 {
+			return nil, fmt.Errorf("%w: v3 manifest with no proofs", ErrBadManifest)
+		}
+		for i := uint64(0); i < nProofs && d.err == nil; i++ {
+			var p Proof
+			p.Volume = string(d.bytes(d.uvarint()))
+			p.Size = d.u64()
+			copy(p.Root[:], d.bytes(32))
+			p.Timestamp = d.u64()
+			copy(p.DeviceID[:], d.bytes(16))
+			p.PubKey = append([]byte(nil), d.bytes(d.uvarint())...)
+			p.Sig = append([]byte(nil), d.bytes(d.uvarint())...)
+			m.Proofs = append(m.Proofs, p)
+		}
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadManifest, d.err)

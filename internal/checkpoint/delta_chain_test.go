@@ -673,7 +673,7 @@ func runDeltaScenario(t *testing.T, seed, k int64) (*vfs.MemFS, *vfs.FaultFS, *v
 // encodeManifestV1 renders a manifest in the pre-delta layout: the v2
 // image minus the kind byte and base gen, under the v1 magic. Only valid
 // for full generations — v1 stores had no other kind.
-func encodeManifestV1(m *manifest) []byte {
+func encodeManifestV1(m *Manifest) []byte {
 	if m.Kind != KindFull || m.BaseGen != 0 {
 		panic("encodeManifestV1: not a full generation")
 	}

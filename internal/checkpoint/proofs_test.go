@@ -1,0 +1,251 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+func testProof(i byte) Proof {
+	p := Proof{
+		Volume:    "vol1",
+		Size:      uint64(100 + i),
+		Timestamp: 1700000000 + uint64(i),
+		PubKey:    bytes.Repeat([]byte{0x50 + i}, 32),
+		Sig:       bytes.Repeat([]byte{0x60 + i}, 64),
+	}
+	p.Root[0] = 0xaa + i
+	p.DeviceID[0] = 0xbb + i
+	return p
+}
+
+// TestManifestProofCodec pins the v3 wire format: proofs round-trip
+// exactly, a proof-bearing manifest carries the v3 magic, and a manifest
+// without proofs still encodes byte-identically to the v2 format.
+func TestManifestProofCodec(t *testing.T) {
+	base := &Manifest{Gen: 7, Kind: KindFull, Records: 9, SnapSize: 4, SnapCRC: 1,
+		Volumes: []waldo.VolumeState{{Name: "vol1", Offsets: map[uint64]int64{1: 128}}}}
+
+	plain := encodeManifest(base)
+	if !bytes.HasPrefix(plain, metaMagic) {
+		t.Fatal("proofless manifest did not keep the v2 magic")
+	}
+
+	withProofs := *base
+	withProofs.Proofs = []Proof{testProof(0), testProof(1)}
+	enc := encodeManifest(&withProofs)
+	if !bytes.HasPrefix(enc, metaMagicV3) {
+		t.Fatal("proof-bearing manifest did not use the v3 magic")
+	}
+	dec, err := decodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.Proofs, withProofs.Proofs) {
+		t.Fatalf("proofs did not round-trip:\n got %+v\nwant %+v", dec.Proofs, withProofs.Proofs)
+	}
+
+	// Every flipped byte in the proof section is caught by the file CRC.
+	for off := len(enc) - 4 - 50; off < len(enc); off++ {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 1
+		if _, err := decodeManifest(bad); err == nil {
+			t.Fatalf("byte flip at %d decoded", off)
+		}
+	}
+
+	// A v3 magic with no proof section is malformed, not an empty list.
+	empty := *base
+	forged := append([]byte(nil), metaMagicV3...)
+	forged = append(forged, encodeManifest(&empty)[len(metaMagic):]...)
+	if _, err := decodeManifest(forged); err == nil {
+		t.Fatal("v3 manifest without proofs decoded")
+	}
+}
+
+// TestWriteEmbedsProofsAndLoadReturnsThem runs the MakeProofs hook through
+// a real store: every committed generation carries the hook's statements,
+// Load hands back the recovered generation's proofs, and ReadManifest /
+// VerifyGen expose them per generation for the offline verifier.
+func TestWriteEmbedsProofsAndLoadReturnsThem(t *testing.T) {
+	ckfs := vfs.NewMemFS("ck", nil)
+	lower := vfs.NewMemFS("log", nil)
+	wd, log := newLogWaldo(t, lower)
+	store, err := NewStore(ckfs, "/ck", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls byte
+	store.MakeProofs = func(cp *waldo.CheckpointState) ([]Proof, error) {
+		calls++
+		return []Proof{testProof(calls)}, nil
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3; i++ {
+		appendWorkload(t, rng, log, i*200, 200, 0)
+		if err := wd.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Write(wd.CheckpointState(), Policy{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("MakeProofs called %d times, want 3", calls)
+	}
+
+	rec, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DB == nil || len(rec.Proofs) != 1 || rec.Proofs[0].Size != uint64(100+calls) {
+		t.Fatalf("recovered proofs %+v, want the newest generation's", rec.Proofs)
+	}
+	gens, err := store.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gen := range gens {
+		m, err := store.ReadManifest(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := testProof(calls - byte(i))
+		if len(m.Proofs) != 1 || !reflect.DeepEqual(m.Proofs[0], want) {
+			t.Fatalf("gen %d proofs %+v, want %+v", gen, m.Proofs, want)
+		}
+		if _, err := store.VerifyGen(gen); err != nil {
+			t.Fatalf("gen %d failed integrity check: %v", gen, err)
+		}
+	}
+
+	// A signer failure aborts the checkpoint before anything is staged.
+	store.MakeProofs = func(*waldo.CheckpointState) ([]Proof, error) {
+		return nil, errors.New("key unavailable")
+	}
+	appendWorkload(t, rng, log, 600, 50, 0)
+	if err := wd.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write(wd.CheckpointState(), Policy{}); err == nil {
+		t.Fatal("checkpoint committed despite MakeProofs failure")
+	}
+	if after, _ := store.Generations(); len(after) != len(gens) {
+		t.Fatalf("failed write changed the store: %v -> %v", gens, after)
+	}
+}
+
+// TestVerifyProofsRejectionFallsBack is the CRC-valid-but-forged case: a
+// candidate whose manifest passes every integrity check but fails the
+// VerifyProofs hook is skipped with class root_mismatch and recovery
+// falls back to the previous generation.
+func TestVerifyProofsRejectionFallsBack(t *testing.T) {
+	ckfs := vfs.NewMemFS("ck", nil)
+	lower, store, _ := buildTwoGens(t, ckfs)
+	gens, err := store.Generations()
+	if err != nil || len(gens) != 2 {
+		t.Fatalf("gens %v, err %v", gens, err)
+	}
+	store.VerifyProofs = func(m *Manifest) error {
+		if m.Gen == gens[0] {
+			return fmt.Errorf("root does not match the recomputed MMR")
+		}
+		return nil
+	}
+	rec, _ := recoverAndReplay(t, store, lower)
+	if rec.DB == nil || rec.Gen != gens[1] {
+		t.Fatalf("recovered gen %d, want fallback to %d", rec.Gen, gens[1])
+	}
+	if len(rec.Skipped) != 1 || rec.Skipped[0].Gen != gens[0] || rec.Skipped[0].Class != SkipRootMismatch {
+		t.Fatalf("skips %+v, want gen %d with class %q", rec.Skipped, gens[0], SkipRootMismatch)
+	}
+}
+
+// TestSkipClasses pins the machine-readable skip classification across
+// the failure shapes recovery distinguishes: corrupt manifest, corrupt
+// payload, a delta whose chain base is damaged, and an orphaned payload.
+func TestSkipClasses(t *testing.T) {
+	t.Run("manifest and payload and orphan", func(t *testing.T) {
+		ckfs := vfs.NewMemFS("ck", nil)
+		lower, store, _ := buildTwoGens(t, ckfs)
+		gens, _ := store.Generations()
+		flipByte(t, ckfs, store.metaPath(gens[0]), 15)
+		flipByte(t, ckfs, store.snapPath(gens[1]), 10)
+		rec, err := store.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.DB != nil {
+			t.Fatal("recovered from corrupt generations")
+		}
+		got := map[int64]string{}
+		for _, sk := range rec.Skipped {
+			got[sk.Gen] = sk.Class
+		}
+		if got[gens[0]] != SkipManifest || got[gens[1]] != SkipPayload {
+			t.Fatalf("classes %v, want gen %d=%q gen %d=%q", got, gens[0], SkipManifest, gens[1], SkipPayload)
+		}
+		_ = lower
+	})
+
+	t.Run("chain base", func(t *testing.T) {
+		ckfs := vfs.NewMemFS("ck", nil)
+		lower := vfs.NewMemFS("log", nil)
+		wd, log := newLogWaldo(t, lower)
+		store, err := NewStore(ckfs, "/ck", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		var kinds []Kind
+		for i := 0; i < 2; i++ {
+			appendWorkload(t, rng, log, i*150, 150, 0)
+			if err := wd.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			info, err := store.Write(wd.CheckpointState(), Policy{FullEvery: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			kinds = append(kinds, info.Kind)
+		}
+		if kinds[1] != KindDelta {
+			t.Fatalf("second generation is %v, want a delta", kinds[1])
+		}
+		gens, _ := store.Generations()
+		flipByte(t, ckfs, store.snapPath(gens[1]), 10) // damage the delta's full base
+		rec, err := store.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]string{}
+		for _, sk := range rec.Skipped {
+			got[sk.Gen] = sk.Class
+		}
+		if got[gens[0]] != SkipChainBase || got[gens[1]] != SkipPayload {
+			t.Fatalf("classes %v, want delta=%q base=%q", got, SkipChainBase, SkipPayload)
+		}
+	})
+
+	t.Run("orphan", func(t *testing.T) {
+		ckfs := vfs.NewMemFS("ck", nil)
+		_, store, _ := buildTwoGens(t, ckfs)
+		gens, _ := store.Generations()
+		if err := ckfs.Remove(store.metaPath(gens[0])); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := store.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Skipped) != 1 || rec.Skipped[0].Class != SkipOrphan {
+			t.Fatalf("skips %+v, want one with class %q", rec.Skipped, SkipOrphan)
+		}
+	})
+}

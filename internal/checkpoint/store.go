@@ -40,6 +40,19 @@ type Store struct {
 	dir    string
 	retain int
 
+	// MakeProofs, when set, is called by Write at the start of each
+	// checkpoint to produce the generation's signed MMR root proofs
+	// (DESIGN.md §13); returning an error aborts the checkpoint. A nil
+	// hook (or an empty proof slice) writes a proofless v2 manifest.
+	MakeProofs func(cp *waldo.CheckpointState) ([]Proof, error)
+
+	// VerifyProofs, when set, is called by Load on each otherwise-valid
+	// candidate manifest before recovery trusts it. An error rejects the
+	// candidate (Skip class "root_mismatch") and recovery falls back
+	// toward an older generation — the CRC-valid-but-root-forged case a
+	// checksum alone cannot catch.
+	VerifyProofs func(m *Manifest) error
+
 	// Delta chain state, valid only within this process: base is the
 	// view pinned by the previous successful Write (the tree a delta
 	// diffs against — views of a reloaded database fail kvdb's identity
@@ -149,6 +162,16 @@ var errDeltaTooBig = errors.New("checkpoint: delta would be no smaller than a fu
 func (s *Store) Write(cp *waldo.CheckpointState, pol Policy) (Info, error) {
 	info := Info{Gen: cp.Gen, Records: cp.Records, Kind: KindFull}
 
+	// Signed root proofs are collected before any payload I/O so a signer
+	// failure aborts the checkpoint without staging files to sweep up.
+	var proofs []Proof
+	if s.MakeProofs != nil {
+		var err error
+		if proofs, err = s.MakeProofs(cp); err != nil {
+			return info, fmt.Errorf("checkpoint: root proofs: %w", err)
+		}
+	}
+
 	kind := KindFull
 	if pol.FullEvery > 1 && s.base != nil && s.sinceFull+1 < pol.FullEvery {
 		// The base must still be committed on disk: retention keeps live
@@ -187,7 +210,7 @@ func (s *Store) Write(cp *waldo.CheckpointState, pol Policy) (Info, error) {
 
 	// Manifest — the commit point.
 	_, provBytes, idxBytes := cp.View.Stats()
-	meta := encodeManifest(&manifest{
+	meta := encodeManifest(&Manifest{
 		Gen:       cp.Gen,
 		Kind:      info.Kind,
 		BaseGen:   info.BaseGen,
@@ -197,6 +220,7 @@ func (s *Store) Write(cp *waldo.CheckpointState, pol Policy) (Info, error) {
 		SnapSize:  payloadBytes,
 		SnapCRC:   payloadCRC,
 		Volumes:   cp.Volumes,
+		Proofs:    proofs,
 	})
 	metaTmp := vfs.Join(s.dir, fmt.Sprintf("tmp-ckpt-%016x.meta", uint64(cp.Gen)))
 	f, err := s.fs.Open(metaTmp, vfs.OCreate|vfs.ORdWr|vfs.OTrunc)
@@ -365,10 +389,52 @@ func (s *Store) sweep(extraKeep []int64) error {
 	return first
 }
 
-// Skip reports one generation recovery could not use, and why.
+// Skip reports one generation recovery could not use, and why. Class is
+// the machine-readable bucket for metrics — one of "manifest" (the
+// manifest itself was unreadable or corrupt), "payload" (a snapshot or
+// delta failed its size/CRC/decode checks), "chain_base" (the candidate
+// was fine but a generation its delta chain rests on was not), "orphan"
+// (a payload with no manifest: the checkpoint never committed),
+// "root_mismatch" (the VerifyProofs hook rejected a CRC-valid manifest),
+// or "other".
 type Skip struct {
 	Gen    int64
 	Reason string
+	Class  string
+}
+
+// Skip classes.
+const (
+	SkipManifest     = "manifest"
+	SkipPayload      = "payload"
+	SkipChainBase    = "chain_base"
+	SkipOrphan       = "orphan"
+	SkipRootMismatch = "root_mismatch"
+	SkipOther        = "other"
+)
+
+// classedErr tags an error with a Skip class. errors.As finds the
+// outermost tag, so wrapping an already-classed error reclassifies it —
+// loadChain uses that to turn any inner failure into "chain_base" when
+// it happened below the candidate generation itself.
+type classedErr struct {
+	class string
+	err   error
+}
+
+func (e *classedErr) Error() string { return e.err.Error() }
+func (e *classedErr) Unwrap() error { return e.err }
+
+func classed(class string, err error) error {
+	return &classedErr{class: class, err: err}
+}
+
+func classOf(err error) string {
+	var ce *classedErr
+	if errors.As(err, &ce) {
+		return ce.class
+	}
+	return SkipOther
 }
 
 // Recovered is the outcome of Load. DB is nil when no usable generation
@@ -387,6 +453,12 @@ type Recovered struct {
 	// generation recovers as a chain of one.
 	Chain   []int64
 	Volumes []waldo.VolumeState
+	// Proofs are the recovered manifest's signed MMR root statements,
+	// verbatim (empty for a v1/v2 generation or when tamper evidence is
+	// off). When the store's VerifyProofs hook is set they have already
+	// been checked; recovery then re-verifies the root against the live
+	// log before serving.
+	Proofs  []Proof
 	Skipped []Skip
 	// Missing is filled by restore helpers (pass.Machine.Recover) with the
 	// names of checkpointed volumes that had no attached counterpart.
@@ -442,8 +514,13 @@ func (s *Store) Load() (*Recovered, error) {
 	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
 	for _, gen := range gens {
 		db, m, chain, totalBytes, err := s.loadChain(gen)
+		if err == nil && s.VerifyProofs != nil {
+			if perr := s.VerifyProofs(m); perr != nil {
+				err = classed(SkipRootMismatch, perr)
+			}
+		}
 		if err != nil {
-			rec.Skipped = append(rec.Skipped, Skip{Gen: gen, Reason: err.Error()})
+			rec.Skipped = append(rec.Skipped, Skip{Gen: gen, Reason: err.Error(), Class: classOf(err)})
 			continue
 		}
 		db.RestoreGen(m.Gen)
@@ -453,6 +530,7 @@ func (s *Store) Load() (*Recovered, error) {
 		rec.SnapshotBytes = totalBytes
 		rec.Chain = chain
 		rec.Volumes = m.Volumes
+		rec.Proofs = m.Proofs
 		break
 	}
 	// An orphaned payload (no manifest) is a checkpoint that crashed
@@ -462,7 +540,7 @@ func (s *Store) Load() (*Recovered, error) {
 	// problem that never happened.
 	for _, gen := range orphans {
 		if rec.DB == nil || gen > rec.Gen {
-			rec.Skipped = append(rec.Skipped, Skip{Gen: gen, Reason: "missing manifest (checkpoint did not commit)"})
+			rec.Skipped = append(rec.Skipped, Skip{Gen: gen, Reason: "missing manifest (checkpoint did not commit)", Class: SkipOrphan})
 		}
 	}
 	if rec.DB != nil {
@@ -476,9 +554,9 @@ func (s *Store) Load() (*Recovered, error) {
 // head manifest (whose counters and volume offsets describe the composed
 // state), the generations composed (newest first) and the total payload
 // bytes read. Any unreadable link fails the whole candidate.
-func (s *Store) loadChain(gen int64) (*waldo.DB, *manifest, []int64, int64, error) {
+func (s *Store) loadChain(gen int64) (*waldo.DB, *Manifest, []int64, int64, error) {
 	var (
-		head   *manifest
+		head   *Manifest
 		chain  []int64
 		deltas [][]byte
 		total  int64
@@ -488,7 +566,9 @@ func (s *Store) loadChain(gen int64) (*waldo.DB, *manifest, []int64, int64, erro
 		m, payload, err := s.readGen(cur)
 		if err != nil {
 			if cur != gen {
-				err = fmt.Errorf("chain base gen %d: %v", cur, err)
+				// Reclassify: the candidate itself was fine, a link its
+				// chain rests on was not (outermost class wins).
+				err = classed(SkipChainBase, fmt.Errorf("chain base gen %d: %v", cur, err))
 			}
 			return nil, nil, nil, 0, err
 		}
@@ -505,7 +585,7 @@ func (s *Store) loadChain(gen int64) (*waldo.DB, *manifest, []int64, int64, erro
 			}
 			db, err := waldo.LoadCheckpointChain(payload, deltas, head.Records, head.ProvBytes, head.IdxBytes)
 			if err != nil {
-				return nil, nil, nil, 0, fmt.Errorf("snapshot: %w", err)
+				return nil, nil, nil, 0, classed(SkipPayload, fmt.Errorf("snapshot: %w", err))
 			}
 			return db, head, chain, total, nil
 		}
@@ -519,17 +599,17 @@ func (s *Store) loadChain(gen int64) (*waldo.DB, *manifest, []int64, int64, erro
 // readGen reads and integrity-checks one generation's manifest and
 // payload: exact-size read, one CRC pass, nothing trusted before the
 // whole payload validates.
-func (s *Store) readGen(gen int64) (*manifest, []byte, error) {
+func (s *Store) readGen(gen int64) (*Manifest, []byte, error) {
 	metaData, err := vfs.ReadFile(s.fs, s.metaPath(gen))
 	if err != nil {
-		return nil, nil, fmt.Errorf("manifest: %w", err)
+		return nil, nil, classed(SkipManifest, fmt.Errorf("manifest: %w", err))
 	}
 	m, err := decodeManifest(metaData)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, classed(SkipManifest, err)
 	}
 	if m.Gen != gen {
-		return nil, nil, fmt.Errorf("%w: manifest gen %d under name gen %d", ErrBadManifest, m.Gen, gen)
+		return nil, nil, classed(SkipManifest, fmt.Errorf("%w: manifest gen %d under name gen %d", ErrBadManifest, m.Gen, gen))
 	}
 	label := "snapshot"
 	if m.Kind == KindDelta {
@@ -537,20 +617,47 @@ func (s *Store) readGen(gen int64) (*manifest, []byte, error) {
 	}
 	f, err := s.fs.Open(s.payloadPath(gen, m.Kind), vfs.ORdOnly)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", label, err)
+		return nil, nil, classed(SkipPayload, fmt.Errorf("%s: %w", label, err))
 	}
 	defer f.Close()
 	if size := f.Size(); size != m.SnapSize {
-		return nil, nil, fmt.Errorf("%s: %d bytes, manifest says %d", label, size, m.SnapSize)
+		return nil, nil, classed(SkipPayload, fmt.Errorf("%s: %d bytes, manifest says %d", label, size, m.SnapSize))
 	}
 	buf := make([]byte, m.SnapSize)
 	if n, err := f.ReadAt(buf, 0); err != nil || int64(n) != m.SnapSize {
-		return nil, nil, fmt.Errorf("%s: read %d of %d bytes: %v", label, n, m.SnapSize, err)
+		return nil, nil, classed(SkipPayload, fmt.Errorf("%s: read %d of %d bytes: %v", label, n, m.SnapSize, err))
 	}
 	if got := crc32.ChecksumIEEE(buf); got != m.SnapCRC {
-		return nil, nil, fmt.Errorf("%s: CRC mismatch (%08x != %08x)", label, got, m.SnapCRC)
+		return nil, nil, classed(SkipPayload, fmt.Errorf("%s: CRC mismatch (%08x != %08x)", label, got, m.SnapCRC))
 	}
 	return m, buf, nil
+}
+
+// ReadManifest decodes one committed generation's manifest without
+// touching its payload — the offline verifier's view of the signed root
+// statements a generation carries.
+func (s *Store) ReadManifest(gen int64) (*Manifest, error) {
+	data, err := vfs.ReadFile(s.fs, s.metaPath(gen))
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Gen != gen {
+		return nil, fmt.Errorf("%w: manifest gen %d under name gen %d", ErrBadManifest, m.Gen, gen)
+	}
+	return m, nil
+}
+
+// VerifyGen integrity-checks one generation end to end — manifest decode
+// plus payload size and CRC — and returns its manifest. It does not
+// compose chains or verify signatures; it is the per-generation bit-rot
+// check the offline verifier runs across the whole store.
+func (s *Store) VerifyGen(gen int64) (*Manifest, error) {
+	m, _, err := s.readGen(gen)
+	return m, err
 }
 
 // Generations lists the committed (manifest-bearing) generations, newest

@@ -1,0 +1,387 @@
+// Package mmr implements the append-only Merkle mountain range that makes
+// the provenance log tamper-evident (DESIGN.md §13). Every provlog record
+// becomes a leaf; the peaks of the range are bagged into a single root
+// hash that commits to the entire log prefix. Because an MMR only ever
+// grows on the right, the root at any earlier size is recomputable from
+// the full structure, which is what makes consistency proofs between two
+// checkpoint generations possible: a signed root over n leaves and a
+// signed root over m ≥ n leaves either agree on the first n records or
+// one of them is a lie.
+//
+// Hash domain separation (all SHA-256):
+//
+//	leaf   = H(0x00 || len(rec):u64le || canonical record bytes || volume || offset:u64le)
+//	parent = H(0x01 || left || right)
+//	root   = H(0x02 || leafCount:u64le || peaks, largest mountain first)
+//
+// The structure runs in one of two modes. Full mode keeps every node in a
+// flat post-order array and can generate inclusion and consistency
+// proofs. Pruned mode keeps only the peaks (resumed from a compact state
+// file, so reopening a log does not rehash history) plus the leaves
+// appended since resume; it can append and report roots but returns
+// ErrPruned for proof generation — callers rehydrate by rescanning the
+// log, and the rebuilt root must match the pruned one, which doubles as a
+// check that the persisted state was not doctored.
+package mmr
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Hash is one SHA-256 node hash.
+type Hash = [32]byte
+
+// ErrPruned reports an operation that needs the full node set on an MMR
+// resumed from a peak file. Rehydrate (rescan the log) to clear it.
+var ErrPruned = errors.New("mmr: pruned range cannot serve this request; rehydrate from the log")
+
+// domain-separation prefixes.
+const (
+	tagLeaf   = 0x00
+	tagParent = 0x01
+	tagRoot   = 0x02
+)
+
+// LeafHash binds one provenance record to its position: the canonical
+// record bytes exactly as framed in the log, the volume the log belongs
+// to, and the global byte offset of the record's frame. Two identical
+// records at different positions — or the same bytes claimed for a
+// different volume — hash to different leaves.
+func LeafHash(rec []byte, volume string, offset uint64) Hash {
+	h := sha256.New()
+	var n [8]byte
+	h.Write([]byte{tagLeaf})
+	binary.LittleEndian.PutUint64(n[:], uint64(len(rec)))
+	h.Write(n[:]) // length prefix: no rec/volume boundary ambiguity
+	h.Write(rec)
+	h.Write([]byte(volume))
+	binary.LittleEndian.PutUint64(n[:], offset)
+	h.Write(n[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ParentHash combines two sibling subtree roots.
+func ParentHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{tagParent})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// BagPeaks folds the peaks (largest mountain first) and the leaf count
+// into the single root hash that signed statements commit to. The count
+// is hashed in so that a root is unambiguous about how many leaves it
+// covers.
+func BagPeaks(count uint64, peaks []Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{tagRoot})
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], count)
+	h.Write(n[:])
+	for _, p := range peaks {
+		h.Write(p[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// mountain is one perfect subtree in the decomposition of a leaf count:
+// leaves [start, start+size), size a power of two. The greedy
+// decomposition (one mountain per set bit of n, descending) is canonical
+// and aligned, which every proof below relies on.
+type mountain struct {
+	start, size uint64
+}
+
+// mountains returns the canonical decomposition of n leaves, largest
+// mountain (leftmost) first.
+func mountains(n uint64) []mountain {
+	out := make([]mountain, 0, bits.OnesCount64(n))
+	a := uint64(0)
+	for n != 0 {
+		s := uint64(1) << (bits.Len64(n) - 1)
+		out = append(out, mountain{a, s})
+		a += s
+		n &^= s
+	}
+	return out
+}
+
+// nodeCount is the number of nodes in the post-order array for n leaves:
+// 2n - popcount(n).
+func nodeCount(n uint64) uint64 {
+	return 2*n - uint64(bits.OnesCount64(n))
+}
+
+// peak is one entry of the live peak stack.
+type peak struct {
+	size uint64
+	h    Hash
+}
+
+// MMR is the mountain range. Safe for concurrent use: appends come from
+// the log writer while the serving path reads roots and generates proofs.
+type MMR struct {
+	mu sync.RWMutex
+
+	count uint64 // total leaves committed
+	peaks []peak // current peak stack, largest first
+
+	// Full mode: every node in post-order. nil in pruned mode.
+	nodes []Hash
+
+	// Pruned mode.
+	pruned     bool
+	base       uint64 // leaves summarized by the resumed peaks
+	baseCursor int64  // log offset the resumed peaks covered
+	basePeaks  []peak // the resumed peak stack, immutable after Resume
+	tail       []Hash // leaf hashes appended since base
+	memoCount  uint64 // RootAt replay memo: peaks state at memoCount leaves
+	memoPeaks  []peak
+
+	// Offset index: global frame-end offset of each leaf at index
+	// i-indexBase. In full mode indexBase is 0; pruned mode only knows the
+	// tail.
+	ends []int64
+
+	cursor int64 // log offset up to which frames have been consumed
+}
+
+// New returns an empty full-mode MMR.
+func New() *MMR {
+	return &MMR{}
+}
+
+// Resume reconstructs a pruned MMR from a saved State. A state with zero
+// leaves carries no history, so it resumes in full mode.
+func Resume(st State) (*MMR, error) {
+	if st.Count == 0 {
+		m := New()
+		m.cursor = st.Cursor
+		return m, nil
+	}
+	if len(st.Peaks) != bits.OnesCount64(st.Count) {
+		return nil, fmt.Errorf("mmr: state has %d peaks for %d leaves, want %d",
+			len(st.Peaks), st.Count, bits.OnesCount64(st.Count))
+	}
+	m := &MMR{
+		count:      st.Count,
+		pruned:     true,
+		base:       st.Count,
+		baseCursor: st.Cursor,
+		cursor:     st.Cursor,
+	}
+	for i, mt := range mountains(st.Count) {
+		m.peaks = append(m.peaks, peak{mt.size, st.Peaks[i]})
+	}
+	m.basePeaks = append([]peak(nil), m.peaks...)
+	return m, nil
+}
+
+// Count returns the number of leaves.
+func (m *MMR) Count() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count
+}
+
+// Cursor returns the log offset up to which frames have been consumed.
+func (m *MMR) Cursor() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cursor
+}
+
+// Pruned reports whether this MMR was resumed from a peak file and so
+// cannot generate proofs until rehydrated.
+func (m *MMR) Pruned() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pruned
+}
+
+// Append commits one leaf whose frame ends at log offset end.
+func (m *MMR) Append(leaf Hash, end int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.pruned {
+		m.nodes = append(m.nodes, leaf)
+	} else {
+		m.tail = append(m.tail, leaf)
+	}
+	m.ends = append(m.ends, end)
+	m.peaks = pushLeaf(m.peaks, leaf, func(p Hash) {
+		if !m.pruned {
+			m.nodes = append(m.nodes, p)
+		}
+	})
+	m.count++
+	if end > m.cursor {
+		m.cursor = end
+	}
+}
+
+// pushLeaf appends a leaf to a peak stack, carry-merging equal-size peaks
+// and reporting each newly created parent node to emit (for the full-mode
+// post-order array).
+func pushLeaf(peaks []peak, leaf Hash, emit func(Hash)) []peak {
+	peaks = append(peaks, peak{1, leaf})
+	for len(peaks) >= 2 && peaks[len(peaks)-1].size == peaks[len(peaks)-2].size {
+		r := peaks[len(peaks)-1]
+		l := peaks[len(peaks)-2]
+		p := ParentHash(l.h, r.h)
+		if emit != nil {
+			emit(p)
+		}
+		peaks = peaks[:len(peaks)-2]
+		peaks = append(peaks, peak{l.size * 2, p})
+	}
+	return peaks
+}
+
+// Advance records that the log has been consumed up to offset end without
+// adding a leaf (data and transaction frames are not leaves, but the
+// cursor must cover them so a resumed MMR knows where to pick up).
+func (m *MMR) Advance(end int64) {
+	m.mu.Lock()
+	if end > m.cursor {
+		m.cursor = end
+	}
+	m.mu.Unlock()
+}
+
+// Root returns the current root hash.
+func (m *MMR) Root() Hash {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return BagPeaks(m.count, peakHashes(m.peaks))
+}
+
+func peakHashes(ps []peak) []Hash {
+	out := make([]Hash, len(ps))
+	for i, p := range ps {
+		out[i] = p.h
+	}
+	return out
+}
+
+// subRoot returns the root of the perfect subtree over leaves
+// [start, start+size) from the post-order array. The subtree's nodes are
+// contiguous, ending at nodeCount(start) + 2*size - 2.
+func (m *MMR) subRoot(start, size uint64) Hash {
+	return m.nodes[nodeCount(start)+2*size-2]
+}
+
+// peaksAtLocked returns the peak hashes at an earlier size k. Callers
+// hold at least the read lock.
+func (m *MMR) peaksAtLocked(k uint64) ([]Hash, error) {
+	if k > m.count {
+		return nil, fmt.Errorf("mmr: size %d beyond %d leaves", k, m.count)
+	}
+	if !m.pruned {
+		ms := mountains(k)
+		out := make([]Hash, len(ms))
+		for i, mt := range ms {
+			out[i] = m.subRoot(mt.start, mt.size)
+		}
+		return out, nil
+	}
+	if k < m.base {
+		return nil, fmt.Errorf("%w: size %d predates the resumed base %d", ErrPruned, k, m.base)
+	}
+	if k == m.count {
+		return peakHashes(m.peaks), nil
+	}
+	return nil, errNeedReplay
+}
+
+var errNeedReplay = errors.New("mmr: internal: replay required")
+
+// RootAt returns the root the MMR had when it held k leaves. In pruned
+// mode only sizes at or after the resumed base are answerable; the tail
+// leaves are replayed forward with a memo so repeated monotonic queries
+// (the replication fork check asks at every chunk boundary) stay cheap.
+func (m *MMR) RootAt(k uint64) (Hash, error) {
+	m.mu.RLock()
+	ph, err := m.peaksAtLocked(k)
+	m.mu.RUnlock()
+	if err == nil {
+		return BagPeaks(k, ph), nil
+	}
+	if !errors.Is(err, errNeedReplay) {
+		return Hash{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k > m.count || k < m.base {
+		return Hash{}, fmt.Errorf("mmr: size %d not answerable", k)
+	}
+	// Replay the tail forward from the resumed base peaks; queries that
+	// move backwards restart the replay from the base.
+	if m.memoPeaks == nil || m.memoCount > k {
+		m.memoCount = m.base
+		m.memoPeaks = append([]peak(nil), m.basePeaks...)
+	}
+	for m.memoCount < k {
+		leaf := m.tail[m.memoCount-m.base]
+		m.memoPeaks = pushLeaf(m.memoPeaks, leaf, nil)
+		m.memoCount++
+	}
+	return BagPeaks(k, peakHashes(m.memoPeaks)), nil
+}
+
+// Leaf returns the hash of leaf i. Pruned mode can only answer for
+// leaves appended since resume.
+func (m *MMR) Leaf(i uint64) (Hash, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if i >= m.count {
+		return Hash{}, fmt.Errorf("mmr: leaf %d beyond %d leaves", i, m.count)
+	}
+	if m.pruned {
+		if i < m.base {
+			return Hash{}, fmt.Errorf("%w: leaf %d predates the resumed base %d", ErrPruned, i, m.base)
+		}
+		return m.tail[i-m.base], nil
+	}
+	return m.nodes[nodeCount(i)], nil
+}
+
+// LeavesAtOffset returns how many leaves have their frame end at or
+// before global log offset end — the leaf count a replication chunk
+// boundary corresponds to. ok is false when the answer would need
+// history a pruned MMR no longer holds.
+func (m *MMR) LeavesAtOffset(end int64) (uint64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.pruned && end < m.baseCursor {
+		return 0, false
+	}
+	n := uint64(sort.Search(len(m.ends), func(i int) bool { return m.ends[i] > end }))
+	if m.pruned {
+		return m.base + n, true
+	}
+	return n, true
+}
+
+// State snapshots the compact resume state: leaf count, log cursor and
+// current peaks. Persisting it after a durable sync lets the next boot
+// resume without rehashing history.
+func (m *MMR) State() State {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return State{Count: m.count, Cursor: m.cursor, Peaks: peakHashes(m.peaks)}
+}

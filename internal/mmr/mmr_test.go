@@ -1,0 +1,417 @@
+package mmr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// testLeaf derives a distinct deterministic leaf for index i.
+func testLeaf(i uint64) Hash {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return LeafHash(b[:], "testvol", i*100)
+}
+
+// grow builds a full-mode MMR over n synthetic leaves, with frame ends
+// at 10 bytes per leaf.
+func grow(n uint64) *MMR {
+	m := New()
+	for i := uint64(0); i < n; i++ {
+		m.Append(testLeaf(i), int64((i+1)*10))
+	}
+	return m
+}
+
+func TestRootChangesWithEveryLeaf(t *testing.T) {
+	m := New()
+	seen := map[Hash]uint64{m.Root(): 0}
+	for i := uint64(0); i < 130; i++ {
+		m.Append(testLeaf(i), int64(i+1)*10)
+		r := m.Root()
+		if prev, dup := seen[r]; dup {
+			t.Fatalf("root at %d leaves repeats root at %d leaves", i+1, prev)
+		}
+		seen[r] = i + 1
+	}
+}
+
+func TestRootAtMatchesIncrementalRoots(t *testing.T) {
+	const n = 100
+	roots := make([]Hash, n+1)
+	m := New()
+	roots[0] = m.Root()
+	for i := uint64(0); i < n; i++ {
+		m.Append(testLeaf(i), int64(i+1)*10)
+		roots[i+1] = m.Root()
+	}
+	for k := uint64(0); k <= n; k++ {
+		got, err := m.RootAt(k)
+		if err != nil {
+			t.Fatalf("RootAt(%d): %v", k, err)
+		}
+		if got != roots[k] {
+			t.Fatalf("RootAt(%d) disagrees with the live root at that size", k)
+		}
+	}
+	if _, err := m.RootAt(n + 1); err == nil {
+		t.Fatal("RootAt past the leaf count succeeded")
+	}
+}
+
+// TestInclusionProofMatrix proves every leaf at every size for a range of
+// sizes that crosses several mountain-shape transitions.
+func TestInclusionProofMatrix(t *testing.T) {
+	const max = 70
+	m := grow(max)
+	for size := uint64(1); size <= max; size++ {
+		root, err := m.RootAt(size)
+		if err != nil {
+			t.Fatalf("RootAt(%d): %v", size, err)
+		}
+		for i := uint64(0); i < size; i++ {
+			p, err := m.ProveAt(i, size)
+			if err != nil {
+				t.Fatalf("ProveAt(%d, %d): %v", i, size, err)
+			}
+			if err := VerifyInclusion(root, testLeaf(i), p); err != nil {
+				t.Fatalf("inclusion %d of %d: %v", i, size, err)
+			}
+			// The same proof must fail for a different leaf hash.
+			if err := VerifyInclusion(root, testLeaf(i+1), p); err == nil {
+				t.Fatalf("inclusion %d of %d verified a wrong leaf", i, size)
+			}
+		}
+	}
+}
+
+func TestInclusionProofRejectsTamperedPath(t *testing.T) {
+	m := grow(37)
+	root := m.Root()
+	p, err := m.Prove(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Path {
+		p.Path[i][0] ^= 1
+		if err := VerifyInclusion(root, testLeaf(11), p); err == nil {
+			t.Fatalf("flipped path hash %d still verified", i)
+		}
+		p.Path[i][0] ^= 1
+	}
+	for i := range p.Peaks {
+		p.Peaks[i][0] ^= 1
+		if err := VerifyInclusion(root, testLeaf(11), p); err == nil {
+			t.Fatalf("flipped peak hash %d still verified", i)
+		}
+		p.Peaks[i][0] ^= 1
+	}
+	wrongRoot := root
+	wrongRoot[5] ^= 1
+	if err := VerifyInclusion(wrongRoot, testLeaf(11), p); err == nil {
+		t.Fatal("proof verified against a wrong root")
+	}
+}
+
+// TestConsistencyProofMatrix proves every (old, new) size pair across a
+// range and checks that a forked history is rejected.
+func TestConsistencyProofMatrix(t *testing.T) {
+	const max = 40
+	m := grow(max)
+	roots := make([]Hash, max+1)
+	for k := uint64(0); k <= max; k++ {
+		roots[k], _ = m.RootAt(k)
+	}
+	for oldN := uint64(0); oldN <= max; oldN++ {
+		for newN := oldN; newN <= max; newN++ {
+			p, err := m.Consistency(oldN, newN)
+			if err != nil {
+				t.Fatalf("Consistency(%d, %d): %v", oldN, newN, err)
+			}
+			if err := VerifyConsistency(roots[oldN], roots[newN], p); err != nil {
+				t.Fatalf("consistency %d→%d: %v", oldN, newN, err)
+			}
+		}
+	}
+}
+
+func TestConsistencyRejectsFork(t *testing.T) {
+	// Two histories that agree on the first 20 leaves and then diverge.
+	honest := grow(33)
+	forked := New()
+	for i := uint64(0); i < 33; i++ {
+		leaf := testLeaf(i)
+		if i >= 20 {
+			leaf = LeafHash([]byte("forged"), "testvol", i*100)
+		}
+		forked.Append(leaf, int64(i+1)*10)
+	}
+	oldRoot, _ := honest.RootAt(25)
+	// The fork cannot produce a consistency proof from the honest root at
+	// 25 to its own root at 33.
+	p, err := forked.Consistency(25, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyConsistency(oldRoot, forked.Root(), p); err == nil {
+		t.Fatal("fork produced a consistency proof against the honest old root")
+	}
+	// And an honest proof does not link the honest old root to the forked
+	// new root.
+	hp, err := honest.Consistency(25, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyConsistency(oldRoot, forked.Root(), hp); err == nil {
+		t.Fatal("honest proof linked to a forked new root")
+	}
+	if err := VerifyConsistency(oldRoot, honest.Root(), hp); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+}
+
+func TestPrunedResumeEquivalence(t *testing.T) {
+	const cut, total = 45, 90
+	full := grow(total)
+
+	half := grow(cut)
+	st := half.State()
+	resumed, err := Resume(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Pruned() {
+		t.Fatal("resumed MMR is not pruned")
+	}
+	for i := uint64(cut); i < total; i++ {
+		resumed.Append(testLeaf(i), int64(i+1)*10)
+	}
+	if resumed.Root() != full.Root() {
+		t.Fatal("pruned resume diverged from the full MMR")
+	}
+	if resumed.Count() != full.Count() {
+		t.Fatal("pruned resume miscounted")
+	}
+	// RootAt works at and after the base, including backwards queries
+	// (which restart the replay memo).
+	for _, k := range []uint64{cut, 60, 70, 50, total, cut} {
+		want, _ := full.RootAt(k)
+		got, err := resumed.RootAt(k)
+		if err != nil {
+			t.Fatalf("pruned RootAt(%d): %v", k, err)
+		}
+		if got != want {
+			t.Fatalf("pruned RootAt(%d) diverged", k)
+		}
+	}
+	// Before the base: answerable only by rehydrating.
+	if _, err := resumed.RootAt(cut - 1); !errors.Is(err, ErrPruned) {
+		t.Fatalf("RootAt before base: %v, want ErrPruned", err)
+	}
+	if _, err := resumed.Prove(1); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Prove on pruned: %v, want ErrPruned", err)
+	}
+	if _, err := resumed.Consistency(cut, total); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Consistency on pruned: %v, want ErrPruned", err)
+	}
+}
+
+func TestStateRoundTripAndTamper(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 3, 31, 32, 33} {
+		st := grow(n).State()
+		enc := st.Encode()
+		dec, err := DecodeState(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if dec.Count != st.Count || dec.Cursor != st.Cursor || len(dec.Peaks) != len(st.Peaks) {
+			t.Fatalf("n=%d: state round trip mismatch", n)
+		}
+		for i := range st.Peaks {
+			if dec.Peaks[i] != st.Peaks[i] {
+				t.Fatalf("n=%d: peak %d mismatch", n, i)
+			}
+		}
+		if n > 0 {
+			for i := range enc {
+				enc[i] ^= 0x40
+				if _, err := DecodeState(enc); err == nil {
+					t.Fatalf("n=%d: flipped byte %d decoded cleanly", n, i)
+				}
+				enc[i] ^= 0x40
+			}
+		}
+	}
+	if _, err := DecodeState([]byte("junk")); err == nil {
+		t.Fatal("junk decoded as a peak file")
+	}
+}
+
+func TestResumeZeroStateIsFullMode(t *testing.T) {
+	m, err := Resume(State{Count: 0, Cursor: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pruned() {
+		t.Fatal("zero-leaf resume should be full mode")
+	}
+	if m.Cursor() != 7 {
+		t.Fatalf("cursor %d, want 7", m.Cursor())
+	}
+	m.Append(testLeaf(0), 17)
+	if _, err := m.Prove(0); err != nil {
+		t.Fatalf("full-mode proof after zero resume: %v", err)
+	}
+}
+
+func TestResumeRejectsBadPeakCount(t *testing.T) {
+	if _, err := Resume(State{Count: 3, Peaks: []Hash{{}}}); err == nil {
+		t.Fatal("resume accepted wrong peak count")
+	}
+}
+
+func TestLeavesAtOffset(t *testing.T) {
+	m := New()
+	// Leaves end at 10, 25, 40; an Advance (non-leaf frame) pushes the
+	// cursor to 55.
+	m.Append(testLeaf(0), 10)
+	m.Append(testLeaf(1), 25)
+	m.Append(testLeaf(2), 40)
+	m.Advance(55)
+	cases := []struct {
+		end  int64
+		want uint64
+	}{{0, 0}, {9, 0}, {10, 1}, {24, 1}, {25, 2}, {40, 3}, {55, 3}, {1000, 3}}
+	for _, c := range cases {
+		got, ok := m.LeavesAtOffset(c.end)
+		if !ok || got != c.want {
+			t.Fatalf("LeavesAtOffset(%d) = %d, %v; want %d, true", c.end, got, ok, c.want)
+		}
+	}
+	if m.Cursor() != 55 {
+		t.Fatalf("cursor %d, want 55", m.Cursor())
+	}
+
+	// A pruned MMR cannot answer below its base cursor.
+	st := m.State()
+	p, err := Resume(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.LeavesAtOffset(54); ok {
+		t.Fatal("pruned MMR answered an offset below its base")
+	}
+	p.Append(testLeaf(3), 70)
+	if got, ok := p.LeavesAtOffset(70); !ok || got != 4 {
+		t.Fatalf("pruned LeavesAtOffset(70) = %d, %v; want 4, true", got, ok)
+	}
+}
+
+func TestLeafAccess(t *testing.T) {
+	m := grow(10)
+	for i := uint64(0); i < 10; i++ {
+		h, err := m.Leaf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != testLeaf(i) {
+			t.Fatalf("leaf %d mismatch", i)
+		}
+	}
+	if _, err := m.Leaf(10); err == nil {
+		t.Fatal("leaf past the count succeeded")
+	}
+	p, _ := Resume(m.State())
+	if _, err := p.Leaf(3); !errors.Is(err, ErrPruned) {
+		t.Fatalf("pruned leaf access: %v, want ErrPruned", err)
+	}
+	p.Append(testLeaf(10), 110)
+	if h, err := p.Leaf(10); err != nil || h != testLeaf(10) {
+		t.Fatalf("pruned tail leaf access: %v", err)
+	}
+}
+
+func TestLeafHashDomainSeparation(t *testing.T) {
+	rec := []byte("some record bytes")
+	a := LeafHash(rec, "vol", 100)
+	if a != LeafHash(rec, "vol", 100) {
+		t.Fatal("leaf hash not deterministic")
+	}
+	for name, b := range map[string]Hash{
+		"different bytes":  LeafHash([]byte("some record byteZ"), "vol", 100),
+		"different volume": LeafHash(rec, "vol2", 100),
+		"different offset": LeafHash(rec, "vol", 101),
+	} {
+		if a == b {
+			t.Fatalf("%s hashed to the same leaf", name)
+		}
+	}
+	// A shifted volume/bytes boundary must not collide.
+	if LeafHash([]byte("ab"), "c", 0) == LeafHash([]byte("a"), "bc", 0) {
+		t.Fatal("leaf hash boundary ambiguity")
+	}
+}
+
+func TestConcurrentAppendAndProve(t *testing.T) {
+	m := grow(64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(64); i < 2064; i++ {
+			m.Append(testLeaf(i), int64(i+1)*10)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		n := m.Count()
+		root, err := m.RootAt(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.ProveAt(n-1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyInclusion(root, testLeaf(n-1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	m := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Append(testLeaf(uint64(i)), int64(i+1)*10)
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	m := grow(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Prove(uint64(i) % (1 << 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleVerifyInclusion() {
+	m := New()
+	for i := uint64(0); i < 5; i++ {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], i)
+		m.Append(LeafHash(buf[:], "vol", i*16), int64(i+1)*16)
+	}
+	p, _ := m.Prove(3)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], 3)
+	leaf := LeafHash(buf[:], "vol", 3*16)
+	fmt.Println(VerifyInclusion(m.Root(), leaf, p) == nil)
+	// Output: true
+}

@@ -1,0 +1,232 @@
+package mmr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// InclusionProof shows that a specific leaf is committed by the root at
+// Size leaves. Path holds the sibling hashes from the leaf up to its
+// mountain peak (leaf-adjacent first); Peaks holds the other mountains'
+// peaks in canonical order, with the proven mountain's slot omitted. No
+// direction bits travel with the proof: the verifier derives them from
+// the index bits and the canonical decomposition of Size.
+type InclusionProof struct {
+	Index uint64
+	Size  uint64
+	Path  []Hash
+	Peaks []Hash
+}
+
+// ConsistencyProof shows that the root at NewSize extends the root at
+// OldSize without rewriting it. OldPeaks are the peaks at OldSize
+// (which must bag to the old root); Fillers are the roots of the new
+// aligned subtrees that lie entirely past OldSize, in the deterministic
+// order the rebuild recursion consumes them.
+type ConsistencyProof struct {
+	OldSize  uint64
+	NewSize  uint64
+	OldPeaks []Hash
+	Fillers  []Hash
+}
+
+// containing finds the mountain of the decomposition ms that holds leaf
+// i, and its slot index.
+func containing(ms []mountain, i uint64) (mountain, int, bool) {
+	for slot, mt := range ms {
+		if i >= mt.start && i < mt.start+mt.size {
+			return mt, slot, true
+		}
+	}
+	return mountain{}, 0, false
+}
+
+// Prove generates an inclusion proof for leaf i against the current
+// root. Full mode only.
+func (m *MMR) Prove(i uint64) (InclusionProof, error) {
+	return m.ProveAt(i, m.Count())
+}
+
+// ProveAt generates an inclusion proof for leaf i against the root the
+// MMR had at size leaves. Full mode only.
+func (m *MMR) ProveAt(i, size uint64) (InclusionProof, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.pruned {
+		return InclusionProof{}, ErrPruned
+	}
+	if size > m.count {
+		return InclusionProof{}, fmt.Errorf("mmr: size %d beyond %d leaves", size, m.count)
+	}
+	if i >= size {
+		return InclusionProof{}, fmt.Errorf("mmr: leaf %d not covered by size %d", i, size)
+	}
+	ms := mountains(size)
+	mt, slot, _ := containing(ms, i)
+	p := InclusionProof{Index: i, Size: size}
+	m.pathTo(mt.start, mt.size, i, &p.Path)
+	for s, other := range ms {
+		if s != slot {
+			p.Peaks = append(p.Peaks, m.subRoot(other.start, other.size))
+		}
+	}
+	return p, nil
+}
+
+// pathTo collects the sibling hashes on the way from leaf i to the root
+// of the perfect subtree over [start, start+size), appending them
+// leaf-adjacent first.
+func (m *MMR) pathTo(start, size, i uint64, path *[]Hash) {
+	if size == 1 {
+		return
+	}
+	half := size / 2
+	if i < start+half {
+		m.pathTo(start, half, i, path)
+		*path = append(*path, m.subRoot(start+half, half))
+	} else {
+		m.pathTo(start+half, half, i, path)
+		*path = append(*path, m.subRoot(start, half))
+	}
+}
+
+// VerifyInclusion checks an inclusion proof for the given leaf hash
+// against a root covering p.Size leaves.
+func VerifyInclusion(root Hash, leaf Hash, p InclusionProof) error {
+	if p.Index >= p.Size {
+		return fmt.Errorf("mmr: proof index %d not covered by size %d", p.Index, p.Size)
+	}
+	ms := mountains(p.Size)
+	mt, slot, ok := containing(ms, p.Index)
+	if !ok {
+		return fmt.Errorf("mmr: no mountain holds leaf %d at size %d", p.Index, p.Size)
+	}
+	if want := bits.Len64(mt.size) - 1; len(p.Path) != want {
+		return fmt.Errorf("mmr: path length %d, want %d", len(p.Path), want)
+	}
+	if len(p.Peaks) != len(ms)-1 {
+		return fmt.Errorf("mmr: %d other peaks, want %d", len(p.Peaks), len(ms)-1)
+	}
+	h := leaf
+	j := p.Index - mt.start
+	for _, sib := range p.Path {
+		if j&1 == 1 {
+			h = ParentHash(sib, h)
+		} else {
+			h = ParentHash(h, sib)
+		}
+		j >>= 1
+	}
+	all := make([]Hash, 0, len(ms))
+	all = append(all, p.Peaks[:slot]...)
+	all = append(all, h)
+	all = append(all, p.Peaks[slot:]...)
+	if BagPeaks(p.Size, all) != root {
+		return fmt.Errorf("mmr: inclusion proof does not reach the root")
+	}
+	return nil
+}
+
+// Consistency generates a proof that the root at newSize extends the
+// root at oldSize. Full mode only.
+func (m *MMR) Consistency(oldSize, newSize uint64) (ConsistencyProof, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.pruned {
+		return ConsistencyProof{}, ErrPruned
+	}
+	if newSize > m.count {
+		return ConsistencyProof{}, fmt.Errorf("mmr: size %d beyond %d leaves", newSize, m.count)
+	}
+	if oldSize > newSize {
+		return ConsistencyProof{}, fmt.Errorf("mmr: old size %d past new size %d", oldSize, newSize)
+	}
+	p := ConsistencyProof{OldSize: oldSize, NewSize: newSize}
+	oldMs := mountains(oldSize)
+	for _, mt := range oldMs {
+		p.OldPeaks = append(p.OldPeaks, m.subRoot(mt.start, mt.size))
+	}
+	var descend func(start, size uint64)
+	descend = func(start, size uint64) {
+		for _, omt := range oldMs {
+			if omt.start == start && omt.size == size {
+				return // an old mountain: the verifier already holds it
+			}
+		}
+		if start >= oldSize {
+			p.Fillers = append(p.Fillers, m.subRoot(start, size))
+			return
+		}
+		half := size / 2
+		descend(start, half)
+		descend(start+half, half)
+	}
+	for _, mt := range mountains(newSize) {
+		descend(mt.start, mt.size)
+	}
+	return p, nil
+}
+
+// VerifyConsistency checks that newRoot (at p.NewSize leaves) is an
+// append-only extension of oldRoot (at p.OldSize leaves). The old
+// mountains are the aligned greedy decomposition of the old prefix, so
+// each is reachable by splitting exactly one new mountain; everything
+// wholly past the old size must be supplied as a filler. Both peak lists
+// must be consumed exactly.
+func VerifyConsistency(oldRoot, newRoot Hash, p ConsistencyProof) error {
+	if p.OldSize > p.NewSize {
+		return fmt.Errorf("mmr: old size %d past new size %d", p.OldSize, p.NewSize)
+	}
+	oldMs := mountains(p.OldSize)
+	if len(p.OldPeaks) != len(oldMs) {
+		return fmt.Errorf("mmr: %d old peaks, want %d", len(p.OldPeaks), len(oldMs))
+	}
+	if BagPeaks(p.OldSize, p.OldPeaks) != oldRoot {
+		return fmt.Errorf("mmr: old peaks do not bag to the old root")
+	}
+	oi, fi := 0, 0
+	var build func(start, size uint64) (Hash, error)
+	build = func(start, size uint64) (Hash, error) {
+		if oi < len(oldMs) && oldMs[oi].start == start && oldMs[oi].size == size {
+			h := p.OldPeaks[oi]
+			oi++
+			return h, nil
+		}
+		if start >= p.OldSize {
+			if fi >= len(p.Fillers) {
+				return Hash{}, fmt.Errorf("mmr: consistency proof is missing fillers")
+			}
+			h := p.Fillers[fi]
+			fi++
+			return h, nil
+		}
+		if size == 1 {
+			return Hash{}, fmt.Errorf("mmr: malformed consistency proof")
+		}
+		half := size / 2
+		l, err := build(start, half)
+		if err != nil {
+			return Hash{}, err
+		}
+		r, err := build(start+half, half)
+		if err != nil {
+			return Hash{}, err
+		}
+		return ParentHash(l, r), nil
+	}
+	newPeaks := make([]Hash, 0, bits.OnesCount64(p.NewSize))
+	for _, mt := range mountains(p.NewSize) {
+		h, err := build(mt.start, mt.size)
+		if err != nil {
+			return err
+		}
+		newPeaks = append(newPeaks, h)
+	}
+	if oi != len(oldMs) || fi != len(p.Fillers) {
+		return fmt.Errorf("mmr: consistency proof has unused hashes")
+	}
+	if BagPeaks(p.NewSize, newPeaks) != newRoot {
+		return fmt.Errorf("mmr: consistency proof does not reach the new root")
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package mmr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+)
+
+// StateMagic identifies a peak-file. The format is versioned by the
+// magic, CRC-protected, and fixed-layout:
+//
+//	magic "PASSMMR1\n"
+//	count:u64le  cursor:u64le  npeaks:u32le
+//	npeaks × 32-byte peak hashes, largest mountain first
+//	crc32(everything above):u32le
+const StateMagic = "PASSMMR1\n"
+
+// State is the compact resume state of an MMR: enough to keep appending
+// and reporting roots without the node set.
+type State struct {
+	Count  uint64
+	Cursor int64
+	Peaks  []Hash
+}
+
+// Encode renders the peak-file bytes.
+func (s State) Encode() []byte {
+	out := make([]byte, 0, len(StateMagic)+8+8+4+32*len(s.Peaks)+4)
+	out = append(out, StateMagic...)
+	out = binary.LittleEndian.AppendUint64(out, s.Count)
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.Cursor))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Peaks)))
+	for _, p := range s.Peaks {
+		out = append(out, p[:]...)
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// DecodeState parses and validates peak-file bytes.
+func DecodeState(b []byte) (State, error) {
+	head := len(StateMagic) + 8 + 8 + 4
+	if len(b) < head+4 || string(b[:len(StateMagic)]) != StateMagic {
+		return State{}, fmt.Errorf("mmr: not a peak file")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return State{}, fmt.Errorf("mmr: peak file checksum mismatch")
+	}
+	var s State
+	off := len(StateMagic)
+	s.Count = binary.LittleEndian.Uint64(b[off:])
+	s.Cursor = int64(binary.LittleEndian.Uint64(b[off+8:]))
+	n := int(binary.LittleEndian.Uint32(b[off+16:]))
+	if n != bits.OnesCount64(s.Count) {
+		return State{}, fmt.Errorf("mmr: peak file has %d peaks for %d leaves, want %d",
+			n, s.Count, bits.OnesCount64(s.Count))
+	}
+	if len(body) != head+32*n {
+		return State{}, fmt.Errorf("mmr: peak file length %d, want %d", len(b), head+32*n+4)
+	}
+	s.Peaks = make([]Hash, n)
+	for i := range s.Peaks {
+		copy(s.Peaks[i][:], b[head+32*i:])
+	}
+	return s, nil
+}

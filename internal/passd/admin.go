@@ -174,6 +174,32 @@ func newServerMetrics(s *Server) *serverMetrics {
 		return 0
 	})
 
+	// Tamper evidence (DESIGN.md §13). The recovery-skip breakdown is
+	// fixed at boot — recovery ran before the server existed — so the
+	// family is populated once here; the bounded reason set keeps
+	// cardinality in check.
+	skips := r.CounterVec("passd_recovery_skipped_generations_total",
+		"Checkpoint generations recovery skipped at boot, by reason class.", "reason")
+	if rec := s.cfg.Recovered; rec != nil {
+		for _, sk := range rec.Skipped {
+			skips.With(skipClass(sk.Class)).Inc()
+		}
+	}
+	r.CounterFunc("passd_fork_refusals_total", "Replicated appends refused because the stream diverged from local history.", s.forkRefusals.Load)
+	r.CounterFunc("passd_verify_total", "Verify verb executions (signed roots and Merkle proofs served).", s.verifies.Load)
+	r.GaugeFunc("passd_mmr_leaves", "Leaves in the live provenance-log Merkle mountain range.", func() float64 {
+		if t := s.cfg.Tamper; t != nil {
+			return float64(t.MMR().Count())
+		}
+		return 0
+	})
+	r.GaugeFunc("passd_mmr_pruned", "Whether the live MMR is pruned (1, proofs need rehydration) or full (0).", func() float64 {
+		if t := s.cfg.Tamper; t != nil && t.MMR().Pruned() {
+			return 1
+		}
+		return 0
+	})
+
 	return m
 }
 

@@ -378,7 +378,7 @@ func idempotentOp(op string) bool {
 	switch strings.ToLower(op) {
 	case "query", "explain", "stats", "drain", "checkpoint", "ping",
 		"hello", "read", "revive", "sync",
-		"replstate", "replappend", "repljoin":
+		"replstate", "replappend", "repljoin", "verify":
 		return true
 	}
 	return false
@@ -592,4 +592,40 @@ func (c *Client) Append(recs []record.Record) (int64, error) {
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(&Request{Op: "ping"})
 	return err
+}
+
+// verify round-trips one "verify" request and unwraps its payload.
+func (c *Client) verify(req *Request) (*WireVerify, error) {
+	req.Op = "verify"
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Verify == nil {
+		return nil, errors.New("passd: verify response missing payload")
+	}
+	return resp.Verify, nil
+}
+
+// VerifyRoot fetches the server's MMR root at size leaves (0 = current),
+// signed when the daemon holds an identity. The answer is checkable with
+// WireVerify.Statement and signer.Verify — trust the signature, not the
+// transport.
+func (c *Client) VerifyRoot(size uint64) (*WireVerify, error) {
+	return c.verify(&Request{MMRSize: size})
+}
+
+// VerifyInclusion fetches an inclusion proof showing record position
+// index is committed by the root at size leaves (0 = current). Check it
+// with WireVerify.Inclusion and mmr.VerifyInclusion.
+func (c *Client) VerifyInclusion(index, size uint64) (*WireVerify, error) {
+	return c.verify(&Request{VerifyOp: "include", VerifyIndex: index, MMRSize: size})
+}
+
+// VerifyConsistency fetches a consistency proof showing the tree at "to"
+// leaves (0 = current) extends the tree at "from" leaves without
+// rewriting it. Check it with WireVerify.Consistency and
+// mmr.VerifyConsistency.
+func (c *Client) VerifyConsistency(from, to uint64) (*WireVerify, error) {
+	return c.verify(&Request{VerifyOp: "consistency", VerifyFrom: from, VerifyTo: to})
 }

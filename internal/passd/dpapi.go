@@ -427,6 +427,14 @@ func wireError(resp *Response) error {
 		// server closes the connection after this refusal, but the error
 		// the caller acts on is the budget, not the reconnect.
 		return fmt.Errorf("passd: remote: %w (%s)", ErrTooLarge, resp.Error)
+	case codeForked:
+		// Not retryable either: the follower recomputed a different root
+		// over the same bytes, so the two histories have diverged and
+		// resending cannot reconcile them. The primary's stream stops
+		// making progress against this follower until an operator
+		// re-seeds one side — which is the fail-closed behavior a forked
+		// primary must get.
+		return fmt.Errorf("passd: remote: %w (%s)", ErrForked, resp.Error)
 	case codeOverloaded, codeUnavail, codeReadOnly, codeQuota, codeGap:
 		// Availability refusals keep the server's detail (quorum counts,
 		// shed reason, gap offsets) while mapping onto the sentinel the

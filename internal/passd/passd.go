@@ -132,6 +132,27 @@ type Request struct {
 	// offset and byte chunk of a "replappend".
 	Addr string `json:"addr,omitempty"`
 
+	// --- tamper-evidence fields (DESIGN.md §13) ---
+
+	// MMRSize and MMRRoot ride on a "replappend" from a proof-aware
+	// primary: the Merkle-mountain-range leaf count and hex-encoded root
+	// covering the log prefix ending at Off+len(Data). A follower with a
+	// live MMR recomputes its own root over the same prefix and refuses
+	// the append with the "forked" code on mismatch. On a "verify" with
+	// op "root" or "include", MMRSize optionally pins the tree size to
+	// answer at (0 = current).
+	MMRSize uint64 `json:"mmr_n,omitempty"`
+	MMRRoot string `json:"mmr_root,omitempty"`
+	// VerifyOp selects what a "verify" returns: "root" (default) — the
+	// current signed root statement; "include" — an inclusion proof for
+	// leaf VerifyIndex; "consistency" — a consistency proof showing the
+	// tree at VerifyTo extends the tree at VerifyFrom (VerifyTo 0 =
+	// current size).
+	VerifyOp    string `json:"verify_op,omitempty"`
+	VerifyIndex uint64 `json:"verify_index,omitempty"`
+	VerifyFrom  uint64 `json:"verify_from,omitempty"`
+	VerifyTo    uint64 `json:"verify_to,omitempty"`
+
 	// recs is the native-form record bundle of a "write"/"append": the
 	// protocol-v3 binary framing ships it through internal/record's codec
 	// (frame.go) instead of the JSON WireRecord form, so Records never
@@ -174,6 +195,44 @@ type Response struct {
 	// ReplSize is the follower's durable replicated log size after a
 	// "replstate" or "replappend" — the offset replication resumes from.
 	ReplSize int64 `json:"repl_size,omitempty"`
+
+	// Verify is the payload of the "verify" verb: a root statement, an
+	// inclusion proof, or a consistency proof (see WireVerify).
+	Verify *WireVerify `json:"verify,omitempty"`
+}
+
+// WireVerify is the wire form of a "verify" answer. All hashes, keys and
+// signatures are hex-encoded so the struct survives both the JSON-line
+// and the binary-framed transports unchanged. Which fields are set
+// depends on Op:
+//
+//   - "root": Size, Root and Volume always; DeviceID, PubKey, Sig and
+//     Timestamp when the daemon holds a signing identity (the signature
+//     covers the canonical signer.Statement with Gen 0).
+//   - "include": Index, Leaf, Size, Root, Path and Peaks — verifiable
+//     with mmr.VerifyInclusion.
+//   - "consistency": OldSize, OldRoot, OldPeaks, Size, Root and Fillers
+//     — verifiable with mmr.VerifyConsistency.
+type WireVerify struct {
+	Op     string `json:"op"`
+	Volume string `json:"volume,omitempty"`
+	Size   uint64 `json:"n"`
+	Root   string `json:"root"`
+
+	DeviceID  string `json:"device_id,omitempty"`
+	PubKey    string `json:"pub,omitempty"`
+	Sig       string `json:"sig,omitempty"`
+	Timestamp uint64 `json:"ts,omitempty"`
+
+	Index uint64   `json:"index,omitempty"`
+	Leaf  string   `json:"leaf,omitempty"`
+	Path  []string `json:"path,omitempty"`
+	Peaks []string `json:"peaks,omitempty"`
+
+	OldSize  uint64   `json:"old_n,omitempty"`
+	OldRoot  string   `json:"old_root,omitempty"`
+	OldPeaks []string `json:"old_peaks,omitempty"`
+	Fillers  []string `json:"fillers,omitempty"`
 }
 
 // Error codes carried in Response.Code; see decodeDPAPIError in dpapi.go.
@@ -209,6 +268,13 @@ const (
 	// "overloaded" it is always safe to retry with backoff — nothing
 	// executed — and the client does so automatically.
 	codeQuota = "quota"
+	// codeForked classifies a follower refusing a "replappend" whose
+	// claimed MMR root disagrees with the root the follower recomputed
+	// over the same byte prefix (ErrForked): the primary's history and
+	// the follower's history are different logs. Never retryable — the
+	// same bytes would be refused again, and resending cannot reconcile
+	// two divergent histories. An operator must re-seed one side.
+	codeForked = "forked"
 )
 
 // CheckpointInfo is the payload of the "checkpoint" verb: the committed
@@ -294,6 +360,21 @@ type Stats struct {
 	Verbs         map[string]int64       `json:"verbs,omitempty"`
 	QuotaRefusals int64                  `json:"quota_refusals,omitempty"`
 	Tenants       map[string]TenantStats `json:"tenants,omitempty"`
+
+	// Tamper evidence (DESIGN.md §13). RecoverySkips breaks SkippedGens
+	// down by the machine-readable skip class checkpoint recovery
+	// assigned ("manifest", "payload", "chain_base", "orphan",
+	// "root_mismatch", "other"). MMRLeaves/MMRRoot describe the live
+	// Merkle mountain range over the provenance log; MMRPruned reports
+	// whether it was resumed from a peak snapshot (proofs need a
+	// rehydrating rescan). ForkRefusals counts replicated appends this
+	// follower refused as forked; Verifies counts "verify" verbs served.
+	RecoverySkips map[string]int64 `json:"recovery_skips,omitempty"`
+	MMRLeaves     uint64           `json:"mmr_leaves,omitempty"`
+	MMRRoot       string           `json:"mmr_root,omitempty"`
+	MMRPruned     bool             `json:"mmr_pruned,omitempty"`
+	ForkRefusals  int64            `json:"fork_refusals,omitempty"`
+	Verifies      int64            `json:"verifies,omitempty"`
 }
 
 // TenantStats is one tenant's slice of the serving counters. Requests

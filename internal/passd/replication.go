@@ -6,14 +6,18 @@ package passd
 // sees Peers; these adapters are the only place the two meet.
 
 import (
+	"encoding/hex"
 	"time"
 
 	"passv2/internal/replica"
 )
 
 // replPeer adapts a Client into a replica.Peer speaking the
-// replstate/replappend verbs.
+// replstate/replappend verbs. It also implements replica.ProofPeer, so a
+// primary with a proof-aware source streams root claims for free.
 type replPeer struct{ c *Client }
+
+var _ replica.ProofPeer = replPeer{}
 
 func (p replPeer) State() (int64, error) {
 	resp, err := p.c.roundTrip(&Request{Op: "replstate"})
@@ -25,6 +29,25 @@ func (p replPeer) State() (int64, error) {
 
 func (p replPeer) Append(off int64, b []byte) (int64, error) {
 	resp, err := p.c.roundTrip(&Request{Op: "replappend", Off: off, Data: b})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ReplSize, nil
+}
+
+// AppendProof is the proof-carrying append (replica.ProofPeer): the
+// chunk plus the primary's MMR leaf count and root over the log prefix
+// the chunk completes. A follower with a live feeder recomputes the root
+// and refuses with the non-retryable "forked" code on mismatch — which
+// is exactly what keeps a forked primary from ever reaching its quorum.
+func (p replPeer) AppendProof(off int64, b []byte, n uint64, root [32]byte) (int64, error) {
+	resp, err := p.c.roundTrip(&Request{
+		Op:      "replappend",
+		Off:     off,
+		Data:    b,
+		MMRSize: n,
+		MMRRoot: hex.EncodeToString(root[:]),
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"passv2/internal/health"
 	"passv2/internal/pnode"
 	"passv2/internal/pql"
+	"passv2/internal/provlog"
 	"passv2/internal/record"
 	"passv2/internal/replica"
 	"passv2/internal/waldo"
@@ -129,6 +131,21 @@ type Config struct {
 	// log, and client writes are refused with ErrReadOnly. The server
 	// does not own it.
 	Follower *replica.FollowerLog
+
+	// Tamper, when non-nil, wires the tamper-evidence stack (DESIGN.md
+	// §13): the live Merkle mountain range over the daemon's provenance
+	// log, the signing identity, and the rehydration path that upgrades a
+	// pruned (peak-file-resumed) range to full proof capability. It
+	// enables the "verify" verb and the MMR fields in STATS and /metrics.
+	Tamper *TamperConfig
+
+	// Feeder, when non-nil on a replication follower, verifies
+	// proof-carrying replicated appends: a "replappend" whose mmr_n /
+	// mmr_root claim disagrees with the root the feeder recomputes over
+	// the same bytes is refused with the "forked" code before anything
+	// touches the durable log, and the feeder is poisoned so nothing
+	// after the fork is accepted either. The server does not own it.
+	Feeder *provlog.TailFeeder
 }
 
 // ErrOverloaded is the backpressure error: all workers busy and the wait
@@ -191,6 +208,14 @@ type Server struct {
 	batches     atomic.Int64
 
 	quorumFailures atomic.Int64 // primary: acks refused for lack of quorum
+
+	// Tamper-evidence state: forkRefusals counts replicated appends this
+	// follower refused as forked, verifies counts "verify" verbs served,
+	// and rehydrateMu serializes the rescan that upgrades a pruned MMR to
+	// proof capability (concurrent verifies must not rescan twice).
+	forkRefusals atomic.Int64
+	verifies     atomic.Int64
+	rehydrateMu  sync.Mutex
 
 	// Observability and admission (admin.go, quota.go): met owns every
 	// /metrics family — including the per-lane shed counters Stats.Shed is
@@ -471,6 +496,14 @@ func (s *Server) doCheckpoint() (checkpoint.Info, error) {
 	s.lastCkptGen.Store(info.Gen)
 	s.lastCkptRecords.Store(info.Records)
 	s.lastCkptUnixNano.Store(time.Now().UnixNano())
+	if t := s.cfg.Tamper; t != nil && t.SaveState != nil {
+		// The generation committed; only persisting the MMR peak snapshot
+		// failed. That is housekeeping lag, not checkpoint failure — the
+		// next boot falls back to rebuilding the range from the log.
+		if serr := t.SaveState(); serr != nil {
+			s.checkpointSweepErrors.Add(1)
+		}
+	}
 	return info, nil
 }
 
@@ -754,7 +787,7 @@ func (s *Server) handle(conn net.Conn) {
 // disclosure on the same connection.
 func serialVerb(op string) bool {
 	switch strings.ToLower(op) {
-	case "query", "explain", "stats", "drain", "checkpoint", "ping", "hello", "replstate", "repljoin":
+	case "query", "explain", "stats", "drain", "checkpoint", "ping", "hello", "replstate", "repljoin", "verify":
 		return false
 	}
 	return true
@@ -933,7 +966,7 @@ func verbLabel(op string) string {
 	switch op := strings.ToLower(op); op {
 	case "query", "explain", "stats", "drain", "checkpoint", "ping", "hello",
 		"append", "mkobj", "revive", "read", "write", "freeze", "sync", "close",
-		"batch", "repljoin", "replstate", "replappend":
+		"batch", "repljoin", "replstate", "replappend", "verify":
 		return op
 	}
 	return "unknown"
@@ -1019,6 +1052,8 @@ func (s *Server) dispatch(cs *connState, req *Request) Response {
 		return s.doReplState()
 	case "replappend":
 		return s.doReplAppend(req)
+	case "verify":
+		return s.doVerify(req)
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -1057,6 +1092,13 @@ func (s *Server) doReplAppend(req *Request) Response {
 	if s.cfg.Follower == nil {
 		return Response{Error: "replappend: this daemon is not a replication follower"}
 	}
+	// Fork detection runs BEFORE the durable append: a chunk whose
+	// claimed MMR root disagrees with the root recomputed over the same
+	// bytes must leave the follower's log untouched, or the divergence
+	// would already be durable by the time it is detected.
+	if err := s.checkFork(req); err != nil {
+		return errResponse(err)
+	}
 	size, err := s.cfg.Follower.Append(req.Off, req.Data)
 	if err != nil {
 		resp := errResponse(err)
@@ -1084,6 +1126,8 @@ func errResponse(err error) Response {
 		resp.Code = codeQuota
 	case errors.Is(err, replica.ErrGap):
 		resp.Code = codeGap
+	case errors.Is(err, ErrForked):
+		resp.Code = codeForked
 	}
 	return resp
 }
@@ -1559,6 +1603,31 @@ func (s *Server) snapshotStats() *Stats {
 	}
 	if r := s.cfg.Recovered; r != nil {
 		st.SkippedGens = int64(len(r.Skipped))
+		if len(r.Skipped) > 0 {
+			st.RecoverySkips = make(map[string]int64, len(r.Skipped))
+			for _, sk := range r.Skipped {
+				st.RecoverySkips[skipClass(sk.Class)]++
+			}
+		}
 	}
+	if t := s.cfg.Tamper; t != nil {
+		m := t.MMR()
+		root := m.Root()
+		st.MMRLeaves = m.Count()
+		st.MMRRoot = hex.EncodeToString(root[:])
+		st.MMRPruned = m.Pruned()
+	}
+	st.ForkRefusals = s.forkRefusals.Load()
+	st.Verifies = s.verifies.Load()
 	return st
+}
+
+// skipClass normalizes a recovery skip's class label for the bounded
+// label sets STATS and /metrics share (pre-classification generations
+// recorded no class).
+func skipClass(c string) string {
+	if c == "" {
+		return checkpoint.SkipOther
+	}
+	return c
 }

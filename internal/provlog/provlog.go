@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"passv2/internal/mmr"
 	"passv2/internal/pnode"
 	"passv2/internal/record"
 	"passv2/internal/vfs"
@@ -88,6 +89,14 @@ type Writer struct {
 	bufSize  int         // 0 = write-through
 	noRotate string      // non-empty: rotation refused, with this reason
 	notify   chan string // rotated file paths for Waldo (simulated inotify)
+
+	// Tamper evidence (DESIGN.md §13): every appended record frame also
+	// becomes an MMR leaf keyed by its global byte offset — the offset in
+	// the whole log stream, stable across rotation because globalBase
+	// accumulates the rotated files' sizes.
+	mmr        *mmr.MMR
+	mmrVol     string
+	globalBase int64
 }
 
 // NewWriter opens (creating if needed) the log directory and active log.
@@ -103,8 +112,13 @@ func NewWriter(fs vfs.FS, dir string, maxSize int64) (*Writer, error) {
 	if err == nil {
 		for _, e := range ents {
 			var n uint64
-			if _, serr := fmt.Sscanf(e.Name, "log.%08d", &n); serr == nil && n >= w.seq {
-				w.seq = n + 1
+			if _, serr := fmt.Sscanf(e.Name, "log.%08d", &n); serr == nil {
+				if n >= w.seq {
+					w.seq = n + 1
+				}
+				if st, serr := fs.Stat(vfs.Join(dir, e.Name)); serr == nil {
+					w.globalBase += st.Size
+				}
 			}
 		}
 	}
@@ -180,6 +194,7 @@ func (w *Writer) flushLocked() error {
 func (w *Writer) append(t EntryType, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	start := w.globalBase + w.size + int64(len(w.buf))
 	frame := frame(t, payload)
 	if w.bufSize > 0 {
 		w.buf = append(w.buf, frame...)
@@ -193,6 +208,9 @@ func (w *Writer) append(t EntryType, payload []byte) error {
 			return err
 		}
 		w.size += int64(len(frame))
+	}
+	if w.mmr != nil {
+		feedFrame(w.mmr, w.mmrVol, start, frame[4:4+1+len(payload)])
 	}
 	if w.MaxSize > 0 && w.size+int64(len(w.buf)) >= w.MaxSize {
 		return w.rotateLocked()
@@ -285,6 +303,7 @@ func (w *Writer) rotateLocked() error {
 		return err
 	}
 	w.f = f
+	w.globalBase += w.size // global offsets are stable across the rename
 	w.size = 0
 	select {
 	case w.notify <- rotated:
@@ -401,6 +420,21 @@ func ScanFile(fs vfs.FS, path string, fn func(Entry) error) error {
 // of the torn frame (all intact entries before it have been delivered);
 // with an fn error it is the start of the entry fn rejected.
 func ScanFileFrom(fs vfs.FS, path string, off int64, fn func(Entry) error) (int64, error) {
+	return scanFramesFrom(fs, path, off, func(_ int64, body []byte) error {
+		e, err := decodeEntry(body)
+		if err != nil {
+			return err
+		}
+		return fn(e)
+	})
+}
+
+// scanFramesFrom is the raw-frame scan under ScanFileFrom: fn receives
+// each intact frame's in-file start offset and its body (type byte +
+// payload) without decoding. The MMR rebuild uses it because leaf hashes
+// are defined over the framed bytes and their positions, not the decoded
+// entries. Offset and error semantics match ScanFileFrom.
+func scanFramesFrom(fs vfs.FS, path string, off int64, fn func(off int64, body []byte) error) (int64, error) {
 	f, err := fs.Open(path, vfs.ORdOnly)
 	if err != nil {
 		return off, err
@@ -433,11 +467,7 @@ func ScanFileFrom(fs vfs.FS, path string, off int64, fn func(Entry) error) (int6
 		if crc32.ChecksumIEEE(body) != sum {
 			return off + int64(pos), ErrTorn
 		}
-		e, err := decodeEntry(body)
-		if err != nil {
-			return off + int64(pos), err
-		}
-		if err := fn(e); err != nil {
+		if err := fn(off+int64(pos), body); err != nil {
 			return off + int64(pos), err
 		}
 		pos += 4 + n + 4

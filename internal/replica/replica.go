@@ -65,6 +65,40 @@ type Source interface {
 	ReadAt(p []byte, off int64) (int, error)
 }
 
+// ProofSource is a Source that can vouch for its stream with MMR root
+// proofs (DESIGN.md §13). ProofAt reports the number of MMR leaves whose
+// records are fully contained in the log prefix [0, end) and the root
+// over those leaves; ok is false when no proof is available for that
+// prefix (tamper evidence off, or the MMR is pruned below end) — the
+// primary then falls back to plain appends.
+type ProofSource interface {
+	Source
+	ProofAt(end int64) (n uint64, root [32]byte, ok bool)
+}
+
+// ProofPeer is a Peer that accepts proof-carrying appends: the follower
+// recomputes the root over its own copy of the prefix and refuses the
+// append — with a permanent, machine-readable "forked" error — when it
+// disagrees. Streaming uses AppendProof only when both the source and the
+// peer support proofs; either side missing degrades to plain Append.
+type ProofPeer interface {
+	Peer
+	AppendProof(off int64, p []byte, n uint64, root [32]byte) (int64, error)
+}
+
+// WithProofs glues a proof lookup onto an existing Source, upgrading it
+// to a ProofSource. The daemon wires at to its live MMR.
+func WithProofs(s Source, at func(end int64) (uint64, [32]byte, bool)) ProofSource {
+	return &proofSource{Source: s, at: at}
+}
+
+type proofSource struct {
+	Source
+	at func(end int64) (uint64, [32]byte, bool)
+}
+
+func (s *proofSource) ProofAt(end int64) (uint64, [32]byte, bool) { return s.at(end) }
+
 // ErrQuorum is the commit failure: not enough followers acknowledged the
 // prefix within the commit timeout. The write is durable locally but must
 // not be acknowledged to the client; the client sees a retryable
@@ -209,8 +243,15 @@ func (p *Primary) drive(f *follower) {
 }
 
 // stream ships log bytes to one connected follower until an error or
-// close. It returns nil only on close.
+// close. It returns nil only on close. When both the source and the peer
+// speak proofs, every chunk carries the MMR root covering the prefix it
+// extends to, and a follower that detects a fork fails the stream — the
+// drive loop's reconnects then keep failing (the follower stays
+// poisoned), the follower never acks, and quorum commits fail closed
+// rather than replicate divergent histories.
 func (p *Primary) stream(f *follower, peer Peer) error {
+	proofPeer, _ := peer.(ProofPeer)
+	proofSrc, _ := p.src.(ProofSource)
 	buf := make([]byte, p.cfg.ChunkSize)
 	for {
 		p.mu.Lock()
@@ -251,7 +292,16 @@ func (p *Primary) stream(f *follower, peer Peer) error {
 		if rn == 0 && err != nil {
 			return err
 		}
-		newSize, err := peer.Append(off, buf[:rn])
+		var newSize int64
+		if proofPeer != nil && proofSrc != nil {
+			if n, root, ok := proofSrc.ProofAt(off + int64(rn)); ok {
+				newSize, err = proofPeer.AppendProof(off, buf[:rn], n, root)
+			} else {
+				newSize, err = peer.Append(off, buf[:rn])
+			}
+		} else {
+			newSize, err = peer.Append(off, buf[:rn])
+		}
 		if err != nil {
 			if errors.Is(err, ErrGap) {
 				// The follower holds less than we believed (it restarted

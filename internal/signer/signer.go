@@ -1,0 +1,260 @@
+// Package signer gives a passd daemon a durable Ed25519 identity and
+// uses it to sign MMR root statements (DESIGN.md §13). The private key
+// is generated on first run and kept in the key directory; the exported
+// public half (signer.pub) plus a 16-byte device ID derived from the
+// machine identity, the public key and the creation time is what an
+// offline verifier pins as its trust anchor.
+//
+// What a signature means: "this daemon, holding this key, observed this
+// log prefix (root, size) at this time". It does not defend against a
+// daemon that was malicious from birth — such a daemon signs whatever it
+// likes — but it makes after-the-fact rewriting of a log the daemon
+// already signed for detectable by anyone holding the public key.
+package signer
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"passv2/internal/vfs"
+)
+
+// Key file names inside the key directory.
+const (
+	KeyName = "signer.key" // private: JSON {seed, machine_id, created}
+	PubName = "signer.pub" // public: JSON {pub, device_id, created}
+)
+
+// StatementMagic versions the canonical signed-statement encoding.
+const StatementMagic = "PASSROOT1\n"
+
+// Identity is a daemon's signing identity.
+type Identity struct {
+	DeviceID [16]byte
+	Pub      ed25519.PublicKey
+	Created  int64 // unix seconds of key generation
+	priv     ed25519.PrivateKey
+}
+
+// Public is the verifier's half: everything needed to check signatures,
+// nothing needed to make them.
+type Public struct {
+	DeviceID [16]byte
+	Pub      ed25519.PublicKey
+	Created  int64
+}
+
+type keyFile struct {
+	Seed      string `json:"seed"` // hex ed25519 seed
+	MachineID string `json:"machine_id"`
+	Created   int64  `json:"created"`
+}
+
+type pubFile struct {
+	Pub      string `json:"pub"`       // hex ed25519 public key
+	DeviceID string `json:"device_id"` // hex
+	Created  int64  `json:"created"`
+}
+
+// machineID reads a stable host identity, best effort: /etc/machine-id
+// where available, a fixed fallback elsewhere. It feeds the device-ID
+// derivation only, so a weak value degrades uniqueness, not security.
+func machineID() string {
+	if b, err := os.ReadFile("/etc/machine-id"); err == nil {
+		if s := strings.TrimSpace(string(b)); s != "" {
+			return s
+		}
+	}
+	return "passv2-unknown-machine"
+}
+
+// deriveDeviceID hashes the machine identity, public key and creation
+// time into the 16-byte device ID that names this daemon in signed
+// statements.
+func deriveDeviceID(machine string, pub ed25519.PublicKey, created int64) [16]byte {
+	h := sha256.New()
+	h.Write([]byte(machine))
+	h.Write(pub)
+	var c [8]byte
+	binary.LittleEndian.PutUint64(c[:], uint64(created))
+	h.Write(c[:])
+	var id [16]byte
+	copy(id[:], h.Sum(nil))
+	return id
+}
+
+// LoadOrCreate opens the identity in dir on fs, generating a fresh key
+// pair (and exporting signer.pub) on first run.
+func LoadOrCreate(fs vfs.FS, dir string) (*Identity, error) {
+	dir = vfs.Clean(dir)
+	if err := fs.MkdirAll(dir); err != nil && !errors.Is(err, vfs.ErrExist) {
+		return nil, err
+	}
+	keyPath := vfs.Join(dir, KeyName)
+	if b, err := readAll(fs, keyPath); err == nil {
+		var kf keyFile
+		if err := json.Unmarshal(b, &kf); err != nil {
+			return nil, fmt.Errorf("signer: %s: %v", KeyName, err)
+		}
+		seed, err := hex.DecodeString(kf.Seed)
+		if err != nil || len(seed) != ed25519.SeedSize {
+			return nil, fmt.Errorf("signer: %s holds a malformed seed", KeyName)
+		}
+		priv := ed25519.NewKeyFromSeed(seed)
+		pub := priv.Public().(ed25519.PublicKey)
+		return &Identity{
+			DeviceID: deriveDeviceID(kf.MachineID, pub, kf.Created),
+			Pub:      pub,
+			Created:  kf.Created,
+			priv:     priv,
+		}, nil
+	} else if !errors.Is(err, vfs.ErrNotExist) {
+		return nil, err
+	}
+
+	// First run: generate, persist private then public.
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	created := time.Now().Unix()
+	machine := machineID()
+	id := &Identity{
+		DeviceID: deriveDeviceID(machine, pub, created),
+		Pub:      pub,
+		Created:  created,
+		priv:     priv,
+	}
+	kb, _ := json.Marshal(keyFile{
+		Seed:      hex.EncodeToString(priv.Seed()),
+		MachineID: machine,
+		Created:   created,
+	})
+	if err := writeAll(fs, keyPath, kb); err != nil {
+		return nil, err
+	}
+	pb, _ := json.Marshal(pubFile{
+		Pub:      hex.EncodeToString(pub),
+		DeviceID: hex.EncodeToString(id.DeviceID[:]),
+		Created:  created,
+	})
+	if err := writeAll(fs, vfs.Join(dir, PubName), pb); err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
+// LoadPublic reads an exported signer.pub from fs.
+func LoadPublic(fs vfs.FS, path string) (Public, error) {
+	b, err := readAll(fs, vfs.Clean(path))
+	if err != nil {
+		return Public{}, err
+	}
+	return ParsePublic(b)
+}
+
+// ParsePublic parses exported signer.pub bytes.
+func ParsePublic(b []byte) (Public, error) {
+	var pf pubFile
+	if err := json.Unmarshal(b, &pf); err != nil {
+		return Public{}, fmt.Errorf("signer: malformed public identity: %v", err)
+	}
+	pub, err := hex.DecodeString(pf.Pub)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return Public{}, fmt.Errorf("signer: malformed public key")
+	}
+	id, err := hex.DecodeString(pf.DeviceID)
+	if err != nil || len(id) != 16 {
+		return Public{}, fmt.Errorf("signer: malformed device id")
+	}
+	p := Public{Pub: ed25519.PublicKey(pub), Created: pf.Created}
+	copy(p.DeviceID[:], id)
+	return p, nil
+}
+
+// Statement is one signed claim about the log: the daemon identified by
+// DeviceID asserts that Volume's first Size records hash to Root, as of
+// checkpoint generation Gen (0 for ad-hoc roots signed over the wire) at
+// Timestamp (unix seconds).
+type Statement struct {
+	DeviceID  [16]byte
+	Volume    string
+	Root      [32]byte
+	Size      uint64
+	Gen       uint64
+	Timestamp uint64
+}
+
+// Bytes renders the canonical signed encoding.
+func (s Statement) Bytes() []byte {
+	out := make([]byte, 0, len(StatementMagic)+16+1+len(s.Volume)+32+24)
+	out = append(out, StatementMagic...)
+	out = append(out, s.DeviceID[:]...)
+	out = binary.AppendUvarint(out, uint64(len(s.Volume)))
+	out = append(out, s.Volume...)
+	out = append(out, s.Root[:]...)
+	out = binary.LittleEndian.AppendUint64(out, s.Size)
+	out = binary.LittleEndian.AppendUint64(out, s.Gen)
+	out = binary.LittleEndian.AppendUint64(out, s.Timestamp)
+	return out
+}
+
+// Public returns the identity's shareable half — what an operator copies
+// out of band for offline verification.
+func (id *Identity) Public() Public {
+	return Public{DeviceID: id.DeviceID, Pub: id.Pub, Created: id.Created}
+}
+
+// Sign produces the Ed25519 signature over the statement. The statement's
+// DeviceID is forced to this identity's: a statement is inseparable from
+// who signed it.
+func (id *Identity) Sign(s Statement) []byte {
+	s.DeviceID = id.DeviceID
+	return ed25519.Sign(id.priv, s.Bytes())
+}
+
+// Verify checks a statement signature against a public key.
+func Verify(pub ed25519.PublicKey, s Statement, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub, s.Bytes(), sig)
+}
+
+func readAll(fs vfs.FS, path string) ([]byte, error) {
+	f, err := fs.Open(path, vfs.ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := make([]byte, f.Size())
+	if _, err := f.ReadAt(b, 0); err != nil && f.Size() > 0 {
+		return nil, err
+	}
+	return b, nil
+}
+
+func writeAll(fs vfs.FS, path string, b []byte) error {
+	f, err := fs.Open(path, vfs.OCreate|vfs.ORdWr|vfs.OTrunc)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(b, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,116 @@
+package signer
+
+import (
+	"bytes"
+	"testing"
+
+	"passv2/internal/vfs"
+)
+
+func TestLoadOrCreatePersistsIdentity(t *testing.T) {
+	fs := vfs.NewMemFS("keys", nil)
+	id, err := LoadOrCreate(fs, "/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.DeviceID == ([16]byte{}) {
+		t.Fatal("zero device id")
+	}
+	// A second load returns the same identity, not a fresh key.
+	again, err := LoadOrCreate(fs, "/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(id.Pub, again.Pub) || id.DeviceID != again.DeviceID {
+		t.Fatal("reload produced a different identity")
+	}
+	// The exported public half matches.
+	pub, err := LoadPublic(fs, "/keys/"+PubName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pub.Pub, id.Pub) || pub.DeviceID != id.DeviceID || pub.Created != id.Created {
+		t.Fatal("exported public identity disagrees with the private one")
+	}
+}
+
+func TestSignVerifyAndTamper(t *testing.T) {
+	fs := vfs.NewMemFS("keys", nil)
+	id, err := LoadOrCreate(fs, "/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Statement{
+		DeviceID:  id.DeviceID,
+		Volume:    "logdir",
+		Root:      [32]byte{1, 2, 3},
+		Size:      42,
+		Gen:       7,
+		Timestamp: 1700000000,
+	}
+	sig := id.Sign(st)
+	if !Verify(id.Pub, st, sig) {
+		t.Fatal("honest signature rejected")
+	}
+	// Every field is load-bearing.
+	mutations := map[string]func(*Statement){
+		"root":      func(s *Statement) { s.Root[0] ^= 1 },
+		"size":      func(s *Statement) { s.Size++ },
+		"gen":       func(s *Statement) { s.Gen++ },
+		"timestamp": func(s *Statement) { s.Timestamp++ },
+		"volume":    func(s *Statement) { s.Volume = "logdir2" },
+		"device":    func(s *Statement) { s.DeviceID[0] ^= 1 },
+	}
+	for name, mutate := range mutations {
+		bad := st
+		mutate(&bad)
+		if Verify(id.Pub, bad, sig) {
+			t.Fatalf("signature still verifies after mutating %s", name)
+		}
+	}
+	// A corrupted signature or wrong key fails.
+	sig[0] ^= 1
+	if Verify(id.Pub, st, sig) {
+		t.Fatal("flipped signature verified")
+	}
+	sig[0] ^= 1
+	other, _ := LoadOrCreate(fs, "/keys2")
+	if Verify(other.Pub, st, sig) {
+		t.Fatal("wrong key verified")
+	}
+	if Verify(nil, st, sig) || Verify(id.Pub, st, nil) {
+		t.Fatal("malformed inputs verified")
+	}
+}
+
+func TestSignForcesOwnDeviceID(t *testing.T) {
+	fs := vfs.NewMemFS("keys", nil)
+	id, err := LoadOrCreate(fs, "/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Statement{Volume: "v", Size: 1}
+	st.DeviceID = [16]byte{0xff} // forged
+	sig := id.Sign(st)
+	honest := st
+	honest.DeviceID = id.DeviceID
+	if !Verify(id.Pub, honest, sig) {
+		t.Fatal("signature not bound to the signer's device id")
+	}
+	if Verify(id.Pub, st, sig) {
+		t.Fatal("signature verified under a forged device id")
+	}
+}
+
+func TestParsePublicRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		[]byte("not json"),
+		[]byte(`{"pub":"zz","device_id":"00"}`),
+		[]byte(`{"pub":"abcd","device_id":"00112233445566778899aabbccddeeff"}`),
+	} {
+		if _, err := ParsePublic(b); err == nil {
+			t.Fatalf("garbage %q parsed", b)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"passv2/internal/checkpoint"
+	"passv2/internal/mmr"
+	"passv2/internal/pnode"
+	"passv2/internal/provlog"
+	"passv2/internal/record"
+	"passv2/internal/signer"
+	"passv2/internal/vfs"
+	"passv2/internal/waldo"
+)
+
+const volume = "vol1"
+
+// world is one daemon's on-disk footprint built in memory: a provlog
+// with an attached MMR, a checkpoint store whose generations carry
+// signed root statements, and the signing identity.
+type world struct {
+	lfs  *vfs.MemFS
+	ckfs *vfs.MemFS
+	id   *signer.Identity
+	w    *provlog.Writer
+	wd   *waldo.Waldo
+	st   *checkpoint.Store
+	gens int
+}
+
+func ref(pn uint64, v uint32) pnode.Ref {
+	return pnode.Ref{PNode: pnode.PNode(pn), Version: pnode.Version(v)}
+}
+
+// newWorld builds the writer side exactly the way cmd/passd wires it:
+// MakeProofs signs a SyncTamper snapshot for every committed generation,
+// and the MMR peak state is persisted after each checkpoint.
+func newWorld(t *testing.T, seed byte) *world {
+	t.Helper()
+	wo := &world{lfs: vfs.NewMemFS("log", nil), ckfs: vfs.NewMemFS("ck", nil)}
+	var err error
+	if wo.id, err = signer.LoadOrCreate(wo.lfs, "/keys"); err != nil {
+		t.Fatal(err)
+	}
+	if wo.w, err = provlog.NewWriter(wo.lfs, "/", 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err = wo.w.AttachMMR(mmr.New(), volume); err != nil {
+		t.Fatal(err)
+	}
+	wo.wd = waldo.New()
+	wo.wd.Attach(waldo.NewLogVolume(volume, wo.lfs, wo.w))
+	if wo.st, err = checkpoint.NewStore(wo.ckfs, "/", 10); err != nil {
+		t.Fatal(err)
+	}
+	wo.st.MakeProofs = func(cp *waldo.CheckpointState) ([]checkpoint.Proof, error) {
+		st, n, root, err := wo.w.SyncTamper()
+		if err != nil {
+			return nil, err
+		}
+		stmt := signer.Statement{
+			Volume: volume, Root: root, Size: n,
+			Gen: uint64(cp.Gen), Timestamp: 1700000000 + uint64(cp.Gen),
+		}
+		if err := provlog.SaveMMR(wo.lfs, "/", st); err != nil {
+			return nil, err
+		}
+		return []checkpoint.Proof{{
+			Volume: volume, Size: n, Root: root, Timestamp: stmt.Timestamp,
+			DeviceID: wo.id.DeviceID, PubKey: append([]byte(nil), wo.id.Pub...),
+			Sig: wo.id.Sign(stmt),
+		}}, nil
+	}
+	_ = seed
+	return wo
+}
+
+func (wo *world) append(t *testing.T, lo, n int) {
+	t.Helper()
+	for i := lo; i < lo+n; i++ {
+		subj := ref(uint64(i%211+1), uint32(i%3+1))
+		if err := wo.w.AppendRecord(0, record.New(subj, record.AttrName, record.StringVal(fmt.Sprintf("/w/f%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (wo *world) checkpoint(t *testing.T) {
+	t.Helper()
+	if err := wo.wd.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wo.st.Write(wo.wd.CheckpointState(), checkpoint.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	wo.gens++
+}
+
+func (wo *world) pub() *signer.Public {
+	p := wo.id.Public()
+	return &p
+}
+
+// build writes three signed generations plus an unsigned tail.
+func build(t *testing.T, seed byte) *world {
+	t.Helper()
+	wo := newWorld(t, seed)
+	for g := 0; g < 3; g++ {
+		wo.append(t, g*100, 100)
+		wo.checkpoint(t)
+	}
+	wo.append(t, 300, 7) // unsigned tail
+	if err := wo.w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return wo
+}
+
+func audit(t *testing.T, wo *world, mut func(*Options)) *Report {
+	t.Helper()
+	opts := Options{
+		LogFS: wo.lfs, CheckpointFS: wo.ckfs, Volume: volume,
+		Pub: wo.pub(), ProveIndices: []uint64{0, 150, 299, 305},
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	rep, err := Audit(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func wantFailure(t *testing.T, rep *Report, frag string) {
+	t.Helper()
+	if rep.OK {
+		t.Fatalf("audit passed, wanted a failure mentioning %q", frag)
+	}
+	for _, f := range rep.Failures {
+		if strings.Contains(f, frag) {
+			return
+		}
+	}
+	t.Fatalf("no failure mentions %q; got %v", frag, rep.Failures)
+}
+
+func TestAuditCleanHistory(t *testing.T) {
+	wo := build(t, 1)
+	rep := audit(t, wo, nil)
+	if !rep.OK {
+		t.Fatalf("clean history failed audit: %v", rep.Failures)
+	}
+	if rep.Records != 307 || rep.SignedSize != 300 || rep.TailRecords != 7 {
+		t.Fatalf("records=%d signed=%d tail=%d, want 307/300/7", rep.Records, rep.SignedSize, rep.TailRecords)
+	}
+	if len(rep.Generations) != 3 {
+		t.Fatalf("audited %d generations, want 3", len(rep.Generations))
+	}
+	for _, g := range rep.Generations {
+		if !g.SigOK || !g.KeyOK || !g.RootOK {
+			t.Fatalf("generation %d not fully verified: %+v", g.Gen, g)
+		}
+	}
+	if len(rep.Consistency) != 2 {
+		t.Fatalf("%d consistency checks, want 2", len(rep.Consistency))
+	}
+	for _, c := range rep.Consistency {
+		if !c.OK {
+			t.Fatalf("consistency %d→%d failed: %s", c.FromGen, c.ToGen, c.Err)
+		}
+	}
+	if len(rep.Inclusions) != 4 {
+		t.Fatalf("%d inclusion proofs, want 4", len(rep.Inclusions))
+	}
+	for _, p := range rep.Inclusions {
+		if !p.OK {
+			t.Fatalf("inclusion %d failed: %s", p.Index, p.Err)
+		}
+		if wantSigned := p.Index < 300; p.Signed != wantSigned {
+			t.Fatalf("inclusion %d signed=%v, want %v", p.Index, p.Signed, wantSigned)
+		}
+	}
+	if rep.StateFile != "ok" {
+		t.Fatalf("state file cross-check: %q, want ok", rep.StateFile)
+	}
+	if !rep.KeyPinned {
+		t.Fatal("report does not record the pinned key")
+	}
+}
+
+// TestAuditUnpinnedKey: without -pub the audit adopts the oldest
+// manifest's key, verifies everything against it, and says so.
+func TestAuditUnpinnedKey(t *testing.T) {
+	wo := build(t, 2)
+	rep := audit(t, wo, func(o *Options) { o.Pub = nil })
+	if !rep.OK {
+		t.Fatalf("unpinned audit failed: %v", rep.Failures)
+	}
+	if rep.KeyPinned || rep.Key == "" {
+		t.Fatalf("KeyPinned=%v Key=%q, want false and the adopted key", rep.KeyPinned, rep.Key)
+	}
+}
+
+// TestAuditWrongKey: pinning a different identity fails every
+// generation's key check.
+func TestAuditWrongKey(t *testing.T) {
+	wo := build(t, 3)
+	other, err := signer.LoadOrCreate(vfs.NewMemFS("other", nil), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, wo, func(o *Options) { p := other.Public(); o.Pub = &p })
+	wantFailure(t, rep, "different identity")
+	for _, g := range rep.Generations {
+		if g.KeyOK {
+			t.Fatalf("generation %d accepted the wrong key", g.Gen)
+		}
+	}
+}
+
+// TestAuditFlippedLogBit: one flipped bit in any record frame breaks the
+// CRC-checked replay, which is an audit failure, not a crash.
+func TestAuditFlippedLogBit(t *testing.T) {
+	wo := build(t, 4)
+	b, err := vfs.ReadFile(wo.lfs, "/log.00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0x01 // early byte: inside the signed region
+	if err := vfs.WriteFile(wo.lfs, "/log.00000000", b); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, wo, nil)
+	wantFailure(t, rep, "replaying log")
+}
+
+// TestAuditTruncatedLog: chopping committed frames off the active
+// segment leaves a log that replays clean but no longer reaches the
+// signed roots — truncation evidence.
+func TestAuditTruncatedLog(t *testing.T) {
+	wo := newWorld(t, 5)
+	// Single tiny generation so every record is in one segment and the
+	// signed size is known.
+	wo.append(t, 0, 20)
+	wo.checkpoint(t)
+	names, err := wo.lfs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range names {
+		if strings.HasPrefix(e.Name, "log.") {
+			seg = "/" + e.Name
+		}
+	}
+	b, err := vfs.ReadFile(wo.lfs, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the trailing half. Whether the cut lands on a frame boundary
+	// or not, the replay must end before the signed size.
+	if err := vfs.WriteFile(wo.lfs, seg, b[:len(b)/2]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(Options{LogFS: wo.lfs, CheckpointFS: wo.ckfs, Volume: volume, Pub: wo.pub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatalf("truncated log passed audit: %+v", rep)
+	}
+}
+
+// TestAuditForeignCheckpoints: checkpoints signed over a different log
+// (same sizes, different contents) fail the root check — the substituted
+// log case.
+func TestAuditForeignCheckpoints(t *testing.T) {
+	a, b := build(t, 6), newWorld(t, 7)
+	for g := 0; g < 3; g++ {
+		b.append(t, g*100+5000, 100) // same count, different records
+		b.checkpoint(t)
+	}
+	b.append(t, 5300, 7)
+	if err := b.w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(Options{LogFS: b.lfs, CheckpointFS: a.ckfs, Volume: volume, Pub: a.pub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFailure(t, rep, "does not match the log")
+}
+
+// TestAuditCorruptCheckpointPayload: a flipped bit in a snapshot payload
+// fails that generation's integrity check.
+func TestAuditCorruptCheckpointPayload(t *testing.T) {
+	wo := build(t, 8)
+	ents, err := wo.ckfs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name, ".db") {
+			snap = "/" + e.Name
+			break
+		}
+	}
+	if snap == "" {
+		t.Fatalf("no payload files in %v", ents)
+	}
+	b, err := vfs.ReadFile(wo.ckfs, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := vfs.WriteFile(wo.ckfs, snap, b); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, wo, nil)
+	if rep.OK {
+		t.Fatal("corrupt checkpoint payload passed audit")
+	}
+}
+
+// TestAuditWithoutCheckpoints: log-only audits still work — everything
+// is a CRC-checked unsigned tail.
+func TestAuditWithoutCheckpoints(t *testing.T) {
+	wo := build(t, 9)
+	rep := audit(t, wo, func(o *Options) { o.CheckpointFS = nil })
+	if !rep.OK {
+		t.Fatalf("log-only audit failed: %v", rep.Failures)
+	}
+	if rep.SignedSize != 0 || rep.TailRecords != rep.Records {
+		t.Fatalf("signed=%d tail=%d records=%d, want all-tail", rep.SignedSize, rep.TailRecords, rep.Records)
+	}
+}
